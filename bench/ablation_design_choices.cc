@@ -1,0 +1,88 @@
+/// Ablation bench for the design decisions DESIGN.md §4 documents — the
+/// places where the paper is under-specified and this implementation had
+/// to choose: the unsupervised label-evidence strategy, the prediction
+/// mode, the Eq. 3 answer term, and the consensus re-seeding schedule.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/cpa.h"
+#include "eval/experiment.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+using namespace cpa;
+
+namespace {
+
+SetMetrics Run(const Dataset& dataset, const CpaOptions& options) {
+  CpaAggregator aggregator(options);
+  const auto result = RunExperiment(aggregator, dataset);
+  CPA_CHECK(result.ok()) << result.status().ToString();
+  return result.value().metrics;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig config = bench::ParseBenchConfig(argc, argv, 0.25);
+  bench::PrintHeader(
+      "Ablation — design choices of this reproduction (DESIGN.md §4)",
+      "Each row switches one resolved ambiguity back to an alternative; "
+      "image (strong label correlation) and movie (little correlation).",
+      config);
+
+  for (PaperDatasetId id : {PaperDatasetId::kImage, PaperDatasetId::kMovie}) {
+    const Dataset dataset = bench::LoadPaperDataset(id, config);
+    CpaOptions base = CpaOptions::Recommended(dataset.num_items(), dataset.num_labels);
+    base.max_iterations = config.cpa_iterations;
+
+    TablePrinter table({"Configuration", "Precision", "Recall", "F1"});
+    const auto add = [&](const std::string& name, const CpaOptions& options) {
+      const SetMetrics metrics = Run(dataset, options);
+      table.AddRow({name, StrFormat("%.3f", metrics.precision),
+                    StrFormat("%.3f", metrics.recall),
+                    StrFormat("%.3f", metrics.F1())});
+      std::fprintf(stderr, "[ablation] %s / %s done\n", dataset.name.c_str(),
+                   name.c_str());
+    };
+
+    add("default (reliability evidence, Bernoulli prediction)", base);
+
+    CpaOptions evidence = base;
+    evidence.label_evidence = LabelEvidence::kAnswerFrequency;
+    add("evidence: raw answer frequency (Appendix-B reading)", evidence);
+
+    evidence.label_evidence = LabelEvidence::kSelfTraining;
+    add("evidence: self-training on greedy predictions", evidence);
+
+    evidence.label_evidence = LabelEvidence::kObservedOnly;
+    add("evidence: observed-only (paper-literal Eq. 7, y = empty)", evidence);
+
+    CpaOptions multinomial = base;
+    multinomial.prediction_mode = PredictionMode::kMultinomialSizePrior;
+    add("prediction: multinomial + size prior (paper-literal greedy)", multinomial);
+
+    CpaOptions answer_term = base;
+    answer_term.phi_answer_term = true;
+    add("phi update: + answer term (full mean-field, Eq. 3 restored)", answer_term);
+
+    CpaOptions no_reseed = base;
+    no_reseed.reseed_sweeps = 0;
+    add("seeding: bootstrap only (no consensus re-seeding sweeps)", no_reseed);
+
+    CpaOptions literal_scale = base;
+    literal_scale.evidence_scale = 1.0;
+    add("evidence weight: single pseudo-observation (paper-literal)",
+        literal_scale);
+
+    std::printf("\n%s dataset\n", dataset.name.c_str());
+    table.Print();
+  }
+  std::printf(
+      "\nReading: the default should dominate or tie each single-switch "
+      "alternative; 'observed-only' collapses recall (the cluster profiles "
+      "never see label evidence), which is why DESIGN.md argues the paper's "
+      "literal Eq. 7 cannot be what its implementation did.\n");
+  return 0;
+}

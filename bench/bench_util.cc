@@ -1,0 +1,47 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace cpa::bench {
+
+BenchConfig ParseBenchConfig(int argc, char** argv, double default_scale,
+                             std::size_t default_runs) {
+  const auto parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "flag error: %s\n", parsed.status().ToString().c_str());
+    std::exit(2);
+  }
+  const Flags& flags = parsed.value();
+  BenchConfig config;
+  config.scale = flags.GetDouble("scale", default_scale);
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 20180417));
+  config.cpa_iterations =
+      static_cast<std::size_t>(flags.GetInt("cpa-iterations", 25));
+  config.runs = static_cast<std::size_t>(
+      flags.GetInt("runs", static_cast<long long>(default_runs)));
+  return config;
+}
+
+Dataset LoadPaperDataset(PaperDatasetId id, const BenchConfig& config) {
+  FactoryOptions options;
+  options.scale = config.scale;
+  options.seed = config.seed;
+  auto dataset = MakePaperDataset(id, options);
+  CPA_CHECK(dataset.ok()) << dataset.status().ToString();
+  return std::move(dataset).value();
+}
+
+void PrintHeader(const std::string& artefact, const std::string& description,
+                 const BenchConfig& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artefact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("scale=%.2f of published dataset sizes, seed=%llu\n", config.scale,
+              static_cast<unsigned long long>(config.seed));
+  std::printf("==============================================================\n");
+}
+
+}  // namespace cpa::bench

@@ -1,0 +1,45 @@
+#ifndef CPA_BENCH_BENCH_UTIL_H_
+#define CPA_BENCH_BENCH_UTIL_H_
+
+/// \file bench_util.h
+/// \brief Shared scaffolding of the paper-reproduction bench binaries.
+///
+/// Every bench runs standalone with defaults sized so the whole suite
+/// finishes in minutes on a laptop: the paper's datasets are rebuilt at
+/// `--scale` (default 0.35) of their published size with redundancy
+/// preserved, which keeps every qualitative shape (who wins, by roughly
+/// what factor, where the crossovers fall). Run with `--scale=1` to use
+/// the published sizes.
+
+#include <string>
+
+#include "data/dataset.h"
+#include "simulation/dataset_factory.h"
+#include "util/flags.h"
+
+namespace cpa::bench {
+
+/// \brief Common bench configuration from command-line flags.
+struct BenchConfig {
+  double scale = 0.35;          ///< dataset scale (1 = published size)
+  std::uint64_t seed = 20180417;
+  std::size_t cpa_iterations = 25;
+  std::size_t runs = 1;         ///< repetitions for averaged experiments
+};
+
+/// Parses `--scale`, `--seed`, `--cpa-iterations`, `--runs`. Exits with a
+/// message on malformed flags.
+BenchConfig ParseBenchConfig(int argc, char** argv, double default_scale = 0.35,
+                             std::size_t default_runs = 1);
+
+/// Builds one of the five paper datasets at the configured scale.
+Dataset LoadPaperDataset(PaperDatasetId id, const BenchConfig& config);
+
+/// Prints the bench banner: what paper artefact this regenerates and the
+/// workload parameters in effect.
+void PrintHeader(const std::string& artefact, const std::string& description,
+                 const BenchConfig& config);
+
+}  // namespace cpa::bench
+
+#endif  // CPA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,62 @@
+/// Regenerates Fig 3 — robustness against sparsity on the image dataset:
+/// precision/recall as a growing share of the answers is removed.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/experiment.h"
+#include "simulation/perturbations.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+using namespace cpa;
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  bench::PrintHeader(
+      "Fig 3 — effects of sparsity (image dataset)",
+      "Answers are removed at random in 10% steps; precision/recall per method.",
+      config);
+
+  const Dataset dataset = bench::LoadPaperDataset(PaperDatasetId::kImage, config);
+  const auto factories = PaperAggregators(config.cpa_iterations);
+  const std::vector<std::string> methods = {"MV", "EM", "cBCC", "CPA"};
+
+  TablePrinter precision({"Sparsity%", "MV", "EM", "cBCC", "CPA"});
+  TablePrinter recall({"Sparsity%", "MV", "EM", "cBCC", "CPA"});
+  Rng rng(config.seed ^ 0xF16'3ULL);
+  for (int sparsity = 0; sparsity <= 80; sparsity += 10) {
+    const double keep = 1.0 - sparsity / 100.0;
+    const auto sparse = Sparsify(dataset, keep, rng);
+    if (!sparse.ok()) {
+      std::fprintf(stderr, "sparsify failed: %s\n", sparse.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> p_cells = {StrFormat("%d", sparsity)};
+    std::vector<std::string> r_cells = {StrFormat("%d", sparsity)};
+    for (const std::string& method : methods) {
+      auto aggregator = factories.at(method)(sparse.value());
+      const auto result = RunExperiment(*aggregator, sparse.value());
+      if (!result.ok()) {
+        p_cells.push_back("n/a");
+        r_cells.push_back("n/a");
+        continue;
+      }
+      p_cells.push_back(StrFormat("%.2f", result.value().metrics.precision));
+      r_cells.push_back(StrFormat("%.2f", result.value().metrics.recall));
+    }
+    std::fprintf(stderr, "[fig3] sparsity %d%% done\n", sparsity);
+    precision.AddRow(p_cells);
+    recall.AddRow(r_cells);
+  }
+  std::printf("\nPrecision vs sparsity\n");
+  precision.Print();
+  std::printf("\nRecall vs sparsity\n");
+  recall.Print();
+  std::printf(
+      "\nExpected shape (paper Fig 3): all methods degrade as answers are "
+      "removed, but CPA degrades the slowest — at 50%% sparsity the paper's "
+      "CPA retains ~86%% of its full-data precision, the baselines at most "
+      "~78%%.\n");
+  return 0;
+}

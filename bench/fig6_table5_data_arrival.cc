@@ -1,0 +1,131 @@
+/// Regenerates Fig 6 (online vs offline accuracy as data arrives, image
+/// dataset) and Table 5 (online vs offline at 100% for all five datasets,
+/// with deviation across shuffles).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/cpa.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "simulation/perturbations.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+using namespace cpa;
+
+namespace {
+
+struct OnlineRun {
+  std::vector<SetMetrics> per_step;  // after each arrival step
+};
+
+OnlineRun RunOnline(const Dataset& dataset, const CpaOptions& options,
+                    std::size_t steps, Rng& rng, bool record_steps) {
+  OnlineRun run;
+  auto online = CpaOnline::Create(dataset.num_items(), dataset.num_workers(),
+                                  dataset.num_labels, options, SviOptions());
+  CPA_CHECK(online.ok()) << online.status().ToString();
+  const BatchPlan plan = MakeArrivalSchedule(dataset.answers, steps, rng);
+  for (std::size_t step = 0; step < plan.num_batches(); ++step) {
+    CPA_CHECK_OK(online.value().ObserveBatch(dataset.answers, plan.batches[step]));
+    if (record_steps || step + 1 == plan.num_batches()) {
+      const auto prediction = online.value().Predict(dataset.answers);
+      CPA_CHECK(prediction.ok()) << prediction.status().ToString();
+      run.per_step.push_back(
+          ComputeSetMetrics(prediction.value().labels, dataset.ground_truth));
+    }
+  }
+  return run;
+}
+
+SetMetrics RunOfflinePrefix(const Dataset& dataset, const CpaOptions& options,
+                            const BatchPlan& plan, std::size_t steps_taken) {
+  const AnswerMatrix prefix = dataset.answers.Subset(plan.Prefix(steps_taken));
+  CpaAggregator offline(options);
+  const auto result = offline.Aggregate(prefix, dataset.num_labels);
+  CPA_CHECK(result.ok()) << result.status().ToString();
+  return ComputeSetMetrics(result.value().predictions, dataset.ground_truth);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig config = bench::ParseBenchConfig(argc, argv, 0.35, 3);
+  bench::PrintHeader(
+      "Fig 6 + Table 5 — effects of data arrival (online vs offline CPA)",
+      "Answers arrive in 10% steps; online = stochastic variational "
+      "inference (Algorithm 2), offline = full VI re-run on the data so far.",
+      config);
+
+  // --- Fig 6: image dataset, accuracy after each arrival step.
+  {
+    const Dataset dataset = bench::LoadPaperDataset(PaperDatasetId::kImage, config);
+    CpaOptions options =
+        CpaOptions::Recommended(dataset.num_items(), dataset.num_labels);
+    options.max_iterations = config.cpa_iterations;
+    Rng rng(config.seed ^ 0xF160ULL);
+    const BatchPlan plan = MakeArrivalSchedule(dataset.answers, 10, rng);
+    Rng online_rng(config.seed ^ 0xF160ULL);
+    const OnlineRun online = RunOnline(dataset, options, 10, online_rng, true);
+
+    TablePrinter table({"Arrival%", "P online", "P offline", "R online", "R offline"});
+    for (std::size_t step = 1; step <= 10; ++step) {
+      const SetMetrics offline = RunOfflinePrefix(dataset, options, plan, step);
+      const SetMetrics& online_metrics = online.per_step[step - 1];
+      table.AddRow({StrFormat("%zu0", step),
+                    StrFormat("%.2f", online_metrics.precision),
+                    StrFormat("%.2f", offline.precision),
+                    StrFormat("%.2f", online_metrics.recall),
+                    StrFormat("%.2f", offline.recall)});
+      std::fprintf(stderr, "[fig6] arrival %zu0%% done\n", step);
+    }
+    std::printf("\nFig 6 (image dataset)\n");
+    table.Print();
+  }
+
+  // --- Table 5: all five datasets at 100%, mean +- deviation over shuffles.
+  std::printf("\nTable 5 — accuracy at 100%% data arrival\n");
+  TablePrinter table(
+      {"Dataset", "P online", "P offline", "R online", "R offline"});
+  for (PaperDatasetId id : AllPaperDatasets()) {
+    const Dataset dataset = bench::LoadPaperDataset(id, config);
+    CpaOptions options =
+        CpaOptions::Recommended(dataset.num_items(), dataset.num_labels);
+    options.max_iterations = config.cpa_iterations;
+
+    double p_sum = 0.0, p_sq = 0.0, r_sum = 0.0, r_sq = 0.0;
+    for (std::size_t run = 0; run < config.runs; ++run) {
+      Rng rng(config.seed + 31 * run + 7);
+      const OnlineRun online = RunOnline(dataset, options, 10, rng, false);
+      const SetMetrics& metrics = online.per_step.back();
+      p_sum += metrics.precision;
+      p_sq += metrics.precision * metrics.precision;
+      r_sum += metrics.recall;
+      r_sq += metrics.recall * metrics.recall;
+    }
+    const double n = static_cast<double>(config.runs);
+    const double p_mean = p_sum / n;
+    const double r_mean = r_sum / n;
+    const double p_dev = std::sqrt(std::max(0.0, p_sq / n - p_mean * p_mean));
+    const double r_dev = std::sqrt(std::max(0.0, r_sq / n - r_mean * r_mean));
+
+    CpaAggregator offline(options);
+    const auto offline_result = RunExperiment(offline, dataset);
+    CPA_CHECK(offline_result.ok()) << offline_result.status().ToString();
+    table.AddRow({std::string(PaperDatasetName(id)),
+                  StrFormat("%.2f +-%.2f", p_mean, p_dev),
+                  StrFormat("%.2f", offline_result.value().metrics.precision),
+                  StrFormat("%.2f +-%.2f", r_mean, r_dev),
+                  StrFormat("%.2f", offline_result.value().metrics.recall)});
+    std::fprintf(stderr, "[table5] %s done\n", PaperDatasetName(id).data());
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Fig 6/Table 5): online tracks offline from "
+      "below, the gap shrinking as data arrives; at 100%% online is a few "
+      "points behind offline on every dataset (paper image: 0.76 vs 0.81 "
+      "precision, 0.70 vs 0.74 recall).\n");
+  return 0;
+}

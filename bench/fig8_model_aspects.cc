@@ -1,0 +1,67 @@
+/// Regenerates Fig 8 — the model ablation: full CPA vs "No Z" (community
+/// structure removed: every worker is a singleton community) vs "No L"
+/// (cluster structure removed: every item is a singleton cluster,
+/// bounded-exhaustive label-set search). As in the paper, No L is
+/// tractable only for the movie dataset (22 labels).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/cpa.h"
+#include "eval/experiment.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+using namespace cpa;
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  bench::PrintHeader("Fig 8 — effects of model aspects (CPA vs No Z vs No L)",
+                     "R1 ablation: worker communities; R3 ablation: item "
+                     "clusters.",
+                     config);
+
+  TablePrinter precision({"Dataset", "CPA", "No Z", "No L"});
+  TablePrinter recall({"Dataset", "CPA", "No Z", "No L"});
+  for (PaperDatasetId id : AllPaperDatasets()) {
+    const Dataset dataset = bench::LoadPaperDataset(id, config);
+    CpaOptions options =
+        CpaOptions::Recommended(dataset.num_items(), dataset.num_labels);
+    options.max_iterations = config.cpa_iterations;
+
+    std::vector<std::string> p_cells = {std::string(PaperDatasetName(id))};
+    std::vector<std::string> r_cells = {std::string(PaperDatasetName(id))};
+    for (CpaVariant variant :
+         {CpaVariant::kFull, CpaVariant::kNoZ, CpaVariant::kNoL}) {
+      CpaAggregator aggregator(options, variant);
+      const auto result = RunExperiment(aggregator, dataset);
+      if (!result.ok()) {
+        // The paper: "the No L model turned out to be intractable for all
+        // except the movie dataset".
+        p_cells.push_back("intractable");
+        r_cells.push_back("intractable");
+        std::fprintf(stderr, "[fig8] %s/%s: %s\n", PaperDatasetName(id).data(),
+                     CpaVariantName(variant).data(),
+                     result.status().ToString().c_str());
+        continue;
+      }
+      p_cells.push_back(StrFormat("%.2f", result.value().metrics.precision));
+      r_cells.push_back(StrFormat("%.2f", result.value().metrics.recall));
+      std::fprintf(stderr, "[fig8] %s/%s done in %.1fs\n",
+                   PaperDatasetName(id).data(), CpaVariantName(variant).data(),
+                   result.value().seconds);
+    }
+    precision.AddRow(p_cells);
+    recall.AddRow(r_cells);
+  }
+  std::printf("\nPrecision\n");
+  precision.Print();
+  std::printf("\nRecall\n");
+  recall.Print();
+  std::printf(
+      "\nExpected shape (paper Fig 8): full CPA highest throughout; No Z "
+      "(no communities) loses precision most — communities identify faulty "
+      "workers; No L (no clusters) loses recall most — clusters complete "
+      "missing labels via co-occurrence; No L runs only on movie.\n");
+  return 0;
+}

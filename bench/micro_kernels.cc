@@ -1,0 +1,143 @@
+/// google-benchmark microbenchmarks of the inference and prediction
+/// kernels (the per-sweep costs behind Fig 7's curves).
+
+#include <benchmark/benchmark.h>
+
+#include "core/cpa.h"
+#include "core/vi.h"
+#include "data/dataset.h"
+#include "simulation/dataset_factory.h"
+#include "util/rng.h"
+#include "util/special_functions.h"
+
+namespace cpa {
+namespace {
+
+void BM_Digamma(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Digamma(x));
+    x = x > 100.0 ? 0.1 : x + 0.1;
+  }
+}
+BENCHMARK(BM_Digamma);
+
+void BM_LogSumExp(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> values(state.range(0));
+  for (double& v : values) v = -10.0 * rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogSumExp(values));
+  }
+}
+BENCHMARK(BM_LogSumExp)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SoftmaxInPlace(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> values(state.range(0));
+  for (auto _ : state) {
+    for (double& v : values) v = -10.0 * rng.NextDouble();
+    SoftmaxInPlace(values);
+    benchmark::DoNotOptimize(values.data());
+  }
+}
+BENCHMARK(BM_SoftmaxInPlace)->Arg(64)->Arg(1024);
+
+/// Shared fixture: a small fitted model over a simulated movie dataset.
+struct FittedFixture {
+  Dataset dataset;
+  CpaModel model;
+
+  static FittedFixture& Get() {
+    static FittedFixture* fixture = [] {
+      auto* f = new FittedFixture();
+      FactoryOptions options;
+      options.scale = 0.2;
+      auto dataset = MakePaperDataset(PaperDatasetId::kMovie, options);
+      CPA_CHECK(dataset.ok());
+      f->dataset = std::move(dataset).value();
+      CpaOptions cpa_options =
+          CpaOptions::Recommended(f->dataset.num_items(), f->dataset.num_labels);
+      cpa_options.max_iterations = 10;
+      auto model = FitCpa(f->dataset.answers, f->dataset.num_labels, cpa_options);
+      CPA_CHECK(model.ok());
+      f->model = std::move(model).value();
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_UpdateWorkerResponsibility(benchmark::State& state) {
+  FittedFixture& f = FittedFixture::Get();
+  CpaModel model = f.model;
+  WorkerId u = 0;
+  for (auto _ : state) {
+    internal::UpdateWorkerResponsibility(model, f.dataset.answers, u,
+                                         f.dataset.answers.AnswersOfWorker(u));
+    u = (u + 1) % model.num_workers();
+  }
+}
+BENCHMARK(BM_UpdateWorkerResponsibility);
+
+void BM_UpdateItemResponsibility(benchmark::State& state) {
+  FittedFixture& f = FittedFixture::Get();
+  CpaModel model = f.model;
+  ItemId i = 0;
+  for (auto _ : state) {
+    internal::UpdateItemResponsibility(model, f.dataset.answers, i,
+                                       f.dataset.answers.AnswersOfItem(i));
+    i = (i + 1) % model.num_items();
+  }
+}
+BENCHMARK(BM_UpdateItemResponsibility);
+
+void BM_UpdateLambda(benchmark::State& state) {
+  FittedFixture& f = FittedFixture::Get();
+  CpaModel model = f.model;
+  for (auto _ : state) {
+    internal::UpdateLambda(model, f.dataset.answers);
+  }
+}
+BENCHMARK(BM_UpdateLambda);
+
+void BM_UpdateThetaChannel(benchmark::State& state) {
+  FittedFixture& f = FittedFixture::Get();
+  CpaModel model = f.model;
+  for (auto _ : state) {
+    internal::UpdateThetaChannel(model);
+  }
+}
+BENCHMARK(BM_UpdateThetaChannel);
+
+void BM_RefreshExpectations(benchmark::State& state) {
+  FittedFixture& f = FittedFixture::Get();
+  CpaModel model = f.model;
+  for (auto _ : state) {
+    model.RefreshExpectations();
+  }
+}
+BENCHMARK(BM_RefreshExpectations);
+
+void BM_PredictLabels(benchmark::State& state) {
+  FittedFixture& f = FittedFixture::Get();
+  for (auto _ : state) {
+    auto prediction = PredictLabels(f.model, f.dataset.answers);
+    CPA_CHECK(prediction.ok());
+    benchmark::DoNotOptimize(prediction.value().labels.data());
+  }
+}
+BENCHMARK(BM_PredictLabels);
+
+void BM_ComputeElbo(benchmark::State& state) {
+  FittedFixture& f = FittedFixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeElbo(f.model, f.dataset.answers));
+  }
+}
+BENCHMARK(BM_ComputeElbo);
+
+}  // namespace
+}  // namespace cpa
+
+BENCHMARK_MAIN();

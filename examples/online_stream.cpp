@@ -1,0 +1,58 @@
+/// Online aggregation: answers stream in batch by batch (Algorithm 2);
+/// intermediate consensus is available at any time — the paper's §4.1
+/// motivation (terminate a campaign early once quality suffices, or spot
+/// tasks that are too hard).
+///
+///   $ ./online_stream [--scale 0.25] [--batches 10]
+
+#include <cstdio>
+
+#include "core/cpa.h"
+#include "eval/metrics.h"
+#include "simulation/dataset_factory.h"
+#include "simulation/perturbations.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+using namespace cpa;
+
+int main(int argc, char** argv) {
+  const auto flags = Flags::Parse(argc, argv);
+  CPA_CHECK(flags.ok()) << flags.status().ToString();
+  FactoryOptions factory_options;
+  factory_options.scale = flags.value().GetDouble("scale", 0.25);
+  const std::size_t steps =
+      static_cast<std::size_t>(flags.value().GetInt("batches", 10));
+
+  auto dataset = MakePaperDataset(PaperDatasetId::kTopic, factory_options);
+  CPA_CHECK(dataset.ok()) << dataset.status().ToString();
+  const Dataset& d = dataset.value();
+  std::printf("streaming %zu answers for %zu tweets in %zu batches\n\n",
+              d.answers.num_answers(), d.num_items(), steps);
+
+  CpaOptions options = CpaOptions::Recommended(d.num_items(), d.num_labels);
+  auto online = CpaOnline::Create(d.num_items(), d.num_workers(), d.num_labels,
+                                  options, SviOptions());
+  CPA_CHECK(online.ok()) << online.status().ToString();
+
+  Rng rng(7);
+  const BatchPlan plan = MakeArrivalSchedule(d.answers, steps, rng);
+  Stopwatch total;
+  std::printf("batch   answers-so-far   precision   recall   learn-rate   t(s)\n");
+  std::printf("------------------------------------------------------------------\n");
+  for (std::size_t step = 0; step < plan.num_batches(); ++step) {
+    CPA_CHECK_OK(online.value().ObserveBatch(d.answers, plan.batches[step]));
+    const auto prediction = online.value().Predict(d.answers);
+    CPA_CHECK(prediction.ok()) << prediction.status().ToString();
+    const SetMetrics metrics =
+        ComputeSetMetrics(prediction.value().labels, d.ground_truth);
+    std::printf("%5zu   %14zu   %9.3f   %6.3f   %10.3f   %4.1f\n", step + 1,
+                online.value().answers_seen(), metrics.precision, metrics.recall,
+                online.value().last_learning_rate(), total.ElapsedSeconds());
+  }
+  std::printf(
+      "\nAccuracy climbs as answers arrive; the final consensus is computed "
+      "without ever re-fitting the model from scratch (compare the offline "
+      "re-fit cost in bench/fig7_runtime).\n");
+  return 0;
+}

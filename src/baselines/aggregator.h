@@ -1,0 +1,54 @@
+#ifndef CPA_BASELINES_AGGREGATOR_H_
+#define CPA_BASELINES_AGGREGATOR_H_
+
+/// \file aggregator.h
+/// \brief The common interface of all answer-aggregation methods.
+///
+/// Problem 1 of the paper: given the answer matrix `M`, construct a
+/// deterministic assignment `d : I → 2^Z`. Aggregators see *only* the
+/// answers and the size of the label universe — never the ground truth —
+/// which mirrors the paper's fully unsupervised evaluation (`y = ∅`).
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "data/answer_matrix.h"
+#include "data/label_set.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace cpa {
+
+/// \brief Output of an aggregation run.
+struct AggregationResult {
+  /// The deterministic assignment `d`: one label set per item. Items
+  /// without answers receive empty sets.
+  std::vector<LabelSet> predictions;
+
+  /// Soft per-label scores (I × C); semantics are method specific
+  /// (vote ratios for MV, posterior label probabilities for the
+  /// model-based methods). May be empty for methods without soft output.
+  Matrix label_scores;
+
+  /// Iterations the solver used (0 for non-iterative methods).
+  std::size_t iterations = 0;
+};
+
+/// \brief Interface implemented by every aggregation method (the baselines
+/// of §5.1 and the CPA model itself).
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Short display name ("MV", "EM", "cBCC", "CPA", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Solves Problem 1 for the given answers over `num_labels` labels.
+  virtual Result<AggregationResult> Aggregate(const AnswerMatrix& answers,
+                                              std::size_t num_labels) = 0;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_BASELINES_AGGREGATOR_H_

@@ -1,0 +1,131 @@
+#include "baselines/bcc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/vote_stats.h"
+#include "util/special_functions.h"
+
+namespace cpa {
+namespace {
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// E[ln p] and E[ln (1-p)] for p ~ Beta(a, b).
+struct BetaLogs {
+  double log_p;
+  double log_not_p;
+};
+
+BetaLogs ExpectedLogs(double a, double b) {
+  const double d = Digamma(a + b);
+  return BetaLogs{Digamma(a) - d, Digamma(b) - d};
+}
+
+}  // namespace
+
+Result<AggregationResult> Bcc::Aggregate(const AnswerMatrix& answers,
+                                         std::size_t num_labels) {
+  if (num_labels == 0) return Status::InvalidArgument("num_labels must be positive");
+  const std::size_t num_items = answers.num_items();
+  const std::size_t num_workers = answers.num_workers();
+  const VoteStats votes = CountVotes(answers, num_labels);
+
+  AggregationResult result;
+  result.predictions.resize(num_items);
+  result.label_scores.Reset(num_items, num_labels);
+
+  std::vector<double> q(num_items);
+  std::vector<BetaLogs> sens_logs(num_workers);
+  std::vector<BetaLogs> spec_logs(num_workers);
+  std::vector<double> ll1(num_items);
+  std::vector<double> ll0(num_items);
+  std::vector<double> sens_a(num_workers);
+  std::vector<double> sens_b(num_workers);
+  std::vector<double> spec_a(num_workers);
+  std::vector<double> spec_b(num_workers);
+
+  std::size_t total_iterations = 0;
+  for (LabelId c = 0; c < num_labels; ++c) {
+    for (ItemId i = 0; i < num_items; ++i) {
+      q[i] = std::clamp((votes.votes(i, c) + 0.5) / (votes.answered[i] + 1.0), 1e-6,
+                        1.0 - 1e-6);
+    }
+    double class_a = options_.prior_class;
+    double class_b = options_.prior_class;
+
+    double change = 1.0;
+    for (std::size_t iter = 0;
+         iter < options_.max_iterations && change > options_.tolerance; ++iter) {
+      ++total_iterations;
+      // --- Update worker Beta posteriors from soft counts.
+      std::fill(sens_a.begin(), sens_a.end(), options_.prior_correct);
+      std::fill(sens_b.begin(), sens_b.end(), options_.prior_incorrect);
+      std::fill(spec_a.begin(), spec_a.end(), options_.prior_correct);
+      std::fill(spec_b.begin(), spec_b.end(), options_.prior_incorrect);
+      class_a = options_.prior_class;
+      class_b = options_.prior_class;
+      for (const Answer& a : answers.answers()) {
+        const bool vote = a.labels.Contains(c);
+        const double qi = q[a.item];
+        if (vote) {
+          sens_a[a.worker] += qi;
+          spec_b[a.worker] += 1.0 - qi;
+        } else {
+          sens_b[a.worker] += qi;
+          spec_a[a.worker] += 1.0 - qi;
+        }
+      }
+      for (ItemId i = 0; i < num_items; ++i) {
+        if (votes.answered[i] > 0.0) {
+          class_a += q[i];
+          class_b += 1.0 - q[i];
+        }
+      }
+      for (WorkerId u = 0; u < num_workers; ++u) {
+        sens_logs[u] = ExpectedLogs(sens_a[u], sens_b[u]);
+        spec_logs[u] = ExpectedLogs(spec_a[u], spec_b[u]);
+      }
+      const BetaLogs class_logs = ExpectedLogs(class_a, class_b);
+
+      // --- Update item posteriors under expected log-likelihoods.
+      std::fill(ll1.begin(), ll1.end(), 0.0);
+      std::fill(ll0.begin(), ll0.end(), 0.0);
+      for (const Answer& a : answers.answers()) {
+        const bool vote = a.labels.Contains(c);
+        if (vote) {
+          ll1[a.item] += sens_logs[a.worker].log_p;       // E[ln sens]
+          ll0[a.item] += spec_logs[a.worker].log_not_p;   // E[ln (1-spec)]
+        } else {
+          ll1[a.item] += sens_logs[a.worker].log_not_p;   // E[ln (1-sens)]
+          ll0[a.item] += spec_logs[a.worker].log_p;       // E[ln spec]
+        }
+      }
+      change = 0.0;
+      for (ItemId i = 0; i < num_items; ++i) {
+        if (votes.answered[i] <= 0.0) continue;
+        const double updated =
+            Sigmoid(class_logs.log_p - class_logs.log_not_p + ll1[i] - ll0[i]);
+        change = std::max(change, std::abs(updated - q[i]));
+        q[i] = updated;
+      }
+    }
+
+    for (ItemId i = 0; i < num_items; ++i) {
+      const double score = votes.answered[i] > 0.0 ? q[i] : 0.0;
+      result.label_scores(i, c) = score;
+      if (score > options_.threshold) result.predictions[i].Add(c);
+    }
+  }
+  result.iterations = total_iterations;
+  return result;
+}
+
+}  // namespace cpa

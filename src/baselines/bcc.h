@@ -1,0 +1,51 @@
+#ifndef CPA_BASELINES_BCC_H_
+#define CPA_BASELINES_BCC_H_
+
+/// \file bcc.h
+/// \brief Bayesian Classifier Combination (BCC) — variational Bayesian
+/// Dawid–Skene [51].
+///
+/// Same per-label decomposition as `DawidSkene`, but every worker's
+/// two-coin confusion and the class prior carry Beta priors, and inference
+/// uses variational Bayes (digamma expectations instead of ML point
+/// estimates). The Bayesian smoothing is what makes BCC noticeably more
+/// robust than plain EM on sparse answer matrices.
+
+#include "baselines/aggregator.h"
+
+namespace cpa {
+
+/// \brief Options of the BCC aggregator.
+struct BccOptions {
+  std::size_t max_iterations = 30;
+  double tolerance = 1e-4;
+
+  /// Beta prior on sensitivity and specificity: Beta(prior_correct,
+  /// prior_incorrect). Mildly informative toward honest workers.
+  double prior_correct = 2.0;
+  double prior_incorrect = 1.0;
+
+  /// Beta prior on the per-label class prior.
+  double prior_class = 1.0;
+
+  /// Decision threshold on the posterior.
+  double threshold = 0.5;
+};
+
+/// \brief Per-label variational Bayesian Dawid–Skene.
+class Bcc : public Aggregator {
+ public:
+  explicit Bcc(BccOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "BCC"; }
+
+  Result<AggregationResult> Aggregate(const AnswerMatrix& answers,
+                                      std::size_t num_labels) override;
+
+ private:
+  BccOptions options_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_BASELINES_BCC_H_

@@ -1,0 +1,54 @@
+#ifndef CPA_BASELINES_DAWID_SKENE_H_
+#define CPA_BASELINES_DAWID_SKENE_H_
+
+/// \file dawid_skene.h
+/// \brief Dawid–Skene expectation maximisation — the paper's "EM" baseline.
+///
+/// The multi-label problem is decomposed into `C` binary problems
+/// (vote_stats.h). For each label, workers carry a two-coin confusion model
+/// (sensitivity / specificity, [54]); EM alternates between item-truth
+/// posteriors and maximum-likelihood worker parameters [40]. The optional
+/// mislabeling-cost refinement of Ipeirotis et al. [15] down-weights
+/// workers by their expected cost (Youden's J quality) in a second phase.
+
+#include "baselines/aggregator.h"
+
+namespace cpa {
+
+/// \brief Options of the Dawid–Skene aggregator.
+struct DawidSkeneOptions {
+  /// Maximum EM iterations per label.
+  std::size_t max_iterations = 30;
+
+  /// Convergence threshold on the largest item-posterior change.
+  double tolerance = 1e-4;
+
+  /// Laplace smoothing added to the worker confusion counts.
+  double smoothing = 1.0;
+
+  /// Decision threshold on the posterior.
+  double threshold = 0.5;
+
+  /// Enables the Ipeirotis-style mislabeling-cost reweighting [15].
+  bool use_mislabeling_cost = false;
+};
+
+/// \brief Per-label binary Dawid–Skene EM.
+class DawidSkene : public Aggregator {
+ public:
+  explicit DawidSkene(DawidSkeneOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override {
+    return options_.use_mislabeling_cost ? "EM+cost" : "EM";
+  }
+
+  Result<AggregationResult> Aggregate(const AnswerMatrix& answers,
+                                      std::size_t num_labels) override;
+
+ private:
+  DawidSkeneOptions options_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_BASELINES_DAWID_SKENE_H_

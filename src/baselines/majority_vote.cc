@@ -1,0 +1,35 @@
+#include "baselines/majority_vote.h"
+
+#include "baselines/vote_stats.h"
+
+namespace cpa {
+
+Result<AggregationResult> MajorityVote::Aggregate(const AnswerMatrix& answers,
+                                                  std::size_t num_labels) {
+  if (num_labels == 0) return Status::InvalidArgument("num_labels must be positive");
+  const VoteStats stats = CountVotes(answers, num_labels);
+
+  AggregationResult result;
+  result.predictions.resize(answers.num_items());
+  result.label_scores.Reset(answers.num_items(), num_labels);
+  for (ItemId i = 0; i < answers.num_items(); ++i) {
+    LabelId best_label = 0;
+    double best_ratio = -1.0;
+    for (LabelId c = 0; c < num_labels; ++c) {
+      const double ratio = stats.Ratio(i, c);
+      result.label_scores(i, c) = ratio;
+      if (ratio > options_.threshold) result.predictions[i].Add(c);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_label = c;
+      }
+    }
+    if (options_.fallback_to_top_label && result.predictions[i].empty() &&
+        stats.answered[i] > 0.0 && best_ratio > 0.0) {
+      result.predictions[i].Add(best_label);
+    }
+  }
+  return result;
+}
+
+}  // namespace cpa

@@ -1,0 +1,43 @@
+#ifndef CPA_BASELINES_MAJORITY_VOTE_H_
+#define CPA_BASELINES_MAJORITY_VOTE_H_
+
+/// \file majority_vote.h
+/// \brief Majority voting (MV), the paper's first baseline.
+///
+/// "The probability to accept a label for an item is computed as the ratio
+/// of 'votes' from workers who provided an answer for an item"; the label
+/// is included when the ratio exceeds 0.5 (§2.1, §5.1). Reproduces the
+/// `Majority` column of Table 1 exactly.
+
+#include "baselines/aggregator.h"
+
+namespace cpa {
+
+/// \brief Options of the MV aggregator.
+struct MajorityVoteOptions {
+  /// Inclusion threshold on the vote ratio (paper: 0.5, strict).
+  double threshold = 0.5;
+
+  /// When true, an item whose ratios never exceed the threshold receives
+  /// its single best-voted label instead of an empty set. The paper's MV
+  /// is literal (false).
+  bool fallback_to_top_label = false;
+};
+
+/// \brief The MV aggregator.
+class MajorityVote : public Aggregator {
+ public:
+  explicit MajorityVote(MajorityVoteOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "MV"; }
+
+  Result<AggregationResult> Aggregate(const AnswerMatrix& answers,
+                                      std::size_t num_labels) override;
+
+ private:
+  MajorityVoteOptions options_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_BASELINES_MAJORITY_VOTE_H_

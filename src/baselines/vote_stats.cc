@@ -1,0 +1,18 @@
+#include "baselines/vote_stats.h"
+
+namespace cpa {
+
+VoteStats CountVotes(const AnswerMatrix& answers, std::size_t num_labels) {
+  VoteStats stats;
+  stats.votes.Reset(answers.num_items(), num_labels);
+  stats.answered.assign(answers.num_items(), 0.0);
+  for (const Answer& a : answers.answers()) {
+    stats.answered[a.item] += 1.0;
+    for (LabelId c : a.labels) {
+      stats.votes(a.item, c) += 1.0;
+    }
+  }
+  return stats;
+}
+
+}  // namespace cpa

@@ -1,0 +1,41 @@
+#ifndef CPA_BASELINES_VOTE_STATS_H_
+#define CPA_BASELINES_VOTE_STATS_H_
+
+/// \file vote_stats.h
+/// \brief Per-label vote counting — the single-label decomposition shared
+/// by the baseline methods.
+///
+/// The baselines treat the multi-label problem as `C` independent binary
+/// problems ("each worker giving a Boolean answer for a given label",
+/// §5.1): a worker who answered item `i` with set `x_iu` votes *for* every
+/// `c ∈ x_iu` and — crucially, this is the information loss the paper
+/// criticises — *against* every other label of the universe.
+
+#include <cstddef>
+
+#include "data/answer_matrix.h"
+#include "util/matrix.h"
+
+namespace cpa {
+
+/// \brief Positive-vote counts and per-item answer counts.
+struct VoteStats {
+  /// votes(i, c) = number of workers who assigned label c to item i.
+  Matrix votes;
+
+  /// answered[i] = number of workers who answered item i at all.
+  std::vector<double> answered;
+
+  /// Ratio of positive votes for (i, c); 0 when the item has no answers.
+  double Ratio(ItemId item, LabelId label) const {
+    const double n = answered[item];
+    return n > 0.0 ? votes(item, label) / n : 0.0;
+  }
+};
+
+/// Counts votes over the full matrix.
+VoteStats CountVotes(const AnswerMatrix& answers, std::size_t num_labels);
+
+}  // namespace cpa
+
+#endif  // CPA_BASELINES_VOTE_STATS_H_

@@ -1,0 +1,279 @@
+#include "core/cpa_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/special_functions.h"
+#include "util/string_utils.h"
+
+namespace cpa {
+
+CpaOptions CpaOptions::Recommended(std::size_t num_items, std::size_t num_labels) {
+  CpaOptions options;
+  options.max_communities = 8;
+  // ~100 MB for λ + its expectation cache at 8 bytes a double.
+  const std::size_t bank_entry_budget = 6'000'000;
+  const std::size_t memory_cap = std::max<std::size_t>(
+      32, bank_entry_budget / (options.max_communities * std::max<std::size_t>(1, num_labels)));
+  // With few labels there are at most 2^C distinct label sets to represent.
+  const std::size_t combinatorial_cap =
+      num_labels < 16 ? (std::size_t{1} << num_labels) : std::size_t{1} << 16;
+  options.max_clusters = std::max<std::size_t>(
+      16, std::min({num_items + 16, memory_cap, combinatorial_cap}));
+  return options;
+}
+
+Status CpaOptions::Validate() const {
+  if (max_communities == 0) return Status::InvalidArgument("max_communities must be > 0");
+  if (max_clusters == 0) return Status::InvalidArgument("max_clusters must be > 0");
+  if (alpha <= 0.0 || epsilon <= 0.0) {
+    return Status::InvalidArgument("CRP concentrations must be positive");
+  }
+  if (lambda0 <= 0.0 || zeta0 <= 0.0) {
+    return Status::InvalidArgument("Dirichlet priors must be positive");
+  }
+  if (theta_prior_mean < 0.0 || theta_prior_mean >= 1.0) {
+    return Status::InvalidArgument("theta_prior_mean must lie in [0, 1)");
+  }
+  if (theta_prior_strength <= 0.0) {
+    return Status::InvalidArgument("theta_prior_strength must be positive");
+  }
+  if (max_iterations == 0) return Status::InvalidArgument("max_iterations must be > 0");
+  if (tolerance <= 0.0) return Status::InvalidArgument("tolerance must be positive");
+  if (reliability_floor < 0.0 || reliability_floor > 1.0) {
+    return Status::InvalidArgument("reliability_floor must lie in [0, 1]");
+  }
+  if (prediction_candidates_per_cluster == 0) {
+    return Status::InvalidArgument("prediction_candidates_per_cluster must be > 0");
+  }
+  return Status::OK();
+}
+
+void StickBreakingExpectedLog(const Matrix& sticks, std::vector<double>& out) {
+  const std::size_t K = sticks.rows() + 1;
+  out.assign(K, 0.0);
+  double acc_log_one_minus = 0.0;
+  for (std::size_t k = 0; k < K; ++k) {
+    if (k + 1 < K) {
+      const double a = sticks(k, 0);
+      const double b = sticks(k, 1);
+      const double digamma_ab = Digamma(a + b);
+      out[k] = Digamma(a) - digamma_ab + acc_log_one_minus;
+      acc_log_one_minus += Digamma(b) - digamma_ab;
+    } else {
+      // Last component absorbs the remaining stick: π'_K = 1.
+      out[k] = acc_log_one_minus;
+    }
+  }
+}
+
+Result<CpaModel> CpaModel::Create(std::size_t num_items, std::size_t num_workers,
+                                  std::size_t num_labels, const CpaOptions& options) {
+  CPA_RETURN_NOT_OK(options.Validate());
+  if (num_labels == 0) return Status::InvalidArgument("num_labels must be positive");
+
+  CpaModel model;
+  model.options_ = options;
+  model.num_items_ = num_items;
+  model.num_workers_ = num_workers;
+  model.num_labels_ = num_labels;
+  model.M_ = options.singleton_communities ? std::max<std::size_t>(1, num_workers)
+                                           : options.max_communities;
+  model.T_ = options.singleton_clusters ? std::max<std::size_t>(1, num_items)
+                                        : options.max_clusters;
+
+  const std::size_t lambda_entries = model.T_ * model.M_ * num_labels;
+  if (lambda_entries > options.no_l_parameter_limit) {
+    return Status::Unimplemented(StrFormat(
+        "confusion bank needs %zu parameters (> limit %zu); the paper likewise "
+        "reports this configuration as intractable (§5.4)",
+        lambda_entries, options.no_l_parameter_limit));
+  }
+
+  Rng rng(options.seed);
+
+  // Responsibilities: near-uniform with multiplicative jitter, so symmetry
+  // between the truncated components is broken deterministically.
+  const auto init_responsibilities = [&rng](Matrix& m, bool identity) {
+    if (identity) {
+      m.Fill(0.0);
+      for (std::size_t r = 0; r < m.rows(); ++r) m(r, r % m.cols()) = 1.0;
+      return;
+    }
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      auto row = m.Row(r);
+      for (double& v : row) v = 1.0 + 0.1 * rng.NextDouble();
+      NormalizeInPlace(row);
+    }
+  };
+  model.kappa.Reset(num_workers, model.M_);
+  init_responsibilities(model.kappa, options.singleton_communities);
+  model.phi.Reset(num_items, model.T_);
+  init_responsibilities(model.phi, options.singleton_clusters);
+
+  model.rho.Reset(model.M_ > 1 ? model.M_ - 1 : 0, 2, 1.0);
+  for (std::size_t m = 0; m + 1 < model.M_; ++m) model.rho(m, 1) = options.alpha;
+  model.upsilon.Reset(model.T_ > 1 ? model.T_ - 1 : 0, 2, 1.0);
+  for (std::size_t t = 0; t + 1 < model.T_; ++t) model.upsilon(t, 1) = options.epsilon;
+
+  model.lambda.assign(model.T_, Matrix(model.M_, num_labels, options.lambda0));
+  // Jitter λ slightly so confusion vectors are not exactly symmetric.
+  for (auto& bank : model.lambda) {
+    for (double& v : bank.Data()) v += 0.01 * options.lambda0 * rng.NextDouble();
+  }
+  model.zeta.Reset(model.T_, num_labels, options.zeta0);
+  model.theta_prior_mean_ =
+      options.theta_prior_mean > 0.0 ? options.theta_prior_mean : 0.1;
+  model.theta_a.Reset(model.T_, num_labels, model.theta_prior_on());
+  model.theta_b.Reset(model.T_, num_labels, model.theta_prior_off());
+
+  model.y_evidence.assign(num_items, {});
+  model.y_evidence_weight.assign(num_items, 0.0);
+  model.size_prior.Reset(model.T_, 1, 1.0);
+  model.bernoulli_profile.Reset(model.T_, num_labels, 0.5);
+  model.RefreshExpectations();
+  return model;
+}
+
+void CpaModel::RefreshExpectations() {
+  StickBreakingExpectedLog(rho, elog_pi);
+  StickBreakingExpectedLog(upsilon, elog_tau);
+  if (elog_psi.size() != T_) elog_psi.assign(T_, Matrix(M_, num_labels_));
+  for (std::size_t t = 0; t < T_; ++t) {
+    for (std::size_t m = 0; m < M_; ++m) {
+      DirichletExpectedLog(lambda[t].Row(m), elog_psi[t].Row(m));
+    }
+  }
+  elog_phi.Reset(T_, num_labels_);
+  for (std::size_t t = 0; t < T_; ++t) {
+    DirichletExpectedLog(zeta.Row(t), elog_phi.Row(t));
+  }
+  RefreshThetaExpectations();
+}
+
+void CpaModel::SetThetaPriorMean(double mean) {
+  theta_prior_mean_ = std::clamp(mean, 0.005, 0.45);
+}
+
+void CpaModel::RefreshThetaExpectations() {
+  elog_theta.Reset(T_, num_labels_);
+  elog_not_theta.Reset(T_, num_labels_);
+  elog_theta_base.assign(T_, 0.0);
+  bernoulli_profile.Reset(T_, num_labels_);
+  for (std::size_t t = 0; t < T_; ++t) {
+    double base = 0.0;
+    for (std::size_t c = 0; c < num_labels_; ++c) {
+      const double a = theta_a(t, c);
+      const double b = theta_b(t, c);
+      const double digamma_ab = Digamma(a + b);
+      elog_theta(t, c) = Digamma(a) - digamma_ab;
+      elog_not_theta(t, c) = Digamma(b) - digamma_ab;
+      base += elog_not_theta(t, c);
+      bernoulli_profile(t, c) = a / (a + b);
+    }
+    elog_theta_base[t] = base;
+  }
+}
+
+double CpaModel::AnswerExpectedLogLik(std::size_t t, std::size_t m,
+                                      const LabelSet& labels) const {
+  const auto row = elog_psi[t].Row(m);
+  double total = 0.0;
+  for (LabelId c : labels) total += row[c];
+  return total;
+}
+
+void CpaModel::UpdateSizePrior(const AnswerMatrix& answers) {
+  std::size_t max_size = 1;
+  for (const Answer& a : answers.answers()) {
+    max_size = std::max(max_size, a.labels.size());
+  }
+  const std::size_t S = max_size + 2;  // allow completion beyond observed sizes
+  size_prior.Reset(T_, S + 1, 0.5);    // Laplace smoothing
+  for (const Answer& a : answers.answers()) {
+    const auto phi_row = phi.Row(a.item);
+    const std::size_t n = a.labels.size();
+    for (std::size_t t = 0; t < T_; ++t) {
+      size_prior(t, n) += phi_row[t];
+    }
+  }
+  size_prior.NormalizeRows();
+}
+
+std::size_t CpaModel::WorkerCommunity(WorkerId u) const { return kappa.ArgMaxRow(u); }
+
+std::size_t CpaModel::ItemCluster(ItemId i) const { return phi.ArgMaxRow(i); }
+
+std::vector<double> CpaModel::CommunitySizes() const {
+  std::vector<double> sizes(M_, 0.0);
+  for (std::size_t u = 0; u < num_workers_; ++u) {
+    const auto row = kappa.Row(u);
+    for (std::size_t m = 0; m < M_; ++m) sizes[m] += row[m];
+  }
+  return sizes;
+}
+
+std::vector<double> CpaModel::ClusterSizes() const {
+  std::vector<double> sizes(T_, 0.0);
+  for (std::size_t i = 0; i < num_items_; ++i) {
+    const auto row = phi.Row(i);
+    for (std::size_t t = 0; t < T_; ++t) sizes[t] += row[t];
+  }
+  return sizes;
+}
+
+std::vector<double> CpaModel::PsiMean(std::size_t t, std::size_t m) const {
+  const auto row = lambda[t].Row(m);
+  std::vector<double> mean(row.begin(), row.end());
+  NormalizeInPlace(mean);
+  return mean;
+}
+
+std::vector<double> CpaModel::PhiMean(std::size_t t) const {
+  const auto row = zeta.Row(t);
+  std::vector<double> mean(row.begin(), row.end());
+  NormalizeInPlace(mean);
+  return mean;
+}
+
+std::vector<double> CpaModel::CommunityReliability() const {
+  const std::vector<double> cluster_sizes = ClusterSizes();
+  std::vector<double> weights = cluster_sizes;
+  NormalizeInPlace(weights);
+
+  std::vector<double> reliability(M_, 0.0);
+  std::vector<double> psi_mean;
+  std::vector<double> phi_mean;
+  for (std::size_t m = 0; m < M_; ++m) {
+    double score = 0.0;
+    for (std::size_t t = 0; t < T_; ++t) {
+      if (weights[t] <= 1e-9) continue;
+      psi_mean = PsiMean(t, m);
+      phi_mean = PhiMean(t);
+      score += weights[t] * CosineSimilarity(psi_mean, phi_mean);
+    }
+    reliability[m] = std::clamp(score, options_.reliability_floor, 1.0);
+  }
+  return reliability;
+}
+
+namespace {
+
+std::size_t CountEffective(const std::vector<double>& sizes, double min_weight) {
+  std::size_t count = 0;
+  for (double s : sizes) count += (s >= min_weight);
+  return count;
+}
+
+}  // namespace
+
+std::size_t CpaModel::EffectiveCommunities(double min_weight) const {
+  return CountEffective(CommunitySizes(), min_weight);
+}
+
+std::size_t CpaModel::EffectiveClusters(double min_weight) const {
+  return CountEffective(ClusterSizes(), min_weight);
+}
+
+}  // namespace cpa

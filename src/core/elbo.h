@@ -1,0 +1,43 @@
+#ifndef CPA_CORE_ELBO_H_
+#define CPA_CORE_ELBO_H_
+
+/// \file elbo.h
+/// \brief The evidence lower bound of the CPA mean-field approximation.
+///
+/// `L(Θ) = E_q[ln p(Θ, x, ỹ)] − E_q[ln q(Θ)]` over the truncated
+/// stick-breaking representation (§3.3, Appendix C). The label evidence ỹ
+/// is treated as observed data; with the strategy frozen during a sweep,
+/// coordinate ascent must not decrease this quantity — the property test
+/// in `tests/core/elbo_test.cc` checks exactly that.
+
+#include "core/cpa_model.h"
+#include "data/answer_matrix.h"
+
+namespace cpa {
+
+/// \brief Per-term breakdown of the bound (useful for debugging which
+/// update regressed).
+struct ElboTerms {
+  double answer_loglik = 0.0;      ///< E[ln p(x | z, l, ψ)] + multinomial coefs
+  double community_prior = 0.0;    ///< E[ln p(z | π)]
+  double cluster_prior = 0.0;      ///< E[ln p(l | τ)]
+  double label_loglik = 0.0;       ///< E[ln p(ỹ | l, φ)]
+  double stick_priors = 0.0;       ///< E[ln p(π′)] + E[ln p(τ′)]
+  double dirichlet_priors = 0.0;   ///< E[ln p(ψ)] + E[ln p(φ)]
+  double entropy = 0.0;            ///< −E[ln q]
+
+  double Total() const {
+    return answer_loglik + community_prior + cluster_prior + label_loglik +
+           stick_priors + dirichlet_priors + entropy;
+  }
+};
+
+/// Computes the full term breakdown (expectations must be fresh).
+ElboTerms ComputeElboTerms(const CpaModel& model, const AnswerMatrix& answers);
+
+/// Convenience: the scalar bound.
+double ComputeElbo(const CpaModel& model, const AnswerMatrix& answers);
+
+}  // namespace cpa
+
+#endif  // CPA_CORE_ELBO_H_

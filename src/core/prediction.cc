@@ -1,0 +1,317 @@
+#include "core/prediction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/special_functions.h"
+
+namespace cpa {
+namespace internal {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Clusters whose normalised weight falls below this are pruned from the
+/// per-item scoring (identity-ϕ variants leave exactly one active cluster).
+constexpr double kClusterPrune = 1e-10;
+
+double SafeLog(double x) { return x > 0.0 ? std::log(x) : kNegInf; }
+
+/// Active (cluster, base log-weight) pairs after normalisation + pruning.
+struct ActiveClusters {
+  std::vector<std::size_t> ids;
+  std::vector<double> log_weights;  // normalised
+};
+
+ActiveClusters Normalize(std::span<const double> cluster_log_weights) {
+  ActiveClusters active;
+  const double log_norm = LogSumExp(cluster_log_weights);
+  for (std::size_t t = 0; t < cluster_log_weights.size(); ++t) {
+    const double log_weight = cluster_log_weights[t] - log_norm;
+    if (std::exp(log_weight) >= kClusterPrune) {
+      active.ids.push_back(t);
+      active.log_weights.push_back(log_weight);
+    }
+  }
+  return active;
+}
+
+/// log Σ_t exp(acc_t + log_size_prior_t(n)) + ln(n!).
+double SetScore(const PredictionTables& tables, const ActiveClusters& active,
+                std::span<const double> acc, std::size_t n) {
+  if (n >= tables.log_size_prior.cols()) return kNegInf;
+  double best = kNegInf;
+  std::vector<double> terms(active.ids.size());
+  for (std::size_t j = 0; j < active.ids.size(); ++j) {
+    terms[j] = acc[j] + tables.log_size_prior(active.ids[j], n);
+    best = std::max(best, terms[j]);
+  }
+  if (!std::isfinite(best)) return kNegInf;
+  double sum = 0.0;
+  for (double v : terms) sum += std::exp(v - best);
+  return best + std::log(sum) + LogGamma(static_cast<double>(n) + 1.0);
+}
+
+}  // namespace
+
+PredictionTables BuildPredictionTables(const CpaModel& model) {
+  PredictionTables tables;
+  const std::size_t T = model.num_clusters();
+  const std::size_t M = model.num_communities();
+  const std::size_t C = model.num_labels();
+
+  tables.log_psi_mean.assign(T, Matrix(M, C));
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t m = 0; m < M; ++m) {
+      const auto lambda_row = model.lambda[t].Row(m);
+      const double total = Sum(lambda_row);
+      auto out = tables.log_psi_mean[t].Row(m);
+      const double log_total = SafeLog(total);
+      for (std::size_t c = 0; c < C; ++c) {
+        out[c] = SafeLog(lambda_row[c]) - log_total;
+      }
+    }
+  }
+
+  tables.log_phi_mean.Reset(T, C);
+  tables.top_labels.resize(T);
+  std::vector<LabelId> order(C);
+  for (std::size_t t = 0; t < T; ++t) {
+    const auto zeta_row = model.zeta.Row(t);
+    const double total = Sum(zeta_row);
+    const double log_total = SafeLog(total);
+    for (std::size_t c = 0; c < C; ++c) {
+      tables.log_phi_mean(t, c) = SafeLog(zeta_row[c]) - log_total;
+    }
+    std::iota(order.begin(), order.end(), 0u);
+    const std::size_t top_k =
+        std::min<std::size_t>(model.options().prediction_candidates_per_cluster, C);
+    std::partial_sort(order.begin(), order.begin() + top_k, order.end(),
+                      [&](LabelId a, LabelId b) { return zeta_row[a] > zeta_row[b]; });
+    tables.top_labels[t].assign(order.begin(), order.begin() + top_k);
+  }
+
+  tables.log_size_prior.Reset(model.size_prior.rows(), model.size_prior.cols());
+  for (std::size_t t = 0; t < model.size_prior.rows(); ++t) {
+    for (std::size_t n = 0; n < model.size_prior.cols(); ++n) {
+      tables.log_size_prior(t, n) = SafeLog(model.size_prior(t, n));
+    }
+  }
+  return tables;
+}
+
+std::vector<double> ItemClusterLogWeights(const CpaModel& model,
+                                          const PredictionTables& tables,
+                                          const AnswerMatrix& answers, ItemId item) {
+  const std::size_t T = model.num_clusters();
+  const std::size_t M = model.num_communities();
+  std::vector<double> log_weights(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    log_weights[t] = SafeLog(model.phi(item, t));
+  }
+  // Clusters holding no posterior mass for this item cannot win the
+  // softmax; skip their (answers × M) likelihood work.
+  for (std::size_t t = 0; t < T; ++t) {
+    if (model.phi(item, t) < kClusterPrune) log_weights[t] = kNegInf;
+  }
+  std::vector<double> member_terms(M);
+  for (std::size_t index : answers.AnswersOfItem(item)) {
+    const Answer& a = answers.answer(index);
+    const auto kappa_row = model.kappa.Row(a.worker);
+    for (std::size_t t = 0; t < T; ++t) {
+      if (!std::isfinite(log_weights[t])) continue;
+      // ln Σ_m κ_um Π_c ψ̂_tmc  (log-sum-exp over communities).
+      for (std::size_t m = 0; m < M; ++m) {
+        if (kappa_row[m] <= 0.0) {
+          member_terms[m] = kNegInf;
+          continue;
+        }
+        const auto psi_row = tables.log_psi_mean[t].Row(m);
+        double loglik = std::log(kappa_row[m]);
+        for (LabelId c : a.labels) loglik += psi_row[c];
+        member_terms[m] = loglik;
+      }
+      log_weights[t] += LogSumExp(member_terms);
+    }
+  }
+  return log_weights;
+}
+
+std::vector<LabelId> CollectCandidates(const CpaModel& model,
+                                       const PredictionTables& tables,
+                                       const AnswerMatrix& answers, ItemId item,
+                                       std::span<const double> cluster_log_weights) {
+  std::vector<LabelId> candidates;
+  for (std::size_t index : answers.AnswersOfItem(item)) {
+    const Answer& a = answers.answer(index);
+    candidates.insert(candidates.end(), a.labels.begin(), a.labels.end());
+  }
+  // Top labels of the three most likely clusters: the co-occurrence
+  // completion channel (R3).
+  std::vector<std::size_t> order(cluster_log_weights.size());
+  std::iota(order.begin(), order.end(), 0u);
+  const std::size_t top_clusters = std::min<std::size_t>(3, order.size());
+  std::partial_sort(order.begin(), order.begin() + top_clusters, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return cluster_log_weights[a] > cluster_log_weights[b];
+                    });
+  for (std::size_t j = 0; j < top_clusters; ++j) {
+    if (!std::isfinite(cluster_log_weights[order[j]])) continue;
+    const auto& top = tables.top_labels[order[j]];
+    candidates.insert(candidates.end(), top.begin(), top.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+LabelSet GreedyInstantiate(const PredictionTables& tables,
+                           std::span<const double> cluster_log_weights,
+                           const std::vector<LabelId>& candidates) {
+  const ActiveClusters active = Normalize(cluster_log_weights);
+  if (active.ids.empty()) return LabelSet();
+
+  // acc_j = log_weight_j + Σ_{c∈y} log φ̂_{t_j, c}.
+  std::vector<double> acc = active.log_weights;
+  LabelSet selected;
+  std::vector<bool> used(candidates.size(), false);
+  double current = SetScore(tables, active, acc, 0);
+
+  for (;;) {
+    double best_score = current;
+    std::size_t best_index = candidates.size();
+    const std::size_t next_size = selected.size() + 1;
+    if (next_size >= tables.log_size_prior.cols()) break;
+    std::vector<double> trial(acc.size());
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (used[j]) continue;
+      for (std::size_t k = 0; k < active.ids.size(); ++k) {
+        trial[k] = acc[k] + tables.log_phi_mean(active.ids[k], candidates[j]);
+      }
+      const double score = SetScore(tables, active, trial, next_size);
+      if (score > best_score + 1e-12) {
+        best_score = score;
+        best_index = j;
+      }
+    }
+    if (best_index == candidates.size()) break;
+    used[best_index] = true;
+    selected.Add(candidates[best_index]);
+    for (std::size_t k = 0; k < active.ids.size(); ++k) {
+      acc[k] += tables.log_phi_mean(active.ids[k], candidates[best_index]);
+    }
+    current = best_score;
+  }
+  return selected;
+}
+
+LabelSet ExhaustiveInstantiate(const PredictionTables& tables,
+                               std::span<const double> cluster_log_weights,
+                               const std::vector<LabelId>& candidates,
+                               std::size_t max_size) {
+  const ActiveClusters active = Normalize(cluster_log_weights);
+  if (active.ids.empty()) return LabelSet();
+  max_size = std::min(max_size, tables.log_size_prior.cols() - 1);
+
+  std::vector<double> acc = active.log_weights;
+  std::vector<LabelId> current;
+  std::vector<LabelId> best_set;
+  double best_score = SetScore(tables, active, acc, 0);
+
+  // Depth-first enumeration of subsets in index order; `acc` carries the
+  // per-cluster partial log-products.
+  const std::function<void(std::size_t)> recurse = [&](std::size_t start) {
+    if (current.size() >= max_size) return;
+    for (std::size_t j = start; j < candidates.size(); ++j) {
+      for (std::size_t k = 0; k < active.ids.size(); ++k) {
+        acc[k] += tables.log_phi_mean(active.ids[k], candidates[j]);
+      }
+      current.push_back(candidates[j]);
+      const double score = SetScore(tables, active, acc, current.size());
+      if (score > best_score + 1e-12) {
+        best_score = score;
+        best_set = current;
+      }
+      recurse(j + 1);
+      current.pop_back();
+      for (std::size_t k = 0; k < active.ids.size(); ++k) {
+        acc[k] -= tables.log_phi_mean(active.ids[k], candidates[j]);
+      }
+    }
+  };
+  recurse(0);
+  return LabelSet::FromUnsorted(std::move(best_set));
+}
+
+}  // namespace internal
+
+Result<CpaPrediction> PredictLabels(const CpaModel& model, const AnswerMatrix& answers,
+                                    ThreadPool* pool) {
+  if (answers.num_items() != model.num_items() ||
+      answers.num_workers() != model.num_workers()) {
+    return Status::InvalidArgument("answer matrix does not match model dimensions");
+  }
+  const internal::PredictionTables tables = internal::BuildPredictionTables(model);
+  const std::size_t num_items = model.num_items();
+  const std::size_t T = model.num_clusters();
+
+  CpaPrediction prediction;
+  prediction.labels.resize(num_items);
+  prediction.scores.Reset(num_items, model.num_labels());
+
+  ParallelFor(
+      pool, num_items,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const ItemId item = static_cast<ItemId>(i);
+          if (answers.AnswersOfItem(item).empty()) continue;  // stays empty
+          std::vector<double> log_weights =
+              internal::ItemClusterLogWeights(model, tables, answers, item);
+
+          // Marginal scores from the mixed Bernoulli profile.
+          std::vector<double> weights = log_weights;
+          SoftmaxInPlace(weights);
+          auto score_row = prediction.scores.Row(i);
+          for (std::size_t t = 0; t < T; ++t) {
+            if (weights[t] <= 0.0) continue;
+            const auto profile_row = model.bernoulli_profile.Row(t);
+            for (std::size_t c = 0; c < model.num_labels(); ++c) {
+              score_row[c] += weights[t] * profile_row[c];
+            }
+          }
+
+          if (model.options().prediction_mode == PredictionMode::kBernoulliProfile) {
+            prediction.labels[i] = LabelSet::FromIndicator(score_row, 0.5);
+            continue;
+          }
+          if (model.options().exhaustive_prediction) {
+            // The paper's 2^C enumeration: over the full label universe
+            // when small, bounded by the size-prior support.
+            std::vector<LabelId> candidates;
+            if (model.num_labels() <= 25) {
+              candidates.resize(model.num_labels());
+              std::iota(candidates.begin(), candidates.end(), 0u);
+            } else {
+              candidates =
+                  internal::CollectCandidates(model, tables, answers, item, log_weights);
+            }
+            prediction.labels[i] = internal::ExhaustiveInstantiate(
+                tables, log_weights, candidates, tables.log_size_prior.cols() - 1);
+            continue;
+          }
+          const std::vector<LabelId> candidates =
+              internal::CollectCandidates(model, tables, answers, item, log_weights);
+          prediction.labels[i] =
+              internal::GreedyInstantiate(tables, log_weights, candidates);
+        }
+      },
+      /*min_shard=*/4);
+  return prediction;
+}
+
+}  // namespace cpa

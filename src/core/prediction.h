@@ -1,0 +1,95 @@
+#ifndef CPA_CORE_PREDICTION_H_
+#define CPA_CORE_PREDICTION_H_
+
+/// \file prediction.h
+/// \brief Label-set instantiation from the fitted posterior (§3.4).
+///
+/// For each item, the cluster posterior ϕ is re-weighted by the likelihood
+/// of the item's answers under each cluster (mixing over communities with
+/// κ — the `Π_u Σ_m κ_um p(x_ui | ψ̂_tm)` factor of the paper's prediction
+/// formula), then the label set is instantiated:
+///
+/// - `kMultinomialSizePrior`: greedy ascent on
+///   `ln Σ_t w̃_t · SizePrior_t(|y|) · |y|! · Π_{c∈y} φ̂_tc`
+///   (the paper's greedy, made non-degenerate by the per-cluster size
+///   prior; DESIGN.md §4.3). Candidate labels are the item's answered
+///   labels plus top-profile labels of its likely clusters, which is how
+///   co-occurrence completion (R3) enters without scanning all C labels.
+/// - `kBernoulliProfile`: exact thresholding of the mixed Bernoulli
+///   profile `q_ic = Σ_t w̃_t θ_tc`.
+///
+/// An exhaustive bounded-subset search (the paper's 2^C instantiation,
+/// §5.4) is provided for the No L variant and as a test oracle for the
+/// greedy.
+///
+/// The paper's ψ^MAP/φ^MAP point estimates are degenerate for Dirichlet
+/// parameters below 1 (mode on the simplex boundary), so posterior means
+/// are used instead — the standard plug-in.
+
+#include <vector>
+
+#include "core/cpa_model.h"
+#include "data/answer_matrix.h"
+#include "data/label_set.h"
+#include "util/matrix.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace cpa {
+
+/// \brief Instantiated labels plus marginal per-label scores.
+struct CpaPrediction {
+  std::vector<LabelSet> labels;
+
+  /// Marginal label probabilities q_ic = Σ_t w̃_t θ_tc (I × C).
+  Matrix scores;
+};
+
+/// \brief Predicts label sets for every item (parallel over items).
+///
+/// Requires a fitted model (size prior and Bernoulli profile refreshed —
+/// `FitCpa` leaves the model in that state).
+Result<CpaPrediction> PredictLabels(const CpaModel& model, const AnswerMatrix& answers,
+                                    ThreadPool* pool = nullptr);
+
+namespace internal {
+
+/// Precomputed log posterior-mean parameters shared across items.
+struct PredictionTables {
+  std::vector<Matrix> log_psi_mean;  ///< T × (M × C)
+  Matrix log_phi_mean;               ///< T × C
+  Matrix log_size_prior;             ///< T × (S+1)
+  std::vector<std::vector<LabelId>> top_labels;  ///< per cluster, profile-sorted
+};
+
+/// Builds the tables from a fitted model.
+PredictionTables BuildPredictionTables(const CpaModel& model);
+
+/// Posterior cluster log-weights of one item, answer-likelihood-reweighted
+/// (unnormalised).
+std::vector<double> ItemClusterLogWeights(const CpaModel& model,
+                                          const PredictionTables& tables,
+                                          const AnswerMatrix& answers, ItemId item);
+
+/// Greedy MAP instantiation over `candidates` given cluster log-weights.
+LabelSet GreedyInstantiate(const PredictionTables& tables,
+                           std::span<const double> cluster_log_weights,
+                           const std::vector<LabelId>& candidates);
+
+/// Bounded exhaustive instantiation (all subsets of `candidates` up to
+/// `max_size`); the oracle for GreedyInstantiate and the No L search.
+LabelSet ExhaustiveInstantiate(const PredictionTables& tables,
+                               std::span<const double> cluster_log_weights,
+                               const std::vector<LabelId>& candidates,
+                               std::size_t max_size);
+
+/// Candidate labels for an item: answered labels + top cluster labels.
+std::vector<LabelId> CollectCandidates(const CpaModel& model,
+                                       const PredictionTables& tables,
+                                       const AnswerMatrix& answers, ItemId item,
+                                       std::span<const double> cluster_log_weights);
+
+}  // namespace internal
+}  // namespace cpa
+
+#endif  // CPA_CORE_PREDICTION_H_

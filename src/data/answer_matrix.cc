@@ -1,0 +1,87 @@
+#include "data/answer_matrix.h"
+
+#include "util/string_utils.h"
+
+namespace cpa {
+
+AnswerMatrix::AnswerMatrix(std::size_t num_items, std::size_t num_workers)
+    : num_items_(num_items),
+      num_workers_(num_workers),
+      by_item_(num_items),
+      by_worker_(num_workers) {}
+
+Status AnswerMatrix::Add(ItemId item, WorkerId worker, LabelSet labels) {
+  if (item >= num_items_) {
+    return Status::OutOfRange(StrFormat("item %u >= %zu", item, num_items_));
+  }
+  if (worker >= num_workers_) {
+    return Status::OutOfRange(StrFormat("worker %u >= %zu", worker, num_workers_));
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument("empty answer; model absence by not adding");
+  }
+  if (HasAnswer(item, worker)) {
+    return Status::FailedPrecondition(
+        StrFormat("duplicate answer for item %u by worker %u", item, worker));
+  }
+  const std::size_t index = answers_.size();
+  answers_.push_back(Answer{item, worker, std::move(labels)});
+  by_item_[item].push_back(index);
+  by_worker_[worker].push_back(index);
+  return Status::OK();
+}
+
+std::span<const std::size_t> AnswerMatrix::AnswersOfItem(ItemId item) const {
+  if (item >= num_items_) return {};
+  return by_item_[item];
+}
+
+std::span<const std::size_t> AnswerMatrix::AnswersOfWorker(WorkerId worker) const {
+  if (worker >= num_workers_) return {};
+  return by_worker_[worker];
+}
+
+bool AnswerMatrix::HasAnswer(ItemId item, WorkerId worker) const {
+  if (item >= num_items_) return false;
+  for (std::size_t index : by_item_[item]) {
+    if (answers_[index].worker == worker) return true;
+  }
+  return false;
+}
+
+Result<LabelSet> AnswerMatrix::GetAnswer(ItemId item, WorkerId worker) const {
+  if (item >= num_items_) {
+    return Status::OutOfRange(StrFormat("item %u >= %zu", item, num_items_));
+  }
+  for (std::size_t index : by_item_[item]) {
+    if (answers_[index].worker == worker) return answers_[index].labels;
+  }
+  return Status::NotFound(
+      StrFormat("no answer for item %u by worker %u", item, worker));
+}
+
+double AnswerMatrix::Sparsity() const {
+  const double cells = static_cast<double>(num_items_) * static_cast<double>(num_workers_);
+  if (cells <= 0.0) return 1.0;
+  return 1.0 - static_cast<double>(answers_.size()) / cells;
+}
+
+std::size_t AnswerMatrix::TotalLabelAssignments() const {
+  std::size_t total = 0;
+  for (const Answer& a : answers_) total += a.labels.size();
+  return total;
+}
+
+AnswerMatrix AnswerMatrix::Subset(std::span<const std::size_t> keep) const {
+  AnswerMatrix subset(num_items_, num_workers_);
+  for (std::size_t index : keep) {
+    if (index >= answers_.size()) continue;
+    const Answer& a = answers_[index];
+    // Add cannot fail here: indices are valid and (item, worker) pairs are
+    // unique in the source matrix.
+    subset.Add(a.item, a.worker, a.labels).ok();
+  }
+  return subset;
+}
+
+}  // namespace cpa

@@ -1,0 +1,86 @@
+#ifndef CPA_DATA_ANSWER_MATRIX_H_
+#define CPA_DATA_ANSWER_MATRIX_H_
+
+/// \file answer_matrix.h
+/// \brief The sparse I × U answer matrix `M` of the problem setting (§2.2).
+///
+/// Crowdsourcing matrices are extremely sparse (each worker answers a small
+/// fraction of items), so answers are stored as a flat list with two
+/// secondary indexes: by item (used by the item-cluster updates and
+/// prediction) and by worker (used by the worker-community updates and the
+/// SVI batching, which batches by worker).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/label_set.h"
+#include "data/types.h"
+#include "util/status.h"
+
+namespace cpa {
+
+/// \brief One worker's label set for one item: `x_iu ⊆ Z`.
+struct Answer {
+  ItemId item = 0;
+  WorkerId worker = 0;
+  LabelSet labels;
+};
+
+/// \brief Sparse answer matrix with by-item and by-worker traversal.
+class AnswerMatrix {
+ public:
+  /// Creates an empty matrix over fixed dimensions.
+  AnswerMatrix(std::size_t num_items, std::size_t num_workers);
+
+  AnswerMatrix() : AnswerMatrix(0, 0) {}
+
+  /// Adds an answer. Fails when ids are out of range, when the label set is
+  /// empty (the paper models "no answer" as absence, not as ∅), or when the
+  /// (item, worker) cell is already filled.
+  Status Add(ItemId item, WorkerId worker, LabelSet labels);
+
+  /// Number of stored answers (non-empty cells).
+  std::size_t num_answers() const { return answers_.size(); }
+  std::size_t num_items() const { return num_items_; }
+  std::size_t num_workers() const { return num_workers_; }
+
+  /// All answers in insertion order.
+  std::span<const Answer> answers() const { return answers_; }
+
+  /// Indexes of the answers for item `i` (into `answers()`).
+  std::span<const std::size_t> AnswersOfItem(ItemId item) const;
+
+  /// Indexes of the answers of worker `u` (into `answers()`).
+  std::span<const std::size_t> AnswersOfWorker(WorkerId worker) const;
+
+  /// The answer at a flat index.
+  const Answer& answer(std::size_t index) const { return answers_[index]; }
+
+  /// True when worker `u` answered item `i`.
+  bool HasAnswer(ItemId item, WorkerId worker) const;
+
+  /// Returns the labels of (item, worker), or NotFound.
+  Result<LabelSet> GetAnswer(ItemId item, WorkerId worker) const;
+
+  /// Fraction of empty cells: 1 − answers / (I·U).
+  double Sparsity() const;
+
+  /// Sum over answers of |x_iu| (total label assignments).
+  std::size_t TotalLabelAssignments() const;
+
+  /// Builds a copy containing only the answers whose flat index is in
+  /// `keep` (used by the sparsity experiments and batch splitting).
+  AnswerMatrix Subset(std::span<const std::size_t> keep) const;
+
+ private:
+  std::size_t num_items_;
+  std::size_t num_workers_;
+  std::vector<Answer> answers_;
+  std::vector<std::vector<std::size_t>> by_item_;
+  std::vector<std::vector<std::size_t>> by_worker_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_DATA_ANSWER_MATRIX_H_

@@ -1,0 +1,130 @@
+#include "data/cooccurrence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace cpa {
+
+CooccurrenceMatrix::CooccurrenceMatrix(std::size_t num_labels,
+                                       std::span<const LabelSet> sets)
+    : num_labels_(num_labels), num_sets_(sets.size()), counts_(num_labels, num_labels) {
+  for (const LabelSet& set : sets) {
+    const auto labels = set.labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      CPA_CHECK_LT(labels[i], num_labels_);
+      counts_(labels[i], labels[i]) += 1.0;
+      for (std::size_t j = i + 1; j < labels.size(); ++j) {
+        counts_(labels[i], labels[j]) += 1.0;
+        counts_(labels[j], labels[i]) += 1.0;
+      }
+    }
+  }
+}
+
+std::size_t CooccurrenceMatrix::MarginalCount(LabelId c) const {
+  return static_cast<std::size_t>(counts_(c, c));
+}
+
+std::size_t CooccurrenceMatrix::PairCount(LabelId a, LabelId b) const {
+  if (a == b) return MarginalCount(a);
+  return static_cast<std::size_t>(counts_(a, b));
+}
+
+double CooccurrenceMatrix::JaccardStrength(LabelId a, LabelId b) const {
+  const double pair = counts_(a, b);
+  const double denom = counts_(a, a) + counts_(b, b) - pair;
+  if (a == b || denom <= 0.0) return a == b && counts_(a, a) > 0 ? 1.0 : 0.0;
+  return pair / denom;
+}
+
+double CooccurrenceMatrix::NormalizedPmi(LabelId a, LabelId b) const {
+  if (num_sets_ == 0) return 0.0;
+  const double n = static_cast<double>(num_sets_);
+  const double p_a = counts_(a, a) / n;
+  const double p_b = counts_(b, b) / n;
+  const double p_ab = counts_(a, b) / n;
+  if (p_a <= 0.0 || p_b <= 0.0 || p_ab <= 0.0) return 0.0;
+  if (p_ab >= 1.0) return 1.0;
+  return std::log(p_ab / (p_a * p_b)) / (-std::log(p_ab));
+}
+
+std::vector<CooccurrenceMatrix::Edge> CooccurrenceMatrix::TopEdges(std::size_t k) const {
+  std::vector<Edge> edges;
+  for (LabelId a = 0; a < num_labels_; ++a) {
+    for (LabelId b = a + 1; b < num_labels_; ++b) {
+      if (counts_(a, b) > 0.0) {
+        edges.push_back(Edge{a, b, JaccardStrength(a, b)});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& x, const Edge& y) { return x.strength > y.strength; });
+  if (edges.size() > k) edges.resize(k);
+  return edges;
+}
+
+std::vector<std::vector<LabelId>> CooccurrenceMatrix::Clusters(double threshold) const {
+  // Union-find over labels that occur at least once.
+  std::vector<LabelId> parent(num_labels_);
+  std::iota(parent.begin(), parent.end(), 0u);
+  const auto find = [&](LabelId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (LabelId a = 0; a < num_labels_; ++a) {
+    for (LabelId b = a + 1; b < num_labels_; ++b) {
+      if (counts_(a, b) > 0.0 && JaccardStrength(a, b) >= threshold) {
+        parent[find(a)] = find(b);
+      }
+    }
+  }
+  std::vector<std::vector<LabelId>> by_root(num_labels_);
+  for (LabelId c = 0; c < num_labels_; ++c) {
+    if (MarginalCount(c) == 0) continue;
+    by_root[find(c)].push_back(c);
+  }
+  std::vector<std::vector<LabelId>> clusters;
+  for (auto& members : by_root) {
+    if (!members.empty()) clusters.push_back(std::move(members));
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const auto& x, const auto& y) { return x.size() > y.size(); });
+  return clusters;
+}
+
+double CooccurrenceMatrix::WeightedMeanNpmi() const {
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (LabelId a = 0; a < num_labels_; ++a) {
+    for (LabelId b = a + 1; b < num_labels_; ++b) {
+      const double n_ab = counts_(a, b);
+      if (n_ab > 0.0) {
+        weighted += n_ab * NormalizedPmi(a, b);
+        weight += n_ab;
+      }
+    }
+  }
+  return weight > 0.0 ? weighted / weight : 0.0;
+}
+
+double CooccurrenceMatrix::MeanPairStrength() const {
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (LabelId a = 0; a < num_labels_; ++a) {
+    for (LabelId b = a + 1; b < num_labels_; ++b) {
+      if (counts_(a, b) > 0.0) {
+        total += JaccardStrength(a, b);
+        ++pairs;
+      }
+    }
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace cpa

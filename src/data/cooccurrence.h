@@ -1,0 +1,76 @@
+#ifndef CPA_DATA_COOCCURRENCE_H_
+#define CPA_DATA_COOCCURRENCE_H_
+
+/// \file cooccurrence.h
+/// \brief Label co-occurrence analysis — the structure behind Fig 1 and
+/// requirement (R3).
+///
+/// The paper motivates item clusters by co-occurrence dependencies between
+/// labels ("sky" co-occurs with "birds" and "cloud"). This module computes
+/// co-occurrence counts over a collection of label sets (ground truth or
+/// answers), derives association strengths, and extracts label clusters by
+/// thresholded connected components.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/label_set.h"
+#include "util/matrix.h"
+
+namespace cpa {
+
+/// \brief Symmetric co-occurrence statistics over a label universe.
+class CooccurrenceMatrix {
+ public:
+  /// Counts pairs within each set of `sets`; `num_labels` fixes dimensions.
+  CooccurrenceMatrix(std::size_t num_labels, std::span<const LabelSet> sets);
+
+  std::size_t num_labels() const { return num_labels_; }
+
+  /// Number of sets containing label `c`.
+  std::size_t MarginalCount(LabelId c) const;
+
+  /// Number of sets containing both `a` and `b`.
+  std::size_t PairCount(LabelId a, LabelId b) const;
+
+  /// Jaccard strength of the (a, b) edge: n_ab / (n_a + n_b − n_ab).
+  double JaccardStrength(LabelId a, LabelId b) const;
+
+  /// Normalised pointwise mutual information in [−1, 1]; 0 when either
+  /// label never occurs or the pair never co-occurs.
+  double NormalizedPmi(LabelId a, LabelId b) const;
+
+  /// The `k` strongest co-occurrence edges by Jaccard strength.
+  struct Edge {
+    LabelId a = 0;
+    LabelId b = 0;
+    double strength = 0.0;
+  };
+  std::vector<Edge> TopEdges(std::size_t k) const;
+
+  /// Label clusters: connected components over edges with Jaccard strength
+  /// at least `threshold`. Labels that never occur are omitted. Components
+  /// are sorted by decreasing size.
+  std::vector<std::vector<LabelId>> Clusters(double threshold) const;
+
+  /// Mean Jaccard strength over co-occurring pairs (descriptive; note this
+  /// is confounded by label popularity — prefer `WeightedMeanNpmi` to
+  /// measure association).
+  double MeanPairStrength() const;
+
+  /// Count-weighted mean normalised PMI over co-occurring pairs. ≈ 0 when
+  /// labels are drawn independently (whatever their popularity), positive
+  /// under genuine co-occurrence structure — the scalar behind the
+  /// "strong vs little label correlation" characterisation of §5.1.
+  double WeightedMeanNpmi() const;
+
+ private:
+  std::size_t num_labels_;
+  std::size_t num_sets_;
+  Matrix counts_;  // symmetric; diagonal stores marginals
+};
+
+}  // namespace cpa
+
+#endif  // CPA_DATA_COOCCURRENCE_H_

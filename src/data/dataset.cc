@@ -1,0 +1,45 @@
+#include "data/dataset.h"
+
+#include "util/string_utils.h"
+
+namespace cpa {
+
+std::size_t Dataset::NumAnsweredItems() const {
+  std::size_t count = 0;
+  for (ItemId i = 0; i < answers.num_items(); ++i) {
+    if (!answers.AnswersOfItem(i).empty()) ++count;
+  }
+  return count;
+}
+
+Status Dataset::Validate() const {
+  if (num_labels == 0) return Status::InvalidArgument("num_labels must be positive");
+  if (!ground_truth.empty() && ground_truth.size() != answers.num_items()) {
+    return Status::InvalidArgument(
+        StrFormat("ground truth size %zu != num items %zu", ground_truth.size(),
+                  answers.num_items()));
+  }
+  if (!label_names.empty() && label_names.size() != num_labels) {
+    return Status::InvalidArgument(
+        StrFormat("label names size %zu != num labels %zu", label_names.size(),
+                  num_labels));
+  }
+  for (const Answer& a : answers.answers()) {
+    const LabelId max_label = a.labels.MaxLabel();
+    if (max_label != kInvalidId && max_label >= num_labels) {
+      return Status::OutOfRange(
+          StrFormat("answer label %u >= num labels %zu (item %u, worker %u)",
+                    max_label, num_labels, a.item, a.worker));
+    }
+  }
+  for (const LabelSet& truth : ground_truth) {
+    const LabelId max_label = truth.MaxLabel();
+    if (max_label != kInvalidId && max_label >= num_labels) {
+      return Status::OutOfRange(
+          StrFormat("truth label %u >= num labels %zu", max_label, num_labels));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cpa

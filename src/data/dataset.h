@@ -1,0 +1,53 @@
+#ifndef CPA_DATA_DATASET_H_
+#define CPA_DATA_DATASET_H_
+
+/// \file dataset.h
+/// \brief A complete aggregation problem instance: answers + ground truth.
+///
+/// Mirrors the evaluation setup of §5.1: a named dataset with a label
+/// universe, an answer matrix, and (for evaluation only — never shown to
+/// the aggregators, `y = ∅` in all paper experiments) the true label sets.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/answer_matrix.h"
+#include "data/label_set.h"
+#include "util/status.h"
+
+namespace cpa {
+
+/// \brief One aggregation problem instance.
+struct Dataset {
+  /// Human-readable identifier ("image", "topic", ...).
+  std::string name;
+
+  /// Size of the label universe `C`.
+  std::size_t num_labels = 0;
+
+  /// The sparse I × U answer matrix.
+  AnswerMatrix answers;
+
+  /// True label sets, indexed by item; empty vector when truth is unknown.
+  /// Used only by the evaluation harness (and optionally as observed `y`
+  /// for semi-supervised inference).
+  std::vector<LabelSet> ground_truth;
+
+  /// Optional label display names (size `num_labels` when present).
+  std::vector<std::string> label_names;
+
+  std::size_t num_items() const { return answers.num_items(); }
+  std::size_t num_workers() const { return answers.num_workers(); }
+  bool has_ground_truth() const { return !ground_truth.empty(); }
+
+  /// Items that received at least one answer ("questions" in Table 3).
+  std::size_t NumAnsweredItems() const;
+
+  /// Structural validation: dimensions line up, label ids in range.
+  Status Validate() const;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_DATA_DATASET_H_

@@ -1,0 +1,133 @@
+#include "data/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace cpa {
+namespace {
+
+std::string LabelsToCsv(const LabelSet& labels) {
+  std::string out;
+  bool first = true;
+  for (LabelId c : labels) {
+    if (!first) out += ",";
+    out += std::to_string(c);
+    first = false;
+  }
+  return out;
+}
+
+Result<LabelSet> LabelsFromCsv(std::string_view text) {
+  std::vector<LabelId> labels;
+  for (const std::string& part : Split(text, ',')) {
+    if (Trim(part).empty()) continue;
+    CPA_ASSIGN_OR_RETURN(const long long value, ParseInt(part));
+    if (value < 0) return Status::InvalidArgument("negative label id");
+    labels.push_back(static_cast<LabelId>(value));
+  }
+  return LabelSet::FromUnsorted(std::move(labels));
+}
+
+}  // namespace
+
+std::string DatasetToString(const Dataset& dataset) {
+  std::ostringstream os;
+  os << "# cpa-dataset v1\n";
+  os << "name\t" << dataset.name << "\n";
+  os << "dims\t" << dataset.answers.num_items() << "\t" << dataset.answers.num_workers()
+     << "\t" << dataset.num_labels << "\n";
+  for (std::size_t i = 0; i < dataset.ground_truth.size(); ++i) {
+    if (dataset.ground_truth[i].empty()) continue;
+    os << "truth\t" << i << "\t" << LabelsToCsv(dataset.ground_truth[i]) << "\n";
+  }
+  for (const Answer& a : dataset.answers.answers()) {
+    os << "answer\t" << a.item << "\t" << a.worker << "\t" << LabelsToCsv(a.labels)
+       << "\n";
+  }
+  return os.str();
+}
+
+Result<Dataset> DatasetFromString(const std::string& text) {
+  Dataset dataset;
+  bool dims_seen = false;
+  std::vector<std::pair<std::size_t, LabelSet>> truths;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = Split(trimmed, '\t');
+    const std::string& kind = fields[0];
+    const auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: %s", line_number, why.c_str()));
+    };
+    if (kind == "name") {
+      if (fields.size() != 2) return fail("name needs 1 field");
+      dataset.name = fields[1];
+    } else if (kind == "dims") {
+      if (fields.size() != 4) return fail("dims needs 3 fields");
+      CPA_ASSIGN_OR_RETURN(const long long items, ParseInt(fields[1]));
+      CPA_ASSIGN_OR_RETURN(const long long workers, ParseInt(fields[2]));
+      CPA_ASSIGN_OR_RETURN(const long long labels, ParseInt(fields[3]));
+      if (items < 0 || workers < 0 || labels <= 0) return fail("non-positive dims");
+      dataset.answers = AnswerMatrix(static_cast<std::size_t>(items),
+                                     static_cast<std::size_t>(workers));
+      dataset.num_labels = static_cast<std::size_t>(labels);
+      dims_seen = true;
+    } else if (kind == "truth") {
+      if (!dims_seen) return fail("truth before dims");
+      if (fields.size() != 3) return fail("truth needs 2 fields");
+      CPA_ASSIGN_OR_RETURN(const long long item, ParseInt(fields[1]));
+      CPA_ASSIGN_OR_RETURN(LabelSet labels, LabelsFromCsv(fields[2]));
+      truths.emplace_back(static_cast<std::size_t>(item), std::move(labels));
+    } else if (kind == "answer") {
+      if (!dims_seen) return fail("answer before dims");
+      if (fields.size() != 4) return fail("answer needs 3 fields");
+      CPA_ASSIGN_OR_RETURN(const long long item, ParseInt(fields[1]));
+      CPA_ASSIGN_OR_RETURN(const long long worker, ParseInt(fields[2]));
+      CPA_ASSIGN_OR_RETURN(LabelSet labels, LabelsFromCsv(fields[3]));
+      const Status added = dataset.answers.Add(static_cast<ItemId>(item),
+                                               static_cast<WorkerId>(worker),
+                                               std::move(labels));
+      if (!added.ok()) return fail(added.ToString());
+    } else {
+      return fail("unknown record kind: " + kind);
+    }
+  }
+  if (!dims_seen) return Status::InvalidArgument("missing dims record");
+  if (!truths.empty()) {
+    dataset.ground_truth.assign(dataset.answers.num_items(), LabelSet());
+    for (auto& [item, labels] : truths) {
+      if (item >= dataset.ground_truth.size()) {
+        return Status::OutOfRange(StrFormat("truth item %zu out of range", item));
+      }
+      dataset.ground_truth[item] = std::move(labels);
+    }
+  }
+  CPA_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open for writing: " + path);
+  out << DatasetToString(dataset);
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DatasetFromString(buffer.str());
+}
+
+}  // namespace cpa

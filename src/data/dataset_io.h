@@ -1,0 +1,39 @@
+#ifndef CPA_DATA_DATASET_IO_H_
+#define CPA_DATA_DATASET_IO_H_
+
+/// \file dataset_io.h
+/// \brief Plain-text persistence for datasets.
+///
+/// Format (TSV, one record per line, `#` comments allowed):
+/// ```
+/// # cpa-dataset v1
+/// name\timage
+/// dims\t<items>\t<workers>\t<labels>
+/// truth\t<item>\t<c1,c2,...>
+/// answer\t<item>\t<worker>\t<c1,c2,...>
+/// ```
+/// The format is line-oriented so simulated datasets can be diffed,
+/// inspected and version-controlled.
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace cpa {
+
+/// Serialises `dataset` to `path`. Overwrites existing content.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Parses a dataset from `path` and validates it.
+Result<Dataset> LoadDataset(const std::string& path);
+
+/// Serialises to a string (used by the round-trip tests).
+std::string DatasetToString(const Dataset& dataset);
+
+/// Parses from a string.
+Result<Dataset> DatasetFromString(const std::string& text);
+
+}  // namespace cpa
+
+#endif  // CPA_DATA_DATASET_IO_H_

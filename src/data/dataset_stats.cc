@@ -1,0 +1,79 @@
+#include "data/dataset_stats.h"
+
+#include <cmath>
+
+namespace cpa {
+
+double Skewness(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  if (n < 3) return 0.0;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(n);
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 <= 1e-12) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+DatasetStats ComputeDatasetStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.name = dataset.name;
+  stats.num_items = dataset.answers.num_items();
+  stats.num_labels = dataset.num_labels;
+  stats.num_answers = dataset.answers.num_answers();
+  stats.sparsity = dataset.answers.Sparsity();
+
+  std::size_t answered_items = 0;
+  std::size_t total_item_answers = 0;
+  for (ItemId i = 0; i < dataset.answers.num_items(); ++i) {
+    const std::size_t count = dataset.answers.AnswersOfItem(i).size();
+    if (count > 0) {
+      ++answered_items;
+      total_item_answers += count;
+    }
+  }
+  stats.num_questions = answered_items;
+  stats.mean_answers_per_item =
+      answered_items > 0
+          ? static_cast<double>(total_item_answers) / static_cast<double>(answered_items)
+          : 0.0;
+
+  std::vector<double> worker_loads;
+  for (WorkerId u = 0; u < dataset.answers.num_workers(); ++u) {
+    const std::size_t count = dataset.answers.AnswersOfWorker(u).size();
+    if (count > 0) worker_loads.push_back(static_cast<double>(count));
+  }
+  stats.num_workers = worker_loads.size();
+  stats.worker_load_skewness = Skewness(worker_loads);
+
+  if (stats.num_answers > 0) {
+    stats.mean_labels_per_answer =
+        static_cast<double>(dataset.answers.TotalLabelAssignments()) /
+        static_cast<double>(stats.num_answers);
+  }
+
+  if (dataset.has_ground_truth()) {
+    std::size_t truth_labels = 0;
+    std::size_t truth_items = 0;
+    for (ItemId i = 0; i < dataset.answers.num_items(); ++i) {
+      if (dataset.answers.AnswersOfItem(i).empty()) continue;
+      truth_labels += dataset.ground_truth[i].size();
+      ++truth_items;
+    }
+    if (truth_items > 0) {
+      stats.mean_labels_per_truth =
+          static_cast<double>(truth_labels) / static_cast<double>(truth_items);
+    }
+  }
+  return stats;
+}
+
+}  // namespace cpa

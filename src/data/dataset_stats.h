@@ -1,0 +1,42 @@
+#ifndef CPA_DATA_DATASET_STATS_H_
+#define CPA_DATA_DATASET_STATS_H_
+
+/// \file dataset_stats.h
+/// \brief Descriptive statistics per dataset — the rows of Table 3.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace cpa {
+
+/// \brief The quantities the paper reports per dataset (Table 3) plus a few
+/// structural measures used to verify simulator calibration.
+struct DatasetStats {
+  std::string name;
+  std::size_t num_items = 0;      ///< |N| (the underlying item universe)
+  std::size_t num_labels = 0;     ///< |Z| = C
+  std::size_t num_questions = 0;  ///< items with >= 1 answer
+  std::size_t num_workers = 0;    ///< workers with >= 1 answer
+  std::size_t num_answers = 0;    ///< non-empty cells of M
+
+  double mean_labels_per_answer = 0.0;   ///< avg |x_iu|
+  double mean_labels_per_truth = 0.0;    ///< avg |y_i| over answered items
+  double mean_answers_per_item = 0.0;    ///< redundancy
+  double sparsity = 0.0;                 ///< empty-cell fraction of M
+  double worker_load_skewness = 0.0;     ///< moment skewness of per-worker counts
+};
+
+/// Computes the statistics of `dataset`.
+DatasetStats ComputeDatasetStats(const Dataset& dataset);
+
+/// Moment-based sample skewness of `values` (0 for fewer than 3 samples or
+/// zero variance). Used to verify the "skewed vs normal answer
+/// distribution" dataset characteristics from §5.1.
+double Skewness(const std::vector<double>& values);
+
+}  // namespace cpa
+
+#endif  // CPA_DATA_DATASET_STATS_H_

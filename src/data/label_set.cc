@@ -1,0 +1,119 @@
+#include "data/label_set.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cpa {
+
+LabelSet::LabelSet(std::initializer_list<LabelId> labels)
+    : labels_(labels.begin(), labels.end()) {
+  std::sort(labels_.begin(), labels_.end());
+  labels_.erase(std::unique(labels_.begin(), labels_.end()), labels_.end());
+}
+
+LabelSet LabelSet::FromUnsorted(std::vector<LabelId> labels) {
+  LabelSet set;
+  set.labels_ = std::move(labels);
+  std::sort(set.labels_.begin(), set.labels_.end());
+  set.labels_.erase(std::unique(set.labels_.begin(), set.labels_.end()),
+                    set.labels_.end());
+  return set;
+}
+
+LabelSet LabelSet::FromIndicator(std::span<const double> indicator, double threshold) {
+  LabelSet set;
+  for (std::size_t c = 0; c < indicator.size(); ++c) {
+    if (indicator[c] >= threshold) set.labels_.push_back(static_cast<LabelId>(c));
+  }
+  return set;
+}
+
+bool LabelSet::Contains(LabelId label) const {
+  return std::binary_search(labels_.begin(), labels_.end(), label);
+}
+
+void LabelSet::Add(LabelId label) {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it == labels_.end() || *it != label) labels_.insert(it, label);
+}
+
+void LabelSet::Remove(LabelId label) {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it != labels_.end() && *it == label) labels_.erase(it);
+}
+
+std::size_t LabelSet::IntersectionSize(const LabelSet& other) const {
+  std::size_t count = 0;
+  auto a = labels_.begin();
+  auto b = other.labels_.begin();
+  while (a != labels_.end() && b != other.labels_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
+std::size_t LabelSet::UnionSize(const LabelSet& other) const {
+  return size() + other.size() - IntersectionSize(other);
+}
+
+LabelSet LabelSet::Union(const LabelSet& other) const {
+  LabelSet result;
+  result.labels_.reserve(size() + other.size());
+  std::set_union(labels_.begin(), labels_.end(), other.labels_.begin(),
+                 other.labels_.end(), std::back_inserter(result.labels_));
+  return result;
+}
+
+LabelSet LabelSet::Intersect(const LabelSet& other) const {
+  LabelSet result;
+  std::set_intersection(labels_.begin(), labels_.end(), other.labels_.begin(),
+                        other.labels_.end(), std::back_inserter(result.labels_));
+  return result;
+}
+
+LabelSet LabelSet::Difference(const LabelSet& other) const {
+  LabelSet result;
+  std::set_difference(labels_.begin(), labels_.end(), other.labels_.begin(),
+                      other.labels_.end(), std::back_inserter(result.labels_));
+  return result;
+}
+
+double LabelSet::Jaccard(const LabelSet& other) const {
+  const std::size_t union_size = UnionSize(other);
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(IntersectionSize(other)) /
+         static_cast<double>(union_size);
+}
+
+void LabelSet::ToIndicator(std::span<double> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
+  for (LabelId c : labels_) {
+    CPA_CHECK_LT(c, out.size()) << "label outside indicator dimension";
+    out[c] = 1.0;
+  }
+}
+
+std::string LabelSet::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(labels_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+LabelId LabelSet::MaxLabel() const {
+  return labels_.empty() ? kInvalidId : labels_.back();
+}
+
+}  // namespace cpa

@@ -1,0 +1,89 @@
+#ifndef CPA_DATA_LABEL_SET_H_
+#define CPA_DATA_LABEL_SET_H_
+
+/// \file label_set.h
+/// \brief Sorted sets of labels — the unit of partial agreement.
+///
+/// In partial-agreement tasks every answer `x_iu ⊆ Z` and every ground
+/// truth `y_i ⊆ Z` is a *set* of labels. Sets are small (a handful of
+/// labels out of up to ~1500), so a sorted vector beats bitsets and hash
+/// sets on both memory and scan speed, and gives O(|a|+|b|) merges.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+
+namespace cpa {
+
+/// \brief An immutable-by-convention sorted set of label ids.
+class LabelSet {
+ public:
+  /// Empty set.
+  LabelSet() = default;
+
+  /// From an initializer list (deduplicated, sorted).
+  LabelSet(std::initializer_list<LabelId> labels);
+
+  /// From any unsorted label sequence (deduplicated, sorted).
+  static LabelSet FromUnsorted(std::vector<LabelId> labels);
+
+  /// From an indicator vector: labels c with indicator[c] != 0.
+  static LabelSet FromIndicator(std::span<const double> indicator,
+                                double threshold = 0.5);
+
+  /// Number of labels in the set.
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  /// Membership test, O(log n).
+  bool Contains(LabelId label) const;
+
+  /// Inserts a label (no-op if present).
+  void Add(LabelId label);
+
+  /// Removes a label (no-op if absent).
+  void Remove(LabelId label);
+
+  /// The sorted labels.
+  std::span<const LabelId> labels() const { return labels_; }
+
+  auto begin() const { return labels_.begin(); }
+  auto end() const { return labels_.end(); }
+
+  /// |this ∩ other|, O(|a|+|b|).
+  std::size_t IntersectionSize(const LabelSet& other) const;
+
+  /// |this ∪ other|.
+  std::size_t UnionSize(const LabelSet& other) const;
+
+  /// Set union / intersection / difference as new sets.
+  LabelSet Union(const LabelSet& other) const;
+  LabelSet Intersect(const LabelSet& other) const;
+  LabelSet Difference(const LabelSet& other) const;
+
+  /// Jaccard similarity; 1.0 when both sets are empty.
+  double Jaccard(const LabelSet& other) const;
+
+  /// Writes a {0,1} indicator of dimension `num_labels` into `out`.
+  void ToIndicator(std::span<double> out) const;
+
+  /// Renders "{1,4,5}" for logging and goldens.
+  std::string ToString() const;
+
+  bool operator==(const LabelSet& other) const { return labels_ == other.labels_; }
+  bool operator!=(const LabelSet& other) const { return labels_ != other.labels_; }
+
+  /// Largest label id in the set; kInvalidId when empty.
+  LabelId MaxLabel() const;
+
+ private:
+  std::vector<LabelId> labels_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_DATA_LABEL_SET_H_

@@ -1,0 +1,30 @@
+#ifndef CPA_DATA_TYPES_H_
+#define CPA_DATA_TYPES_H_
+
+/// \file types.h
+/// \brief Entity identifiers shared across the library.
+///
+/// The paper's problem setting (§2.2): a set of workers `U = {1..U}`, items
+/// `N = {1..I}` and labels `Z = {1..C}`, all addressed by index. We use
+/// zero-based 32-bit indices throughout; 32 bits comfortably cover the
+/// paper's largest simulated datasets (10^4 workers, 10^6 answers).
+
+#include <cstdint>
+
+namespace cpa {
+
+/// Zero-based worker index (`u` in the paper).
+using WorkerId = std::uint32_t;
+
+/// Zero-based item index (`i` in the paper).
+using ItemId = std::uint32_t;
+
+/// Zero-based label index (`c` in the paper).
+using LabelId = std::uint32_t;
+
+/// Sentinel for "no such entity".
+inline constexpr std::uint32_t kInvalidId = 0xFFFFFFFFu;
+
+}  // namespace cpa
+
+#endif  // CPA_DATA_TYPES_H_

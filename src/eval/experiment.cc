@@ -1,0 +1,39 @@
+#include "eval/experiment.h"
+
+#include "baselines/cbcc.h"
+#include "baselines/dawid_skene.h"
+#include "baselines/majority_vote.h"
+#include "core/cpa.h"
+#include "util/stopwatch.h"
+
+namespace cpa {
+
+Result<ExperimentResult> RunExperiment(Aggregator& aggregator, const Dataset& dataset) {
+  if (!dataset.has_ground_truth()) {
+    return Status::FailedPrecondition("experiment dataset needs ground truth");
+  }
+  Stopwatch stopwatch;
+  CPA_ASSIGN_OR_RETURN(AggregationResult result,
+                       aggregator.Aggregate(dataset.answers, dataset.num_labels));
+  ExperimentResult experiment;
+  experiment.seconds = stopwatch.ElapsedSeconds();
+  experiment.iterations = result.iterations;
+  experiment.metrics = ComputeSetMetrics(result.predictions, dataset.ground_truth);
+  return experiment;
+}
+
+std::map<std::string, AggregatorFactory> PaperAggregators(std::size_t cpa_iterations) {
+  std::map<std::string, AggregatorFactory> factories;
+  factories["MV"] = [](const Dataset&) { return std::make_unique<MajorityVote>(); };
+  factories["EM"] = [](const Dataset&) { return std::make_unique<DawidSkene>(); };
+  factories["cBCC"] = [](const Dataset&) { return std::make_unique<Cbcc>(); };
+  factories["CPA"] = [cpa_iterations](const Dataset& dataset) {
+    CpaOptions options =
+        CpaOptions::Recommended(dataset.num_items(), dataset.num_labels);
+    options.max_iterations = cpa_iterations;
+    return std::make_unique<CpaAggregator>(options);
+  };
+  return factories;
+}
+
+}  // namespace cpa

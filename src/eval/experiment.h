@@ -1,0 +1,44 @@
+#ifndef CPA_EVAL_EXPERIMENT_H_
+#define CPA_EVAL_EXPERIMENT_H_
+
+/// \file experiment.h
+/// \brief Uniform "run an aggregator on a dataset, score it, time it"
+/// harness used by the benches.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/aggregator.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "util/status.h"
+
+namespace cpa {
+
+/// \brief Outcome of one aggregation run.
+struct ExperimentResult {
+  SetMetrics metrics;
+  double seconds = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Runs `aggregator` on `dataset` (answers only — never the truth) and
+/// scores the predictions against the dataset's ground truth.
+Result<ExperimentResult> RunExperiment(Aggregator& aggregator, const Dataset& dataset);
+
+/// \brief Factory registry for the aggregators the paper compares, so
+/// benches can iterate "MV, EM, cBCC, CPA" uniformly. Each factory builds
+/// a fresh aggregator sized for the given dataset.
+using AggregatorFactory = std::function<std::unique_ptr<Aggregator>(const Dataset&)>;
+
+/// The paper's §5.2 line-up: MV, EM (Dawid–Skene), cBCC and CPA.
+/// `cpa_iterations` caps CPA's sweeps (benches trade a little accuracy for
+/// sweep time).
+std::map<std::string, AggregatorFactory> PaperAggregators(
+    std::size_t cpa_iterations = 30);
+
+}  // namespace cpa
+
+#endif  // CPA_EVAL_EXPERIMENT_H_

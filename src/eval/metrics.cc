@@ -1,0 +1,106 @@
+#include "eval/metrics.h"
+
+#include "util/logging.h"
+
+namespace cpa {
+
+ItemMetrics ComputeItemMetrics(const LabelSet& prediction, const LabelSet& truth) {
+  ItemMetrics metrics;
+  const double intersection =
+      static_cast<double>(prediction.IntersectionSize(truth));
+  metrics.precision =
+      prediction.empty()
+          ? (truth.empty() ? 1.0 : 0.0)
+          : intersection / static_cast<double>(prediction.size());
+  metrics.recall =
+      truth.empty() ? 1.0 : intersection / static_cast<double>(truth.size());
+  return metrics;
+}
+
+SetMetrics ComputeSetMetrics(const std::vector<LabelSet>& predictions,
+                             const std::vector<LabelSet>& ground_truth) {
+  CPA_CHECK_EQ(predictions.size(), ground_truth.size());
+  SetMetrics metrics;
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  for (std::size_t i = 0; i < ground_truth.size(); ++i) {
+    if (ground_truth[i].empty()) continue;
+    const ItemMetrics item = ComputeItemMetrics(predictions[i], ground_truth[i]);
+    precision_sum += item.precision;
+    recall_sum += item.recall;
+    ++metrics.evaluated_items;
+  }
+  if (metrics.evaluated_items > 0) {
+    metrics.precision = precision_sum / static_cast<double>(metrics.evaluated_items);
+    metrics.recall = recall_sum / static_cast<double>(metrics.evaluated_items);
+  }
+  return metrics;
+}
+
+namespace {
+
+struct Counts {
+  double tp = 0.0;
+  double fn = 0.0;
+  double tn = 0.0;
+  double fp = 0.0;
+  bool answered = false;
+};
+
+std::vector<WorkerLabelStats> ToStats(const std::vector<Counts>& counts) {
+  std::vector<WorkerLabelStats> stats;
+  for (WorkerId u = 0; u < counts.size(); ++u) {
+    const Counts& c = counts[u];
+    if (!c.answered) continue;
+    WorkerLabelStats s;
+    s.worker = u;
+    s.positives = static_cast<std::size_t>(c.tp + c.fn);
+    s.negatives = static_cast<std::size_t>(c.tn + c.fp);
+    s.sensitivity = c.tp + c.fn > 0.0 ? c.tp / (c.tp + c.fn) : 0.0;
+    s.specificity = c.tn + c.fp > 0.0 ? c.tn / (c.tn + c.fp) : 0.0;
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+}  // namespace
+
+std::vector<WorkerLabelStats> ComputeWorkerLabelStats(
+    const AnswerMatrix& answers, const std::vector<LabelSet>& ground_truth,
+    LabelId label) {
+  CPA_CHECK_EQ(ground_truth.size(), answers.num_items());
+  std::vector<Counts> counts(answers.num_workers());
+  for (const Answer& a : answers.answers()) {
+    Counts& c = counts[a.worker];
+    c.answered = true;
+    const bool is_true = ground_truth[a.item].Contains(label);
+    const bool voted = a.labels.Contains(label);
+    if (is_true) {
+      (voted ? c.tp : c.fn) += 1.0;
+    } else {
+      (voted ? c.fp : c.tn) += 1.0;
+    }
+  }
+  return ToStats(counts);
+}
+
+std::vector<WorkerLabelStats> ComputeWorkerOverallStats(
+    const AnswerMatrix& answers, const std::vector<LabelSet>& ground_truth,
+    std::size_t num_labels) {
+  CPA_CHECK_EQ(ground_truth.size(), answers.num_items());
+  std::vector<Counts> counts(answers.num_workers());
+  for (const Answer& a : answers.answers()) {
+    Counts& c = counts[a.worker];
+    c.answered = true;
+    const LabelSet& truth = ground_truth[a.item];
+    const double tp = static_cast<double>(a.labels.IntersectionSize(truth));
+    c.tp += tp;
+    c.fn += static_cast<double>(truth.size()) - tp;
+    const double fp = static_cast<double>(a.labels.size()) - tp;
+    c.fp += fp;
+    c.tn += static_cast<double>(num_labels) - static_cast<double>(truth.size()) - fp;
+  }
+  return ToStats(counts);
+}
+
+}  // namespace cpa

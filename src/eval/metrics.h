@@ -1,0 +1,78 @@
+#ifndef CPA_EVAL_METRICS_H_
+#define CPA_EVAL_METRICS_H_
+
+/// \file metrics.h
+/// \brief Evaluation metrics of §5.1.
+///
+/// Partial-agreement results can be partially correct, so the paper uses
+/// set-based precision and recall per item: `P_i = |Y_i ∩ Y*_i| / |Y*_i|`
+/// (correct predicted labels over predicted labels) and
+/// `R_i = |Y_i ∩ Y*_i| / |Y_i|` (correct predicted labels over true
+/// labels), averaged over items. Worker quality is characterised by
+/// per-label sensitivity/specificity (Fig 9, Fig 10).
+
+#include <cstddef>
+#include <vector>
+
+#include "data/answer_matrix.h"
+#include "data/label_set.h"
+#include "data/types.h"
+
+namespace cpa {
+
+/// \brief Averaged set-based metrics over a dataset.
+struct SetMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+
+  /// Items included in the averages (non-empty truth).
+  std::size_t evaluated_items = 0;
+
+  /// Harmonic mean of the averaged precision and recall.
+  double F1() const {
+    const double sum = precision + recall;
+    return sum > 0.0 ? 2.0 * precision * recall / sum : 0.0;
+  }
+};
+
+/// \brief Computes §5.1's averaged precision/recall.
+///
+/// Items with empty ground truth are skipped (every paper item carries at
+/// least one true label). An empty prediction for a non-empty truth scores
+/// precision 0 (nothing correct was asserted).
+SetMetrics ComputeSetMetrics(const std::vector<LabelSet>& predictions,
+                             const std::vector<LabelSet>& ground_truth);
+
+/// \brief Per-item precision/recall (exposed for tests and diagnostics).
+struct ItemMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+ItemMetrics ComputeItemMetrics(const LabelSet& prediction, const LabelSet& truth);
+
+/// \brief Two-coin characterisation of one worker for one label (or for
+/// all labels pooled): sensitivity = TP/(TP+FN), specificity = TN/(TN+FP),
+/// counted over the worker's answered items.
+struct WorkerLabelStats {
+  WorkerId worker = 0;
+  double sensitivity = 0.0;
+  double specificity = 0.0;
+  std::size_t positives = 0;  ///< answered items where the label is true
+  std::size_t negatives = 0;  ///< answered items where the label is false
+};
+
+/// Per-worker stats for one label; workers without answered items carrying
+/// the label (positives == 0) report sensitivity 0 and are flagged by the
+/// counts. Only workers with at least one answer are returned.
+std::vector<WorkerLabelStats> ComputeWorkerLabelStats(
+    const AnswerMatrix& answers, const std::vector<LabelSet>& ground_truth,
+    LabelId label);
+
+/// Pooled over all labels (the Fig 10 scatter).
+std::vector<WorkerLabelStats> ComputeWorkerOverallStats(
+    const AnswerMatrix& answers, const std::vector<LabelSet>& ground_truth,
+    std::size_t num_labels);
+
+}  // namespace cpa
+
+#endif  // CPA_EVAL_METRICS_H_

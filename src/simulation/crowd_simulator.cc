@@ -1,0 +1,192 @@
+#include "simulation/crowd_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cpa {
+
+Status SimulationConfig::Validate() const {
+  if (answers_per_item < 1.0) {
+    return Status::InvalidArgument("answers_per_item must be >= 1");
+  }
+  if (zipf_exponent <= 0.0) {
+    return Status::InvalidArgument("zipf_exponent must be positive");
+  }
+  if (candidate_set_size == 0) {
+    return Status::InvalidArgument("candidate_set_size must be positive");
+  }
+  if (max_load_factor < 1.0) {
+    return Status::InvalidArgument("max_load_factor must be >= 1");
+  }
+  if (confusable_fraction < 0.0 || confusable_fraction > 1.0) {
+    return Status::InvalidArgument("confusable_fraction must lie in [0, 1]");
+  }
+  if (spam_set_mean < 1.0) {
+    return Status::InvalidArgument("spam_set_mean must be >= 1");
+  }
+  if (attention_mean < 0.0) {
+    return Status::InvalidArgument("attention_mean must be non-negative");
+  }
+  return Status::OK();
+}
+
+LabelSet BuildCandidateSet(const LabelSet& truth, std::span<const double> profile,
+                           const SimulationConfig& config, Rng& rng) {
+  LabelSet candidates = truth;
+  const std::size_t num_labels = profile.size();
+  const std::size_t target = std::min(config.candidate_set_size, num_labels);
+  const std::size_t max_attempts = 50 * (target + 1);
+  std::size_t attempts = 0;
+  while (candidates.size() < target && attempts < max_attempts) {
+    ++attempts;
+    LabelId c;
+    if (rng.NextBernoulli(config.confusable_fraction)) {
+      c = static_cast<LabelId>(rng.NextCategorical(profile));
+    } else {
+      c = static_cast<LabelId>(rng.NextBounded(num_labels));
+    }
+    candidates.Add(c);
+  }
+  return candidates;
+}
+
+LabelSet SimulateOneAnswer(const WorkerProfile& worker, const LabelSet& truth,
+                           const LabelSet& candidates, const SimulationConfig& config,
+                           Rng& rng) {
+  LabelSet answer;
+  switch (worker.type) {
+    case WorkerType::kUniformSpammer:
+      answer.Add(worker.uniform_label);
+      return answer;
+    case WorkerType::kRandomSpammer: {
+      const auto pool = candidates.labels();
+      if (pool.empty()) {
+        answer.Add(worker.uniform_label);
+        return answer;
+      }
+      std::size_t size = 1 + static_cast<std::size_t>(
+                                 rng.NextPoisson(config.spam_set_mean - 1.0));
+      size = std::min(size, pool.size());
+      for (std::size_t index : rng.SampleWithoutReplacement(pool.size(), size)) {
+        answer.Add(pool[index]);
+      }
+      return answer;
+    }
+    default:
+      break;
+  }
+  // Honest workers: Bernoulli per candidate label, driven by per-label
+  // sensitivity (true labels) and specificity (false candidates).
+  for (LabelId c : candidates) {
+    const bool is_true = truth.Contains(c);
+    const double p_report =
+        is_true ? worker.sensitivity[c] : 1.0 - worker.specificity[c];
+    if (rng.NextBernoulli(p_report)) answer.Add(c);
+  }
+  // Attention budget: the worker stops after a few labels, so some labels
+  // they would endorse go unreported (partial completeness).
+  if (config.attention_mean > 0.0) {
+    std::size_t budget =
+        1 + static_cast<std::size_t>(rng.NextPoisson(config.attention_mean - 1.0));
+    if (answer.size() > budget) {
+      const auto pool = answer.labels();
+      LabelSet capped;
+      for (std::size_t index : rng.SampleWithoutReplacement(pool.size(), budget)) {
+        capped.Add(pool[index]);
+      }
+      answer = std::move(capped);
+    }
+  }
+  if (answer.empty()) {
+    // Workers must submit something; they pick a random candidate (or, if
+    // the candidate set were somehow empty, their fallback label).
+    const auto pool = candidates.labels();
+    if (pool.empty()) {
+      answer.Add(worker.uniform_label);
+    } else {
+      answer.Add(pool[rng.NextBounded(pool.size())]);
+    }
+  }
+  return answer;
+}
+
+Result<AnswerMatrix> SimulateAnswers(const GroundTruth& truth,
+                                     std::span<const WorkerProfile> workers,
+                                     const SimulationConfig& config, Rng& rng) {
+  CPA_RETURN_NOT_OK(config.Validate());
+  if (workers.empty()) return Status::InvalidArgument("empty worker pool");
+  const std::size_t num_items = truth.labels.size();
+  const std::size_t num_workers = workers.size();
+  AnswerMatrix matrix(num_items, num_workers);
+
+  // Zipf-skewed worker activity: a fixed permutation makes "worker 0 of the
+  // Zipf ranking" a random worker rather than always index 0.
+  std::vector<WorkerId> rank_to_worker(num_workers);
+  std::iota(rank_to_worker.begin(), rank_to_worker.end(), 0u);
+  rng.Shuffle(rank_to_worker);
+
+  // Per-worker load cap for the skewed assignment.
+  const double mean_load = config.answers_per_item *
+                           static_cast<double>(num_items) /
+                           static_cast<double>(num_workers);
+  const std::size_t load_cap = std::max<std::size_t>(
+      10, static_cast<std::size_t>(config.max_load_factor * mean_load));
+  std::vector<std::size_t> load(num_workers, 0);
+
+  std::vector<WorkerId> scratch;
+  for (std::size_t i = 0; i < num_items; ++i) {
+    // Redundancy: floor + Bernoulli(fraction), at least one answer.
+    const double want = config.answers_per_item;
+    std::size_t redundancy = static_cast<std::size_t>(want);
+    if (rng.NextBernoulli(want - std::floor(want))) ++redundancy;
+    redundancy = std::clamp<std::size_t>(redundancy, 1, num_workers);
+
+    scratch.clear();
+    if (config.skewed_workers) {
+      // Sample distinct workers by Zipf rank, respecting the load cap.
+      std::size_t guard = 0;
+      while (scratch.size() < redundancy && guard < 100 * redundancy + 100) {
+        ++guard;
+        const WorkerId u =
+            rank_to_worker[rng.NextZipf(num_workers, config.zipf_exponent)];
+        if (load[u] >= load_cap) continue;
+        if (std::find(scratch.begin(), scratch.end(), u) == scratch.end()) {
+          scratch.push_back(u);
+        }
+      }
+      // Guard tripped (tiny pools): fill uniformly.
+      for (std::size_t index :
+           rng.SampleWithoutReplacement(num_workers, redundancy)) {
+        if (scratch.size() >= redundancy) break;
+        const WorkerId u = static_cast<WorkerId>(index);
+        if (std::find(scratch.begin(), scratch.end(), u) == scratch.end()) {
+          scratch.push_back(u);
+        }
+      }
+    } else {
+      for (std::size_t index :
+           rng.SampleWithoutReplacement(num_workers, redundancy)) {
+        scratch.push_back(static_cast<WorkerId>(index));
+      }
+    }
+
+    const auto profile = truth.cluster_profiles.Row(truth.item_cluster[i]);
+    const LabelSet candidates =
+        BuildCandidateSet(truth.labels[i], profile, config, rng);
+    for (WorkerId u : scratch) {
+      LabelSet answer =
+          SimulateOneAnswer(workers[u], truth.labels[i], candidates, config, rng);
+      const Status added =
+          matrix.Add(static_cast<ItemId>(i), u, std::move(answer));
+      CPA_CHECK(added.ok()) << added.ToString();
+      ++load[u];
+    }
+  }
+  return matrix;
+}
+
+}  // namespace cpa

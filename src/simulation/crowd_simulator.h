@@ -1,0 +1,89 @@
+#ifndef CPA_SIMULATION_CROWD_SIMULATOR_H_
+#define CPA_SIMULATION_CROWD_SIMULATOR_H_
+
+/// \file crowd_simulator.h
+/// \brief Generates worker answers for items with known ground truth.
+///
+/// Models the paper's task design (§5.1): each item is shown to several
+/// workers; a worker sees a *candidate label set* (the paper shows ~30
+/// candidate tags for images, 20 for reviews) consisting of the true
+/// labels, labels that co-occur with them (drawn from the item's cluster
+/// profile — the realistic confusions) and random fillers. Non-spammer
+/// answers follow the worker's per-label sensitivity/specificity; uniform
+/// spammers always answer their fixed label; random spammers answer random
+/// candidate subsets. Worker-to-item assignment is uniform or Zipf-skewed
+/// ("the distribution of worker answers is skewed in datasets (1) and
+/// (5)").
+
+#include <cstddef>
+#include <span>
+
+#include "data/answer_matrix.h"
+#include "simulation/truth_generator.h"
+#include "simulation/worker_profile.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cpa {
+
+/// \brief Knobs of the answer simulator.
+struct SimulationConfig {
+  /// Expected number of answers per item (redundancy). Fractional values
+  /// are realised in expectation.
+  double answers_per_item = 8.0;
+
+  /// Zipf-skewed worker activity when true; uniform otherwise.
+  bool skewed_workers = false;
+  double zipf_exponent = 1.1;
+
+  /// Cap on any single worker's load, as a multiple of the mean load
+  /// (skewed assignment only). Crowd platforms limit how many tasks one
+  /// worker may take; without the cap a handful of Zipf-head workers
+  /// supply half of every item's answers and their idiosyncrasies dominate
+  /// the whole dataset.
+  double max_load_factor = 4.0;
+
+  /// Size of the candidate label set a worker chooses from.
+  std::size_t candidate_set_size = 20;
+
+  /// Fraction of non-true candidates drawn from the item's cluster profile
+  /// (confusable labels) rather than uniformly.
+  double confusable_fraction = 0.7;
+
+  /// Mean answer-set size of random spammers.
+  double spam_set_mean = 2.0;
+
+  /// Attention budget of honest workers: the mean of a (1 + Poisson)
+  /// per-answer cap on how many labels a worker reports. Workers do not
+  /// exhaustively verify every candidate — they stop after a few labels,
+  /// which makes answers *partially complete* (a missing label is not a
+  /// negative judgement — the phenomenon the paper builds on, §1). 0
+  /// disables the cap.
+  double attention_mean = 0.0;
+
+  Status Validate() const;
+};
+
+/// \brief Simulates the answer matrix for `truth` using `workers`.
+///
+/// Every item receives at least one answer. Fails on invalid config or an
+/// empty worker pool.
+Result<AnswerMatrix> SimulateAnswers(const GroundTruth& truth,
+                                     std::span<const WorkerProfile> workers,
+                                     const SimulationConfig& config, Rng& rng);
+
+/// \brief Builds the candidate label set for one item (exposed for tests):
+/// true labels + confusable labels from the cluster profile + uniform
+/// fillers, up to `candidate_set_size` distinct labels.
+LabelSet BuildCandidateSet(const LabelSet& truth, std::span<const double> profile,
+                           const SimulationConfig& config, Rng& rng);
+
+/// \brief Simulates a single answer of `worker` for an item (exposed for
+/// tests). Never returns an empty set.
+LabelSet SimulateOneAnswer(const WorkerProfile& worker, const LabelSet& truth,
+                           const LabelSet& candidates, const SimulationConfig& config,
+                           Rng& rng);
+
+}  // namespace cpa
+
+#endif  // CPA_SIMULATION_CROWD_SIMULATOR_H_

@@ -1,0 +1,210 @@
+#include "simulation/dataset_factory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simulation/crowd_simulator.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace cpa {
+
+std::vector<PaperDatasetId> AllPaperDatasets() {
+  return {PaperDatasetId::kImage, PaperDatasetId::kTopic, PaperDatasetId::kAspect,
+          PaperDatasetId::kEntity, PaperDatasetId::kMovie};
+}
+
+std::string_view PaperDatasetName(PaperDatasetId id) {
+  switch (id) {
+    case PaperDatasetId::kImage:
+      return "image";
+    case PaperDatasetId::kTopic:
+      return "topic";
+    case PaperDatasetId::kAspect:
+      return "aspect";
+    case PaperDatasetId::kEntity:
+      return "entity";
+    case PaperDatasetId::kMovie:
+      return "movie";
+  }
+  return "unknown";
+}
+
+PaperDatasetSpec PaperDatasetSpec::For(PaperDatasetId id) {
+  PaperDatasetSpec spec;
+  spec.id = id;
+  switch (id) {
+    case PaperDatasetId::kImage:
+      // NUS-WIDE: up to 10 tags per image out of 81; ~30 candidates shown;
+      // simple visual task; skewed worker activity; strong correlation.
+      spec.items = 2000;
+      spec.workers = 416;
+      spec.labels = 81;
+      spec.answers = 22920;
+      spec.mean_labels_per_item = 4.0;
+      spec.max_labels_per_item = 10;
+      spec.correlation = 0.8;
+      spec.latent_clusters = 12;
+      spec.skewed_workers = true;
+      spec.difficulty = 0.0;
+      spec.candidate_set_size = 30;
+      spec.attention_mean = 5.5;
+      break;
+    case PaperDatasetId::kTopic:
+      // TREC microblog: up to 5 of 49 topics; text understanding needed.
+      spec.items = 2000;
+      spec.workers = 313;
+      spec.labels = 49;
+      spec.answers = 15080;
+      spec.mean_labels_per_item = 2.5;
+      spec.max_labels_per_item = 5;
+      spec.correlation = 0.75;
+      spec.latent_clusters = 8;
+      spec.skewed_workers = false;
+      spec.difficulty = 0.08;
+      spec.candidate_set_size = 15;
+      spec.attention_mean = 4.0;
+      break;
+    case PaperDatasetId::kAspect:
+      // Restaurant reviews: up to 5 of 262 aspects; 20 candidates shown;
+      // normal answer distribution; little label correlation; difficult.
+      spec.items = 3710;
+      spec.workers = 482;
+      spec.labels = 262;
+      spec.answers = 19780;
+      spec.mean_labels_per_item = 2.5;
+      spec.max_labels_per_item = 5;
+      spec.correlation = 0.2;
+      spec.latent_clusters = 20;
+      spec.skewed_workers = false;
+      spec.difficulty = 0.08;
+      spec.candidate_set_size = 20;
+      spec.attention_mean = 4.0;
+      break;
+    case PaperDatasetId::kEntity:
+      // T-NER: word-level entity tags over 1450 surface labels; the
+      // strongest label correlation of the five; difficult text task.
+      spec.items = 2400;
+      spec.workers = 517;
+      spec.labels = 1450;
+      spec.answers = 15510;
+      spec.mean_labels_per_item = 2.0;
+      spec.max_labels_per_item = 6;
+      spec.correlation = 0.9;
+      spec.latent_clusters = 40;
+      spec.skewed_workers = false;
+      spec.difficulty = 0.08;
+      spec.candidate_set_size = 25;
+      spec.attention_mean = 3.5;
+      break;
+    case PaperDatasetId::kMovie:
+      // IMDB genres: up to ~4 of 22 genres; simple task; skewed activity;
+      // little correlation between genres.
+      spec.items = 500;
+      spec.workers = 936;
+      spec.labels = 22;
+      spec.answers = 14430;
+      spec.mean_labels_per_item = 2.5;
+      spec.max_labels_per_item = 4;
+      spec.correlation = 0.15;
+      spec.latent_clusters = 5;
+      spec.skewed_workers = true;
+      spec.difficulty = 0.0;
+      spec.candidate_set_size = 22;
+      spec.attention_mean = 4.0;
+      break;
+  }
+  return spec;
+}
+
+Result<Dataset> MakeDatasetFromSpec(const PaperDatasetSpec& spec,
+                                    const FactoryOptions& options) {
+  if (options.scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  const auto scaled = [&](std::size_t value) {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::lround(value * options.scale)));
+  };
+  const std::size_t items = scaled(spec.items);
+  const std::size_t workers = std::max<std::size_t>(5, scaled(spec.workers));
+
+  Rng rng(options.seed ^ (static_cast<std::uint64_t>(spec.id) * 0x9E3779B9u));
+
+  TruthConfig truth_config;
+  truth_config.num_items = items;
+  truth_config.num_labels = spec.labels;
+  truth_config.num_clusters = spec.latent_clusters;
+  truth_config.correlation = spec.correlation;
+  truth_config.mean_labels_per_item = spec.mean_labels_per_item;
+  truth_config.max_labels_per_item = spec.max_labels_per_item;
+  CPA_ASSIGN_OR_RETURN(GroundTruth truth, GenerateGroundTruth(truth_config, rng));
+
+  PopulationConfig population_config;
+  population_config.num_workers = workers;
+  population_config.num_labels = spec.labels;
+  population_config.mix = options.mix;
+  population_config.difficulty = spec.difficulty;
+  CPA_ASSIGN_OR_RETURN(const std::vector<WorkerProfile> population,
+                       GeneratePopulation(population_config, rng));
+
+  SimulationConfig sim_config;
+  sim_config.answers_per_item =
+      std::max(1.0, static_cast<double>(spec.answers) / static_cast<double>(spec.items));
+  sim_config.skewed_workers = spec.skewed_workers;
+  sim_config.candidate_set_size = spec.candidate_set_size;
+  sim_config.attention_mean = spec.attention_mean;
+  CPA_ASSIGN_OR_RETURN(AnswerMatrix answers,
+                       SimulateAnswers(truth, population, sim_config, rng));
+
+  Dataset dataset;
+  dataset.name = std::string(PaperDatasetName(spec.id));
+  dataset.num_labels = spec.labels;
+  dataset.answers = std::move(answers);
+  dataset.ground_truth = std::move(truth.labels);
+  CPA_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+Result<Dataset> MakePaperDataset(PaperDatasetId id, const FactoryOptions& options) {
+  return MakeDatasetFromSpec(PaperDatasetSpec::For(id), options);
+}
+
+Result<Dataset> MakeScalabilityDataset(std::size_t num_items, std::size_t num_workers,
+                                       std::size_t num_labels,
+                                       double workers_per_item,
+                                       const FactoryOptions& options) {
+  Rng rng(options.seed ^ 0xABCDEF1234567890ULL);
+
+  TruthConfig truth_config;
+  truth_config.num_items = num_items;
+  truth_config.num_labels = num_labels;
+  truth_config.num_clusters = std::max<std::size_t>(2, num_labels / 3);
+  truth_config.correlation = 0.7;
+  truth_config.mean_labels_per_item = std::min(3.0, num_labels / 2.0);
+  truth_config.max_labels_per_item = num_labels;
+  CPA_ASSIGN_OR_RETURN(GroundTruth truth, GenerateGroundTruth(truth_config, rng));
+
+  PopulationConfig population_config;
+  population_config.num_workers = num_workers;
+  population_config.num_labels = num_labels;
+  population_config.mix = options.mix;
+  CPA_ASSIGN_OR_RETURN(const std::vector<WorkerProfile> population,
+                       GeneratePopulation(population_config, rng));
+
+  SimulationConfig sim_config;
+  sim_config.answers_per_item = workers_per_item;
+  sim_config.candidate_set_size = num_labels;
+  CPA_ASSIGN_OR_RETURN(AnswerMatrix answers,
+                       SimulateAnswers(truth, population, sim_config, rng));
+
+  Dataset dataset;
+  dataset.name = StrFormat("synthetic-%zux%zu", num_items, num_workers);
+  dataset.num_labels = num_labels;
+  dataset.answers = std::move(answers);
+  dataset.ground_truth = std::move(truth.labels);
+  CPA_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace cpa

@@ -1,0 +1,183 @@
+#include "simulation/perturbations.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "simulation/worker_profile.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace cpa {
+
+Result<Dataset> Sparsify(const Dataset& dataset, double keep_fraction, Rng& rng) {
+  if (keep_fraction < 0.0 || keep_fraction > 1.0) {
+    return Status::InvalidArgument("keep_fraction must lie in [0, 1]");
+  }
+  const std::size_t total = dataset.answers.num_answers();
+  const std::size_t keep = static_cast<std::size_t>(std::lround(keep_fraction * total));
+  std::vector<std::size_t> indices(total);
+  std::iota(indices.begin(), indices.end(), 0u);
+  rng.Shuffle(indices);
+  indices.resize(keep);
+
+  Dataset sparse = dataset;
+  sparse.answers = dataset.answers.Subset(indices);
+  return sparse;
+}
+
+Result<Dataset> InjectSpammers(const Dataset& dataset,
+                               const SpammerInjectionOptions& options, Rng& rng) {
+  if (options.spam_answer_fraction < 0.0 || options.spam_answer_fraction >= 1.0) {
+    return Status::InvalidArgument("spam_answer_fraction must lie in [0, 1)");
+  }
+  if (options.answers_per_spammer == 0) {
+    return Status::InvalidArgument("answers_per_spammer must be positive");
+  }
+  const std::size_t original = dataset.answers.num_answers();
+  // spam / (original + spam) = f  =>  spam = original * f / (1 - f).
+  const std::size_t spam_answers = static_cast<std::size_t>(std::lround(
+      original * options.spam_answer_fraction / (1.0 - options.spam_answer_fraction)));
+  if (spam_answers == 0) return dataset;
+
+  const std::size_t num_spammers = std::max<std::size_t>(
+      1, (spam_answers + options.answers_per_spammer - 1) / options.answers_per_spammer);
+
+  const std::size_t num_items = dataset.answers.num_items();
+  const std::size_t old_workers = dataset.answers.num_workers();
+
+  Dataset injected = dataset;
+  injected.answers = AnswerMatrix(num_items, old_workers + num_spammers);
+  for (const Answer& a : dataset.answers.answers()) {
+    CPA_CHECK_OK(injected.answers.Add(a.item, a.worker, a.labels));
+  }
+
+  std::size_t produced = 0;
+  for (std::size_t s = 0; s < num_spammers && produced < spam_answers; ++s) {
+    const WorkerId spammer = static_cast<WorkerId>(old_workers + s);
+    const bool uniform = rng.NextBernoulli(options.uniform_share);
+    const LabelId fixed_label =
+        static_cast<LabelId>(rng.NextBounded(dataset.num_labels));
+    const std::size_t quota =
+        std::min(options.answers_per_spammer, spam_answers - produced);
+    // Each spammer touches `quota` distinct random items.
+    const std::size_t capped = std::min(quota, num_items);
+    for (std::size_t index : rng.SampleWithoutReplacement(num_items, capped)) {
+      const ItemId item = static_cast<ItemId>(index);
+      LabelSet answer;
+      if (uniform) {
+        answer.Add(fixed_label);
+      } else {
+        const std::size_t size =
+            1 + static_cast<std::size_t>(rng.NextPoisson(1.0));
+        for (std::size_t draw = 0; draw < size; ++draw) {
+          answer.Add(static_cast<LabelId>(rng.NextBounded(dataset.num_labels)));
+        }
+      }
+      CPA_CHECK_OK(injected.answers.Add(item, spammer, std::move(answer)));
+      ++produced;
+    }
+  }
+  return injected;
+}
+
+Result<Dataset> InjectLabelDependencies(const Dataset& dataset, double fraction,
+                                        Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must lie in [0, 1]");
+  }
+  if (!dataset.has_ground_truth()) {
+    return Status::FailedPrecondition("label-dependency injection needs ground truth");
+  }
+  // Collect every (answer, missing-true-label) pair for answers that
+  // contain at least one correct label.
+  struct MissingLabel {
+    std::size_t answer_index;
+    LabelId label;
+  };
+  std::vector<MissingLabel> missing;
+  const auto answers = dataset.answers.answers();
+  for (std::size_t index = 0; index < answers.size(); ++index) {
+    const Answer& a = answers[index];
+    const LabelSet& truth = dataset.ground_truth[a.item];
+    if (a.labels.IntersectionSize(truth) == 0) continue;
+    for (LabelId c : truth.Difference(a.labels)) {
+      missing.push_back(MissingLabel{index, c});
+    }
+  }
+  const std::size_t to_add =
+      static_cast<std::size_t>(std::lround(fraction * missing.size()));
+  rng.Shuffle(missing);
+  missing.resize(to_add);
+
+  // Group additions per answer, then rebuild the matrix.
+  std::vector<std::vector<LabelId>> additions(answers.size());
+  for (const MissingLabel& m : missing) additions[m.answer_index].push_back(m.label);
+
+  Dataset enriched = dataset;
+  enriched.answers =
+      AnswerMatrix(dataset.answers.num_items(), dataset.answers.num_workers());
+  for (std::size_t index = 0; index < answers.size(); ++index) {
+    LabelSet labels = answers[index].labels;
+    for (LabelId c : additions[index]) labels.Add(c);
+    CPA_CHECK_OK(
+        enriched.answers.Add(answers[index].item, answers[index].worker, labels));
+  }
+  return enriched;
+}
+
+std::size_t BatchPlan::TotalAnswers() const {
+  std::size_t total = 0;
+  for (const auto& batch : batches) total += batch.size();
+  return total;
+}
+
+std::vector<std::size_t> BatchPlan::Prefix(std::size_t k) const {
+  std::vector<std::size_t> prefix;
+  for (std::size_t b = 0; b < std::min(k, batches.size()); ++b) {
+    prefix.insert(prefix.end(), batches[b].begin(), batches[b].end());
+  }
+  return prefix;
+}
+
+BatchPlan MakeWorkerBatches(const AnswerMatrix& answers, std::size_t workers_per_batch,
+                            Rng& rng) {
+  CPA_CHECK_GE(workers_per_batch, 1u);
+  std::vector<WorkerId> active;
+  for (WorkerId u = 0; u < answers.num_workers(); ++u) {
+    if (!answers.AnswersOfWorker(u).empty()) active.push_back(u);
+  }
+  rng.Shuffle(active);
+
+  BatchPlan plan;
+  for (std::size_t start = 0; start < active.size(); start += workers_per_batch) {
+    std::vector<std::size_t> batch;
+    const std::size_t end = std::min(active.size(), start + workers_per_batch);
+    for (std::size_t w = start; w < end; ++w) {
+      const auto indices = answers.AnswersOfWorker(active[w]);
+      batch.insert(batch.end(), indices.begin(), indices.end());
+    }
+    plan.batches.push_back(std::move(batch));
+  }
+  return plan;
+}
+
+BatchPlan MakeArrivalSchedule(const AnswerMatrix& answers, std::size_t num_steps,
+                              Rng& rng) {
+  CPA_CHECK_GE(num_steps, 1u);
+  std::vector<std::size_t> indices(answers.num_answers());
+  std::iota(indices.begin(), indices.end(), 0u);
+  rng.Shuffle(indices);
+
+  BatchPlan plan;
+  plan.batches.resize(num_steps);
+  const std::size_t total = indices.size();
+  for (std::size_t step = 0; step < num_steps; ++step) {
+    const std::size_t begin = step * total / num_steps;
+    const std::size_t end = (step + 1) * total / num_steps;
+    plan.batches[step].assign(indices.begin() + begin, indices.begin() + end);
+  }
+  return plan;
+}
+
+}  // namespace cpa

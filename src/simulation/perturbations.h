@@ -1,0 +1,79 @@
+#ifndef CPA_SIMULATION_PERTURBATIONS_H_
+#define CPA_SIMULATION_PERTURBATIONS_H_
+
+/// \file perturbations.h
+/// \brief Dataset perturbation operators behind the robustness experiments.
+///
+/// - `Sparsify` removes a random share of answers (Fig 3).
+/// - `InjectSpammers` adds answers from fresh spammer workers until they
+///   make up a target share of all answers (Fig 4).
+/// - `InjectLabelDependencies` adds missing true labels to answers that
+///   already contain at least one correct label (Fig 5).
+/// - `MakeWorkerBatches` / `MakeArrivalSchedule` split answers for the
+///   online-learning experiments (Fig 6 / Table 5) and SVI batching.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cpa {
+
+/// \brief Keeps a random `keep_fraction` of answers (sparsity level
+/// 1 − keep_fraction in the paper's terms). Dimensions are preserved.
+Result<Dataset> Sparsify(const Dataset& dataset, double keep_fraction, Rng& rng);
+
+/// \brief Options for spammer injection.
+struct SpammerInjectionOptions {
+  /// Target fraction of *all* answers (original + injected) contributed by
+  /// the injected spammers; e.g. 0.4 reproduces the paper's 40 % setting.
+  double spam_answer_fraction = 0.2;
+
+  /// Injected population is split evenly between uniform and random
+  /// spammers (the paper's gamma/2 + gamma/2 convention).
+  double uniform_share = 0.5;
+
+  /// Answers each injected spammer produces (controls how many spammer
+  /// accounts are created).
+  std::size_t answers_per_spammer = 50;
+};
+
+/// \brief Appends spammer workers and their answers to `dataset`.
+Result<Dataset> InjectSpammers(const Dataset& dataset,
+                               const SpammerInjectionOptions& options, Rng& rng);
+
+/// \brief Adds a fraction of the *missing true labels* to worker answers
+/// that contain at least one correct label (the Fig 5 protocol). Requires
+/// ground truth.
+Result<Dataset> InjectLabelDependencies(const Dataset& dataset, double fraction,
+                                        Rng& rng);
+
+/// \brief A partition of answer indices into ordered batches.
+struct BatchPlan {
+  /// Indices into `AnswerMatrix::answers()`, grouped per batch.
+  std::vector<std::vector<std::size_t>> batches;
+
+  std::size_t num_batches() const { return batches.size(); }
+  std::size_t TotalAnswers() const;
+
+  /// Concatenation of the first `k` batches (data "arrived so far").
+  std::vector<std::size_t> Prefix(std::size_t k) const;
+};
+
+/// \brief Groups answers by worker and packs ~`workers_per_batch` workers
+/// per batch, in shuffled worker order — the SVI batching of Algorithm 2
+/// ("each batch contains the answers of a fixed number of workers").
+BatchPlan MakeWorkerBatches(const AnswerMatrix& answers, std::size_t workers_per_batch,
+                            Rng& rng);
+
+/// \brief Splits answers uniformly at random into `num_steps` batches of
+/// (nearly) equal size — the data-arrival protocol of Fig 6 ("new worker
+/// answers arrive in steps of 10% of the dataset size").
+BatchPlan MakeArrivalSchedule(const AnswerMatrix& answers, std::size_t num_steps,
+                              Rng& rng);
+
+}  // namespace cpa
+
+#endif  // CPA_SIMULATION_PERTURBATIONS_H_

@@ -1,0 +1,115 @@
+#include "simulation/truth_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_utils.h"
+
+namespace cpa {
+
+Status TruthConfig::Validate() const {
+  if (num_items == 0) return Status::InvalidArgument("num_items must be positive");
+  if (num_labels == 0) return Status::InvalidArgument("num_labels must be positive");
+  if (num_clusters == 0) return Status::InvalidArgument("num_clusters must be positive");
+  if (correlation < 0.0 || correlation > 1.0) {
+    return Status::InvalidArgument("correlation must lie in [0, 1]");
+  }
+  if (mean_labels_per_item < 1.0) {
+    return Status::InvalidArgument("mean_labels_per_item must be >= 1");
+  }
+  if (max_labels_per_item == 0 || max_labels_per_item > num_labels) {
+    return Status::InvalidArgument(
+        StrFormat("max_labels_per_item must lie in [1, %zu]", num_labels));
+  }
+  if (core_mass <= 0.0 || core_mass > 1.0) {
+    return Status::InvalidArgument("core_mass must lie in (0, 1]");
+  }
+  return Status::OK();
+}
+
+LabelSet SampleLabelSet(std::span<const double> profile, std::size_t size, Rng& rng) {
+  LabelSet set;
+  const std::size_t target = std::min(size, profile.size());
+  // Rejection on duplicates; bounded attempts keep this O(target) in the
+  // common case and terminate even for degenerate profiles.
+  const std::size_t max_attempts = 50 * (target + 1);
+  std::size_t attempts = 0;
+  while (set.size() < target && attempts < max_attempts) {
+    ++attempts;
+    const LabelId c = static_cast<LabelId>(rng.NextCategorical(profile));
+    if (!set.Contains(c)) set.Add(c);
+  }
+  // Fill any remainder deterministically with the highest-mass labels.
+  if (set.size() < target) {
+    std::vector<LabelId> order(profile.size());
+    for (std::size_t c = 0; c < profile.size(); ++c) order[c] = static_cast<LabelId>(c);
+    std::sort(order.begin(), order.end(),
+              [&](LabelId a, LabelId b) { return profile[a] > profile[b]; });
+    for (LabelId c : order) {
+      if (set.size() >= target) break;
+      if (!set.Contains(c)) set.Add(c);
+    }
+  }
+  return set;
+}
+
+Result<GroundTruth> GenerateGroundTruth(const TruthConfig& config, Rng& rng) {
+  CPA_RETURN_NOT_OK(config.Validate());
+  const std::size_t C = config.num_labels;
+  const std::size_t K = config.num_clusters;
+
+  GroundTruth truth;
+  truth.cluster_profiles.Reset(K, C);
+
+  // Global popularity: a mildly concentrated Dirichlet draw, shared by all
+  // clusters. This is what remains at correlation 0.
+  std::vector<double> popularity(C);
+  {
+    const std::vector<double> alpha(C, 2.0);
+    rng.NextDirichlet(alpha, popularity);
+  }
+
+  // Core size defaults to ~2.5x the mean set size.
+  std::size_t core_size = config.core_size;
+  if (core_size == 0) {
+    core_size = static_cast<std::size_t>(std::lround(2.5 * config.mean_labels_per_item));
+  }
+  core_size = std::clamp<std::size_t>(core_size, 2, C);
+
+  for (std::size_t k = 0; k < K; ++k) {
+    // Pick the cluster's core labels and give them `core_mass` of the core
+    // profile, spread by a Dirichlet draw.
+    const auto core = rng.SampleWithoutReplacement(C, core_size);
+    std::vector<double> core_weights(core_size);
+    const std::vector<double> alpha(core_size, 1.5);
+    rng.NextDirichlet(alpha, core_weights);
+
+    std::vector<double> core_profile(C, 0.0);
+    const double off_core = (1.0 - config.core_mass) / static_cast<double>(C);
+    for (std::size_t c = 0; c < C; ++c) core_profile[c] = off_core;
+    for (std::size_t j = 0; j < core_size; ++j) {
+      core_profile[core[j]] += config.core_mass * core_weights[j];
+    }
+
+    auto row = truth.cluster_profiles.Row(k);
+    for (std::size_t c = 0; c < C; ++c) {
+      row[c] = (1.0 - config.correlation) * popularity[c] +
+               config.correlation * core_profile[c];
+    }
+    NormalizeInPlace(row);
+  }
+
+  truth.labels.resize(config.num_items);
+  truth.item_cluster.resize(config.num_items);
+  for (std::size_t i = 0; i < config.num_items; ++i) {
+    const std::size_t k = static_cast<std::size_t>(rng.NextBounded(K));
+    truth.item_cluster[i] = k;
+    std::size_t size = 1 + static_cast<std::size_t>(
+                               rng.NextPoisson(config.mean_labels_per_item - 1.0));
+    size = std::clamp<std::size_t>(size, 1, config.max_labels_per_item);
+    truth.labels[i] = SampleLabelSet(truth.cluster_profiles.Row(k), size, rng);
+  }
+  return truth;
+}
+
+}  // namespace cpa

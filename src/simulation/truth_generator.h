@@ -1,0 +1,72 @@
+#ifndef CPA_SIMULATION_TRUTH_GENERATOR_H_
+#define CPA_SIMULATION_TRUTH_GENERATOR_H_
+
+/// \file truth_generator.h
+/// \brief Cluster-structured ground-truth generation.
+///
+/// The CPA model's central assumption (R3) is that items group into latent
+/// clusters whose members share label co-occurrence structure (Fig 1). The
+/// generator realises this directly: each latent cluster owns a label
+/// profile that concentrates mass on a small "core" of co-occurring labels;
+/// the `correlation` knob blends that core against a global label
+/// popularity distribution, so correlation 0 produces (near) independent
+/// labels and correlation 1 produces sharply clustered label sets. The
+/// paper's §5.1 simulation draws truth "based on a multinomial
+/// distribution" — this is that, with controllable structure.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/label_set.h"
+#include "data/types.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cpa {
+
+/// \brief Knobs of the ground-truth generator.
+struct TruthConfig {
+  std::size_t num_items = 0;
+  std::size_t num_labels = 0;
+
+  /// Number of latent item clusters (the generative analogue of τ).
+  std::size_t num_clusters = 5;
+
+  /// Label-correlation strength in [0, 1]; see file comment.
+  double correlation = 0.7;
+
+  /// Mean (and cap) of the per-item label-set size; sizes are
+  /// 1 + Poisson(mean − 1) clamped to [1, max].
+  double mean_labels_per_item = 3.0;
+  std::size_t max_labels_per_item = 10;
+
+  /// Mass a cluster's core receives at correlation 1.
+  double core_mass = 0.9;
+
+  /// Number of core labels per cluster; 0 derives it from the set size.
+  std::size_t core_size = 0;
+
+  Status Validate() const;
+};
+
+/// \brief Generated truth: label sets plus the latent structure that
+/// produced them (kept for calibration checks and Fig 1 analysis).
+struct GroundTruth {
+  std::vector<LabelSet> labels;            ///< per item
+  std::vector<std::size_t> item_cluster;   ///< latent cluster per item
+  Matrix cluster_profiles;                 ///< num_clusters × C label probabilities
+
+  std::size_t num_clusters() const { return cluster_profiles.rows(); }
+  std::size_t num_labels() const { return cluster_profiles.cols(); }
+};
+
+/// Generates ground truth; fails on invalid config.
+Result<GroundTruth> GenerateGroundTruth(const TruthConfig& config, Rng& rng);
+
+/// Samples a label set of size `size` (distinct labels) from `profile`.
+LabelSet SampleLabelSet(std::span<const double> profile, std::size_t size, Rng& rng);
+
+}  // namespace cpa
+
+#endif  // CPA_SIMULATION_TRUTH_GENERATOR_H_

@@ -1,0 +1,188 @@
+#include "simulation/worker_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace cpa {
+namespace {
+
+/// Skills are clamped away from 0/1 so likelihoods stay finite.
+double ClampSkill(double value) { return std::clamp(value, 0.02, 0.98); }
+
+}  // namespace
+
+std::string_view WorkerTypeName(WorkerType type) {
+  switch (type) {
+    case WorkerType::kReliable:
+      return "reliable";
+    case WorkerType::kNormal:
+      return "normal";
+    case WorkerType::kSloppy:
+      return "sloppy";
+    case WorkerType::kUniformSpammer:
+      return "uniform-spammer";
+    case WorkerType::kRandomSpammer:
+      return "random-spammer";
+  }
+  return "unknown";
+}
+
+PopulationMix PopulationMix::PaperSimulationDefault() {
+  PopulationMix mix;
+  mix.reliable = 0.43;
+  mix.normal = 0.0;
+  mix.sloppy = 0.32;
+  mix.uniform_spammer = 0.125;
+  mix.random_spammer = 0.125;
+  return mix;
+}
+
+PopulationMix PopulationMix::EmpiricalZhao() {
+  // 27 % reliable, 16 % normal, 18 % sloppy, 38 % spammers; the remaining
+  // 1 % of the survey is unclassified and folded into "normal".
+  PopulationMix mix;
+  mix.reliable = 0.27;
+  mix.normal = 0.17;
+  mix.sloppy = 0.18;
+  mix.uniform_spammer = 0.19;
+  mix.random_spammer = 0.19;
+  return mix;
+}
+
+PopulationMix PopulationMix::AllReliable() {
+  PopulationMix mix;
+  mix.reliable = 1.0;
+  return mix;
+}
+
+Status PopulationMix::Validate() const {
+  const double parts[] = {reliable, normal, sloppy, uniform_spammer, random_spammer};
+  double total = 0.0;
+  for (double p : parts) {
+    if (p < 0.0) return Status::InvalidArgument("negative mix proportion");
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument(StrFormat("mix sums to %.6f, expected 1", total));
+  }
+  return Status::OK();
+}
+
+QualityParams QualityParams::ForType(WorkerType type) {
+  QualityParams params;
+  switch (type) {
+    case WorkerType::kReliable:
+      params = {0.90, 0.04, 0.97, 0.015};
+      break;
+    case WorkerType::kNormal:
+      params = {0.75, 0.07, 0.93, 0.03};
+      break;
+    case WorkerType::kSloppy:
+      params = {0.45, 0.10, 0.85, 0.05};
+      break;
+    case WorkerType::kUniformSpammer:
+      // Nominal near-chance profile; actual behaviour is the fixed label.
+      params = {0.10, 0.05, 0.90, 0.05};
+      break;
+    case WorkerType::kRandomSpammer:
+      params = {0.30, 0.10, 0.70, 0.10};
+      break;
+  }
+  return params;
+}
+
+double WorkerProfile::MeanSensitivity() const {
+  if (sensitivity.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : sensitivity) total += s;
+  return total / static_cast<double>(sensitivity.size());
+}
+
+double WorkerProfile::MeanSpecificity() const {
+  if (specificity.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : specificity) total += s;
+  return total / static_cast<double>(specificity.size());
+}
+
+WorkerType SampleWorkerType(const PopulationMix& mix, Rng& rng) {
+  const double weights[] = {mix.reliable, mix.normal, mix.sloppy, mix.uniform_spammer,
+                            mix.random_spammer};
+  switch (rng.NextCategorical(weights)) {
+    case 0:
+      return WorkerType::kReliable;
+    case 1:
+      return WorkerType::kNormal;
+    case 2:
+      return WorkerType::kSloppy;
+    case 3:
+      return WorkerType::kUniformSpammer;
+    default:
+      return WorkerType::kRandomSpammer;
+  }
+}
+
+std::size_t LabelExpertiseGroup(LabelId label, std::size_t num_groups) {
+  if (num_groups <= 1) return 0;
+  return label % num_groups;
+}
+
+WorkerProfile GenerateWorkerProfile(WorkerType type, const PopulationConfig& config,
+                                    Rng& rng) {
+  WorkerProfile profile;
+  profile.type = type;
+  profile.sensitivity.resize(config.num_labels);
+  profile.specificity.resize(config.num_labels);
+  profile.uniform_label =
+      config.num_labels > 0
+          ? static_cast<LabelId>(rng.NextBounded(config.num_labels))
+          : 0;
+  profile.expertise_group =
+      config.num_expertise_groups > 1
+          ? static_cast<std::size_t>(rng.NextBounded(config.num_expertise_groups))
+          : 0;
+
+  const QualityParams params = QualityParams::ForType(type);
+  const bool is_spammer =
+      type == WorkerType::kUniformSpammer || type == WorkerType::kRandomSpammer;
+  const double difficulty = is_spammer ? 0.0 : config.difficulty;
+
+  for (LabelId c = 0; c < config.num_labels; ++c) {
+    double sens = params.sensitivity_mean - difficulty +
+                  params.sensitivity_stddev * rng.NextGaussian();
+    double spec = params.specificity_mean - 0.5 * difficulty +
+                  params.specificity_stddev * rng.NextGaussian();
+    if (!is_spammer && config.num_expertise_groups > 1) {
+      if (LabelExpertiseGroup(c, config.num_expertise_groups) ==
+          profile.expertise_group) {
+        sens += config.expertise_boost;
+        spec += 0.5 * config.expertise_boost;
+      } else {
+        sens -= 0.5 * config.expertise_boost;
+      }
+    }
+    profile.sensitivity[c] = ClampSkill(sens);
+    profile.specificity[c] = ClampSkill(spec);
+  }
+  return profile;
+}
+
+Result<std::vector<WorkerProfile>> GeneratePopulation(const PopulationConfig& config,
+                                                      Rng& rng) {
+  CPA_RETURN_NOT_OK(config.mix.Validate());
+  if (config.num_labels == 0) {
+    return Status::InvalidArgument("population needs a non-empty label universe");
+  }
+  std::vector<WorkerProfile> population;
+  population.reserve(config.num_workers);
+  for (std::size_t u = 0; u < config.num_workers; ++u) {
+    population.push_back(
+        GenerateWorkerProfile(SampleWorkerType(config.mix, rng), config, rng));
+  }
+  return population;
+}
+
+}  // namespace cpa

@@ -1,0 +1,133 @@
+#ifndef CPA_SIMULATION_WORKER_PROFILE_H_
+#define CPA_SIMULATION_WORKER_PROFILE_H_
+
+/// \file worker_profile.h
+/// \brief Worker archetypes and per-label skill profiles.
+///
+/// The paper distinguishes five worker types (§2.1, Appendix A): reliable,
+/// normal, sloppy, uniform spammers and random spammers, characterised by
+/// sensitivity (true-positive rate) and specificity (true-negative rate).
+/// Its simulations (§5.1) distribute the population as 43 % reliable, 32 %
+/// sloppy and 25 % spammers (split evenly between random and uniform).
+/// Profiles are *per label*: requirement (R2) — a worker can be an expert
+/// for some labels and weak for others — is realised by expertise groups
+/// that boost a worker's skill on a subset of labels (this is what makes
+/// the per-label communities of Fig 9 emerge).
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "data/types.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cpa {
+
+/// \brief The five worker archetypes of the paper.
+enum class WorkerType {
+  kReliable,
+  kNormal,
+  kSloppy,
+  kUniformSpammer,
+  kRandomSpammer,
+};
+
+/// Stable display name ("reliable", "uniform-spammer", ...).
+std::string_view WorkerTypeName(WorkerType type);
+
+/// \brief Worker-type proportions of a simulated population.
+struct PopulationMix {
+  double reliable = 0.0;
+  double normal = 0.0;
+  double sloppy = 0.0;
+  double uniform_spammer = 0.0;
+  double random_spammer = 0.0;
+
+  /// §5.1 simulation default: alpha=43 % reliable, beta=32 % sloppy,
+  /// gamma=25 % spammers split evenly.
+  static PopulationMix PaperSimulationDefault();
+
+  /// The empirical population reported by Zhao et al. [28] (Appendix A):
+  /// 38 % spammers, 18 % sloppy, 16 % normal, 27 % reliable (rescaled to
+  /// sum to one).
+  static PopulationMix EmpiricalZhao();
+
+  /// A population with no faulty workers (for recovery tests).
+  static PopulationMix AllReliable();
+
+  /// Proportions must be non-negative and sum to 1 (±1e-6).
+  Status Validate() const;
+};
+
+/// \brief Gaussian skill parameters of one archetype.
+struct QualityParams {
+  double sensitivity_mean = 0.5;
+  double sensitivity_stddev = 0.0;
+  double specificity_mean = 0.5;
+  double specificity_stddev = 0.0;
+
+  /// Default parameters per archetype, following the two-coin
+  /// characterisation of Appendix A (reliable: high/high, sloppy: low
+  /// sensitivity, spammers: near-chance).
+  static QualityParams ForType(WorkerType type);
+};
+
+/// \brief A concrete simulated worker: type plus per-label skills.
+struct WorkerProfile {
+  WorkerType type = WorkerType::kNormal;
+
+  /// P(worker reports label c | c is true), per label.
+  std::vector<double> sensitivity;
+
+  /// P(worker omits label c | c is false), per label.
+  std::vector<double> specificity;
+
+  /// The single label a uniform spammer always answers.
+  LabelId uniform_label = 0;
+
+  /// Expertise group index (labels of this group get boosted skill).
+  std::size_t expertise_group = 0;
+
+  /// Mean skill over labels (used by audits and tests).
+  double MeanSensitivity() const;
+  double MeanSpecificity() const;
+};
+
+/// \brief Configuration for generating a worker population.
+struct PopulationConfig {
+  std::size_t num_workers = 0;
+  std::size_t num_labels = 0;
+  PopulationMix mix = PopulationMix::PaperSimulationDefault();
+
+  /// Task difficulty in [0, ~0.15]: subtracted from non-spammer skill means
+  /// ("tasks requiring understanding of unstructured text are more
+  /// difficult", §5.1).
+  double difficulty = 0.0;
+
+  /// Number of per-label expertise groups (R2 / Fig 9); 1 disables.
+  std::size_t num_expertise_groups = 3;
+
+  /// Additive sensitivity boost on a worker's expert labels and penalty
+  /// (half the boost) elsewhere.
+  double expertise_boost = 0.08;
+};
+
+/// Samples an archetype according to `mix`.
+WorkerType SampleWorkerType(const PopulationMix& mix, Rng& rng);
+
+/// Generates one worker of the given type.
+WorkerProfile GenerateWorkerProfile(WorkerType type, const PopulationConfig& config,
+                                    Rng& rng);
+
+/// Generates a full population. Type counts follow `config.mix` in
+/// expectation. Fails when the config is invalid.
+Result<std::vector<WorkerProfile>> GeneratePopulation(const PopulationConfig& config,
+                                                      Rng& rng);
+
+/// The expertise group a label belongs to (round-robin partition).
+std::size_t LabelExpertiseGroup(LabelId label, std::size_t num_groups);
+
+}  // namespace cpa
+
+#endif  // CPA_SIMULATION_WORKER_PROFILE_H_

@@ -1,0 +1,59 @@
+#include "util/flags.h"
+
+#include "util/string_utils.h"
+
+namespace cpa {
+
+Result<Flags> Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument: " +
+                                     std::string(arg));
+    }
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags.values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // `--name value` form, or a bare boolean `--name`.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags.values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[std::string(arg)] = "true";
+    }
+  }
+  return flags;
+}
+
+std::string Flags::GetString(std::string_view name, std::string_view fallback) const {
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : std::string(fallback);
+}
+
+long long Flags::GetInt(std::string_view name, long long fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const auto parsed = ParseInt(it->second);
+  return parsed.ok() ? parsed.value() : fallback;
+}
+
+double Flags::GetDouble(std::string_view name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const auto parsed = ParseDouble(it->second);
+  return parsed.ok() ? parsed.value() : fallback;
+}
+
+bool Flags::GetBool(std::string_view name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Flags::Has(std::string_view name) const { return values_.count(name) > 0; }
+
+}  // namespace cpa

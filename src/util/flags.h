@@ -1,0 +1,40 @@
+#ifndef CPA_UTIL_FLAGS_H_
+#define CPA_UTIL_FLAGS_H_
+
+/// \file flags.h
+/// \brief Tiny command-line flag parser for bench and example binaries.
+///
+/// Flags use `--name=value` or `--name value` syntax. Every bench binary
+/// must run with zero flags (sane defaults) so `for b in build/bench/*`
+/// works; flags only tweak scale for interactive exploration.
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cpa {
+
+/// \brief Parsed command-line flags with typed accessors.
+class Flags {
+ public:
+  /// Parses argv. Unknown positional arguments produce an error status.
+  static Result<Flags> Parse(int argc, char** argv);
+
+  /// Returns the flag value or `fallback` when absent.
+  std::string GetString(std::string_view name, std::string_view fallback) const;
+  long long GetInt(std::string_view name, long long fallback) const;
+  double GetDouble(std::string_view name, double fallback) const;
+  bool GetBool(std::string_view name, bool fallback) const;
+
+  /// True if the flag was supplied.
+  bool Has(std::string_view name) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_UTIL_FLAGS_H_

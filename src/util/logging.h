@@ -1,0 +1,99 @@
+#ifndef CPA_UTIL_LOGGING_H_
+#define CPA_UTIL_LOGGING_H_
+
+/// \file logging.h
+/// \brief Minimal leveled logging and invariant-check macros.
+///
+/// Logging is synchronous and writes to stderr. Checks (`CPA_CHECK*`) guard
+/// programming errors — they abort with a source location, and stay active
+/// in release builds because the cost is negligible next to inference work.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace cpa {
+
+/// \brief Severity of a log record.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// \brief Process-wide minimum level; records below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// \brief Returns the current process-wide minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Stream-style collector that emits one record on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// \brief Collector that aborts the process after emitting the record.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cpa
+
+#define CPA_LOG(level)                                                  \
+  if (static_cast<int>(::cpa::LogLevel::level) <                        \
+      static_cast<int>(::cpa::GetLogLevel())) {                         \
+  } else                                                                \
+    ::cpa::internal::LogMessage(::cpa::LogLevel::level, __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false.
+#define CPA_CHECK(condition)                                           \
+  if (condition) {                                                     \
+  } else                                                               \
+    ::cpa::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+#define CPA_CHECK_EQ(a, b) CPA_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CPA_CHECK_NE(a, b) CPA_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CPA_CHECK_LT(a, b) CPA_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CPA_CHECK_LE(a, b) CPA_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CPA_CHECK_GT(a, b) CPA_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CPA_CHECK_GE(a, b) CPA_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+/// Aborts when a `Status`-returning expression fails. For use in tests,
+/// examples and benches where the error is unrecoverable anyway.
+#define CPA_CHECK_OK(expr)                        \
+  do {                                            \
+    ::cpa::Status _cpa_check_status = (expr);     \
+    CPA_CHECK(_cpa_check_status.ok()) << _cpa_check_status.ToString(); \
+  } while (false)
+
+#endif  // CPA_UTIL_LOGGING_H_

@@ -1,0 +1,131 @@
+#include "util/special_functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace cpa {
+
+double Digamma(double x) {
+  CPA_CHECK_GT(x, 0.0) << "Digamma domain error";
+  double result = 0.0;
+  // Recurrence: Psi(x) = Psi(x + 1) - 1/x, applied until x >= 6 where the
+  // asymptotic expansion converges quickly.
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  // Asymptotic series: Psi(x) ~ ln x - 1/(2x) - sum B_{2n} / (2n x^{2n}).
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 -
+                    inv2 * (1.0 / 120.0 -
+                            inv2 * (1.0 / 252.0 -
+                                    inv2 * (1.0 / 240.0 - inv2 * (1.0 / 132.0)))));
+  return result;
+}
+
+double Trigamma(double x) {
+  CPA_CHECK_GT(x, 0.0) << "Trigamma domain error";
+  double result = 0.0;
+  while (x < 8.0) {
+    result += 1.0 / (x * x);
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  // Psi'(x) ~ 1/x + 1/(2x^2) + sum B_{2n} / x^{2n+1}.
+  result += inv * (1.0 + 0.5 * inv +
+                   inv2 * (1.0 / 6.0 -
+                           inv2 * (1.0 / 30.0 -
+                                   inv2 * (1.0 / 42.0 - inv2 * (1.0 / 30.0)))));
+  return result;
+}
+
+double LogGamma(double x) {
+  CPA_CHECK_GT(x, 0.0) << "LogGamma domain error";
+  return std::lgamma(x);
+}
+
+double LogBeta(double a, double b) {
+  return LogGamma(a) + LogGamma(b) - LogGamma(a + b);
+}
+
+double LogMultivariateBeta(std::span<const double> alpha) {
+  CPA_CHECK(!alpha.empty());
+  double sum = 0.0;
+  double log_gammas = 0.0;
+  for (double a : alpha) {
+    sum += a;
+    log_gammas += LogGamma(a);
+  }
+  return log_gammas - LogGamma(sum);
+}
+
+double LogSumExp(std::span<const double> values) {
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  const double max = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(max)) return max;  // all -inf (or a stray +inf/NaN)
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - max);
+  return max + std::log(sum);
+}
+
+double SoftmaxInPlace(std::span<double> log_weights) {
+  if (log_weights.empty()) return 0.0;
+  const double log_norm = LogSumExp(log_weights);
+  if (!std::isfinite(log_norm)) {
+    // Degenerate input (all -inf): fall back to the uniform distribution so
+    // downstream responsibilities stay well formed.
+    const double uniform = 1.0 / static_cast<double>(log_weights.size());
+    std::fill(log_weights.begin(), log_weights.end(), uniform);
+    return log_norm;
+  }
+  for (double& v : log_weights) v = std::exp(v - log_norm);
+  return log_norm;
+}
+
+double DirichletEntropy(std::span<const double> alpha) {
+  CPA_CHECK(!alpha.empty());
+  const std::size_t k = alpha.size();
+  double sum = 0.0;
+  for (double a : alpha) sum += a;
+  double entropy = LogMultivariateBeta(alpha) +
+                   (sum - static_cast<double>(k)) * Digamma(sum);
+  for (double a : alpha) entropy -= (a - 1.0) * Digamma(a);
+  return entropy;
+}
+
+void DirichletExpectedLog(std::span<const double> alpha, std::span<double> out) {
+  CPA_CHECK_EQ(alpha.size(), out.size());
+  double sum = 0.0;
+  for (double a : alpha) sum += a;
+  const double digamma_sum = Digamma(sum);
+  for (std::size_t c = 0; c < alpha.size(); ++c) {
+    out[c] = Digamma(alpha[c]) - digamma_sum;
+  }
+}
+
+double BetaEntropy(double a, double b) {
+  return LogBeta(a, b) - (a - 1.0) * Digamma(a) - (b - 1.0) * Digamma(b) +
+         (a + b - 2.0) * Digamma(a + b);
+}
+
+double DirichletKL(std::span<const double> alpha, std::span<const double> beta) {
+  CPA_CHECK_EQ(alpha.size(), beta.size());
+  double alpha_sum = 0.0;
+  for (double a : alpha) alpha_sum += a;
+  // KL = ln B(beta) - ln B(alpha)
+  //      + sum_c (alpha_c - beta_c) (Psi(alpha_c) - Psi(alpha_sum)).
+  double kl = LogMultivariateBeta(beta) - LogMultivariateBeta(alpha);
+  const double digamma_sum = Digamma(alpha_sum);
+  for (std::size_t c = 0; c < alpha.size(); ++c) {
+    kl += (alpha[c] - beta[c]) * (Digamma(alpha[c]) - digamma_sum);
+  }
+  return kl;
+}
+
+}  // namespace cpa

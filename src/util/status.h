@@ -1,0 +1,150 @@
+#ifndef CPA_UTIL_STATUS_H_
+#define CPA_UTIL_STATUS_H_
+
+/// \file status.h
+/// \brief Status / Result error-handling primitives.
+///
+/// Fallible operations in libcpa return a `Status` (or a `Result<T>` when a
+/// value is produced) instead of throwing. This mirrors the idiom used by
+/// production database engines (RocksDB, Arrow): callers must inspect the
+/// returned status, and helper macros (`CPA_RETURN_NOT_OK`,
+/// `CPA_ASSIGN_OR_RETURN`) keep propagation terse.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cpa {
+
+/// \brief Machine-readable category of a `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// diagnostic message otherwise. It is deliberately not convertible to
+/// `bool` implicitly; call `ok()`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Named constructors, one per non-OK code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+  /// @}
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status category.
+  StatusCode code() const { return code_; }
+
+  /// The diagnostic message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value-or-status union: holds `T` on success, `Status` otherwise.
+///
+/// Accessing `value()` on an errored result aborts (programming error), so
+/// callers must check `ok()` first or use `CPA_ASSIGN_OR_RETURN`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit to allow `return value;`).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs an errored result (implicit to allow `return status;`).
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Returns the value; must only be called when `ok()`.
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? value_.value() : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cpa
+
+/// Propagates a non-OK `Status` from the current function.
+#define CPA_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::cpa::Status _cpa_status = (expr);      \
+    if (!_cpa_status.ok()) return _cpa_status; \
+  } while (false)
+
+#define CPA_CONCAT_IMPL(a, b) a##b
+#define CPA_CONCAT(a, b) CPA_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a `Result<T>`), propagating its status on error and
+/// binding the value to `lhs` on success.
+#define CPA_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  auto CPA_CONCAT(_cpa_result_, __LINE__) = (rexpr);          \
+  if (!CPA_CONCAT(_cpa_result_, __LINE__).ok())               \
+    return CPA_CONCAT(_cpa_result_, __LINE__).status();       \
+  lhs = std::move(CPA_CONCAT(_cpa_result_, __LINE__)).value()
+
+#endif  // CPA_UTIL_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef CPA_UTIL_STOPWATCH_H_
+#define CPA_UTIL_STOPWATCH_H_
+
+/// \file stopwatch.h
+/// \brief Wall-clock timing for the runtime experiments (Fig 7).
+
+#include <chrono>
+
+namespace cpa {
+
+/// \brief Monotonic wall-clock stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_UTIL_STOPWATCH_H_

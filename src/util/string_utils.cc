@@ -1,0 +1,95 @@
+#include "util/string_utils.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cpa {
+
+std::vector<std::string> Split(std::string_view text, char delimiter) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delimiter) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  std::size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  std::size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+Result<long long> ParseInt(std::string_view text) {
+  const std::string buffer(Trim(text));
+  if (buffer.empty()) return Status::InvalidArgument("empty integer literal");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer literal out of range: " + buffer);
+  }
+  if (end != buffer.c_str() + buffer.size()) {
+    return Status::InvalidArgument("trailing characters in integer literal: " + buffer);
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string buffer(Trim(text));
+  if (buffer.empty()) return Status::InvalidArgument("empty double literal");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double literal out of range: " + buffer);
+  }
+  if (end != buffer.c_str() + buffer.size()) {
+    return Status::InvalidArgument("trailing characters in double literal: " + buffer);
+  }
+  return value;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace cpa

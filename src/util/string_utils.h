@@ -1,0 +1,38 @@
+#ifndef CPA_UTIL_STRING_UTILS_H_
+#define CPA_UTIL_STRING_UTILS_H_
+
+/// \file string_utils.h
+/// \brief Small string helpers shared by IO, flags and table printing.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cpa {
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts, std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Parses a base-10 signed integer; the whole string must be consumed.
+Result<long long> ParseInt(std::string_view text);
+
+/// Parses a double; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace cpa
+
+#endif  // CPA_UTIL_STRING_UTILS_H_

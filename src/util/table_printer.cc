@@ -1,0 +1,55 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <iostream>
+
+#include "util/string_utils.h"
+
+namespace cpa {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(const std::string& label, const std::vector<double>& values,
+                          int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) {
+    cells.push_back(StrFormat("%.*f", precision, v));
+  }
+  AddRow(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "  " << cell << std::string(widths[c] - cell.size(), ' ');
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::size_t rule_width = 0;
+  for (std::size_t w : widths) rule_width += w + 2;
+  os << std::string(rule_width, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::Print() const { Print(std::cout); }
+
+}  // namespace cpa

@@ -1,0 +1,43 @@
+#ifndef CPA_UTIL_TABLE_PRINTER_H_
+#define CPA_UTIL_TABLE_PRINTER_H_
+
+/// \file table_printer.h
+/// \brief Aligned console tables, used by the bench harness to print the
+/// paper's tables and figure series.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cpa {
+
+/// \brief Collects rows of string cells and renders them column-aligned.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Renders the full table (headers, rule, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+  /// Number of data rows added so far.
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_UTIL_TABLE_PRINTER_H_

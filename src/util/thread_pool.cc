@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cpa {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  CPA_CHECK_GE(num_threads, 1u);
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    CPA_CHECK(!shutting_down_) << "Submit after shutdown";
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t total,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 std::size_t min_shard) {
+  if (total == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || total < min_shard * 2) {
+    body(0, total);
+    return;
+  }
+  const std::size_t shards =
+      std::min(pool->num_threads(), std::max<std::size_t>(1, total / min_shard));
+  const std::size_t chunk = (total + shards - 1) / shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t begin = s * chunk;
+    const std::size_t end = std::min(total, begin + chunk);
+    if (begin >= end) break;
+    pool->Submit([&body, begin, end] { body(begin, end); });
+  }
+  pool->Wait();
+}
+
+}  // namespace cpa

@@ -1,0 +1,68 @@
+#ifndef CPA_UTIL_THREAD_POOL_H_
+#define CPA_UTIL_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool and data-parallel loop helper.
+///
+/// Algorithm 3 of the paper parallelises stochastic variational inference in
+/// MapReduce style: the per-worker local updates are independent (MAP) and
+/// the global natural-gradient step is centralised (REDUCE). On a single
+/// machine this maps onto a thread pool plus a blocking `ParallelFor` over
+/// index ranges; the REDUCE step runs on the calling thread after the
+/// barrier.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cpa {
+
+/// \brief Fixed-size pool of worker threads executing queued tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Number of worker threads.
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// \brief Runs `body(begin, end)` over [0, total) split into contiguous
+/// shards, one per pool thread, and blocks until all shards finish.
+///
+/// With `pool == nullptr` or `total` below `min_shard`, runs inline on the
+/// calling thread (the sequential fallback keeps call sites branch-free).
+void ParallelFor(ThreadPool* pool, std::size_t total,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 std::size_t min_shard = 1);
+
+}  // namespace cpa
+
+#endif  // CPA_UTIL_THREAD_POOL_H_

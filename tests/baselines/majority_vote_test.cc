@@ -1,0 +1,141 @@
+#include "baselines/majority_vote.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/vote_stats.h"
+
+namespace cpa {
+namespace {
+
+/// The answer matrix of Table 1 (labels shifted to 0-based: paper label k
+/// becomes k-1). Five workers (u1..u5), four pictures (i1..i4).
+AnswerMatrix PaperTableOne() {
+  AnswerMatrix m(4, 5);
+  // i1
+  EXPECT_TRUE(m.Add(0, 0, LabelSet{3, 4}).ok());
+  EXPECT_TRUE(m.Add(0, 1, LabelSet{3, 4}).ok());
+  EXPECT_TRUE(m.Add(0, 2, LabelSet{3}).ok());
+  EXPECT_TRUE(m.Add(0, 3, LabelSet{0}).ok());
+  EXPECT_TRUE(m.Add(0, 4, LabelSet{4}).ok());
+  // i2
+  EXPECT_TRUE(m.Add(1, 0, LabelSet{1, 2}).ok());
+  EXPECT_TRUE(m.Add(1, 1, LabelSet{0, 3}).ok());
+  EXPECT_TRUE(m.Add(1, 2, LabelSet{3}).ok());
+  EXPECT_TRUE(m.Add(1, 3, LabelSet{1}).ok());
+  EXPECT_TRUE(m.Add(1, 4, LabelSet{2, 3}).ok());
+  // i3
+  EXPECT_TRUE(m.Add(2, 0, LabelSet{0, 1}).ok());
+  EXPECT_TRUE(m.Add(2, 1, LabelSet{3}).ok());
+  EXPECT_TRUE(m.Add(2, 2, LabelSet{3}).ok());
+  EXPECT_TRUE(m.Add(2, 3, LabelSet{2}).ok());
+  EXPECT_TRUE(m.Add(2, 4, LabelSet{3, 4}).ok());
+  // i4
+  EXPECT_TRUE(m.Add(3, 0, LabelSet{0, 1}).ok());
+  EXPECT_TRUE(m.Add(3, 1, LabelSet{1, 2}).ok());
+  EXPECT_TRUE(m.Add(3, 2, LabelSet{3}).ok());
+  EXPECT_TRUE(m.Add(3, 3, LabelSet{3}).ok());
+  EXPECT_TRUE(m.Add(3, 4, LabelSet{0, 1, 2}).ok());
+  return m;
+}
+
+TEST(VoteStatsTest, CountsVotesAndAnswers) {
+  const AnswerMatrix m = PaperTableOne();
+  const VoteStats stats = CountVotes(m, 5);
+  EXPECT_DOUBLE_EQ(stats.answered[0], 5.0);
+  EXPECT_DOUBLE_EQ(stats.votes(0, 3), 3.0);  // label "4": u1, u2, u3
+  EXPECT_DOUBLE_EQ(stats.votes(0, 4), 3.0);  // label "5": u1, u2, u5
+  EXPECT_DOUBLE_EQ(stats.votes(0, 0), 1.0);  // label "1": u4
+  EXPECT_DOUBLE_EQ(stats.Ratio(0, 3), 0.6);
+}
+
+TEST(VoteStatsTest, UnansweredItemsHaveZeroRatio) {
+  AnswerMatrix m(2, 2);
+  ASSERT_TRUE(m.Add(0, 0, LabelSet{1}).ok());
+  const VoteStats stats = CountVotes(m, 3);
+  EXPECT_DOUBLE_EQ(stats.Ratio(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(stats.answered[1], 0.0);
+}
+
+TEST(MajorityVoteTest, ReproducesTableOneMajorityColumn) {
+  MajorityVote mv;
+  const auto result = mv.Aggregate(PaperTableOne(), 5);
+  ASSERT_TRUE(result.ok());
+  const auto& predictions = result.value().predictions;
+  ASSERT_EQ(predictions.size(), 4u);
+  // Paper's Majority column: {4,5}, {4}, {4}, {2} (1-based labels).
+  EXPECT_EQ(predictions[0], LabelSet({3, 4}));
+  EXPECT_EQ(predictions[1], LabelSet({3}));
+  EXPECT_EQ(predictions[2], LabelSet({3}));
+  EXPECT_EQ(predictions[3], LabelSet({1}));
+}
+
+TEST(MajorityVoteTest, MajorityIsPartiallyWrongExactlyAsThePaperArgues) {
+  // The paper's point: MV includes label 4 for i1 (incorrect) and misses
+  // labels 1 and 3 for i4 (incomplete). Correct truth (0-based): i1={4},
+  // i4={0,1,2}.
+  MajorityVote mv;
+  const auto result = mv.Aggregate(PaperTableOne(), 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().predictions[0].Contains(3));   // spurious "4"
+  EXPECT_FALSE(result.value().predictions[3].Contains(0));  // missing "1"
+  EXPECT_FALSE(result.value().predictions[3].Contains(2));  // missing "3"
+}
+
+TEST(MajorityVoteTest, ScoresAreVoteRatios) {
+  MajorityVote mv;
+  const auto result = mv.Aggregate(PaperTableOne(), 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().label_scores(0, 3), 0.6);
+  EXPECT_DOUBLE_EQ(result.value().label_scores(0, 0), 0.2);
+  EXPECT_DOUBLE_EQ(result.value().label_scores(3, 1), 0.6);
+}
+
+TEST(MajorityVoteTest, ThresholdIsStrict) {
+  // 2 of 4 votes = 0.5 must NOT be included at threshold 0.5.
+  AnswerMatrix m(1, 4);
+  ASSERT_TRUE(m.Add(0, 0, LabelSet{0}).ok());
+  ASSERT_TRUE(m.Add(0, 1, LabelSet{0}).ok());
+  ASSERT_TRUE(m.Add(0, 2, LabelSet{1}).ok());
+  ASSERT_TRUE(m.Add(0, 3, LabelSet{1}).ok());
+  MajorityVote mv;
+  const auto result = mv.Aggregate(m, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().predictions[0].empty());
+}
+
+TEST(MajorityVoteTest, FallbackFillsEmptyPredictions) {
+  AnswerMatrix m(1, 4);
+  ASSERT_TRUE(m.Add(0, 0, LabelSet{0}).ok());
+  ASSERT_TRUE(m.Add(0, 1, LabelSet{0}).ok());
+  ASSERT_TRUE(m.Add(0, 2, LabelSet{1}).ok());
+  ASSERT_TRUE(m.Add(0, 3, LabelSet{2}).ok());
+  MajorityVoteOptions options;
+  options.fallback_to_top_label = true;
+  MajorityVote mv(options);
+  const auto result = mv.Aggregate(m, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().predictions[0], LabelSet({0}));
+}
+
+TEST(MajorityVoteTest, UnansweredItemsStayEmpty) {
+  AnswerMatrix m(3, 2);
+  ASSERT_TRUE(m.Add(0, 0, LabelSet{1}).ok());
+  MajorityVote mv;
+  const auto result = mv.Aggregate(m, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().predictions[1].empty());
+  EXPECT_TRUE(result.value().predictions[2].empty());
+}
+
+TEST(MajorityVoteTest, RejectsZeroLabels) {
+  MajorityVote mv;
+  EXPECT_FALSE(mv.Aggregate(AnswerMatrix(1, 1), 0).ok());
+}
+
+TEST(MajorityVoteTest, NameIsStable) {
+  MajorityVote mv;
+  EXPECT_EQ(mv.name(), "MV");
+}
+
+}  // namespace
+}  // namespace cpa

@@ -1,0 +1,152 @@
+#include "core/elbo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+#include "core/vi.h"
+#include "simulation/crowd_simulator.h"
+
+namespace cpa {
+namespace {
+
+Dataset SmallDataset(std::uint64_t seed, std::size_t items = 100) {
+  Rng rng(seed);
+  TruthConfig truth_config;
+  truth_config.num_items = items;
+  truth_config.num_labels = 8;
+  truth_config.num_clusters = 2;
+  truth_config.correlation = 0.8;
+  truth_config.mean_labels_per_item = 2.0;
+  truth_config.max_labels_per_item = 4;
+  auto truth = GenerateGroundTruth(truth_config, rng);
+  EXPECT_TRUE(truth.ok());
+
+  PopulationConfig population_config;
+  population_config.num_workers = 20;
+  population_config.num_labels = 8;
+  population_config.mix = PopulationMix::PaperSimulationDefault();
+  auto workers = GeneratePopulation(population_config, rng);
+  EXPECT_TRUE(workers.ok());
+
+  SimulationConfig sim_config;
+  sim_config.answers_per_item = 6.0;
+  sim_config.candidate_set_size = 8;
+  auto answers = SimulateAnswers(truth.value(), workers.value(), sim_config, rng);
+  EXPECT_TRUE(answers.ok());
+
+  Dataset dataset;
+  dataset.name = "elbo-test";
+  dataset.num_labels = 8;
+  dataset.answers = std::move(answers).value();
+  dataset.ground_truth = std::move(truth.value().labels);
+  return dataset;
+}
+
+CpaOptions Options(LabelEvidence evidence) {
+  CpaOptions options;
+  options.max_communities = 5;
+  options.max_clusters = 5;
+  options.max_iterations = 15;
+  options.label_evidence = evidence;
+  // Pure coordinate-ascent configuration: no re-seeding sweeps, and the
+  // answer term restored in the phi update so each sweep is exact
+  // mean-field ascent on the bound being measured.
+  options.reseed_sweeps = 0;
+  options.phi_answer_term = true;
+  return options;
+}
+
+TEST(ElboTest, FiniteOnFreshModel) {
+  const Dataset dataset = SmallDataset(3);
+  const auto model =
+      CpaModel::Create(dataset.num_items(), dataset.num_workers(), 8,
+                       Options(LabelEvidence::kAnswerFrequency));
+  ASSERT_TRUE(model.ok());
+  const double elbo = ComputeElbo(model.value(), dataset.answers);
+  EXPECT_TRUE(std::isfinite(elbo));
+}
+
+// Property test: coordinate ascent must not decrease the bound when the
+// label evidence is frozen across sweeps. kAnswerFrequency freezes the
+// evidence by construction (it depends only on the fixed answers), and
+// kObservedOnly with full observed truth likewise.
+TEST(ElboTest, MonotoneWithAnswerFrequencyEvidence) {
+  const Dataset dataset = SmallDataset(5);
+  FitStats stats;
+  FitOptions fit;
+  fit.track_elbo = true;
+  const auto model = FitCpa(dataset.answers, 8,
+                            Options(LabelEvidence::kAnswerFrequency), fit, &stats);
+  ASSERT_TRUE(model.ok());
+  ASSERT_GE(stats.elbo_trace.size(), 3u);
+  for (std::size_t k = 1; k < stats.elbo_trace.size(); ++k) {
+    EXPECT_GE(stats.elbo_trace[k], stats.elbo_trace[k - 1] - 1e-6)
+        << "sweep " << k << ": " << stats.elbo_trace[k - 1] << " -> "
+        << stats.elbo_trace[k];
+  }
+}
+
+TEST(ElboTest, MonotoneWithObservedTruth) {
+  const Dataset dataset = SmallDataset(7);
+  FitStats stats;
+  FitOptions fit;
+  fit.track_elbo = true;
+  fit.observed_truth = &dataset.ground_truth;
+  const auto model =
+      FitCpa(dataset.answers, 8, Options(LabelEvidence::kObservedOnly), fit, &stats);
+  ASSERT_TRUE(model.ok());
+  ASSERT_GE(stats.elbo_trace.size(), 3u);
+  for (std::size_t k = 1; k < stats.elbo_trace.size(); ++k) {
+    EXPECT_GE(stats.elbo_trace[k], stats.elbo_trace[k - 1] - 1e-6)
+        << "sweep " << k;
+  }
+}
+
+TEST(ElboTest, ElboImprovesSubstantiallyOverInitialisation) {
+  const Dataset dataset = SmallDataset(11);
+  FitStats stats;
+  FitOptions fit;
+  fit.track_elbo = true;
+  const auto model = FitCpa(dataset.answers, 8,
+                            Options(LabelEvidence::kAnswerFrequency), fit, &stats);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(stats.elbo_trace.back(), stats.elbo_trace.front());
+}
+
+TEST(ElboTest, TermsDecomposeIntoTotal) {
+  const Dataset dataset = SmallDataset(13);
+  const auto model = FitCpa(dataset.answers, 8, Options(LabelEvidence::kAnswerFrequency));
+  ASSERT_TRUE(model.ok());
+  const ElboTerms terms = ComputeElboTerms(model.value(), dataset.answers);
+  EXPECT_NEAR(terms.Total(),
+              terms.answer_loglik + terms.community_prior + terms.cluster_prior +
+                  terms.label_loglik + terms.stick_priors + terms.dirichlet_priors +
+                  terms.entropy,
+              1e-9);
+  // Log-likelihood and prior expectations of discrete structures are
+  // non-positive; entropies of the categorical factors are non-negative
+  // (the Dirichlet/Beta differential entropies may take either sign).
+  EXPECT_LE(terms.community_prior, 1e-9);
+  EXPECT_LE(terms.cluster_prior, 1e-9);
+  EXPECT_LE(terms.label_loglik, 1e-9);
+}
+
+TEST(ElboTest, BetterFitHasHigherElboThanWorseFit) {
+  const Dataset dataset = SmallDataset(17);
+  CpaOptions one_iter = Options(LabelEvidence::kAnswerFrequency);
+  one_iter.max_iterations = 1;
+  CpaOptions many_iters = Options(LabelEvidence::kAnswerFrequency);
+  many_iters.max_iterations = 15;
+  const auto rough = FitCpa(dataset.answers, 8, one_iter);
+  const auto refined = FitCpa(dataset.answers, 8, many_iters);
+  ASSERT_TRUE(rough.ok());
+  ASSERT_TRUE(refined.ok());
+  EXPECT_GE(ComputeElbo(refined.value(), dataset.answers),
+            ComputeElbo(rough.value(), dataset.answers) - 1e-6);
+}
+
+}  // namespace
+}  // namespace cpa

@@ -1,0 +1,248 @@
+#include "core/prediction.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+#include "core/vi.h"
+#include "simulation/crowd_simulator.h"
+
+namespace cpa {
+namespace {
+
+struct FittedWorld {
+  Dataset dataset;
+  CpaModel model;
+};
+
+FittedWorld FitWorld(std::uint64_t seed, const PopulationMix& mix,
+                     PredictionMode mode = PredictionMode::kBernoulliProfile,
+                     std::size_t items = 150) {
+  Rng rng(seed);
+  TruthConfig truth_config;
+  truth_config.num_items = items;
+  truth_config.num_labels = 10;
+  truth_config.num_clusters = 3;
+  truth_config.correlation = 0.85;
+  truth_config.mean_labels_per_item = 2.5;
+  truth_config.max_labels_per_item = 5;
+  auto truth = GenerateGroundTruth(truth_config, rng);
+  EXPECT_TRUE(truth.ok());
+
+  PopulationConfig population_config;
+  population_config.num_workers = 30;
+  population_config.num_labels = 10;
+  population_config.mix = mix;
+  auto workers = GeneratePopulation(population_config, rng);
+  EXPECT_TRUE(workers.ok());
+
+  SimulationConfig sim_config;
+  sim_config.answers_per_item = 8.0;
+  sim_config.candidate_set_size = 10;
+  auto answers = SimulateAnswers(truth.value(), workers.value(), sim_config, rng);
+  EXPECT_TRUE(answers.ok());
+
+  FittedWorld world;
+  world.dataset.name = "prediction-test";
+  world.dataset.num_labels = 10;
+  world.dataset.answers = std::move(answers).value();
+  world.dataset.ground_truth = truth.value().labels;
+
+  CpaOptions options;
+  options.max_communities = 6;
+  options.max_clusters = 48;
+  options.max_iterations = 20;
+  options.prediction_mode = mode;
+  auto model = FitCpa(world.dataset.answers, 10, options);
+  EXPECT_TRUE(model.ok());
+  world.model = std::move(model).value();
+  return world;
+}
+
+double MeanF1(const std::vector<LabelSet>& predictions,
+              const std::vector<LabelSet>& truth) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i].empty()) continue;
+    const double inter = static_cast<double>(predictions[i].IntersectionSize(truth[i]));
+    const double p = predictions[i].empty() ? 0.0 : inter / predictions[i].size();
+    const double r = inter / truth[i].size();
+    total += (p + r > 0.0) ? 2.0 * p * r / (p + r) : 0.0;
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+TEST(PredictLabelsTest, AccurateOnReliableCrowd) {
+  const FittedWorld world = FitWorld(3, PopulationMix::AllReliable());
+  const auto prediction = PredictLabels(world.model, world.dataset.answers);
+  ASSERT_TRUE(prediction.ok()) << prediction.status().ToString();
+  EXPECT_GT(MeanF1(prediction.value().labels, world.dataset.ground_truth), 0.85);
+}
+
+TEST(PredictLabelsTest, MultinomialSizePriorModeIsReasonableButSizeBiased) {
+  // The paper-literal multinomial mode systematically under-predicts large
+  // sets (DESIGN.md §4.3): clearly usable, but measurably below the
+  // Bernoulli default on the same data.
+  const FittedWorld multinomial =
+      FitWorld(3, PopulationMix::AllReliable(), PredictionMode::kMultinomialSizePrior);
+  const FittedWorld bernoulli =
+      FitWorld(3, PopulationMix::AllReliable(), PredictionMode::kBernoulliProfile);
+  const auto multinomial_prediction =
+      PredictLabels(multinomial.model, multinomial.dataset.answers);
+  const auto bernoulli_prediction =
+      PredictLabels(bernoulli.model, bernoulli.dataset.answers);
+  ASSERT_TRUE(multinomial_prediction.ok());
+  ASSERT_TRUE(bernoulli_prediction.ok());
+  const double multinomial_f1 =
+      MeanF1(multinomial_prediction.value().labels, multinomial.dataset.ground_truth);
+  const double bernoulli_f1 =
+      MeanF1(bernoulli_prediction.value().labels, bernoulli.dataset.ground_truth);
+  EXPECT_GT(multinomial_f1, 0.5);
+  EXPECT_GE(bernoulli_f1, multinomial_f1);
+}
+
+TEST(PredictLabelsTest, ScoresAreProbabilities) {
+  const FittedWorld world = FitWorld(5, PopulationMix::PaperSimulationDefault());
+  const auto prediction = PredictLabels(world.model, world.dataset.answers);
+  ASSERT_TRUE(prediction.ok());
+  for (double score : prediction.value().scores.Data()) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(PredictLabelsTest, UnansweredItemsStayEmpty) {
+  const FittedWorld world = FitWorld(7, PopulationMix::AllReliable());
+  // Build a sparse copy with item 0's answers removed.
+  std::vector<std::size_t> keep;
+  for (std::size_t index = 0; index < world.dataset.answers.num_answers(); ++index) {
+    if (world.dataset.answers.answer(index).item != 0) keep.push_back(index);
+  }
+  const AnswerMatrix sparse = world.dataset.answers.Subset(keep);
+  const auto model = FitCpa(sparse, 10, world.model.options());
+  ASSERT_TRUE(model.ok());
+  const auto prediction = PredictLabels(model.value(), sparse);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_TRUE(prediction.value().labels[0].empty());
+}
+
+TEST(PredictLabelsTest, DimensionMismatchIsError) {
+  const FittedWorld world = FitWorld(9, PopulationMix::AllReliable(),
+                                     PredictionMode::kMultinomialSizePrior, 50);
+  const AnswerMatrix wrong(3, 3);
+  EXPECT_FALSE(PredictLabels(world.model, wrong).ok());
+}
+
+TEST(PredictLabelsTest, ParallelPredictionMatchesSequential) {
+  const FittedWorld world = FitWorld(11, PopulationMix::PaperSimulationDefault());
+  const auto sequential = PredictLabels(world.model, world.dataset.answers);
+  ThreadPool pool(4);
+  const auto parallel = PredictLabels(world.model, world.dataset.answers, &pool);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  for (std::size_t i = 0; i < sequential.value().labels.size(); ++i) {
+    EXPECT_EQ(sequential.value().labels[i], parallel.value().labels[i]);
+  }
+}
+
+TEST(GreedyVsExhaustiveTest, GreedyMatchesOracleOnMostItems) {
+  const FittedWorld world = FitWorld(13, PopulationMix::PaperSimulationDefault(),
+                                     PredictionMode::kMultinomialSizePrior, 80);
+  const auto tables = internal::BuildPredictionTables(world.model);
+  std::size_t matches = 0;
+  std::size_t compared = 0;
+  double greedy_total = 0.0;
+  double oracle_total = 0.0;
+  for (ItemId i = 0; i < 80; ++i) {
+    if (world.dataset.answers.AnswersOfItem(i).empty()) continue;
+    const auto log_weights = internal::ItemClusterLogWeights(
+        world.model, tables, world.dataset.answers, i);
+    auto candidates = internal::CollectCandidates(world.model, tables,
+                                                  world.dataset.answers, i, log_weights);
+    if (candidates.size() > 14) candidates.resize(14);  // keep the oracle cheap
+    const LabelSet greedy =
+        internal::GreedyInstantiate(tables, log_weights, candidates);
+    const LabelSet oracle = internal::ExhaustiveInstantiate(
+        tables, log_weights, candidates, tables.log_size_prior.cols() - 1);
+    ++compared;
+    matches += (greedy == oracle);
+    greedy_total += static_cast<double>(greedy.size());
+    oracle_total += static_cast<double>(oracle.size());
+  }
+  ASSERT_GT(compared, 0u);
+  // Greedy is not exact, but must agree with the oracle on the vast
+  // majority of items and produce similar set sizes overall.
+  EXPECT_GT(static_cast<double>(matches) / compared, 0.85);
+  EXPECT_NEAR(greedy_total / compared, oracle_total / compared, 0.5);
+}
+
+TEST(GreedyInstantiateTest, EmptyCandidatesGiveEmptySet) {
+  const FittedWorld world = FitWorld(17, PopulationMix::AllReliable(),
+                                     PredictionMode::kMultinomialSizePrior, 40);
+  const auto tables = internal::BuildPredictionTables(world.model);
+  const auto log_weights = internal::ItemClusterLogWeights(
+      world.model, tables, world.dataset.answers, 0);
+  EXPECT_TRUE(internal::GreedyInstantiate(tables, log_weights, {}).empty());
+}
+
+TEST(ExhaustiveInstantiateTest, RespectsMaxSize) {
+  const FittedWorld world = FitWorld(19, PopulationMix::AllReliable(),
+                                     PredictionMode::kMultinomialSizePrior, 40);
+  const auto tables = internal::BuildPredictionTables(world.model);
+  const auto log_weights = internal::ItemClusterLogWeights(
+      world.model, tables, world.dataset.answers, 0);
+  const std::vector<LabelId> candidates = {0, 1, 2, 3, 4, 5};
+  const LabelSet set =
+      internal::ExhaustiveInstantiate(tables, log_weights, candidates, 2);
+  EXPECT_LE(set.size(), 2u);
+}
+
+TEST(CollectCandidatesTest, ContainsAnsweredLabels) {
+  const FittedWorld world = FitWorld(23, PopulationMix::AllReliable(),
+                                     PredictionMode::kMultinomialSizePrior, 60);
+  const auto tables = internal::BuildPredictionTables(world.model);
+  for (ItemId i = 0; i < 10; ++i) {
+    const auto indices = world.dataset.answers.AnswersOfItem(i);
+    if (indices.empty()) continue;
+    const auto log_weights = internal::ItemClusterLogWeights(
+        world.model, tables, world.dataset.answers, i);
+    const auto candidates = internal::CollectCandidates(
+        world.model, tables, world.dataset.answers, i, log_weights);
+    for (std::size_t index : indices) {
+      for (LabelId c : world.dataset.answers.answer(index).labels) {
+        EXPECT_NE(std::find(candidates.begin(), candidates.end(), c), candidates.end())
+            << "label " << c << " missing from candidates of item " << i;
+      }
+    }
+  }
+}
+
+TEST(PredictionCompletionTest, ClusterCompletionLiftsRecallOverRawAnswers) {
+  // The R3 mechanism: labels missed by individual workers are completed
+  // from the cluster profile. Compare CPA recall against the per-item
+  // intersection of worker answers (a no-completion lower bound).
+  PopulationMix sloppy_mix;
+  sloppy_mix.reliable = 0.3;
+  sloppy_mix.sloppy = 0.7;
+  const FittedWorld world = FitWorld(29, sloppy_mix);
+  const auto prediction = PredictLabels(world.model, world.dataset.answers);
+  ASSERT_TRUE(prediction.ok());
+
+  double cpa_recall = 0.0;
+  std::size_t counted = 0;
+  for (ItemId i = 0; i < world.dataset.num_items(); ++i) {
+    const LabelSet& truth = world.dataset.ground_truth[i];
+    if (truth.empty()) continue;
+    cpa_recall += static_cast<double>(
+                      prediction.value().labels[i].IntersectionSize(truth)) /
+                  static_cast<double>(truth.size());
+    ++counted;
+  }
+  cpa_recall /= static_cast<double>(counted);
+  EXPECT_GT(cpa_recall, 0.5);
+}
+
+}  // namespace
+}  // namespace cpa

@@ -1,0 +1,103 @@
+#include "data/answer_matrix.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+AnswerMatrix SmallMatrix() {
+  AnswerMatrix m(3, 2);
+  EXPECT_TRUE(m.Add(0, 0, LabelSet{1, 2}).ok());
+  EXPECT_TRUE(m.Add(0, 1, LabelSet{2}).ok());
+  EXPECT_TRUE(m.Add(2, 0, LabelSet{0}).ok());
+  return m;
+}
+
+TEST(AnswerMatrixTest, AddAndCount) {
+  const AnswerMatrix m = SmallMatrix();
+  EXPECT_EQ(m.num_answers(), 3u);
+  EXPECT_EQ(m.num_items(), 3u);
+  EXPECT_EQ(m.num_workers(), 2u);
+}
+
+TEST(AnswerMatrixTest, RejectsOutOfRangeIds) {
+  AnswerMatrix m(2, 2);
+  EXPECT_EQ(m.Add(2, 0, LabelSet{1}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(m.Add(0, 2, LabelSet{1}).code(), StatusCode::kOutOfRange);
+}
+
+TEST(AnswerMatrixTest, RejectsEmptyAnswer) {
+  AnswerMatrix m(2, 2);
+  EXPECT_EQ(m.Add(0, 0, LabelSet{}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AnswerMatrixTest, RejectsDuplicateCell) {
+  AnswerMatrix m(2, 2);
+  ASSERT_TRUE(m.Add(0, 0, LabelSet{1}).ok());
+  EXPECT_EQ(m.Add(0, 0, LabelSet{0}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AnswerMatrixTest, ByItemIndex) {
+  const AnswerMatrix m = SmallMatrix();
+  const auto item0 = m.AnswersOfItem(0);
+  ASSERT_EQ(item0.size(), 2u);
+  EXPECT_EQ(m.answer(item0[0]).worker, 0u);
+  EXPECT_EQ(m.answer(item0[1]).worker, 1u);
+  EXPECT_TRUE(m.AnswersOfItem(1).empty());
+  EXPECT_TRUE(m.AnswersOfItem(99).empty());  // out of range -> empty view
+}
+
+TEST(AnswerMatrixTest, ByWorkerIndex) {
+  const AnswerMatrix m = SmallMatrix();
+  const auto worker0 = m.AnswersOfWorker(0);
+  ASSERT_EQ(worker0.size(), 2u);
+  EXPECT_EQ(m.answer(worker0[0]).item, 0u);
+  EXPECT_EQ(m.answer(worker0[1]).item, 2u);
+  EXPECT_EQ(m.AnswersOfWorker(1).size(), 1u);
+}
+
+TEST(AnswerMatrixTest, HasAndGetAnswer) {
+  const AnswerMatrix m = SmallMatrix();
+  EXPECT_TRUE(m.HasAnswer(0, 1));
+  EXPECT_FALSE(m.HasAnswer(1, 0));
+  const auto found = m.GetAnswer(0, 0);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().ToString(), "{1,2}");
+  EXPECT_EQ(m.GetAnswer(1, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(m.GetAnswer(9, 0).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(AnswerMatrixTest, SparsityAndLabelTotals) {
+  const AnswerMatrix m = SmallMatrix();
+  EXPECT_DOUBLE_EQ(m.Sparsity(), 1.0 - 3.0 / 6.0);
+  EXPECT_EQ(m.TotalLabelAssignments(), 4u);  // 2 + 1 + 1
+}
+
+TEST(AnswerMatrixTest, EmptyMatrixSparsityIsOne) {
+  const AnswerMatrix empty;
+  EXPECT_DOUBLE_EQ(empty.Sparsity(), 1.0);
+  EXPECT_EQ(empty.num_answers(), 0u);
+}
+
+TEST(AnswerMatrixTest, SubsetKeepsSelectedAnswersAndDimensions) {
+  const AnswerMatrix m = SmallMatrix();
+  const std::vector<std::size_t> keep = {0, 2};
+  const AnswerMatrix subset = m.Subset(keep);
+  EXPECT_EQ(subset.num_answers(), 2u);
+  EXPECT_EQ(subset.num_items(), m.num_items());
+  EXPECT_EQ(subset.num_workers(), m.num_workers());
+  EXPECT_TRUE(subset.HasAnswer(0, 0));
+  EXPECT_FALSE(subset.HasAnswer(0, 1));
+  EXPECT_TRUE(subset.HasAnswer(2, 0));
+}
+
+TEST(AnswerMatrixTest, SubsetIgnoresInvalidIndices) {
+  const AnswerMatrix m = SmallMatrix();
+  const std::vector<std::size_t> keep = {0, 999};
+  EXPECT_EQ(m.Subset(keep).num_answers(), 1u);
+}
+
+}  // namespace
+}  // namespace cpa

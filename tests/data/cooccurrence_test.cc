@@ -1,0 +1,132 @@
+#include "data/cooccurrence.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+// Two blocks of co-occurring labels: {0,1,2} and {3,4}; label 5 never occurs.
+std::vector<LabelSet> BlockSets() {
+  return {
+      LabelSet{0, 1, 2}, LabelSet{0, 1}, LabelSet{1, 2}, LabelSet{0, 2},
+      LabelSet{3, 4},    LabelSet{3, 4}, LabelSet{3},
+  };
+}
+
+TEST(CooccurrenceTest, MarginalAndPairCounts) {
+  const auto sets = BlockSets();
+  const CooccurrenceMatrix cooc(6, sets);
+  EXPECT_EQ(cooc.MarginalCount(0), 3u);
+  EXPECT_EQ(cooc.MarginalCount(1), 3u);
+  EXPECT_EQ(cooc.MarginalCount(3), 3u);
+  EXPECT_EQ(cooc.MarginalCount(5), 0u);
+  EXPECT_EQ(cooc.PairCount(0, 1), 2u);
+  EXPECT_EQ(cooc.PairCount(1, 0), 2u);  // symmetric
+  EXPECT_EQ(cooc.PairCount(3, 4), 2u);
+  EXPECT_EQ(cooc.PairCount(0, 3), 0u);
+  EXPECT_EQ(cooc.PairCount(2, 2), cooc.MarginalCount(2));
+}
+
+TEST(CooccurrenceTest, JaccardStrength) {
+  const auto sets = BlockSets();
+  const CooccurrenceMatrix cooc(6, sets);
+  // n_01 = 2, n_0 = 3, n_1 = 3 -> 2 / (3+3-2) = 0.5.
+  EXPECT_DOUBLE_EQ(cooc.JaccardStrength(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(cooc.JaccardStrength(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(cooc.JaccardStrength(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(cooc.JaccardStrength(5, 5), 0.0);  // never occurs
+}
+
+TEST(CooccurrenceTest, NormalizedPmiSignsReflectAssociation) {
+  const auto sets = BlockSets();
+  const CooccurrenceMatrix cooc(6, sets);
+  EXPECT_GT(cooc.NormalizedPmi(3, 4), 0.0);  // co-occur more than chance
+  EXPECT_DOUBLE_EQ(cooc.NormalizedPmi(0, 3), 0.0);  // never co-occur
+  EXPECT_DOUBLE_EQ(cooc.NormalizedPmi(5, 0), 0.0);  // label absent
+}
+
+TEST(CooccurrenceTest, TopEdgesAreSortedByStrength) {
+  const auto sets = BlockSets();
+  const CooccurrenceMatrix cooc(6, sets);
+  const auto edges = cooc.TopEdges(10);
+  ASSERT_GE(edges.size(), 4u);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GE(edges[i - 1].strength, edges[i].strength);
+  }
+  // The strongest edge is (3,4): 2/(3+2-2) = 0.666.
+  EXPECT_EQ(edges[0].a, 3u);
+  EXPECT_EQ(edges[0].b, 4u);
+}
+
+TEST(CooccurrenceTest, TopEdgesRespectsK) {
+  const auto sets = BlockSets();
+  const CooccurrenceMatrix cooc(6, sets);
+  EXPECT_EQ(cooc.TopEdges(2).size(), 2u);
+}
+
+TEST(CooccurrenceTest, ClustersRecoverBlocks) {
+  const auto sets = BlockSets();
+  const CooccurrenceMatrix cooc(6, sets);
+  const auto clusters = cooc.Clusters(0.2);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].size(), 3u);  // {0,1,2}
+  EXPECT_EQ(clusters[1].size(), 2u);  // {3,4}
+}
+
+TEST(CooccurrenceTest, HighThresholdShattersClusters) {
+  const auto sets = BlockSets();
+  const CooccurrenceMatrix cooc(6, sets);
+  const auto clusters = cooc.Clusters(0.99);
+  // No edge reaches 0.99, so every occurring label is its own cluster.
+  EXPECT_EQ(clusters.size(), 5u);
+  for (const auto& cluster : clusters) EXPECT_EQ(cluster.size(), 1u);
+}
+
+TEST(CooccurrenceTest, UnusedLabelsAreOmittedFromClusters) {
+  const auto sets = BlockSets();
+  const CooccurrenceMatrix cooc(6, sets);
+  for (const auto& cluster : cooc.Clusters(0.0)) {
+    for (LabelId c : cluster) EXPECT_NE(c, 5u);
+  }
+}
+
+TEST(CooccurrenceTest, MeanPairStrengthIsBetweenZeroAndOne) {
+  const auto sets = BlockSets();
+  const CooccurrenceMatrix cooc(6, sets);
+  const double mean = cooc.MeanPairStrength();
+  EXPECT_GT(mean, 0.0);
+  EXPECT_LE(mean, 1.0);
+}
+
+TEST(CooccurrenceTest, IndependentLabelsHaveLowerMeanStrength) {
+  // Correlated world vs a world where labels appear alone.
+  const auto correlated = BlockSets();
+  std::vector<LabelSet> independent = {LabelSet{0}, LabelSet{1}, LabelSet{2},
+                                       LabelSet{3}, LabelSet{4}};
+  const CooccurrenceMatrix strong(6, correlated);
+  const CooccurrenceMatrix weak(6, independent);
+  EXPECT_GT(strong.MeanPairStrength(), weak.MeanPairStrength());
+}
+
+TEST(CooccurrenceTest, WeightedMeanNpmiPositiveForBlocksZeroForSingletons) {
+  const auto correlated = BlockSets();
+  const CooccurrenceMatrix strong(6, correlated);
+  EXPECT_GT(strong.WeightedMeanNpmi(), 0.1);
+  const std::vector<LabelSet> singletons = {LabelSet{0}, LabelSet{1}, LabelSet{2}};
+  const CooccurrenceMatrix none(6, singletons);
+  EXPECT_DOUBLE_EQ(none.WeightedMeanNpmi(), 0.0);
+}
+
+TEST(CooccurrenceTest, EmptyInputIsAllZero) {
+  const std::vector<LabelSet> none;
+  const CooccurrenceMatrix cooc(3, none);
+  EXPECT_EQ(cooc.MarginalCount(0), 0u);
+  EXPECT_DOUBLE_EQ(cooc.MeanPairStrength(), 0.0);
+  EXPECT_TRUE(cooc.Clusters(0.1).empty());
+  EXPECT_TRUE(cooc.TopEdges(5).empty());
+}
+
+}  // namespace
+}  // namespace cpa

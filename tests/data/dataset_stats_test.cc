@@ -1,0 +1,75 @@
+#include "data/dataset_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+Dataset MakeDataset() {
+  Dataset d;
+  d.name = "stats";
+  d.num_labels = 4;
+  d.answers = AnswerMatrix(3, 3);
+  EXPECT_TRUE(d.answers.Add(0, 0, LabelSet{0, 1}).ok());
+  EXPECT_TRUE(d.answers.Add(0, 1, LabelSet{1}).ok());
+  EXPECT_TRUE(d.answers.Add(1, 0, LabelSet{2, 3}).ok());
+  // item 2 unanswered; worker 2 inactive.
+  d.ground_truth = {LabelSet{0, 1}, LabelSet{2}, LabelSet{3}};
+  return d;
+}
+
+TEST(DatasetStatsTest, CountsMatchTableThreeSemantics) {
+  const DatasetStats stats = ComputeDatasetStats(MakeDataset());
+  EXPECT_EQ(stats.name, "stats");
+  EXPECT_EQ(stats.num_items, 3u);
+  EXPECT_EQ(stats.num_labels, 4u);
+  EXPECT_EQ(stats.num_questions, 2u);  // answered items only
+  EXPECT_EQ(stats.num_workers, 2u);    // active workers only
+  EXPECT_EQ(stats.num_answers, 3u);
+}
+
+TEST(DatasetStatsTest, Means) {
+  const DatasetStats stats = ComputeDatasetStats(MakeDataset());
+  EXPECT_NEAR(stats.mean_labels_per_answer, 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.mean_answers_per_item, 3.0 / 2.0, 1e-12);
+  // Truth labels over answered items: |{0,1}| + |{2}| = 3 over 2 items.
+  EXPECT_NEAR(stats.mean_labels_per_truth, 1.5, 1e-12);
+}
+
+TEST(DatasetStatsTest, SparsityMatchesAnswerMatrix) {
+  const Dataset d = MakeDataset();
+  const DatasetStats stats = ComputeDatasetStats(d);
+  EXPECT_DOUBLE_EQ(stats.sparsity, d.answers.Sparsity());
+}
+
+TEST(DatasetStatsTest, EmptyDatasetProducesZeros) {
+  Dataset d;
+  d.name = "empty";
+  d.num_labels = 2;
+  d.answers = AnswerMatrix(0, 0);
+  const DatasetStats stats = ComputeDatasetStats(d);
+  EXPECT_EQ(stats.num_answers, 0u);
+  EXPECT_EQ(stats.num_questions, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_labels_per_answer, 0.0);
+}
+
+TEST(SkewnessTest, SymmetricDataHasNearZeroSkew) {
+  EXPECT_NEAR(Skewness({1, 2, 3, 4, 5}), 0.0, 1e-12);
+}
+
+TEST(SkewnessTest, RightTailIsPositive) {
+  EXPECT_GT(Skewness({1, 1, 1, 1, 10}), 1.0);
+}
+
+TEST(SkewnessTest, LeftTailIsNegative) {
+  EXPECT_LT(Skewness({-10, 1, 1, 1, 1}), -1.0);
+}
+
+TEST(SkewnessTest, DegenerateInputsAreZero) {
+  EXPECT_DOUBLE_EQ(Skewness({}), 0.0);
+  EXPECT_DOUBLE_EQ(Skewness({1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Skewness({3.0, 3.0, 3.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace cpa

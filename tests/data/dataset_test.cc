@@ -1,0 +1,126 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset_io.h"
+
+namespace cpa {
+namespace {
+
+Dataset MakeValidDataset() {
+  Dataset d;
+  d.name = "tiny";
+  d.num_labels = 5;
+  d.answers = AnswerMatrix(4, 3);
+  EXPECT_TRUE(d.answers.Add(0, 0, LabelSet{3, 4}).ok());
+  EXPECT_TRUE(d.answers.Add(0, 1, LabelSet{4}).ok());
+  EXPECT_TRUE(d.answers.Add(1, 2, LabelSet{1, 2}).ok());
+  EXPECT_TRUE(d.answers.Add(3, 1, LabelSet{0}).ok());
+  d.ground_truth = {LabelSet{4}, LabelSet{2, 3}, LabelSet{}, LabelSet{0}};
+  return d;
+}
+
+TEST(DatasetTest, ValidDatasetValidates) {
+  const Dataset d = MakeValidDataset();
+  EXPECT_TRUE(d.Validate().ok());
+  EXPECT_EQ(d.num_items(), 4u);
+  EXPECT_EQ(d.num_workers(), 3u);
+  EXPECT_TRUE(d.has_ground_truth());
+}
+
+TEST(DatasetTest, NumAnsweredItemsCountsQuestions) {
+  const Dataset d = MakeValidDataset();
+  EXPECT_EQ(d.NumAnsweredItems(), 3u);  // item 2 has no answers
+}
+
+TEST(DatasetTest, ValidationRejectsZeroLabels) {
+  Dataset d = MakeValidDataset();
+  d.num_labels = 0;
+  EXPECT_EQ(d.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, ValidationRejectsTruthSizeMismatch) {
+  Dataset d = MakeValidDataset();
+  d.ground_truth.pop_back();
+  EXPECT_EQ(d.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, ValidationRejectsAnswerLabelOutOfRange) {
+  Dataset d = MakeValidDataset();
+  d.num_labels = 3;  // answers contain labels 3 and 4
+  EXPECT_EQ(d.Validate().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, ValidationRejectsTruthLabelOutOfRange) {
+  Dataset d = MakeValidDataset();
+  d.ground_truth[0] = LabelSet{99};
+  EXPECT_EQ(d.Validate().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, ValidationRejectsLabelNameSizeMismatch) {
+  Dataset d = MakeValidDataset();
+  d.label_names = {"a", "b"};
+  EXPECT_EQ(d.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, StringRoundTripPreservesEverything) {
+  const Dataset d = MakeValidDataset();
+  const std::string text = DatasetToString(d);
+  const auto loaded = DatasetFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& back = loaded.value();
+  EXPECT_EQ(back.name, d.name);
+  EXPECT_EQ(back.num_labels, d.num_labels);
+  EXPECT_EQ(back.answers.num_answers(), d.answers.num_answers());
+  EXPECT_EQ(back.answers.num_items(), d.answers.num_items());
+  EXPECT_EQ(back.answers.num_workers(), d.answers.num_workers());
+  const auto answer = back.answers.GetAnswer(0, 0);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value().ToString(), "{3,4}");
+  ASSERT_EQ(back.ground_truth.size(), d.ground_truth.size());
+  for (std::size_t i = 0; i < d.ground_truth.size(); ++i) {
+    EXPECT_EQ(back.ground_truth[i], d.ground_truth[i]) << "item " << i;
+  }
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  const Dataset d = MakeValidDataset();
+  const std::string path = testing::TempDir() + "/cpa_dataset_io_test.tsv";
+  ASSERT_TRUE(SaveDataset(d, path).ok());
+  const auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().answers.num_answers(), d.answers.num_answers());
+}
+
+TEST(DatasetIoTest, MissingDimsIsError) {
+  EXPECT_FALSE(DatasetFromString("name\tx\n").ok());
+}
+
+TEST(DatasetIoTest, RecordsBeforeDimsAreErrors) {
+  EXPECT_FALSE(DatasetFromString("answer\t0\t0\t1\ndims\t1\t1\t2\n").ok());
+  EXPECT_FALSE(DatasetFromString("truth\t0\t1\ndims\t1\t1\t2\n").ok());
+}
+
+TEST(DatasetIoTest, UnknownRecordKindIsError) {
+  EXPECT_FALSE(DatasetFromString("dims\t1\t1\t2\nbogus\t1\n").ok());
+}
+
+TEST(DatasetIoTest, CommentsAndBlankLinesAreIgnored) {
+  const auto loaded = DatasetFromString(
+      "# header comment\n\ndims\t1\t1\t2\n# another\nanswer\t0\t0\t1\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().answers.num_answers(), 1u);
+}
+
+TEST(DatasetIoTest, TruthOutOfRangeItemIsError) {
+  EXPECT_FALSE(DatasetFromString("dims\t1\t1\t2\ntruth\t5\t1\n").ok());
+}
+
+TEST(DatasetIoTest, LoadMissingFileIsIOError) {
+  const auto loaded = LoadDataset("/nonexistent/path/file.tsv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace cpa

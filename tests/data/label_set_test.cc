@@ -1,0 +1,112 @@
+#include "data/label_set.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+TEST(LabelSetTest, InitializerListSortsAndDeduplicates) {
+  const LabelSet set = {5, 1, 3, 1, 5};
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.ToString(), "{1,3,5}");
+}
+
+TEST(LabelSetTest, FromUnsorted) {
+  const LabelSet set = LabelSet::FromUnsorted({9, 2, 2, 7});
+  EXPECT_EQ(set.ToString(), "{2,7,9}");
+}
+
+TEST(LabelSetTest, EmptySetBehaviour) {
+  const LabelSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_EQ(set.ToString(), "{}");
+  EXPECT_EQ(set.MaxLabel(), kInvalidId);
+}
+
+TEST(LabelSetTest, ContainsUsesBinarySearch) {
+  const LabelSet set = {2, 4, 6, 8};
+  EXPECT_TRUE(set.Contains(2));
+  EXPECT_TRUE(set.Contains(8));
+  EXPECT_FALSE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(9));
+}
+
+TEST(LabelSetTest, AddKeepsSortedAndUnique) {
+  LabelSet set = {3, 7};
+  set.Add(5);
+  set.Add(5);
+  set.Add(1);
+  set.Add(9);
+  EXPECT_EQ(set.ToString(), "{1,3,5,7,9}");
+}
+
+TEST(LabelSetTest, RemoveIsNoopWhenAbsent) {
+  LabelSet set = {1, 2, 3};
+  set.Remove(2);
+  set.Remove(99);
+  EXPECT_EQ(set.ToString(), "{1,3}");
+}
+
+TEST(LabelSetTest, IntersectionAndUnionSizes) {
+  const LabelSet a = {1, 2, 3, 4};
+  const LabelSet b = {3, 4, 5};
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(a.UnionSize(b), 5u);
+  EXPECT_EQ(a.IntersectionSize(LabelSet()), 0u);
+  EXPECT_EQ(a.UnionSize(LabelSet()), 4u);
+}
+
+TEST(LabelSetTest, SetAlgebra) {
+  const LabelSet a = {1, 2, 3};
+  const LabelSet b = {2, 3, 4};
+  EXPECT_EQ(a.Union(b).ToString(), "{1,2,3,4}");
+  EXPECT_EQ(a.Intersect(b).ToString(), "{2,3}");
+  EXPECT_EQ(a.Difference(b).ToString(), "{1}");
+  EXPECT_EQ(b.Difference(a).ToString(), "{4}");
+}
+
+TEST(LabelSetTest, JaccardSimilarity) {
+  const LabelSet a = {1, 2};
+  const LabelSet b = {2, 3};
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(a.Jaccard(a), 1.0);
+  EXPECT_DOUBLE_EQ(LabelSet().Jaccard(LabelSet()), 1.0);
+  EXPECT_DOUBLE_EQ(a.Jaccard(LabelSet()), 0.0);
+}
+
+TEST(LabelSetTest, IndicatorRoundTrip) {
+  const LabelSet set = {0, 3};
+  std::vector<double> indicator(5, -1.0);
+  set.ToIndicator(indicator);
+  EXPECT_DOUBLE_EQ(indicator[0], 1.0);
+  EXPECT_DOUBLE_EQ(indicator[1], 0.0);
+  EXPECT_DOUBLE_EQ(indicator[3], 1.0);
+  const LabelSet back = LabelSet::FromIndicator(indicator);
+  EXPECT_EQ(back, set);
+}
+
+TEST(LabelSetTest, FromIndicatorHonoursThreshold) {
+  const std::vector<double> soft = {0.9, 0.4, 0.6, 0.1};
+  EXPECT_EQ(LabelSet::FromIndicator(soft, 0.5).ToString(), "{0,2}");
+  EXPECT_EQ(LabelSet::FromIndicator(soft, 0.05).ToString(), "{0,1,2,3}");
+}
+
+TEST(LabelSetTest, EqualityAndIteration) {
+  const LabelSet a = {4, 5};
+  const LabelSet b = {5, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, LabelSet({4}));
+  std::vector<LabelId> collected(a.begin(), a.end());
+  EXPECT_EQ(collected, (std::vector<LabelId>{4, 5}));
+}
+
+TEST(LabelSetTest, MaxLabel) {
+  EXPECT_EQ(LabelSet({7, 2, 9}).MaxLabel(), 9u);
+}
+
+}  // namespace
+}  // namespace cpa

@@ -1,0 +1,110 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+TEST(ItemMetricsTest, PaperDefinitions) {
+  // Y* = {1,2,3} predicted, Y = {2,3,4} true: P = 2/3, R = 2/3.
+  const ItemMetrics m = ComputeItemMetrics(LabelSet{1, 2, 3}, LabelSet{2, 3, 4});
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ItemMetricsTest, PerfectAndDisjoint) {
+  const ItemMetrics perfect = ComputeItemMetrics(LabelSet{1, 2}, LabelSet{1, 2});
+  EXPECT_DOUBLE_EQ(perfect.precision, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.recall, 1.0);
+  const ItemMetrics disjoint = ComputeItemMetrics(LabelSet{1}, LabelSet{2});
+  EXPECT_DOUBLE_EQ(disjoint.precision, 0.0);
+  EXPECT_DOUBLE_EQ(disjoint.recall, 0.0);
+}
+
+TEST(ItemMetricsTest, EmptyPredictionConventions) {
+  // Empty prediction against non-empty truth: nothing asserted correctly.
+  const ItemMetrics empty_pred = ComputeItemMetrics(LabelSet{}, LabelSet{1});
+  EXPECT_DOUBLE_EQ(empty_pred.precision, 0.0);
+  EXPECT_DOUBLE_EQ(empty_pred.recall, 0.0);
+  // Both empty: vacuously correct.
+  const ItemMetrics both_empty = ComputeItemMetrics(LabelSet{}, LabelSet{});
+  EXPECT_DOUBLE_EQ(both_empty.precision, 1.0);
+  EXPECT_DOUBLE_EQ(both_empty.recall, 1.0);
+}
+
+TEST(SetMetricsTest, AveragesOverItemsAndSkipsEmptyTruth) {
+  const std::vector<LabelSet> predictions = {LabelSet{1}, LabelSet{2}, LabelSet{9}};
+  const std::vector<LabelSet> truth = {LabelSet{1}, LabelSet{}, LabelSet{2, 9}};
+  const SetMetrics metrics = ComputeSetMetrics(predictions, truth);
+  EXPECT_EQ(metrics.evaluated_items, 2u);  // middle item skipped
+  EXPECT_NEAR(metrics.precision, (1.0 + 1.0) / 2.0, 1e-12);
+  EXPECT_NEAR(metrics.recall, (1.0 + 0.5) / 2.0, 1e-12);
+}
+
+TEST(SetMetricsTest, F1IsHarmonicMean) {
+  SetMetrics metrics;
+  metrics.precision = 0.8;
+  metrics.recall = 0.4;
+  EXPECT_NEAR(metrics.F1(), 2 * 0.8 * 0.4 / 1.2, 1e-12);
+  SetMetrics zero;
+  EXPECT_DOUBLE_EQ(zero.F1(), 0.0);
+}
+
+TEST(SetMetricsTest, AllEmptyTruthYieldsZeroEvaluated) {
+  const std::vector<LabelSet> predictions = {LabelSet{1}};
+  const std::vector<LabelSet> truth = {LabelSet{}};
+  const SetMetrics metrics = ComputeSetMetrics(predictions, truth);
+  EXPECT_EQ(metrics.evaluated_items, 0u);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.0);
+}
+
+AnswerMatrix TwoWorkerMatrix() {
+  // Truth: item0 = {0}, item1 = {1}. Worker 0 perfect; worker 1 inverts.
+  AnswerMatrix m(2, 2);
+  EXPECT_TRUE(m.Add(0, 0, LabelSet{0}).ok());
+  EXPECT_TRUE(m.Add(1, 0, LabelSet{1}).ok());
+  EXPECT_TRUE(m.Add(0, 1, LabelSet{1}).ok());
+  EXPECT_TRUE(m.Add(1, 1, LabelSet{0}).ok());
+  return m;
+}
+
+TEST(WorkerLabelStatsTest, PerLabelSensitivityAndSpecificity) {
+  const AnswerMatrix m = TwoWorkerMatrix();
+  const std::vector<LabelSet> truth = {LabelSet{0}, LabelSet{1}};
+  const auto stats = ComputeWorkerLabelStats(m, truth, 0);
+  ASSERT_EQ(stats.size(), 2u);
+  // Worker 0: label 0 true on item 0 (voted -> TP), false on item 1 (not
+  // voted -> TN): sens 1, spec 1.
+  EXPECT_DOUBLE_EQ(stats[0].sensitivity, 1.0);
+  EXPECT_DOUBLE_EQ(stats[0].specificity, 1.0);
+  // Worker 1: label 0 true on item 0 (not voted -> FN), false on item 1
+  // (voted -> FP): sens 0, spec 0.
+  EXPECT_DOUBLE_EQ(stats[1].sensitivity, 0.0);
+  EXPECT_DOUBLE_EQ(stats[1].specificity, 0.0);
+  EXPECT_EQ(stats[0].positives, 1u);
+  EXPECT_EQ(stats[0].negatives, 1u);
+}
+
+TEST(WorkerOverallStatsTest, PoolsAcrossLabels) {
+  const AnswerMatrix m = TwoWorkerMatrix();
+  const std::vector<LabelSet> truth = {LabelSet{0}, LabelSet{1}};
+  const auto stats = ComputeWorkerOverallStats(m, truth, 3);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[0].sensitivity, 1.0);
+  EXPECT_DOUBLE_EQ(stats[0].specificity, 1.0);
+  EXPECT_DOUBLE_EQ(stats[1].sensitivity, 0.0);
+  // Worker 1: per item, 2 false labels of 3, one voted: TN=1, FP=1 each.
+  EXPECT_DOUBLE_EQ(stats[1].specificity, 0.5);
+}
+
+TEST(WorkerStatsTest, SkipsWorkersWithoutAnswers) {
+  AnswerMatrix m(1, 3);
+  ASSERT_TRUE(m.Add(0, 1, LabelSet{0}).ok());
+  const std::vector<LabelSet> truth = {LabelSet{0}};
+  const auto stats = ComputeWorkerLabelStats(m, truth, 0);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].worker, 1u);
+}
+
+}  // namespace
+}  // namespace cpa

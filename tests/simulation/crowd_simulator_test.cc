@@ -1,0 +1,232 @@
+#include "simulation/crowd_simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+GroundTruth SmallTruth(Rng& rng, std::size_t items = 200) {
+  TruthConfig config;
+  config.num_items = items;
+  config.num_labels = 15;
+  config.num_clusters = 3;
+  config.correlation = 0.8;
+  config.mean_labels_per_item = 3.0;
+  config.max_labels_per_item = 5;
+  auto result = GenerateGroundTruth(config, rng);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+std::vector<WorkerProfile> Workers(Rng& rng, const PopulationMix& mix,
+                                   std::size_t count = 40) {
+  PopulationConfig config;
+  config.num_workers = count;
+  config.num_labels = 15;
+  config.mix = mix;
+  auto result = GeneratePopulation(config, rng);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(SimulationConfigTest, Validation) {
+  SimulationConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.answers_per_item = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SimulationConfig();
+  config.candidate_set_size = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SimulationConfig();
+  config.confusable_fraction = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SimulationConfig();
+  config.spam_set_mean = 0.2;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(BuildCandidateSetTest, ContainsTruthAndReachesTarget) {
+  Rng rng(3);
+  const GroundTruth truth = SmallTruth(rng);
+  SimulationConfig config;
+  config.candidate_set_size = 8;
+  const LabelSet& item_truth = truth.labels[0];
+  const LabelSet candidates = BuildCandidateSet(
+      item_truth, truth.cluster_profiles.Row(truth.item_cluster[0]), config, rng);
+  EXPECT_GE(candidates.size(), std::max<std::size_t>(8, item_truth.size()) -
+                                   (item_truth.size() > 8 ? item_truth.size() : 0));
+  for (LabelId c : item_truth) EXPECT_TRUE(candidates.Contains(c));
+}
+
+TEST(SimulateOneAnswerTest, UniformSpammerAlwaysFixedLabel) {
+  Rng rng(5);
+  WorkerProfile spammer;
+  spammer.type = WorkerType::kUniformSpammer;
+  spammer.uniform_label = 7;
+  spammer.sensitivity.assign(15, 0.5);
+  spammer.specificity.assign(15, 0.5);
+  const LabelSet truth = {1, 2};
+  const LabelSet candidates = {1, 2, 3, 7, 9};
+  SimulationConfig config;
+  for (int i = 0; i < 20; ++i) {
+    const LabelSet answer = SimulateOneAnswer(spammer, truth, candidates, config, rng);
+    EXPECT_EQ(answer.ToString(), "{7}");
+  }
+}
+
+TEST(SimulateOneAnswerTest, RandomSpammerAnswersFromCandidates) {
+  Rng rng(7);
+  WorkerProfile spammer;
+  spammer.type = WorkerType::kRandomSpammer;
+  spammer.sensitivity.assign(15, 0.5);
+  spammer.specificity.assign(15, 0.5);
+  const LabelSet truth = {1};
+  const LabelSet candidates = {1, 3, 5, 7};
+  SimulationConfig config;
+  for (int i = 0; i < 50; ++i) {
+    const LabelSet answer = SimulateOneAnswer(spammer, truth, candidates, config, rng);
+    EXPECT_GE(answer.size(), 1u);
+    for (LabelId c : answer) EXPECT_TRUE(candidates.Contains(c));
+  }
+}
+
+TEST(SimulateOneAnswerTest, PerfectWorkerRecoversTruth) {
+  Rng rng(11);
+  WorkerProfile perfect;
+  perfect.type = WorkerType::kReliable;
+  perfect.sensitivity.assign(15, 0.98);
+  perfect.specificity.assign(15, 0.98);
+  const LabelSet truth = {2, 9};
+  const LabelSet candidates = {0, 2, 4, 9, 12};
+  SimulationConfig config;
+  int exact = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    if (SimulateOneAnswer(perfect, truth, candidates, config, rng) == truth) ++exact;
+  }
+  // (0.98^2) * (0.98^3) ~ 0.9 of answers should be exactly the truth.
+  EXPECT_GT(exact, n * 3 / 4);
+}
+
+TEST(SimulateOneAnswerTest, NeverEmptyEvenForHopelessWorker) {
+  Rng rng(13);
+  WorkerProfile hopeless;
+  hopeless.type = WorkerType::kSloppy;
+  hopeless.sensitivity.assign(15, 0.02);
+  hopeless.specificity.assign(15, 0.98);
+  const LabelSet truth = {2};
+  const LabelSet candidates = {2, 3};
+  SimulationConfig config;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(SimulateOneAnswer(hopeless, truth, candidates, config, rng).empty());
+  }
+}
+
+TEST(SimulateAnswersTest, EveryItemAnsweredAndRedundancyTracks) {
+  Rng rng(17);
+  const GroundTruth truth = SmallTruth(rng);
+  const auto workers = Workers(rng, PopulationMix::PaperSimulationDefault());
+  SimulationConfig config;
+  config.answers_per_item = 6.0;
+  const auto result = SimulateAnswers(truth, workers, config, rng);
+  ASSERT_TRUE(result.ok());
+  const AnswerMatrix& matrix = result.value();
+  EXPECT_EQ(matrix.num_items(), truth.labels.size());
+  EXPECT_EQ(matrix.num_workers(), workers.size());
+  for (ItemId i = 0; i < matrix.num_items(); ++i) {
+    EXPECT_EQ(matrix.AnswersOfItem(i).size(), 6u);
+  }
+}
+
+TEST(SimulateAnswersTest, FractionalRedundancyInExpectation) {
+  Rng rng(19);
+  const GroundTruth truth = SmallTruth(rng, 500);
+  const auto workers = Workers(rng, PopulationMix::AllReliable());
+  SimulationConfig config;
+  config.answers_per_item = 5.5;
+  const auto result = SimulateAnswers(truth, workers, config, rng);
+  ASSERT_TRUE(result.ok());
+  const double mean = static_cast<double>(result.value().num_answers()) / 500.0;
+  EXPECT_NEAR(mean, 5.5, 0.15);
+}
+
+TEST(SimulateAnswersTest, SkewedAssignmentConcentratesLoad) {
+  Rng rng_skew(23);
+  Rng rng_flat(23);
+  const GroundTruth truth = SmallTruth(rng_skew, 400);
+  const GroundTruth truth2 = SmallTruth(rng_flat, 400);
+  const auto workers = Workers(rng_skew, PopulationMix::AllReliable(), 80);
+  const auto workers2 = Workers(rng_flat, PopulationMix::AllReliable(), 80);
+
+  SimulationConfig skewed;
+  skewed.answers_per_item = 5.0;
+  skewed.skewed_workers = true;
+  SimulationConfig flat = skewed;
+  flat.skewed_workers = false;
+
+  const auto skew_result = SimulateAnswers(truth, workers, skewed, rng_skew);
+  const auto flat_result = SimulateAnswers(truth2, workers2, flat, rng_flat);
+  ASSERT_TRUE(skew_result.ok());
+  ASSERT_TRUE(flat_result.ok());
+
+  const auto max_load = [](const AnswerMatrix& m) {
+    std::size_t max_count = 0;
+    for (WorkerId u = 0; u < m.num_workers(); ++u) {
+      max_count = std::max(max_count, m.AnswersOfWorker(u).size());
+    }
+    return max_count;
+  };
+  EXPECT_GT(max_load(skew_result.value()), max_load(flat_result.value()));
+}
+
+TEST(SimulateAnswersTest, ReliableCrowdIsMoreAccurateThanSpamCrowd) {
+  Rng rng(29);
+  const GroundTruth truth = SmallTruth(rng, 300);
+  const auto good = Workers(rng, PopulationMix::AllReliable());
+  PopulationMix all_spam;
+  all_spam.random_spammer = 1.0;
+  const auto bad = Workers(rng, all_spam);
+  SimulationConfig config;
+  config.answers_per_item = 4.0;
+
+  const auto good_result = SimulateAnswers(truth, good, config, rng);
+  const auto bad_result = SimulateAnswers(truth, bad, config, rng);
+  ASSERT_TRUE(good_result.ok());
+  ASSERT_TRUE(bad_result.ok());
+
+  const auto mean_jaccard = [&](const AnswerMatrix& m) {
+    double total = 0.0;
+    for (const Answer& a : m.answers()) total += a.labels.Jaccard(truth.labels[a.item]);
+    return total / static_cast<double>(m.num_answers());
+  };
+  EXPECT_GT(mean_jaccard(good_result.value()), mean_jaccard(bad_result.value()) + 0.25);
+}
+
+TEST(SimulateAnswersTest, RejectsEmptyWorkerPool) {
+  Rng rng(31);
+  const GroundTruth truth = SmallTruth(rng, 10);
+  const std::vector<WorkerProfile> none;
+  SimulationConfig config;
+  EXPECT_FALSE(SimulateAnswers(truth, none, config, rng).ok());
+}
+
+TEST(SimulateAnswersTest, DeterministicForSameSeed) {
+  Rng rng_a(37);
+  Rng rng_b(37);
+  const GroundTruth truth_a = SmallTruth(rng_a, 50);
+  const GroundTruth truth_b = SmallTruth(rng_b, 50);
+  const auto workers_a = Workers(rng_a, PopulationMix::PaperSimulationDefault());
+  const auto workers_b = Workers(rng_b, PopulationMix::PaperSimulationDefault());
+  SimulationConfig config;
+  const auto a = SimulateAnswers(truth_a, workers_a, config, rng_a);
+  const auto b = SimulateAnswers(truth_b, workers_b, config, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().num_answers(), b.value().num_answers());
+  for (std::size_t i = 0; i < a.value().num_answers(); ++i) {
+    EXPECT_EQ(a.value().answer(i).labels, b.value().answer(i).labels);
+  }
+}
+
+}  // namespace
+}  // namespace cpa

@@ -1,0 +1,170 @@
+#include "simulation/dataset_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "data/cooccurrence.h"
+#include "data/dataset_stats.h"
+
+namespace cpa {
+namespace {
+
+FactoryOptions QuickOptions() {
+  FactoryOptions options;
+  options.scale = 0.08;  // keep unit tests fast
+  return options;
+}
+
+TEST(PaperDatasetSpecTest, MatchesTableThree) {
+  const auto image = PaperDatasetSpec::For(PaperDatasetId::kImage);
+  EXPECT_EQ(image.items, 2000u);
+  EXPECT_EQ(image.workers, 416u);
+  EXPECT_EQ(image.labels, 81u);
+  EXPECT_EQ(image.answers, 22920u);
+
+  const auto topic = PaperDatasetSpec::For(PaperDatasetId::kTopic);
+  EXPECT_EQ(topic.items, 2000u);
+  EXPECT_EQ(topic.workers, 313u);
+  EXPECT_EQ(topic.labels, 49u);
+  EXPECT_EQ(topic.answers, 15080u);
+
+  const auto aspect = PaperDatasetSpec::For(PaperDatasetId::kAspect);
+  EXPECT_EQ(aspect.items, 3710u);
+  EXPECT_EQ(aspect.workers, 482u);
+  EXPECT_EQ(aspect.labels, 262u);
+  EXPECT_EQ(aspect.answers, 19780u);
+
+  const auto entity = PaperDatasetSpec::For(PaperDatasetId::kEntity);
+  EXPECT_EQ(entity.items, 2400u);
+  EXPECT_EQ(entity.workers, 517u);
+  EXPECT_EQ(entity.labels, 1450u);
+  EXPECT_EQ(entity.answers, 15510u);
+
+  const auto movie = PaperDatasetSpec::For(PaperDatasetId::kMovie);
+  EXPECT_EQ(movie.items, 500u);
+  EXPECT_EQ(movie.workers, 936u);
+  EXPECT_EQ(movie.labels, 22u);
+  EXPECT_EQ(movie.answers, 14430u);
+}
+
+TEST(PaperDatasetSpecTest, CharacteristicsFollowSection51) {
+  // Strong correlation in image/topic/entity, little in aspect/movie.
+  EXPECT_GT(PaperDatasetSpec::For(PaperDatasetId::kImage).correlation, 0.6);
+  EXPECT_GT(PaperDatasetSpec::For(PaperDatasetId::kTopic).correlation, 0.6);
+  EXPECT_GT(PaperDatasetSpec::For(PaperDatasetId::kEntity).correlation, 0.6);
+  EXPECT_LT(PaperDatasetSpec::For(PaperDatasetId::kAspect).correlation, 0.4);
+  EXPECT_LT(PaperDatasetSpec::For(PaperDatasetId::kMovie).correlation, 0.4);
+  // Skewed answer distribution in image and movie.
+  EXPECT_TRUE(PaperDatasetSpec::For(PaperDatasetId::kImage).skewed_workers);
+  EXPECT_TRUE(PaperDatasetSpec::For(PaperDatasetId::kMovie).skewed_workers);
+  EXPECT_FALSE(PaperDatasetSpec::For(PaperDatasetId::kAspect).skewed_workers);
+  // Text tasks are difficult.
+  EXPECT_GT(PaperDatasetSpec::For(PaperDatasetId::kTopic).difficulty, 0.0);
+  EXPECT_GT(PaperDatasetSpec::For(PaperDatasetId::kAspect).difficulty, 0.0);
+  EXPECT_GT(PaperDatasetSpec::For(PaperDatasetId::kEntity).difficulty, 0.0);
+  EXPECT_DOUBLE_EQ(PaperDatasetSpec::For(PaperDatasetId::kImage).difficulty, 0.0);
+}
+
+TEST(DatasetFactoryTest, AllFiveDatasetsBuildAndValidate) {
+  for (PaperDatasetId id : AllPaperDatasets()) {
+    const auto dataset = MakePaperDataset(id, QuickOptions());
+    ASSERT_TRUE(dataset.ok()) << PaperDatasetName(id);
+    EXPECT_TRUE(dataset.value().Validate().ok());
+    EXPECT_EQ(dataset.value().name, PaperDatasetName(id));
+    EXPECT_TRUE(dataset.value().has_ground_truth());
+    EXPECT_GT(dataset.value().answers.num_answers(), 0u);
+  }
+}
+
+TEST(DatasetFactoryTest, FullScaleMatchesPublishedCounts) {
+  // Build one dataset at paper scale and compare to Table 3 within 2 %.
+  FactoryOptions options;
+  const auto dataset = MakePaperDataset(PaperDatasetId::kTopic, options);
+  ASSERT_TRUE(dataset.ok());
+  const DatasetStats stats = ComputeDatasetStats(dataset.value());
+  EXPECT_EQ(stats.num_items, 2000u);
+  EXPECT_EQ(stats.num_labels, 49u);
+  EXPECT_NEAR(static_cast<double>(stats.num_answers), 15080.0, 0.02 * 15080.0);
+  EXPECT_LE(stats.num_workers, 313u);
+  EXPECT_GE(stats.num_workers, 250u);  // nearly all workers active
+}
+
+TEST(DatasetFactoryTest, ScaleShrinksProportionally) {
+  FactoryOptions half;
+  half.scale = 0.5;
+  const auto dataset = MakePaperDataset(PaperDatasetId::kMovie, half);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset.value().num_items(), 250u);
+  // Redundancy preserved => answers scale with items.
+  EXPECT_NEAR(static_cast<double>(dataset.value().answers.num_answers()), 14430 * 0.5,
+              14430 * 0.5 * 0.05);
+}
+
+TEST(DatasetFactoryTest, DeterministicForSameSeed) {
+  const auto a = MakePaperDataset(PaperDatasetId::kImage, QuickOptions());
+  const auto b = MakePaperDataset(PaperDatasetId::kImage, QuickOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().answers.num_answers(), b.value().answers.num_answers());
+  for (std::size_t i = 0; i < a.value().answers.num_answers(); ++i) {
+    EXPECT_EQ(a.value().answers.answer(i).labels, b.value().answers.answer(i).labels);
+  }
+}
+
+TEST(DatasetFactoryTest, DifferentSeedsDiffer) {
+  FactoryOptions other = QuickOptions();
+  other.seed = 99;
+  const auto a = MakePaperDataset(PaperDatasetId::kImage, QuickOptions());
+  const auto b = MakePaperDataset(PaperDatasetId::kImage, other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference =
+      a.value().answers.num_answers() != b.value().answers.num_answers();
+  if (!any_difference) {
+    for (std::size_t i = 0; i < a.value().answers.num_answers(); ++i) {
+      if (!(a.value().answers.answer(i).labels == b.value().answers.answer(i).labels)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DatasetFactoryTest, CorrelatedDatasetsShowStrongerCooccurrence) {
+  const auto image = MakePaperDataset(PaperDatasetId::kImage, QuickOptions());
+  const auto movie = MakePaperDataset(PaperDatasetId::kMovie, QuickOptions());
+  ASSERT_TRUE(image.ok());
+  ASSERT_TRUE(movie.ok());
+  const CooccurrenceMatrix image_cooc(image.value().num_labels,
+                                      image.value().ground_truth);
+  const CooccurrenceMatrix movie_cooc(movie.value().num_labels,
+                                      movie.value().ground_truth);
+  EXPECT_GT(image_cooc.WeightedMeanNpmi(), movie_cooc.WeightedMeanNpmi());
+}
+
+TEST(DatasetFactoryTest, RejectsNonPositiveScale) {
+  FactoryOptions bad;
+  bad.scale = 0.0;
+  EXPECT_FALSE(MakePaperDataset(PaperDatasetId::kImage, bad).ok());
+}
+
+TEST(ScalabilityDatasetTest, DimensionsAndRedundancy) {
+  const auto dataset = MakeScalabilityDataset(500, 300, 10, 8.0);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset.value().num_items(), 500u);
+  EXPECT_EQ(dataset.value().num_workers(), 300u);
+  EXPECT_EQ(dataset.value().num_labels, 10u);
+  EXPECT_NEAR(static_cast<double>(dataset.value().answers.num_answers()), 4000.0,
+              200.0);
+  EXPECT_TRUE(dataset.value().Validate().ok());
+}
+
+TEST(AllPaperDatasetsTest, FiveInTableOrder) {
+  const auto all = AllPaperDatasets();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(PaperDatasetName(all[0]), "image");
+  EXPECT_EQ(PaperDatasetName(all[4]), "movie");
+}
+
+}  // namespace
+}  // namespace cpa

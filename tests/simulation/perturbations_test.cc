@@ -1,0 +1,221 @@
+#include "simulation/perturbations.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "simulation/dataset_factory.h"
+
+namespace cpa {
+namespace {
+
+Dataset QuickDataset() {
+  FactoryOptions options;
+  options.scale = 0.05;
+  auto result = MakePaperDataset(PaperDatasetId::kImage, options);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(SparsifyTest, KeepsRequestedFraction) {
+  Rng rng(3);
+  const Dataset dataset = QuickDataset();
+  const auto sparse = Sparsify(dataset, 0.5, rng);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_NEAR(static_cast<double>(sparse.value().answers.num_answers()),
+              0.5 * dataset.answers.num_answers(), 1.0);
+  EXPECT_EQ(sparse.value().answers.num_items(), dataset.answers.num_items());
+  EXPECT_EQ(sparse.value().answers.num_workers(), dataset.answers.num_workers());
+}
+
+TEST(SparsifyTest, BoundaryFractions) {
+  Rng rng(5);
+  const Dataset dataset = QuickDataset();
+  const auto all = Sparsify(dataset, 1.0, rng);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().answers.num_answers(), dataset.answers.num_answers());
+  const auto none = Sparsify(dataset, 0.0, rng);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().answers.num_answers(), 0u);
+  EXPECT_FALSE(Sparsify(dataset, 1.5, rng).ok());
+  EXPECT_FALSE(Sparsify(dataset, -0.1, rng).ok());
+}
+
+TEST(SparsifyTest, SubsetOfOriginalAnswers) {
+  Rng rng(7);
+  const Dataset dataset = QuickDataset();
+  const auto sparse = Sparsify(dataset, 0.3, rng);
+  ASSERT_TRUE(sparse.ok());
+  for (const Answer& a : sparse.value().answers.answers()) {
+    const auto original = dataset.answers.GetAnswer(a.item, a.worker);
+    ASSERT_TRUE(original.ok());
+    EXPECT_EQ(original.value(), a.labels);
+  }
+}
+
+TEST(InjectSpammersTest, ReachesTargetFraction) {
+  Rng rng(11);
+  const Dataset dataset = QuickDataset();
+  SpammerInjectionOptions options;
+  options.spam_answer_fraction = 0.4;
+  const auto injected = InjectSpammers(dataset, options, rng);
+  ASSERT_TRUE(injected.ok());
+  const double spam_answers = static_cast<double>(
+      injected.value().answers.num_answers() - dataset.answers.num_answers());
+  const double fraction =
+      spam_answers / static_cast<double>(injected.value().answers.num_answers());
+  EXPECT_NEAR(fraction, 0.4, 0.03);
+}
+
+TEST(InjectSpammersTest, OriginalAnswersUntouched) {
+  Rng rng(13);
+  const Dataset dataset = QuickDataset();
+  SpammerInjectionOptions options;
+  options.spam_answer_fraction = 0.2;
+  const auto injected = InjectSpammers(dataset, options, rng);
+  ASSERT_TRUE(injected.ok());
+  for (const Answer& a : dataset.answers.answers()) {
+    const auto kept = injected.value().answers.GetAnswer(a.item, a.worker);
+    ASSERT_TRUE(kept.ok());
+    EXPECT_EQ(kept.value(), a.labels);
+  }
+}
+
+TEST(InjectSpammersTest, NewWorkersOnlyAppend) {
+  Rng rng(17);
+  const Dataset dataset = QuickDataset();
+  SpammerInjectionOptions options;
+  options.spam_answer_fraction = 0.2;
+  const auto injected = InjectSpammers(dataset, options, rng);
+  ASSERT_TRUE(injected.ok());
+  EXPECT_GT(injected.value().answers.num_workers(), dataset.answers.num_workers());
+  // All injected answers belong to new workers.
+  for (const Answer& a : injected.value().answers.answers()) {
+    if (a.worker < dataset.answers.num_workers()) {
+      EXPECT_TRUE(dataset.answers.HasAnswer(a.item, a.worker));
+    } else {
+      EXPECT_FALSE(dataset.answers.HasAnswer(a.item, a.worker));
+    }
+  }
+}
+
+TEST(InjectSpammersTest, ZeroFractionIsIdentity) {
+  Rng rng(19);
+  const Dataset dataset = QuickDataset();
+  SpammerInjectionOptions options;
+  options.spam_answer_fraction = 0.0;
+  const auto injected = InjectSpammers(dataset, options, rng);
+  ASSERT_TRUE(injected.ok());
+  EXPECT_EQ(injected.value().answers.num_answers(), dataset.answers.num_answers());
+}
+
+TEST(InjectSpammersTest, RejectsInvalidOptions) {
+  Rng rng(23);
+  const Dataset dataset = QuickDataset();
+  SpammerInjectionOptions options;
+  options.spam_answer_fraction = 1.0;
+  EXPECT_FALSE(InjectSpammers(dataset, options, rng).ok());
+  options.spam_answer_fraction = 0.2;
+  options.answers_per_spammer = 0;
+  EXPECT_FALSE(InjectSpammers(dataset, options, rng).ok());
+}
+
+TEST(InjectLabelDependenciesTest, AddsOnlyMissingTrueLabels) {
+  Rng rng(29);
+  const Dataset dataset = QuickDataset();
+  const auto enriched = InjectLabelDependencies(dataset, 0.3, rng);
+  ASSERT_TRUE(enriched.ok());
+  EXPECT_EQ(enriched.value().answers.num_answers(), dataset.answers.num_answers());
+  std::size_t added = 0;
+  const auto original = dataset.answers.answers();
+  const auto updated = enriched.value().answers.answers();
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const LabelSet extra = updated[i].labels.Difference(original[i].labels);
+    added += extra.size();
+    for (LabelId c : extra) {
+      EXPECT_TRUE(dataset.ground_truth[original[i].item].Contains(c));
+    }
+    // Nothing removed.
+    EXPECT_TRUE(original[i].labels.Difference(updated[i].labels).empty());
+  }
+  EXPECT_GT(added, 0u);
+}
+
+TEST(InjectLabelDependenciesTest, FractionScalesAdditions) {
+  Rng rng_small(31);
+  Rng rng_large(31);
+  const Dataset dataset = QuickDataset();
+  const auto small = InjectLabelDependencies(dataset, 0.1, rng_small);
+  const auto large = InjectLabelDependencies(dataset, 0.3, rng_large);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  const auto count_labels = [](const Dataset& d) {
+    return d.answers.TotalLabelAssignments();
+  };
+  EXPECT_GT(count_labels(large.value()), count_labels(small.value()));
+}
+
+TEST(InjectLabelDependenciesTest, RequiresGroundTruth) {
+  Rng rng(37);
+  Dataset dataset = QuickDataset();
+  dataset.ground_truth.clear();
+  EXPECT_EQ(InjectLabelDependencies(dataset, 0.2, rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(InjectLabelDependenciesTest, RejectsBadFraction) {
+  Rng rng(41);
+  const Dataset dataset = QuickDataset();
+  EXPECT_FALSE(InjectLabelDependencies(dataset, -0.1, rng).ok());
+  EXPECT_FALSE(InjectLabelDependencies(dataset, 1.0001, rng).ok());
+}
+
+TEST(BatchPlanTest, PrefixConcatenatesInOrder) {
+  BatchPlan plan;
+  plan.batches = {{1, 2}, {3}, {4, 5}};
+  EXPECT_EQ(plan.TotalAnswers(), 5u);
+  EXPECT_EQ(plan.Prefix(0).size(), 0u);
+  EXPECT_EQ(plan.Prefix(2), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(plan.Prefix(99).size(), 5u);
+}
+
+TEST(MakeWorkerBatchesTest, PartitionsAllAnswersByWorker) {
+  Rng rng(43);
+  const Dataset dataset = QuickDataset();
+  const BatchPlan plan = MakeWorkerBatches(dataset.answers, 5, rng);
+  EXPECT_EQ(plan.TotalAnswers(), dataset.answers.num_answers());
+  // Each batch contains answers of at most 5 distinct workers, and no
+  // worker spans two batches.
+  std::set<WorkerId> seen;
+  for (const auto& batch : plan.batches) {
+    std::set<WorkerId> batch_workers;
+    for (std::size_t index : batch) {
+      batch_workers.insert(dataset.answers.answer(index).worker);
+    }
+    EXPECT_LE(batch_workers.size(), 5u);
+    for (WorkerId u : batch_workers) {
+      EXPECT_EQ(seen.count(u), 0u) << "worker " << u << " in two batches";
+      seen.insert(u);
+    }
+  }
+}
+
+TEST(MakeArrivalScheduleTest, NearEqualSplitCoveringEverything) {
+  Rng rng(47);
+  const Dataset dataset = QuickDataset();
+  const BatchPlan plan = MakeArrivalSchedule(dataset.answers, 10, rng);
+  EXPECT_EQ(plan.num_batches(), 10u);
+  EXPECT_EQ(plan.TotalAnswers(), dataset.answers.num_answers());
+  const std::size_t expected = dataset.answers.num_answers() / 10;
+  for (const auto& batch : plan.batches) {
+    EXPECT_NEAR(static_cast<double>(batch.size()), static_cast<double>(expected), 2.0);
+  }
+  // All indices distinct.
+  std::set<std::size_t> all;
+  for (const auto& batch : plan.batches) all.insert(batch.begin(), batch.end());
+  EXPECT_EQ(all.size(), dataset.answers.num_answers());
+}
+
+}  // namespace
+}  // namespace cpa

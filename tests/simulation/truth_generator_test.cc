@@ -1,0 +1,180 @@
+#include "simulation/truth_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "data/cooccurrence.h"
+
+namespace cpa {
+namespace {
+
+TruthConfig SmallConfig() {
+  TruthConfig config;
+  config.num_items = 400;
+  config.num_labels = 20;
+  config.num_clusters = 4;
+  config.correlation = 0.8;
+  config.mean_labels_per_item = 3.0;
+  config.max_labels_per_item = 6;
+  return config;
+}
+
+TEST(TruthConfigTest, ValidatesBounds) {
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+  TruthConfig bad = SmallConfig();
+  bad.num_items = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallConfig();
+  bad.correlation = 1.5;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallConfig();
+  bad.mean_labels_per_item = 0.5;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallConfig();
+  bad.max_labels_per_item = 99;  // > num_labels
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallConfig();
+  bad.core_mass = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(GenerateGroundTruthTest, ShapesAndRanges) {
+  Rng rng(3);
+  const auto result = GenerateGroundTruth(SmallConfig(), rng);
+  ASSERT_TRUE(result.ok());
+  const GroundTruth& truth = result.value();
+  EXPECT_EQ(truth.labels.size(), 400u);
+  EXPECT_EQ(truth.item_cluster.size(), 400u);
+  EXPECT_EQ(truth.num_clusters(), 4u);
+  EXPECT_EQ(truth.num_labels(), 20u);
+  for (std::size_t i = 0; i < truth.labels.size(); ++i) {
+    EXPECT_GE(truth.labels[i].size(), 1u);
+    EXPECT_LE(truth.labels[i].size(), 6u);
+    EXPECT_LT(truth.item_cluster[i], 4u);
+  }
+}
+
+TEST(GenerateGroundTruthTest, ProfilesAreDistributions) {
+  Rng rng(5);
+  const auto result = GenerateGroundTruth(SmallConfig(), rng);
+  ASSERT_TRUE(result.ok());
+  const GroundTruth& truth = result.value();
+  for (std::size_t k = 0; k < truth.num_clusters(); ++k) {
+    EXPECT_NEAR(Sum(truth.cluster_profiles.Row(k)), 1.0, 1e-9);
+    for (double p : truth.cluster_profiles.Row(k)) EXPECT_GE(p, 0.0);
+  }
+}
+
+TEST(GenerateGroundTruthTest, MeanSetSizeTracksConfig) {
+  Rng rng(7);
+  TruthConfig config = SmallConfig();
+  config.num_items = 3000;
+  const auto result = GenerateGroundTruth(config, rng);
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  for (const LabelSet& set : result.value().labels) total += set.size();
+  // 1 + Poisson(2) clamped to [1, 6]: mean slightly below 3.
+  EXPECT_NEAR(total / 3000.0, 2.85, 0.25);
+}
+
+TEST(GenerateGroundTruthTest, CorrelationKnobControlsCooccurrence) {
+  TruthConfig correlated = SmallConfig();
+  correlated.num_items = 2000;
+  correlated.correlation = 0.95;
+  TruthConfig independent = correlated;
+  independent.correlation = 0.0;
+
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const auto strong = GenerateGroundTruth(correlated, rng_a);
+  const auto weak = GenerateGroundTruth(independent, rng_b);
+  ASSERT_TRUE(strong.ok());
+  ASSERT_TRUE(weak.ok());
+
+  const CooccurrenceMatrix strong_cooc(20, strong.value().labels);
+  const CooccurrenceMatrix weak_cooc(20, weak.value().labels);
+  EXPECT_GT(strong_cooc.WeightedMeanNpmi(), weak_cooc.WeightedMeanNpmi() + 0.05);
+  EXPECT_NEAR(weak_cooc.WeightedMeanNpmi(), 0.0, 0.08);
+}
+
+TEST(GenerateGroundTruthTest, HighCorrelationItemsShareClusterLabels) {
+  TruthConfig config = SmallConfig();
+  config.num_items = 1000;
+  config.correlation = 1.0;
+  config.core_mass = 0.95;
+  Rng rng(13);
+  const auto result = GenerateGroundTruth(config, rng);
+  ASSERT_TRUE(result.ok());
+  const GroundTruth& truth = result.value();
+  // Items in the same cluster should overlap far more than items in
+  // different clusters.
+  double same = 0.0;
+  double diff = 0.0;
+  std::size_t same_n = 0;
+  std::size_t diff_n = 0;
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t j = i + 1; j < 300; ++j) {
+      const double jac = truth.labels[i].Jaccard(truth.labels[j]);
+      if (truth.item_cluster[i] == truth.item_cluster[j]) {
+        same += jac;
+        ++same_n;
+      } else {
+        diff += jac;
+        ++diff_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0u);
+  ASSERT_GT(diff_n, 0u);
+  EXPECT_GT(same / same_n, diff / diff_n + 0.1);
+}
+
+TEST(GenerateGroundTruthTest, DeterministicForSameSeed) {
+  Rng rng_a(17);
+  Rng rng_b(17);
+  const auto a = GenerateGroundTruth(SmallConfig(), rng_a);
+  const auto b = GenerateGroundTruth(SmallConfig(), rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a.value().labels.size(); ++i) {
+    EXPECT_EQ(a.value().labels[i], b.value().labels[i]);
+  }
+}
+
+TEST(SampleLabelSetTest, ExactSizeAndDistinct) {
+  Rng rng(19);
+  const std::vector<double> profile = {0.5, 0.2, 0.1, 0.1, 0.05, 0.05};
+  for (std::size_t size = 1; size <= 6; ++size) {
+    const LabelSet set = SampleLabelSet(profile, size, rng);
+    EXPECT_EQ(set.size(), size);
+  }
+}
+
+TEST(SampleLabelSetTest, SizeCappedByUniverse) {
+  Rng rng(23);
+  const std::vector<double> profile = {0.6, 0.4};
+  EXPECT_EQ(SampleLabelSet(profile, 10, rng).size(), 2u);
+}
+
+TEST(SampleLabelSetTest, FollowsProfileWeights) {
+  Rng rng(29);
+  const std::vector<double> profile = {0.85, 0.05, 0.05, 0.05};
+  int first = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (SampleLabelSet(profile, 1, rng).Contains(0)) ++first;
+  }
+  EXPECT_NEAR(first / static_cast<double>(n), 0.85, 0.04);
+}
+
+TEST(SampleLabelSetTest, DegenerateProfileStillFills) {
+  Rng rng(31);
+  // All mass on one label; requesting 3 labels must still produce 3 via the
+  // deterministic fallback.
+  const std::vector<double> profile = {1.0, 0.0, 0.0, 0.0};
+  const LabelSet set = SampleLabelSet(profile, 3, rng);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.Contains(0));
+}
+
+}  // namespace
+}  // namespace cpa

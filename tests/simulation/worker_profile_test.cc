@@ -1,0 +1,178 @@
+#include "simulation/worker_profile.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+TEST(PopulationMixTest, DefaultsValidate) {
+  EXPECT_TRUE(PopulationMix::PaperSimulationDefault().Validate().ok());
+  EXPECT_TRUE(PopulationMix::EmpiricalZhao().Validate().ok());
+  EXPECT_TRUE(PopulationMix::AllReliable().Validate().ok());
+}
+
+TEST(PopulationMixTest, PaperDefaultMatchesSection51) {
+  const PopulationMix mix = PopulationMix::PaperSimulationDefault();
+  EXPECT_DOUBLE_EQ(mix.reliable, 0.43);
+  EXPECT_DOUBLE_EQ(mix.sloppy, 0.32);
+  EXPECT_DOUBLE_EQ(mix.uniform_spammer + mix.random_spammer, 0.25);
+  EXPECT_DOUBLE_EQ(mix.uniform_spammer, mix.random_spammer);
+}
+
+TEST(PopulationMixTest, RejectsNegativeAndNonUnitSums) {
+  PopulationMix mix;
+  mix.reliable = -0.1;
+  mix.normal = 1.1;
+  EXPECT_FALSE(mix.Validate().ok());
+  PopulationMix half;
+  half.reliable = 0.5;
+  EXPECT_FALSE(half.Validate().ok());
+}
+
+TEST(QualityParamsTest, ReliableBeatsSloppyBeatsSpam) {
+  const auto reliable = QualityParams::ForType(WorkerType::kReliable);
+  const auto sloppy = QualityParams::ForType(WorkerType::kSloppy);
+  const auto random_spam = QualityParams::ForType(WorkerType::kRandomSpammer);
+  EXPECT_GT(reliable.sensitivity_mean, sloppy.sensitivity_mean);
+  EXPECT_GT(sloppy.sensitivity_mean, random_spam.sensitivity_mean);
+  EXPECT_GT(reliable.specificity_mean, random_spam.specificity_mean);
+}
+
+TEST(WorkerTypeTest, NamesAreStable) {
+  EXPECT_EQ(WorkerTypeName(WorkerType::kReliable), "reliable");
+  EXPECT_EQ(WorkerTypeName(WorkerType::kNormal), "normal");
+  EXPECT_EQ(WorkerTypeName(WorkerType::kSloppy), "sloppy");
+  EXPECT_EQ(WorkerTypeName(WorkerType::kUniformSpammer), "uniform-spammer");
+  EXPECT_EQ(WorkerTypeName(WorkerType::kRandomSpammer), "random-spammer");
+}
+
+TEST(SampleWorkerTypeTest, FollowsMixProportions) {
+  Rng rng(101);
+  const PopulationMix mix = PopulationMix::PaperSimulationDefault();
+  std::map<WorkerType, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[SampleWorkerType(mix, rng)];
+  EXPECT_NEAR(counts[WorkerType::kReliable] / static_cast<double>(n), 0.43, 0.02);
+  EXPECT_NEAR(counts[WorkerType::kSloppy] / static_cast<double>(n), 0.32, 0.02);
+  EXPECT_NEAR(counts[WorkerType::kUniformSpammer] / static_cast<double>(n), 0.125, 0.02);
+  EXPECT_EQ(counts[WorkerType::kNormal], 0);
+}
+
+PopulationConfig SmallConfig() {
+  PopulationConfig config;
+  config.num_workers = 60;
+  config.num_labels = 12;
+  return config;
+}
+
+TEST(GenerateWorkerProfileTest, SkillsWithinClampAndSized) {
+  Rng rng(5);
+  const auto config = SmallConfig();
+  for (WorkerType type :
+       {WorkerType::kReliable, WorkerType::kSloppy, WorkerType::kRandomSpammer}) {
+    const WorkerProfile profile = GenerateWorkerProfile(type, config, rng);
+    EXPECT_EQ(profile.sensitivity.size(), config.num_labels);
+    EXPECT_EQ(profile.specificity.size(), config.num_labels);
+    for (double s : profile.sensitivity) {
+      EXPECT_GE(s, 0.02);
+      EXPECT_LE(s, 0.98);
+    }
+    EXPECT_LT(profile.uniform_label, config.num_labels);
+    EXPECT_LT(profile.expertise_group, config.num_expertise_groups);
+  }
+}
+
+TEST(GenerateWorkerProfileTest, ReliableOutskillsSloppyOnAverage) {
+  Rng rng(7);
+  const auto config = SmallConfig();
+  double reliable_sens = 0.0;
+  double sloppy_sens = 0.0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    reliable_sens +=
+        GenerateWorkerProfile(WorkerType::kReliable, config, rng).MeanSensitivity();
+    sloppy_sens +=
+        GenerateWorkerProfile(WorkerType::kSloppy, config, rng).MeanSensitivity();
+  }
+  EXPECT_GT(reliable_sens / n, sloppy_sens / n + 0.2);
+}
+
+TEST(GenerateWorkerProfileTest, DifficultyLowersHonestSkill) {
+  PopulationConfig easy = SmallConfig();
+  PopulationConfig hard = SmallConfig();
+  hard.difficulty = 0.12;
+  double easy_sens = 0.0;
+  double hard_sens = 0.0;
+  const int n = 300;
+  Rng rng_easy(11);
+  Rng rng_hard(11);
+  for (int i = 0; i < n; ++i) {
+    easy_sens +=
+        GenerateWorkerProfile(WorkerType::kReliable, easy, rng_easy).MeanSensitivity();
+    hard_sens +=
+        GenerateWorkerProfile(WorkerType::kReliable, hard, rng_hard).MeanSensitivity();
+  }
+  EXPECT_GT(easy_sens / n, hard_sens / n + 0.05);
+}
+
+TEST(GenerateWorkerProfileTest, ExpertiseGroupBoostsOwnLabels) {
+  PopulationConfig config = SmallConfig();
+  config.num_expertise_groups = 3;
+  config.expertise_boost = 0.2;  // exaggerated for the test
+  Rng rng(13);
+  double own = 0.0;
+  double other = 0.0;
+  int own_n = 0;
+  int other_n = 0;
+  for (int i = 0; i < 200; ++i) {
+    const WorkerProfile p = GenerateWorkerProfile(WorkerType::kNormal, config, rng);
+    for (LabelId c = 0; c < config.num_labels; ++c) {
+      if (LabelExpertiseGroup(c, config.num_expertise_groups) == p.expertise_group) {
+        own += p.sensitivity[c];
+        ++own_n;
+      } else {
+        other += p.sensitivity[c];
+        ++other_n;
+      }
+    }
+  }
+  EXPECT_GT(own / own_n, other / other_n + 0.1);
+}
+
+TEST(GeneratePopulationTest, SizeAndDeterminism) {
+  Rng rng_a(17);
+  Rng rng_b(17);
+  const auto config = SmallConfig();
+  const auto pop_a = GeneratePopulation(config, rng_a);
+  const auto pop_b = GeneratePopulation(config, rng_b);
+  ASSERT_TRUE(pop_a.ok());
+  ASSERT_TRUE(pop_b.ok());
+  ASSERT_EQ(pop_a.value().size(), config.num_workers);
+  for (std::size_t u = 0; u < config.num_workers; ++u) {
+    EXPECT_EQ(pop_a.value()[u].type, pop_b.value()[u].type);
+    EXPECT_EQ(pop_a.value()[u].sensitivity, pop_b.value()[u].sensitivity);
+  }
+}
+
+TEST(GeneratePopulationTest, RejectsInvalidConfig) {
+  Rng rng(19);
+  PopulationConfig config = SmallConfig();
+  config.num_labels = 0;
+  EXPECT_FALSE(GeneratePopulation(config, rng).ok());
+  PopulationConfig bad_mix = SmallConfig();
+  bad_mix.mix.reliable = 2.0;
+  EXPECT_FALSE(GeneratePopulation(bad_mix, rng).ok());
+}
+
+TEST(LabelExpertiseGroupTest, RoundRobinPartition) {
+  EXPECT_EQ(LabelExpertiseGroup(0, 3), 0u);
+  EXPECT_EQ(LabelExpertiseGroup(4, 3), 1u);
+  EXPECT_EQ(LabelExpertiseGroup(5, 3), 2u);
+  EXPECT_EQ(LabelExpertiseGroup(7, 1), 0u);  // single group
+  EXPECT_EQ(LabelExpertiseGroup(7, 0), 0u);  // degenerate
+}
+
+}  // namespace
+}  // namespace cpa

@@ -1,0 +1,76 @@
+#include "util/flags.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+Flags MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "binary");
+  auto result =
+      Flags::Parse(static_cast<int>(argv.size()), const_cast<char**>(argv.data()));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const Flags flags = MustParse({"--items=200", "--rate=0.5", "--name=image"});
+  EXPECT_EQ(flags.GetInt("items", 0), 200);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 0.5);
+  EXPECT_EQ(flags.GetString("name", ""), "image");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const Flags flags = MustParse({"--items", "77", "--name", "topic"});
+  EXPECT_EQ(flags.GetInt("items", 0), 77);
+  EXPECT_EQ(flags.GetString("name", ""), "topic");
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  const Flags flags = MustParse({"--verbose", "--quick"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("quick", false));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+}
+
+TEST(FlagsTest, ExplicitBooleanValues) {
+  const Flags flags = MustParse({"--a=true", "--b=false", "--c=1", "--d=no"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsentOrMalformed) {
+  const Flags flags = MustParse({"--items=notanumber"});
+  EXPECT_EQ(flags.GetInt("items", 9), 9);
+  EXPECT_EQ(flags.GetInt("missing", 5), 5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 2.5), 2.5);
+}
+
+TEST(FlagsTest, HasReflectsPresence) {
+  const Flags flags = MustParse({"--x=1"});
+  EXPECT_TRUE(flags.Has("x"));
+  EXPECT_FALSE(flags.Has("y"));
+}
+
+TEST(FlagsTest, PositionalArgumentIsError) {
+  std::vector<const char*> argv = {"binary", "positional"};
+  const auto result =
+      Flags::Parse(static_cast<int>(argv.size()), const_cast<char**>(argv.data()));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, NoArgumentsIsEmptyAndOk) {
+  std::vector<const char*> argv = {"binary"};
+  const auto result =
+      Flags::Parse(static_cast<int>(argv.size()), const_cast<char**>(argv.data()));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().Has("anything"));
+}
+
+}  // namespace
+}  // namespace cpa

@@ -1,0 +1,238 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, 5 * std::sqrt(n * 0.1 * 0.9));  // 5-sigma
+  }
+}
+
+TEST(RngTest, NextIntCoversRangeInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMeanMatchesP) {
+  Rng rng(23);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(29);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GammaMeanAndVarianceMatch) {
+  Rng rng(31);
+  const double shape = 3.5;
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGamma(shape);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, shape, 0.05);
+  EXPECT_NEAR(var, shape, 0.15);
+}
+
+TEST(RngTest, GammaSmallShapeStaysPositive) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.NextGamma(0.2), 0.0);
+  }
+}
+
+TEST(RngTest, BetaMeanMatches) {
+  Rng rng(41);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextBeta(2.0, 6.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(43);
+  const std::vector<double> weights = {1.0, 2.0, 7.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextCategorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(RngTest, CategoricalAllZeroWeightsFallsBackToUniform) {
+  Rng rng(47);
+  const std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) ++counts[rng.NextCategorical(weights)];
+  for (int c : counts) EXPECT_GT(c, 500);
+}
+
+TEST(RngTest, DirichletSumsToOneAndTracksAlpha) {
+  Rng rng(53);
+  const std::vector<double> alpha = {1.0, 4.0, 5.0};
+  std::vector<double> mean(3, 0.0);
+  const int n = 50000;
+  std::vector<double> draw(3);
+  for (int i = 0; i < n; ++i) {
+    rng.NextDirichlet(alpha, draw);
+    double total = 0.0;
+    for (double x : draw) total += x;
+    ASSERT_NEAR(total, 1.0, 1e-9);
+    for (int c = 0; c < 3; ++c) mean[c] += draw[c];
+  }
+  EXPECT_NEAR(mean[0] / n, 0.1, 0.01);
+  EXPECT_NEAR(mean[1] / n, 0.4, 0.01);
+  EXPECT_NEAR(mean[2] / n, 0.5, 0.01);
+}
+
+TEST(RngTest, MultinomialCountsSumToN) {
+  Rng rng(59);
+  const std::vector<double> probs = {0.2, 0.3, 0.5};
+  std::vector<std::uint32_t> counts(3);
+  rng.NextMultinomial(100, probs, counts);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 100u);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardSmallIndices) {
+  Rng rng(61);
+  const std::size_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.NextZipf(n, 1.2)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(RngTest, ZipfSingletonAlwaysZero) {
+  Rng rng(67);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextZipf(1, 1.5), 0u);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaSmallAndLarge) {
+  Rng rng(71);
+  for (double lambda : {0.5, 4.0, 100.0}) {
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.NextPoisson(lambda));
+    EXPECT_NEAR(sum / n, lambda, std::max(0.05, lambda * 0.03)) << lambda;
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(73);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(50, 20);
+    EXPECT_EQ(sample.size(), 20u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (std::size_t v : sample) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(79);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(83);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));  // w.h.p.
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(89);
+  Rng child = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.NextUint64() == child.NextUint64());
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace cpa

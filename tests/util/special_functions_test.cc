@@ -1,0 +1,140 @@
+#include "util/special_functions.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+TEST(DigammaTest, KnownValues) {
+  // Psi(1) = -gamma (Euler–Mascheroni).
+  EXPECT_NEAR(Digamma(1.0), -0.5772156649015329, 1e-10);
+  // Psi(0.5) = -gamma - 2 ln 2.
+  EXPECT_NEAR(Digamma(0.5), -1.9635100260214235, 1e-10);
+  // Psi(2) = 1 - gamma.
+  EXPECT_NEAR(Digamma(2.0), 0.42278433509846713, 1e-10);
+  // Large argument: Psi(x) ~ ln(x) - 1/(2x).
+  EXPECT_NEAR(Digamma(1000.0), std::log(1000.0) - 0.0005, 1e-6);
+}
+
+TEST(DigammaTest, RecurrenceHolds) {
+  // Psi(x+1) = Psi(x) + 1/x for several x.
+  for (double x : {0.1, 0.7, 1.3, 2.9, 5.5, 17.0}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(TrigammaTest, KnownValuesAndRecurrence) {
+  // Psi'(1) = pi^2 / 6.
+  EXPECT_NEAR(Trigamma(1.0), M_PI * M_PI / 6.0, 1e-9);
+  for (double x : {0.3, 1.5, 4.2}) {
+    EXPECT_NEAR(Trigamma(x + 1.0), Trigamma(x) - 1.0 / (x * x), 1e-9) << "x=" << x;
+  }
+}
+
+TEST(LogBetaTest, MatchesGammaIdentity) {
+  EXPECT_NEAR(LogBeta(1.0, 1.0), 0.0, 1e-12);          // B(1,1)=1
+  EXPECT_NEAR(LogBeta(2.0, 3.0), std::log(1.0 / 12.0), 1e-12);
+  EXPECT_NEAR(LogBeta(0.5, 0.5), std::log(M_PI), 1e-12);
+}
+
+TEST(LogMultivariateBetaTest, ReducesToLogBetaInTwoDims) {
+  const std::vector<double> alpha = {2.5, 4.0};
+  EXPECT_NEAR(LogMultivariateBeta(alpha), LogBeta(2.5, 4.0), 1e-12);
+}
+
+TEST(LogSumExpTest, MatchesDirectComputationOnSmallValues) {
+  const std::vector<double> v = {0.0, std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(LogSumExp(v), std::log(6.0), 1e-12);
+}
+
+TEST(LogSumExpTest, StableForLargeMagnitudes) {
+  const std::vector<double> v = {-1000.0, -1000.0};
+  EXPECT_NEAR(LogSumExp(v), -1000.0 + std::log(2.0), 1e-12);
+  const std::vector<double> w = {1000.0, 999.0};
+  EXPECT_NEAR(LogSumExp(w), 1000.0 + std::log(1.0 + std::exp(-1.0)), 1e-12);
+}
+
+TEST(LogSumExpTest, EmptyIsMinusInfinity) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(SoftmaxTest, NormalisesAndPreservesOrder) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(v);
+  EXPECT_NEAR(v[0] + v[1] + v[2], 1.0, 1e-12);
+  EXPECT_LT(v[0], v[1]);
+  EXPECT_LT(v[1], v[2]);
+}
+
+TEST(SoftmaxTest, DegenerateAllMinusInfBecomesUniform) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> v = {-inf, -inf};
+  SoftmaxInPlace(v);
+  EXPECT_NEAR(v[0], 0.5, 1e-12);
+  EXPECT_NEAR(v[1], 0.5, 1e-12);
+}
+
+TEST(SoftmaxTest, ShiftInvariance) {
+  std::vector<double> a = {0.3, -1.2, 2.5};
+  std::vector<double> b = {0.3 + 500, -1.2 + 500, 2.5 + 500};
+  SoftmaxInPlace(a);
+  SoftmaxInPlace(b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(DirichletExpectedLogTest, SymmetricAlphaGivesEqualComponents) {
+  const std::vector<double> alpha = {2.0, 2.0, 2.0};
+  std::vector<double> out(3);
+  DirichletExpectedLog(alpha, out);
+  EXPECT_NEAR(out[0], out[1], 1e-12);
+  EXPECT_NEAR(out[1], out[2], 1e-12);
+  // E[ln theta] <= ln E[theta] = ln(1/3) by Jensen.
+  EXPECT_LT(out[0], std::log(1.0 / 3.0));
+}
+
+TEST(DirichletExpectedLogTest, MatchesDigammaDefinition) {
+  const std::vector<double> alpha = {0.5, 1.5, 3.0};
+  std::vector<double> out(3);
+  DirichletExpectedLog(alpha, out);
+  const double dsum = Digamma(5.0);
+  EXPECT_NEAR(out[0], Digamma(0.5) - dsum, 1e-12);
+  EXPECT_NEAR(out[1], Digamma(1.5) - dsum, 1e-12);
+  EXPECT_NEAR(out[2], Digamma(3.0) - dsum, 1e-12);
+}
+
+TEST(DirichletEntropyTest, UniformDirichletEntropyIsLogVolume) {
+  // Dir(1,1) is uniform on the simplex (a segment of length sqrt(2), but in
+  // the standard normalisation its entropy is ln B(1,1) = 0).
+  const std::vector<double> alpha = {1.0, 1.0};
+  EXPECT_NEAR(DirichletEntropy(alpha), 0.0, 1e-12);
+}
+
+TEST(DirichletEntropyTest, ConcentrationReducesEntropy) {
+  const std::vector<double> loose = {1.0, 1.0, 1.0};
+  const std::vector<double> tight = {50.0, 50.0, 50.0};
+  EXPECT_GT(DirichletEntropy(loose), DirichletEntropy(tight));
+}
+
+TEST(BetaEntropyTest, MatchesDirichletEntropyInTwoDims) {
+  const std::vector<double> alpha = {3.0, 7.0};
+  EXPECT_NEAR(BetaEntropy(3.0, 7.0), DirichletEntropy(alpha), 1e-10);
+}
+
+TEST(DirichletKLTest, ZeroForIdenticalDistributions) {
+  const std::vector<double> alpha = {1.2, 3.4, 0.7};
+  EXPECT_NEAR(DirichletKL(alpha, alpha), 0.0, 1e-12);
+}
+
+TEST(DirichletKLTest, PositiveForDifferentDistributions) {
+  const std::vector<double> alpha = {5.0, 1.0};
+  const std::vector<double> beta = {1.0, 5.0};
+  EXPECT_GT(DirichletKL(alpha, beta), 0.0);
+  EXPECT_GT(DirichletKL(beta, alpha), 0.0);
+}
+
+}  // namespace
+}  // namespace cpa

@@ -1,0 +1,103 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesStringify) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition), "FailedPrecondition");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailingOperation() { return Status::Internal("boom"); }
+Status SucceedingOperation() { return Status::OK(); }
+
+Status Propagate() {
+  CPA_RETURN_NOT_OK(SucceedingOperation());
+  CPA_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  const Status s = Propagate();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+Result<int> ProduceValue() { return 10; }
+Result<int> ProduceError() { return Status::OutOfRange("too big"); }
+
+Status ConsumeValues(int* out) {
+  CPA_ASSIGN_OR_RETURN(const int a, ProduceValue());
+  CPA_ASSIGN_OR_RETURN(const int b, ProduceValue());
+  *out = a + b;
+  return Status::OK();
+}
+
+Status ConsumeError(int* out) {
+  CPA_ASSIGN_OR_RETURN(*out, ProduceError());
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnBindsValue) {
+  int out = 0;
+  ASSERT_TRUE(ConsumeValues(&out).ok());
+  EXPECT_EQ(out, 20);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesError) {
+  int out = -1;
+  const Status s = ConsumeError(&out);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out, -1);
+}
+
+}  // namespace
+}  // namespace cpa

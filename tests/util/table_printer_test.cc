@@ -1,0 +1,68 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+TEST(TablePrinterTest, RendersHeadersRuleAndRows) {
+  TablePrinter table({"Dataset", "P", "R"});
+  table.AddRow({"image", "0.81", "0.74"});
+  table.AddRow({"topic", "0.79", "0.70"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Dataset"), std::string::npos);
+  EXPECT_NE(out.find("image"), std::string::npos);
+  EXPECT_NE(out.find("0.74"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, DoubleRowFormatsWithPrecision) {
+  TablePrinter table({"method", "value"});
+  table.AddRow("MV", {0.123456}, 3);
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("0.123"), std::string::npos);
+  EXPECT_EQ(os.str().find("0.1235"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadToHeaderWidth) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  std::ostringstream os;
+  table.Print(os);
+  // Three header cells and the single data cell all render.
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAlignAcrossRows) {
+  TablePrinter table({"name", "x"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a-much-longer-name", "2"});
+  std::ostringstream os;
+  table.Print(os);
+  // Both value cells must start at the same column: find the positions of
+  // "1" and "2" relative to their line starts.
+  std::istringstream lines(os.str());
+  std::string line;
+  std::vector<std::size_t> value_columns;
+  while (std::getline(lines, line)) {
+    const auto pos1 = line.find(" 1");
+    const auto pos2 = line.find(" 2");
+    if (pos1 != std::string::npos && line.find("short") != std::string::npos) {
+      value_columns.push_back(pos1);
+    }
+    if (pos2 != std::string::npos && line.find("longer") != std::string::npos) {
+      value_columns.push_back(pos2);
+    }
+  }
+  ASSERT_EQ(value_columns.size(), 2u);
+  EXPECT_EQ(value_columns[0], value_columns[1]);
+}
+
+}  // namespace
+}  // namespace cpa

@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cpa {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (wave + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelForTest, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  ParallelFor(&pool, touched.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> touched(100, 0);
+  ParallelFor(nullptr, touched.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++touched[i];
+  });
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 100);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(&pool, 0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SmallRangeRunsInlineWithMinShard) {
+  ThreadPool pool(4);
+  std::vector<int> touched(3, 0);
+  // total(3) < 2 * min_shard(10) -> inline execution.
+  ParallelFor(
+      &pool, touched.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++touched[i];
+      },
+      /*min_shard=*/10);
+  for (int t : touched) EXPECT_EQ(t, 1);
+}
+
+TEST(ParallelForTest, ParallelSumMatchesSequential) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i % 97);
+  std::vector<double> partial(pool.num_threads() + 2, 0.0);
+  std::atomic<std::size_t> shard_index{0};
+  ParallelFor(&pool, n, [&](std::size_t begin, std::size_t end) {
+    const std::size_t slot = shard_index.fetch_add(1);
+    double local = 0.0;
+    for (std::size_t i = begin; i < end; ++i) local += values[i];
+    partial[slot] = local;
+  });
+  const double parallel_sum = std::accumulate(partial.begin(), partial.end(), 0.0);
+  const double sequential_sum = std::accumulate(values.begin(), values.end(), 0.0);
+  EXPECT_DOUBLE_EQ(parallel_sum, sequential_sum);
+}
+
+}  // namespace
+}  // namespace cpa
