@@ -32,53 +32,67 @@ int main(int argc, char** argv) {
       "image (strong label correlation) and movie (little correlation).",
       config);
 
+  bench::BenchReport report("ablation_design_choices", config);
   for (PaperDatasetId id : {PaperDatasetId::kImage, PaperDatasetId::kMovie}) {
     const Dataset dataset = bench::LoadPaperDataset(id, config);
     CpaOptions base = CpaOptions::Recommended(dataset.num_items(), dataset.num_labels);
     base.max_iterations = config.cpa_iterations;
 
     TablePrinter table({"Configuration", "Precision", "Recall", "F1"});
-    const auto add = [&](const std::string& name, const CpaOptions& options) {
+    // `slug` is the stable machine-readable report key; `name` is the
+    // human-facing caption and may be reworded freely.
+    const auto add = [&](const char* slug, const std::string& name,
+                         const CpaOptions& options) {
       const SetMetrics metrics = Run(dataset, options);
       table.AddRow({name, StrFormat("%.3f", metrics.precision),
                     StrFormat("%.3f", metrics.recall),
                     StrFormat("%.3f", metrics.F1())});
+      report.Add(StrFormat("%s@%s_f1", slug, dataset.name.c_str()),
+                 metrics.F1(), "fraction");
       std::fprintf(stderr, "[ablation] %s / %s done\n", dataset.name.c_str(),
                    name.c_str());
     };
 
-    add("default (reliability evidence, Bernoulli prediction)", base);
+    add("default", "default (reliability evidence, Bernoulli prediction)", base);
 
     CpaOptions evidence = base;
     evidence.label_evidence = LabelEvidence::kAnswerFrequency;
-    add("evidence: raw answer frequency (Appendix-B reading)", evidence);
+    add("evidence_answer_frequency",
+        "evidence: raw answer frequency (Appendix-B reading)", evidence);
 
     evidence.label_evidence = LabelEvidence::kSelfTraining;
-    add("evidence: self-training on greedy predictions", evidence);
+    add("evidence_self_training",
+        "evidence: self-training on greedy predictions", evidence);
 
     evidence.label_evidence = LabelEvidence::kObservedOnly;
-    add("evidence: observed-only (paper-literal Eq. 7, y = empty)", evidence);
+    add("evidence_observed_only",
+        "evidence: observed-only (paper-literal Eq. 7, y = empty)", evidence);
 
     CpaOptions multinomial = base;
     multinomial.prediction_mode = PredictionMode::kMultinomialSizePrior;
-    add("prediction: multinomial + size prior (paper-literal greedy)", multinomial);
+    add("prediction_multinomial",
+        "prediction: multinomial + size prior (paper-literal greedy)", multinomial);
 
     CpaOptions answer_term = base;
     answer_term.phi_answer_term = true;
-    add("phi update: + answer term (full mean-field, Eq. 3 restored)", answer_term);
+    add("phi_answer_term",
+        "phi update: + answer term (full mean-field, Eq. 3 restored)", answer_term);
 
     CpaOptions no_reseed = base;
     no_reseed.reseed_sweeps = 0;
-    add("seeding: bootstrap only (no consensus re-seeding sweeps)", no_reseed);
+    add("no_reseed",
+        "seeding: bootstrap only (no consensus re-seeding sweeps)", no_reseed);
 
     CpaOptions literal_scale = base;
     literal_scale.evidence_scale = 1.0;
-    add("evidence weight: single pseudo-observation (paper-literal)",
+    add("evidence_scale_literal",
+        "evidence weight: single pseudo-observation (paper-literal)",
         literal_scale);
 
     std::printf("\n%s dataset\n", dataset.name.c_str());
     table.Print();
   }
+  CPA_CHECK_OK(report.Write());
   std::printf(
       "\nReading: the default should dominate or tie each single-switch "
       "alternative; 'observed-only' collapses recall (the cluster profiles "

@@ -10,12 +10,22 @@
 /// preserved, which keeps every qualitative shape (who wins, by roughly
 /// what factor, where the crossovers fall). Run with `--scale=1` to use
 /// the published sizes.
+///
+/// Headline numbers are reported through `BenchReport`, which writes a
+/// `BENCH_<name>.json` file so perf trajectories stay machine-readable
+/// across PRs. Run benches from the repo root (or pass `--out-dir`) to
+/// collect the reports there.
 
+#include <cstdint>
+#include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "data/dataset.h"
 #include "simulation/dataset_factory.h"
 #include "util/flags.h"
+#include "util/status.h"
 
 namespace cpa::bench {
 
@@ -25,10 +35,11 @@ struct BenchConfig {
   std::uint64_t seed = 20180417;
   std::size_t cpa_iterations = 25;
   std::size_t runs = 1;         ///< repetitions for averaged experiments
+  std::string out_dir = ".";    ///< where BENCH_*.json reports land
 };
 
-/// Parses `--scale`, `--seed`, `--cpa-iterations`, `--runs`. Exits with a
-/// message on malformed flags.
+/// Parses `--scale`, `--seed`, `--cpa-iterations`, `--runs`, `--out-dir`.
+/// Exits with a message on malformed flags.
 BenchConfig ParseBenchConfig(int argc, char** argv, double default_scale = 0.35,
                              std::size_t default_runs = 1);
 
@@ -39,6 +50,86 @@ Dataset LoadPaperDataset(PaperDatasetId id, const BenchConfig& config);
 /// workload parameters in effect.
 void PrintHeader(const std::string& artefact, const std::string& description,
                  const BenchConfig& config);
+
+/// \brief A minimal JSON document, sufficient to round-trip bench reports.
+///
+/// Supports objects, arrays, strings (with `\"`, `\\`, `\/`, `\b`, `\f`,
+/// `\n`, `\r`, `\t` escapes), finite numbers, booleans and null — exactly
+/// the grammar `BenchReport::ToJson` emits. Not a general-purpose JSON
+/// library; lives here so reports can be validated without external deps.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  explicit JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  explicit JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+  explicit JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  explicit JsonValue(Array value)
+      : kind_(Kind::kArray), array_(std::move(value)) {}
+  explicit JsonValue(Object value)
+      : kind_(Kind::kObject), object_(std::move(value)) {}
+
+  /// Parses `text` as a single JSON document (trailing garbage is an error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const Array& array() const { return array_; }
+  const Object& object() const { return object_; }
+
+  /// Object lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Serializes with 2-space indentation and sorted object keys.
+  std::string Dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// \brief Collects a bench binary's headline numbers and writes
+/// `BENCH_<name>.json`.
+///
+/// The report is a JSON object with keys `"bench"` (the name), `"config"`
+/// (scale / seed / cpa_iterations / runs) and `"results"` (an array of
+/// `{"name", "value", "unit"}` rows in insertion order). `kRequiredKeys`
+/// names the top-level keys downstream tooling may rely on.
+class BenchReport {
+ public:
+  static constexpr std::string_view kRequiredKeys[] = {"bench", "config",
+                                                       "results"};
+
+  BenchReport(std::string name, const BenchConfig& config);
+
+  /// Appends one measurement row, e.g. `Add("vi_sweep", 12.3, "ms")`.
+  void Add(std::string_view name, double value, std::string_view unit);
+
+  /// Serializes the full report.
+  std::string ToJson() const;
+
+  /// Writes `BENCH_<name>.json` into `config.out_dir` and logs the path.
+  Status Write() const;
+
+  /// The file this report targets: `<out_dir>/BENCH_<name>.json`.
+  std::string path() const;
+
+ private:
+  std::string name_;
+  BenchConfig config_;
+  JsonValue::Array results_;
+};
 
 }  // namespace cpa::bench
 

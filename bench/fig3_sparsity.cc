@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
 
   TablePrinter precision({"Sparsity%", "MV", "EM", "cBCC", "CPA"});
   TablePrinter recall({"Sparsity%", "MV", "EM", "cBCC", "CPA"});
+  bench::BenchReport report("fig3_sparsity", config);
   Rng rng(config.seed ^ 0xF16'3ULL);
   for (int sparsity = 0; sparsity <= 80; sparsity += 10) {
     const double keep = 1.0 - sparsity / 100.0;
@@ -44,6 +45,10 @@ int main(int argc, char** argv) {
       }
       p_cells.push_back(StrFormat("%.2f", result.value().metrics.precision));
       r_cells.push_back(StrFormat("%.2f", result.value().metrics.recall));
+      report.Add(StrFormat("%s@%d%%_sparsity_precision", method.c_str(), sparsity),
+                 result.value().metrics.precision, "fraction");
+      report.Add(StrFormat("%s@%d%%_sparsity_recall", method.c_str(), sparsity),
+                 result.value().metrics.recall, "fraction");
     }
     std::fprintf(stderr, "[fig3] sparsity %d%% done\n", sparsity);
     precision.AddRow(p_cells);
@@ -53,6 +58,7 @@ int main(int argc, char** argv) {
   precision.Print();
   std::printf("\nRecall vs sparsity\n");
   recall.Print();
+  CPA_CHECK_OK(report.Write());
   std::printf(
       "\nExpected shape (paper Fig 3): all methods degrade as answers are "
       "removed, but CPA degrades the slowest — at 50%% sparsity the paper's "

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const auto factories = PaperAggregators(config.cpa_iterations);
   const std::vector<std::string> methods = {"cBCC", "CPA"};
 
+  bench::BenchReport report("fig4_spammers", config);
   for (const double spam_fraction : {0.2, 0.4}) {
     TablePrinter table({"Dataset", "dP cBCC", "dP CPA", "dR cBCC", "dR CPA"});
     for (PaperDatasetId id : AllPaperDatasets()) {
@@ -60,12 +61,21 @@ int main(int argc, char** argv) {
                     StrFormat("%.2f", ratio("CPA", true)),
                     StrFormat("%.2f", ratio("cBCC", false)),
                     StrFormat("%.2f", ratio("CPA", false))});
+      for (const std::string& method : methods) {
+        report.Add(StrFormat("%s@%s_%.0f%%_spam_precision_ratio", method.c_str(),
+                             PaperDatasetName(id).data(), spam_fraction * 100),
+                   ratio(method, true), "ratio");
+        report.Add(StrFormat("%s@%s_%.0f%%_spam_recall_ratio", method.c_str(),
+                             PaperDatasetName(id).data(), spam_fraction * 100),
+                   ratio(method, false), "ratio");
+      }
       std::fprintf(stderr, "[fig4] %s @ %.0f%% spam done\n",
                    PaperDatasetName(id).data(), spam_fraction * 100);
     }
     std::printf("\nSpammer ratio = %.0f%%\n", spam_fraction * 100);
     table.Print();
   }
+  CPA_CHECK_OK(report.Write());
   std::printf(
       "\nExpected shape (paper Fig 4): at 20%% both methods stay near 1.0; at "
       "40%% cBCC loses clearly more (paper aspect example: cBCC precision "

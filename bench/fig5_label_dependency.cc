@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   }
 
   TablePrinter table({"Dependency%", "dP cBCC", "dP CPA", "dR cBCC", "dR CPA"});
+  bench::BenchReport report("fig5_label_dependency", config);
   for (const int level : {10, 15, 20, 25, 30}) {
     Rng rng(config.seed ^ 0xF1605ULL);
     const auto enriched =
@@ -63,9 +64,18 @@ int main(int argc, char** argv) {
                   StrFormat("%.2f", ratio("CPA", true)),
                   StrFormat("%.2f", ratio("cBCC", false)),
                   StrFormat("%.2f", ratio("CPA", false))});
+    for (const std::string& method : methods) {
+      report.Add(StrFormat("%s@%d%%_dependency_precision_ratio", method.c_str(),
+                           level),
+                 ratio(method, true), "ratio");
+      report.Add(StrFormat("%s@%d%%_dependency_recall_ratio", method.c_str(),
+                           level),
+                 ratio(method, false), "ratio");
+    }
     std::fprintf(stderr, "[fig5] dependency %d%% done\n", level);
   }
   table.Print();
+  CPA_CHECK_OK(report.Write());
   std::printf(
       "\nExpected shape (paper Fig 5): the baseline's ratio drops steeply as "
       "the dependency level grows (at 30%% it loses nearly half of precision "

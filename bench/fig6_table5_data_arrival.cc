@@ -59,6 +59,8 @@ int main(int argc, char** argv) {
       "inference (Algorithm 2), offline = full VI re-run on the data so far.",
       config);
 
+  bench::BenchReport report("fig6_table5_data_arrival", config);
+
   // --- Fig 6: image dataset, accuracy after each arrival step.
   {
     const Dataset dataset = bench::LoadPaperDataset(PaperDatasetId::kImage, config);
@@ -79,6 +81,14 @@ int main(int argc, char** argv) {
                     StrFormat("%.2f", offline.precision),
                     StrFormat("%.2f", online_metrics.recall),
                     StrFormat("%.2f", offline.recall)});
+      report.Add(StrFormat("online@%zu0%%_arrival_precision", step),
+                 online_metrics.precision, "fraction");
+      report.Add(StrFormat("offline@%zu0%%_arrival_precision", step),
+                 offline.precision, "fraction");
+      report.Add(StrFormat("online@%zu0%%_arrival_recall", step),
+                 online_metrics.recall, "fraction");
+      report.Add(StrFormat("offline@%zu0%%_arrival_recall", step),
+                 offline.recall, "fraction");
       std::fprintf(stderr, "[fig6] arrival %zu0%% done\n", step);
     }
     std::printf("\nFig 6 (image dataset)\n");
@@ -119,9 +129,20 @@ int main(int argc, char** argv) {
                   StrFormat("%.2f", offline_result.value().metrics.precision),
                   StrFormat("%.2f +-%.2f", r_mean, r_dev),
                   StrFormat("%.2f", offline_result.value().metrics.recall)});
+    const char* name = PaperDatasetName(id).data();
+    report.Add(StrFormat("table5_online@%s_precision", name), p_mean, "fraction");
+    report.Add(StrFormat("table5_online@%s_precision_dev", name), p_dev,
+               "fraction");
+    report.Add(StrFormat("table5_offline@%s_precision", name),
+               offline_result.value().metrics.precision, "fraction");
+    report.Add(StrFormat("table5_online@%s_recall", name), r_mean, "fraction");
+    report.Add(StrFormat("table5_online@%s_recall_dev", name), r_dev, "fraction");
+    report.Add(StrFormat("table5_offline@%s_recall", name),
+               offline_result.value().metrics.recall, "fraction");
     std::fprintf(stderr, "[table5] %s done\n", PaperDatasetName(id).data());
   }
   table.Print();
+  CPA_CHECK_OK(report.Write());
   std::printf(
       "\nExpected shape (paper Fig 6/Table 5): online tracks offline from "
       "below, the gap shrinking as data arrives; at 100%% online is a few "

@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"Answers", "MV", "EM", "cBCC", "offline", "online", "online-4",
                       "online-16", "EM/label", "cBCC/label"});
+  bench::BenchReport report("fig7_runtime", config);
   for (double redundancy : redundancies) {
     FactoryOptions factory_options;
     factory_options.seed = config.seed;
@@ -114,8 +115,17 @@ int main(int argc, char** argv) {
                   StrFormat("%.2fs", offline), StrFormat("%.2fs", online_1),
                   StrFormat("%.2fs", online_4), StrFormat("%.2fs", online_16),
                   StrFormat("%.3fs", em / 10.0), StrFormat("%.3fs", cbcc / 10.0)});
+    const std::size_t answers = d.answers.num_answers();
+    report.Add(StrFormat("mv@%zu_answers", answers), mv, "s");
+    report.Add(StrFormat("em@%zu_answers", answers), em, "s");
+    report.Add(StrFormat("cbcc@%zu_answers", answers), cbcc, "s");
+    report.Add(StrFormat("cpa_offline@%zu_answers", answers), offline, "s");
+    report.Add(StrFormat("cpa_online@%zu_answers", answers), online_1, "s");
+    report.Add(StrFormat("cpa_online4@%zu_answers", answers), online_4, "s");
+    report.Add(StrFormat("cpa_online16@%zu_answers", answers), online_16, "s");
   }
   table.Print();
+  CPA_CHECK_OK(report.Write());
   std::printf(
       "\nExpected shape (paper Fig 7): MV cheapest; online CPA far below "
       "offline CPA (the paper reports up to 32x, combining incremental "

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   TablePrinter precision({"Dataset", "CPA", "No Z", "No L"});
   TablePrinter recall({"Dataset", "CPA", "No Z", "No L"});
+  bench::BenchReport report("fig8_model_aspects", config);
   for (PaperDatasetId id : AllPaperDatasets()) {
     const Dataset dataset = bench::LoadPaperDataset(id, config);
     CpaOptions options =
@@ -47,6 +48,12 @@ int main(int argc, char** argv) {
       }
       p_cells.push_back(StrFormat("%.2f", result.value().metrics.precision));
       r_cells.push_back(StrFormat("%.2f", result.value().metrics.recall));
+      report.Add(StrFormat("%s@%s_precision", CpaVariantName(variant).data(),
+                           PaperDatasetName(id).data()),
+                 result.value().metrics.precision, "fraction");
+      report.Add(StrFormat("%s@%s_recall", CpaVariantName(variant).data(),
+                           PaperDatasetName(id).data()),
+                 result.value().metrics.recall, "fraction");
       std::fprintf(stderr, "[fig8] %s/%s done in %.1fs\n",
                    PaperDatasetName(id).data(), CpaVariantName(variant).data(),
                    result.value().seconds);
@@ -58,6 +65,7 @@ int main(int argc, char** argv) {
   precision.Print();
   std::printf("\nRecall\n");
   recall.Print();
+  CPA_CHECK_OK(report.Write());
   std::printf(
       "\nExpected shape (paper Fig 8): full CPA highest throughout; No Z "
       "(no communities) loses precision most — communities identify faulty "

@@ -69,6 +69,8 @@ int main(int argc, char** argv) {
       "simulated population.",
       config);
 
+  bench::BenchReport report("fig9_fig10_communities", config);
+
   // --- Fig 9 on image and entity.
   for (PaperDatasetId id : {PaperDatasetId::kImage, PaperDatasetId::kEntity}) {
     const Dataset dataset = bench::LoadPaperDataset(id, config);
@@ -84,6 +86,9 @@ int main(int argc, char** argv) {
     std::printf("\nFig 9 — %s dataset (effective communities: %zu of %zu)\n",
                 dataset.name.c_str(), cpa.model()->EffectiveCommunities(1.0),
                 cpa.model()->num_communities());
+    report.Add(StrFormat("effective_communities@%s", dataset.name.c_str()),
+               static_cast<double>(cpa.model()->EffectiveCommunities(1.0)),
+               "communities");
     PrintLabelCommunities(dataset, *cpa.model(), PopularLabel(dataset, 0), "top-1");
     PrintLabelCommunities(dataset, *cpa.model(), PopularLabel(dataset, 1), "top-2");
   }
@@ -113,8 +118,15 @@ int main(int argc, char** argv) {
     table.AddRow({bucket, StrFormat("%zu", members.size()),
                   StrFormat("%.2f", sens / members.size()),
                   StrFormat("%.2f", spec / members.size())});
+    report.Add(StrFormat("%s_workers", bucket.c_str()),
+               static_cast<double>(members.size()), "workers");
+    report.Add(StrFormat("%s_sensitivity", bucket.c_str()),
+               sens / members.size(), "fraction");
+    report.Add(StrFormat("%s_specificity", bucket.c_str()),
+               spec / members.size(), "fraction");
   }
   table.Print();
+  CPA_CHECK_OK(report.Write());
   std::printf(
       "\nExpected shape (paper Fig 9/10): multiple communities per label with "
       "different centroids; different labels have different community "

@@ -19,11 +19,21 @@ int main(int argc, char** argv) {
                      config);
 
   TablePrinter table({"Quantity", "image", "topic", "aspect", "entity", "movie"});
+  bench::BenchReport report("table3_fig1_datasets", config);
   std::vector<DatasetStats> stats;
   std::vector<Dataset> datasets;
   for (PaperDatasetId id : AllPaperDatasets()) {
     datasets.push_back(bench::LoadPaperDataset(id, config));
     stats.push_back(ComputeDatasetStats(datasets.back()));
+    const char* name = datasets.back().name.c_str();
+    report.Add(StrFormat("questions@%s", name),
+               static_cast<double>(stats.back().num_questions), "count");
+    report.Add(StrFormat("labels@%s", name),
+               static_cast<double>(stats.back().num_labels), "count");
+    report.Add(StrFormat("workers@%s", name),
+               static_cast<double>(stats.back().num_workers), "count");
+    report.Add(StrFormat("answers@%s", name),
+               static_cast<double>(stats.back().num_answers), "count");
   }
   const auto row = [&](const std::string& name, auto getter, const char* fmt) {
     std::vector<std::string> cells = {name};
@@ -63,11 +73,15 @@ int main(int argc, char** argv) {
     std::printf(" %zu", clusters[k].size());
   }
   std::printf(")\n");
+  const double image_npmi = cooc.WeightedMeanNpmi();
+  const double movie_npmi = CooccurrenceMatrix(datasets.back().num_labels,
+                                               datasets.back().ground_truth)
+                                .WeightedMeanNpmi();
   std::printf("weighted mean NPMI: image=%.3f movie=%.3f (strong vs little "
               "correlation, matching the Section 5.1 characterisation)\n",
-              cooc.WeightedMeanNpmi(),
-              CooccurrenceMatrix(datasets.back().num_labels,
-                                 datasets.back().ground_truth)
-                  .WeightedMeanNpmi());
+              image_npmi, movie_npmi);
+  report.Add("npmi@image", image_npmi, "npmi");
+  report.Add("npmi@movie", movie_npmi, "npmi");
+  CPA_CHECK_OK(report.Write());
   return 0;
 }

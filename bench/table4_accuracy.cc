@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   TablePrinter precision({"Dataset", "MV", "EM", "cBCC", "CPA"});
   TablePrinter recall({"Dataset", "MV", "EM", "cBCC", "CPA"});
+  bench::BenchReport report("table4_accuracy", config);
   for (PaperDatasetId id : AllPaperDatasets()) {
     const Dataset dataset = bench::LoadPaperDataset(id, config);
     std::vector<std::string> p_cells = {std::string(PaperDatasetName(id))};
@@ -39,6 +40,12 @@ int main(int argc, char** argv) {
       }
       p_cells.push_back(StrFormat("%.2f", result.value().metrics.precision));
       r_cells.push_back(StrFormat("%.2f", result.value().metrics.recall));
+      report.Add(StrFormat("%s@%s_precision", method.c_str(), dataset.name.c_str()),
+                 result.value().metrics.precision, "fraction");
+      report.Add(StrFormat("%s@%s_recall", method.c_str(), dataset.name.c_str()),
+                 result.value().metrics.recall, "fraction");
+      report.Add(StrFormat("%s@%s_fit", method.c_str(), dataset.name.c_str()),
+                 result.value().seconds, "s");
       std::fprintf(stderr, "[table4] %s/%s done in %.1fs\n", dataset.name.c_str(),
                    method.c_str(), result.value().seconds);
     }
@@ -49,6 +56,7 @@ int main(int argc, char** argv) {
   precision.Print();
   std::printf("\nRecall\n");
   recall.Print();
+  CPA_CHECK_OK(report.Write());
   std::printf(
       "\nPaper Table 4 (precision): image .65/.66/.70/.81, topic .57/.60/.62/.79, "
       "aspect .52/.61/.65/.74, entity .63/.57/.60/.79, movie .61/.74/.78/.80\n"

@@ -141,8 +141,7 @@ std::vector<double> ItemClusterLogWeights(const CpaModel& model,
   return log_weights;
 }
 
-std::vector<LabelId> CollectCandidates(const CpaModel& model,
-                                       const PredictionTables& tables,
+std::vector<LabelId> CollectCandidates(const PredictionTables& tables,
                                        const AnswerMatrix& answers, ItemId item,
                                        std::span<const double> cluster_log_weights) {
   std::vector<LabelId> candidates;
@@ -298,14 +297,14 @@ Result<CpaPrediction> PredictLabels(const CpaModel& model, const AnswerMatrix& a
               std::iota(candidates.begin(), candidates.end(), 0u);
             } else {
               candidates =
-                  internal::CollectCandidates(model, tables, answers, item, log_weights);
+                  internal::CollectCandidates(tables, answers, item, log_weights);
             }
             prediction.labels[i] = internal::ExhaustiveInstantiate(
                 tables, log_weights, candidates, tables.log_size_prior.cols() - 1);
             continue;
           }
           const std::vector<LabelId> candidates =
-              internal::CollectCandidates(model, tables, answers, item, log_weights);
+              internal::CollectCandidates(tables, answers, item, log_weights);
           prediction.labels[i] =
               internal::GreedyInstantiate(tables, log_weights, candidates);
         }

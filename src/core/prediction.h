@@ -84,8 +84,7 @@ LabelSet ExhaustiveInstantiate(const PredictionTables& tables,
                                std::size_t max_size);
 
 /// Candidate labels for an item: answered labels + top cluster labels.
-std::vector<LabelId> CollectCandidates(const CpaModel& model,
-                                       const PredictionTables& tables,
+std::vector<LabelId> CollectCandidates(const PredictionTables& tables,
                                        const AnswerMatrix& answers, ItemId item,
                                        std::span<const double> cluster_log_weights);
 

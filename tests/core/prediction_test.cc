@@ -159,8 +159,8 @@ TEST(GreedyVsExhaustiveTest, GreedyMatchesOracleOnMostItems) {
     if (world.dataset.answers.AnswersOfItem(i).empty()) continue;
     const auto log_weights = internal::ItemClusterLogWeights(
         world.model, tables, world.dataset.answers, i);
-    auto candidates = internal::CollectCandidates(world.model, tables,
-                                                  world.dataset.answers, i, log_weights);
+    auto candidates = internal::CollectCandidates(tables, world.dataset.answers,
+                                                  i, log_weights);
     if (candidates.size() > 14) candidates.resize(14);  // keep the oracle cheap
     const LabelSet greedy =
         internal::GreedyInstantiate(tables, log_weights, candidates);
@@ -209,7 +209,7 @@ TEST(CollectCandidatesTest, ContainsAnsweredLabels) {
     const auto log_weights = internal::ItemClusterLogWeights(
         world.model, tables, world.dataset.answers, i);
     const auto candidates = internal::CollectCandidates(
-        world.model, tables, world.dataset.answers, i, log_weights);
+        tables, world.dataset.answers, i, log_weights);
     for (std::size_t index : indices) {
       for (LabelId c : world.dataset.answers.answer(index).labels) {
         EXPECT_NE(std::find(candidates.begin(), candidates.end(), c), candidates.end())
