@@ -1,12 +1,22 @@
 /// Regenerates Fig 6 (online vs offline accuracy as data arrives, image
 /// dataset) and Table 5 (online vs offline at 100% for all five datasets,
 /// with deviation across shuffles).
+///
+/// Both sides run through the engine API: "CPA-SVI" sessions stream the
+/// arrival batches (Algorithm 2), and the offline reference re-fits by
+/// opening a fresh "CPA" session per prefix (the accumulate-then-refit
+/// adapter is exactly "full VI on the data so far").
+///
+/// `--quick` shrinks scale/runs/sweeps so the whole bench finishes in a
+/// couple of minutes (explicit `--scale` / `--runs` / `--cpa-iterations`
+/// still win).
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
-#include "core/cpa.h"
+#include "engine/engine_registry.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "simulation/perturbations.h"
@@ -17,46 +27,57 @@ using namespace cpa;
 
 namespace {
 
-struct OnlineRun {
-  std::vector<SetMetrics> per_step;  // after each arrival step
-};
-
-OnlineRun RunOnline(const Dataset& dataset, const CpaOptions& options,
-                    std::size_t steps, Rng& rng, bool record_steps) {
-  OnlineRun run;
-  auto online = CpaOnline::Create(dataset.num_items(), dataset.num_workers(),
-                                  dataset.num_labels, options, SviOptions());
-  CPA_CHECK(online.ok()) << online.status().ToString();
-  const BatchPlan plan = MakeArrivalSchedule(dataset.answers, steps, rng);
-  for (std::size_t step = 0; step < plan.num_batches(); ++step) {
-    CPA_CHECK_OK(online.value().ObserveBatch(dataset.answers, plan.batches[step]));
-    if (record_steps || step + 1 == plan.num_batches()) {
-      const auto prediction = online.value().Predict(dataset.answers);
-      CPA_CHECK(prediction.ok()) << prediction.status().ToString();
-      run.per_step.push_back(
-          ComputeSetMetrics(prediction.value().labels, dataset.ground_truth));
-    }
-  }
-  return run;
+EngineConfig MethodConfig(const std::string& method, const Dataset& dataset,
+                          const bench::BenchConfig& bench_config) {
+  EngineConfig config = EngineConfig::ForDataset(method, dataset);
+  config.cpa.max_iterations = bench_config.cpa_iterations;
+  return config;
 }
 
-SetMetrics RunOfflinePrefix(const Dataset& dataset, const CpaOptions& options,
+std::unique_ptr<ConsensusEngine> MustOpen(const EngineConfig& config) {
+  auto engine = EngineRegistry::Global().Open(config);
+  CPA_CHECK(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+/// One full online pass over `plan`; per-step metrics when `record_steps`.
+StreamingExperimentResult RunOnline(const Dataset& dataset,
+                                    const bench::BenchConfig& bench_config,
+                                    const BatchPlan& plan, bool record_steps) {
+  auto engine = MustOpen(MethodConfig("CPA-SVI", dataset, bench_config));
+  auto run = RunStreamingExperiment(*engine, dataset, plan, record_steps);
+  CPA_CHECK(run.ok()) << run.status().ToString();
+  return std::move(run).value();
+}
+
+/// Offline VI re-run on the first `steps_taken` arrival batches.
+SetMetrics RunOfflinePrefix(const Dataset& dataset,
+                            const bench::BenchConfig& bench_config,
                             const BatchPlan& plan, std::size_t steps_taken) {
-  const AnswerMatrix prefix = dataset.answers.Subset(plan.Prefix(steps_taken));
-  CpaAggregator offline(options);
-  const auto result = offline.Aggregate(prefix, dataset.num_labels);
-  CPA_CHECK(result.ok()) << result.status().ToString();
-  return ComputeSetMetrics(result.value().predictions, dataset.ground_truth);
+  BatchPlan prefix;
+  prefix.batches.assign(plan.batches.begin(), plan.batches.begin() + steps_taken);
+  auto engine = MustOpen(MethodConfig("CPA", dataset, bench_config));
+  auto run = RunStreamingExperiment(*engine, dataset, prefix,
+                                    /*score_each_batch=*/false);
+  CPA_CHECK(run.ok()) << run.status().ToString();
+  return run.value().final_result.metrics;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::BenchConfig config = bench::ParseBenchConfig(argc, argv, 0.35, 3);
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv, 0.35, 3);
+  const auto flags = Flags::Parse(argc, argv);
+  if (flags.ok() && flags.value().GetBool("quick", false)) {
+    if (!flags.value().Has("scale")) config.scale = 0.15;
+    if (!flags.value().Has("runs")) config.runs = 2;
+    if (!flags.value().Has("cpa-iterations")) config.cpa_iterations = 15;
+  }
   bench::PrintHeader(
       "Fig 6 + Table 5 — effects of data arrival (online vs offline CPA)",
       "Answers arrive in 10% steps; online = stochastic variational "
-      "inference (Algorithm 2), offline = full VI re-run on the data so far.",
+      "inference (Algorithm 2), offline = full VI re-run on the data so far. "
+      "Both drive EngineRegistry sessions.",
       config);
 
   bench::BenchReport report("fig6_table5_data_arrival", config);
@@ -64,18 +85,14 @@ int main(int argc, char** argv) {
   // --- Fig 6: image dataset, accuracy after each arrival step.
   {
     const Dataset dataset = bench::LoadPaperDataset(PaperDatasetId::kImage, config);
-    CpaOptions options =
-        CpaOptions::Recommended(dataset.num_items(), dataset.num_labels);
-    options.max_iterations = config.cpa_iterations;
     Rng rng(config.seed ^ 0xF160ULL);
     const BatchPlan plan = MakeArrivalSchedule(dataset.answers, 10, rng);
-    Rng online_rng(config.seed ^ 0xF160ULL);
-    const OnlineRun online = RunOnline(dataset, options, 10, online_rng, true);
+    const StreamingExperimentResult online = RunOnline(dataset, config, plan, true);
 
     TablePrinter table({"Arrival%", "P online", "P offline", "R online", "R offline"});
     for (std::size_t step = 1; step <= 10; ++step) {
-      const SetMetrics offline = RunOfflinePrefix(dataset, options, plan, step);
-      const SetMetrics& online_metrics = online.per_step[step - 1];
+      const SetMetrics offline = RunOfflinePrefix(dataset, config, plan, step);
+      const SetMetrics& online_metrics = online.steps[step - 1].metrics;
       table.AddRow({StrFormat("%zu0", step),
                     StrFormat("%.2f", online_metrics.precision),
                     StrFormat("%.2f", offline.precision),
@@ -101,15 +118,13 @@ int main(int argc, char** argv) {
       {"Dataset", "P online", "P offline", "R online", "R offline"});
   for (PaperDatasetId id : AllPaperDatasets()) {
     const Dataset dataset = bench::LoadPaperDataset(id, config);
-    CpaOptions options =
-        CpaOptions::Recommended(dataset.num_items(), dataset.num_labels);
-    options.max_iterations = config.cpa_iterations;
 
     double p_sum = 0.0, p_sq = 0.0, r_sum = 0.0, r_sq = 0.0;
     for (std::size_t run = 0; run < config.runs; ++run) {
       Rng rng(config.seed + 31 * run + 7);
-      const OnlineRun online = RunOnline(dataset, options, 10, rng, false);
-      const SetMetrics& metrics = online.per_step.back();
+      const BatchPlan plan = MakeArrivalSchedule(dataset.answers, 10, rng);
+      const StreamingExperimentResult online = RunOnline(dataset, config, plan, false);
+      const SetMetrics& metrics = online.final_result.metrics;
       p_sum += metrics.precision;
       p_sq += metrics.precision * metrics.precision;
       r_sum += metrics.recall;
@@ -121,8 +136,8 @@ int main(int argc, char** argv) {
     const double p_dev = std::sqrt(std::max(0.0, p_sq / n - p_mean * p_mean));
     const double r_dev = std::sqrt(std::max(0.0, r_sq / n - r_mean * r_mean));
 
-    CpaAggregator offline(options);
-    const auto offline_result = RunExperiment(offline, dataset);
+    auto offline_engine = MustOpen(MethodConfig("CPA", dataset, config));
+    const auto offline_result = RunExperiment(*offline_engine, dataset);
     CPA_CHECK(offline_result.ok()) << offline_result.status().ToString();
     table.AddRow({std::string(PaperDatasetName(id)),
                   StrFormat("%.2f +-%.2f", p_mean, p_dev),

@@ -1,0 +1,180 @@
+#ifndef CPA_BENCH_SELF_TIMED_BENCHMARK_H_
+#define CPA_BENCH_SELF_TIMED_BENCHMARK_H_
+
+/// \file self_timed_benchmark.h
+/// \brief Self-timed fallback for google-benchmark.
+///
+/// Implements exactly the subset of the `benchmark::` API that
+/// `bench/micro_kernels.cc` uses — `State` with the range-based-for
+/// iteration protocol and `range(0)`, `DoNotOptimize`, `BENCHMARK(...)` /
+/// `->Arg(...)` registration, `BENCHMARK_MAIN()` — so the target builds and
+/// reports numbers on machines where the library is absent (the CMake list
+/// picks this header when `find_package(benchmark)` fails).
+///
+/// Methodology: each benchmark spins until a minimum wall time has elapsed,
+/// doubling the iteration target between clock reads so ns-scale bodies are
+/// not dominated by timer overhead, then reports mean ns/iteration. No
+/// statistical repetitions, CPU-frequency pinning or counter support —
+/// trend-level numbers, not publication-grade; install google-benchmark for
+/// those.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+/// \brief Per-run iteration controller handed to the benchmark body.
+class State {
+ public:
+  State(std::int64_t range0, bool has_range, double min_seconds)
+      : range0_(range0), has_range_(has_range), min_seconds_(min_seconds) {}
+
+  /// Argument supplied via `->Arg(...)`; 0 when the benchmark has none.
+  std::int64_t range(std::size_t index = 0) const {
+    (void)index;  // micro_kernels only ever reads range(0)
+    return has_range_ ? range0_ : 0;
+  }
+
+  /// The range-based-for protocol: `operator!=` doubles as KeepRunning.
+  /// The value type carries the `unused` attribute (google-benchmark does
+  /// the same) so the idiomatic `for (auto _ : state)` stays warning-free
+  /// under -Werror.
+  struct __attribute__((unused)) IterationToken {};
+  class iterator {
+   public:
+    explicit iterator(State* state) : state_(state) {}
+    bool operator!=(const iterator&) { return state_->KeepRunning(); }
+    iterator& operator++() { return *this; }
+    IterationToken operator*() const { return IterationToken(); }
+
+   private:
+    State* state_;
+  };
+
+  iterator begin() {
+    iterations_ = 0;
+    next_check_ = 1;
+    start_ = std::chrono::steady_clock::now();
+    return iterator(this);
+  }
+  iterator end() { return iterator(this); }
+
+  std::int64_t iterations() const { return iterations_; }
+  double elapsed_seconds() const { return elapsed_; }
+
+ private:
+  bool KeepRunning() {
+    if (iterations_ < next_check_) {
+      ++iterations_;
+      return true;
+    }
+    elapsed_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start_)
+                   .count();
+    if (elapsed_ < min_seconds_) {
+      next_check_ *= 2;
+      ++iterations_;
+      return true;
+    }
+    return false;
+  }
+
+  std::int64_t range0_;
+  bool has_range_;
+  double min_seconds_;
+  std::int64_t iterations_ = 0;
+  std::int64_t next_check_ = 1;
+  double elapsed_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Keeps `value` observable so the optimizer cannot delete the computation
+/// that produced it.
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+namespace internal {
+
+/// \brief One registered benchmark: a body plus its `->Arg(...)` variants.
+class Benchmark {
+ public:
+  Benchmark(std::string name, void (*fn)(State&))
+      : name_(std::move(name)), fn_(fn) {}
+
+  Benchmark* Arg(std::int64_t value) {
+    args_.push_back(value);
+    return this;
+  }
+
+  void Run(double min_seconds) const {
+    if (args_.empty()) {
+      RunOne(name_, 0, false, min_seconds);
+      return;
+    }
+    for (std::int64_t arg : args_) {
+      RunOne(name_ + "/" + std::to_string(arg), arg, true, min_seconds);
+    }
+  }
+
+ private:
+  void RunOne(const std::string& label, std::int64_t arg, bool has_range,
+              double min_seconds) const {
+    State state(arg, has_range, min_seconds);
+    fn_(state);
+    const double ns_per_iter =
+        state.iterations() > 0
+            ? state.elapsed_seconds() * 1e9 / static_cast<double>(state.iterations())
+            : 0.0;
+    std::printf("%-40s %12lld %14.1f\n", label.c_str(),
+                static_cast<long long>(state.iterations()), ns_per_iter);
+    std::fflush(stdout);
+  }
+
+  std::string name_;
+  void (*fn_)(State&);
+  std::vector<std::int64_t> args_;
+};
+
+inline std::vector<Benchmark*>& Registry() {
+  static std::vector<Benchmark*> registry;
+  return registry;
+}
+
+inline Benchmark* Register(const char* name, void (*fn)(State&)) {
+  Benchmark* bench = new Benchmark(name, fn);
+  Registry().push_back(bench);
+  return bench;
+}
+
+inline int RunAllBenchmarks() {
+  std::printf(
+      "self-timed micro-benchmark harness (google-benchmark not found at "
+      "configure time; numbers are trend-level)\n");
+  std::printf("%-40s %12s %14s\n", "benchmark", "iterations", "ns/iter");
+  std::printf(
+      "--------------------------------------------------------------------\n");
+  for (const Benchmark* bench : Registry()) {
+    bench->Run(/*min_seconds=*/0.05);
+  }
+  return 0;
+}
+
+}  // namespace internal
+}  // namespace benchmark
+
+#define CPA_SELF_TIMED_CONCAT_IMPL(a, b) a##b
+#define CPA_SELF_TIMED_CONCAT(a, b) CPA_SELF_TIMED_CONCAT_IMPL(a, b)
+
+#define BENCHMARK(fn)                                             \
+  static ::benchmark::internal::Benchmark* CPA_SELF_TIMED_CONCAT( \
+      cpa_self_timed_bench_, __LINE__) = ::benchmark::internal::Register(#fn, fn)
+
+#define BENCHMARK_MAIN() \
+  int main(int, char**) { return ::benchmark::internal::RunAllBenchmarks(); }
+
+#endif  // CPA_BENCH_SELF_TIMED_BENCHMARK_H_

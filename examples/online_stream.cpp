@@ -3,11 +3,14 @@
 /// motivation (terminate a campaign early once quality suffices, or spot
 /// tasks that are too hard).
 ///
+/// The stream is driven through the engine API: a "CPA-SVI" session opened
+/// from the registry, observed batch by batch, snapshotted between batches.
+///
 ///   $ ./online_stream [--scale 0.25] [--batches 10]
 
 #include <cstdio>
 
-#include "core/cpa.h"
+#include "engine/engine_registry.h"
 #include "eval/metrics.h"
 #include "simulation/dataset_factory.h"
 #include "simulation/perturbations.h"
@@ -30,10 +33,10 @@ int main(int argc, char** argv) {
   std::printf("streaming %zu answers for %zu tweets in %zu batches\n\n",
               d.answers.num_answers(), d.num_items(), steps);
 
-  CpaOptions options = CpaOptions::Recommended(d.num_items(), d.num_labels);
-  auto online = CpaOnline::Create(d.num_items(), d.num_workers(), d.num_labels,
-                                  options, SviOptions());
-  CPA_CHECK(online.ok()) << online.status().ToString();
+  auto config = EngineConfig::ForDataset("CPA-SVI", d).WithFlags(flags.value());
+  CPA_CHECK(config.ok()) << config.status().ToString();
+  auto engine = EngineRegistry::Global().Open(config.value());
+  CPA_CHECK(engine.ok()) << engine.status().ToString();
 
   Rng rng(7);
   const BatchPlan plan = MakeArrivalSchedule(d.answers, steps, rng);
@@ -41,15 +44,17 @@ int main(int argc, char** argv) {
   std::printf("batch   answers-so-far   precision   recall   learn-rate   t(s)\n");
   std::printf("------------------------------------------------------------------\n");
   for (std::size_t step = 0; step < plan.num_batches(); ++step) {
-    CPA_CHECK_OK(online.value().ObserveBatch(d.answers, plan.batches[step]));
-    const auto prediction = online.value().Predict(d.answers);
-    CPA_CHECK(prediction.ok()) << prediction.status().ToString();
+    CPA_CHECK_OK(engine.value()->Observe({&d.answers, plan.batches[step]}));
+    const auto snapshot = engine.value()->Snapshot();
+    CPA_CHECK(snapshot.ok()) << snapshot.status().ToString();
     const SetMetrics metrics =
-        ComputeSetMetrics(prediction.value().labels, d.ground_truth);
+        ComputeSetMetrics(snapshot.value().predictions, d.ground_truth);
     std::printf("%5zu   %14zu   %9.3f   %6.3f   %10.3f   %4.1f\n", step + 1,
-                online.value().answers_seen(), metrics.precision, metrics.recall,
-                online.value().last_learning_rate(), total.ElapsedSeconds());
+                snapshot.value().answers_seen, metrics.precision, metrics.recall,
+                snapshot.value().learning_rate, total.ElapsedSeconds());
   }
+  const auto final_snapshot = engine.value()->Finalize();
+  CPA_CHECK(final_snapshot.ok()) << final_snapshot.status().ToString();
   std::printf(
       "\nAccuracy climbs as answers arrive; the final consensus is computed "
       "without ever re-fitting the model from scratch (compare the offline "

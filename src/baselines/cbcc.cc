@@ -96,7 +96,8 @@ Result<AggregationResult> Cbcc::Aggregate(const AnswerMatrix& answers,
     for (WorkerId u = 0; u < num_workers; ++u) {
       // Soft-ish deterministic start: 0.7 on the agreement quantile.
       for (std::size_t m = 0; m < M; ++m) {
-        rho(u, m) = m == initial_community[u] ? 0.7 : 0.3 / std::max<std::size_t>(1, M - 1);
+        rho(u, m) =
+            m == initial_community[u] ? 0.7 : 0.3 / std::max<std::size_t>(1, M - 1);
       }
     }
     double class_a = options_.prior_class;

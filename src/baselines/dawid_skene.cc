@@ -64,8 +64,8 @@ Result<AggregationResult> DawidSkene::Aggregate(const AnswerMatrix& answers,
     const std::size_t phases = options_.use_mislabeling_cost ? 2 : 1;
     for (std::size_t phase = 0; phase < phases; ++phase) {
       double change = 1.0;
-      for (std::size_t iter = 0; iter < options_.max_iterations && change > options_.tolerance;
-           ++iter) {
+      for (std::size_t iter = 0;
+           iter < options_.max_iterations && change > options_.tolerance; ++iter) {
         ++total_iterations;
         // --- M-step: worker confusion from soft counts.
         std::fill(pos1.begin(), pos1.end(), 0.0);

@@ -1,5 +1,7 @@
 #include "core/cpa.h"
 
+#include <algorithm>
+
 #include "util/string_utils.h"
 
 namespace cpa {
@@ -16,24 +18,10 @@ std::string_view CpaVariantName(CpaVariant variant) {
   return "CPA";
 }
 
-CpaAggregator::CpaAggregator(CpaOptions options, CpaVariant variant, ThreadPool* pool)
-    : options_(options), variant_(variant), pool_(pool) {
-  switch (variant_) {
-    case CpaVariant::kFull:
-      break;
-    case CpaVariant::kNoZ:
-      options_.singleton_communities = true;
-      break;
-    case CpaVariant::kNoL:
-      options_.singleton_clusters = true;
-      options_.exhaustive_prediction = true;
-      break;
-  }
-}
-
-Result<AggregationResult> CpaAggregator::Aggregate(const AnswerMatrix& answers,
-                                                   std::size_t num_labels) {
-  if (variant_ == CpaVariant::kNoL && num_labels > kNoLExhaustiveLabelLimit) {
+Result<CpaSolution> SolveCpaOffline(const AnswerMatrix& answers,
+                                    std::size_t num_labels, const CpaOptions& options,
+                                    CpaVariant variant, ThreadPool* pool) {
+  if (variant == CpaVariant::kNoL && num_labels > kNoLExhaustiveLabelLimit) {
     // Faithful to §5.4: the No L instantiation enumerates label subsets
     // (2^C), which "turned out to be intractable for all except the movie
     // dataset" (C = 22). The bounded search could sidestep this, but the
@@ -43,27 +31,45 @@ Result<AggregationResult> CpaAggregator::Aggregate(const AnswerMatrix& answers,
         "(limit: %zu labels)",
         num_labels, kNoLExhaustiveLabelLimit));
   }
-  CpaOptions options = options_;
-  if (variant_ == CpaVariant::kNoZ) {
+  CpaOptions solve_options = options;
+  switch (variant) {
+    case CpaVariant::kFull:
+      break;
+    case CpaVariant::kNoZ:
+      solve_options.singleton_communities = true;
+      break;
+    case CpaVariant::kNoL:
+      solve_options.singleton_clusters = true;
+      solve_options.exhaustive_prediction = true;
+      break;
+  }
+  if (variant == CpaVariant::kNoZ) {
     // Singleton communities blow the confusion bank up to T·U·C entries;
     // shrink the cluster truncation to respect the parameter budget (the
     // ablation still runs, as it does in the paper).
     const std::size_t per_cluster =
         std::max<std::size_t>(1, answers.num_workers() * num_labels);
-    options.max_clusters = std::max<std::size_t>(
-        8, std::min(options.max_clusters, options.no_l_parameter_limit / per_cluster));
+    solve_options.max_clusters = std::max<std::size_t>(
+        8, std::min(solve_options.max_clusters,
+                    solve_options.no_l_parameter_limit / per_cluster));
   }
   FitOptions fit;
-  fit.pool = pool_;
-  CPA_ASSIGN_OR_RETURN(model_, FitCpa(answers, num_labels, options, fit, &stats_));
-  fitted_ = true;
-  CPA_ASSIGN_OR_RETURN(CpaPrediction prediction, PredictLabels(model_, answers, pool_));
-
-  AggregationResult result;
-  result.predictions = std::move(prediction.labels);
-  result.label_scores = std::move(prediction.scores);
-  result.iterations = stats_.iterations;
-  return result;
+  fit.pool = pool;
+  CpaSolution solution;
+  CPA_ASSIGN_OR_RETURN(
+      solution.model,
+      FitCpa(answers, num_labels, solve_options, fit, &solution.stats));
+  CPA_ASSIGN_OR_RETURN(CpaPrediction prediction,
+                       PredictLabels(solution.model, answers, pool));
+  solution.predictions = std::move(prediction.labels);
+  solution.label_scores = std::move(prediction.scores);
+  return solution;
 }
+
+CpaAggregator::CpaAggregator(CpaOptions options, CpaVariant variant, ThreadPool* pool)
+    : options_(options), variant_(variant), pool_(pool) {}
+
+// CpaAggregator::Aggregate lives in engine/cpa_engines.cc: it drives a
+// CpaOfflineEngine session, and core/ does not include engine/ headers.
 
 }  // namespace cpa

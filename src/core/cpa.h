@@ -4,15 +4,21 @@
 /// \file cpa.h
 /// \brief Umbrella header and the `Aggregator` adapter for the CPA model.
 ///
-/// Typical use:
+/// The primary entry point for running CPA (or any other method) is the
+/// engine layer: open a streaming session via `EngineRegistry::Global()`
+/// (engine/engine_registry.h) and drive it with
+/// `Observe → Snapshot → Finalize`. The `CpaAggregator` below is the
+/// one-shot convenience wrapper — a thin engine client that opens a
+/// "CPA" session, feeds it all answers as one batch, and finalizes:
 /// ```cpp
 ///   cpa::CpaAggregator cpa;                       // default options
 ///   auto result = cpa.Aggregate(answers, C);      // fit + predict
 ///   const cpa::CpaModel& posterior = *cpa.model();  // diagnostics
 /// ```
-/// Lower-level entry points: `FitCpa` (vi.h) for offline inference,
-/// `CpaOnline` (svi.h) for incremental learning, `PredictLabels`
-/// (prediction.h) for instantiation, `ComputeElbo` (elbo.h).
+/// Lower-level entry points: `SolveCpaOffline` (below) for one fit +
+/// instantiation, `FitCpa` (vi.h) for offline inference, `CpaOnline`
+/// (svi.h) for incremental learning, `PredictLabels` (prediction.h) for
+/// instantiation, `ComputeElbo` (elbo.h).
 
 #include "baselines/aggregator.h"
 #include "core/cpa_model.h"
@@ -39,7 +45,27 @@ std::string_view CpaVariantName(CpaVariant variant);
 /// the movie dataset (C = 22).
 inline constexpr std::size_t kNoLExhaustiveLabelLimit = 25;
 
-/// \brief `Aggregator` adapter: offline fit + prediction in one call.
+/// \brief Outcome of one offline CPA solve: the fitted posterior, the fit
+/// diagnostics, and the instantiated prediction.
+struct CpaSolution {
+  CpaModel model;
+  FitStats stats;
+  std::vector<LabelSet> predictions;
+  Matrix label_scores;
+};
+
+/// \brief Offline fit + prediction for the given variant — the refit
+/// kernel behind the engine layer's CPA sessions and `CpaAggregator`.
+/// Applies the variant switches (singleton communities/clusters, the No L
+/// exhaustive-instantiation guard, the No Z parameter-budget clamp) to
+/// `options` before fitting.
+Result<CpaSolution> SolveCpaOffline(const AnswerMatrix& answers,
+                                    std::size_t num_labels, const CpaOptions& options,
+                                    CpaVariant variant = CpaVariant::kFull,
+                                    ThreadPool* pool = nullptr);
+
+/// \brief `Aggregator` adapter: offline fit + prediction in one call (a
+/// thin client of the engine layer's CPA offline session).
 class CpaAggregator : public Aggregator {
  public:
   explicit CpaAggregator(CpaOptions options = {}, CpaVariant variant = CpaVariant::kFull,

@@ -15,7 +15,8 @@ CpaOptions CpaOptions::Recommended(std::size_t num_items, std::size_t num_labels
   // ~100 MB for λ + its expectation cache at 8 bytes a double.
   const std::size_t bank_entry_budget = 6'000'000;
   const std::size_t memory_cap = std::max<std::size_t>(
-      32, bank_entry_budget / (options.max_communities * std::max<std::size_t>(1, num_labels)));
+      32, bank_entry_budget /
+              (options.max_communities * std::max<std::size_t>(1, num_labels)));
   // With few labels there are at most 2^C distinct label sets to represent.
   const std::size_t combinatorial_cap =
       num_labels < 16 ? (std::size_t{1} << num_labels) : std::size_t{1} << 16;

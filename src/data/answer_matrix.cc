@@ -61,7 +61,8 @@ Result<LabelSet> AnswerMatrix::GetAnswer(ItemId item, WorkerId worker) const {
 }
 
 double AnswerMatrix::Sparsity() const {
-  const double cells = static_cast<double>(num_items_) * static_cast<double>(num_workers_);
+  const double cells =
+      static_cast<double>(num_items_) * static_cast<double>(num_workers_);
   if (cells <= 0.0) return 1.0;
   return 1.0 - static_cast<double>(answers_.size()) / cells;
 }

@@ -1,0 +1,75 @@
+#include "engine/consensus_engine.h"
+
+#include <numeric>
+#include <vector>
+
+#include "util/string_utils.h"
+
+namespace cpa {
+
+Status ConsensusEngine::Observe(const AnswerBatch& batch) {
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        StrFormat("%s session is finalized; open a fresh engine to observe "
+                  "more answers",
+                  name_.c_str()));
+  }
+  if (batch.answers == nullptr) {
+    return Status::InvalidArgument("AnswerBatch.answers must not be null");
+  }
+  if (stream_ != nullptr && stream_ != batch.answers) {
+    return Status::InvalidArgument(
+        StrFormat("%s session is bound to one answer stream; every batch "
+                  "must reference the same AnswerMatrix",
+                  name_.c_str()));
+  }
+  for (std::size_t index : batch.indices) {
+    if (index >= batch.answers->num_answers()) {
+      return Status::OutOfRange(
+          StrFormat("batch index %zu out of range (stream holds %zu answers)",
+                    index, batch.answers->num_answers()));
+    }
+  }
+  stream_ = batch.answers;  // bind even for empty batches
+  if (batch.indices.empty()) {
+    return Status::OK();
+  }
+  CPA_RETURN_NOT_OK(OnObserve(*batch.answers, batch.indices));
+  ++batches_seen_;
+  answers_seen_ += batch.indices.size();
+  return Status::OK();
+}
+
+Result<ConsensusSnapshot> ConsensusEngine::Snapshot() {
+  if (finalized_) {
+    return final_snapshot_;
+  }
+  ConsensusSnapshot snapshot;
+  if (stream_ != nullptr) {
+    CPA_ASSIGN_OR_RETURN(snapshot, OnSnapshot(*stream_));
+  }
+  snapshot.method = name_;
+  snapshot.batches_seen = batches_seen_;
+  snapshot.answers_seen = answers_seen_;
+  snapshot.finalized = false;
+  return snapshot;
+}
+
+Result<ConsensusSnapshot> ConsensusEngine::Finalize() {
+  if (finalized_) {
+    return final_snapshot_;
+  }
+  CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot, Snapshot());
+  snapshot.finalized = true;
+  finalized_ = true;
+  final_snapshot_ = snapshot;
+  return snapshot;
+}
+
+Status ObserveAll(ConsensusEngine& engine, const AnswerMatrix& answers) {
+  std::vector<std::size_t> all(answers.num_answers());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return engine.Observe({&answers, all});
+}
+
+}  // namespace cpa

@@ -1,0 +1,145 @@
+#ifndef CPA_ENGINE_CONSENSUS_ENGINE_H_
+#define CPA_ENGINE_CONSENSUS_ENGINE_H_
+
+/// \file consensus_engine.h
+/// \brief The streaming inference session shared by every consensus method.
+///
+/// One `ConsensusEngine` instance is one session over one answer stream:
+///
+/// ```cpp
+///   auto engine = EngineRegistry::Global().Open(config);   // Open
+///   engine->Observe({&answers, plan.batches[b]});          // Observe*
+///   auto snapshot = engine->Snapshot();                    // any time
+///   auto final = engine->Finalize();                       // once, at end
+/// ```
+///
+/// Offline methods (MV, EM, cBCC, CPA variants) run behind an
+/// accumulate-then-refit adapter (`offline_engine.h`, `cpa_engines.h`):
+/// `Snapshot` refits on everything observed so far, so mid-stream snapshots
+/// are exactly the "offline re-run on the data so far" reference of Fig 6.
+/// `CpaOnline` (Algorithm 2) plugs in natively via `CpaSviEngine` and never
+/// refits. Either way callers see one lifecycle, which is what lets the
+/// benches, examples and the eval harness switch methods by string name.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/vi.h"
+#include "data/answer_matrix.h"
+#include "data/label_set.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace cpa {
+
+/// \brief One batch of stream answers: flat indices into
+/// `answers->answers()`. The matrix is the *stream*: it may hold answers
+/// that have not arrived yet — engines only ever read the indices they have
+/// been shown (no peeking), and every batch of a session must reference the
+/// same matrix object.
+struct AnswerBatch {
+  const AnswerMatrix* answers = nullptr;
+  std::span<const std::size_t> indices;
+};
+
+/// \brief Point-in-time view of a session's consensus. Cheap to take
+/// between batches: online methods predict from their current state,
+/// offline adapters refit only when new answers arrived since the last
+/// snapshot.
+struct ConsensusSnapshot {
+  /// Registry name of the method that produced the snapshot.
+  std::string method;
+
+  /// The deterministic assignment `d` so far; items without observed
+  /// answers carry empty sets. Empty before the first non-empty batch.
+  std::vector<LabelSet> predictions;
+
+  /// Soft per-label scores (I × C); semantics are method specific. May be
+  /// empty for methods without soft output.
+  Matrix label_scores;
+
+  /// Inference diagnostics of the fit behind this snapshot. For online
+  /// methods `iterations` counts batches consumed.
+  FitStats fit_stats;
+
+  /// Monotone session counters at snapshot time.
+  std::size_t batches_seen = 0;
+  std::size_t answers_seen = 0;
+
+  /// ω_b of the most recent SVI step; 0 for offline methods.
+  double learning_rate = 0.0;
+
+  /// True for the snapshot returned by `Finalize()`.
+  bool finalized = false;
+};
+
+/// \brief Interface of a streaming consensus session.
+///
+/// The base class owns the lifecycle invariants — one stream matrix per
+/// session, monotone counters, no observation after `Finalize()` — so
+/// concrete engines only implement `OnObserve` / `OnSnapshot`.
+class ConsensusEngine {
+ public:
+  virtual ~ConsensusEngine() = default;
+
+  ConsensusEngine(const ConsensusEngine&) = delete;
+  ConsensusEngine& operator=(const ConsensusEngine&) = delete;
+
+  /// Registry name of the method ("MV", "CPA-SVI", ...).
+  std::string_view name() const { return name_; }
+
+  /// Consumes one batch. Empty batches are a no-op (counters unchanged).
+  /// Fails after `Finalize()`, on a null or foreign stream matrix, and on
+  /// out-of-range indices.
+  Status Observe(const AnswerBatch& batch);
+
+  /// Current consensus. Before any answer arrived this returns an empty
+  /// snapshot rather than failing, so pollers need no special bootstrap.
+  Result<ConsensusSnapshot> Snapshot();
+
+  /// Ends the session and returns the final consensus. Idempotent: repeated
+  /// calls return the same snapshot; `Observe` fails afterwards.
+  Result<ConsensusSnapshot> Finalize();
+
+  bool finalized() const { return finalized_; }
+  std::size_t batches_seen() const { return batches_seen_; }
+  std::size_t answers_seen() const { return answers_seen_; }
+
+ protected:
+  explicit ConsensusEngine(std::string name) : name_(std::move(name)) {}
+
+  /// Consumes validated, non-empty batch indices of `answers`.
+  virtual Status OnObserve(const AnswerMatrix& answers,
+                           std::span<const std::size_t> indices) = 0;
+
+  /// Builds the snapshot body (predictions / scores / stats / rate); the
+  /// base class stamps method name, counters and the finalized flag.
+  /// Called only once a stream is bound — i.e. after at least one
+  /// `Observe` call, which may have carried an empty batch, so `OnObserve`
+  /// may not have run yet. Implementations must tolerate zero observed
+  /// answers.
+  virtual Result<ConsensusSnapshot> OnSnapshot(const AnswerMatrix& stream) = 0;
+
+  /// The stream matrix bound by the first batch (nullptr before).
+  const AnswerMatrix* stream() const { return stream_; }
+
+ private:
+  std::string name_;
+  const AnswerMatrix* stream_ = nullptr;
+  std::size_t batches_seen_ = 0;
+  std::size_t answers_seen_ = 0;
+  bool finalized_ = false;
+  ConsensusSnapshot final_snapshot_;
+};
+
+/// Feeds every answer of `answers` to `engine` as one batch — the one-shot
+/// (non-streaming) use of a session, shared by `CpaAggregator` and the
+/// engine overload of `RunExperiment`.
+Status ObserveAll(ConsensusEngine& engine, const AnswerMatrix& answers);
+
+}  // namespace cpa
+
+#endif  // CPA_ENGINE_CONSENSUS_ENGINE_H_

@@ -1,0 +1,141 @@
+#include "engine/cpa_engines.h"
+
+#include <utility>
+
+#include "engine/engine_registry.h"
+#include "util/logging.h"
+
+namespace cpa {
+
+// ---------------------------------------------------------------------------
+// CpaOfflineEngine
+// ---------------------------------------------------------------------------
+
+CpaOfflineEngine::CpaOfflineEngine(CpaOptions options, CpaVariant variant,
+                                   std::size_t num_labels, ThreadPool* pool)
+    : AccumulatingEngine(std::string(CpaVariantName(variant)), num_labels),
+      options_(options),
+      variant_(variant),
+      pool_(pool) {}
+
+Result<ConsensusSnapshot> CpaOfflineEngine::Refit(const AnswerMatrix& accumulated) {
+  CPA_ASSIGN_OR_RETURN(
+      solution_, SolveCpaOffline(accumulated, num_labels(), options_, variant_, pool_));
+  solved_ = true;
+  ConsensusSnapshot snapshot;
+  snapshot.predictions = solution_.predictions;
+  snapshot.label_scores = solution_.label_scores;
+  snapshot.fit_stats = solution_.stats;
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// CpaSviEngine
+// ---------------------------------------------------------------------------
+
+CpaSviEngine::CpaSviEngine(CpaOnline online)
+    : ConsensusEngine("CPA-SVI"), online_(std::move(online)) {}
+
+Result<std::unique_ptr<CpaSviEngine>> CpaSviEngine::Create(const EngineConfig& config) {
+  CPA_RETURN_NOT_OK(config.Validate());
+  CPA_ASSIGN_OR_RETURN(
+      CpaOnline online,
+      CpaOnline::Create(config.num_items, config.num_workers, config.num_labels,
+                        config.cpa, config.svi, config.pool));
+  return std::unique_ptr<CpaSviEngine>(new CpaSviEngine(std::move(online)));
+}
+
+Status CpaSviEngine::OnObserve(const AnswerMatrix& answers,
+                               std::span<const std::size_t> indices) {
+  return online_.ObserveBatch(answers, indices);
+}
+
+Result<ConsensusSnapshot> CpaSviEngine::OnSnapshot(const AnswerMatrix& stream) {
+  CPA_ASSIGN_OR_RETURN(CpaPrediction prediction, online_.Predict(stream));
+  ConsensusSnapshot snapshot;
+  snapshot.predictions = std::move(prediction.labels);
+  snapshot.label_scores = std::move(prediction.scores);
+  snapshot.fit_stats.iterations = online_.batches_seen();
+  snapshot.learning_rate = online_.last_learning_rate();
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in registrations
+// ---------------------------------------------------------------------------
+
+namespace {
+
+EngineRegistry::Factory OfflineFactory(
+    std::function<std::unique_ptr<Aggregator>(const EngineConfig&)> make) {
+  return [make = std::move(make)](const EngineConfig& config)
+             -> Result<std::unique_ptr<ConsensusEngine>> {
+    // The session carries the registry name it was opened under
+    // (config.method), which may differ from the aggregator's display name
+    // (e.g. "EM" opens a DawidSkene that calls itself "EM+cost" when the
+    // cost refinement is on) — callers key results by what they asked for.
+    return std::unique_ptr<ConsensusEngine>(std::make_unique<OfflineEngine>(
+        config.method, make(config), config.num_labels));
+  };
+}
+
+EngineRegistry::Factory CpaOfflineFactory(CpaVariant variant) {
+  return [variant](const EngineConfig& config)
+             -> Result<std::unique_ptr<ConsensusEngine>> {
+    return std::unique_ptr<ConsensusEngine>(std::make_unique<CpaOfflineEngine>(
+        config.cpa, variant, config.num_labels, config.pool));
+  };
+}
+
+}  // namespace
+
+void RegisterBuiltinEngines(EngineRegistry& registry) {
+  auto must_register = [&registry](std::string name, EngineRegistry::Factory factory) {
+    const Status status = registry.Register(std::move(name), std::move(factory));
+    CPA_CHECK(status.ok()) << status.ToString();
+  };
+  must_register("MV", OfflineFactory([](const EngineConfig& config) {
+                  return std::make_unique<MajorityVote>(config.majority);
+                }));
+  must_register("EM", OfflineFactory([](const EngineConfig& config) {
+                  return std::make_unique<DawidSkene>(config.em);
+                }));
+  must_register("cBCC", OfflineFactory([](const EngineConfig& config) {
+                  return std::make_unique<Cbcc>(config.cbcc);
+                }));
+  must_register("CPA", CpaOfflineFactory(CpaVariant::kFull));
+  must_register("CPA-NoZ", CpaOfflineFactory(CpaVariant::kNoZ));
+  must_register("CPA-NoL", CpaOfflineFactory(CpaVariant::kNoL));
+  must_register(
+      "CPA-SVI",
+      [](const EngineConfig& config) -> Result<std::unique_ptr<ConsensusEngine>> {
+        CPA_ASSIGN_OR_RETURN(std::unique_ptr<CpaSviEngine> engine,
+                             CpaSviEngine::Create(config));
+        return std::unique_ptr<ConsensusEngine>(std::move(engine));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// CpaAggregator — declared in core/cpa.h, implemented here so core/ never
+// includes engine/ headers. `Aggregate` is a thin engine client: one
+// session, one batch holding every answer, one Finalize.
+// ---------------------------------------------------------------------------
+
+Result<AggregationResult> CpaAggregator::Aggregate(const AnswerMatrix& answers,
+                                                   std::size_t num_labels) {
+  CpaOfflineEngine engine(options_, variant_, num_labels, pool_);
+  CPA_RETURN_NOT_OK(ObserveAll(engine, answers));
+  CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot, engine.Finalize());
+  if (CpaModel* model = engine.mutable_model()) {
+    model_ = std::move(*model);
+    stats_ = engine.fit_stats();
+    fitted_ = true;
+  }
+  AggregationResult result;
+  result.predictions = std::move(snapshot.predictions);
+  result.label_scores = std::move(snapshot.label_scores);
+  result.iterations = snapshot.fit_stats.iterations;
+  return result;
+}
+
+}  // namespace cpa

@@ -1,0 +1,80 @@
+#ifndef CPA_ENGINE_CPA_ENGINES_H_
+#define CPA_ENGINE_CPA_ENGINES_H_
+
+/// \file cpa_engines.h
+/// \brief The CPA model behind the `ConsensusEngine` session API.
+///
+/// - `CpaOfflineEngine`: accumulate-then-refit over `SolveCpaOffline` for
+///   the offline variants ("CPA", "CPA-NoZ", "CPA-NoL"); exposes the fitted
+///   posterior for diagnostics.
+/// - `CpaSviEngine`: the native online learner — `CpaOnline` (Algorithm 2)
+///   consumes batches incrementally and never refits ("CPA-SVI").
+
+#include <memory>
+#include <string>
+
+#include "core/cpa.h"
+#include "engine/engine_config.h"
+#include "engine/offline_engine.h"
+
+namespace cpa {
+
+class EngineRegistry;
+
+/// \brief Offline CPA as a session: refits (VI from scratch on everything
+/// seen) when a snapshot follows new answers.
+class CpaOfflineEngine : public AccumulatingEngine {
+ public:
+  CpaOfflineEngine(CpaOptions options, CpaVariant variant, std::size_t num_labels,
+                   ThreadPool* pool = nullptr);
+
+  /// The posterior behind the last snapshot (nullptr before the first).
+  const CpaModel* model() const { return solved_ ? &solution_.model : nullptr; }
+  CpaModel* mutable_model() { return solved_ ? &solution_.model : nullptr; }
+
+  /// Inference diagnostics of the last refit.
+  const FitStats& fit_stats() const { return solution_.stats; }
+
+ protected:
+  Result<ConsensusSnapshot> Refit(const AnswerMatrix& accumulated) override;
+
+ private:
+  CpaOptions options_;
+  CpaVariant variant_;
+  ThreadPool* pool_;
+  CpaSolution solution_;
+  bool solved_ = false;
+};
+
+/// \brief Online CPA as a session: `Observe` is one SVI step, `Snapshot`
+/// predicts from the current model state (no refit, any time).
+class CpaSviEngine : public ConsensusEngine {
+ public:
+  /// Builds the learner over the stream dimensions of `config` (which must
+  /// name upper bounds for items/workers; unseen entities keep their
+  /// initial state).
+  static Result<std::unique_ptr<CpaSviEngine>> Create(const EngineConfig& config);
+
+  /// The wrapped learner (current model, learning-rate diagnostics).
+  const CpaOnline& online() const { return online_; }
+
+ protected:
+  Status OnObserve(const AnswerMatrix& answers,
+                   std::span<const std::size_t> indices) override;
+  Result<ConsensusSnapshot> OnSnapshot(const AnswerMatrix& stream) override;
+
+ private:
+  explicit CpaSviEngine(CpaOnline online);
+
+  CpaOnline online_;
+};
+
+/// Installs the paper's §5.2 line-up into `registry`: "MV", "EM", "cBCC"
+/// behind the generic offline adapter, "CPA", "CPA-NoZ", "CPA-NoL" behind
+/// `CpaOfflineEngine`, and "CPA-SVI" behind `CpaSviEngine`. Called once by
+/// `EngineRegistry::Global()`.
+void RegisterBuiltinEngines(EngineRegistry& registry);
+
+}  // namespace cpa
+
+#endif  // CPA_ENGINE_CPA_ENGINES_H_

@@ -1,0 +1,86 @@
+#include "engine/engine_registry.h"
+
+#include "engine/cpa_engines.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace cpa {
+
+EngineRegistry& EngineRegistry::Global() {
+  // The built-ins are installed here rather than by static initializers in
+  // cpa_engines.cc: libcpa is a static archive, and an object file whose
+  // only job is registration would be dropped by the linker. The explicit
+  // call also anchors that object file for user code linking the archive.
+  static EngineRegistry* registry = [] {
+    auto* r = new EngineRegistry();
+    RegisterBuiltinEngines(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status EngineRegistry::Register(std::string name, Factory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("engine method name must not be empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("engine factory for '%s' must not be null", name.c_str()));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted) {
+    return Status::FailedPrecondition(
+        StrFormat("engine method '%s' is already registered", it->first.c_str()));
+  }
+  return Status::OK();
+}
+
+bool EngineRegistry::Has(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> EngineRegistry::MethodNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+Result<std::unique_ptr<ConsensusEngine>> EngineRegistry::Open(
+    const EngineConfig& config) const {
+  CPA_RETURN_NOT_OK(config.Validate());
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(config.method);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [name, unused] : factories_) {
+        known += known.empty() ? name : ", " + name;
+      }
+      return Status::NotFound(
+          StrFormat("unknown consensus method '%s' (registered: %s)",
+                    config.method.c_str(), known.c_str()));
+    }
+    factory = it->second;  // copy so the factory runs outside the lock
+  }
+  CPA_ASSIGN_OR_RETURN(std::unique_ptr<ConsensusEngine> engine, factory(config));
+  if (engine == nullptr) {
+    return Status::Internal(StrFormat("factory for '%s' returned a null engine",
+                                      config.method.c_str()));
+  }
+  return engine;
+}
+
+EngineRegistrar::EngineRegistrar(std::string name, EngineRegistry::Factory factory) {
+  const Status status =
+      EngineRegistry::Global().Register(std::move(name), std::move(factory));
+  CPA_CHECK(status.ok()) << status.ToString();
+}
+
+}  // namespace cpa

@@ -1,0 +1,77 @@
+#ifndef CPA_ENGINE_ENGINE_REGISTRY_H_
+#define CPA_ENGINE_ENGINE_REGISTRY_H_
+
+/// \file engine_registry.h
+/// \brief String-keyed factory registry for consensus methods.
+///
+/// `EngineRegistry::Global()` comes pre-loaded with the paper's line-up
+/// ("MV", "EM", "cBCC", "CPA", "CPA-NoZ", "CPA-NoL", "CPA-SVI"); every
+/// `Open` call constructs a fresh, independent session from one
+/// `EngineConfig`. New methods self-register from any translation unit:
+///
+/// ```cpp
+///   static cpa::EngineRegistrar register_my_method(
+///       "MyMethod", [](const cpa::EngineConfig& config) { ... });
+/// ```
+///
+/// Replaces the ad-hoc `PaperAggregators` factory map of eval/experiment.h
+/// (still present, deprecated) as the way benches and services enumerate
+/// and construct methods.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/consensus_engine.h"
+#include "engine/engine_config.h"
+#include "util/status.h"
+
+namespace cpa {
+
+/// \brief Thread-safe name → factory map.
+class EngineRegistry {
+ public:
+  /// Builds a fresh session for `config` (never a shared instance).
+  using Factory =
+      std::function<Result<std::unique_ptr<ConsensusEngine>>(const EngineConfig&)>;
+
+  /// The process-wide registry, with the built-in methods installed.
+  static EngineRegistry& Global();
+
+  EngineRegistry() = default;
+  EngineRegistry(const EngineRegistry&) = delete;
+  EngineRegistry& operator=(const EngineRegistry&) = delete;
+
+  /// Registers a method; duplicate names fail (first registration wins).
+  Status Register(std::string name, Factory factory);
+
+  /// True when `name` is a registered method.
+  bool Has(std::string_view name) const;
+
+  /// All registered method names, sorted.
+  std::vector<std::string> MethodNames() const;
+
+  /// Validates `config` and constructs a fresh session of
+  /// `config.method`. Unknown names return NotFound listing what is
+  /// registered.
+  Result<std::unique_ptr<ConsensusEngine>> Open(const EngineConfig& config) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+/// \brief Static-initialization helper: registers into `Global()` at load
+/// time of the defining translation unit.
+class EngineRegistrar {
+ public:
+  EngineRegistrar(std::string name, EngineRegistry::Factory factory);
+};
+
+}  // namespace cpa
+
+#endif  // CPA_ENGINE_ENGINE_REGISTRY_H_

@@ -1,0 +1,58 @@
+#include "engine/offline_engine.h"
+
+#include <algorithm>
+
+namespace cpa {
+
+AccumulatingEngine::AccumulatingEngine(std::string name, std::size_t num_labels)
+    : ConsensusEngine(std::move(name)), num_labels_(num_labels) {}
+
+Status AccumulatingEngine::OnObserve(const AnswerMatrix& answers,
+                                     std::span<const std::size_t> indices) {
+  (void)answers;  // the refit reads through stream(); indices are validated
+  seen_.insert(seen_.end(), indices.begin(), indices.end());
+  dirty_ = true;
+  return Status::OK();
+}
+
+Result<ConsensusSnapshot> AccumulatingEngine::OnSnapshot(const AnswerMatrix& stream) {
+  // `!fitted_` covers the empty-stream corner: a session that only saw
+  // empty batches still solves once (on the empty sub-matrix), matching a
+  // direct Aggregate call on an all-empty matrix.
+  if (dirty_ || !fitted_) {
+    // Stream order (and uniqueness — a repeated index would otherwise make
+    // the refit sub-matrix reject the duplicate cell) is what makes a
+    // full-coverage refit identical to the original matrix. Sorting here,
+    // on the refit path, keeps per-batch Observe O(batch).
+    std::sort(seen_.begin(), seen_.end());
+    seen_.erase(std::unique(seen_.begin(), seen_.end()), seen_.end());
+    if (seen_.size() == stream.num_answers()) {
+      // Full coverage: the sub-matrix would be an exact copy — solve on
+      // the stream itself and skip the rebuild.
+      CPA_ASSIGN_OR_RETURN(cached_, Refit(stream));
+    } else {
+      const AnswerMatrix accumulated = stream.Subset(seen_);
+      CPA_ASSIGN_OR_RETURN(cached_, Refit(accumulated));
+    }
+    fitted_ = true;
+    dirty_ = false;
+  }
+  return cached_;
+}
+
+OfflineEngine::OfflineEngine(std::string name, std::unique_ptr<Aggregator> aggregator,
+                             std::size_t num_labels)
+    : AccumulatingEngine(std::move(name), num_labels),
+      aggregator_(std::move(aggregator)) {}
+
+Result<ConsensusSnapshot> OfflineEngine::Refit(const AnswerMatrix& accumulated) {
+  CPA_ASSIGN_OR_RETURN(AggregationResult result,
+                       aggregator_->Aggregate(accumulated, num_labels()));
+  ConsensusSnapshot snapshot;
+  snapshot.predictions = std::move(result.predictions);
+  snapshot.label_scores = std::move(result.label_scores);
+  snapshot.fit_stats.iterations = result.iterations;
+  return snapshot;
+}
+
+}  // namespace cpa

@@ -1,0 +1,71 @@
+#ifndef CPA_ENGINE_OFFLINE_ENGINE_H_
+#define CPA_ENGINE_OFFLINE_ENGINE_H_
+
+/// \file offline_engine.h
+/// \brief Accumulate-then-refit adapters: any offline `Aggregator` as a
+/// streaming `ConsensusEngine`.
+///
+/// Observed batch indices are accumulated; `Snapshot()` re-solves on the
+/// sub-matrix of everything seen so far (the "offline re-run on the data so
+/// far" reference of Fig 6) and caches the result, so repeated snapshots
+/// without new answers are free. Accumulated indices are refit in stream
+/// order; once a session has observed every answer of the stream the refit
+/// runs on the stream matrix itself, so `Finalize()` equals a direct
+/// `Aggregate()` call.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "baselines/aggregator.h"
+#include "engine/consensus_engine.h"
+
+namespace cpa {
+
+/// \brief Shared accumulate + dirty-refit machinery. Concrete engines
+/// implement `Refit` over the accumulated sub-matrix.
+class AccumulatingEngine : public ConsensusEngine {
+ protected:
+  AccumulatingEngine(std::string name, std::size_t num_labels);
+
+  Status OnObserve(const AnswerMatrix& answers,
+                   std::span<const std::size_t> indices) final;
+  Result<ConsensusSnapshot> OnSnapshot(const AnswerMatrix& stream) final;
+
+  /// Solves on everything observed so far. `accumulated` preserves the
+  /// stream's answer order and dimensions.
+  virtual Result<ConsensusSnapshot> Refit(const AnswerMatrix& accumulated) = 0;
+
+  std::size_t num_labels() const { return num_labels_; }
+
+ private:
+  std::size_t num_labels_;
+  std::vector<std::size_t> seen_;  // sorted, deduplicated after each batch
+  bool fitted_ = false;
+  bool dirty_ = false;
+  ConsensusSnapshot cached_;
+};
+
+/// \brief The generic adapter: wraps any `Aggregator` (MV, EM, cBCC, or a
+/// caller-provided method) as a `ConsensusEngine`.
+class OfflineEngine : public AccumulatingEngine {
+ public:
+  /// `name` is the session/registry name; it may differ from
+  /// `aggregator->name()` (e.g. a registry alias).
+  OfflineEngine(std::string name, std::unique_ptr<Aggregator> aggregator,
+                std::size_t num_labels);
+
+  /// The wrapped method (for diagnostics).
+  Aggregator& aggregator() { return *aggregator_; }
+
+ protected:
+  Result<ConsensusSnapshot> Refit(const AnswerMatrix& accumulated) override;
+
+ private:
+  std::unique_ptr<Aggregator> aggregator_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_ENGINE_OFFLINE_ENGINE_H_

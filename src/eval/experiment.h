@@ -2,17 +2,29 @@
 #define CPA_EVAL_EXPERIMENT_H_
 
 /// \file experiment.h
-/// \brief Uniform "run an aggregator on a dataset, score it, time it"
-/// harness used by the benches.
+/// \brief Uniform "run a method on a dataset, score it, time it" harness
+/// used by the benches.
+///
+/// The primary entry point is the engine layer: construct sessions from an
+/// `EngineConfig` via `EngineRegistry::Global()` (engine/engine_registry.h)
+/// and drive them with `RunExperiment(ConsensusEngine&, ...)` for one-shot
+/// runs or `RunStreamingExperiment` for batch-by-batch arrival curves. The
+/// `Aggregator` overload and the `PaperAggregators` factory map are the
+/// legacy pre-engine API; `PaperAggregators` is deprecated — use
+/// `EngineRegistry::Global().MethodNames()` / `Open` instead.
 
+#include <cstddef>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/aggregator.h"
 #include "data/dataset.h"
+#include "engine/consensus_engine.h"
 #include "eval/metrics.h"
+#include "simulation/perturbations.h"
 #include "util/status.h"
 
 namespace cpa {
@@ -28,14 +40,60 @@ struct ExperimentResult {
 /// scores the predictions against the dataset's ground truth.
 Result<ExperimentResult> RunExperiment(Aggregator& aggregator, const Dataset& dataset);
 
-/// \brief Factory registry for the aggregators the paper compares, so
-/// benches can iterate "MV, EM, cBCC, CPA" uniformly. Each factory builds
-/// a fresh aggregator sized for the given dataset.
+/// Engine-session one-shot: feeds every answer of `dataset` to `engine` as
+/// a single batch, finalizes, and scores the final consensus. The engine
+/// must be freshly opened (nothing observed, not finalized).
+Result<ExperimentResult> RunExperiment(ConsensusEngine& engine, const Dataset& dataset);
+
+/// \brief One scored snapshot of a streaming run.
+struct StreamingStepResult {
+  SetMetrics metrics;
+
+  /// Seconds since the stream started (cumulative, includes snapshot cost).
+  double seconds = 0.0;
+
+  /// Session counters at snapshot time.
+  std::size_t batches_seen = 0;
+  std::size_t answers_seen = 0;
+
+  /// ω_b of the step (0 for offline adapters).
+  double learning_rate = 0.0;
+};
+
+/// \brief Outcome of a streaming run: optional per-batch curve + final.
+struct StreamingExperimentResult {
+  /// Scored snapshot after each batch (empty when `score_each_batch` is
+  /// false — final-only runs skip the intermediate refit/predict cost).
+  std::vector<StreamingStepResult> steps;
+
+  /// Scored `Finalize()` consensus, timed over the whole stream.
+  ExperimentResult final_result;
+};
+
+/// Streams `plan`'s batches of `dataset.answers` into `engine` (answers
+/// only — never the truth), scoring a `Snapshot()` after each batch when
+/// `score_each_batch` is set, then finalizes and scores. The engine must be
+/// freshly opened; drive prefixes by passing a plan holding only the
+/// first k batches.
+Result<StreamingExperimentResult> RunStreamingExperiment(ConsensusEngine& engine,
+                                                         const Dataset& dataset,
+                                                         const BatchPlan& plan,
+                                                         bool score_each_batch = true);
+
+/// \brief Factory registry for the aggregators the paper compares. Each
+/// factory builds a fresh aggregator sized for the given dataset.
+///
+/// \deprecated Superseded by `EngineRegistry::Global()` (which also covers
+/// the CPA ablation variants and the online learner, and constructs
+/// sessions from a serializable `EngineConfig`). Kept while pre-engine
+/// benches migrate; new callers should not use it.
 using AggregatorFactory = std::function<std::unique_ptr<Aggregator>(const Dataset&)>;
 
 /// The paper's §5.2 line-up: MV, EM (Dawid–Skene), cBCC and CPA.
 /// `cpa_iterations` caps CPA's sweeps (benches trade a little accuracy for
 /// sweep time).
+///
+/// \deprecated See `AggregatorFactory`.
 std::map<std::string, AggregatorFactory> PaperAggregators(
     std::size_t cpa_iterations = 30);
 
