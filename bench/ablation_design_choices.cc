@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "core/cpa.h"
+#include "core/cpa_options.h"
 #include "eval/experiment.h"
 #include "util/string_utils.h"
 #include "util/table_printer.h"
@@ -16,8 +16,9 @@ using namespace cpa;
 namespace {
 
 SetMetrics Run(const Dataset& dataset, const CpaOptions& options) {
-  CpaAggregator aggregator(options);
-  const auto result = RunExperiment(aggregator, dataset);
+  EngineConfig config = EngineConfig::ForDataset("CPA", dataset);
+  config.cpa = options;
+  const auto result = RunExperiment(config, dataset);
   CPA_CHECK(result.ok()) << result.status().ToString();
   return result.value().metrics;
 }

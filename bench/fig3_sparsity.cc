@@ -19,8 +19,7 @@ int main(int argc, char** argv) {
       config);
 
   const Dataset dataset = bench::LoadPaperDataset(PaperDatasetId::kImage, config);
-  const auto factories = PaperAggregators(config.cpa_iterations);
-  const std::vector<std::string> methods = {"MV", "EM", "cBCC", "CPA"};
+  const std::vector<std::string> methods = PaperMethodNames();
 
   TablePrinter precision({"Sparsity%", "MV", "EM", "cBCC", "CPA"});
   TablePrinter recall({"Sparsity%", "MV", "EM", "cBCC", "CPA"});
@@ -36,8 +35,9 @@ int main(int argc, char** argv) {
     std::vector<std::string> p_cells = {StrFormat("%d", sparsity)};
     std::vector<std::string> r_cells = {StrFormat("%d", sparsity)};
     for (const std::string& method : methods) {
-      auto aggregator = factories.at(method)(sparse.value());
-      const auto result = RunExperiment(*aggregator, sparse.value());
+      EngineConfig engine_config = EngineConfig::ForDataset(method, sparse.value());
+      engine_config.cpa.max_iterations = config.cpa_iterations;
+      const auto result = RunExperiment(engine_config, sparse.value());
       if (!result.ok()) {
         p_cells.push_back("n/a");
         r_cells.push_back("n/a");

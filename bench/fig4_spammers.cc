@@ -22,7 +22,6 @@ int main(int argc, char** argv) {
       "Spam answers are injected until they make up 20% / 40% of all answers.",
       config);
 
-  const auto factories = PaperAggregators(config.cpa_iterations);
   const std::vector<std::string> methods = {"cBCC", "CPA"};
 
   bench::BenchReport report("fig4_spammers", config);
@@ -42,10 +41,12 @@ int main(int argc, char** argv) {
       std::map<std::string, SetMetrics> clean;
       std::map<std::string, SetMetrics> noisy;
       for (const std::string& method : methods) {
-        auto clean_aggregator = factories.at(method)(dataset);
-        auto noisy_aggregator = factories.at(method)(spammed.value());
-        const auto clean_result = RunExperiment(*clean_aggregator, dataset);
-        const auto noisy_result = RunExperiment(*noisy_aggregator, spammed.value());
+        EngineConfig clean_config = EngineConfig::ForDataset(method, dataset);
+        clean_config.cpa.max_iterations = config.cpa_iterations;
+        EngineConfig noisy_config = EngineConfig::ForDataset(method, spammed.value());
+        noisy_config.cpa.max_iterations = config.cpa_iterations;
+        const auto clean_result = RunExperiment(clean_config, dataset);
+        const auto noisy_result = RunExperiment(noisy_config, spammed.value());
         if (clean_result.ok()) clean[method] = clean_result.value().metrics;
         if (noisy_result.ok()) noisy[method] = noisy_result.value().metrics;
       }

@@ -25,13 +25,13 @@ int main(int argc, char** argv) {
       config);
 
   const Dataset dataset = bench::LoadPaperDataset(PaperDatasetId::kEntity, config);
-  const auto factories = PaperAggregators(config.cpa_iterations);
   const std::vector<std::string> methods = {"cBCC", "CPA"};
 
   std::map<std::string, SetMetrics> original;
   for (const std::string& method : methods) {
-    auto aggregator = factories.at(method)(dataset);
-    const auto result = RunExperiment(*aggregator, dataset);
+    EngineConfig engine_config = EngineConfig::ForDataset(method, dataset);
+    engine_config.cpa.max_iterations = config.cpa_iterations;
+    const auto result = RunExperiment(engine_config, dataset);
     if (result.ok()) original[method] = result.value().metrics;
     std::fprintf(stderr, "[fig5] %s baseline done\n", method.c_str());
   }
@@ -49,8 +49,9 @@ int main(int argc, char** argv) {
     }
     std::map<std::string, SetMetrics> with;
     for (const std::string& method : methods) {
-      auto aggregator = factories.at(method)(enriched.value());
-      const auto result = RunExperiment(*aggregator, enriched.value());
+      EngineConfig engine_config = EngineConfig::ForDataset(method, enriched.value());
+      engine_config.cpa.max_iterations = config.cpa_iterations;
+      const auto result = RunExperiment(engine_config, enriched.value());
       if (result.ok()) with[method] = result.value().metrics;
     }
     const auto ratio = [&](const std::string& method, bool use_precision) {

@@ -5,9 +5,9 @@
 /// tractable only for the movie dataset (22 labels).
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
-#include "core/cpa.h"
 #include "eval/experiment.h"
 #include "util/string_utils.h"
 #include "util/table_printer.h"
@@ -26,36 +26,33 @@ int main(int argc, char** argv) {
   bench::BenchReport report("fig8_model_aspects", config);
   for (PaperDatasetId id : AllPaperDatasets()) {
     const Dataset dataset = bench::LoadPaperDataset(id, config);
-    CpaOptions options =
-        CpaOptions::Recommended(dataset.num_items(), dataset.num_labels);
-    options.max_iterations = config.cpa_iterations;
 
     std::vector<std::string> p_cells = {std::string(PaperDatasetName(id))};
     std::vector<std::string> r_cells = {std::string(PaperDatasetName(id))};
-    for (CpaVariant variant :
-         {CpaVariant::kFull, CpaVariant::kNoZ, CpaVariant::kNoL}) {
-      CpaAggregator aggregator(options, variant);
-      const auto result = RunExperiment(aggregator, dataset);
+    // The ablation variants are registry methods of their own.
+    for (const std::string method : {"CPA", "CPA-NoZ", "CPA-NoL"}) {
+      EngineConfig engine_config = EngineConfig::ForDataset(method, dataset);
+      engine_config.cpa.max_iterations = config.cpa_iterations;
+      const auto result = RunExperiment(engine_config, dataset);
       if (!result.ok()) {
         // The paper: "the No L model turned out to be intractable for all
         // except the movie dataset".
         p_cells.push_back("intractable");
         r_cells.push_back("intractable");
         std::fprintf(stderr, "[fig8] %s/%s: %s\n", PaperDatasetName(id).data(),
-                     CpaVariantName(variant).data(),
-                     result.status().ToString().c_str());
+                     method.c_str(), result.status().ToString().c_str());
         continue;
       }
       p_cells.push_back(StrFormat("%.2f", result.value().metrics.precision));
       r_cells.push_back(StrFormat("%.2f", result.value().metrics.recall));
-      report.Add(StrFormat("%s@%s_precision", CpaVariantName(variant).data(),
+      report.Add(StrFormat("%s@%s_precision", method.c_str(),
                            PaperDatasetName(id).data()),
                  result.value().metrics.precision, "fraction");
-      report.Add(StrFormat("%s@%s_recall", CpaVariantName(variant).data(),
+      report.Add(StrFormat("%s@%s_recall", method.c_str(),
                            PaperDatasetName(id).data()),
                  result.value().metrics.recall, "fraction");
       std::fprintf(stderr, "[fig8] %s/%s done in %.1fs\n",
-                   PaperDatasetName(id).data(), CpaVariantName(variant).data(),
+                   PaperDatasetName(id).data(), method.c_str(),
                    result.value().seconds);
     }
     precision.AddRow(p_cells);

@@ -10,6 +10,9 @@
 #endif
 
 #include "core/cpa.h"
+#include "core/sweep/answer_view.h"
+#include "core/sweep/sweep_kernels.h"
+#include "core/sweep/sweep_scheduler.h"
 #include "core/vi.h"
 #include "data/dataset.h"
 #include "simulation/dataset_factory.h"
@@ -49,10 +52,14 @@ void BM_SoftmaxInPlace(benchmark::State& state) {
 }
 BENCHMARK(BM_SoftmaxInPlace)->Arg(64)->Arg(1024);
 
-/// Shared fixture: a small fitted model over a simulated movie dataset.
+/// Shared fixture: a small fitted model over a simulated movie dataset,
+/// plus the flat view and activity lists the sweep kernels consume.
 struct FittedFixture {
   Dataset dataset;
   CpaModel model;
+  AnswerView view;
+  SweepScheduler scheduler;
+  sweep::ClusterActivity activity;
 
   static FittedFixture& Get() {
     static FittedFixture* fixture = [] {
@@ -68,6 +75,8 @@ struct FittedFixture {
       auto model = FitCpa(f->dataset.answers, f->dataset.num_labels, cpa_options);
       CPA_CHECK(model.ok());
       f->model = std::move(model).value();
+      f->view = AnswerView(f->dataset.answers);
+      sweep::BuildClusterActivity(f->model.phi, f->scheduler, f->activity);
       return f;
     }();
     return *fixture;
@@ -79,8 +88,8 @@ void BM_UpdateWorkerResponsibility(benchmark::State& state) {
   CpaModel model = f.model;
   WorkerId u = 0;
   for (auto _ : state) {
-    internal::UpdateWorkerResponsibility(model, f.dataset.answers, u,
-                                         f.dataset.answers.AnswersOfWorker(u));
+    sweep::UpdateWorkerResponsibility(model, f.view, u, f.view.AnswersOfWorker(u),
+                                      &f.activity);
     u = (u + 1) % model.num_workers();
   }
 }
@@ -91,8 +100,7 @@ void BM_UpdateItemResponsibility(benchmark::State& state) {
   CpaModel model = f.model;
   ItemId i = 0;
   for (auto _ : state) {
-    internal::UpdateItemResponsibility(model, f.dataset.answers, i,
-                                       f.dataset.answers.AnswersOfItem(i));
+    sweep::UpdateItemResponsibility(model, f.view, i, f.view.AnswersOfItem(i));
     i = (i + 1) % model.num_items();
   }
 }
@@ -102,7 +110,7 @@ void BM_UpdateLambda(benchmark::State& state) {
   FittedFixture& f = FittedFixture::Get();
   CpaModel model = f.model;
   for (auto _ : state) {
-    internal::UpdateLambda(model, f.dataset.answers);
+    sweep::UpdateLambda(model, f.view, f.activity, f.scheduler);
   }
 }
 BENCHMARK(BM_UpdateLambda);
@@ -111,7 +119,7 @@ void BM_UpdateThetaChannel(benchmark::State& state) {
   FittedFixture& f = FittedFixture::Get();
   CpaModel model = f.model;
   for (auto _ : state) {
-    internal::UpdateThetaChannel(model);
+    sweep::UpdateThetaChannel(model, f.activity, f.scheduler);
   }
 }
 BENCHMARK(BM_UpdateThetaChannel);

@@ -18,8 +18,7 @@ int main(int argc, char** argv) {
                      "unsupervised).",
                      config);
 
-  const auto factories = PaperAggregators(config.cpa_iterations);
-  const std::vector<std::string> methods = {"MV", "EM", "cBCC", "CPA"};
+  const std::vector<std::string> methods = PaperMethodNames();
 
   TablePrinter precision({"Dataset", "MV", "EM", "cBCC", "CPA"});
   TablePrinter recall({"Dataset", "MV", "EM", "cBCC", "CPA"});
@@ -29,8 +28,9 @@ int main(int argc, char** argv) {
     std::vector<std::string> p_cells = {std::string(PaperDatasetName(id))};
     std::vector<std::string> r_cells = {std::string(PaperDatasetName(id))};
     for (const std::string& method : methods) {
-      auto aggregator = factories.at(method)(dataset);
-      const auto result = RunExperiment(*aggregator, dataset);
+      EngineConfig engine_config = EngineConfig::ForDataset(method, dataset);
+      engine_config.cpa.max_iterations = config.cpa_iterations;
+      const auto result = RunExperiment(engine_config, dataset);
       if (!result.ok()) {
         std::fprintf(stderr, "%s on %s failed: %s\n", method.c_str(),
                      dataset.name.c_str(), result.status().ToString().c_str());

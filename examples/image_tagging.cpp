@@ -1,13 +1,16 @@
 /// Image tagging end-to-end: simulate a NUS-WIDE-style crowdsourcing
-/// campaign (the paper's image dataset), aggregate with every method, and
-/// inspect what the CPA posterior learned about the crowd.
+/// campaign (the paper's image dataset), aggregate with every paper method
+/// through `EngineRegistry` sessions, and inspect what the CPA posterior
+/// learned about the crowd.
 ///
-///   $ ./image_tagging [--scale 0.25] [--seed 7]
+///   $ ./image_tagging [--scale 0.25] [--seed 7] [--num-threads 2]
 
 #include <cstdio>
+#include <memory>
 
-#include "core/cpa.h"
 #include "data/dataset_stats.h"
+#include "engine/cpa_engines.h"
+#include "engine/engine_registry.h"
 #include "eval/experiment.h"
 #include "simulation/dataset_factory.h"
 #include "util/flags.h"
@@ -33,28 +36,30 @@ int main(int argc, char** argv) {
               stats.num_questions, stats.num_workers, stats.num_answers,
               stats.num_labels, stats.mean_answers_per_item);
 
-  // --- Aggregate with each method and compare.
+  // --- Aggregate with each method (one registry session per method).
   TablePrinter table({"Method", "Precision", "Recall", "F1", "Time"});
-  const CpaAggregator* fitted_cpa = nullptr;
-  std::unique_ptr<Aggregator> kept_alive;
-  for (const auto& [name, factory] : PaperAggregators()) {
-    auto aggregator = factory(dataset.value());
-    const auto result = RunExperiment(*aggregator, dataset.value());
-    CPA_CHECK(result.ok()) << name << ": " << result.status().ToString();
-    table.AddRow({name, StrFormat("%.3f", result.value().metrics.precision),
+  std::unique_ptr<ConsensusEngine> cpa_session;  // kept for the posterior
+  for (const std::string& method : PaperMethodNames()) {
+    auto config =
+        EngineConfig::ForDataset(method, dataset.value()).WithFlags(flags.value());
+    CPA_CHECK(config.ok()) << config.status().ToString();
+    config.value().method = method;  // WithFlags may override --method
+    auto engine = EngineRegistry::Global().Open(config.value());
+    CPA_CHECK(engine.ok()) << method << ": " << engine.status().ToString();
+    const auto result = RunExperiment(*engine.value(), dataset.value());
+    CPA_CHECK(result.ok()) << method << ": " << result.status().ToString();
+    table.AddRow({method, StrFormat("%.3f", result.value().metrics.precision),
                   StrFormat("%.3f", result.value().metrics.recall),
                   StrFormat("%.3f", result.value().metrics.F1()),
                   StrFormat("%.2fs", result.value().seconds)});
-    if (name == "CPA") {
-      fitted_cpa = static_cast<const CpaAggregator*>(aggregator.get());
-      kept_alive = std::move(aggregator);
-    }
+    if (method == "CPA") cpa_session = std::move(engine).value();
   }
   table.Print();
 
   // --- Inspect the posterior: communities and clusters the model formed.
-  CPA_CHECK(fitted_cpa != nullptr && fitted_cpa->model() != nullptr);
-  const CpaModel& model = *fitted_cpa->model();
+  auto* cpa_engine = dynamic_cast<CpaOfflineEngine*>(cpa_session.get());
+  CPA_CHECK(cpa_engine != nullptr && cpa_engine->model() != nullptr);
+  const CpaModel& model = *cpa_engine->model();
   std::printf("\nCPA posterior: %zu effective worker communities (of %zu), "
               "%zu effective item clusters (of %zu)\n",
               model.EffectiveCommunities(1.0), model.num_communities(),
@@ -65,6 +70,6 @@ int main(int argc, char** argv) {
     if (s >= 1.0) std::printf(" %.0f", s);
   }
   std::printf("\nconverged in %zu sweeps (final change %.5f)\n",
-              fitted_cpa->fit_stats().iterations, fitted_cpa->fit_stats().final_change);
+              cpa_engine->fit_stats().iterations, cpa_engine->fit_stats().final_change);
   return 0;
 }

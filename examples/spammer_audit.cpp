@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "core/cpa.h"
-#include "core/vi.h"
+#include "core/sweep/answer_view.h"
+#include "core/sweep/sweep_kernels.h"
+#include "core/sweep/sweep_scheduler.h"
 #include "eval/experiment.h"
 #include "simulation/dataset_factory.h"
 #include "simulation/perturbations.h"
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
   CPA_CHECK(result.ok()) << result.status().ToString();
   const CpaModel& model = *cpa.model();
   const std::vector<double> reliability =
-      internal::ComputeWorkerReliability(model, d.answers);
+      sweep::ComputeWorkerReliability(model, AnswerView(d.answers), SweepScheduler());
 
   // --- Audit report: the least reliable workers.
   std::vector<WorkerId> order;

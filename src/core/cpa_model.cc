@@ -161,6 +161,7 @@ void CpaModel::RefreshThetaExpectations() {
   elog_theta.Reset(T_, num_labels_);
   elog_not_theta.Reset(T_, num_labels_);
   elog_theta_base.assign(T_, 0.0);
+  elog_theta_delta_t.Reset(num_labels_, T_);
   bernoulli_profile.Reset(T_, num_labels_);
   for (std::size_t t = 0; t < T_; ++t) {
     double base = 0.0;
@@ -171,6 +172,7 @@ void CpaModel::RefreshThetaExpectations() {
       elog_theta(t, c) = Digamma(a) - digamma_ab;
       elog_not_theta(t, c) = Digamma(b) - digamma_ab;
       base += elog_not_theta(t, c);
+      elog_theta_delta_t(c, t) = elog_theta(t, c) - elog_not_theta(t, c);
       bernoulli_profile(t, c) = a / (a + b);
     }
     elog_theta_base[t] = base;

@@ -95,6 +95,11 @@ class CpaModel {
   Matrix elog_theta;             ///< E[ln θ_tc]: T × C
   Matrix elog_not_theta;         ///< E[ln (1−θ_tc)]: T × C
   std::vector<double> elog_theta_base;  ///< Σ_c E[ln (1−θ_tc)], length T
+
+  /// E[ln θ_tc] − E[ln(1−θ_tc)] transposed to C × T: the ϕ-update evidence
+  /// term is a per-label AXPY over clusters, so the sweep kernels
+  /// (core/sweep/) want label-major rows contiguous over t.
+  Matrix elog_theta_delta_t;
   /// @}
 
   /// Per-cluster label-set-size distribution (T × (S+1)); rebuilt by the

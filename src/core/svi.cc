@@ -4,12 +4,60 @@
 #include <cmath>
 #include <map>
 
-#include "core/vi.h"
+#include "core/sweep/sweep_kernels.h"
+#include "core/sweep/sweep_scheduler.h"
 #include "util/logging.h"
 #include "util/special_functions.h"
 #include "util/string_utils.h"
 
 namespace cpa {
+namespace {
+
+/// Workers are judged only on items whose consensus is corroborated by
+/// enough answers — judging against one- or two-answer "consensus" crushes
+/// honest workers and locks the reinforcement loop into noise.
+constexpr std::size_t kMinAnswersForReliability = 4;
+
+/// Reliability weights for `workers` from their *seen* answers: mean
+/// soft-Jaccard agreement with the current consensus over corroborated
+/// items, then relative pow/floor weighting — the incremental-seen-state
+/// analogue of `sweep::ComputeWorkerReliability` (which scores a full
+/// matrix), shared by the batch reinforcement rounds and GlobalRefresh.
+/// Only scored workers' entries of `worker_weight` are written.
+void UpdateSeenWorkerReliability(
+    const CpaModel& model, const AnswerView& view,
+    const std::vector<std::vector<std::uint32_t>>& seen_by_worker,
+    const std::vector<std::vector<std::uint32_t>>& seen_by_item,
+    std::span<const WorkerId> workers, std::vector<double>& worker_weight) {
+  const CpaOptions& options = model.options();
+  std::vector<double> agreements(model.num_workers(), -1.0);
+  double best = 0.0;
+  for (WorkerId u : workers) {
+    double agreement = 0.0;
+    double counted = 0.0;
+    for (std::uint32_t index : seen_by_worker[u]) {
+      const ItemId item = view.item(index);
+      const auto& evidence = model.y_evidence[item];
+      if (evidence.empty()) continue;
+      if (seen_by_item[item].size() < kMinAnswersForReliability) continue;
+      agreement += sweep::SoftJaccardAgreement(view.labels(index), evidence);
+      counted += 1.0;
+    }
+    if (counted <= 0.0) continue;
+    agreements[u] = agreement / counted;
+    best = std::max(best, agreements[u]);
+  }
+  // Relative weighting, as in the offline path (sweep_kernels.cc).
+  if (best <= 1e-9) return;
+  for (WorkerId u : workers) {
+    if (agreements[u] < 0.0) continue;
+    worker_weight[u] =
+        std::max(std::pow(agreements[u] / best, options.reliability_sharpness),
+                 options.reliability_floor);
+  }
+}
+
+}  // namespace
 
 Status SviOptions::Validate() const {
   if (workers_per_batch == 0) {
@@ -41,6 +89,15 @@ Result<CpaOnline> CpaOnline::Create(std::size_t num_items, std::size_t num_worke
   return online;
 }
 
+void CpaOnline::EnsureView(const AnswerMatrix& answers) {
+  if (viewed_stream_ != &answers) {
+    view_ = AnswerView(answers);  // first batch, or a different stream matrix
+    viewed_stream_ = &answers;
+  } else if (view_.num_answers() != answers.num_answers()) {
+    view_.ExtendTo(answers);  // the same stream grew: incremental append
+  }
+}
+
 Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
                                std::span<const std::size_t> batch) {
   if (batch.empty()) return Status::OK();
@@ -49,7 +106,9 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
       return Status::OutOfRange(StrFormat("batch answer index %zu out of range", index));
     }
   }
+  EnsureView(answers);
   CpaModel& model = model_;
+  const SweepScheduler scheduler(pool_);
   const std::size_t M = model.num_communities();
   const std::size_t T = model.num_clusters();
   const std::size_t C = model.num_labels();
@@ -65,7 +124,7 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
   if (batch_count_ == 1 && options.theta_prior_mean <= 0.0) {
     double total_labels = 0.0;
     for (std::size_t index : batch) {
-      total_labels += static_cast<double>(answers.answer(index).labels.size());
+      total_labels += static_cast<double>(view_.label_count(index));
     }
     model.SetThetaPriorMean(total_labels / static_cast<double>(batch.size()) /
                             static_cast<double>(C));
@@ -77,39 +136,41 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
   std::vector<ItemId> new_items;
   std::size_t max_answer_size = 0;
   for (std::size_t index : batch) {
-    const Answer& a = answers.answer(index);
-    by_worker[a.worker].push_back(index);
-    by_item[a.item].push_back(index);
-    seen_by_worker_[a.worker].push_back(index);
-    seen_by_item_[a.item].push_back(index);
-    max_answer_size = std::max(max_answer_size, a.labels.size());
-    if (!worker_seen_[a.worker]) {
-      worker_seen_[a.worker] = true;
+    const WorkerId worker = view_.worker(index);
+    const ItemId item = view_.item(index);
+    by_worker[worker].push_back(index);
+    by_item[item].push_back(index);
+    seen_by_worker_[worker].push_back(static_cast<std::uint32_t>(index));
+    seen_by_item_[item].push_back(static_cast<std::uint32_t>(index));
+    max_answer_size = std::max(max_answer_size, view_.label_count(index));
+    if (!worker_seen_[worker]) {
+      worker_seen_[worker] = true;
       ++workers_seen_;
     }
-    if (!item_seen_[a.item]) {
-      item_seen_[a.item] = true;
+    if (!item_seen_[item]) {
+      item_seen_[item] = true;
       ++items_seen_;
-      new_items.push_back(a.item);
+      new_items.push_back(item);
     }
   }
   answers_seen_ += batch.size();
   const double mean_redundancy =
       static_cast<double>(answers_seen_) / static_cast<double>(items_seen_);
 
+  std::vector<WorkerId> batch_workers;
+  batch_workers.reserve(by_worker.size());
+  for (const auto& [u, unused] : by_worker) batch_workers.push_back(u);
+
   // --- MAP phase: local κ updates for the batch workers (parallel; rows
-  // are disjoint).
+  // are disjoint), through the shared Eq. 2 kernel.
   if (!options.singleton_communities) {
-    std::vector<WorkerId> batch_workers;
-    batch_workers.reserve(by_worker.size());
-    for (const auto& [u, unused] : by_worker) batch_workers.push_back(u);
-    ParallelFor(
-        pool_, batch_workers.size(),
+    scheduler.ParallelFor(
+        batch_workers.size(),
         [&](std::size_t begin, std::size_t end) {
           for (std::size_t w = begin; w < end; ++w) {
             const WorkerId u = batch_workers[w];
-            internal::UpdateWorkerResponsibility(model, answers, u,
-                                                 seen_by_worker_[u]);
+            sweep::UpdateWorkerResponsibility(model, view_, u, seen_by_worker_[u],
+                                              /*activity=*/nullptr);
           }
         },
         /*min_shard=*/4);
@@ -119,195 +180,137 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
   // consensus evidence → cluster assignments → θ channel, repeated a few
   // times (the offline fit gets this reinforcement for free across its
   // sweeps; a single pass leaves the online consensus noticeably mushier).
+  // The activity lists built after the last round's ϕ updates stay current
+  // through the REDUCE phase below (nothing there writes ϕ).
+  sweep::ClusterActivity activity;
   std::vector<ItemId> seeded_now;
   std::vector<double> worker_weight(model.num_workers(), 1.0);
   for (std::size_t round = 0; round < svi_options_.reinforcement_rounds; ++round) {
-  // Reliability weights compare each batch worker's *seen* answers against
-  // the current consensus ỹ of the answered items — strictly past state,
-  // the learner never peeks beyond the batches it has been shown.
-  if (options.label_evidence == LabelEvidence::kReliabilityWeighted &&
-      (batch_count_ > 1 || round > 0)) {
-    // Workers are judged only on items whose consensus is corroborated by
-    // enough answers — judging against one- or two-answer "consensus"
-    // crushes honest workers and locks the reinforcement loop into noise.
-    constexpr std::size_t kMinAnswersForReliability = 4;
-    std::map<WorkerId, double> agreements;
-    double best = 0.0;
-    for (const auto& [u, unused] : by_worker) {
-      double agreement = 0.0;
-      double counted = 0.0;
-      for (std::size_t index : seen_by_worker_[u]) {
-        const Answer& a = answers.answer(index);
-        const auto& evidence = model.y_evidence[a.item];
-        if (evidence.empty()) continue;
-        if (seen_by_item_[a.item].size() < kMinAnswersForReliability) continue;
-        double overlap = 0.0;
-        double evidence_total = 0.0;
-        for (const auto& [c, weight] : evidence) {
-          evidence_total += weight;
-          if (a.labels.Contains(c)) overlap += weight;
+    // Reliability weights compare each batch worker's *seen* answers
+    // against the current consensus ỹ of the answered items — strictly past
+    // state, the learner never peeks beyond the batches it has been shown.
+    if (options.label_evidence == LabelEvidence::kReliabilityWeighted &&
+        (batch_count_ > 1 || round > 0)) {
+      UpdateSeenWorkerReliability(model, view_, seen_by_worker_, seen_by_item_,
+                                  batch_workers, worker_weight);
+    }
+    std::vector<double> dense(C, 0.0);
+    for (const auto& [item, unused] : by_item) {
+      const auto& seen = seen_by_item_[item];
+      if (seen.size() < kMinAnswersToSeed) {
+        // Defer until corroborated.
+        model.y_evidence[item].clear();
+        model.y_evidence_weight[item] = 0.0;
+        continue;
+      }
+      sweep::AccumulateLabelEvidence(model, view_, item, seen, worker_weight,
+                                     options.evidence_scale, dense);
+    }
+
+    // --- Label-aligned symmetry breaking for items appearing for the first
+    // time: their consensus set gets a dedicated cluster, allocated
+    // first-come-first-served (streaming analogue of the offline
+    // frequency-ordered seeding); once the truncation is exhausted, new
+    // sets join their best Jaccard match.
+    if (!options.singleton_clusters && T > 1) {
+      for (const auto& [item, unused] : by_item) {
+        if (item_seeded_[item]) continue;
+        const LabelSet consensus = sweep::ConsensusFromEvidence(model, item);
+        if (consensus.empty()) continue;  // still deferred
+        const std::string key = consensus.ToString();
+        auto it = consensus_cluster_.find(key);
+        if (it == consensus_cluster_.end() && next_cluster_ < T) {
+          cluster_consensus_.push_back(consensus);
+          it = consensus_cluster_.emplace(key, next_cluster_++).first;
         }
-        const double denom =
-            static_cast<double>(a.labels.size()) + evidence_total - overlap;
-        agreement += denom > 0.0 ? overlap / denom : 0.0;
-        counted += 1.0;
-      }
-      if (counted <= 0.0) continue;
-      agreements[u] = agreement / counted;
-      best = std::max(best, agreements[u]);
-    }
-    // Relative weighting, as in the offline path (vi.cc).
-    if (best > 1e-9) {
-      for (const auto& [u, agreement] : agreements) {
-        worker_weight[u] =
-            std::max(std::pow(agreement / best, options.reliability_sharpness),
-                     options.reliability_floor);
+        item_seeded_[item] = true;
+        if (it != consensus_cluster_.end()) {
+          sweep::WriteSeedRow(model, item, it->second);
+          seeded_now.push_back(item);
+        }
+        // Truncation exhausted and unknown set: no hard seed — the item
+        // joins whichever cluster the soft evidence update prefers.
       }
     }
-  }
-  std::vector<double> dense(C, 0.0);
-  for (const auto& [item, unused] : by_item) {
-    const auto& seen = seen_by_item_[item];
-    auto& evidence = model.y_evidence[item];
-    evidence.clear();
-    model.y_evidence_weight[item] = 0.0;
-    if (seen.size() < kMinAnswersToSeed) continue;  // defer until corroborated
-    std::fill(dense.begin(), dense.end(), 0.0);
-    double total_weight = 0.0;
-    for (std::size_t index : seen) {
-      const Answer& a = answers.answer(index);
-      const double w = worker_weight[a.worker];
-      total_weight += w;
-      for (LabelId c : a.labels) dense[c] += w;
-    }
-    if (total_weight <= 0.0) continue;
-    for (LabelId c = 0; c < C; ++c) {
-      if (dense[c] > 0.0) evidence.emplace_back(c, dense[c] / total_weight);
-    }
-    model.y_evidence_weight[item] =
-        options.evidence_scale > 0.0
-            ? options.evidence_scale
-            : std::max<double>(1.0, static_cast<double>(seen.size()));
-  }
 
-  // --- Label-aligned symmetry breaking for items appearing for the first
-  // time: their consensus set gets a dedicated cluster, allocated
-  // first-come-first-served (streaming analogue of the offline
-  // frequency-ordered seeding); once the truncation is exhausted, new sets
-  // join their best Jaccard match.
-  if (!options.singleton_clusters && T > 1) {
-    for (const auto& [item, unused] : by_item) {
-      if (item_seeded_[item]) continue;
-      const LabelSet consensus = internal::ConsensusFromEvidence(model, item);
-      if (consensus.empty()) continue;  // still deferred
-      const std::string key = consensus.ToString();
-      auto it = consensus_cluster_.find(key);
-      if (it == consensus_cluster_.end() && next_cluster_ < T) {
-        cluster_consensus_.push_back(consensus);
-        it = consensus_cluster_.emplace(key, next_cluster_++).first;
+    // --- ϕ update for the batch items. Items seen for the first time keep
+    // their label-aligned seed — the global parameters have not yet seen
+    // their data. Re-seen items get either an exact local coordinate
+    // update over their accumulated answers (default; the Hoffman-style
+    // treatment of per-item latents) or the paper-literal natural-gradient
+    // step in the canonical log-odds µ (Eqs. 15–17).
+    if (!options.singleton_clusters) {
+      std::vector<ItemId> reseen;
+      for (const auto& [item, unused] : by_item) {
+        if (item_seeded_[item] &&
+            std::find(seeded_now.begin(), seeded_now.end(), item) == seeded_now.end()) {
+          reseen.push_back(item);
+        }
       }
-      item_seeded_[item] = true;
-      if (it != consensus_cluster_.end()) {
-        internal::WriteSeedRow(model, item, it->second);
-        seeded_now.push_back(item);
-      }
-      // Truncation exhausted and unknown set: no hard seed — the item
-      // joins whichever cluster the soft evidence update prefers.
-    }
-  }
-
-  // --- ϕ update for the batch items. Items seen for the first time keep
-  // their label-aligned seed — the global parameters have not yet seen
-  // their data. Re-seen items get either an exact local coordinate update
-  // over their accumulated answers (default; the Hoffman-style treatment
-  // of per-item latents) or the paper-literal natural-gradient step in the
-  // canonical log-odds µ (Eqs. 15–17).
-  if (!options.singleton_clusters) {
-    std::vector<ItemId> reseen;
-    for (const auto& [item, unused] : by_item) {
-      if (item_seeded_[item] &&
-          std::find(seeded_now.begin(), seeded_now.end(), item) == seeded_now.end()) {
-        reseen.push_back(item);
-      }
-    }
-    if (svi_options_.exact_local_phi) {
-      // Evidence-only coordinate update. The answer term of the offline
-      // update (Eq. 3 restored) needs every cluster's confusion bank to be
-      // current; online, banks of rarely-touched clusters are stale and
-      // the term systematically drags items into whichever clusters
-      // accumulated the most mass. The answer likelihood still reweights
-      // clusters at prediction time, where the accumulated λ is used once
-      // rather than amplified through every sweep.
-      ParallelFor(
-          pool_, reseen.size(),
-          [&](std::size_t begin, std::size_t end) {
-            for (std::size_t j = begin; j < end; ++j) {
-              const ItemId item = reseen[j];
-              auto scores = model.phi.Row(item);
-              for (std::size_t t = 0; t < T; ++t) scores[t] = model.elog_tau[t];
-              if (!model.y_evidence[item].empty()) {
-                const double evidence_scale = model.y_evidence_weight[item];
-                for (std::size_t t = 0; t < T; ++t) {
-                  double term = model.elog_theta_base[t];
-                  for (const auto& [c, weight] : model.y_evidence[item]) {
-                    term += weight *
-                            (model.elog_theta(t, c) - model.elog_not_theta(t, c));
-                  }
-                  scores[t] += evidence_scale * term;
-                }
+      if (svi_options_.exact_local_phi) {
+        // Evidence-only coordinate update (the shared kernel). The answer
+        // term of the offline update (Eq. 3 restored) needs every cluster's
+        // confusion bank to be current; online, banks of rarely-touched
+        // clusters are stale and the term systematically drags items into
+        // whichever clusters accumulated the most mass. The answer
+        // likelihood still reweights clusters at prediction time, where the
+        // accumulated λ is used once rather than amplified through every
+        // sweep.
+        scheduler.ParallelFor(
+            reseen.size(),
+            [&](std::size_t begin, std::size_t end) {
+              for (std::size_t j = begin; j < end; ++j) {
+                sweep::UpdateItemResponsibilityFromEvidence(model, reseen[j]);
               }
-              SoftmaxInPlace(scores);
+            },
+            /*min_shard=*/4);
+      } else {
+        std::vector<double> target(T);
+        for (ItemId item : reseen) {
+          const auto& seen = seen_by_item_[item];
+          const double amplify =
+              std::max(1.0, mean_redundancy / static_cast<double>(seen.size()));
+          for (std::size_t t = 0; t < T; ++t) target[t] = model.elog_tau[t];
+          sweep::AddEvidenceTerm(model, item, target, amplify);
+          for (std::uint32_t index : seen) {
+            const auto labels = view_.labels(index);
+            const auto kappa_row = model.kappa.Row(view_.worker(index));
+            for (std::size_t t = 0; t < T; ++t) {
+              const Matrix& elog_psi_t = model.elog_psi[t];
+              double expected = 0.0;
+              for (std::size_t m = 0; m < M; ++m) {
+                if (kappa_row[m] < 1e-8) continue;
+                const auto psi_row = elog_psi_t.Row(m);
+                double loglik = 0.0;
+                for (LabelId c : labels) loglik += psi_row[c];
+                expected += kappa_row[m] * loglik;
+              }
+              target[t] += amplify * expected;
             }
-          },
-          /*min_shard=*/4);
-    } else {
-      std::vector<double> target(T);
-      for (ItemId item : reseen) {
-        const auto& seen = seen_by_item_[item];
-        const double amplify =
-            std::max(1.0, mean_redundancy / static_cast<double>(seen.size()));
-        for (std::size_t t = 0; t < T; ++t) target[t] = model.elog_tau[t];
-        if (!model.y_evidence[item].empty()) {
-          const double evidence_scale = model.y_evidence_weight[item] * amplify;
-          for (std::size_t t = 0; t < T; ++t) {
-            double term = model.elog_theta_base[t];
-            for (const auto& [c, weight] : model.y_evidence[item]) {
-              term += weight * (model.elog_theta(t, c) - model.elog_not_theta(t, c));
-            }
-            target[t] += evidence_scale * term;
           }
-        }
-        for (std::size_t index : seen) {
-          const Answer& a = answers.answer(index);
-          const auto kappa_row = model.kappa.Row(a.worker);
+          // Blend in µ-space (reference component T−1) and map back via the
+          // softmax transformation of Eqs. 16–17.
+          auto phi_row = model.phi.Row(item);
+          const double ref_old = std::log(std::max(phi_row[T - 1], 1e-12));
+          const double ref_target = target[T - 1];
           for (std::size_t t = 0; t < T; ++t) {
-            double expected = 0.0;
-            for (std::size_t m = 0; m < M; ++m) {
-              if (kappa_row[m] < 1e-8) continue;
-              expected += kappa_row[m] * model.AnswerExpectedLogLik(t, m, a.labels);
-            }
-            target[t] += amplify * expected;
+            const double mu_old = std::log(std::max(phi_row[t], 1e-12)) - ref_old;
+            const double mu_target = target[t] - ref_target;
+            phi_row[t] = (1.0 - rate) * mu_old + rate * mu_target;
           }
+          SoftmaxInPlace(phi_row);
         }
-        // Blend in µ-space (reference component T−1) and map back via the
-        // softmax transformation of Eqs. 16–17.
-        auto phi_row = model.phi.Row(item);
-        const double ref_old = std::log(std::max(phi_row[T - 1], 1e-12));
-        const double ref_target = target[T - 1];
-        for (std::size_t t = 0; t < T; ++t) {
-          const double mu_old = std::log(std::max(phi_row[t], 1e-12)) - ref_old;
-          const double mu_target = target[t] - ref_target;
-          phi_row[t] = (1.0 - rate) * mu_old + rate * mu_target;
-        }
-        SoftmaxInPlace(phi_row);
       }
     }
-  }
 
-  // θ channel for the next reinforcement round (and for prediction).
-  internal::UpdateThetaChannel(model);
-  model.RefreshThetaExpectations();
+    // θ channel for the next reinforcement round (and for prediction).
+    sweep::BuildClusterActivity(model.phi, scheduler, activity);
+    sweep::UpdateThetaChannel(model, activity, scheduler);
+    model.RefreshThetaExpectations();
   }  // reinforcement rounds
+  if (svi_options_.reinforcement_rounds == 0) {
+    sweep::BuildClusterActivity(model.phi, scheduler, activity);
+  }
 
   // --- REDUCE phase.
   // λ: incremental sufficient-statistics accumulation (Neal–Hinton style)
@@ -320,9 +323,9 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
   // stale. (The paper-literal updates remain available via
   // `SviOptions::exact_local_phi = false` for λ's companion µ path.)
   for (std::size_t index : batch) {
-    const Answer& a = answers.answer(index);
-    const auto phi_row = model.phi.Row(a.item);
-    const auto kappa_row = model.kappa.Row(a.worker);
+    const auto labels = view_.labels(index);
+    const auto phi_row = model.phi.Row(view_.item(index));
+    const auto kappa_row = model.kappa.Row(view_.worker(index));
     for (std::size_t t = 0; t < T; ++t) {
       if (phi_row[t] < 1e-8) continue;
       Matrix& bank = model.lambda[t];
@@ -330,7 +333,7 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
         const double weight = phi_row[t] * kappa_row[m];
         if (weight < 1e-10) continue;
         auto row = bank.Row(m);
-        for (LabelId c : a.labels) row[c] += weight;
+        for (LabelId c : labels) row[c] += weight;
       }
     }
   }
@@ -356,7 +359,7 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
   }
 
   // υ (Eqs. 13–14): exact, since the full ϕ is maintained.
-  internal::UpdateSticks(model.upsilon, model.phi, options.epsilon);
+  sweep::UpdateSticks(model.upsilon, model.phi, options.epsilon, scheduler);
 
   // ζ (Eq. 10) and the Beta-Bernoulli θ channel: exact recomputation over
   // the evidence accumulated so far. Unlike λ (whose exact update would
@@ -364,8 +367,8 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
   // natural-gradient treatment above), the label-channel statistics cost
   // O(seen items × nnz(ỹ) × T) and blending them would drag clusters that a
   // batch does not touch back toward their prior.
-  internal::UpdateZeta(model);
-  internal::UpdateThetaChannel(model);
+  sweep::UpdateZeta(model, activity, scheduler);
+  sweep::UpdateThetaChannel(model, activity, scheduler);
 
   // --- Size-prior counts (plain data statistic, no decay).
   if (max_answer_size + 3 > size_counts_.cols()) {
@@ -378,10 +381,10 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
     size_counts_ = std::move(grown);
   }
   for (std::size_t index : batch) {
-    const Answer& a = answers.answer(index);
-    const auto phi_row = model.phi.Row(a.item);
+    const auto phi_row = model.phi.Row(view_.item(index));
+    const std::size_t size = view_.label_count(index);
     for (std::size_t t = 0; t < T; ++t) {
-      size_counts_(t, a.labels.size()) += phi_row[t];
+      size_counts_(t, size) += phi_row[t];
     }
   }
   model.size_prior.Reset(T, size_counts_.cols());
@@ -397,76 +400,32 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
 }
 
 void CpaOnline::GlobalRefresh(const AnswerMatrix& answers) {
+  EnsureView(answers);
   CpaModel& model = model_;
+  const SweepScheduler scheduler(pool_);
   const std::size_t T = model.num_clusters();
   const std::size_t C = model.num_labels();
   const CpaOptions& options = model.options();
-  constexpr std::size_t kMinAnswersForReliability = 4;
 
+  // The activity lists built after each round's ϕ updates stay current for
+  // the final ζ rebuild (the stick refresh between them only reads ϕ).
+  sweep::ClusterActivity activity;
+  std::vector<WorkerId> all_workers(model.num_workers());
+  for (WorkerId u = 0; u < model.num_workers(); ++u) all_workers[u] = u;
   std::vector<double> worker_weight(model.num_workers(), 1.0);
   std::vector<double> dense(C, 0.0);
   for (std::size_t round = 0; round < 3; ++round) {
-    // Reliability weights over every seen answer on corroborated items
-    // (relative weighting, as in the offline path — vi.cc).
+    // Reliability weights over every seen answer on corroborated items.
     if (options.label_evidence == LabelEvidence::kReliabilityWeighted) {
-      std::vector<double> agreements(model.num_workers(), -1.0);
-      double best = 0.0;
-      for (WorkerId u = 0; u < model.num_workers(); ++u) {
-        if (seen_by_worker_[u].empty()) continue;
-        double agreement = 0.0;
-        double counted = 0.0;
-        for (std::size_t index : seen_by_worker_[u]) {
-          const Answer& a = answers.answer(index);
-          const auto& evidence = model.y_evidence[a.item];
-          if (evidence.empty()) continue;
-          if (seen_by_item_[a.item].size() < kMinAnswersForReliability) continue;
-          double overlap = 0.0;
-          double evidence_total = 0.0;
-          for (const auto& [c, weight] : evidence) {
-            evidence_total += weight;
-            if (a.labels.Contains(c)) overlap += weight;
-          }
-          const double denom =
-              static_cast<double>(a.labels.size()) + evidence_total - overlap;
-          agreement += denom > 0.0 ? overlap / denom : 0.0;
-          counted += 1.0;
-        }
-        if (counted <= 0.0) continue;
-        agreements[u] = agreement / counted;
-        best = std::max(best, agreements[u]);
-      }
-      if (best > 1e-9) {
-        for (WorkerId u = 0; u < model.num_workers(); ++u) {
-          if (agreements[u] < 0.0) continue;
-          worker_weight[u] =
-              std::max(std::pow(agreements[u] / best, options.reliability_sharpness),
-                       options.reliability_floor);
-        }
-      }
+      UpdateSeenWorkerReliability(model, view_, seen_by_worker_, seen_by_item_,
+                                  all_workers, worker_weight);
     }
     // Consensus evidence for every seen item.
     for (ItemId i = 0; i < model.num_items(); ++i) {
       const auto& seen = seen_by_item_[i];
       if (seen.empty()) continue;
-      auto& evidence = model.y_evidence[i];
-      evidence.clear();
-      model.y_evidence_weight[i] = 0.0;
-      std::fill(dense.begin(), dense.end(), 0.0);
-      double total_weight = 0.0;
-      for (std::size_t index : seen) {
-        const Answer& a = answers.answer(index);
-        const double w = worker_weight[a.worker];
-        total_weight += w;
-        for (LabelId c : a.labels) dense[c] += w;
-      }
-      if (total_weight <= 0.0) continue;
-      for (LabelId c = 0; c < C; ++c) {
-        if (dense[c] > 0.0) evidence.emplace_back(c, dense[c] / total_weight);
-      }
-      model.y_evidence_weight[i] =
-          options.evidence_scale > 0.0
-              ? options.evidence_scale
-              : std::max<double>(1.0, static_cast<double>(seen.size()));
+      sweep::AccumulateLabelEvidence(model, view_, i, seen, worker_weight,
+                                     options.evidence_scale, dense);
     }
     if (!options.singleton_clusters && T > 1) {
       if (round == 0) {
@@ -476,37 +435,28 @@ void CpaOnline::GlobalRefresh(const AnswerMatrix& answers) {
         // during batch ingestion drifts out of the size-biased stick
         // order as the stream evolves; prediction time is the moment to
         // realign (all of this still only reads seen data).
-        internal::SeedClustersFromConsensus(model);
+        sweep::SeedClustersFromConsensus(model);
       } else {
         // Evidence-only soft update for every item with evidence.
-        ParallelFor(
-            pool_, model.num_items(),
+        scheduler.ParallelFor(
+            model.num_items(),
             [&](std::size_t begin, std::size_t end) {
               for (std::size_t i = begin; i < end; ++i) {
                 if (model.y_evidence[i].empty()) continue;
-                auto scores = model.phi.Row(i);
-                for (std::size_t t = 0; t < T; ++t) scores[t] = model.elog_tau[t];
-                const double evidence_scale = model.y_evidence_weight[i];
-                for (std::size_t t = 0; t < T; ++t) {
-                  double term = model.elog_theta_base[t];
-                  for (const auto& [c, weight] : model.y_evidence[i]) {
-                    term += weight *
-                            (model.elog_theta(t, c) - model.elog_not_theta(t, c));
-                  }
-                  scores[t] += evidence_scale * term;
-                }
-                SoftmaxInPlace(scores);
+                sweep::UpdateItemResponsibilityFromEvidence(
+                    model, static_cast<ItemId>(i));
               }
             },
             /*min_shard=*/8);
       }
     }
-    internal::UpdateThetaChannel(model);
+    sweep::BuildClusterActivity(model.phi, scheduler, activity);
+    sweep::UpdateThetaChannel(model, activity, scheduler);
     model.RefreshThetaExpectations();
-    internal::UpdateSticks(model.upsilon, model.phi, options.epsilon);
+    sweep::UpdateSticks(model.upsilon, model.phi, options.epsilon, scheduler);
     StickBreakingExpectedLog(model.upsilon, model.elog_tau);
   }
-  internal::UpdateZeta(model);
+  sweep::UpdateZeta(model, activity, scheduler);
   model.RefreshExpectations();
 }
 
@@ -516,7 +466,7 @@ Result<CpaPrediction> CpaOnline::Predict(const AnswerMatrix& answers) {
                          pool_);
   }
   for (const auto& seen : seen_by_item_) {
-    for (std::size_t index : seen) {
+    for (std::uint32_t index : seen) {
       if (index >= answers.num_answers()) {
         return Status::InvalidArgument(
             "Predict must receive the same stream matrix as ObserveBatch");

@@ -15,6 +15,12 @@
 /// place of the paper's uniform `U` factor — the dimensionally consistent
 /// SVI estimator (DESIGN.md §4.4). υ is updated exactly since the full ϕ
 /// is maintained.
+///
+/// The sweep bodies (Eq. 2 κ rows, evidence-only ϕ rows, label-evidence
+/// accumulation) are the shared kernels of `core/sweep/sweep_kernels.h` —
+/// the same code the offline coordinate-ascent loop of vi.h runs — applied
+/// to the answers seen so far through a flat `AnswerView`
+/// (`core/sweep/answer_view.h`) of the stream matrix.
 
 #include <cstddef>
 #include <map>
@@ -23,6 +29,7 @@
 
 #include "core/cpa_model.h"
 #include "core/prediction.h"
+#include "core/sweep/answer_view.h"
 #include "data/answer_matrix.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -65,7 +72,9 @@ class CpaOnline {
 
   /// Consumes one batch: `batch` holds flat indices into
   /// `answers.answers()`. Only those answers are read — the learner never
-  /// peeks at data outside the batches it has been shown.
+  /// peeks at data outside the batches it has been shown. (The flat
+  /// `AnswerView` layout cache spans the whole stream matrix, but carries
+  /// only the caller's own data re-ordered, no inference state.)
   Status ObserveBatch(const AnswerMatrix& answers,
                       std::span<const std::size_t> batch);
 
@@ -90,6 +99,11 @@ class CpaOnline {
  private:
   CpaOnline() = default;
 
+  /// Rebuilds the flat view when the stream matrix has grown since the
+  /// last batch (the view indexes by flat answer position, so it only ever
+  /// needs rebuilding on growth).
+  void EnsureView(const AnswerMatrix& answers);
+
   /// Reinforcement pass (reliability → evidence → clusters → θ) over all
   /// seen data; see Predict.
   void GlobalRefresh(const AnswerMatrix& answers);
@@ -97,6 +111,13 @@ class CpaOnline {
   CpaModel model_;
   SviOptions svi_options_;
   ThreadPool* pool_ = nullptr;
+
+  /// Flat CSR/SoA layout of the stream matrix for the sweep kernels, plus
+  /// the identity of the matrix it was built from: a different matrix
+  /// object forces a full rebuild (same identity check the engine layer
+  /// applies to its stream), so cached labels never go stale.
+  AnswerView view_;
+  const AnswerMatrix* viewed_stream_ = nullptr;
 
   std::size_t batch_count_ = 0;
   double last_rate_ = 0.0;
@@ -110,8 +131,8 @@ class CpaOnline {
   // learner never reads outside these (no peeking ahead of the stream),
   // but it does not forget either: evidence and local updates use all
   // answers accumulated for the touched entities.
-  std::vector<std::vector<std::size_t>> seen_by_item_;
-  std::vector<std::vector<std::size_t>> seen_by_worker_;
+  std::vector<std::vector<std::uint32_t>> seen_by_item_;
+  std::vector<std::vector<std::uint32_t>> seen_by_worker_;
 
   // Online cluster seeding: distinct consensus sets are allocated cluster
   // indices first-come-first-served (the streaming analogue of the offline

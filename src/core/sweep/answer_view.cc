@@ -1,0 +1,72 @@
+#include "core/sweep/answer_view.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace cpa {
+namespace {
+
+constexpr std::size_t kIndexLimit = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+AnswerView::AnswerView(const AnswerMatrix& answers)
+    : num_items_(answers.num_items()), num_workers_(answers.num_workers()) {
+  label_offsets_.assign(1, 0);
+  labels_.reserve(answers.TotalLabelAssignments());
+  AppendAndReindex(answers);
+}
+
+void AnswerView::ExtendTo(const AnswerMatrix& answers) {
+  CPA_CHECK_EQ(answers.num_items(), num_items_);
+  CPA_CHECK_EQ(answers.num_workers(), num_workers_);
+  CPA_CHECK_GE(answers.num_answers(), num_answers())
+      << "stream matrices only ever append";
+  if (answers.num_answers() == num_answers()) return;
+  AppendAndReindex(answers);
+}
+
+void AnswerView::AppendAndReindex(const AnswerMatrix& answers) {
+  const std::size_t total = answers.num_answers();
+  CPA_CHECK_LE(total, kIndexLimit) << "answer count exceeds 32-bit indexing";
+  // SoA fields: flatten only the new suffix (flat indices are stable).
+  answer_item_.reserve(total);
+  answer_worker_.reserve(total);
+  label_offsets_.reserve(total + 1);
+  for (std::size_t index = answer_item_.size(); index < total; ++index) {
+    const Answer& a = answers.answer(index);
+    answer_item_.push_back(a.item);
+    answer_worker_.push_back(a.worker);
+    labels_.insert(labels_.end(), a.labels.begin(), a.labels.end());
+    CPA_CHECK_LE(labels_.size(), kIndexLimit)
+        << "label assignments exceed 32-bit indexing";
+    label_offsets_.push_back(static_cast<std::uint32_t>(labels_.size()));
+  }
+
+  // Entity CSR over the full range: counting pass, exclusive scan, fill
+  // pass. Stream order is preserved within an entity because answers are
+  // scanned in stream order.
+  const auto build_csr = [total](std::size_t entities, const auto& entity_of,
+                                 std::vector<std::uint32_t>& offsets,
+                                 std::vector<std::uint32_t>& flat) {
+    offsets.assign(entities + 1, 0);
+    for (std::size_t index = 0; index < total; ++index) {
+      ++offsets[entity_of(index) + 1];
+    }
+    for (std::size_t e = 0; e < entities; ++e) offsets[e + 1] += offsets[e];
+    flat.resize(total);
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t index = 0; index < total; ++index) {
+      flat[cursor[entity_of(index)]++] = static_cast<std::uint32_t>(index);
+    }
+  };
+  build_csr(
+      num_workers_, [this](std::size_t index) { return answer_worker_[index]; },
+      worker_offsets_, worker_answers_);
+  build_csr(
+      num_items_, [this](std::size_t index) { return answer_item_[index]; },
+      item_offsets_, item_answers_);
+}
+
+}  // namespace cpa

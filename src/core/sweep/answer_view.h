@@ -1,0 +1,101 @@
+#ifndef CPA_CORE_SWEEP_ANSWER_VIEW_H_
+#define CPA_CORE_SWEEP_ANSWER_VIEW_H_
+
+/// \file answer_view.h
+/// \brief Flat CSR layout of an `AnswerMatrix` for the sweep kernels.
+///
+/// `AnswerMatrix` stores answers as a vector of structs (each owning a
+/// heap-allocated label vector) plus per-entity `vector<vector>` indexes.
+/// The inference sweeps walk those indexes millions of times per fit, so
+/// the view flattens everything once into contiguous arrays:
+///
+/// - worker→answer and item→answer CSR indexes (offsets + one flat index
+///   array each, stream order preserved within an entity);
+/// - structure-of-arrays answer fields: item id, worker id, and a CSR of
+///   label ids, so a kernel touches three cache lines per answer instead
+///   of chasing an `Answer` struct into a `LabelSet` heap buffer.
+///
+/// The view is a layout cache of the caller-owned matrix, not model state:
+/// it carries no inference quantities, and flat answer indices are the
+/// same in both representations. Build once per fit (offline VI) or per
+/// stream (SVI; rebuild when the stream matrix has grown).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/answer_matrix.h"
+#include "data/types.h"
+
+namespace cpa {
+
+/// \brief Contiguous worker/item/label indexes over a fixed answer set.
+class AnswerView {
+ public:
+  /// Empty view (0 answers over 0×0 dimensions).
+  AnswerView() = default;
+
+  /// Flattens `answers`; the view is valid for the matrix's current answer
+  /// set and is not updated when the matrix grows (see `ExtendTo`). Checks
+  /// that the answer count and total label assignments fit the 32-bit
+  /// indices (types.h sizes them for the paper's scales; a stream beyond
+  /// 2^32 must fail loudly, not wrap).
+  explicit AnswerView(const AnswerMatrix& answers);
+
+  /// Extends the view to cover answers appended to the same matrix since
+  /// it was built: the SoA fields of the new suffix are flattened
+  /// incrementally (flat indices are stable — the matrix only appends) and
+  /// only the two entity CSR indexes are rebuilt, so a growing stream
+  /// costs O(new labels + answers) per growth event instead of a full
+  /// re-flatten. Dimensions must match; the matrix must not have shrunk.
+  void ExtendTo(const AnswerMatrix& answers);
+
+  std::size_t num_items() const { return num_items_; }
+  std::size_t num_workers() const { return num_workers_; }
+  std::size_t num_answers() const { return answer_item_.size(); }
+
+  /// Flat answer indices of worker `u`, in stream order.
+  std::span<const std::uint32_t> AnswersOfWorker(WorkerId u) const {
+    return {worker_answers_.data() + worker_offsets_[u],
+            worker_offsets_[u + 1] - worker_offsets_[u]};
+  }
+
+  /// Flat answer indices of item `i`, in stream order.
+  std::span<const std::uint32_t> AnswersOfItem(ItemId i) const {
+    return {item_answers_.data() + item_offsets_[i],
+            item_offsets_[i + 1] - item_offsets_[i]};
+  }
+
+  /// \name SoA answer fields (indexed by flat answer index).
+  /// @{
+  ItemId item(std::size_t index) const { return answer_item_[index]; }
+  WorkerId worker(std::size_t index) const { return answer_worker_[index]; }
+  std::span<const LabelId> labels(std::size_t index) const {
+    return {labels_.data() + label_offsets_[index],
+            label_offsets_[index + 1] - label_offsets_[index]};
+  }
+  std::size_t label_count(std::size_t index) const {
+    return label_offsets_[index + 1] - label_offsets_[index];
+  }
+  /// @}
+
+ private:
+  /// Appends the SoA fields of answers [num_answers(), total) and rebuilds
+  /// the worker/item CSR indexes over the full range.
+  void AppendAndReindex(const AnswerMatrix& answers);
+
+  std::size_t num_items_ = 0;
+  std::size_t num_workers_ = 0;
+  std::vector<std::uint32_t> worker_offsets_;  // U+1
+  std::vector<std::uint32_t> worker_answers_;  // A
+  std::vector<std::uint32_t> item_offsets_;    // I+1
+  std::vector<std::uint32_t> item_answers_;    // A
+  std::vector<ItemId> answer_item_;            // A
+  std::vector<WorkerId> answer_worker_;        // A
+  std::vector<std::uint32_t> label_offsets_;   // A+1
+  std::vector<LabelId> labels_;                // total label assignments
+};
+
+}  // namespace cpa
+
+#endif  // CPA_CORE_SWEEP_ANSWER_VIEW_H_

@@ -1,0 +1,600 @@
+#include "core/sweep/sweep_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/special_functions.h"
+
+namespace cpa::sweep {
+namespace {
+
+/// Shard grains of the parallel phases. They shape the reduction tree, so
+/// they are fixed constants — never derived from the thread count.
+constexpr std::size_t kAnswerGrain = 2048;
+constexpr std::size_t kItemGrain = 256;
+constexpr std::size_t kRowGrain = 1024;
+
+/// Cap on the total per-call λ reduce scratch, in bank entries (doubles):
+/// 8M entries = 64 MB, ≈ the λ budget of `CpaOptions::Recommended`.
+constexpr std::size_t kLambdaScratchEntryBudget = 8'000'000;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cluster activity
+// ---------------------------------------------------------------------------
+
+void BuildClusterActivity(const Matrix& phi, const SweepScheduler& scheduler,
+                          ClusterActivity& out) {
+  const std::size_t I = phi.rows();
+  const std::size_t T = phi.cols();
+  out.offsets.assign(I + 1, 0);
+  scheduler.ParallelFor(
+      I,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto row = phi.Row(i);
+          std::uint32_t count = 0;
+          for (std::size_t t = 0; t < T; ++t) {
+            if (row[t] >= kSkipMass) ++count;
+          }
+          out.offsets[i + 1] = count;
+        }
+      },
+      /*min_shard=*/kItemGrain);
+  for (std::size_t i = 0; i < I; ++i) out.offsets[i + 1] += out.offsets[i];
+  out.clusters.resize(out.offsets[I]);
+  out.weights.resize(out.offsets[I]);
+  scheduler.ParallelFor(
+      I,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto row = phi.Row(i);
+          std::uint32_t cursor = out.offsets[i];
+          for (std::size_t t = 0; t < T; ++t) {
+            if (row[t] < kSkipMass) continue;
+            out.clusters[cursor] = static_cast<std::uint32_t>(t);
+            out.weights[cursor] = row[t];
+            ++cursor;
+          }
+        }
+      },
+      /*min_shard=*/kItemGrain);
+}
+
+// ---------------------------------------------------------------------------
+// MAP kernels
+// ---------------------------------------------------------------------------
+
+void UpdateWorkerResponsibility(CpaModel& model, const AnswerView& view, WorkerId u,
+                                std::span<const std::uint32_t> indices,
+                                const ClusterActivity* activity) {
+  const std::size_t M = model.num_communities();
+  const std::size_t T = model.num_clusters();
+  auto scores = model.kappa.Row(u);
+  for (std::size_t m = 0; m < M; ++m) scores[m] = model.elog_pi[m];
+  const auto accumulate = [&](std::span<const LabelId> labels, std::size_t t,
+                              double weight) {
+    const Matrix& elog_psi_t = model.elog_psi[t];
+    for (std::size_t m = 0; m < M; ++m) {
+      const auto psi_row = elog_psi_t.Row(m);
+      double loglik = 0.0;
+      for (LabelId c : labels) loglik += psi_row[c];
+      scores[m] += weight * loglik;
+    }
+  };
+  for (std::uint32_t index : indices) {
+    const ItemId item = view.item(index);
+    const auto labels = view.labels(index);
+    if (activity != nullptr) {
+      const auto active = activity->ClustersOf(item);
+      const auto weights = activity->WeightsOf(item);
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        accumulate(labels, active[k], weights[k]);
+      }
+    } else {
+      const auto phi_row = model.phi.Row(item);
+      for (std::size_t t = 0; t < T; ++t) {
+        if (phi_row[t] < kSkipMass) continue;
+        accumulate(labels, t, phi_row[t]);
+      }
+    }
+  }
+  SoftmaxInPlace(scores, kSoftmaxFloorNats);
+}
+
+/// Through the Beta-Bernoulli channel:
+///   w_i Σ_c [ỹ_ic E ln θ_tc + (1−ỹ_ic) E ln(1−θ_tc)]
+///     = w_i Σ_c E ln(1−θ_tc)
+///       + Σ_{c: ỹ>0} (w_i ỹ_ic)(E ln θ_tc − E ln(1−θ_tc)),
+/// with w_i the item's pseudo-observation multiplicity. The base sum is
+/// cached per cluster; the per-label deltas are label-major AXPYs over t.
+void AddEvidenceTerm(const CpaModel& model, ItemId i, std::span<double> scores,
+                     double extra_scale) {
+  if (model.y_evidence[i].empty()) return;
+  const std::size_t T = model.num_clusters();
+  const double evidence_scale = model.y_evidence_weight[i] * extra_scale;
+  for (std::size_t t = 0; t < T; ++t) {
+    scores[t] += evidence_scale * model.elog_theta_base[t];
+  }
+  for (const auto& [c, weight] : model.y_evidence[i]) {
+    Axpy(evidence_scale * weight, model.elog_theta_delta_t.Row(c), scores);
+  }
+}
+
+void UpdateItemResponsibility(CpaModel& model, const AnswerView& view, ItemId i,
+                              std::span<const std::uint32_t> indices) {
+  const std::size_t M = model.num_communities();
+  const std::size_t T = model.num_clusters();
+  auto scores = model.phi.Row(i);
+  for (std::size_t t = 0; t < T; ++t) scores[t] = model.elog_tau[t];
+  AddEvidenceTerm(model, i, scores);
+  // Optional answer term (Eq. 3 omits it; see cpa_options.h).
+  if (model.options().phi_answer_term) {
+    for (std::uint32_t index : indices) {
+      const auto labels = view.labels(index);
+      const auto kappa_row = model.kappa.Row(view.worker(index));
+      for (std::size_t t = 0; t < T; ++t) {
+        const Matrix& elog_psi_t = model.elog_psi[t];
+        double expected = 0.0;
+        for (std::size_t m = 0; m < M; ++m) {
+          const double weight = kappa_row[m];
+          if (weight < kSkipMass) continue;
+          const auto psi_row = elog_psi_t.Row(m);
+          double loglik = 0.0;
+          for (LabelId c : labels) loglik += psi_row[c];
+          expected += weight * loglik;
+        }
+        scores[t] += expected;
+      }
+    }
+  }
+  SoftmaxInPlace(scores, kSoftmaxFloorNats);
+}
+
+void UpdateItemResponsibilityFromEvidence(CpaModel& model, ItemId i) {
+  const std::size_t T = model.num_clusters();
+  auto scores = model.phi.Row(i);
+  for (std::size_t t = 0; t < T; ++t) scores[t] = model.elog_tau[t];
+  AddEvidenceTerm(model, i, scores);
+  SoftmaxInPlace(scores, kSoftmaxFloorNats);
+}
+
+// ---------------------------------------------------------------------------
+// Label evidence
+// ---------------------------------------------------------------------------
+
+double SoftJaccardAgreement(std::span<const LabelId> labels,
+                            std::span<const std::pair<LabelId, double>> evidence) {
+  double overlap = 0.0;
+  double evidence_total = 0.0;
+  for (const auto& [c, weight] : evidence) {
+    evidence_total += weight;
+    if (std::binary_search(labels.begin(), labels.end(), c)) overlap += weight;
+  }
+  const double denom =
+      static_cast<double>(labels.size()) + evidence_total - overlap;
+  return denom > 0.0 ? overlap / denom : 0.0;
+}
+
+void AccumulateLabelEvidence(CpaModel& model, const AnswerView& view, ItemId i,
+                             std::span<const std::uint32_t> indices,
+                             std::span<const double> worker_weight,
+                             double configured_scale,
+                             std::span<double> dense_scratch) {
+  auto& evidence = model.y_evidence[i];
+  evidence.clear();
+  model.y_evidence_weight[i] = 0.0;
+  if (indices.empty()) return;
+  std::fill(dense_scratch.begin(), dense_scratch.end(), 0.0);
+  double total_weight = 0.0;
+  for (std::uint32_t index : indices) {
+    const double w = worker_weight[view.worker(index)];
+    total_weight += w;
+    for (LabelId c : view.labels(index)) dense_scratch[c] += w;
+  }
+  if (total_weight <= 0.0) return;
+  for (LabelId c = 0; c < model.num_labels(); ++c) {
+    if (dense_scratch[c] > 0.0) {
+      evidence.emplace_back(c, dense_scratch[c] / total_weight);
+    }
+  }
+  model.y_evidence_weight[i] =
+      configured_scale > 0.0
+          ? configured_scale
+          : std::max<double>(1.0, static_cast<double>(indices.size()));
+}
+
+std::vector<double> ComputeWorkerReliability(const CpaModel& model,
+                                             const AnswerView& view,
+                                             const SweepScheduler& scheduler) {
+  const std::size_t U = model.num_workers();
+  const std::size_t M = model.num_communities();
+  const CpaOptions& options = model.options();
+  std::vector<double> agreement(U, 0.0);
+  std::vector<double> answer_count(U, 0.0);
+
+  // Bootstrap check: reliability is meaningful only once some answered item
+  // carries consensus evidence.
+  bool any_evidence = false;
+  for (ItemId i = 0; i < model.num_items() && !any_evidence; ++i) {
+    any_evidence = !model.y_evidence[i].empty() && !view.AnswersOfItem(i).empty();
+  }
+  if (!any_evidence) return std::vector<double>(U, 1.0);  // bootstrap sweep
+
+  // Per-worker mean soft-Jaccard agreement between each answer and the
+  // current consensus of the answered item. Rows are disjoint → parallel.
+  scheduler.ParallelFor(
+      U,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t u = begin; u < end; ++u) {
+          for (std::uint32_t index : view.AnswersOfWorker(static_cast<WorkerId>(u))) {
+            const auto& evidence = model.y_evidence[view.item(index)];
+            if (evidence.empty()) continue;
+            agreement[u] += SoftJaccardAgreement(view.labels(index), evidence);
+            answer_count[u] += 1.0;
+          }
+        }
+      },
+      /*min_shard=*/kRowGrain / 8);
+  for (WorkerId u = 0; u < U; ++u) {
+    if (answer_count[u] > 0.0) agreement[u] /= answer_count[u];
+  }
+
+  // Community pooling: answer-weighted mean agreement per community, then
+  // shrink each worker toward its (κ-mixed) community mean.
+  std::vector<double> community_sum(M, 0.0);
+  std::vector<double> community_mass(M, 0.0);
+  for (WorkerId u = 0; u < U; ++u) {
+    if (answer_count[u] <= 0.0) continue;
+    const auto kappa_row = model.kappa.Row(u);
+    for (std::size_t m = 0; m < M; ++m) {
+      community_sum[m] += kappa_row[m] * answer_count[u] * agreement[u];
+      community_mass[m] += kappa_row[m] * answer_count[u];
+    }
+  }
+  std::vector<double> weights(U, 1.0);
+  std::vector<double> shrunk(U, 0.0);
+  double best = 0.0;
+  for (WorkerId u = 0; u < U; ++u) {
+    if (answer_count[u] <= 0.0) continue;
+    const auto kappa_row = model.kappa.Row(u);
+    double community_mean = 0.0;
+    for (std::size_t m = 0; m < M; ++m) {
+      const double mean =
+          community_mass[m] > 0.0 ? community_sum[m] / community_mass[m] : 0.5;
+      community_mean += kappa_row[m] * mean;
+    }
+    const double s = options.reliability_shrinkage;
+    shrunk[u] =
+        (answer_count[u] * agreement[u] + s * community_mean) / (answer_count[u] + s);
+    best = std::max(best, shrunk[u]);
+  }
+  // Reliability is relative: normalising by the best worker keeps the
+  // honest/spammer contrast even when heavy spam dilutes the consensus and
+  // absolute agreements are uniformly low (otherwise every weight hits the
+  // floor and the reinforcement loop loses all discrimination).
+  if (best <= 1e-9) return weights;
+  for (WorkerId u = 0; u < U; ++u) {
+    if (answer_count[u] <= 0.0) continue;
+    weights[u] = std::max(std::pow(shrunk[u] / best, options.reliability_sharpness),
+                          options.reliability_floor);
+  }
+  return weights;
+}
+
+void UpdateLabelEvidence(CpaModel& model, const AnswerView& view,
+                         const std::vector<LabelSet>* observed_truth,
+                         const std::vector<LabelSet>* self_training_labels,
+                         const SweepScheduler& scheduler) {
+  const LabelEvidence strategy = model.options().label_evidence;
+
+  // Worker weights for the frequency-style strategies, computed from the
+  // *previous* consensus (mutual reinforcement across sweeps).
+  std::vector<double> worker_weight(model.num_workers(), 1.0);
+  if (strategy == LabelEvidence::kReliabilityWeighted) {
+    worker_weight = ComputeWorkerReliability(model, view, scheduler);
+  }
+
+  const double configured_scale = model.options().evidence_scale;
+  scheduler.ParallelFor(
+      model.num_items(),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<double> dense(model.num_labels(), 0.0);
+        for (std::size_t i = begin; i < end; ++i) {
+          auto& evidence = model.y_evidence[i];
+          const auto indices = view.AnswersOfItem(static_cast<ItemId>(i));
+          // Observed truth always wins (semi-supervised support).
+          if (observed_truth != nullptr && i < observed_truth->size() &&
+              !(*observed_truth)[i].empty()) {
+            evidence.clear();
+            for (LabelId c : (*observed_truth)[i]) evidence.emplace_back(c, 1.0);
+            model.y_evidence_weight[i] =
+                configured_scale > 0.0
+                    ? configured_scale
+                    : std::max<double>(1.0, static_cast<double>(indices.size()));
+            continue;
+          }
+          if (strategy == LabelEvidence::kObservedOnly) {
+            evidence.clear();
+            model.y_evidence_weight[i] = 0.0;
+            continue;
+          }
+          if (strategy == LabelEvidence::kSelfTraining &&
+              self_training_labels != nullptr) {
+            evidence.clear();
+            model.y_evidence_weight[i] = 0.0;
+            for (LabelId c : (*self_training_labels)[i]) evidence.emplace_back(c, 1.0);
+            if (!evidence.empty()) {
+              model.y_evidence_weight[i] =
+                  configured_scale > 0.0
+                      ? configured_scale
+                      : std::max<double>(1.0, static_cast<double>(indices.size()));
+            }
+            continue;
+          }
+          // Frequency-style evidence (also the self-training bootstrap): the
+          // (reliability-)weighted mean answer indicator.
+          AccumulateLabelEvidence(model, view, static_cast<ItemId>(i), indices,
+                                  worker_weight, configured_scale, dense);
+        }
+      },
+      /*min_shard=*/kItemGrain);
+}
+
+// ---------------------------------------------------------------------------
+// REDUCE kernels
+// ---------------------------------------------------------------------------
+
+void UpdateSticks(Matrix& sticks, const Matrix& responsibilities,
+                  double concentration, const SweepScheduler& scheduler) {
+  const std::size_t K = sticks.rows() + 1;
+  if (K <= 1) return;
+  CPA_CHECK_EQ(responsibilities.cols(), K);
+  // Column masses n_k = Σ_rows resp(·, k).
+  std::vector<double> mass(K, 0.0);
+  scheduler.ParallelReduce<std::vector<double>>(
+      responsibilities.rows(), kRowGrain,
+      [K] { return std::vector<double>(K, 0.0); },
+      [&](std::vector<double>& partial, std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const auto row = responsibilities.Row(r);
+          for (std::size_t k = 0; k < K; ++k) partial[k] += row[k];
+        }
+      },
+      [](std::vector<double>& into, std::vector<double>& from) {
+        for (std::size_t k = 0; k < into.size(); ++k) into[k] += from[k];
+      },
+      mass);
+  // Suffix sums: tail_k = Σ_{l > k} n_l.
+  double tail = 0.0;
+  std::vector<double> tails(K, 0.0);
+  for (std::size_t k = K; k-- > 0;) {
+    tails[k] = tail;
+    tail += mass[k];
+  }
+  for (std::size_t k = 0; k + 1 < K; ++k) {
+    sticks(k, 0) = 1.0 + mass[k];
+    sticks(k, 1) = concentration + tails[k];
+  }
+}
+
+void UpdateLambda(CpaModel& model, const AnswerView& view,
+                  const ClusterActivity& activity, const SweepScheduler& scheduler) {
+  const std::size_t M = model.num_communities();
+  const std::size_t C = model.num_labels();
+  const double prior = model.options().lambda0;
+  for (auto& bank : model.lambda) bank.Fill(prior);
+  // Each partial is a full copy of the λ statistic (T × M × C doubles), so
+  // the block count is additionally capped to keep the transient scratch
+  // within a few multiples of λ itself — `CpaOptions::Recommended` sizes λ
+  // against a memory budget and the reduce must not blow past it 16-fold.
+  // A pure function of the bank shape (never of the thread count), so the
+  // reduction tree stays thread-count invariant.
+  const std::size_t bank_entries =
+      std::max<std::size_t>(1, model.num_clusters() * M * C);
+  const std::size_t max_blocks = std::clamp<std::size_t>(
+      kLambdaScratchEntryBudget / bank_entries, 1, SweepScheduler::kMaxReduceBlocks);
+  using Banks = std::vector<Matrix>;
+  scheduler.ParallelReduce<Banks>(
+      view.num_answers(), kAnswerGrain,
+      [&] { return Banks(model.num_clusters(), Matrix(M, C, 0.0)); },
+      [&](Banks& banks, std::size_t begin, std::size_t end) {
+        for (std::size_t index = begin; index < end; ++index) {
+          const ItemId item = view.item(index);
+          const auto labels = view.labels(index);
+          const auto kappa_row = model.kappa.Row(view.worker(index));
+          const auto active = activity.ClustersOf(item);
+          const auto phi_weights = activity.WeightsOf(item);
+          for (std::size_t k = 0; k < active.size(); ++k) {
+            Matrix& bank = banks[active[k]];
+            for (std::size_t m = 0; m < M; ++m) {
+              const double weight = phi_weights[k] * kappa_row[m];
+              if (weight < kSkipMass) continue;
+              auto row = bank.Row(m);
+              for (LabelId c : labels) row[c] += weight;
+            }
+          }
+        }
+      },
+      [](Banks& into, Banks& from) {
+        for (std::size_t t = 0; t < into.size(); ++t) {
+          auto into_data = into[t].Data();
+          const auto from_data = from[t].Data();
+          for (std::size_t e = 0; e < into_data.size(); ++e) {
+            into_data[e] += from_data[e];
+          }
+        }
+      },
+      model.lambda, max_blocks);
+}
+
+void UpdateZeta(CpaModel& model, const ClusterActivity& activity,
+                const SweepScheduler& scheduler) {
+  const std::size_t C = model.num_labels();
+  model.zeta.Fill(model.options().zeta0);
+  scheduler.ParallelReduce<Matrix>(
+      model.num_items(), kItemGrain,
+      [&] { return Matrix(model.num_clusters(), C, 0.0); },
+      [&](Matrix& partial, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (model.y_evidence[i].empty()) continue;
+          const auto active = activity.ClustersOf(static_cast<ItemId>(i));
+          const auto phi_weights = activity.WeightsOf(static_cast<ItemId>(i));
+          const double multiplicity = model.y_evidence_weight[i];
+          for (const auto& [c, weight] : model.y_evidence[i]) {
+            for (std::size_t k = 0; k < active.size(); ++k) {
+              partial(active[k], c) += phi_weights[k] * weight * multiplicity;
+            }
+          }
+        }
+      },
+      [](Matrix& into, Matrix& from) {
+        auto into_data = into.Data();
+        const auto from_data = from.Data();
+        for (std::size_t e = 0; e < into_data.size(); ++e) {
+          into_data[e] += from_data[e];
+        }
+      },
+      model.zeta);
+}
+
+void UpdateThetaChannel(CpaModel& model, const ClusterActivity& activity,
+                        const SweepScheduler& scheduler) {
+  const std::size_t T = model.num_clusters();
+  const std::size_t C = model.num_labels();
+  const double a0 = model.theta_prior_on();
+  const double b0 = model.theta_prior_off();
+  // a_tc = a0 + Σ_i w_i ϕ_it ỹ_ic; b_tc = b0 + Σ_i w_i ϕ_it (1 − ỹ_ic),
+  // where w_i is the item's pseudo-observation multiplicity and the sums
+  // run over items carrying evidence. With mass_t = Σ w_i ϕ_it of those
+  // items, b_tc = b0 + mass_t − (a_tc − a0).
+  struct Stats {
+    Matrix a;
+    std::vector<double> mass;
+  };
+  Stats total{Matrix(T, C, 0.0), std::vector<double>(T, 0.0)};
+  scheduler.ParallelReduce<Stats>(
+      model.num_items(), kItemGrain,
+      [&] { return Stats{Matrix(T, C, 0.0), std::vector<double>(T, 0.0)}; },
+      [&](Stats& partial, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (model.y_evidence[i].empty()) continue;
+          const auto active = activity.ClustersOf(static_cast<ItemId>(i));
+          const auto phi_weights = activity.WeightsOf(static_cast<ItemId>(i));
+          const double multiplicity = model.y_evidence_weight[i];
+          for (std::size_t k = 0; k < active.size(); ++k) {
+            partial.mass[active[k]] += phi_weights[k] * multiplicity;
+          }
+          for (const auto& [c, weight] : model.y_evidence[i]) {
+            for (std::size_t k = 0; k < active.size(); ++k) {
+              partial.a(active[k], c) += phi_weights[k] * weight * multiplicity;
+            }
+          }
+        }
+      },
+      [](Stats& into, Stats& from) {
+        auto into_data = into.a.Data();
+        const auto from_data = from.a.Data();
+        for (std::size_t e = 0; e < into_data.size(); ++e) {
+          into_data[e] += from_data[e];
+        }
+        for (std::size_t t = 0; t < into.mass.size(); ++t) {
+          into.mass[t] += from.mass[t];
+        }
+      },
+      total);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t c = 0; c < C; ++c) {
+      model.theta_a(t, c) = a0 + total.a(t, c);
+      model.theta_b(t, c) = b0 + total.mass[t] - total.a(t, c);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster seeding
+// ---------------------------------------------------------------------------
+
+LabelSet ConsensusFromEvidence(const CpaModel& model, ItemId item) {
+  LabelSet consensus;
+  LabelId best_label = 0;
+  double best_weight = -1.0;
+  for (const auto& [c, weight] : model.y_evidence[item]) {
+    if (weight >= 0.5) consensus.Add(c);
+    if (weight > best_weight) {
+      best_weight = weight;
+      best_label = c;
+    }
+  }
+  if (consensus.empty() && best_weight >= 0.0) consensus.Add(best_label);
+  return consensus;
+}
+
+void WriteSeedRow(CpaModel& model, ItemId item, std::size_t cluster) {
+  // One-hot: any residual spread would leak every seeded item's evidence
+  // into every cluster's statistics (the offline fit recomputes ϕ each
+  // sweep, but the online learner only revisits items when they reappear).
+  auto row = model.phi.Row(item);
+  std::fill(row.begin(), row.end(), 0.0);
+  row[cluster] = 1.0;
+}
+
+void SeedClustersFromConsensus(CpaModel& model) {
+  // Symmetry breaking for the item clusters: items sharing an identical
+  // majority-consensus label set start in the same cluster. Distinct
+  // consensus sets are ranked by frequency and assigned cluster indices in
+  // that order — collision-free for the T most frequent sets, and aligned
+  // with the size-biased geometry of the truncated stick-breaking prior
+  // (E[ln τ_t] decays with t). Items whose set ranks beyond T join the
+  // assigned cluster with the highest Jaccard overlap. Without label-
+  // aligned seeding the truncated mixture routinely locks into clusterings
+  // uncorrelated with the label structure.
+  const std::size_t T = model.num_clusters();
+  if (T <= 1) return;
+
+  struct Group {
+    LabelSet consensus;
+    std::vector<ItemId> items;
+  };
+  std::map<std::string, Group> groups;
+  for (ItemId i = 0; i < model.num_items(); ++i) {
+    const LabelSet consensus = ConsensusFromEvidence(model, i);
+    if (consensus.empty()) continue;  // no evidence: keep the uniform row
+    Group& group = groups[consensus.ToString()];
+    group.consensus = consensus;
+    group.items.push_back(i);
+  }
+  std::vector<const Group*> ranked;
+  ranked.reserve(groups.size());
+  for (const auto& [key, group] : groups) ranked.push_back(&group);
+  std::sort(ranked.begin(), ranked.end(), [](const Group* a, const Group* b) {
+    if (a->items.size() != b->items.size()) return a->items.size() > b->items.size();
+    return a->consensus.labels()[0] < b->consensus.labels()[0];  // deterministic
+  });
+
+  const std::size_t assigned = std::min(ranked.size(), T);
+  for (std::size_t rank = 0; rank < assigned; ++rank) {
+    for (ItemId i : ranked[rank]->items) WriteSeedRow(model, i, rank);
+  }
+  // Overflow sets: join the assigned cluster with the best Jaccard match.
+  for (std::size_t rank = assigned; rank < ranked.size(); ++rank) {
+    std::size_t best_cluster = assigned - 1;
+    double best_score = -1.0;
+    for (std::size_t candidate = 0; candidate < assigned; ++candidate) {
+      const double score =
+          ranked[rank]->consensus.Jaccard(ranked[candidate]->consensus);
+      if (score > best_score) {
+        best_score = score;
+        best_cluster = candidate;
+      }
+    }
+    for (ItemId i : ranked[rank]->items) WriteSeedRow(model, i, best_cluster);
+  }
+}
+
+}  // namespace cpa::sweep

@@ -1,0 +1,179 @@
+#ifndef CPA_CORE_SWEEP_SWEEP_KERNELS_H_
+#define CPA_CORE_SWEEP_SWEEP_KERNELS_H_
+
+/// \file sweep_kernels.h
+/// \brief The shared sweep kernels of CPA inference (Algorithm 3's MAP and
+/// REDUCE bodies), called by both offline VI (`vi.cc`) and the SVI local
+/// phase (`svi.cc`).
+///
+/// MAP kernels recompute one responsibility row (κ row of a worker — Eq. 2,
+/// ϕ row of an item — Eq. 3) from read-only shared state; rows are disjoint,
+/// so any sharding over a `SweepScheduler` is thread-count invariant.
+/// REDUCE kernels rebuild the global parameters (sticks, λ, ζ, θ, the label
+/// evidence ỹ) from the responsibilities; their accumulations run through
+/// `SweepScheduler::ParallelReduce` — per-block partial sufficient
+/// statistics merged in a fixed tree order — so they too are bit-identical
+/// for 1 and N threads.
+///
+/// All kernels read answers through the flat `AnswerView` (CSR indexes +
+/// SoA labels); the hot worker/λ loops additionally take a
+/// `ClusterActivity` — the per-item list of clusters with non-negligible ϕ
+/// mass — so an answer touches its item's few active clusters instead of
+/// scanning a T-wide ϕ row.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/cpa_model.h"
+#include "core/sweep/answer_view.h"
+#include "core/sweep/sweep_scheduler.h"
+#include "data/label_set.h"
+#include "util/matrix.h"
+
+namespace cpa::sweep {
+
+/// Responsibilities below this mass are skipped in the accumulation loops;
+/// rows concentrate quickly, so this saves most of the T×M work.
+inline constexpr double kSkipMass = 1e-8;
+
+/// Softmax underflow floor of the responsibility rows (see
+/// `SoftmaxInPlace(span, floor)`): dropped entries carry < 1e-12 mass,
+/// four orders of magnitude below `kSkipMass`.
+inline constexpr double kSoftmaxFloorNats = 27.6;
+
+/// \brief Per-item CSR of the clusters carrying at least `kSkipMass` of ϕ.
+///
+/// Rebuilt from ϕ whenever a kernel group needs current activity (ϕ changes
+/// between the MAP and REDUCE phases of a sweep). Kernels accepting a
+/// nullable activity fall back to scanning the full ϕ row — the right trade
+/// for the SVI batch path, which touches few items per batch.
+struct ClusterActivity {
+  std::vector<std::uint32_t> offsets;   ///< I+1
+  std::vector<std::uint32_t> clusters;  ///< active t, ascending per item
+  std::vector<double> weights;          ///< matching ϕ_it values
+
+  std::span<const std::uint32_t> ClustersOf(ItemId i) const {
+    return {clusters.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+  std::span<const double> WeightsOf(ItemId i) const {
+    return {weights.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+};
+
+/// Rebuilds `out` from the current ϕ (threshold `kSkipMass`), sharded over
+/// the scheduler (counting pass + exclusive scan + fill pass).
+void BuildClusterActivity(const Matrix& phi, const SweepScheduler& scheduler,
+                          ClusterActivity& out);
+
+/// \name MAP kernels (one disjoint row each).
+/// @{
+
+/// Eq. 2: recomputes κ row `u` from the given answers of worker `u`.
+/// `activity` (nullable) supplies the active clusters of each answered item.
+void UpdateWorkerResponsibility(CpaModel& model, const AnswerView& view, WorkerId u,
+                                std::span<const std::uint32_t> indices,
+                                const ClusterActivity* activity);
+
+/// Eq. 3 (+ optional answer evidence): recomputes ϕ row `i` from the answers
+/// of item `i` and the item's label evidence ỹ_i.
+void UpdateItemResponsibility(CpaModel& model, const AnswerView& view, ItemId i,
+                              std::span<const std::uint32_t> indices);
+
+/// The evidence-only ϕ row update (Eq. 3 without the answer term): the SVI
+/// local phase for re-seen items and the global-refresh soft update.
+void UpdateItemResponsibilityFromEvidence(CpaModel& model, ItemId i);
+
+/// Adds the label-evidence term of the ϕ update onto `scores` (length T),
+/// scaled by `extra_scale` on top of the item's pseudo-observation weight
+/// (the SVI µ path amplifies by the batch redundancy). Uses the label-major
+/// `elog_theta_delta_t` cache; no-op when the item carries no evidence.
+void AddEvidenceTerm(const CpaModel& model, ItemId i, std::span<double> scores,
+                     double extra_scale = 1.0);
+
+/// @}
+
+/// \name Label-evidence accumulation (DESIGN.md §4.2).
+/// @{
+
+/// Soft-Jaccard agreement of one answer against an item's evidence:
+/// J = Σ_{c∈x} ỹ_c / (|x| + Σ_c ỹ_c − Σ_{c∈x} ỹ_c). 0 when the denominator
+/// vanishes.
+double SoftJaccardAgreement(std::span<const LabelId> labels,
+                            std::span<const std::pair<LabelId, double>> evidence);
+
+/// Rebuilds item `i`'s evidence as the worker-weighted mean answer
+/// indicator over `indices` (the frequency-style strategies and the SVI
+/// consensus). Clears the evidence first; leaves it empty when `indices`
+/// is empty or all weights vanish. `configured_scale` <= 0 scales the
+/// pseudo-observation multiplicity by the answer count (cpa_options.h).
+/// `dense_scratch` must hold `num_labels` doubles.
+void AccumulateLabelEvidence(CpaModel& model, const AnswerView& view, ItemId i,
+                             std::span<const std::uint32_t> indices,
+                             std::span<const double> worker_weight,
+                             double configured_scale,
+                             std::span<double> dense_scratch);
+
+/// Per-worker reliability weights for kReliabilityWeighted: mean
+/// soft-Jaccard agreement with the current consensus ỹ, shrunk toward the
+/// worker's community mean and sharpened (cpa_options.h). All ones on the
+/// bootstrap sweep (no consensus yet). Parallel over workers.
+std::vector<double> ComputeWorkerReliability(const CpaModel& model,
+                                             const AnswerView& view,
+                                             const SweepScheduler& scheduler);
+
+/// Rebuilds ỹ for every item according to the configured strategy
+/// (`observed_truth` overrides per item when provided; `self_training`
+/// entries, when non-null, supply the current hard predictions). Parallel
+/// over items.
+void UpdateLabelEvidence(CpaModel& model, const AnswerView& view,
+                         const std::vector<LabelSet>* observed_truth,
+                         const std::vector<LabelSet>* self_training_labels,
+                         const SweepScheduler& scheduler);
+
+/// @}
+
+/// \name REDUCE kernels (global parameters; deterministic partial merges).
+/// @{
+
+/// Eqs. 4/5: stick Beta parameters from responsibility column masses.
+void UpdateSticks(Matrix& sticks, const Matrix& responsibilities,
+                  double concentration, const SweepScheduler& scheduler);
+
+/// Eq. 6: λ from scratch over every answer of the view.
+void UpdateLambda(CpaModel& model, const AnswerView& view,
+                  const ClusterActivity& activity, const SweepScheduler& scheduler);
+
+/// Eq. 7: ζ from scratch over the current label evidence.
+void UpdateZeta(CpaModel& model, const ClusterActivity& activity,
+                const SweepScheduler& scheduler);
+
+/// Beta-Bernoulli label channel (θ_tc posteriors feeding the ϕ evidence
+/// term, marginal label scores, and the kBernoulliProfile prediction mode)
+/// from ϕ and ỹ.
+void UpdateThetaChannel(CpaModel& model, const ClusterActivity& activity,
+                        const SweepScheduler& scheduler);
+
+/// @}
+
+/// \name Cluster seeding (label-aligned symmetry breaking).
+/// @{
+
+/// The majority-consensus label set of an item's current evidence
+/// (weights ≥ 0.5, falling back to the strongest single label); empty when
+/// the item has no evidence.
+LabelSet ConsensusFromEvidence(const CpaModel& model, ItemId item);
+
+/// Seeds one ϕ row one-hot on `cluster`.
+void WriteSeedRow(CpaModel& model, ItemId item, std::size_t cluster);
+
+/// Initialises ϕ rows so items with identical majority-consensus label
+/// sets start in the same cluster, with clusters assigned in consensus-
+/// frequency order (matched to the size-biased stick-breaking geometry).
+void SeedClustersFromConsensus(CpaModel& model);
+
+/// @}
+
+}  // namespace cpa::sweep
+
+#endif  // CPA_CORE_SWEEP_SWEEP_KERNELS_H_

@@ -1,0 +1,42 @@
+#include "core/sweep/sweep_scheduler.h"
+
+#include <algorithm>
+
+namespace cpa {
+
+std::vector<SweepScheduler::Block> SweepScheduler::Partition(std::size_t total,
+                                                             std::size_t grain,
+                                                             std::size_t max_blocks) {
+  std::vector<Block> blocks;
+  if (total == 0) return blocks;
+  const std::size_t min_grain = std::max<std::size_t>(1, grain);
+  const std::size_t count = std::clamp<std::size_t>(
+      total / min_grain, 1, std::max<std::size_t>(1, max_blocks));
+  const std::size_t chunk = (total + count - 1) / count;
+  blocks.reserve(count);
+  for (std::size_t begin = 0; begin < total; begin += chunk) {
+    blocks.push_back({begin, std::min(total, begin + chunk)});
+  }
+  return blocks;
+}
+
+void SweepScheduler::ParallelFor(
+    std::size_t total, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_shard) const {
+  // The util helper already implements inline fallback + shard-per-thread.
+  ::cpa::ParallelFor(pool_, total, body, min_shard);
+}
+
+void SweepScheduler::RunBlocks(const std::vector<Block>& blocks,
+                               const std::function<void(std::size_t)>& run_block) const {
+  if (pool_ == nullptr || pool_->num_threads() <= 1 || blocks.size() <= 1) {
+    for (std::size_t b = 0; b < blocks.size(); ++b) run_block(b);
+    return;
+  }
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    pool_->Submit([&run_block, b] { run_block(b); });
+  }
+  pool_->Wait();
+}
+
+}  // namespace cpa

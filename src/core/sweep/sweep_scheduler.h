@@ -1,0 +1,130 @@
+#ifndef CPA_CORE_SWEEP_SWEEP_SCHEDULER_H_
+#define CPA_CORE_SWEEP_SWEEP_SCHEDULER_H_
+
+/// \file sweep_scheduler.h
+/// \brief Deterministic sharding of sweep kernels over a `ThreadPool`.
+///
+/// Algorithm 3 is MapReduce-shaped: the local (MAP) updates touch disjoint
+/// rows and parallelise trivially, while the global (REDUCE) accumulations
+/// sum over every answer. The scheduler makes both phases thread-count
+/// invariant:
+///
+/// - `ParallelFor` shards an index range over the pool (rows are disjoint,
+///   so any partition yields the same result).
+/// - `ParallelReduce` partitions the range into blocks whose boundaries
+///   depend only on the range size — never on the thread count — computes
+///   one partial accumulator per block, and merges the partials on the
+///   calling thread in a fixed binary-tree order. Floating-point addition
+///   is not associative, so identical blocks + an identical merge tree are
+///   what make a fit bit-identical for 1 and N threads.
+///
+/// With no pool (nullptr) everything runs inline on the calling thread
+/// through the same block structure, so sequential and parallel runs agree
+/// exactly.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace cpa {
+
+/// \brief Shards kernels across a pool with deterministic partitioning.
+class SweepScheduler {
+ public:
+  /// Partial accumulators per `ParallelReduce` call are capped at this many
+  /// blocks; scratch memory scales with it, result bits do not (the block
+  /// count is a pure function of the range size).
+  static constexpr std::size_t kMaxReduceBlocks = 16;
+
+  /// Schedules onto `pool`; nullptr = run everything inline.
+  explicit SweepScheduler(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  ThreadPool* pool() const { return pool_; }
+  std::size_t num_threads() const {
+    return pool_ == nullptr ? 1 : pool_->num_threads();
+  }
+
+  /// \brief One contiguous shard of an index range.
+  struct Block {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  /// Splits [0, total) into at most `max_blocks` contiguous blocks of at
+  /// least `grain` indices each (the last block absorbs the remainder).
+  /// A pure function of its arguments — never of the thread count — so the
+  /// reduction tree is the same no matter where the blocks execute.
+  static std::vector<Block> Partition(std::size_t total, std::size_t grain,
+                                      std::size_t max_blocks = kMaxReduceBlocks);
+
+  /// MAP phase: runs `body(begin, end)` over [0, total) in contiguous
+  /// shards. Safe only for bodies whose writes are disjoint across shards
+  /// (per-row updates). Shard boundaries may depend on the thread count —
+  /// determinism comes from disjointness, not from the partition.
+  void ParallelFor(std::size_t total,
+                   const std::function<void(std::size_t, std::size_t)>& body,
+                   std::size_t min_shard = 1) const;
+
+  /// REDUCE phase: folds [0, total) into `out`.
+  ///
+  /// `body(scratch, begin, end)` accumulates one block into a
+  /// zero-initialised `Scratch` from `make_scratch()`; partials are merged
+  /// pairwise in a fixed tree order with `merge(into, from)` and the root
+  /// is folded into `out` (which typically starts at the prior). Bit-
+  /// identical for any thread count, including the inline nullptr-pool run.
+  /// `max_blocks` caps the number of partials (≤ kMaxReduceBlocks) —
+  /// kernels with large scratch (λ banks) lower it so transient memory
+  /// stays within a fixed multiple of the statistic itself. It must be a
+  /// pure function of the problem shape, never of the thread count, or
+  /// the reduction tree (and with it bit-exactness across thread counts)
+  /// would change.
+  template <typename Scratch>
+  void ParallelReduce(std::size_t total, std::size_t grain,
+                      const std::function<Scratch()>& make_scratch,
+                      const std::function<void(Scratch&, std::size_t, std::size_t)>& body,
+                      const std::function<void(Scratch&, Scratch&)>& merge,
+                      Scratch& out, std::size_t max_blocks = kMaxReduceBlocks) const {
+    const std::vector<Block> blocks = Partition(total, grain, max_blocks);
+    if (blocks.empty()) return;
+    if (blocks.size() == 1) {
+      // One block: accumulate straight into `out`. Multi-block runs fold
+      // the merged root with the same `merge(out, root)` call, so the two
+      // paths agree whenever block boundaries agree (they always do:
+      // Partition ignores the thread count).
+      Scratch root = make_scratch();
+      body(root, blocks[0].begin, blocks[0].end);
+      merge(out, root);
+      return;
+    }
+    std::vector<Scratch> partials;
+    partials.reserve(blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      partials.push_back(make_scratch());
+    }
+    RunBlocks(blocks, [&](std::size_t b) {
+      body(partials[b], blocks[b].begin, blocks[b].end);
+    });
+    // Fixed binary-tree merge: (0,1)(2,3)... then strides of 2, 4, ... —
+    // the same tree regardless of which thread filled which partial.
+    for (std::size_t stride = 1; stride < partials.size(); stride *= 2) {
+      for (std::size_t b = 0; b + stride < partials.size(); b += 2 * stride) {
+        merge(partials[b], partials[b + stride]);
+      }
+    }
+    merge(out, partials[0]);
+  }
+
+ private:
+  /// Executes `run_block(b)` for every block, on the pool when present.
+  void RunBlocks(const std::vector<Block>& blocks,
+                 const std::function<void(std::size_t)>& run_block) const;
+
+  ThreadPool* pool_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_CORE_SWEEP_SWEEP_SCHEDULER_H_

@@ -1,411 +1,16 @@
 #include "core/vi.h"
 
 #include <algorithm>
-#include <cmath>
-#include <map>
-#include <string>
-#include <numeric>
+#include <utility>
 
 #include "core/elbo.h"
 #include "core/prediction.h"
+#include "core/sweep/answer_view.h"
+#include "core/sweep/sweep_kernels.h"
+#include "core/sweep/sweep_scheduler.h"
 #include "util/logging.h"
-#include "util/special_functions.h"
 
 namespace cpa {
-namespace internal {
-namespace {
-
-/// Responsibilities below this mass are skipped in the accumulation loops;
-/// rows concentrate quickly, so this saves most of the T×M work.
-constexpr double kSkipMass = 1e-8;
-
-}  // namespace
-
-void UpdateWorkerResponsibility(CpaModel& model, const AnswerMatrix& answers,
-                                WorkerId u, std::span<const std::size_t> indices) {
-  const std::size_t M = model.num_communities();
-  const std::size_t T = model.num_clusters();
-  auto scores = model.kappa.Row(u);
-  for (std::size_t m = 0; m < M; ++m) scores[m] = model.elog_pi[m];
-  for (std::size_t index : indices) {
-    const Answer& a = answers.answer(index);
-    const auto phi_row = model.phi.Row(a.item);
-    for (std::size_t t = 0; t < T; ++t) {
-      const double weight = phi_row[t];
-      if (weight < kSkipMass) continue;
-      const Matrix& elog_psi_t = model.elog_psi[t];
-      for (std::size_t m = 0; m < M; ++m) {
-        const auto psi_row = elog_psi_t.Row(m);
-        double loglik = 0.0;
-        for (LabelId c : a.labels) loglik += psi_row[c];
-        scores[m] += weight * loglik;
-      }
-    }
-  }
-  SoftmaxInPlace(scores);
-}
-
-void UpdateItemResponsibility(CpaModel& model, const AnswerMatrix& answers, ItemId i,
-                              std::span<const std::size_t> indices) {
-  const std::size_t M = model.num_communities();
-  const std::size_t T = model.num_clusters();
-  auto scores = model.phi.Row(i);
-  for (std::size_t t = 0; t < T; ++t) scores[t] = model.elog_tau[t];
-  // Label-evidence term through the Beta-Bernoulli channel:
-  //   Σ_c [ỹ_ic E ln θ_tc + (1−ỹ_ic) E ln(1−θ_tc)]
-  //     = Σ_c E ln(1−θ_tc) + Σ_{c: ỹ>0} ỹ_ic (E ln θ_tc − E ln(1−θ_tc)),
-  // with the item's pseudo-observation multiplicity. The base sum is
-  // cached per cluster.
-  if (!model.y_evidence[i].empty()) {
-    const double evidence_scale = model.y_evidence_weight[i];
-    for (std::size_t t = 0; t < T; ++t) {
-      double term = model.elog_theta_base[t];
-      for (const auto& [c, weight] : model.y_evidence[i]) {
-        term += weight * (model.elog_theta(t, c) - model.elog_not_theta(t, c));
-      }
-      scores[t] += evidence_scale * term;
-    }
-  }
-  // Optional answer term (Eq. 3 omits it; see cpa_options.h).
-  if (model.options().phi_answer_term) {
-    for (std::size_t index : indices) {
-      const Answer& a = answers.answer(index);
-      const auto kappa_row = model.kappa.Row(a.worker);
-      for (std::size_t t = 0; t < T; ++t) {
-        const Matrix& elog_psi_t = model.elog_psi[t];
-        double expected = 0.0;
-        for (std::size_t m = 0; m < M; ++m) {
-          const double weight = kappa_row[m];
-          if (weight < kSkipMass) continue;
-          const auto psi_row = elog_psi_t.Row(m);
-          double loglik = 0.0;
-          for (LabelId c : a.labels) loglik += psi_row[c];
-          expected += weight * loglik;
-        }
-        scores[t] += expected;
-      }
-    }
-  }
-  SoftmaxInPlace(scores);
-}
-
-void UpdateSticks(Matrix& sticks, const Matrix& responsibilities,
-                  double concentration) {
-  const std::size_t K = sticks.rows() + 1;
-  if (K <= 1) return;
-  CPA_CHECK_EQ(responsibilities.cols(), K);
-  // Column masses n_k = Σ_rows resp(·, k).
-  std::vector<double> mass(K, 0.0);
-  for (std::size_t r = 0; r < responsibilities.rows(); ++r) {
-    const auto row = responsibilities.Row(r);
-    for (std::size_t k = 0; k < K; ++k) mass[k] += row[k];
-  }
-  // Suffix sums: tail_k = Σ_{l > k} n_l.
-  double tail = 0.0;
-  std::vector<double> tails(K, 0.0);
-  for (std::size_t k = K; k-- > 0;) {
-    tails[k] = tail;
-    tail += mass[k];
-  }
-  for (std::size_t k = 0; k + 1 < K; ++k) {
-    sticks(k, 0) = 1.0 + mass[k];
-    sticks(k, 1) = concentration + tails[k];
-  }
-}
-
-void UpdateLambda(CpaModel& model, const AnswerMatrix& answers) {
-  const std::size_t M = model.num_communities();
-  const std::size_t T = model.num_clusters();
-  const double prior = model.options().lambda0;
-  for (auto& bank : model.lambda) bank.Fill(prior);
-  for (const Answer& a : answers.answers()) {
-    const auto phi_row = model.phi.Row(a.item);
-    const auto kappa_row = model.kappa.Row(a.worker);
-    for (std::size_t t = 0; t < T; ++t) {
-      const double phi_weight = phi_row[t];
-      if (phi_weight < kSkipMass) continue;
-      Matrix& bank = model.lambda[t];
-      for (std::size_t m = 0; m < M; ++m) {
-        const double weight = phi_weight * kappa_row[m];
-        if (weight < kSkipMass) continue;
-        auto row = bank.Row(m);
-        for (LabelId c : a.labels) row[c] += weight;
-      }
-    }
-  }
-}
-
-void UpdateZeta(CpaModel& model) {
-  const std::size_t T = model.num_clusters();
-  model.zeta.Fill(model.options().zeta0);
-  std::vector<std::size_t> active;
-  for (std::size_t i = 0; i < model.num_items(); ++i) {
-    if (model.y_evidence[i].empty()) continue;
-    const auto phi_row = model.phi.Row(i);
-    active.clear();
-    for (std::size_t t = 0; t < T; ++t) {
-      if (phi_row[t] >= kSkipMass) active.push_back(t);
-    }
-    const double multiplicity = model.y_evidence_weight[i];
-    for (const auto& [c, weight] : model.y_evidence[i]) {
-      for (std::size_t t : active) {
-        model.zeta(t, c) += phi_row[t] * weight * multiplicity;
-      }
-    }
-  }
-}
-
-std::vector<double> ComputeWorkerReliability(const CpaModel& model,
-                                             const AnswerMatrix& answers) {
-  const std::size_t U = model.num_workers();
-  const std::size_t M = model.num_communities();
-  const CpaOptions& options = model.options();
-  std::vector<double> agreement(U, 0.0);
-  std::vector<double> answer_count(U, 0.0);
-
-  // Per-worker mean soft-Jaccard agreement between each answer and the
-  // current consensus of the answered item:
-  //   J = Σ_{c∈x} ỹ_c / (|x| + Σ_c ỹ_c − Σ_{c∈x} ỹ_c).
-  bool any_evidence = false;
-  for (const Answer& a : answers.answers()) {
-    const auto& evidence = model.y_evidence[a.item];
-    if (evidence.empty()) continue;
-    any_evidence = true;
-    double overlap = 0.0;
-    double evidence_total = 0.0;
-    for (const auto& [c, weight] : evidence) {
-      evidence_total += weight;
-      if (a.labels.Contains(c)) overlap += weight;
-    }
-    const double denom =
-        static_cast<double>(a.labels.size()) + evidence_total - overlap;
-    agreement[a.worker] += denom > 0.0 ? overlap / denom : 0.0;
-    answer_count[a.worker] += 1.0;
-  }
-  if (!any_evidence) return std::vector<double>(U, 1.0);  // bootstrap sweep
-  for (WorkerId u = 0; u < U; ++u) {
-    if (answer_count[u] > 0.0) agreement[u] /= answer_count[u];
-  }
-
-  // Community pooling: answer-weighted mean agreement per community, then
-  // shrink each worker toward its (κ-mixed) community mean.
-  std::vector<double> community_sum(M, 0.0);
-  std::vector<double> community_mass(M, 0.0);
-  for (WorkerId u = 0; u < U; ++u) {
-    if (answer_count[u] <= 0.0) continue;
-    const auto kappa_row = model.kappa.Row(u);
-    for (std::size_t m = 0; m < M; ++m) {
-      community_sum[m] += kappa_row[m] * answer_count[u] * agreement[u];
-      community_mass[m] += kappa_row[m] * answer_count[u];
-    }
-  }
-  std::vector<double> weights(U, 1.0);
-  std::vector<double> shrunk(U, 0.0);
-  double best = 0.0;
-  for (WorkerId u = 0; u < U; ++u) {
-    if (answer_count[u] <= 0.0) continue;
-    const auto kappa_row = model.kappa.Row(u);
-    double community_mean = 0.0;
-    for (std::size_t m = 0; m < M; ++m) {
-      const double mean =
-          community_mass[m] > 0.0 ? community_sum[m] / community_mass[m] : 0.5;
-      community_mean += kappa_row[m] * mean;
-    }
-    const double s = options.reliability_shrinkage;
-    shrunk[u] =
-        (answer_count[u] * agreement[u] + s * community_mean) / (answer_count[u] + s);
-    best = std::max(best, shrunk[u]);
-  }
-  // Reliability is relative: normalising by the best worker keeps the
-  // honest/spammer contrast even when heavy spam dilutes the consensus and
-  // absolute agreements are uniformly low (otherwise every weight hits the
-  // floor and the reinforcement loop loses all discrimination).
-  if (best <= 1e-9) return weights;
-  for (WorkerId u = 0; u < U; ++u) {
-    if (answer_count[u] <= 0.0) continue;
-    weights[u] = std::max(std::pow(shrunk[u] / best, options.reliability_sharpness),
-                          options.reliability_floor);
-  }
-  return weights;
-}
-
-void UpdateLabelEvidence(CpaModel& model, const AnswerMatrix& answers,
-                         const std::vector<LabelSet>* observed_truth,
-                         const std::vector<LabelSet>* self_training_labels) {
-  const LabelEvidence strategy = model.options().label_evidence;
-
-  // Worker weights for the frequency-style strategies, computed from the
-  // *previous* consensus (mutual reinforcement across sweeps).
-  std::vector<double> worker_weight(model.num_workers(), 1.0);
-  if (strategy == LabelEvidence::kReliabilityWeighted) {
-    worker_weight = ComputeWorkerReliability(model, answers);
-  }
-
-  const double configured_scale = model.options().evidence_scale;
-  std::vector<double> dense(model.num_labels(), 0.0);
-  for (ItemId i = 0; i < model.num_items(); ++i) {
-    auto& evidence = model.y_evidence[i];
-    evidence.clear();
-    model.y_evidence_weight[i] = 0.0;
-    const auto indices = answers.AnswersOfItem(i);
-    const double multiplicity =
-        configured_scale > 0.0
-            ? configured_scale
-            : std::max<double>(1.0, static_cast<double>(indices.size()));
-
-    // Observed truth always wins (semi-supervised support).
-    if (observed_truth != nullptr && i < observed_truth->size() &&
-        !(*observed_truth)[i].empty()) {
-      for (LabelId c : (*observed_truth)[i]) evidence.emplace_back(c, 1.0);
-      model.y_evidence_weight[i] = multiplicity;
-      continue;
-    }
-    if (strategy == LabelEvidence::kObservedOnly) continue;
-
-    if (strategy == LabelEvidence::kSelfTraining && self_training_labels != nullptr) {
-      for (LabelId c : (*self_training_labels)[i]) evidence.emplace_back(c, 1.0);
-      if (!evidence.empty()) model.y_evidence_weight[i] = multiplicity;
-      continue;
-    }
-
-    // Frequency-style evidence (also the self-training bootstrap): the
-    // (reliability-)weighted mean answer indicator.
-    if (indices.empty()) continue;
-    double total_weight = 0.0;
-    std::fill(dense.begin(), dense.end(), 0.0);
-    for (std::size_t index : indices) {
-      const Answer& a = answers.answer(index);
-      const double w = worker_weight[a.worker];
-      total_weight += w;
-      for (LabelId c : a.labels) dense[c] += w;
-    }
-    if (total_weight <= 0.0) continue;
-    for (LabelId c = 0; c < model.num_labels(); ++c) {
-      if (dense[c] > 0.0) evidence.emplace_back(c, dense[c] / total_weight);
-    }
-    model.y_evidence_weight[i] = multiplicity;
-  }
-}
-
-void UpdateThetaChannel(CpaModel& model) {
-  const std::size_t T = model.num_clusters();
-  const std::size_t C = model.num_labels();
-  const double a0 = model.theta_prior_on();
-  const double b0 = model.theta_prior_off();
-  // a_tc = a0 + Σ_i w_i ϕ_it ỹ_ic; b_tc = b0 + Σ_i w_i ϕ_it (1 − ỹ_ic),
-  // where w_i is the item's pseudo-observation multiplicity and the sums
-  // run over items carrying evidence. With mass_t = Σ w_i ϕ_it of those
-  // items, b_tc = b0 + mass_t − (a_tc − a0).
-  model.theta_a.Fill(a0);
-  std::vector<double> mass(T, 0.0);
-  std::vector<std::size_t> active;
-  for (ItemId i = 0; i < model.num_items(); ++i) {
-    if (model.y_evidence[i].empty()) continue;
-    const auto phi_row = model.phi.Row(i);
-    active.clear();
-    for (std::size_t t = 0; t < T; ++t) {
-      if (phi_row[t] >= kSkipMass) active.push_back(t);
-    }
-    const double multiplicity = model.y_evidence_weight[i];
-    for (std::size_t t : active) mass[t] += phi_row[t] * multiplicity;
-    for (const auto& [c, weight] : model.y_evidence[i]) {
-      for (std::size_t t : active) {
-        model.theta_a(t, c) += phi_row[t] * weight * multiplicity;
-      }
-    }
-  }
-  for (std::size_t t = 0; t < T; ++t) {
-    for (std::size_t c = 0; c < C; ++c) {
-      model.theta_b(t, c) = b0 + mass[t] - (model.theta_a(t, c) - a0);
-    }
-  }
-}
-
-}  // namespace internal
-
-namespace internal {
-
-/// The majority-consensus label set of an item's evidence (weights ≥ 0.5);
-/// falls back to the single strongest label. Empty when there is no
-/// evidence at all.
-LabelSet ConsensusFromEvidence(const CpaModel& model, ItemId item) {
-  LabelSet consensus;
-  LabelId best_label = 0;
-  double best_weight = -1.0;
-  for (const auto& [c, weight] : model.y_evidence[item]) {
-    if (weight >= 0.5) consensus.Add(c);
-    if (weight > best_weight) {
-      best_weight = weight;
-      best_label = c;
-    }
-  }
-  if (consensus.empty() && best_weight >= 0.0) consensus.Add(best_label);
-  return consensus;
-}
-
-void WriteSeedRow(CpaModel& model, ItemId item, std::size_t cluster) {
-  // One-hot: any residual spread would leak every seeded item's evidence
-  // into every cluster's statistics (the offline fit recomputes ϕ each
-  // sweep, but the online learner only revisits items when they reappear).
-  auto row = model.phi.Row(item);
-  std::fill(row.begin(), row.end(), 0.0);
-  row[cluster] = 1.0;
-}
-
-void SeedClustersFromConsensus(CpaModel& model) {
-  // Symmetry breaking for the item clusters: items sharing an identical
-  // majority-consensus label set start in the same cluster. Distinct
-  // consensus sets are ranked by frequency and assigned cluster indices in
-  // that order — collision-free for the T most frequent sets, and aligned
-  // with the size-biased geometry of the truncated stick-breaking prior
-  // (E[ln τ_t] decays with t). Items whose set ranks beyond T join the
-  // assigned cluster with the highest Jaccard overlap. Without label-
-  // aligned seeding the truncated mixture routinely locks into clusterings
-  // uncorrelated with the label structure.
-  const std::size_t T = model.num_clusters();
-  if (T <= 1) return;
-
-  struct Group {
-    LabelSet consensus;
-    std::vector<ItemId> items;
-  };
-  std::map<std::string, Group> groups;
-  for (ItemId i = 0; i < model.num_items(); ++i) {
-    const LabelSet consensus = ConsensusFromEvidence(model, i);
-    if (consensus.empty()) continue;  // no evidence: keep the uniform row
-    Group& group = groups[consensus.ToString()];
-    group.consensus = consensus;
-    group.items.push_back(i);
-  }
-  std::vector<const Group*> ranked;
-  ranked.reserve(groups.size());
-  for (const auto& [key, group] : groups) ranked.push_back(&group);
-  std::sort(ranked.begin(), ranked.end(), [](const Group* a, const Group* b) {
-    if (a->items.size() != b->items.size()) return a->items.size() > b->items.size();
-    return a->consensus.labels()[0] < b->consensus.labels()[0];  // deterministic
-  });
-
-  const std::size_t assigned = std::min(ranked.size(), T);
-  for (std::size_t rank = 0; rank < assigned; ++rank) {
-    for (ItemId i : ranked[rank]->items) WriteSeedRow(model, i, rank);
-  }
-  // Overflow sets: join the assigned cluster with the best Jaccard match.
-  for (std::size_t rank = assigned; rank < ranked.size(); ++rank) {
-    std::size_t best_cluster = assigned - 1;
-    double best_score = -1.0;
-    for (std::size_t candidate = 0; candidate < assigned; ++candidate) {
-      const double score =
-          ranked[rank]->consensus.Jaccard(ranked[candidate]->consensus);
-      if (score > best_score) {
-        best_score = score;
-        best_cluster = candidate;
-      }
-    }
-    for (ItemId i : ranked[rank]->items) WriteSeedRow(model, i, best_cluster);
-  }
-}
-
-}  // namespace internal
 
 Result<CpaModel> FitCpa(const AnswerMatrix& answers, std::size_t num_labels,
                         const CpaOptions& options, const FitOptions& fit,
@@ -423,19 +28,24 @@ Result<CpaModel> FitCpa(const AnswerMatrix& answers, std::size_t num_labels,
     model.SetThetaPriorMean(mean_answer_size / static_cast<double>(num_labels));
   }
 
+  const AnswerView view(answers);
+  const SweepScheduler scheduler(fit.pool);
+  sweep::ClusterActivity activity;
+
   // Bootstrap: evidence (answer frequency / observed truth), label-aligned
   // cluster seeding, and — crucially — a λ/ζ pass so the first sweep's
   // responsibilities see cluster-differentiated expectations. Without the
   // λ pass, E[ln ψ] of the near-prior Dirichlet rows is dominated by
   // Ψ′-amplified initialisation jitter and the first ϕ sweep scatters
   // items into arbitrary clusters that then self-reinforce.
-  internal::UpdateLabelEvidence(model, answers, fit.observed_truth, nullptr);
+  sweep::UpdateLabelEvidence(model, view, fit.observed_truth, nullptr, scheduler);
   if (!options.singleton_clusters) {
-    internal::SeedClustersFromConsensus(model);
+    sweep::SeedClustersFromConsensus(model);
   }
-  internal::UpdateZeta(model);
-  internal::UpdateThetaChannel(model);
-  internal::UpdateLambda(model, answers);
+  sweep::BuildClusterActivity(model.phi, scheduler, activity);
+  sweep::UpdateZeta(model, activity, scheduler);
+  sweep::UpdateThetaChannel(model, activity, scheduler);
+  sweep::UpdateLambda(model, view, activity, scheduler);
   model.RefreshExpectations();
 
   Matrix previous_kappa = model.kappa;
@@ -448,15 +58,17 @@ Result<CpaModel> FitCpa(const AnswerMatrix& answers, std::size_t num_labels,
   out = FitStats();
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    // --- Local updates (MAP phase; disjoint rows → parallel).
+    // --- Local updates (MAP phase; disjoint rows → parallel). `activity`
+    // reflects the current ϕ here: it is rebuilt after every mutation of ϕ
+    // (item sweep, reseeding) before the next consumer runs.
     if (!options.singleton_communities) {
-      ParallelFor(
-          fit.pool, model.num_workers(),
+      scheduler.ParallelFor(
+          model.num_workers(),
           [&](std::size_t begin, std::size_t end) {
             for (std::size_t u = begin; u < end; ++u) {
-              internal::UpdateWorkerResponsibility(
-                  model, answers, static_cast<WorkerId>(u),
-                  answers.AnswersOfWorker(static_cast<WorkerId>(u)));
+              sweep::UpdateWorkerResponsibility(
+                  model, view, static_cast<WorkerId>(u),
+                  view.AnswersOfWorker(static_cast<WorkerId>(u)), &activity);
             }
           },
           /*min_shard=*/8);
@@ -464,22 +76,23 @@ Result<CpaModel> FitCpa(const AnswerMatrix& answers, std::size_t num_labels,
     const bool reseed_sweep =
         !options.singleton_clusters && iter < options.reseed_sweeps && !evidence_frozen;
     if (!options.singleton_clusters && !reseed_sweep) {
-      ParallelFor(
-          fit.pool, model.num_items(),
+      scheduler.ParallelFor(
+          model.num_items(),
           [&](std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i) {
-              internal::UpdateItemResponsibility(
-                  model, answers, static_cast<ItemId>(i),
-                  answers.AnswersOfItem(static_cast<ItemId>(i)));
+              sweep::UpdateItemResponsibility(
+                  model, view, static_cast<ItemId>(i),
+                  view.AnswersOfItem(static_cast<ItemId>(i)));
             }
           },
           /*min_shard=*/8);
+      sweep::BuildClusterActivity(model.phi, scheduler, activity);
     }
 
-    // --- Global updates (REDUCE phase).
-    internal::UpdateSticks(model.rho, model.kappa, options.alpha);
-    internal::UpdateSticks(model.upsilon, model.phi, options.epsilon);
-    internal::UpdateLambda(model, answers);
+    // --- Global updates (REDUCE phase; deterministic partial merges).
+    sweep::UpdateSticks(model.rho, model.kappa, options.alpha, scheduler);
+    sweep::UpdateSticks(model.upsilon, model.phi, options.epsilon, scheduler);
+    sweep::UpdateLambda(model, view, activity, scheduler);
 
     // --- Label evidence for ζ (strategy-dependent; DESIGN.md §4.2). Once
     // the responsibilities are close to converged, the evidence is frozen
@@ -488,28 +101,30 @@ Result<CpaModel> FitCpa(const AnswerMatrix& answers, std::size_t num_labels,
     // moving just above the tolerance).
     if (!evidence_frozen) {
       if (options.label_evidence == LabelEvidence::kSelfTraining && iter > 0) {
-        internal::UpdateThetaChannel(model);
+        sweep::UpdateThetaChannel(model, activity, scheduler);
         model.RefreshExpectations();
         model.UpdateSizePrior(answers);
         auto predicted = PredictLabels(model, answers, fit.pool);
         if (predicted.ok()) {
           self_training_labels = std::move(predicted).value().labels;
-          internal::UpdateLabelEvidence(model, answers, fit.observed_truth,
-                                        &self_training_labels);
+          sweep::UpdateLabelEvidence(model, view, fit.observed_truth,
+                                     &self_training_labels, scheduler);
         }
       } else {
-        internal::UpdateLabelEvidence(model, answers, fit.observed_truth, nullptr);
+        sweep::UpdateLabelEvidence(model, view, fit.observed_truth, nullptr,
+                                   scheduler);
       }
     }
     if (reseed_sweep) {
       // Re-derive the hard consensus grouping from the freshly sharpened
       // evidence (see `reseed_sweeps` in cpa_options.h).
-      internal::SeedClustersFromConsensus(model);
-      internal::UpdateSticks(model.upsilon, model.phi, options.epsilon);
-      internal::UpdateLambda(model, answers);
+      sweep::SeedClustersFromConsensus(model);
+      sweep::BuildClusterActivity(model.phi, scheduler, activity);
+      sweep::UpdateSticks(model.upsilon, model.phi, options.epsilon, scheduler);
+      sweep::UpdateLambda(model, view, activity, scheduler);
     }
-    internal::UpdateZeta(model);
-    internal::UpdateThetaChannel(model);
+    sweep::UpdateZeta(model, activity, scheduler);
+    sweep::UpdateThetaChannel(model, activity, scheduler);
     model.RefreshExpectations();
 
     if (fit.track_elbo) {

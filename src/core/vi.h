@@ -8,9 +8,14 @@
 /// (κ per worker — Eq. 2, ϕ per item — Eq. 3 with the answer-evidence term
 /// restored, DESIGN.md §4.1), then the global stick/Dirichlet parameters
 /// (Eqs. 4–7), then the unsupervised label evidence ỹ (DESIGN.md §4.2).
-/// Local updates touch disjoint rows and are parallelised over a
-/// `ThreadPool` (the MAP phase of Algorithm 3); global accumulation is the
-/// REDUCE phase on the calling thread.
+///
+/// `FitCpa` is the orchestration loop only; the sweep bodies live in
+/// `core/sweep/` (shared with the SVI local phase of svi.h): the kernels in
+/// `core/sweep/sweep_kernels.h` run over a flat `AnswerView`
+/// (`core/sweep/answer_view.h`) and are sharded across the `ThreadPool` by
+/// a `SweepScheduler` (`core/sweep/sweep_scheduler.h`). Both the local MAP
+/// phase and the global REDUCE accumulations are parallel and bit-identical
+/// for any thread count.
 
 #include <cstddef>
 #include <vector>
@@ -40,7 +45,8 @@ struct FitOptions {
   /// paper's fully unsupervised y = ∅.
   const std::vector<LabelSet>* observed_truth = nullptr;
 
-  /// Pool for the parallel local updates; nullptr = sequential.
+  /// Pool for the parallel sweeps; nullptr = sequential. Results are
+  /// bit-identical either way (see core/sweep/sweep_scheduler.h).
   ThreadPool* pool = nullptr;
 
   /// Record the ELBO after every sweep into `FitStats::elbo_trace`.
@@ -52,61 +58,6 @@ Result<CpaModel> FitCpa(const AnswerMatrix& answers, std::size_t num_labels,
                         const CpaOptions& options, const FitOptions& fit = {},
                         FitStats* stats = nullptr);
 
-namespace internal {
-
-/// Eq. 2: recomputes κ row `u` from the given answers of worker `u`.
-void UpdateWorkerResponsibility(CpaModel& model, const AnswerMatrix& answers,
-                                WorkerId u, std::span<const std::size_t> indices);
-
-/// Eq. 3 (+ answer evidence): recomputes ϕ row `i` from the answers of
-/// item `i` and the item's label evidence ỹ_i.
-void UpdateItemResponsibility(CpaModel& model, const AnswerMatrix& answers, ItemId i,
-                              std::span<const std::size_t> indices);
-
-/// Eqs. 4/5: stick Beta parameters from responsibility column masses.
-void UpdateSticks(Matrix& sticks, const Matrix& responsibilities,
-                  double concentration);
-
-/// Eq. 6: λ from scratch over the given answers.
-void UpdateLambda(CpaModel& model, const AnswerMatrix& answers);
-
-/// Eq. 7: ζ from scratch over the current label evidence.
-void UpdateZeta(CpaModel& model);
-
-/// Rebuilds ỹ for the given items according to the configured strategy
-/// (`observed_truth` overrides per item when provided). `self_training`
-/// entries (when non-null) supply the current hard predictions.
-void UpdateLabelEvidence(CpaModel& model, const AnswerMatrix& answers,
-                         const std::vector<LabelSet>* observed_truth,
-                         const std::vector<LabelSet>* self_training_labels);
-
-/// Per-worker reliability weights for kReliabilityWeighted: mean
-/// soft-Jaccard agreement with the current consensus ỹ, shrunk toward the
-/// worker's community mean and sharpened (cpa_options.h). All ones on the
-/// bootstrap sweep (no consensus yet).
-std::vector<double> ComputeWorkerReliability(const CpaModel& model,
-                                             const AnswerMatrix& answers);
-
-/// Refreshes the Beta-Bernoulli label channel (θ_tc posteriors feeding the
-/// ϕ evidence term, marginal label scores, and the kBernoulliProfile
-/// prediction mode) from ϕ and ỹ.
-void UpdateThetaChannel(CpaModel& model);
-
-/// Initialises ϕ rows so items with identical majority-consensus label
-/// sets start in the same cluster, with clusters assigned in consensus-
-/// frequency order (label-aligned symmetry breaking matched to the
-/// size-biased stick-breaking geometry).
-void SeedClustersFromConsensus(CpaModel& model);
-
-/// The majority-consensus label set of an item's current evidence
-/// (weights ≥ 0.5, falling back to the strongest single label); empty when
-/// the item has no evidence.
-LabelSet ConsensusFromEvidence(const CpaModel& model, ItemId item);
-
-/// Seeds one ϕ row: 0.7 mass on `cluster`, the rest uniform.
-void WriteSeedRow(CpaModel& model, ItemId item, std::size_t cluster);
-
-}  // namespace internal
 }  // namespace cpa
 
 #endif  // CPA_CORE_VI_H_

@@ -12,11 +12,15 @@ namespace cpa {
 // ---------------------------------------------------------------------------
 
 CpaOfflineEngine::CpaOfflineEngine(CpaOptions options, CpaVariant variant,
-                                   std::size_t num_labels, ThreadPool* pool)
+                                   std::size_t num_labels, ThreadPool* pool,
+                                   std::size_t num_threads)
     : AccumulatingEngine(std::string(CpaVariantName(variant)), num_labels),
       options_(options),
       variant_(variant),
-      pool_(pool) {}
+      owned_pool_(pool == nullptr && num_threads > 1
+                      ? std::make_unique<ThreadPool>(num_threads)
+                      : nullptr),
+      pool_(pool != nullptr ? pool : owned_pool_.get()) {}
 
 Result<ConsensusSnapshot> CpaOfflineEngine::Refit(const AnswerMatrix& accumulated) {
   CPA_ASSIGN_OR_RETURN(
@@ -33,16 +37,25 @@ Result<ConsensusSnapshot> CpaOfflineEngine::Refit(const AnswerMatrix& accumulate
 // CpaSviEngine
 // ---------------------------------------------------------------------------
 
-CpaSviEngine::CpaSviEngine(CpaOnline online)
-    : ConsensusEngine("CPA-SVI"), online_(std::move(online)) {}
+CpaSviEngine::CpaSviEngine(CpaOnline online, std::unique_ptr<ThreadPool> owned_pool)
+    : ConsensusEngine("CPA-SVI"),
+      owned_pool_(std::move(owned_pool)),
+      online_(std::move(online)) {}
 
 Result<std::unique_ptr<CpaSviEngine>> CpaSviEngine::Create(const EngineConfig& config) {
   CPA_RETURN_NOT_OK(config.Validate());
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = config.pool;
+  if (pool == nullptr && config.num_threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(config.num_threads);
+    pool = owned_pool.get();
+  }
   CPA_ASSIGN_OR_RETURN(
       CpaOnline online,
       CpaOnline::Create(config.num_items, config.num_workers, config.num_labels,
-                        config.cpa, config.svi, config.pool));
-  return std::unique_ptr<CpaSviEngine>(new CpaSviEngine(std::move(online)));
+                        config.cpa, config.svi, pool));
+  return std::unique_ptr<CpaSviEngine>(
+      new CpaSviEngine(std::move(online), std::move(owned_pool)));
 }
 
 Status CpaSviEngine::OnObserve(const AnswerMatrix& answers,
@@ -83,7 +96,7 @@ EngineRegistry::Factory CpaOfflineFactory(CpaVariant variant) {
   return [variant](const EngineConfig& config)
              -> Result<std::unique_ptr<ConsensusEngine>> {
     return std::unique_ptr<ConsensusEngine>(std::make_unique<CpaOfflineEngine>(
-        config.cpa, variant, config.num_labels, config.pool));
+        config.cpa, variant, config.num_labels, config.pool, config.num_threads));
   };
 }
 

@@ -25,8 +25,11 @@ class EngineRegistry;
 /// seen) when a snapshot follows new answers.
 class CpaOfflineEngine : public AccumulatingEngine {
  public:
+  /// `pool` overrides `num_threads` when non-null (caller-owned); otherwise
+  /// the session constructs and owns a pool of `num_threads` workers
+  /// (1 = sequential). Fits are bit-identical for any thread count.
   CpaOfflineEngine(CpaOptions options, CpaVariant variant, std::size_t num_labels,
-                   ThreadPool* pool = nullptr);
+                   ThreadPool* pool = nullptr, std::size_t num_threads = 1);
 
   /// The posterior behind the last snapshot (nullptr before the first).
   const CpaModel* model() const { return solved_ ? &solution_.model : nullptr; }
@@ -41,6 +44,7 @@ class CpaOfflineEngine : public AccumulatingEngine {
  private:
   CpaOptions options_;
   CpaVariant variant_;
+  std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
   CpaSolution solution_;
   bool solved_ = false;
@@ -64,8 +68,10 @@ class CpaSviEngine : public ConsensusEngine {
   Result<ConsensusSnapshot> OnSnapshot(const AnswerMatrix& stream) override;
 
  private:
-  explicit CpaSviEngine(CpaOnline online);
+  CpaSviEngine(CpaOnline online, std::unique_ptr<ThreadPool> owned_pool);
 
+  // Declared before the learner, which holds a raw pointer to it.
+  std::unique_ptr<ThreadPool> owned_pool_;
   CpaOnline online_;
 };
 

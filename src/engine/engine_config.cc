@@ -77,6 +77,10 @@ Status EngineConfig::Validate() const {
     return Status::InvalidArgument(
         "EngineConfig.num_labels must be positive (the label universe C)");
   }
+  if (num_threads == 0) {
+    return Status::InvalidArgument(
+        "EngineConfig.num_threads must be positive (1 = sequential)");
+  }
   return Status::OK();
 }
 
@@ -121,6 +125,7 @@ JsonValue EngineConfig::ToJson() const {
   config["num_items"] = Num(num_items);
   config["num_workers"] = Num(num_workers);
   config["num_labels"] = Num(num_labels);
+  config["num_threads"] = Num(num_threads);
   config["cpa"] = JsonValue(std::move(cpa_object));
   config["svi"] = JsonValue(std::move(svi_object));
   config["majority"] = JsonValue(std::move(majority_object));
@@ -138,6 +143,7 @@ Result<EngineConfig> EngineConfig::FromJson(const JsonValue& json) {
   CPA_RETURN_NOT_OK(ReadSize(json, "num_items", &config.num_items));
   CPA_RETURN_NOT_OK(ReadSize(json, "num_workers", &config.num_workers));
   CPA_RETURN_NOT_OK(ReadSize(json, "num_labels", &config.num_labels));
+  CPA_RETURN_NOT_OK(ReadSize(json, "num_threads", &config.num_threads));
 
   if (const JsonValue* cpa_object = json.Find("cpa")) {
     CPA_RETURN_NOT_OK(
@@ -211,6 +217,7 @@ Result<EngineConfig> EngineConfig::WithFlags(const Flags& flags) const {
   config.num_items = size_flag("num-items", config.num_items);
   config.num_workers = size_flag("num-workers", config.num_workers);
   config.num_labels = size_flag("num-labels", config.num_labels);
+  config.num_threads = size_flag("num-threads", config.num_threads);
   config.cpa.max_iterations = size_flag("cpa-iterations", config.cpa.max_iterations);
   config.cpa.max_communities =
       size_flag("max-communities", config.cpa.max_communities);

@@ -48,8 +48,15 @@ struct EngineConfig {
   DawidSkeneOptions em;
   CbccOptions cbcc;
 
-  /// Pool for parallel local phases; nullptr = sequential. Runtime-only,
-  /// never serialized.
+  /// Threads for the parallel sweep phases (core/sweep/). 1 (default) runs
+  /// sequentially; engines whose method parallelises construct and own a
+  /// `ThreadPool` of this size when no runtime `pool` override is given.
+  /// Results are bit-identical for any value (sweep_scheduler.h).
+  std::size_t num_threads = 1;
+
+  /// Runtime pool override for parallel sweep phases; takes precedence
+  /// over `num_threads` when non-null (the session will not own it).
+  /// Runtime-only, never serialized.
   ThreadPool* pool = nullptr;
 
   /// Config sized for a concrete dataset: dimensions from the dataset,

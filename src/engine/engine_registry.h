@@ -14,9 +14,9 @@
 ///       "MyMethod", [](const cpa::EngineConfig& config) { ... });
 /// ```
 ///
-/// Replaces the ad-hoc `PaperAggregators` factory map of eval/experiment.h
-/// (still present, deprecated) as the way benches and services enumerate
-/// and construct methods.
+/// The registry is how benches, examples and services enumerate and
+/// construct methods (it replaced the seed's ad-hoc factory map, which has
+/// been deleted).
 
 #include <functional>
 #include <map>

@@ -1,9 +1,8 @@
 #include "eval/experiment.h"
 
-#include "baselines/cbcc.h"
-#include "baselines/dawid_skene.h"
-#include "baselines/majority_vote.h"
-#include "core/cpa.h"
+#include <memory>
+
+#include "engine/engine_registry.h"
 #include "util/stopwatch.h"
 
 namespace cpa {
@@ -75,18 +74,22 @@ Result<StreamingExperimentResult> RunStreamingExperiment(ConsensusEngine& engine
   return result;
 }
 
-std::map<std::string, AggregatorFactory> PaperAggregators(std::size_t cpa_iterations) {
-  std::map<std::string, AggregatorFactory> factories;
-  factories["MV"] = [](const Dataset&) { return std::make_unique<MajorityVote>(); };
-  factories["EM"] = [](const Dataset&) { return std::make_unique<DawidSkene>(); };
-  factories["cBCC"] = [](const Dataset&) { return std::make_unique<Cbcc>(); };
-  factories["CPA"] = [cpa_iterations](const Dataset& dataset) {
-    CpaOptions options =
-        CpaOptions::Recommended(dataset.num_items(), dataset.num_labels);
-    options.max_iterations = cpa_iterations;
-    return std::make_unique<CpaAggregator>(options);
-  };
-  return factories;
+Result<ExperimentResult> RunExperiment(const EngineConfig& config,
+                                       const Dataset& dataset) {
+  CPA_ASSIGN_OR_RETURN(std::unique_ptr<ConsensusEngine> engine,
+                       EngineRegistry::Global().Open(config));
+  return RunExperiment(*engine, dataset);
 }
+
+Result<StreamingExperimentResult> RunStreamingExperiment(const EngineConfig& config,
+                                                         const Dataset& dataset,
+                                                         const BatchPlan& plan,
+                                                         bool score_each_batch) {
+  CPA_ASSIGN_OR_RETURN(std::unique_ptr<ConsensusEngine> engine,
+                       EngineRegistry::Global().Open(config));
+  return RunStreamingExperiment(*engine, dataset, plan, score_each_batch);
+}
+
+std::vector<std::string> PaperMethodNames() { return {"MV", "EM", "cBCC", "CPA"}; }
 
 }  // namespace cpa

@@ -6,23 +6,21 @@
 /// used by the benches.
 ///
 /// The primary entry point is the engine layer: construct sessions from an
-/// `EngineConfig` via `EngineRegistry::Global()` (engine/engine_registry.h)
-/// and drive them with `RunExperiment(ConsensusEngine&, ...)` for one-shot
-/// runs or `RunStreamingExperiment` for batch-by-batch arrival curves. The
-/// `Aggregator` overload and the `PaperAggregators` factory map are the
-/// legacy pre-engine API; `PaperAggregators` is deprecated — use
-/// `EngineRegistry::Global().MethodNames()` / `Open` instead.
+/// `EngineConfig` — the `EngineConfig` overloads below open them through
+/// `EngineRegistry::Global()` (engine/engine_registry.h) — and drive them
+/// with `RunExperiment` for one-shot runs or `RunStreamingExperiment` for
+/// batch-by-batch arrival curves. The `Aggregator` overload runs a bare
+/// offline method outside the session lifecycle (useful for posterior
+/// inspection, where the caller keeps the aggregator).
 
 #include <cstddef>
-#include <functional>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/aggregator.h"
 #include "data/dataset.h"
 #include "engine/consensus_engine.h"
+#include "engine/engine_config.h"
 #include "eval/metrics.h"
 #include "simulation/perturbations.h"
 #include "util/status.h"
@@ -44,6 +42,12 @@ Result<ExperimentResult> RunExperiment(Aggregator& aggregator, const Dataset& da
 /// a single batch, finalizes, and scores the final consensus. The engine
 /// must be freshly opened (nothing observed, not finalized).
 Result<ExperimentResult> RunExperiment(ConsensusEngine& engine, const Dataset& dataset);
+
+/// Convenience one-shot: opens a fresh session for `config` through
+/// `EngineRegistry::Global()` (forwarding `config.num_threads` / `pool` to
+/// the engine) and runs the engine overload above.
+Result<ExperimentResult> RunExperiment(const EngineConfig& config,
+                                       const Dataset& dataset);
 
 /// \brief One scored snapshot of a streaming run.
 struct StreamingStepResult {
@@ -80,22 +84,16 @@ Result<StreamingExperimentResult> RunStreamingExperiment(ConsensusEngine& engine
                                                          const BatchPlan& plan,
                                                          bool score_each_batch = true);
 
-/// \brief Factory registry for the aggregators the paper compares. Each
-/// factory builds a fresh aggregator sized for the given dataset.
-///
-/// \deprecated Superseded by `EngineRegistry::Global()` (which also covers
-/// the CPA ablation variants and the online learner, and constructs
-/// sessions from a serializable `EngineConfig`). Kept while pre-engine
-/// benches migrate; new callers should not use it.
-using AggregatorFactory = std::function<std::unique_ptr<Aggregator>(const Dataset&)>;
+/// Convenience streaming run: opens a fresh session for `config` through
+/// `EngineRegistry::Global()` and runs the engine overload above.
+Result<StreamingExperimentResult> RunStreamingExperiment(
+    const EngineConfig& config, const Dataset& dataset, const BatchPlan& plan,
+    bool score_each_batch = true);
 
-/// The paper's §5.2 line-up: MV, EM (Dawid–Skene), cBCC and CPA.
-/// `cpa_iterations` caps CPA's sweeps (benches trade a little accuracy for
-/// sweep time).
-///
-/// \deprecated See `AggregatorFactory`.
-std::map<std::string, AggregatorFactory> PaperAggregators(
-    std::size_t cpa_iterations = 30);
+/// The method names of the paper's §5.2 comparison (Table 4, Figs 3–5), in
+/// report order. All are registered in `EngineRegistry::Global()`; size a
+/// config with `EngineConfig::ForDataset(method, dataset)`.
+std::vector<std::string> PaperMethodNames();
 
 }  // namespace cpa
 

@@ -88,6 +88,28 @@ double SoftmaxInPlace(std::span<double> log_weights) {
   return log_norm;
 }
 
+double SoftmaxInPlace(std::span<double> log_weights, double floor_nats) {
+  if (log_weights.empty()) return 0.0;
+  double max = -std::numeric_limits<double>::infinity();
+  for (double v : log_weights) max = std::max(max, v);
+  if (!std::isfinite(max)) {
+    const double uniform = 1.0 / static_cast<double>(log_weights.size());
+    std::fill(log_weights.begin(), log_weights.end(), uniform);
+    return max;
+  }
+  double sum = 0.0;
+  for (double& v : log_weights) {
+    if (v - max > -floor_nats) {
+      v = std::exp(v - max);
+      sum += v;
+    } else {
+      v = 0.0;
+    }
+  }
+  for (double& v : log_weights) v /= sum;  // sum >= exp(0) = 1
+  return max + std::log(sum);
+}
+
 double DirichletEntropy(std::span<const double> alpha) {
   CPA_CHECK(!alpha.empty());
   const std::size_t k = alpha.size();

@@ -41,6 +41,17 @@ double LogSumExp(std::span<const double> values);
 /// vector via softmax; returns the log-normaliser. No-op on empty input.
 double SoftmaxInPlace(std::span<double> log_weights);
 
+/// \brief Softmax with an underflow floor: entries more than `floor_nats`
+/// below the row maximum become exactly 0 instead of being exponentiated.
+///
+/// Responsibility rows over wide truncations (T up to ~1000) concentrate on
+/// a handful of components; with `floor_nats` = 27.6 the dropped entries
+/// carry < 1e-12 of the mass — below what the sweep kernels' skip threshold
+/// would read anyway — and the row costs |active| exp calls instead of T.
+/// Deterministic (a pure function of the input row), so thread-count
+/// invariance of the sweeps is unaffected.
+double SoftmaxInPlace(std::span<double> log_weights, double floor_nats);
+
 /// \brief Entropy of a Dirichlet(α) distribution.
 double DirichletEntropy(std::span<const double> alpha);
 

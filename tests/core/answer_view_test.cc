@@ -1,0 +1,145 @@
+#include "core/sweep/answer_view.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/answer_matrix.h"
+#include "simulation/dataset_factory.h"
+
+namespace cpa {
+namespace {
+
+AnswerMatrix SmallMatrix() {
+  AnswerMatrix answers(4, 3);
+  EXPECT_TRUE(answers.Add(0, 0, {1, 2}).ok());
+  EXPECT_TRUE(answers.Add(2, 0, {0}).ok());
+  EXPECT_TRUE(answers.Add(0, 2, {2}).ok());
+  EXPECT_TRUE(answers.Add(3, 1, {0, 1, 3}).ok());
+  EXPECT_TRUE(answers.Add(2, 2, {3}).ok());
+  return answers;
+}
+
+TEST(AnswerViewTest, EmptyMatrixYieldsEmptyView) {
+  const AnswerView view{AnswerMatrix(0, 0)};
+  EXPECT_EQ(view.num_answers(), 0u);
+  EXPECT_EQ(view.num_items(), 0u);
+  EXPECT_EQ(view.num_workers(), 0u);
+}
+
+TEST(AnswerViewTest, EntitiesWithoutAnswersHaveEmptySpans) {
+  const AnswerMatrix answers = SmallMatrix();
+  const AnswerView view(answers);
+  EXPECT_TRUE(view.AnswersOfItem(1).empty());  // item 1 never answered
+  for (WorkerId u = 0; u < 3; ++u) {
+    EXPECT_EQ(view.AnswersOfWorker(u).size(), answers.AnswersOfWorker(u).size());
+  }
+}
+
+TEST(AnswerViewTest, SoaFieldsRoundTripAgainstAnswerMatrix) {
+  const AnswerMatrix answers = SmallMatrix();
+  const AnswerView view(answers);
+  ASSERT_EQ(view.num_answers(), answers.num_answers());
+  for (std::size_t index = 0; index < answers.num_answers(); ++index) {
+    const Answer& a = answers.answer(index);
+    EXPECT_EQ(view.item(index), a.item);
+    EXPECT_EQ(view.worker(index), a.worker);
+    ASSERT_EQ(view.label_count(index), a.labels.size());
+    const auto labels = view.labels(index);
+    std::size_t k = 0;
+    for (LabelId c : a.labels) EXPECT_EQ(labels[k++], c);
+  }
+}
+
+TEST(AnswerViewTest, CsrOffsetsAreConsistent) {
+  const AnswerMatrix answers = SmallMatrix();
+  const AnswerView view(answers);
+  // Every answer appears exactly once in each CSR index, under the right
+  // entity, and the per-entity spans cover the whole answer set.
+  std::vector<int> seen_by_item(answers.num_answers(), 0);
+  for (ItemId i = 0; i < answers.num_items(); ++i) {
+    for (std::uint32_t index : view.AnswersOfItem(i)) {
+      EXPECT_EQ(view.item(index), i);
+      ++seen_by_item[index];
+    }
+  }
+  std::vector<int> seen_by_worker(answers.num_answers(), 0);
+  for (WorkerId u = 0; u < answers.num_workers(); ++u) {
+    for (std::uint32_t index : view.AnswersOfWorker(u)) {
+      EXPECT_EQ(view.worker(index), u);
+      ++seen_by_worker[index];
+    }
+  }
+  for (std::size_t index = 0; index < answers.num_answers(); ++index) {
+    EXPECT_EQ(seen_by_item[index], 1) << index;
+    EXPECT_EQ(seen_by_worker[index], 1) << index;
+  }
+}
+
+TEST(AnswerViewTest, ExtendToMatchesFullRebuildOnAGrowingStream) {
+  // A growing stream matrix: the incremental suffix append must leave the
+  // view indistinguishable from one built from scratch.
+  AnswerMatrix answers(5, 4);
+  EXPECT_TRUE(answers.Add(0, 0, {1}).ok());
+  EXPECT_TRUE(answers.Add(1, 1, {0, 2}).ok());
+  AnswerView view(answers);
+  view.ExtendTo(answers);  // no growth: no-op
+  EXPECT_EQ(view.num_answers(), 2u);
+
+  EXPECT_TRUE(answers.Add(0, 2, {2, 3}).ok());
+  EXPECT_TRUE(answers.Add(4, 0, {0}).ok());
+  view.ExtendTo(answers);
+  const AnswerView rebuilt(answers);
+  ASSERT_EQ(view.num_answers(), rebuilt.num_answers());
+  for (std::size_t index = 0; index < rebuilt.num_answers(); ++index) {
+    EXPECT_EQ(view.item(index), rebuilt.item(index));
+    EXPECT_EQ(view.worker(index), rebuilt.worker(index));
+    ASSERT_EQ(view.label_count(index), rebuilt.label_count(index));
+    for (std::size_t k = 0; k < rebuilt.label_count(index); ++k) {
+      EXPECT_EQ(view.labels(index)[k], rebuilt.labels(index)[k]);
+    }
+  }
+  for (ItemId i = 0; i < answers.num_items(); ++i) {
+    const auto a = view.AnswersOfItem(i);
+    const auto b = rebuilt.AnswersOfItem(i);
+    ASSERT_EQ(a.size(), b.size()) << i;
+    for (std::size_t k = 0; k < b.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+  for (WorkerId u = 0; u < answers.num_workers(); ++u) {
+    const auto a = view.AnswersOfWorker(u);
+    const auto b = rebuilt.AnswersOfWorker(u);
+    ASSERT_EQ(a.size(), b.size()) << u;
+    for (std::size_t k = 0; k < b.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+TEST(AnswerViewTest, PerEntityTraversalMatchesAnswerMatrixOrder) {
+  // The CSR spans must preserve stream order within an entity — the sweep
+  // accumulation order (and hence bit-exactness) depends on it.
+  FactoryOptions options;
+  options.scale = 0.05;
+  auto dataset = MakePaperDataset(PaperDatasetId::kMovie, options);
+  ASSERT_TRUE(dataset.ok());
+  const AnswerMatrix& answers = dataset.value().answers;
+  const AnswerView view(answers);
+  ASSERT_EQ(view.num_answers(), answers.num_answers());
+  for (ItemId i = 0; i < answers.num_items(); ++i) {
+    const auto expected = answers.AnswersOfItem(i);
+    const auto actual = view.AnswersOfItem(i);
+    ASSERT_EQ(actual.size(), expected.size()) << i;
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(static_cast<std::size_t>(actual[k]), expected[k]);
+    }
+  }
+  for (WorkerId u = 0; u < answers.num_workers(); ++u) {
+    const auto expected = answers.AnswersOfWorker(u);
+    const auto actual = view.AnswersOfWorker(u);
+    ASSERT_EQ(actual.size(), expected.size()) << u;
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(static_cast<std::size_t>(actual[k]), expected[k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpa

@@ -1,0 +1,205 @@
+#include "core/sweep/sweep_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/sweep/sweep_kernels.h"
+#include "core/vi.h"
+#include "simulation/dataset_factory.h"
+#include "util/string_utils.h"
+#include "util/thread_pool.h"
+
+namespace cpa {
+namespace {
+
+TEST(SweepSchedulerPartitionTest, CoversRangeWithoutOverlap) {
+  for (std::size_t total : {0u, 1u, 7u, 100u, 4097u}) {
+    const auto blocks = SweepScheduler::Partition(total, /*grain=*/8);
+    std::size_t covered = 0;
+    std::size_t expected_begin = 0;
+    for (const auto& block : blocks) {
+      EXPECT_EQ(block.begin, expected_begin);
+      EXPECT_LT(block.begin, block.end);
+      covered += block.end - block.begin;
+      expected_begin = block.end;
+    }
+    EXPECT_EQ(covered, total);
+    if (total > 0) {
+      EXPECT_EQ(blocks.back().end, total);
+    }
+  }
+}
+
+TEST(SweepSchedulerPartitionTest, RespectsGrainAndBlockCap) {
+  // Fewer indices than one grain: a single block.
+  EXPECT_EQ(SweepScheduler::Partition(10, /*grain=*/16).size(), 1u);
+  // Huge range: capped at kMaxReduceBlocks.
+  EXPECT_LE(SweepScheduler::Partition(1'000'000, /*grain=*/8).size(),
+            SweepScheduler::kMaxReduceBlocks);
+}
+
+TEST(SweepSchedulerPartitionTest, IndependentOfAnyScheduler) {
+  // Partition is static and pure — the boundaries two differently-pooled
+  // schedulers reduce over are the same by construction.
+  const auto a = SweepScheduler::Partition(12345, 64);
+  const auto b = SweepScheduler::Partition(12345, 64);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].end, b[i].end);
+  }
+}
+
+TEST(SweepSchedulerTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  SweepScheduler scheduler(&pool);
+  bool called = false;
+  scheduler.ParallelFor(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(SweepSchedulerTest, ParallelForCoversRangeOnceWithMoreBlocksThanThreads) {
+  ThreadPool pool(2);
+  SweepScheduler scheduler(&pool);
+  std::vector<std::atomic<int>> touched(257);
+  scheduler.ParallelFor(
+      touched.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+      },
+      /*min_shard=*/1);
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(SweepSchedulerTest, ParallelReduceEmptyRangeLeavesOutUntouched) {
+  SweepScheduler scheduler(nullptr);
+  double out = 42.0;
+  scheduler.ParallelReduce<double>(
+      0, 8, [] { return 0.0; },
+      [](double& partial, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) partial += 1.0;
+      },
+      [](double& into, double& from) { into += from; }, out);
+  EXPECT_DOUBLE_EQ(out, 42.0);
+}
+
+/// A sum whose result depends on the merge structure in floating point:
+/// exact equality across thread counts holds only because the blocks and
+/// the merge tree are fixed.
+double ReduceSum(const std::vector<double>& values, ThreadPool* pool) {
+  SweepScheduler scheduler(pool);
+  double out = 0.0;
+  scheduler.ParallelReduce<double>(
+      values.size(), /*grain=*/64, [] { return 0.0; },
+      [&](double& partial, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) partial += values[i];
+      },
+      [](double& into, double& from) { into += from; }, out);
+  return out;
+}
+
+TEST(SweepSchedulerTest, ParallelReduceBitIdenticalForAnyThreadCount) {
+  std::vector<double> values(10'000);
+  double x = 0.1;
+  for (double& v : values) {
+    v = x;
+    x = x * 1.0001 + 1e-7;  // spread magnitudes so order matters in FP
+  }
+  const double inline_sum = ReduceSum(values, nullptr);
+  ThreadPool one(1);
+  ThreadPool four(4);
+  EXPECT_DOUBLE_EQ(ReduceSum(values, &one), inline_sum);
+  EXPECT_DOUBLE_EQ(ReduceSum(values, &four), inline_sum);
+  // And across repeated runs on the same pool (no scheduling dependence).
+  EXPECT_DOUBLE_EQ(ReduceSum(values, &four), ReduceSum(values, &four));
+}
+
+TEST(SweepSchedulerTest, ParallelReduceMergesInFixedTreeOrder) {
+  // With a non-commutative-ish merge (string concatenation), any change of
+  // merge order or block assignment would change the result.
+  const auto reduce_labels = [](ThreadPool* pool) {
+    SweepScheduler scheduler(pool);
+    std::string out;
+    scheduler.ParallelReduce<std::string>(
+        1600, /*grain=*/100, [] { return std::string(); },
+        [](std::string& partial, std::size_t begin, std::size_t end) {
+          partial = StrFormat("[%zu,%zu)", begin, end);
+        },
+        [](std::string& into, std::string& from) { into += from; }, out);
+    return out;
+  };
+  ThreadPool four(4);
+  const std::string inline_order = reduce_labels(nullptr);
+  EXPECT_FALSE(inline_order.empty());
+  EXPECT_EQ(reduce_labels(&four), inline_order);
+}
+
+TEST(SweepDeterminismTest, FitCpaIdenticalForOneAndFourThreads) {
+  // The acceptance bar of the sweep layer: the full offline fit — MAP
+  // sweeps and parallel REDUCE included — is exactly equal at 1 and 4
+  // threads.
+  FactoryOptions options;
+  options.scale = 0.08;
+  auto dataset = MakePaperDataset(PaperDatasetId::kImage, options);
+  ASSERT_TRUE(dataset.ok());
+  const Dataset& d = dataset.value();
+  CpaOptions cpa_options = CpaOptions::Recommended(d.num_items(), d.num_labels);
+  cpa_options.max_iterations = 12;
+
+  ThreadPool one(1);
+  ThreadPool four(4);
+  FitOptions fit_one;
+  fit_one.pool = &one;
+  FitOptions fit_four;
+  fit_four.pool = &four;
+  const auto a = FitCpa(d.answers, d.num_labels, cpa_options, fit_one);
+  const auto b = FitCpa(d.answers, d.num_labels, cpa_options, fit_four);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().kappa.MaxAbsDiff(b.value().kappa), 0.0);
+  EXPECT_DOUBLE_EQ(a.value().phi.MaxAbsDiff(b.value().phi), 0.0);
+  EXPECT_DOUBLE_EQ(a.value().zeta.MaxAbsDiff(b.value().zeta), 0.0);
+  EXPECT_DOUBLE_EQ(a.value().theta_a.MaxAbsDiff(b.value().theta_a), 0.0);
+  for (std::size_t t = 0; t < a.value().num_clusters(); ++t) {
+    EXPECT_DOUBLE_EQ(a.value().lambda[t].MaxAbsDiff(b.value().lambda[t]), 0.0) << t;
+  }
+}
+
+TEST(SweepDeterminismTest, ClusterActivityMatchesPhiThreshold) {
+  FactoryOptions options;
+  options.scale = 0.05;
+  auto dataset = MakePaperDataset(PaperDatasetId::kMovie, options);
+  ASSERT_TRUE(dataset.ok());
+  const Dataset& d = dataset.value();
+  CpaOptions cpa_options = CpaOptions::Recommended(d.num_items(), d.num_labels);
+  cpa_options.max_iterations = 5;
+  const auto model = FitCpa(d.answers, d.num_labels, cpa_options);
+  ASSERT_TRUE(model.ok());
+
+  ThreadPool pool(3);
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    SweepScheduler scheduler(p);
+    sweep::ClusterActivity activity;
+    sweep::BuildClusterActivity(model.value().phi, scheduler, activity);
+    ASSERT_EQ(activity.offsets.size(), model.value().num_items() + 1);
+    for (ItemId i = 0; i < model.value().num_items(); ++i) {
+      const auto row = model.value().phi.Row(i);
+      const auto active = activity.ClustersOf(i);
+      const auto weights = activity.WeightsOf(i);
+      std::size_t k = 0;
+      for (std::size_t t = 0; t < row.size(); ++t) {
+        if (row[t] < sweep::kSkipMass) continue;
+        ASSERT_LT(k, active.size()) << i;
+        EXPECT_EQ(active[k], t);
+        EXPECT_DOUBLE_EQ(weights[k], row[t]);
+        ++k;
+      }
+      EXPECT_EQ(k, active.size()) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpa

@@ -112,6 +112,7 @@ TEST(EngineConfigTest, JsonRoundTripPreservesEverySerializedField) {
   config.num_items = 321;
   config.num_workers = 45;
   config.num_labels = 17;
+  config.num_threads = 3;
   config.cpa.max_communities = 9;
   config.cpa.max_clusters = 123;
   config.cpa.alpha = 1.5;
@@ -148,6 +149,7 @@ TEST(EngineConfigTest, JsonRoundTripPreservesEverySerializedField) {
   EXPECT_EQ(r.num_items, config.num_items);
   EXPECT_EQ(r.num_workers, config.num_workers);
   EXPECT_EQ(r.num_labels, config.num_labels);
+  EXPECT_EQ(r.num_threads, config.num_threads);
   EXPECT_EQ(r.cpa.max_communities, config.cpa.max_communities);
   EXPECT_EQ(r.cpa.max_clusters, config.cpa.max_clusters);
   EXPECT_DOUBLE_EQ(r.cpa.alpha, config.cpa.alpha);
@@ -226,14 +228,15 @@ TEST(EngineConfigTest, WithFlagsOverridesOnlyNamedFields) {
   const EngineConfig base = EngineConfig::ForDataset("CPA-SVI", dataset);
 
   const char* argv[] = {"test", "--method=EM", "--cpa-iterations=7",
-                        "--workers-per-batch=3"};
-  const auto flags = Flags::Parse(4, const_cast<char**>(argv));
+                        "--workers-per-batch=3", "--num-threads=2"};
+  const auto flags = Flags::Parse(5, const_cast<char**>(argv));
   ASSERT_TRUE(flags.ok()) << flags.status().ToString();
   const auto config = base.WithFlags(flags.value());
   ASSERT_TRUE(config.ok()) << config.status().ToString();
   EXPECT_EQ(config.value().method, "EM");
   EXPECT_EQ(config.value().cpa.max_iterations, 7u);
   EXPECT_EQ(config.value().svi.workers_per_batch, 3u);
+  EXPECT_EQ(config.value().num_threads, 2u);
   // Unnamed fields keep the dataset sizing.
   EXPECT_EQ(config.value().num_items, base.num_items);
   EXPECT_EQ(config.value().num_labels, base.num_labels);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/majority_vote.h"
+#include "engine/engine_registry.h"
 #include "simulation/dataset_factory.h"
 
 namespace cpa {
@@ -36,42 +37,57 @@ TEST(RunExperimentTest, RequiresGroundTruth) {
             StatusCode::kFailedPrecondition);
 }
 
-TEST(PaperAggregatorsTest, ProvidesTheFourPaperMethods) {
-  const auto factories = PaperAggregators();
-  ASSERT_EQ(factories.size(), 4u);
-  EXPECT_TRUE(factories.count("MV"));
-  EXPECT_TRUE(factories.count("EM"));
-  EXPECT_TRUE(factories.count("cBCC"));
-  EXPECT_TRUE(factories.count("CPA"));
-}
-
-TEST(PaperAggregatorsTest, FactoriesBuildWorkingAggregators) {
-  const Dataset dataset = QuickDataset();
-  for (const auto& [name, factory] : PaperAggregators(10)) {
-    auto aggregator = factory(dataset);
-    ASSERT_NE(aggregator, nullptr) << name;
-    const auto result = RunExperiment(*aggregator, dataset);
-    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
-    // MV recall is legitimately tiny on this capped-attention micro
-    // dataset; the check is "runs and produces a non-degenerate score".
-    EXPECT_GT(result.value().metrics.recall, 0.02) << name;
-    EXPECT_EQ(result.value().metrics.evaluated_items, dataset.num_items()) << name;
+TEST(PaperMethodsTest, EveryPaperMethodIsRegistered) {
+  const auto methods = PaperMethodNames();
+  ASSERT_EQ(methods.size(), 4u);
+  for (const std::string& method : methods) {
+    EXPECT_TRUE(EngineRegistry::Global().Has(method)) << method;
   }
 }
 
-TEST(PaperAggregatorsTest, CpaOutperformsMvOnCorrelatedData) {
+TEST(PaperMethodsTest, EngineConfigsRunWorkingExperiments) {
+  const Dataset dataset = QuickDataset();
+  for (const std::string& method : PaperMethodNames()) {
+    EngineConfig config = EngineConfig::ForDataset(method, dataset);
+    config.cpa.max_iterations = 10;
+    const auto result = RunExperiment(config, dataset);
+    ASSERT_TRUE(result.ok()) << method << ": " << result.status().ToString();
+    // MV recall is legitimately tiny on this capped-attention micro
+    // dataset; the check is "runs and produces a non-degenerate score".
+    EXPECT_GT(result.value().metrics.recall, 0.02) << method;
+    EXPECT_EQ(result.value().metrics.evaluated_items, dataset.num_items()) << method;
+  }
+}
+
+TEST(PaperMethodsTest, CpaOutperformsMvOnCorrelatedData) {
   FactoryOptions options;
   options.scale = 0.1;
   auto dataset = MakePaperDataset(PaperDatasetId::kImage, options);
   ASSERT_TRUE(dataset.ok());
-  const auto factories = PaperAggregators(25);
-  auto mv = factories.at("MV")(dataset.value());
-  auto cpa = factories.at("CPA")(dataset.value());
-  const auto mv_result = RunExperiment(*mv, dataset.value());
-  const auto cpa_result = RunExperiment(*cpa, dataset.value());
+  EngineConfig mv_config = EngineConfig::ForDataset("MV", dataset.value());
+  EngineConfig cpa_config = EngineConfig::ForDataset("CPA", dataset.value());
+  cpa_config.cpa.max_iterations = 25;
+  const auto mv_result = RunExperiment(mv_config, dataset.value());
+  const auto cpa_result = RunExperiment(cpa_config, dataset.value());
   ASSERT_TRUE(mv_result.ok());
   ASSERT_TRUE(cpa_result.ok());
   EXPECT_GT(cpa_result.value().metrics.F1(), mv_result.value().metrics.F1());
+}
+
+TEST(PaperMethodsTest, ConfigOverloadForwardsNumThreadsBitIdentically) {
+  // The num_threads knob must change wall-clock only: the sweep scheduler
+  // guarantees bit-identical fits, so the scored predictions agree exactly.
+  const Dataset dataset = QuickDataset();
+  EngineConfig sequential = EngineConfig::ForDataset("CPA", dataset);
+  sequential.cpa.max_iterations = 10;
+  EngineConfig threaded = sequential;
+  threaded.num_threads = 4;
+  const auto a = RunExperiment(sequential, dataset);
+  const auto b = RunExperiment(threaded, dataset);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().metrics.precision, b.value().metrics.precision);
+  EXPECT_DOUBLE_EQ(a.value().metrics.recall, b.value().metrics.recall);
 }
 
 }  // namespace

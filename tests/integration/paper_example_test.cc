@@ -124,16 +124,46 @@ TEST(IntegrationTest, SpammerInjectionDegradesMvMoreThanCpa) {
   const auto spammed = InjectSpammers(dataset.value(), spam, rng);
   ASSERT_TRUE(spammed.ok());
 
-  const auto factories = PaperAggregators(25);
   const auto run = [&](const std::string& name, const Dataset& d) {
-    auto aggregator = factories.at(name)(d);
-    auto result = RunExperiment(*aggregator, d);
+    EngineConfig config = EngineConfig::ForDataset(name, d);
+    config.cpa.max_iterations = 25;
+    auto result = RunExperiment(config, d);
     EXPECT_TRUE(result.ok());
     return result.value().metrics.F1();
   };
   const double mv_drop = run("MV", dataset.value()) - run("MV", spammed.value());
   const double cpa_drop = run("CPA", dataset.value()) - run("CPA", spammed.value());
   EXPECT_LT(cpa_drop, mv_drop + 0.02);
+}
+
+TEST(IntegrationTest, FitCpaPredictionsIdenticalForOneAndFourThreads) {
+  // The sweep scheduler's deterministic partials (core/sweep/) make the
+  // whole fit bit-identical for any thread count: exact equality of the
+  // posterior and of every instantiated prediction, paper example included.
+  const Dataset tiny = PaperTableOne();
+  FactoryOptions factory_options;
+  factory_options.scale = 0.08;
+  auto simulated = MakePaperDataset(PaperDatasetId::kTopic, factory_options);
+  ASSERT_TRUE(simulated.ok());
+  ThreadPool pool(4);
+  const Dataset& simulated_ref = simulated.value();
+  for (const Dataset* d : {&tiny, &simulated_ref}) {
+    CpaOptions options = CpaOptions::Recommended(d->num_items(), d->num_labels);
+    options.max_iterations = 15;
+    const auto sequential = SolveCpaOffline(d->answers, d->num_labels, options);
+    ASSERT_TRUE(sequential.ok());
+    const auto parallel = SolveCpaOffline(d->answers, d->num_labels, options,
+                                          CpaVariant::kFull, &pool);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_DOUBLE_EQ(
+        sequential.value().model.kappa.MaxAbsDiff(parallel.value().model.kappa), 0.0);
+    EXPECT_DOUBLE_EQ(
+        sequential.value().model.phi.MaxAbsDiff(parallel.value().model.phi), 0.0);
+    ASSERT_EQ(sequential.value().predictions.size(), parallel.value().predictions.size());
+    for (std::size_t i = 0; i < sequential.value().predictions.size(); ++i) {
+      EXPECT_EQ(sequential.value().predictions[i], parallel.value().predictions[i]);
+    }
+  }
 }
 
 TEST(IntegrationTest, OnlineOfflineAgreeOnFinalPredictionsQuality) {

@@ -82,6 +82,30 @@ TEST(ParallelForTest, SmallRangeRunsInlineWithMinShard) {
   for (int t : touched) EXPECT_EQ(t, 1);
 }
 
+TEST(ParallelForTest, MoreThreadsThanWorkStillCoversRange) {
+  // total(2) with 8 pool threads: shard computation must not produce empty
+  // or overlapping shards.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(2);
+  ParallelFor(&pool, touched.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForTest, SubmittingMoreBlocksThanThreadsDrains) {
+  // The sweep scheduler submits up to 16 reduce blocks to pools of any
+  // size; a 2-thread pool must queue and drain them all before Wait
+  // returns.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int b = 0; b < 16; ++b) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 16);
+}
+
 TEST(ParallelForTest, ParallelSumMatchesSequential) {
   ThreadPool pool(4);
   const std::size_t n = 100000;
