@@ -1,0 +1,209 @@
+/// Fig 11 (repo extension, no paper counterpart): multi-session server
+/// throughput. N concurrent synthetic answer streams drive one
+/// `ConsensusServer` through the line-delimited JSON protocol — every
+/// client thread opens its own session, streams its batches, polls
+/// snapshots, finalizes and closes — while all sessions' sweep work shares
+/// one `ServerScheduler` pool. Reports sessions/s, answers/s, and
+/// p50/p95 snapshot latency into `BENCH_fig11_server_throughput.json`.
+///
+///   $ fig11_server_throughput                   # 8 sessions, 2 shared threads
+///   $ fig11_server_throughput --sessions 16 --num-threads 4 --method MV
+///
+/// `--method MV` (or any offline method) makes every refresh snapshot a
+/// refit on the data so far — the worst-case polling load; the default
+/// CPA-SVI pays one incremental step per batch.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/consensus_server.h"
+#include "server/protocol.h"
+#include "simulation/perturbations.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+#include "util/string_utils.h"
+
+using namespace cpa;
+
+namespace {
+
+/// Wall-clock milliseconds of one request/response exchange.
+double TimedRequest(ConsensusServer& server, const std::string& request,
+                    std::string& response) {
+  const Stopwatch stopwatch;
+  response = server.HandleLine(request);
+  return stopwatch.ElapsedMillis();
+}
+
+/// Asserts the response line parses and carries `"ok":true`.
+void CheckOk(const std::string& response, const char* what) {
+  const auto parsed = JsonValue::Parse(response);
+  CPA_CHECK(parsed.ok()) << what << ": " << response;
+  const JsonValue* ok = parsed.value().Find("ok");
+  CPA_CHECK(ok != nullptr && ok->bool_value()) << what << ": " << response;
+}
+
+struct ClientStats {
+  std::size_t answers = 0;
+  std::vector<double> snapshot_ms;  ///< refresh snapshots (one per batch)
+  std::vector<double> poll_ms;      ///< cached polls (one per batch)
+};
+
+/// One synthetic stream: open → (observe + snapshot + poll) per batch →
+/// finalize → close, all through the wire protocol.
+ClientStats RunClient(ConsensusServer& server, const std::string& session,
+                      const EngineConfig& config, const Dataset& dataset,
+                      const BatchPlan& plan) {
+  ClientStats stats;
+  std::string response;
+
+  JsonValue::Object open;
+  open["op"] = JsonValue(std::string("open"));
+  open["session"] = JsonValue(session);
+  open["config"] = config.ToJson();
+  response = server.HandleLine(JsonValue(std::move(open)).DumpCompact());
+  CheckOk(response, "open");
+
+  std::vector<Answer> batch_answers;
+  for (const auto& batch : plan.batches) {
+    batch_answers.clear();
+    batch_answers.reserve(batch.size());
+    for (std::size_t index : batch) {
+      batch_answers.push_back(dataset.answers.answer(index));
+    }
+    response =
+        server.HandleLine(server::MakeObserveRequest(session, batch_answers));
+    CheckOk(response, "observe");
+    stats.answers += batch.size();
+
+    // A refresh snapshot (the consensus-so-far a client acts on) ...
+    stats.snapshot_ms.push_back(TimedRequest(
+        server,
+        StrFormat("{\"op\":\"snapshot\",\"session\":\"%s\","
+                  "\"predictions\":false}",
+                  session.c_str()),
+        response));
+    CheckOk(response, "snapshot");
+    // ... and a cached poll (what a dashboard hammers between batches).
+    stats.poll_ms.push_back(TimedRequest(
+        server,
+        StrFormat("{\"op\":\"snapshot\",\"session\":\"%s\","
+                  "\"refresh\":false,\"predictions\":false}",
+                  session.c_str()),
+        response));
+    CheckOk(response, "poll");
+  }
+
+  response = server.HandleLine(
+      StrFormat("{\"op\":\"finalize\",\"session\":\"%s\",\"predictions\":false}",
+                session.c_str()));
+  CheckOk(response, "finalize");
+  response = server.HandleLine(
+      StrFormat("{\"op\":\"close\",\"session\":\"%s\"}", session.c_str()));
+  CheckOk(response, "close");
+  return stats;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv, 0.08);
+  const auto flags = Flags::Parse(argc, argv);
+  CPA_CHECK(flags.ok()) << flags.status().ToString();
+  const std::size_t sessions =
+      static_cast<std::size_t>(flags.value().GetInt("sessions", 8));
+  const std::size_t num_threads =
+      static_cast<std::size_t>(flags.value().GetInt("num-threads", 2));
+  const std::size_t batches =
+      static_cast<std::size_t>(flags.value().GetInt("batches", 5));
+  const std::string method = flags.value().GetString("method", "CPA-SVI");
+  CPA_CHECK(sessions >= 1 && batches >= 1);
+
+  bench::PrintHeader(
+      "Fig 11 (extension) — multi-session server throughput",
+      StrFormat("%zu concurrent %s streams over the JSON wire protocol, "
+                "sweeps on one shared %zu-thread pool",
+                sessions, method.c_str(), num_threads),
+      config);
+
+  const Dataset dataset = bench::LoadPaperDataset(PaperDatasetId::kTopic, config);
+  EngineConfig engine_config = EngineConfig::ForDataset(method, dataset);
+  engine_config.cpa.max_iterations = config.cpa_iterations;
+
+  ConsensusServerOptions server_options;
+  server_options.sessions.num_threads = num_threads;
+  server_options.sessions.max_sessions = sessions + 1;
+  ConsensusServer server(server_options);
+
+  // Every client streams the same answers in a session-specific arrival
+  // order (distinct shuffles — the load, not the fit, is the subject).
+  std::vector<BatchPlan> plans;
+  plans.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    Rng rng(config.seed + s);
+    plans.push_back(MakeArrivalSchedule(dataset.answers, batches, rng));
+  }
+
+  std::vector<ClientStats> stats(sessions);
+  std::vector<std::thread> clients;
+  clients.reserve(sessions);
+  const Stopwatch wall;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    clients.emplace_back([&, s] {
+      stats[s] = RunClient(server, StrFormat("stream-%zu", s), engine_config,
+                           dataset, plans[s]);
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double wall_s = wall.ElapsedSeconds();
+  CPA_CHECK_EQ(server.sessions().num_sessions(), 0u);
+
+  std::size_t total_answers = 0;
+  std::vector<double> snapshot_ms;
+  std::vector<double> poll_ms;
+  for (const ClientStats& client : stats) {
+    total_answers += client.answers;
+    snapshot_ms.insert(snapshot_ms.end(), client.snapshot_ms.begin(),
+                       client.snapshot_ms.end());
+    poll_ms.insert(poll_ms.end(), client.poll_ms.begin(), client.poll_ms.end());
+  }
+  const double sessions_per_s = static_cast<double>(sessions) / wall_s;
+  const double answers_per_s = static_cast<double>(total_answers) / wall_s;
+
+  std::printf("\n%-28s %12s\n", "metric", "value");
+  std::printf("%-28s %12.2f\n", "wall time (s)", wall_s);
+  std::printf("%-28s %12.2f\n", "sessions/s", sessions_per_s);
+  std::printf("%-28s %12.0f\n", "answers/s", answers_per_s);
+  std::printf("%-28s %12.2f\n", "snapshot p50 (ms)", Percentile(snapshot_ms, 0.5));
+  std::printf("%-28s %12.2f\n", "snapshot p95 (ms)", Percentile(snapshot_ms, 0.95));
+  std::printf("%-28s %12.3f\n", "cached poll p50 (ms)", Percentile(poll_ms, 0.5));
+
+  bench::BenchReport report("fig11_server_throughput", config);
+  report.Add("sessions", static_cast<double>(sessions), "count");
+  report.Add("shared_pool_threads", static_cast<double>(num_threads), "count");
+  report.Add("batches_per_session", static_cast<double>(batches), "count");
+  report.Add("answers_total", static_cast<double>(total_answers), "count");
+  report.Add("wall", wall_s, "s");
+  report.Add("sessions_per_s", sessions_per_s, "1/s");
+  report.Add("answers_per_s", answers_per_s, "1/s");
+  report.Add("snapshot_p50", Percentile(snapshot_ms, 0.5), "ms");
+  report.Add("snapshot_p95", Percentile(snapshot_ms, 0.95), "ms");
+  report.Add("poll_p50", Percentile(poll_ms, 0.5), "ms");
+  CPA_CHECK_OK(report.Write());
+  return 0;
+}

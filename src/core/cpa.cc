@@ -20,7 +20,7 @@ std::string_view CpaVariantName(CpaVariant variant) {
 
 Result<CpaSolution> SolveCpaOffline(const AnswerMatrix& answers,
                                     std::size_t num_labels, const CpaOptions& options,
-                                    CpaVariant variant, ThreadPool* pool) {
+                                    CpaVariant variant, Executor* pool) {
   if (variant == CpaVariant::kNoL && num_labels > kNoLExhaustiveLabelLimit) {
     // Faithful to §5.4: the No L instantiation enumerates label subsets
     // (2^C), which "turned out to be intractable for all except the movie
@@ -66,7 +66,7 @@ Result<CpaSolution> SolveCpaOffline(const AnswerMatrix& answers,
   return solution;
 }
 
-CpaAggregator::CpaAggregator(CpaOptions options, CpaVariant variant, ThreadPool* pool)
+CpaAggregator::CpaAggregator(CpaOptions options, CpaVariant variant, Executor* pool)
     : options_(options), variant_(variant), pool_(pool) {}
 
 // CpaAggregator::Aggregate lives in engine/cpa_engines.cc: it drives a

@@ -62,14 +62,14 @@ struct CpaSolution {
 Result<CpaSolution> SolveCpaOffline(const AnswerMatrix& answers,
                                     std::size_t num_labels, const CpaOptions& options,
                                     CpaVariant variant = CpaVariant::kFull,
-                                    ThreadPool* pool = nullptr);
+                                    Executor* pool = nullptr);
 
 /// \brief `Aggregator` adapter: offline fit + prediction in one call (a
 /// thin client of the engine layer's CPA offline session).
 class CpaAggregator : public Aggregator {
  public:
   explicit CpaAggregator(CpaOptions options = {}, CpaVariant variant = CpaVariant::kFull,
-                         ThreadPool* pool = nullptr);
+                         Executor* pool = nullptr);
 
   std::string_view name() const override { return CpaVariantName(variant_); }
 
@@ -85,7 +85,7 @@ class CpaAggregator : public Aggregator {
  private:
   CpaOptions options_;
   CpaVariant variant_;
-  ThreadPool* pool_;
+  Executor* pool_;
   CpaModel model_;
   FitStats stats_;
   bool fitted_ = false;

@@ -250,7 +250,7 @@ LabelSet ExhaustiveInstantiate(const PredictionTables& tables,
 }  // namespace internal
 
 Result<CpaPrediction> PredictLabels(const CpaModel& model, const AnswerMatrix& answers,
-                                    ThreadPool* pool) {
+                                    Executor* pool) {
   if (answers.num_items() != model.num_items() ||
       answers.num_workers() != model.num_workers()) {
     return Status::InvalidArgument("answer matrix does not match model dimensions");

@@ -50,7 +50,7 @@ struct CpaPrediction {
 /// Requires a fitted model (size prior and Bernoulli profile refreshed —
 /// `FitCpa` leaves the model in that state).
 Result<CpaPrediction> PredictLabels(const CpaModel& model, const AnswerMatrix& answers,
-                                    ThreadPool* pool = nullptr);
+                                    Executor* pool = nullptr);
 
 namespace internal {
 

@@ -57,6 +57,21 @@ void UpdateSeenWorkerReliability(
   }
 }
 
+/// Debug-only invariant of the incremental activity maintenance: after a
+/// row patch, the lists must be byte-identical to a from-scratch rebuild.
+#ifndef NDEBUG
+void AssertActivityMatchesPhi(const Matrix& phi, const SweepScheduler& scheduler,
+                              const sweep::ClusterActivity& activity) {
+  sweep::ClusterActivity rebuilt;
+  sweep::BuildClusterActivity(phi, scheduler, rebuilt);
+  CPA_CHECK(sweep::ClusterActivityEquals(activity, rebuilt))
+      << "incremental ClusterActivity diverged from a full rebuild";
+}
+#else
+void AssertActivityMatchesPhi(const Matrix&, const SweepScheduler&,
+                              const sweep::ClusterActivity&) {}
+#endif
+
 }  // namespace
 
 Status SviOptions::Validate() const {
@@ -72,7 +87,7 @@ Status SviOptions::Validate() const {
 
 Result<CpaOnline> CpaOnline::Create(std::size_t num_items, std::size_t num_workers,
                                     std::size_t num_labels, const CpaOptions& options,
-                                    const SviOptions& svi_options, ThreadPool* pool) {
+                                    const SviOptions& svi_options, Executor* pool) {
   CPA_RETURN_NOT_OK(svi_options.Validate());
   CPA_ASSIGN_OR_RETURN(CpaModel model,
                        CpaModel::Create(num_items, num_workers, num_labels, options));
@@ -160,6 +175,9 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
   std::vector<WorkerId> batch_workers;
   batch_workers.reserve(by_worker.size());
   for (const auto& [u, unused] : by_worker) batch_workers.push_back(u);
+  std::vector<ItemId> batch_items;
+  batch_items.reserve(by_item.size());
+  for (const auto& [i, unused] : by_item) batch_items.push_back(i);
 
   // --- MAP phase: local κ updates for the batch workers (parallel; rows
   // are disjoint), through the shared Eq. 2 kernel.
@@ -180,9 +198,11 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
   // consensus evidence → cluster assignments → θ channel, repeated a few
   // times (the offline fit gets this reinforcement for free across its
   // sweeps; a single pass leaves the online consensus noticeably mushier).
-  // The activity lists built after the last round's ϕ updates stay current
-  // through the REDUCE phase below (nothing there writes ϕ).
-  sweep::ClusterActivity activity;
+  // Each round writes ϕ only for the batch items, so the persistent
+  // activity lists are patched (|batch| × T + one splice) instead of
+  // rebuilt from the full I×T ϕ; they stay current through the REDUCE
+  // phase below (nothing there writes ϕ).
+  EnsureActivity(scheduler);
   std::vector<ItemId> seeded_now;
   std::vector<double> worker_weight(model.num_workers(), 1.0);
   for (std::size_t round = 0; round < svi_options_.reinforcement_rounds; ++round) {
@@ -304,13 +324,11 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
     }
 
     // θ channel for the next reinforcement round (and for prediction).
-    sweep::BuildClusterActivity(model.phi, scheduler, activity);
-    sweep::UpdateThetaChannel(model, activity, scheduler);
+    sweep::UpdateClusterActivityRows(model.phi, batch_items, activity_);
+    AssertActivityMatchesPhi(model.phi, scheduler, activity_);
+    sweep::UpdateThetaChannel(model, activity_, scheduler);
     model.RefreshThetaExpectations();
   }  // reinforcement rounds
-  if (svi_options_.reinforcement_rounds == 0) {
-    sweep::BuildClusterActivity(model.phi, scheduler, activity);
-  }
 
   // --- REDUCE phase.
   // λ: incremental sufficient-statistics accumulation (Neal–Hinton style)
@@ -367,8 +385,8 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
   // natural-gradient treatment above), the label-channel statistics cost
   // O(seen items × nnz(ỹ) × T) and blending them would drag clusters that a
   // batch does not touch back toward their prior.
-  sweep::UpdateZeta(model, activity, scheduler);
-  sweep::UpdateThetaChannel(model, activity, scheduler);
+  sweep::UpdateZeta(model, activity_, scheduler);
+  sweep::UpdateThetaChannel(model, activity_, scheduler);
 
   // --- Size-prior counts (plain data statistic, no decay).
   if (max_answer_size + 3 > size_counts_.cols()) {
@@ -399,6 +417,12 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
   return Status::OK();
 }
 
+void CpaOnline::EnsureActivity(const SweepScheduler& scheduler) {
+  if (activity_valid_) return;
+  sweep::BuildClusterActivity(model_.phi, scheduler, activity_);
+  activity_valid_ = true;
+}
+
 void CpaOnline::GlobalRefresh(const AnswerMatrix& answers) {
   EnsureView(answers);
   CpaModel& model = model_;
@@ -407,9 +431,10 @@ void CpaOnline::GlobalRefresh(const AnswerMatrix& answers) {
   const std::size_t C = model.num_labels();
   const CpaOptions& options = model.options();
 
-  // The activity lists built after each round's ϕ updates stay current for
-  // the final ζ rebuild (the stick refresh between them only reads ϕ).
-  sweep::ClusterActivity activity;
+  // Every round rewrites ϕ across all evidenced items (reseed, then soft
+  // updates), so the persistent activity is fully rebuilt per round; the
+  // lists built after each round's ϕ updates stay current for the final ζ
+  // rebuild (the stick refresh between them only reads ϕ).
   std::vector<WorkerId> all_workers(model.num_workers());
   for (WorkerId u = 0; u < model.num_workers(); ++u) all_workers[u] = u;
   std::vector<double> worker_weight(model.num_workers(), 1.0);
@@ -450,13 +475,14 @@ void CpaOnline::GlobalRefresh(const AnswerMatrix& answers) {
             /*min_shard=*/8);
       }
     }
-    sweep::BuildClusterActivity(model.phi, scheduler, activity);
-    sweep::UpdateThetaChannel(model, activity, scheduler);
+    sweep::BuildClusterActivity(model.phi, scheduler, activity_);
+    activity_valid_ = true;
+    sweep::UpdateThetaChannel(model, activity_, scheduler);
     model.RefreshThetaExpectations();
     sweep::UpdateSticks(model.upsilon, model.phi, options.epsilon, scheduler);
     StickBreakingExpectedLog(model.upsilon, model.elog_tau);
   }
-  sweep::UpdateZeta(model, activity, scheduler);
+  sweep::UpdateZeta(model, activity_, scheduler);
   model.RefreshExpectations();
 }
 

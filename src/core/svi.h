@@ -30,6 +30,7 @@
 #include "core/cpa_model.h"
 #include "core/prediction.h"
 #include "core/sweep/answer_view.h"
+#include "core/sweep/sweep_kernels.h"
 #include "data/answer_matrix.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -68,7 +69,7 @@ class CpaOnline {
   static Result<CpaOnline> Create(std::size_t num_items, std::size_t num_workers,
                                   std::size_t num_labels, const CpaOptions& options,
                                   const SviOptions& svi_options,
-                                  ThreadPool* pool = nullptr);
+                                  Executor* pool = nullptr);
 
   /// Consumes one batch: `batch` holds flat indices into
   /// `answers.answers()`. Only those answers are read — the learner never
@@ -108,9 +109,22 @@ class CpaOnline {
   /// seen data; see Predict.
   void GlobalRefresh(const AnswerMatrix& answers);
 
+  /// Full `activity_` rebuild from the current ϕ when it is stale (first
+  /// batch, or after a pass that rewrote ϕ globally).
+  void EnsureActivity(const SweepScheduler& scheduler);
+
   CpaModel model_;
   SviOptions svi_options_;
-  ThreadPool* pool_ = nullptr;
+  Executor* pool_ = nullptr;
+
+  /// Persistent per-item active-cluster lists kept consistent with ϕ: the
+  /// reinforcement rounds patch just the batch items' rows
+  /// (`sweep::UpdateClusterActivityRows`) instead of rescanning the full
+  /// I×T ϕ each round; passes that rewrite ϕ globally rebuild it. Debug
+  /// builds assert equality against a from-scratch rebuild after every
+  /// patch.
+  sweep::ClusterActivity activity_;
+  bool activity_valid_ = false;
 
   /// Flat CSR/SoA layout of the stream matrix for the sweep kernels, plus
   /// the identity of the matrix it was built from: a different matrix

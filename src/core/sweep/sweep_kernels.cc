@@ -66,6 +66,88 @@ void BuildClusterActivity(const Matrix& phi, const SweepScheduler& scheduler,
       /*min_shard=*/kItemGrain);
 }
 
+void UpdateClusterActivityRows(const Matrix& phi, std::span<const ItemId> items,
+                               ClusterActivity& out) {
+  const std::size_t I = phi.rows();
+  const std::size_t T = phi.cols();
+  CPA_CHECK_EQ(out.offsets.size(), I + 1);
+  if (items.empty()) return;
+  std::vector<ItemId> touched(items.begin(), items.end());
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  // Recompute the touched rows into side buffers (|touched| × T scans —
+  // the only ϕ reads of the whole update).
+  std::vector<std::uint32_t> row_offsets(touched.size() + 1, 0);
+  std::vector<std::uint32_t> row_clusters;
+  std::vector<double> row_weights;
+  bool sizes_unchanged = true;
+  for (std::size_t j = 0; j < touched.size(); ++j) {
+    const ItemId i = touched[j];
+    CPA_CHECK_LT(i, I);
+    const auto row = phi.Row(i);
+    for (std::size_t t = 0; t < T; ++t) {
+      if (row[t] < kSkipMass) continue;
+      row_clusters.push_back(static_cast<std::uint32_t>(t));
+      row_weights.push_back(row[t]);
+    }
+    row_offsets[j + 1] = static_cast<std::uint32_t>(row_clusters.size());
+    const std::uint32_t new_count = row_offsets[j + 1] - row_offsets[j];
+    if (new_count != out.offsets[i + 1] - out.offsets[i]) {
+      sizes_unchanged = false;
+    }
+  }
+
+  if (sizes_unchanged) {
+    // Fast path (rows concentrate quickly, so the active set is usually
+    // stable between rounds): overwrite each row in place.
+    for (std::size_t j = 0; j < touched.size(); ++j) {
+      const std::uint32_t from = row_offsets[j];
+      const std::uint32_t count = row_offsets[j + 1] - from;
+      std::copy_n(row_clusters.begin() + from, count,
+                  out.clusters.begin() + out.offsets[touched[j]]);
+      std::copy_n(row_weights.begin() + from, count,
+                  out.weights.begin() + out.offsets[touched[j]]);
+    }
+    return;
+  }
+
+  // Splice: one pass over the CSR, copying untouched rows and inserting
+  // the recomputed ones. O(I + nnz) moves, no ϕ scans.
+  std::vector<std::uint32_t> new_offsets(I + 1, 0);
+  std::vector<std::uint32_t> new_clusters;
+  std::vector<double> new_weights;
+  new_clusters.reserve(out.clusters.size());
+  new_weights.reserve(out.weights.size());
+  std::size_t next_touched = 0;
+  for (ItemId i = 0; i < I; ++i) {
+    if (next_touched < touched.size() && touched[next_touched] == i) {
+      const std::uint32_t from = row_offsets[next_touched];
+      const std::uint32_t to = row_offsets[next_touched + 1];
+      new_clusters.insert(new_clusters.end(), row_clusters.begin() + from,
+                          row_clusters.begin() + to);
+      new_weights.insert(new_weights.end(), row_weights.begin() + from,
+                         row_weights.begin() + to);
+      ++next_touched;
+    } else {
+      new_clusters.insert(new_clusters.end(),
+                          out.clusters.begin() + out.offsets[i],
+                          out.clusters.begin() + out.offsets[i + 1]);
+      new_weights.insert(new_weights.end(), out.weights.begin() + out.offsets[i],
+                         out.weights.begin() + out.offsets[i + 1]);
+    }
+    new_offsets[i + 1] = static_cast<std::uint32_t>(new_clusters.size());
+  }
+  out.offsets = std::move(new_offsets);
+  out.clusters = std::move(new_clusters);
+  out.weights = std::move(new_weights);
+}
+
+bool ClusterActivityEquals(const ClusterActivity& lhs, const ClusterActivity& rhs) {
+  return lhs.offsets == rhs.offsets && lhs.clusters == rhs.clusters &&
+         lhs.weights == rhs.weights;
+}
+
 // ---------------------------------------------------------------------------
 // MAP kernels
 // ---------------------------------------------------------------------------

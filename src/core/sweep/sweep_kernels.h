@@ -66,6 +66,22 @@ struct ClusterActivity {
 void BuildClusterActivity(const Matrix& phi, const SweepScheduler& scheduler,
                           ClusterActivity& out);
 
+/// Recomputes only the activity rows of `items` from the current ϕ,
+/// leaving every other row untouched — the incremental companion of
+/// `BuildClusterActivity` for the SVI batch path, where a reinforcement
+/// round changes just the batch items' ϕ rows (an I×T rescan per round was
+/// the cost flagged in ROADMAP). `out` must already span `phi.rows()`
+/// items; duplicate ids in `items` are fine. When every recomputed row
+/// keeps its entry count the CSR is patched in place; otherwise the arrays
+/// are spliced in one O(nnz) pass — never an I×T scan. The result is
+/// byte-identical to a full rebuild (the SVI loop asserts this in Debug).
+void UpdateClusterActivityRows(const Matrix& phi, std::span<const ItemId> items,
+                               ClusterActivity& out);
+
+/// True when `lhs` and `rhs` hold identical lists (offsets, clusters, and
+/// bit-identical weights) — the Debug-mode incremental-vs-rebuilt check.
+bool ClusterActivityEquals(const ClusterActivity& lhs, const ClusterActivity& rhs);
+
 /// \name MAP kernels (one disjoint row each).
 /// @{
 

@@ -33,10 +33,9 @@ void SweepScheduler::RunBlocks(const std::vector<Block>& blocks,
     for (std::size_t b = 0; b < blocks.size(); ++b) run_block(b);
     return;
   }
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    pool_->Submit([&run_block, b] { run_block(b); });
-  }
-  pool_->Wait();
+  // Per-call latch, not executor-wide Wait: the executor may be a shared
+  // server lane carrying other sessions' blocks concurrently.
+  SubmitAndWait(pool_, blocks.size(), run_block);
 }
 
 }  // namespace cpa

@@ -18,9 +18,14 @@
 ///   is not associative, so identical blocks + an identical merge tree are
 ///   what make a fit bit-identical for 1 and N threads.
 ///
-/// With no pool (nullptr) everything runs inline on the calling thread
+/// With no executor (nullptr) everything runs inline on the calling thread
 /// through the same block structure, so sequential and parallel runs agree
 /// exactly.
+///
+/// The scheduler waits on per-call latches (`SubmitAndWait`), never on
+/// executor-wide idleness, so the executor may be shared — a session lane
+/// of the server's `ServerScheduler` works exactly like an owned
+/// `ThreadPool` here.
 
 #include <cstddef>
 #include <functional>
@@ -31,7 +36,7 @@
 
 namespace cpa {
 
-/// \brief Shards kernels across a pool with deterministic partitioning.
+/// \brief Shards kernels across an executor with deterministic partitioning.
 class SweepScheduler {
  public:
   /// Partial accumulators per `ParallelReduce` call are capped at this many
@@ -39,10 +44,10 @@ class SweepScheduler {
   /// count is a pure function of the range size).
   static constexpr std::size_t kMaxReduceBlocks = 16;
 
-  /// Schedules onto `pool`; nullptr = run everything inline.
-  explicit SweepScheduler(ThreadPool* pool = nullptr) : pool_(pool) {}
+  /// Schedules onto `executor`; nullptr = run everything inline.
+  explicit SweepScheduler(Executor* executor = nullptr) : pool_(executor) {}
 
-  ThreadPool* pool() const { return pool_; }
+  Executor* pool() const { return pool_; }
   std::size_t num_threads() const {
     return pool_ == nullptr ? 1 : pool_->num_threads();
   }
@@ -118,11 +123,11 @@ class SweepScheduler {
   }
 
  private:
-  /// Executes `run_block(b)` for every block, on the pool when present.
+  /// Executes `run_block(b)` for every block, on the executor when present.
   void RunBlocks(const std::vector<Block>& blocks,
                  const std::function<void(std::size_t)>& run_block) const;
 
-  ThreadPool* pool_;
+  Executor* pool_;
 };
 
 }  // namespace cpa

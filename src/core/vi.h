@@ -12,7 +12,7 @@
 /// `FitCpa` is the orchestration loop only; the sweep bodies live in
 /// `core/sweep/` (shared with the SVI local phase of svi.h): the kernels in
 /// `core/sweep/sweep_kernels.h` run over a flat `AnswerView`
-/// (`core/sweep/answer_view.h`) and are sharded across the `ThreadPool` by
+/// (`core/sweep/answer_view.h`) and are sharded across the `Executor` by
 /// a `SweepScheduler` (`core/sweep/sweep_scheduler.h`). Both the local MAP
 /// phase and the global REDUCE accumulations are parallel and bit-identical
 /// for any thread count.
@@ -47,7 +47,7 @@ struct FitOptions {
 
   /// Pool for the parallel sweeps; nullptr = sequential. Results are
   /// bit-identical either way (see core/sweep/sweep_scheduler.h).
-  ThreadPool* pool = nullptr;
+  Executor* pool = nullptr;
 
   /// Record the ELBO after every sweep into `FitStats::elbo_trace`.
   bool track_elbo = false;

@@ -12,7 +12,7 @@ namespace cpa {
 // ---------------------------------------------------------------------------
 
 CpaOfflineEngine::CpaOfflineEngine(CpaOptions options, CpaVariant variant,
-                                   std::size_t num_labels, ThreadPool* pool,
+                                   std::size_t num_labels, Executor* pool,
                                    std::size_t num_threads)
     : AccumulatingEngine(std::string(CpaVariantName(variant)), num_labels),
       options_(options),
@@ -45,7 +45,7 @@ CpaSviEngine::CpaSviEngine(CpaOnline online, std::unique_ptr<ThreadPool> owned_p
 Result<std::unique_ptr<CpaSviEngine>> CpaSviEngine::Create(const EngineConfig& config) {
   CPA_RETURN_NOT_OK(config.Validate());
   std::unique_ptr<ThreadPool> owned_pool;
-  ThreadPool* pool = config.pool;
+  Executor* pool = config.pool;
   if (pool == nullptr && config.num_threads > 1) {
     owned_pool = std::make_unique<ThreadPool>(config.num_threads);
     pool = owned_pool.get();

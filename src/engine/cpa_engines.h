@@ -29,7 +29,7 @@ class CpaOfflineEngine : public AccumulatingEngine {
   /// the session constructs and owns a pool of `num_threads` workers
   /// (1 = sequential). Fits are bit-identical for any thread count.
   CpaOfflineEngine(CpaOptions options, CpaVariant variant, std::size_t num_labels,
-                   ThreadPool* pool = nullptr, std::size_t num_threads = 1);
+                   Executor* pool = nullptr, std::size_t num_threads = 1);
 
   /// The posterior behind the last snapshot (nullptr before the first).
   const CpaModel* model() const { return solved_ ? &solution_.model : nullptr; }
@@ -45,7 +45,7 @@ class CpaOfflineEngine : public AccumulatingEngine {
   CpaOptions options_;
   CpaVariant variant_;
   std::unique_ptr<ThreadPool> owned_pool_;
-  ThreadPool* pool_;
+  Executor* pool_;
   CpaSolution solution_;
   bool solved_ = false;
 };

@@ -54,10 +54,12 @@ struct EngineConfig {
   /// Results are bit-identical for any value (sweep_scheduler.h).
   std::size_t num_threads = 1;
 
-  /// Runtime pool override for parallel sweep phases; takes precedence
-  /// over `num_threads` when non-null (the session will not own it).
+  /// Runtime executor override for parallel sweep phases; takes precedence
+  /// over `num_threads` when non-null (the session will not own it). This
+  /// is how the multi-session server injects its shared pool: each session
+  /// gets a `ServerScheduler` lane here instead of owning a pool.
   /// Runtime-only, never serialized.
-  ThreadPool* pool = nullptr;
+  Executor* pool = nullptr;
 
   /// Config sized for a concrete dataset: dimensions from the dataset,
   /// `cpa` from `CpaOptions::Recommended`.

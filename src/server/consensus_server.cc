@@ -1,0 +1,103 @@
+#include "server/consensus_server.h"
+
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "engine/engine_registry.h"
+
+namespace cpa {
+
+using server::OkResponse;
+using server::OpName;
+using server::Request;
+
+ConsensusServer::ConsensusServer(const ConsensusServerOptions& options)
+    : options_(options), sessions_(options.sessions) {}
+
+std::string ConsensusServer::HandleLine(std::string_view line) {
+  Result<Request> request = server::ParseRequest(line);
+  if (!request.ok()) {
+    return server::ErrorResponse("", "", request.status());
+  }
+  if (options_.idle_timeout_seconds > 0.0) {
+    sessions_.ExpireIdle(options_.idle_timeout_seconds);
+  }
+  return Dispatch(request.value());
+}
+
+std::string ConsensusServer::Dispatch(const Request& request) {
+  const std::string_view op = OpName(request.op);
+  switch (request.op) {
+    case Request::Op::kOpen: {
+      Result<std::string> id = sessions_.Open(request.config, request.session);
+      if (!id.ok()) return server::ErrorResponse(op, request.session, id.status());
+      JsonValue::Object fields;
+      fields["session"] = JsonValue(id.value());
+      fields["method"] = JsonValue(request.config.method);
+      return OkResponse(op, std::move(fields));
+    }
+    case Request::Op::kObserve: {
+      Result<ObserveAck> ack = sessions_.Observe(request.session, request.answers);
+      if (!ack.ok()) return server::ErrorResponse(op, request.session, ack.status());
+      JsonValue::Object fields;
+      fields["session"] = JsonValue(request.session);
+      fields["batches_seen"] =
+          JsonValue(static_cast<double>(ack.value().batches_seen));
+      fields["answers_seen"] =
+          JsonValue(static_cast<double>(ack.value().answers_seen));
+      return OkResponse(op, std::move(fields));
+    }
+    case Request::Op::kSnapshot:
+    case Request::Op::kFinalize: {
+      Result<ConsensusSnapshot> snapshot =
+          request.op == Request::Op::kFinalize
+              ? sessions_.Finalize(request.session)
+              : sessions_.Snapshot(request.session, request.refresh);
+      if (!snapshot.ok()) {
+        return server::ErrorResponse(op, request.session, snapshot.status());
+      }
+      JsonValue::Object fields =
+          server::SnapshotFields(snapshot.value(), request.include_predictions);
+      fields["session"] = JsonValue(request.session);
+      return OkResponse(op, std::move(fields));
+    }
+    case Request::Op::kClose: {
+      const Status status = sessions_.Close(request.session);
+      if (!status.ok()) return server::ErrorResponse(op, request.session, status);
+      JsonValue::Object fields;
+      fields["session"] = JsonValue(request.session);
+      return OkResponse(op, std::move(fields));
+    }
+    case Request::Op::kList: {
+      JsonValue::Array rows;
+      for (const SessionInfo& info : sessions_.List()) {
+        rows.push_back(server::SessionInfoToJson(info));
+      }
+      JsonValue::Object fields;
+      fields["sessions"] = JsonValue(std::move(rows));
+      return OkResponse(op, std::move(fields));
+    }
+    case Request::Op::kMethods: {
+      JsonValue::Array names;
+      for (const std::string& name : EngineRegistry::Global().MethodNames()) {
+        names.push_back(JsonValue(name));
+      }
+      JsonValue::Object fields;
+      fields["methods"] = JsonValue(std::move(names));
+      return OkResponse(op, std::move(fields));
+    }
+  }
+  return server::ErrorResponse("", "", Status::Internal("unhandled op"));
+}
+
+void ConsensusServer::Serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << HandleLine(line) << '\n';
+    out.flush();
+  }
+}
+
+}  // namespace cpa

@@ -1,0 +1,68 @@
+#ifndef CPA_SERVER_CONSENSUS_SERVER_H_
+#define CPA_SERVER_CONSENSUS_SERVER_H_
+
+/// \file consensus_server.h
+/// \brief The multi-session front-end: wire protocol ↔ `SessionManager`.
+///
+/// A `ConsensusServer` turns one request line (protocol.h) into one
+/// response line. `HandleLine` is safe to call from any number of threads
+/// concurrently — the load generator drives one client thread per stream
+/// against a single server instance — and `Serve` wraps it in a blocking
+/// read-request/write-response loop over line-delimited streams (the
+/// `cpa_server` binary runs it over stdin/stdout).
+///
+/// Idle-session expiry: when `idle_timeout_seconds > 0`, every handled
+/// request also sweeps sessions idle longer than the timeout, so an
+/// abandoned stream cannot pin its engine state forever.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+#include "server/session_manager.h"
+
+namespace cpa {
+
+/// \brief Server configuration.
+struct ConsensusServerOptions {
+  /// Shared-pool size and session cap (session_manager.h).
+  SessionManagerOptions sessions;
+
+  /// Expire sessions idle longer than this many seconds (0 = never).
+  double idle_timeout_seconds = 0.0;
+};
+
+/// \brief Serves many concurrent consensus sessions over the JSON protocol.
+class ConsensusServer {
+ public:
+  explicit ConsensusServer(const ConsensusServerOptions& options = {});
+
+  ConsensusServer(const ConsensusServer&) = delete;
+  ConsensusServer& operator=(const ConsensusServer&) = delete;
+
+  /// Handles one request line and returns the response line (no trailing
+  /// newline). Never fails: protocol and engine errors come back as
+  /// `{"ok":false,...}` responses. Thread-safe.
+  std::string HandleLine(std::string_view line);
+
+  /// Reads request lines from `in` until EOF, writing one response line
+  /// each to `out` (flushed per line — clients may pipeline). Blank lines
+  /// are ignored.
+  void Serve(std::istream& in, std::ostream& out);
+
+  /// The session layer (tests and in-process clients drive it directly).
+  SessionManager& sessions() { return sessions_; }
+  const ConsensusServerOptions& options() const { return options_; }
+
+ private:
+  std::string Dispatch(const server::Request& request);
+
+  ConsensusServerOptions options_;
+  SessionManager sessions_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_SERVER_CONSENSUS_SERVER_H_

@@ -1,0 +1,49 @@
+/// \file cpa_server_main.cc
+/// \brief The `cpa_server` binary: the multi-session consensus server over
+/// stdin/stdout.
+///
+///   $ cpa_server [--num-threads N] [--max-sessions S] [--idle-timeout SEC]
+///
+/// One JSON request per input line, one JSON response per output line
+/// (src/server/protocol.h; full format with transcripts in docs/API.md).
+/// Example exchange:
+///
+///   > {"op":"open","config":{"method":"MV","num_items":2,"num_workers":2,
+///      "num_labels":3}}
+///   < {"method":"MV","ok":true,"op":"open","session":"s1"}
+///   > {"op":"observe","session":"s1","answers":[
+///      {"item":0,"worker":0,"labels":[1]}]}
+///   < {"answers_seen":1,"batches_seen":1,"ok":true,"op":"observe",...}
+///
+/// The process exits 0 at EOF. Diagnostics go to stderr; stdout carries
+/// only response lines.
+
+#include <cstdio>
+#include <iostream>
+
+#include "server/consensus_server.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  const auto flags = cpa::Flags::Parse(argc, argv);
+  CPA_CHECK(flags.ok()) << flags.status().ToString();
+
+  cpa::ConsensusServerOptions options;
+  options.sessions.num_threads =
+      static_cast<std::size_t>(flags.value().GetInt("num-threads", 1));
+  options.sessions.max_sessions =
+      static_cast<std::size_t>(flags.value().GetInt("max-sessions", 64));
+  options.idle_timeout_seconds = flags.value().GetDouble("idle-timeout", 0.0);
+  CPA_CHECK_GE(options.sessions.num_threads, 1u);
+  CPA_CHECK_GE(options.sessions.max_sessions, 1u);
+
+  cpa::ConsensusServer server(options);
+  std::fprintf(stderr,
+               "cpa_server: serving on stdin/stdout (num_threads=%zu, "
+               "max_sessions=%zu, idle_timeout=%.1fs)\n",
+               options.sessions.num_threads, options.sessions.max_sessions,
+               options.idle_timeout_seconds);
+  server.Serve(std::cin, std::cout);
+  return 0;
+}

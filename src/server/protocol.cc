@@ -1,0 +1,231 @@
+#include "server/protocol.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/string_utils.h"
+
+namespace cpa::server {
+namespace {
+
+JsonValue Num(std::size_t value) { return JsonValue(static_cast<double>(value)); }
+
+/// Ids on the wire are 32-bit (data/types.h); anything larger must be
+/// rejected, not silently wrapped onto some other entity.
+constexpr double kMaxId = 4294967295.0;  // 2^32 - 1
+
+/// Reads a non-negative 32-bit integer field of `object`.
+Result<std::size_t> ReadId(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || value->kind() != JsonValue::Kind::kNumber ||
+      value->number_value() < 0.0 || value->number_value() > kMaxId ||
+      std::floor(value->number_value()) != value->number_value()) {
+    return Status::InvalidArgument(StrFormat(
+        "answer field '%s' must be a non-negative 32-bit integer", key));
+  }
+  return static_cast<std::size_t>(value->number_value());
+}
+
+Result<Answer> AnswerFromJson(const JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("each answer must be a JSON object");
+  }
+  Answer answer;
+  CPA_ASSIGN_OR_RETURN(std::size_t item, ReadId(json, "item"));
+  CPA_ASSIGN_OR_RETURN(std::size_t worker, ReadId(json, "worker"));
+  answer.item = static_cast<ItemId>(item);
+  answer.worker = static_cast<WorkerId>(worker);
+  const JsonValue* labels = json.Find("labels");
+  if (labels == nullptr || labels->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("answer field 'labels' must be an array");
+  }
+  std::vector<LabelId> ids;
+  ids.reserve(labels->array().size());
+  for (const JsonValue& label : labels->array()) {
+    if (label.kind() != JsonValue::Kind::kNumber || label.number_value() < 0.0 ||
+        label.number_value() > kMaxId ||
+        std::floor(label.number_value()) != label.number_value()) {
+      return Status::InvalidArgument(
+          "answer labels must be non-negative 32-bit integers");
+    }
+    ids.push_back(static_cast<LabelId>(label.number_value()));
+  }
+  answer.labels = LabelSet::FromUnsorted(std::move(ids));
+  return answer;
+}
+
+Result<std::string> ReadSession(const JsonValue& json, Request::Op op) {
+  const JsonValue* session = json.Find("session");
+  if (session == nullptr || session->kind() != JsonValue::Kind::kString ||
+      session->string_value().empty()) {
+    return Status::InvalidArgument(
+        StrFormat("op '%s' requires a non-empty string field 'session'",
+                  std::string(OpName(op)).c_str()));
+  }
+  return session->string_value();
+}
+
+bool ReadFlag(const JsonValue& json, const char* key, bool fallback) {
+  const JsonValue* value = json.Find(key);
+  return value != nullptr && value->kind() == JsonValue::Kind::kBool
+             ? value->bool_value()
+             : fallback;
+}
+
+}  // namespace
+
+std::string_view OpName(Request::Op op) {
+  switch (op) {
+    case Request::Op::kOpen: return "open";
+    case Request::Op::kObserve: return "observe";
+    case Request::Op::kSnapshot: return "snapshot";
+    case Request::Op::kFinalize: return "finalize";
+    case Request::Op::kClose: return "close";
+    case Request::Op::kList: return "list";
+    case Request::Op::kMethods: return "methods";
+  }
+  return "unknown";
+}
+
+Result<Request> ParseRequest(std::string_view line) {
+  CPA_ASSIGN_OR_RETURN(JsonValue json, JsonValue::Parse(line));
+  if (json.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const JsonValue* op = json.Find("op");
+  if (op == nullptr || op->kind() != JsonValue::Kind::kString) {
+    return Status::InvalidArgument("request needs a string field 'op'");
+  }
+  Request request;
+  const std::string& name = op->string_value();
+  if (name == "open") {
+    request.op = Request::Op::kOpen;
+    const JsonValue* config = json.Find("config");
+    if (config == nullptr) {
+      return Status::InvalidArgument("op 'open' requires a 'config' object");
+    }
+    CPA_ASSIGN_OR_RETURN(request.config, EngineConfig::FromJson(*config));
+    if (const JsonValue* session = json.Find("session")) {
+      if (session->kind() != JsonValue::Kind::kString) {
+        return Status::InvalidArgument("'session' must be a string");
+      }
+      request.session = session->string_value();
+    }
+    return request;
+  }
+  if (name == "observe") {
+    request.op = Request::Op::kObserve;
+    CPA_ASSIGN_OR_RETURN(request.session, ReadSession(json, request.op));
+    const JsonValue* answers = json.Find("answers");
+    if (answers == nullptr || answers->kind() != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument("op 'observe' requires an 'answers' array");
+    }
+    request.answers.reserve(answers->array().size());
+    for (const JsonValue& answer : answers->array()) {
+      CPA_ASSIGN_OR_RETURN(Answer parsed, AnswerFromJson(answer));
+      request.answers.push_back(std::move(parsed));
+    }
+    return request;
+  }
+  if (name == "snapshot" || name == "finalize") {
+    request.op =
+        name == "snapshot" ? Request::Op::kSnapshot : Request::Op::kFinalize;
+    CPA_ASSIGN_OR_RETURN(request.session, ReadSession(json, request.op));
+    request.refresh = ReadFlag(json, "refresh", true);
+    request.include_predictions = ReadFlag(json, "predictions", true);
+    return request;
+  }
+  if (name == "close") {
+    request.op = Request::Op::kClose;
+    CPA_ASSIGN_OR_RETURN(request.session, ReadSession(json, request.op));
+    return request;
+  }
+  if (name == "list") {
+    request.op = Request::Op::kList;
+    return request;
+  }
+  if (name == "methods") {
+    request.op = Request::Op::kMethods;
+    return request;
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown op '%s' (expected open/observe/snapshot/finalize/close/"
+      "list/methods)",
+      name.c_str()));
+}
+
+std::string ErrorResponse(std::string_view op, std::string_view session,
+                          const Status& status) {
+  JsonValue::Object fields;
+  fields["ok"] = JsonValue(false);
+  if (!op.empty()) fields["op"] = JsonValue(std::string(op));
+  if (!session.empty()) fields["session"] = JsonValue(std::string(session));
+  fields["code"] = JsonValue(std::string(StatusCodeToString(status.code())));
+  fields["error"] = JsonValue(std::string(status.message()));
+  return JsonValue(std::move(fields)).DumpCompact();
+}
+
+std::string OkResponse(std::string_view op, JsonValue::Object fields) {
+  fields["ok"] = JsonValue(true);
+  fields["op"] = JsonValue(std::string(op));
+  return JsonValue(std::move(fields)).DumpCompact();
+}
+
+JsonValue::Object SnapshotFields(const ConsensusSnapshot& snapshot,
+                                 bool include_predictions) {
+  JsonValue::Object fields;
+  fields["method"] = JsonValue(snapshot.method);
+  fields["batches_seen"] = Num(snapshot.batches_seen);
+  fields["answers_seen"] = Num(snapshot.answers_seen);
+  fields["iterations"] = Num(snapshot.fit_stats.iterations);
+  fields["learning_rate"] = JsonValue(snapshot.learning_rate);
+  fields["finalized"] = JsonValue(snapshot.finalized);
+  if (include_predictions) {
+    JsonValue::Array predictions;
+    predictions.reserve(snapshot.predictions.size());
+    for (const LabelSet& labels : snapshot.predictions) {
+      JsonValue::Array row;
+      row.reserve(labels.size());
+      for (LabelId label : labels) row.push_back(Num(label));
+      predictions.push_back(JsonValue(std::move(row)));
+    }
+    fields["predictions"] = JsonValue(std::move(predictions));
+  }
+  return fields;
+}
+
+JsonValue SessionInfoToJson(const SessionInfo& info) {
+  JsonValue::Object fields;
+  fields["session"] = JsonValue(info.id);
+  fields["method"] = JsonValue(info.method);
+  fields["batches_seen"] = Num(info.batches_seen);
+  fields["answers_seen"] = Num(info.answers_seen);
+  fields["finalized"] = JsonValue(info.finalized);
+  fields["idle_seconds"] = JsonValue(info.idle_seconds);
+  return JsonValue(std::move(fields));
+}
+
+JsonValue AnswerToJson(const Answer& answer) {
+  JsonValue::Object fields;
+  fields["item"] = Num(answer.item);
+  fields["worker"] = Num(answer.worker);
+  JsonValue::Array labels;
+  labels.reserve(answer.labels.size());
+  for (LabelId label : answer.labels) labels.push_back(Num(label));
+  fields["labels"] = JsonValue(std::move(labels));
+  return JsonValue(std::move(fields));
+}
+
+std::string MakeObserveRequest(std::string_view session,
+                               std::span<const Answer> answers) {
+  JsonValue::Object fields;
+  fields["op"] = JsonValue(std::string("observe"));
+  fields["session"] = JsonValue(std::string(session));
+  JsonValue::Array array;
+  array.reserve(answers.size());
+  for (const Answer& answer : answers) array.push_back(AnswerToJson(answer));
+  fields["answers"] = JsonValue(std::move(array));
+  return JsonValue(std::move(fields)).DumpCompact();
+}
+
+}  // namespace cpa::server

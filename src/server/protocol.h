@@ -1,0 +1,102 @@
+#ifndef CPA_SERVER_PROTOCOL_H_
+#define CPA_SERVER_PROTOCOL_H_
+
+/// \file protocol.h
+/// \brief The server's line-delimited JSON wire format.
+///
+/// One request per line, one response line per request. Every request is a
+/// JSON object with an `"op"` key; every response is a JSON object with an
+/// `"ok"` key (`true` plus op-specific fields, or `false` plus `"code"` /
+/// `"error"`). The JSON dialect is `util/json.h` — the same document the
+/// `BENCH_*.json` reports and `EngineConfig` serialization use — emitted
+/// compactly (`DumpCompact`) so a response is always exactly one line.
+///
+/// Ops:
+/// - `open`      {"op","config"{EngineConfig},"session"?}      → session id
+/// - `observe`   {"op","session","answers":[{item,worker,labels}...]}
+/// - `snapshot`  {"op","session","refresh"?,"predictions"?}    → consensus
+/// - `finalize`  {"op","session","predictions"?}               → final
+/// - `close`     {"op","session"}
+/// - `list`      {"op"}                                        → sessions
+/// - `methods`   {"op"}                                        → registry
+///
+/// docs/API.md documents the full format with example transcripts.
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/answer_matrix.h"
+#include "engine/consensus_engine.h"
+#include "engine/engine_config.h"
+#include "server/session_manager.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace cpa::server {
+
+/// \brief A parsed request line.
+struct Request {
+  enum class Op { kOpen, kObserve, kSnapshot, kFinalize, kClose, kList, kMethods };
+
+  Op op = Op::kList;
+  std::string session;  ///< "" when absent (required by most ops)
+
+  /// `open` only: the engine configuration (method, dimensions, options).
+  EngineConfig config;
+
+  /// `observe` only: the answers to append to the stream.
+  std::vector<Answer> answers;
+
+  /// `snapshot` only: false polls the cached snapshot without refitting.
+  bool refresh = true;
+
+  /// `snapshot` / `finalize`: include the predictions array (default) or
+  /// just counters (cheap polls over large item universes).
+  bool include_predictions = true;
+};
+
+/// Stable wire name of an op ("open", "observe", ...).
+std::string_view OpName(Request::Op op);
+
+/// Parses one request line. Unknown ops, missing required fields, and
+/// malformed JSON all fail with InvalidArgument.
+Result<Request> ParseRequest(std::string_view line);
+
+/// \name Response builders (each returns one line, no trailing newline).
+/// @{
+
+/// `{"ok":false,"op":...,"session":...,"code":...,"error":...}`.
+std::string ErrorResponse(std::string_view op, std::string_view session,
+                          const Status& status);
+
+/// `{"ok":true, ...fields}` — `fields` is merged in (must not set "ok").
+std::string OkResponse(std::string_view op, JsonValue::Object fields);
+
+/// The snapshot body shared by `snapshot` and `finalize` responses:
+/// method, counters, learning rate, iterations, finalized flag, and —
+/// when `include_predictions` — one label array per item.
+JsonValue::Object SnapshotFields(const ConsensusSnapshot& snapshot,
+                                 bool include_predictions);
+
+/// One row of a `list` response.
+JsonValue SessionInfoToJson(const SessionInfo& info);
+
+/// @}
+
+/// \name Answer conversions (shared with the load generator).
+/// @{
+
+/// `{"item":i,"worker":u,"labels":[c,...]}`.
+JsonValue AnswerToJson(const Answer& answer);
+
+/// Serializes a whole observe request for `session`.
+std::string MakeObserveRequest(std::string_view session,
+                               std::span<const Answer> answers);
+
+/// @}
+
+}  // namespace cpa::server
+
+#endif  // CPA_SERVER_PROTOCOL_H_

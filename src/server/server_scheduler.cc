@@ -1,0 +1,89 @@
+#include "server/server_scheduler.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cpa {
+
+/// Per-lane task buffer; guarded by the scheduler's mutex.
+struct ServerScheduler::Lane::Queue {
+  std::deque<std::function<void()>> tasks;
+};
+
+ServerScheduler::Lane::~Lane() { scheduler_->Unregister(queue_); }
+
+void ServerScheduler::Lane::Submit(std::function<void()> task) {
+  scheduler_->Enqueue(queue_, std::move(task));
+}
+
+std::size_t ServerScheduler::Lane::num_threads() const {
+  return scheduler_->num_threads();
+}
+
+ServerScheduler::ServerScheduler(std::size_t num_threads) : pool_(num_threads) {}
+
+ServerScheduler::~ServerScheduler() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CPA_CHECK(lanes_.empty()) << "ServerScheduler destroyed with live lanes";
+}
+
+std::unique_ptr<ServerScheduler::Lane> ServerScheduler::CreateLane() {
+  auto queue = std::make_unique<Lane::Queue>();
+  Lane::Queue* raw = queue.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lanes_.push_back(std::move(queue));
+  }
+  return std::unique_ptr<Lane>(new Lane(this, raw));
+}
+
+std::size_t ServerScheduler::num_lanes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lanes_.size();
+}
+
+void ServerScheduler::Enqueue(Lane::Queue* queue, std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue->tasks.push_back(std::move(task));
+  }
+  // One anonymous drain call per task keeps the pool's pending count equal
+  // to the number of buffered tasks; which lane a drain serves is decided
+  // at run time, in round-robin order.
+  pool_.Submit([this] { RunNext(); });
+}
+
+void ServerScheduler::Unregister(Lane::Queue* queue) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].get() != queue) continue;
+    // An idle lane (the documented destruction precondition) has an empty
+    // buffer; any leftover tasks are dropped and their drain calls below
+    // simply find nothing.
+    lanes_.erase(lanes_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (cursor_ > i) --cursor_;
+    if (!lanes_.empty()) cursor_ %= lanes_.size();
+    return;
+  }
+  CPA_CHECK(false) << "lane not registered";
+}
+
+void ServerScheduler::RunNext() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t n = lanes_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      Lane::Queue* queue = lanes_[(cursor_ + k) % n].get();
+      if (queue->tasks.empty()) continue;
+      task = std::move(queue->tasks.front());
+      queue->tasks.pop_front();
+      cursor_ = (cursor_ + k + 1) % n;
+      break;
+    }
+  }
+  if (task) task();
+}
+
+}  // namespace cpa

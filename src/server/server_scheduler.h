@@ -1,0 +1,101 @@
+#ifndef CPA_SERVER_SERVER_SCHEDULER_H_
+#define CPA_SERVER_SERVER_SCHEDULER_H_
+
+/// \file server_scheduler.h
+/// \brief One shared `ThreadPool`, many session lanes, fair round-robin.
+///
+/// Under the multi-session server, one pool per session would oversubscribe
+/// the machine (S sessions × N threads) and let one big session starve the
+/// rest of pool bandwidth. The `ServerScheduler` replaces session-owned
+/// pools: every session gets a `Lane` — an `Executor` it can treat exactly
+/// like an owned pool — while the actual workers live in one shared
+/// `ThreadPool`. Tasks are buffered per lane and drained in round-robin
+/// lane order, so a session submitting thousands of sweep shards cannot
+/// wedge itself ahead of a session submitting three.
+///
+/// Scheduling order never changes results: the sweep layer's partitioning
+/// and merge trees are thread-count and execution-order invariant
+/// (core/sweep/sweep_scheduler.h), so a fit through a lane is bit-identical
+/// to the same fit on an owned pool — or on no pool at all.
+///
+/// Lifetime: lanes must not outlive the scheduler, and a lane must be idle
+/// (no `SubmitAndWait` in flight) when destroyed — the session layer
+/// guarantees both by serialising engine calls per session and destroying
+/// sessions before the scheduler.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace cpa {
+
+/// \brief Multiplexes per-session work onto one shared pool, fairly.
+class ServerScheduler {
+ public:
+  /// One session's submission endpoint. Behaves like an owned pool of
+  /// `num_threads()` workers; actual execution interleaves fairly with
+  /// every other lane of the scheduler.
+  class Lane final : public Executor {
+   public:
+    ~Lane() override;
+
+    Lane(const Lane&) = delete;
+    Lane& operator=(const Lane&) = delete;
+
+    void Submit(std::function<void()> task) override;
+    std::size_t num_threads() const override;
+
+   private:
+    friend class ServerScheduler;
+    struct Queue;
+    Lane(ServerScheduler* scheduler, Queue* queue)
+        : scheduler_(scheduler), queue_(queue) {}
+
+    ServerScheduler* scheduler_;
+    Queue* queue_;
+  };
+
+  /// Spawns the shared pool with `num_threads` workers (>= 1).
+  explicit ServerScheduler(std::size_t num_threads);
+
+  /// Joins the shared pool. Every lane must already be destroyed.
+  ~ServerScheduler();
+
+  ServerScheduler(const ServerScheduler&) = delete;
+  ServerScheduler& operator=(const ServerScheduler&) = delete;
+
+  /// Registers a new lane. The lane holds a reference to the scheduler and
+  /// must be destroyed before it.
+  std::unique_ptr<Lane> CreateLane();
+
+  /// Workers in the shared pool.
+  std::size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Currently registered lanes (diagnostics).
+  std::size_t num_lanes() const;
+
+ private:
+  void Enqueue(Lane::Queue* queue, std::function<void()> task);
+  void Unregister(Lane::Queue* queue);
+
+  /// Pops one task from the next non-empty lane in round-robin order and
+  /// runs it. Executed by pool workers, one call per enqueued task.
+  void RunNext();
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Lane::Queue>> lanes_;
+  std::size_t cursor_ = 0;  ///< next lane index to drain from
+
+  /// Declared last: destroyed first, so the pool drains its queued
+  /// `RunNext` calls while `mutex_` and `lanes_` are still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_SERVER_SERVER_SCHEDULER_H_

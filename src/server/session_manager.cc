@@ -1,0 +1,306 @@
+#include "server/session_manager.h"
+
+#include <atomic>
+#include <set>
+#include <utility>
+
+#include "engine/engine_registry.h"
+#include "util/string_utils.h"
+
+namespace cpa {
+
+/// \brief One live session. `mutex` serialises the engine calls (and the
+/// stream-matrix appends feeding them); `cache_mutex` guards the poll
+/// state so `Snapshot(refresh=false)` and `List` never wait on `mutex`.
+struct SessionManager::Session {
+  std::mutex mutex;
+  EngineConfig config;  ///< effective config (lane-bound, no owned pool)
+  AnswerMatrix stream;
+  std::unique_ptr<ServerScheduler::Lane> lane;  ///< destroyed after engine
+  std::unique_ptr<ConsensusEngine> engine;
+
+  /// Set (under `mutex`) when `ExpireIdle` removes the session. A caller
+  /// that looked the session up before the expiry but acquires `mutex`
+  /// after it sees the flag and reports NotFound instead of feeding
+  /// answers to a session that no longer exists.
+  bool closed = false;
+
+  std::mutex cache_mutex;
+  ConsensusSnapshot cached;  ///< last refreshed/finalized snapshot
+  std::size_t batches_seen = 0;
+  std::size_t answers_seen = 0;
+  bool finalized = false;
+
+  std::atomic<double> last_touch{0.0};  ///< NowSeconds of the last operation
+};
+
+SessionManager::SessionManager(const SessionManagerOptions& options)
+    : options_(options),
+      scheduler_(options.num_threads > 1
+                     ? std::make_unique<ServerScheduler>(options.num_threads)
+                     : nullptr),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+SessionManager::~SessionManager() = default;
+
+double SessionManager::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::Find(
+    std::string_view session_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Result<std::string> SessionManager::Open(const EngineConfig& config,
+                                         std::string session_id) {
+  // Fast pre-checks so a saturated server rejects floods of opens without
+  // paying engine/lane construction (both re-checked at insertion — a
+  // concurrent Open may have raced us in between).
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.size() >= options_.max_sessions) {
+      return Status::FailedPrecondition(
+          StrFormat("session limit reached (%zu open, max_sessions=%zu)",
+                    sessions_.size(), options_.max_sessions));
+    }
+    if (!session_id.empty() && sessions_.count(session_id) > 0) {
+      return Status::InvalidArgument(
+          StrFormat("session id '%s' is already open", session_id.c_str()));
+    }
+  }
+  auto session = std::make_shared<Session>();
+  session->config = config;
+  // Under the manager every session runs on the shared pool (or inline):
+  // session-owned pools are exactly what the server replaces.
+  session->config.num_threads = 1;
+  session->config.pool = nullptr;
+  if (scheduler_ != nullptr) {
+    session->lane = scheduler_->CreateLane();
+    session->config.pool = session->lane.get();
+  }
+  CPA_ASSIGN_OR_RETURN(session->engine,
+                       EngineRegistry::Global().Open(session->config));
+  session->stream = AnswerMatrix(config.num_items, config.num_workers);
+  // Seed the poll cache so refresh=false works from the first request.
+  CPA_ASSIGN_OR_RETURN(session->cached, session->engine->Snapshot());
+  session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.size() >= options_.max_sessions) {
+    return Status::FailedPrecondition(
+        StrFormat("session limit reached (%zu open, max_sessions=%zu)",
+                  sessions_.size(), options_.max_sessions));
+  }
+  if (session_id.empty()) {
+    do {
+      session_id = StrFormat("s%zu", next_id_++);
+    } while (sessions_.count(session_id) > 0);
+  } else if (sessions_.count(session_id) > 0) {
+    return Status::InvalidArgument(
+        StrFormat("session id '%s' is already open", session_id.c_str()));
+  }
+  sessions_.emplace(session_id, std::move(session));
+  return session_id;
+}
+
+Result<ObserveAck> SessionManager::Observe(std::string_view session_id,
+                                           std::span<const Answer> answers) {
+  std::shared_ptr<Session> session = Find(session_id);
+  if (session == nullptr) {
+    return Status::NotFound(
+        StrFormat("unknown session '%s'", std::string(session_id).c_str()));
+  }
+  std::lock_guard<std::mutex> lock(session->mutex);
+  if (session->closed) {
+    return Status::NotFound(
+        StrFormat("unknown session '%s'", std::string(session_id).c_str()));
+  }
+  session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
+  if (session->engine->finalized()) {
+    return Status::FailedPrecondition(
+        StrFormat("session '%s' is finalized; it accepts no more answers",
+                  std::string(session_id).c_str()));
+  }
+  // Validate the whole batch before touching the stream, so a rejected
+  // request leaves the session exactly as it was.
+  std::set<std::pair<ItemId, WorkerId>> cells;
+  for (const Answer& answer : answers) {
+    if (answer.item >= session->stream.num_items() ||
+        answer.worker >= session->stream.num_workers()) {
+      return Status::OutOfRange(StrFormat(
+          "answer (item %u, worker %u) outside the session's %zu x %zu stream",
+          answer.item, answer.worker, session->stream.num_items(),
+          session->stream.num_workers()));
+    }
+    if (answer.labels.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "answer (item %u, worker %u) has an empty label set ('no answer' "
+          "is absence, not the empty set)",
+          answer.item, answer.worker));
+    }
+    // The kernels index fixed-width C arrays by label id; wire input must
+    // not reach them with labels outside the session's universe.
+    for (LabelId label : answer.labels) {
+      if (label >= session->config.num_labels) {
+        return Status::OutOfRange(StrFormat(
+            "answer (item %u, worker %u) carries label %u outside the "
+            "session's %zu-label universe",
+            answer.item, answer.worker, label, session->config.num_labels));
+      }
+    }
+    if (!cells.insert({answer.item, answer.worker}).second ||
+        session->stream.HasAnswer(answer.item, answer.worker)) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate answer for (item %u, worker %u)", answer.item,
+                    answer.worker));
+    }
+  }
+  std::vector<std::size_t> indices;
+  indices.reserve(answers.size());
+  for (const Answer& answer : answers) {
+    indices.push_back(session->stream.num_answers());
+    CPA_RETURN_NOT_OK(
+        session->stream.Add(answer.item, answer.worker, answer.labels));
+  }
+  CPA_RETURN_NOT_OK(session->engine->Observe({&session->stream, indices}));
+  ObserveAck ack;
+  ack.batches_seen = session->engine->batches_seen();
+  ack.answers_seen = session->engine->answers_seen();
+  {
+    std::lock_guard<std::mutex> cache_lock(session->cache_mutex);
+    session->batches_seen = ack.batches_seen;
+    session->answers_seen = ack.answers_seen;
+  }
+  session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
+  return ack;
+}
+
+Result<ConsensusSnapshot> SessionManager::Snapshot(std::string_view session_id,
+                                                   bool refresh) {
+  std::shared_ptr<Session> session = Find(session_id);
+  if (session == nullptr) {
+    return Status::NotFound(
+        StrFormat("unknown session '%s'", std::string(session_id).c_str()));
+  }
+  session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
+  if (!refresh) {
+    std::lock_guard<std::mutex> cache_lock(session->cache_mutex);
+    return session->cached;
+  }
+  std::lock_guard<std::mutex> lock(session->mutex);
+  if (session->closed) {
+    return Status::NotFound(
+        StrFormat("unknown session '%s'", std::string(session_id).c_str()));
+  }
+  CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot, session->engine->Snapshot());
+  {
+    std::lock_guard<std::mutex> cache_lock(session->cache_mutex);
+    session->cached = snapshot;
+  }
+  session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
+  return snapshot;
+}
+
+Result<ConsensusSnapshot> SessionManager::Finalize(std::string_view session_id) {
+  std::shared_ptr<Session> session = Find(session_id);
+  if (session == nullptr) {
+    return Status::NotFound(
+        StrFormat("unknown session '%s'", std::string(session_id).c_str()));
+  }
+  std::lock_guard<std::mutex> lock(session->mutex);
+  if (session->closed) {
+    return Status::NotFound(
+        StrFormat("unknown session '%s'", std::string(session_id).c_str()));
+  }
+  session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
+  CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot, session->engine->Finalize());
+  {
+    std::lock_guard<std::mutex> cache_lock(session->cache_mutex);
+    session->cached = snapshot;
+    session->finalized = true;
+  }
+  session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
+  return snapshot;
+}
+
+Status SessionManager::Close(std::string_view session_id) {
+  std::shared_ptr<Session> session;  // destroyed outside the map lock
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound(
+          StrFormat("unknown session '%s'", std::string(session_id).c_str()));
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  return Status::OK();
+}
+
+std::size_t SessionManager::ExpireIdle(double idle_seconds) {
+  const double now = NowSeconds();
+  std::vector<std::shared_ptr<Session>> expired;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      Session& session = *it->second;
+      const double idle =
+          now - session.last_touch.load(std::memory_order_relaxed);
+      // try_lock skips sessions with an operation in flight; holding the
+      // map lock means no new operation can look the session up while we
+      // decide. Idleness is re-checked and `closed` is set under the
+      // session mutex, so a caller that raced past Find() but locks after
+      // us sees the flag instead of operating on a removed session.
+      bool expire_it = false;
+      if (idle > idle_seconds && session.mutex.try_lock()) {
+        if (now - session.last_touch.load(std::memory_order_relaxed) >
+            idle_seconds) {
+          session.closed = true;
+          expire_it = true;
+        }
+        session.mutex.unlock();
+      }
+      if (expire_it) {
+        expired.push_back(std::move(it->second));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return expired.size();
+}
+
+std::vector<SessionInfo> SessionManager::List() const {
+  std::vector<SessionInfo> infos;
+  const double now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  infos.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    SessionInfo info;
+    info.id = id;
+    info.method = session->config.method;
+    {
+      std::lock_guard<std::mutex> cache_lock(session->cache_mutex);
+      info.batches_seen = session->batches_seen;
+      info.answers_seen = session->answers_seen;
+      info.finalized = session->finalized;
+    }
+    info.idle_seconds =
+        std::max(0.0, now - session->last_touch.load(std::memory_order_relaxed));
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+std::size_t SessionManager::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace cpa

@@ -191,9 +191,10 @@ void EscapeStringTo(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
-void DumpTo(std::ostream& os, const JsonValue& value, int indent) {
-  const std::string pad(2 * indent, ' ');
-  const std::string inner_pad(2 * (indent + 1), ' ');
+/// One serializer for both renderings: `pretty` adds the 2-space
+/// indentation and per-entry newlines of `Dump`; compact mode emits the
+/// same tokens with no whitespace at all (`DumpCompact`).
+void DumpTo(std::ostream& os, const JsonValue& value, int indent, bool pretty) {
   switch (value.kind()) {
     case JsonValue::Kind::kNull:
       os << "null";
@@ -222,14 +223,14 @@ void DumpTo(std::ostream& os, const JsonValue& value, int indent) {
         os << "[]";
         break;
       }
-      os << "[\n";
+      os << '[';
       for (std::size_t i = 0; i < value.array().size(); ++i) {
-        os << inner_pad;
-        DumpTo(os, value.array()[i], indent + 1);
-        if (i + 1 < value.array().size()) os << ',';
-        os << '\n';
+        if (i > 0) os << ',';
+        if (pretty) os << '\n' << std::string(2 * (indent + 1), ' ');
+        DumpTo(os, value.array()[i], indent + 1, pretty);
       }
-      os << pad << ']';
+      if (pretty) os << '\n' << std::string(2 * indent, ' ');
+      os << ']';
       break;
     }
     case JsonValue::Kind::kObject: {
@@ -237,17 +238,17 @@ void DumpTo(std::ostream& os, const JsonValue& value, int indent) {
         os << "{}";
         break;
       }
-      os << "{\n";
+      os << '{';
       std::size_t i = 0;
       for (const auto& [key, child] : value.object()) {
-        os << inner_pad;
+        if (i++ > 0) os << ',';
+        if (pretty) os << '\n' << std::string(2 * (indent + 1), ' ');
         EscapeStringTo(os, key);
-        os << ": ";
-        DumpTo(os, child, indent + 1);
-        if (++i < value.object().size()) os << ',';
-        os << '\n';
+        os << (pretty ? ": " : ":");
+        DumpTo(os, child, indent + 1, pretty);
       }
-      os << pad << '}';
+      if (pretty) os << '\n' << std::string(2 * indent, ' ');
+      os << '}';
       break;
     }
   }
@@ -267,7 +268,13 @@ const JsonValue* JsonValue::Find(const std::string& key) const {
 
 std::string JsonValue::Dump() const {
   std::ostringstream os;
-  DumpTo(os, *this, 0);
+  DumpTo(os, *this, 0, /*pretty=*/true);
+  return os.str();
+}
+
+std::string JsonValue::DumpCompact() const {
+  std::ostringstream os;
+  DumpTo(os, *this, 0, /*pretty=*/false);
   return os.str();
 }
 

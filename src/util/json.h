@@ -53,6 +53,10 @@ class JsonValue {
   /// Serializes with 2-space indentation and sorted object keys.
   std::string Dump() const;
 
+  /// Serializes without any whitespace — one line, for line-delimited
+  /// protocols (the server's wire format). Parses back identically.
+  std::string DumpCompact() const;
+
  private:
   Kind kind_;
   bool bool_ = false;

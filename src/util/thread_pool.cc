@@ -57,24 +57,48 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(ThreadPool* pool, std::size_t total,
+void SubmitAndWait(Executor* executor, std::size_t count,
+                   const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (executor == nullptr || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  // Per-call latch: tracks only the tasks submitted here, so a shared
+  // executor can carry other sessions' work concurrently. The final
+  // decrement and its notify run under the lock — the waiter can only
+  // observe `remaining == 0` (and destroy the latch) after the notifying
+  // task has released it.
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    executor->Submit([&, i] {
+      task(i);
+      std::unique_lock<std::mutex> lock(mutex);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
+void ParallelFor(Executor* executor, std::size_t total,
                  const std::function<void(std::size_t, std::size_t)>& body,
                  std::size_t min_shard) {
   if (total == 0) return;
-  if (pool == nullptr || pool->num_threads() <= 1 || total < min_shard * 2) {
+  if (executor == nullptr || executor->num_threads() <= 1 || total < min_shard * 2) {
     body(0, total);
     return;
   }
   const std::size_t shards =
-      std::min(pool->num_threads(), std::max<std::size_t>(1, total / min_shard));
+      std::min(executor->num_threads(), std::max<std::size_t>(1, total / min_shard));
   const std::size_t chunk = (total + shards - 1) / shards;
-  for (std::size_t s = 0; s < shards; ++s) {
+  const std::size_t count = (total + chunk - 1) / chunk;  // non-empty shards
+  SubmitAndWait(executor, count, [&body, chunk, total](std::size_t s) {
     const std::size_t begin = s * chunk;
-    const std::size_t end = std::min(total, begin + chunk);
-    if (begin >= end) break;
-    pool->Submit([&body, begin, end] { body(begin, end); });
-  }
-  pool->Wait();
+    body(begin, std::min(total, begin + chunk));
+  });
 }
 
 }  // namespace cpa

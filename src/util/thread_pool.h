@@ -2,14 +2,24 @@
 #define CPA_UTIL_THREAD_POOL_H_
 
 /// \file thread_pool.h
-/// \brief Fixed-size worker pool and data-parallel loop helper.
+/// \brief Task executors: the `Executor` injection point, the fixed-size
+/// `ThreadPool`, and data-parallel loop helpers.
 ///
 /// Algorithm 3 of the paper parallelises stochastic variational inference in
 /// MapReduce style: the per-worker local updates are independent (MAP) and
 /// the global natural-gradient step is centralised (REDUCE). On a single
-/// machine this maps onto a thread pool plus a blocking `ParallelFor` over
+/// machine this maps onto worker threads plus a blocking `ParallelFor` over
 /// index ranges; the REDUCE step runs on the calling thread after the
 /// barrier.
+///
+/// Everything downstream of the sweep layer is programmed against the
+/// abstract `Executor`, not the concrete pool: a session may own a
+/// `ThreadPool` outright (the single-session default), or — under the
+/// multi-session server — hold a `ServerScheduler` lane that multiplexes
+/// many sessions onto one shared pool (src/server/server_scheduler.h).
+/// `SubmitAndWait` / `ParallelFor` therefore wait on a per-call completion
+/// latch, never on executor-wide idleness: on a shared executor, waiting
+/// for "everything" would wait on other sessions' work too.
 
 #include <condition_variable>
 #include <cstddef>
@@ -21,26 +31,48 @@
 
 namespace cpa {
 
+/// \brief Where parallel work runs: the injection point of every parallel
+/// code path in libcpa.
+///
+/// Implementations execute submitted tasks on some set of worker threads.
+/// Tasks must be independent of each other — a task that blocks waiting for
+/// another *submitted* task can deadlock a fully loaded executor. (Blocking
+/// on a per-call latch from a non-worker thread, as `SubmitAndWait` does,
+/// is fine.)
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Enqueues a task for execution on some worker thread.
+  virtual void Submit(std::function<void()> task) = 0;
+
+  /// Worker-thread count backing this executor — the sharding hint used by
+  /// `ParallelFor` (never a determinism input; see sweep_scheduler.h).
+  virtual std::size_t num_threads() const = 0;
+};
+
 /// \brief Fixed-size pool of worker threads executing queued tasks.
-class ThreadPool {
+class ThreadPool final : public Executor {
  public:
   /// Spawns `num_threads` workers (>= 1).
   explicit ThreadPool(std::size_t num_threads);
 
   /// Drains outstanding work and joins all workers.
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) override;
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Pool-wide: only
+  /// meaningful for a caller that owns the pool outright — code running on
+  /// a shared executor must use `SubmitAndWait` instead.
   void Wait();
 
   /// Number of worker threads.
-  std::size_t num_threads() const { return threads_.size(); }
+  std::size_t num_threads() const override { return threads_.size(); }
 
  private:
   void WorkerLoop();
@@ -54,12 +86,24 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
-/// \brief Runs `body(begin, end)` over [0, total) split into contiguous
-/// shards, one per pool thread, and blocks until all shards finish.
+/// \brief Runs `task(0) .. task(count-1)` on `executor` and blocks until
+/// exactly those calls finish (a per-call latch — safe when the executor is
+/// shared with other sessions, unlike `ThreadPool::Wait`).
 ///
-/// With `pool == nullptr` or `total` below `min_shard`, runs inline on the
-/// calling thread (the sequential fallback keeps call sites branch-free).
-void ParallelFor(ThreadPool* pool, std::size_t total,
+/// With `executor == nullptr` the tasks run inline on the calling thread.
+/// Must not be called from one of the executor's own worker threads: the
+/// caller blocks while holding a worker slot, which deadlocks once every
+/// worker does it.
+void SubmitAndWait(Executor* executor, std::size_t count,
+                   const std::function<void(std::size_t)>& task);
+
+/// \brief Runs `body(begin, end)` over [0, total) split into contiguous
+/// shards, one per executor thread, and blocks until all shards finish.
+///
+/// With `executor == nullptr` or `total` below `min_shard`, runs inline on
+/// the calling thread (the sequential fallback keeps call sites
+/// branch-free).
+void ParallelFor(Executor* executor, std::size_t total,
                  const std::function<void(std::size_t, std::size_t)>& body,
                  std::size_t min_shard = 1);
 

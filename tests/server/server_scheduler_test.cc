@@ -1,0 +1,202 @@
+#include "server/server_scheduler.h"
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cpa.h"
+#include "data/dataset.h"
+#include "simulation/crowd_simulator.h"
+#include "simulation/truth_generator.h"
+
+namespace cpa {
+namespace {
+
+Dataset SmallDataset(std::uint64_t seed) {
+  Rng rng(seed);
+  TruthConfig truth_config;
+  truth_config.num_items = 80;
+  truth_config.num_labels = 8;
+  truth_config.num_clusters = 3;
+  truth_config.correlation = 0.8;
+  truth_config.mean_labels_per_item = 2.0;
+  truth_config.max_labels_per_item = 4;
+  auto truth = GenerateGroundTruth(truth_config, rng);
+  EXPECT_TRUE(truth.ok());
+  PopulationConfig population_config;
+  population_config.num_workers = 20;
+  population_config.num_labels = 8;
+  population_config.mix = PopulationMix::PaperSimulationDefault();
+  auto workers = GeneratePopulation(population_config, rng);
+  EXPECT_TRUE(workers.ok());
+  SimulationConfig sim_config;
+  sim_config.answers_per_item = 6.0;
+  sim_config.candidate_set_size = 8;
+  auto answers = SimulateAnswers(truth.value(), workers.value(), sim_config, rng);
+  EXPECT_TRUE(answers.ok());
+  Dataset dataset;
+  dataset.name = "scheduler-test";
+  dataset.num_labels = 8;
+  dataset.answers = std::move(answers).value();
+  dataset.ground_truth = std::move(truth.value().labels);
+  return dataset;
+}
+
+CpaOptions FastOptions() {
+  CpaOptions options = CpaOptions::Recommended(80, 8);
+  options.max_communities = 4;
+  options.max_clusters = 24;
+  options.max_iterations = 8;
+  return options;
+}
+
+TEST(ServerSchedulerTest, RunsEveryTaskOfEveryLane) {
+  ServerScheduler scheduler(3);
+  constexpr std::size_t kLanes = 4;
+  constexpr std::size_t kTasksPerLane = 200;
+  std::vector<std::unique_ptr<ServerScheduler::Lane>> lanes;
+  for (std::size_t l = 0; l < kLanes; ++l) lanes.push_back(scheduler.CreateLane());
+  EXPECT_EQ(scheduler.num_lanes(), kLanes);
+  EXPECT_EQ(lanes[0]->num_threads(), 3u);
+
+  std::vector<std::atomic<std::size_t>> counts(kLanes);
+  std::vector<std::thread> clients;
+  clients.reserve(kLanes);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    clients.emplace_back([&, l] {
+      // Per-call latch over a shared executor: returns when *these* tasks
+      // are done, regardless of the other lanes' load.
+      SubmitAndWait(lanes[l].get(), kTasksPerLane,
+                    [&counts, l](std::size_t) { counts[l].fetch_add(1); });
+    });
+  }
+  for (auto& client : clients) client.join();
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    EXPECT_EQ(counts[l].load(), kTasksPerLane) << "lane " << l;
+  }
+  lanes.clear();
+  EXPECT_EQ(scheduler.num_lanes(), 0u);
+}
+
+// With one worker, the drain order is observable: buffered tasks of two
+// lanes must interleave in round-robin order, not run lane-by-lane in
+// submission order.
+TEST(ServerSchedulerTest, DrainsLanesRoundRobin) {
+  ServerScheduler scheduler(1);
+  auto lane_a = scheduler.CreateLane();
+  auto lane_b = scheduler.CreateLane();
+
+  std::promise<void> gate_entered;
+  std::promise<void> gate_release;
+  std::shared_future<void> release_future = gate_release.get_future().share();
+  std::mutex order_mutex;
+  std::vector<char> order;
+  std::atomic<std::size_t> done{0};
+
+  // Occupy the single worker so the next six tasks pile up in the lane
+  // buffers before any of them can run.
+  lane_a->Submit([&] {
+    gate_entered.set_value();
+    release_future.wait();
+  });
+  gate_entered.get_future().wait();
+  const auto record = [&](char lane) {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(lane);
+    done.fetch_add(1);
+  };
+  for (int i = 0; i < 3; ++i) lane_a->Submit([&record] { record('a'); });
+  for (int i = 0; i < 3; ++i) lane_b->Submit([&record] { record('b'); });
+  gate_release.set_value();
+  while (done.load() < 6) std::this_thread::yield();
+
+  // The gate was popped from lane a, so the drain resumes at lane b and
+  // alternates from there.
+  const std::vector<char> expected = {'b', 'a', 'b', 'a', 'b', 'a'};
+  EXPECT_EQ(order, expected);
+}
+
+// The acceptance property of the shared-pool refactor: a fit scheduled
+// through a server lane is bit-identical to the same fit on an owned pool
+// and to the sequential run (scheduling never changes results).
+TEST(ServerSchedulerTest, FitThroughLaneBitIdenticalToOwnedPoolAndInline) {
+  const Dataset dataset = SmallDataset(101);
+  const CpaOptions options = FastOptions();
+
+  const auto inline_fit =
+      SolveCpaOffline(dataset.answers, dataset.num_labels, options);
+  ASSERT_TRUE(inline_fit.ok());
+
+  ThreadPool owned(3);
+  const auto owned_fit =
+      SolveCpaOffline(dataset.answers, dataset.num_labels, options,
+                      CpaVariant::kFull, &owned);
+  ASSERT_TRUE(owned_fit.ok());
+
+  ServerScheduler scheduler(3);
+  auto lane = scheduler.CreateLane();
+  const auto lane_fit =
+      SolveCpaOffline(dataset.answers, dataset.num_labels, options,
+                      CpaVariant::kFull, lane.get());
+  ASSERT_TRUE(lane_fit.ok());
+
+  ASSERT_EQ(lane_fit.value().predictions.size(),
+            inline_fit.value().predictions.size());
+  for (std::size_t i = 0; i < inline_fit.value().predictions.size(); ++i) {
+    EXPECT_EQ(lane_fit.value().predictions[i], inline_fit.value().predictions[i]);
+    EXPECT_EQ(lane_fit.value().predictions[i], owned_fit.value().predictions[i]);
+  }
+  EXPECT_DOUBLE_EQ(
+      lane_fit.value().label_scores.MaxAbsDiff(inline_fit.value().label_scores),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      lane_fit.value().label_scores.MaxAbsDiff(owned_fit.value().label_scores),
+      0.0);
+}
+
+// Two sessions fitting concurrently on one shared pool interfere with each
+// other's scheduling but never with each other's results.
+TEST(ServerSchedulerTest, ConcurrentFitsOnSharedPoolMatchSequential) {
+  const Dataset dataset_a = SmallDataset(7);
+  const Dataset dataset_b = SmallDataset(8);
+  const CpaOptions options = FastOptions();
+
+  const auto reference_a =
+      SolveCpaOffline(dataset_a.answers, dataset_a.num_labels, options);
+  const auto reference_b =
+      SolveCpaOffline(dataset_b.answers, dataset_b.num_labels, options);
+  ASSERT_TRUE(reference_a.ok());
+  ASSERT_TRUE(reference_b.ok());
+
+  ServerScheduler scheduler(2);
+  auto lane_a = scheduler.CreateLane();
+  auto lane_b = scheduler.CreateLane();
+  Result<CpaSolution> concurrent_a = Status::Internal("unset");
+  Result<CpaSolution> concurrent_b = Status::Internal("unset");
+  std::thread client_a([&] {
+    concurrent_a = SolveCpaOffline(dataset_a.answers, dataset_a.num_labels,
+                                   options, CpaVariant::kFull, lane_a.get());
+  });
+  std::thread client_b([&] {
+    concurrent_b = SolveCpaOffline(dataset_b.answers, dataset_b.num_labels,
+                                   options, CpaVariant::kFull, lane_b.get());
+  });
+  client_a.join();
+  client_b.join();
+  ASSERT_TRUE(concurrent_a.ok());
+  ASSERT_TRUE(concurrent_b.ok());
+  EXPECT_EQ(concurrent_a.value().predictions, reference_a.value().predictions);
+  EXPECT_EQ(concurrent_b.value().predictions, reference_b.value().predictions);
+  EXPECT_DOUBLE_EQ(concurrent_a.value().label_scores.MaxAbsDiff(
+                       reference_a.value().label_scores),
+                   0.0);
+  EXPECT_DOUBLE_EQ(concurrent_b.value().label_scores.MaxAbsDiff(
+                       reference_b.value().label_scores),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace cpa

@@ -1,0 +1,308 @@
+#include "server/session_manager.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simulation/crowd_simulator.h"
+#include "simulation/truth_generator.h"
+
+namespace cpa {
+namespace {
+
+Dataset SmallDataset(std::uint64_t seed, std::size_t items = 60) {
+  Rng rng(seed);
+  TruthConfig truth_config;
+  truth_config.num_items = items;
+  truth_config.num_labels = 8;
+  truth_config.num_clusters = 3;
+  truth_config.correlation = 0.8;
+  truth_config.mean_labels_per_item = 2.0;
+  truth_config.max_labels_per_item = 4;
+  auto truth = GenerateGroundTruth(truth_config, rng);
+  EXPECT_TRUE(truth.ok());
+  PopulationConfig population_config;
+  population_config.num_workers = 20;
+  population_config.num_labels = 8;
+  population_config.mix = PopulationMix::PaperSimulationDefault();
+  auto workers = GeneratePopulation(population_config, rng);
+  EXPECT_TRUE(workers.ok());
+  SimulationConfig sim_config;
+  sim_config.answers_per_item = 5.0;
+  sim_config.candidate_set_size = 8;
+  auto answers = SimulateAnswers(truth.value(), workers.value(), sim_config, rng);
+  EXPECT_TRUE(answers.ok());
+  Dataset dataset;
+  dataset.name = "session-test";
+  dataset.num_labels = 8;
+  dataset.answers = std::move(answers).value();
+  dataset.ground_truth = std::move(truth.value().labels);
+  return dataset;
+}
+
+EngineConfig ConfigFor(const std::string& method, const Dataset& dataset) {
+  EngineConfig config = EngineConfig::ForDataset(method, dataset);
+  config.cpa.max_communities = 4;
+  config.cpa.max_clusters = 24;
+  config.cpa.max_iterations = 8;
+  return config;
+}
+
+TEST(SessionManagerTest, LifecycleHappyPath) {
+  const Dataset dataset = SmallDataset(3);
+  SessionManager manager;
+  const auto id = manager.Open(ConfigFor("MV", dataset));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(id.value(), "s1");
+  EXPECT_EQ(manager.num_sessions(), 1u);
+
+  const auto all = dataset.answers.answers();
+  const std::size_t half = all.size() / 2;
+  const auto first = manager.Observe(id.value(), all.subspan(0, half));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().batches_seen, 1u);
+  EXPECT_EQ(first.value().answers_seen, half);
+
+  const auto snapshot = manager.Snapshot(id.value());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().method, "MV");
+  EXPECT_EQ(snapshot.value().answers_seen, half);
+  EXPECT_FALSE(snapshot.value().finalized);
+  EXPECT_EQ(snapshot.value().predictions.size(), dataset.answers.num_items());
+
+  const auto rest = manager.Observe(id.value(), all.subspan(half));
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest.value().answers_seen, all.size());
+
+  const auto final_snapshot = manager.Finalize(id.value());
+  ASSERT_TRUE(final_snapshot.ok());
+  EXPECT_TRUE(final_snapshot.value().finalized);
+  // Finalize is idempotent through the manager too.
+  const auto again = manager.Finalize(id.value());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().predictions.size(),
+            final_snapshot.value().predictions.size());
+
+  ASSERT_TRUE(manager.Close(id.value()).ok());
+  EXPECT_EQ(manager.num_sessions(), 0u);
+}
+
+TEST(SessionManagerTest, PollReturnsCachedSnapshotWithoutRefit) {
+  const Dataset dataset = SmallDataset(5);
+  SessionManager manager;
+  const auto id = manager.Open(ConfigFor("MV", dataset));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(manager.Observe(id.value(), dataset.answers.answers()).ok());
+
+  // The poll cache still holds the snapshot seeded at Open (no answers).
+  const auto polled = manager.Snapshot(id.value(), /*refresh=*/false);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_TRUE(polled.value().predictions.empty());
+  EXPECT_EQ(polled.value().answers_seen, 0u);
+
+  // A refresh runs the engine; the poll then sees the refreshed state.
+  const auto refreshed = manager.Snapshot(id.value());
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(refreshed.value().answers_seen, dataset.answers.num_answers());
+  const auto polled_after = manager.Snapshot(id.value(), /*refresh=*/false);
+  ASSERT_TRUE(polled_after.ok());
+  EXPECT_EQ(polled_after.value().answers_seen, dataset.answers.num_answers());
+  EXPECT_EQ(polled_after.value().predictions.size(),
+            refreshed.value().predictions.size());
+}
+
+TEST(SessionManagerTest, SessionIds) {
+  const Dataset dataset = SmallDataset(7, 30);
+  SessionManager manager;
+  const EngineConfig config = ConfigFor("MV", dataset);
+  EXPECT_EQ(manager.Open(config).value(), "s1");
+  EXPECT_EQ(manager.Open(config, "tagging-eu").value(), "tagging-eu");
+  EXPECT_EQ(manager.Open(config).value(), "s2");
+  const auto duplicate = manager.Open(config, "tagging-eu");
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.num_sessions(), 3u);
+  EXPECT_EQ(manager.List().size(), 3u);
+}
+
+TEST(SessionManagerTest, UnknownSessionIsNotFound) {
+  SessionManager manager;
+  EXPECT_EQ(manager.Observe("nope", {}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.Snapshot("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.Finalize("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.Close("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(SessionManagerTest, ObserveValidationLeavesSessionUntouched) {
+  const Dataset dataset = SmallDataset(9, 30);
+  SessionManager manager;
+  const auto id = manager.Open(ConfigFor("MV", dataset));
+  ASSERT_TRUE(id.ok());
+
+  // Out-of-range ids.
+  const Answer out_of_range{static_cast<ItemId>(dataset.answers.num_items()), 0,
+                            LabelSet{0}};
+  EXPECT_EQ(manager.Observe(id.value(), {&out_of_range, 1}).status().code(),
+            StatusCode::kOutOfRange);
+
+  // Empty label set.
+  const Answer empty_labels{0, 0, LabelSet{}};
+  EXPECT_EQ(manager.Observe(id.value(), {&empty_labels, 1}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A label outside the session's universe must never reach the kernels
+  // (they index C-wide arrays by label id).
+  const Answer bad_label{
+      0, 0, LabelSet{static_cast<LabelId>(dataset.num_labels + 5)}};
+  EXPECT_EQ(manager.Observe(id.value(), {&bad_label, 1}).status().code(),
+            StatusCode::kOutOfRange);
+
+  // Duplicate (item, worker) cell within one batch...
+  const Answer twice[] = {{1, 1, LabelSet{0}}, {1, 1, LabelSet{1}}};
+  EXPECT_EQ(manager.Observe(id.value(), twice).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // ... and across batches.
+  const Answer once{2, 2, LabelSet{3}};
+  ASSERT_TRUE(manager.Observe(id.value(), {&once, 1}).ok());
+  EXPECT_EQ(manager.Observe(id.value(), {&once, 1}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // The rejected batches left no trace: one batch, one answer.
+  const auto snapshot = manager.Snapshot(id.value());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().batches_seen, 1u);
+  EXPECT_EQ(snapshot.value().answers_seen, 1u);
+}
+
+TEST(SessionManagerTest, ObserveAfterFinalizeFails) {
+  const Dataset dataset = SmallDataset(11, 30);
+  SessionManager manager;
+  const auto id = manager.Open(ConfigFor("MV", dataset));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(manager.Observe(id.value(), dataset.answers.answers().first(5)).ok());
+  ASSERT_TRUE(manager.Finalize(id.value()).ok());
+  EXPECT_EQ(
+      manager.Observe(id.value(), dataset.answers.answers().subspan(5, 1))
+          .status()
+          .code(),
+      StatusCode::kFailedPrecondition);
+  // Polling a finalized session still works.
+  const auto polled = manager.Snapshot(id.value(), /*refresh=*/false);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_TRUE(polled.value().finalized);
+}
+
+TEST(SessionManagerTest, MaxSessionsEnforced) {
+  const Dataset dataset = SmallDataset(13, 30);
+  SessionManagerOptions options;
+  options.max_sessions = 2;
+  SessionManager manager(options);
+  const EngineConfig config = ConfigFor("MV", dataset);
+  ASSERT_TRUE(manager.Open(config).ok());
+  ASSERT_TRUE(manager.Open(config).ok());
+  EXPECT_EQ(manager.Open(config).status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(manager.Close("s1").ok());
+  EXPECT_TRUE(manager.Open(config).ok());
+}
+
+TEST(SessionManagerTest, ExpireIdleClosesOnlyIdleSessions) {
+  const Dataset dataset = SmallDataset(15, 30);
+  SessionManager manager;
+  const EngineConfig config = ConfigFor("MV", dataset);
+  const auto idle = manager.Open(config, "idle");
+  const auto active = manager.Open(config, "active");
+  ASSERT_TRUE(idle.ok());
+  ASSERT_TRUE(active.ok());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Touch one session; the other has been idle for ~50ms.
+  ASSERT_TRUE(manager.Snapshot("active", /*refresh=*/false).ok());
+  EXPECT_EQ(manager.ExpireIdle(/*idle_seconds=*/0.02), 1u);
+  EXPECT_EQ(manager.num_sessions(), 1u);
+  EXPECT_EQ(manager.Snapshot("idle").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(manager.Snapshot("active").ok());
+
+  // Nothing is idle enough now; nothing expires.
+  EXPECT_EQ(manager.ExpireIdle(/*idle_seconds=*/30.0), 0u);
+}
+
+// The concurrency contract under load: M driver threads append batches to
+// their own sessions while poller threads hammer snapshots and listings of
+// every session, on a shared 2-worker sweep pool. Run under ASan/UBSan in
+// the sanitize CI config.
+TEST(SessionManagerTest, HammerConcurrentSessions) {
+  const Dataset dataset = SmallDataset(17);
+  SessionManagerOptions options;
+  options.num_threads = 2;
+  options.max_sessions = 16;
+  SessionManager manager(options);
+  ASSERT_NE(manager.scheduler(), nullptr);
+
+  constexpr std::size_t kSessions = 8;
+  constexpr std::size_t kDrivers = 4;
+  constexpr std::size_t kBatches = 5;
+  std::vector<std::string> ids;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    // Alternate a cheap offline method and the native online learner.
+    const std::string method = s % 2 == 0 ? "MV" : "CPA-SVI";
+    const auto id = manager.Open(ConfigFor(method, dataset));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+  }
+
+  const auto all = dataset.answers.answers();
+  const std::size_t batch_size = all.size() / kBatches;
+  std::atomic<bool> failed{false};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> drivers;
+  for (std::size_t d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      // Each driver owns kSessions / kDrivers sessions exclusively.
+      for (std::size_t s = d; s < kSessions; s += kDrivers) {
+        for (std::size_t b = 0; b < kBatches; ++b) {
+          const std::size_t begin = b * batch_size;
+          const std::size_t size =
+              b + 1 == kBatches ? all.size() - begin : batch_size;
+          if (!manager.Observe(ids[s], all.subspan(begin, size)).ok()) {
+            failed.store(true);
+          }
+          if (!manager.Snapshot(ids[s]).ok()) failed.store(true);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> pollers;
+  for (std::size_t p = 0; p < 2; ++p) {
+    pollers.emplace_back([&] {
+      while (!done.load()) {
+        for (const std::string& id : ids) {
+          // refresh=false polls never block behind an in-flight batch.
+          if (!manager.Snapshot(id, /*refresh=*/false).ok()) failed.store(true);
+        }
+        if (manager.List().size() != kSessions) failed.store(true);
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+  done.store(true);
+  for (auto& poller : pollers) poller.join();
+  ASSERT_FALSE(failed.load());
+
+  for (const std::string& id : ids) {
+    const auto final_snapshot = manager.Finalize(id);
+    ASSERT_TRUE(final_snapshot.ok()) << id;
+    EXPECT_TRUE(final_snapshot.value().finalized);
+    EXPECT_EQ(final_snapshot.value().answers_seen, all.size()) << id;
+    EXPECT_EQ(final_snapshot.value().batches_seen, kBatches) << id;
+    ASSERT_TRUE(manager.Close(id).ok());
+  }
+  EXPECT_EQ(manager.num_sessions(), 0u);
+}
+
+}  // namespace
+}  // namespace cpa

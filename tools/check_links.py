@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fails on dead relative links in markdown files.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+
+Checks every inline markdown link `[text](target)` whose target is a
+relative path (external schemes and pure in-page anchors are skipped)
+and reports targets that do not exist on disk, resolved against the
+linking file's directory. Exit code 1 when any link is dead.
+"""
+
+import os
+import re
+import sys
+
+# Inline links; targets may carry an anchor suffix. Reference-style and
+# autolinks are out of scope (the repo's docs use inline links only).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def dead_links(path):
+    text = open(path, encoding="utf-8").read()
+    # Fenced code blocks contain protocol examples, not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    base = os.path.dirname(os.path.abspath(path))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        if not os.path.exists(os.path.join(base, file_part)):
+            yield target
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        if not os.path.exists(path):
+            print(f"{path}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        for target in dead_links(path):
+            print(f"{path}: dead link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(argv) - 1} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
