@@ -125,13 +125,22 @@ int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseBenchConfig(argc, argv, 0.08);
   const auto flags = Flags::Parse(argc, argv);
   CPA_CHECK(flags.ok()) << flags.status().ToString();
-  const std::size_t sessions =
+  // `--quick` shrinks the run to a CI smoke (the sanitize job drives the
+  // shared-snapshot lifetime and arena reuse through it on every PR).
+  const bool quick = flags.value().GetBool("quick", false);
+  std::size_t sessions =
       static_cast<std::size_t>(flags.value().GetInt("sessions", 8));
   const std::size_t num_threads =
       static_cast<std::size_t>(flags.value().GetInt("num-threads", 2));
-  const std::size_t batches =
+  std::size_t batches =
       static_cast<std::size_t>(flags.value().GetInt("batches", 5));
   const std::string method = flags.value().GetString("method", "CPA-SVI");
+  if (quick) {
+    sessions = std::min<std::size_t>(sessions, 3);
+    batches = std::min<std::size_t>(batches, 2);
+    config.scale = std::min(config.scale, 0.05);
+    config.cpa_iterations = std::min<std::size_t>(config.cpa_iterations, 4);
+  }
   CPA_CHECK(sessions >= 1 && batches >= 1);
 
   bench::PrintHeader(

@@ -23,17 +23,18 @@ using namespace cpa;
 
 namespace {
 
-/// One-shot session runtime (Observe-all + Finalize), in seconds.
-double TimeOneShot(const Dataset& dataset, const EngineConfig& config) {
+/// One-shot session run (Observe-all + Finalize): wall seconds plus the
+/// prediction-phase share (`FitStats::prediction_seconds`).
+ExperimentResult TimeOneShot(const Dataset& dataset, const EngineConfig& config) {
   const auto result = RunExperiment(config, dataset);
   CPA_CHECK(result.ok()) << config.method << ": " << result.status().ToString();
-  return result.value().seconds;
+  return result.value();
 }
 
 /// Streaming CPA-SVI session runtime over a worker-batch plan (final
-/// snapshot only), in seconds.
-double TimeOnline(const Dataset& dataset, EngineConfig config, std::size_t threads,
-                  std::uint64_t seed) {
+/// snapshot only).
+ExperimentResult TimeOnline(const Dataset& dataset, EngineConfig config,
+                            std::size_t threads, std::uint64_t seed) {
   config.method = "CPA-SVI";
   config.num_threads = threads;
   Rng rng(seed);
@@ -41,7 +42,7 @@ double TimeOnline(const Dataset& dataset, EngineConfig config, std::size_t threa
   const auto run =
       RunStreamingExperiment(config, dataset, plan, /*score_each_batch=*/false);
   CPA_CHECK(run.ok()) << run.status().ToString();
-  return run.value().final_result.seconds;
+  return run.value().final_result;
 }
 
 }  // namespace
@@ -62,9 +63,9 @@ int main(int argc, char** argv) {
   std::vector<double> redundancies = {10.0, 30.0, 100.0};
   if (quick) redundancies = {10.0};
 
-  TablePrinter table({"Answers", "MV", "EM", "cBCC", "offline", "offline-2",
-                      "offline-4", "online", "online-4", "online-16", "EM/label",
-                      "cBCC/label"});
+  TablePrinter table({"Answers", "MV", "EM", "cBCC", "offline", "pred-ms",
+                      "offline-2", "offline-4", "online", "online-4", "online-16",
+                      "EM/label", "cBCC/label"});
   bench::BenchReport report("fig7_runtime", config);
   for (double redundancy : redundancies) {
     FactoryOptions factory_options;
@@ -86,40 +87,52 @@ int main(int argc, char** argv) {
       EngineConfig run_config = base;
       run_config.method = method;
       run_config.num_threads = threads;
-      const double seconds = TimeOneShot(d, run_config);
-      std::fprintf(stderr, "[fig7] %s (x%zu threads) %.2fs\n", method, threads,
-                   seconds);
-      return seconds;
+      const ExperimentResult result = TimeOneShot(d, run_config);
+      std::fprintf(stderr, "[fig7] %s (x%zu threads) %.2fs (predict %.0fms)\n",
+                   method, threads, result.seconds,
+                   result.prediction_seconds * 1e3);
+      return result;
     };
-    const double mv = one_shot("MV", 1);
-    const double em = one_shot("EM", 1);
-    const double cbcc = one_shot("cBCC", 1);
-    const double offline_1 = one_shot("CPA", 1);
-    const double offline_2 = one_shot("CPA", 2);
-    const double offline_4 = one_shot("CPA", 4);
-    const double online_1 = TimeOnline(d, base, 1, config.seed);
-    std::fprintf(stderr, "[fig7] online %.2fs\n", online_1);
-    const double online_4 = TimeOnline(d, base, 4, config.seed);
-    std::fprintf(stderr, "[fig7] online-4 %.2fs\n", online_4);
-    const double online_16 = TimeOnline(d, base, 16, config.seed);
-    std::fprintf(stderr, "[fig7] online-16 %.2fs\n", online_16);
+    const double mv = one_shot("MV", 1).seconds;
+    const double em = one_shot("EM", 1).seconds;
+    const double cbcc = one_shot("cBCC", 1).seconds;
+    const ExperimentResult offline_1 = one_shot("CPA", 1);
+    const ExperimentResult offline_2 = one_shot("CPA", 2);
+    const ExperimentResult offline_4 = one_shot("CPA", 4);
+    const ExperimentResult online_1 = TimeOnline(d, base, 1, config.seed);
+    std::fprintf(stderr, "[fig7] online %.2fs\n", online_1.seconds);
+    const ExperimentResult online_4 = TimeOnline(d, base, 4, config.seed);
+    std::fprintf(stderr, "[fig7] online-4 %.2fs\n", online_4.seconds);
+    const ExperimentResult online_16 = TimeOnline(d, base, 16, config.seed);
+    std::fprintf(stderr, "[fig7] online-16 %.2fs\n", online_16.seconds);
 
     table.AddRow({StrFormat("%zu", d.answers.num_answers()), StrFormat("%.2fs", mv),
                   StrFormat("%.2fs", em), StrFormat("%.2fs", cbcc),
-                  StrFormat("%.2fs", offline_1), StrFormat("%.2fs", offline_2),
-                  StrFormat("%.2fs", offline_4), StrFormat("%.2fs", online_1),
-                  StrFormat("%.2fs", online_4), StrFormat("%.2fs", online_16),
+                  StrFormat("%.2fs", offline_1.seconds),
+                  StrFormat("%.0f", offline_1.prediction_seconds * 1e3),
+                  StrFormat("%.2fs", offline_2.seconds),
+                  StrFormat("%.2fs", offline_4.seconds),
+                  StrFormat("%.2fs", online_1.seconds),
+                  StrFormat("%.2fs", online_4.seconds),
+                  StrFormat("%.2fs", online_16.seconds),
                   StrFormat("%.3fs", em / 10.0), StrFormat("%.3fs", cbcc / 10.0)});
     const std::size_t answers = d.answers.num_answers();
     report.Add(StrFormat("mv@%zu_answers", answers), mv, "s");
     report.Add(StrFormat("em@%zu_answers", answers), em, "s");
     report.Add(StrFormat("cbcc@%zu_answers", answers), cbcc, "s");
-    report.Add(StrFormat("cpa_offline@%zu_answers", answers), offline_1, "s");
-    report.Add(StrFormat("cpa_offline_t2@%zu_answers", answers), offline_2, "s");
-    report.Add(StrFormat("cpa_offline_t4@%zu_answers", answers), offline_4, "s");
-    report.Add(StrFormat("cpa_online@%zu_answers", answers), online_1, "s");
-    report.Add(StrFormat("cpa_online4@%zu_answers", answers), online_4, "s");
-    report.Add(StrFormat("cpa_online16@%zu_answers", answers), online_16, "s");
+    report.Add(StrFormat("cpa_offline@%zu_answers", answers), offline_1.seconds, "s");
+    report.Add(StrFormat("cpa_offline_prediction_ms@%zu_answers", answers),
+               offline_1.prediction_seconds * 1e3, "ms");
+    report.Add(StrFormat("cpa_offline_t2@%zu_answers", answers), offline_2.seconds,
+               "s");
+    report.Add(StrFormat("cpa_offline_t4@%zu_answers", answers), offline_4.seconds,
+               "s");
+    report.Add(StrFormat("cpa_online@%zu_answers", answers), online_1.seconds, "s");
+    report.Add(StrFormat("cpa_online_prediction_ms@%zu_answers", answers),
+               online_1.prediction_seconds * 1e3, "ms");
+    report.Add(StrFormat("cpa_online4@%zu_answers", answers), online_4.seconds, "s");
+    report.Add(StrFormat("cpa_online16@%zu_answers", answers), online_16.seconds,
+               "s");
   }
   table.Print();
   CPA_CHECK_OK(report.Write());

@@ -10,12 +10,14 @@
 #endif
 
 #include "core/cpa.h"
+#include "core/prediction.h"
 #include "core/sweep/answer_view.h"
 #include "core/sweep/sweep_kernels.h"
 #include "core/sweep/sweep_scheduler.h"
 #include "core/vi.h"
 #include "data/dataset.h"
 #include "simulation/dataset_factory.h"
+#include "util/arena.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -58,7 +60,8 @@ struct FittedFixture {
   Dataset dataset;
   CpaModel model;
   AnswerView view;
-  SweepScheduler scheduler;
+  SweepScheduler scheduler;  ///< arena-backed (the production default)
+  SweepScheduler heap_scheduler{nullptr, ScratchArena::Mode::kHeap};
   sweep::ClusterActivity activity;
 
   static FittedFixture& Get() {
@@ -115,6 +118,30 @@ void BM_UpdateLambda(benchmark::State& state) {
 }
 BENCHMARK(BM_UpdateLambda);
 
+// The arena-vs-heap `ParallelReduce` pair: the same λ reduce with partial
+// banks checked out of the scheduler's reuse arena (steady-state: zero
+// allocations) versus the kHeap baseline (one fresh allocation per partial
+// per call — the pre-arena behaviour). Results are bit-identical; only the
+// allocator traffic differs.
+void BM_ParallelReduceLambdaArena(benchmark::State& state) {
+  FittedFixture& f = FittedFixture::Get();
+  CpaModel model = f.model;
+  const SweepScheduler scheduler(nullptr, ScratchArena::Mode::kReuse);
+  for (auto _ : state) {
+    sweep::UpdateLambda(model, f.view, f.activity, scheduler);
+  }
+}
+BENCHMARK(BM_ParallelReduceLambdaArena);
+
+void BM_ParallelReduceLambdaHeap(benchmark::State& state) {
+  FittedFixture& f = FittedFixture::Get();
+  CpaModel model = f.model;
+  for (auto _ : state) {
+    sweep::UpdateLambda(model, f.view, f.activity, f.heap_scheduler);
+  }
+}
+BENCHMARK(BM_ParallelReduceLambdaHeap);
+
 void BM_UpdateThetaChannel(benchmark::State& state) {
   FittedFixture& f = FittedFixture::Get();
   CpaModel model = f.model;
@@ -142,6 +169,48 @@ void BM_PredictLabels(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictLabels);
+
+// The arena-vs-heap prediction pair: the per-item multinomial pipeline
+// (reweight → candidates → greedy instantiation) with one arena-backed
+// scratch reused across items versus a fresh heap scratch per item (the
+// pre-arena per-item allocation pattern). Label sets are identical.
+void BM_PredictionItemsArena(benchmark::State& state) {
+  FittedFixture& f = FittedFixture::Get();
+  const auto tables = internal::BuildPredictionTables(f.model);
+  sweep::ClusterActivity activity;
+  sweep::BuildClusterActivity(f.model.phi, f.scheduler, activity,
+                              internal::kClusterPrune);
+  ScratchArena arena;
+  internal::PredictionScratch scratch(arena, f.model.num_clusters(),
+                                      f.model.num_communities());
+  ItemId i = 0;
+  for (auto _ : state) {
+    internal::ItemClusterLogWeights(f.model, tables, f.dataset.answers, i,
+                                    &activity, scratch);
+    internal::CollectCandidates(tables, f.dataset.answers, i, scratch.log_weights,
+                                scratch);
+    benchmark::DoNotOptimize(internal::GreedyInstantiate(
+        tables, scratch.log_weights, scratch.candidates, scratch));
+    i = (i + 1) % f.model.num_items();
+  }
+}
+BENCHMARK(BM_PredictionItemsArena);
+
+void BM_PredictionItemsHeap(benchmark::State& state) {
+  FittedFixture& f = FittedFixture::Get();
+  const auto tables = internal::BuildPredictionTables(f.model);
+  ItemId i = 0;
+  for (auto _ : state) {
+    const auto log_weights =
+        internal::ItemClusterLogWeights(f.model, tables, f.dataset.answers, i);
+    const auto candidates = internal::CollectCandidates(
+        tables, f.dataset.answers, i, log_weights);
+    benchmark::DoNotOptimize(
+        internal::GreedyInstantiate(tables, log_weights, candidates));
+    i = (i + 1) % f.model.num_items();
+  }
+}
+BENCHMARK(BM_PredictionItemsHeap);
 
 void BM_ComputeElbo(benchmark::State& state) {
   FittedFixture& f = FittedFixture::Get();

@@ -48,10 +48,10 @@ int main(int argc, char** argv) {
     const auto snapshot = engine.value()->Snapshot();
     CPA_CHECK(snapshot.ok()) << snapshot.status().ToString();
     const SetMetrics metrics =
-        ComputeSetMetrics(snapshot.value().predictions, d.ground_truth);
+        ComputeSetMetrics(snapshot.value()->predictions, d.ground_truth);
     std::printf("%5zu   %14zu   %9.3f   %6.3f   %10.3f   %4.1f\n", step + 1,
-                snapshot.value().answers_seen, metrics.precision, metrics.recall,
-                snapshot.value().learning_rate, total.ElapsedSeconds());
+                snapshot.value()->answers_seen, metrics.precision, metrics.recall,
+                snapshot.value()->learning_rate, total.ElapsedSeconds());
   }
   const auto final_snapshot = engine.value()->Finalize();
   CPA_CHECK(final_snapshot.ok()) << final_snapshot.status().ToString();

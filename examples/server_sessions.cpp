@@ -61,9 +61,9 @@ int main(int argc, char** argv) {
       auto snapshot = manager.Snapshot(id);  // refresh; poll with refresh=false
       CPA_CHECK(snapshot.ok()) << snapshot.status().ToString();
       const SetMetrics metrics =
-          ComputeSetMetrics(snapshot.value().predictions, d.ground_truth);
+          ComputeSetMetrics(snapshot.value()->predictions, d.ground_truth);
       std::printf("%-8zu %-9s %9zu %11.3f %11.3f\n", b + 1, id.c_str(),
-                  snapshot.value().answers_seen, metrics.precision,
+                  snapshot.value()->answers_seen, metrics.precision,
                   metrics.recall);
     }
   }

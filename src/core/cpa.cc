@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/stopwatch.h"
 #include "util/string_utils.h"
 
 namespace cpa {
@@ -59,8 +60,10 @@ Result<CpaSolution> SolveCpaOffline(const AnswerMatrix& answers,
   CPA_ASSIGN_OR_RETURN(
       solution.model,
       FitCpa(answers, num_labels, solve_options, fit, &solution.stats));
+  const Stopwatch prediction_watch;
   CPA_ASSIGN_OR_RETURN(CpaPrediction prediction,
                        PredictLabels(solution.model, answers, pool));
+  solution.stats.prediction_seconds = prediction_watch.ElapsedSeconds();
   solution.predictions = std::move(prediction.labels);
   solution.label_scores = std::move(prediction.scores);
   return solution;

@@ -8,6 +8,7 @@
 
 #include "util/logging.h"
 #include "util/special_functions.h"
+#include "util/stopwatch.h"
 
 namespace cpa {
 namespace internal {
@@ -15,48 +16,70 @@ namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
-/// Clusters whose normalised weight falls below this are pruned from the
-/// per-item scoring (identity-ϕ variants leave exactly one active cluster).
-constexpr double kClusterPrune = 1e-10;
-
 double SafeLog(double x) { return x > 0.0 ? std::log(x) : kNegInf; }
 
-/// Active (cluster, base log-weight) pairs after normalisation + pruning.
-struct ActiveClusters {
-  std::vector<std::size_t> ids;
-  std::vector<double> log_weights;  // normalised
-};
-
-ActiveClusters Normalize(std::span<const double> cluster_log_weights) {
-  ActiveClusters active;
+/// Fills the active prefix of `scratch` with the (cluster, normalised
+/// log-weight) pairs surviving the prune threshold.
+void NormalizeActive(std::span<const double> cluster_log_weights,
+                     PredictionScratch& scratch) {
   const double log_norm = LogSumExp(cluster_log_weights);
+  scratch.active_count = 0;
   for (std::size_t t = 0; t < cluster_log_weights.size(); ++t) {
     const double log_weight = cluster_log_weights[t] - log_norm;
     if (std::exp(log_weight) >= kClusterPrune) {
-      active.ids.push_back(t);
-      active.log_weights.push_back(log_weight);
+      scratch.active_ids[scratch.active_count] = t;
+      scratch.active_log_weights[scratch.active_count] = log_weight;
+      ++scratch.active_count;
     }
   }
-  return active;
 }
 
-/// log Σ_t exp(acc_t + log_size_prior_t(n)) + ln(n!).
-double SetScore(const PredictionTables& tables, const ActiveClusters& active,
+/// log Σ_t exp(acc_t + log_size_prior_t(n)) + ln(n!), over the active
+/// prefix of `scratch` (terms buffer reused across calls).
+double SetScore(const PredictionTables& tables, PredictionScratch& scratch,
                 std::span<const double> acc, std::size_t n) {
   if (n >= tables.log_size_prior.cols()) return kNegInf;
   double best = kNegInf;
-  std::vector<double> terms(active.ids.size());
-  for (std::size_t j = 0; j < active.ids.size(); ++j) {
-    terms[j] = acc[j] + tables.log_size_prior(active.ids[j], n);
-    best = std::max(best, terms[j]);
+  for (std::size_t j = 0; j < scratch.active_count; ++j) {
+    scratch.terms[j] = acc[j] + tables.log_size_prior(scratch.active_ids[j], n);
+    best = std::max(best, scratch.terms[j]);
   }
   if (!std::isfinite(best)) return kNegInf;
   double sum = 0.0;
-  for (double v : terms) sum += std::exp(v - best);
+  for (std::size_t j = 0; j < scratch.active_count; ++j) {
+    sum += std::exp(scratch.terms[j] - best);
+  }
   return best + std::log(sum) + LogGamma(static_cast<double>(n) + 1.0);
 }
 
 }  // namespace
+
+PredictionScratch::PredictionScratch(std::size_t num_clusters,
+                                     std::size_t num_communities)
+    : owned_doubles_(6 * num_clusters + num_communities, 0.0),
+      owned_ids_(num_clusters, 0) {
+  double* base = owned_doubles_.data();
+  log_weights = {base, num_clusters};
+  weights = {base + num_clusters, num_clusters};
+  active_log_weights = {base + 2 * num_clusters, num_clusters};
+  acc = {base + 3 * num_clusters, num_clusters};
+  trial = {base + 4 * num_clusters, num_clusters};
+  terms = {base + 5 * num_clusters, num_clusters};
+  member_terms = {base + 6 * num_clusters, num_communities};
+  active_ids = {owned_ids_.data(), num_clusters};
+}
+
+PredictionScratch::PredictionScratch(ScratchArena& arena, std::size_t num_clusters,
+                                     std::size_t num_communities) {
+  log_weights = arena.AllocZeroed<double>(num_clusters);
+  weights = arena.AllocZeroed<double>(num_clusters);
+  active_log_weights = arena.AllocZeroed<double>(num_clusters);
+  acc = arena.AllocZeroed<double>(num_clusters);
+  trial = arena.AllocZeroed<double>(num_clusters);
+  terms = arena.AllocZeroed<double>(num_clusters);
+  member_terms = arena.AllocZeroed<double>(num_communities);
+  active_ids = arena.AllocZeroed<std::size_t>(num_clusters);
+}
 
 PredictionTables BuildPredictionTables(const CpaModel& model) {
   PredictionTables tables;
@@ -104,26 +127,43 @@ PredictionTables BuildPredictionTables(const CpaModel& model) {
   return tables;
 }
 
-std::vector<double> ItemClusterLogWeights(const CpaModel& model,
-                                          const PredictionTables& tables,
-                                          const AnswerMatrix& answers, ItemId item) {
+void ItemClusterLogWeights(const CpaModel& model, const PredictionTables& tables,
+                           const AnswerMatrix& answers, ItemId item,
+                           const sweep::ClusterActivity* activity,
+                           PredictionScratch& scratch) {
   const std::size_t T = model.num_clusters();
   const std::size_t M = model.num_communities();
-  std::vector<double> log_weights(T);
-  for (std::size_t t = 0; t < T; ++t) {
-    log_weights[t] = SafeLog(model.phi(item, t));
-  }
+  auto log_weights = scratch.log_weights;
   // Clusters holding no posterior mass for this item cannot win the
-  // softmax; skip their (answers × M) likelihood work.
-  for (std::size_t t = 0; t < T; ++t) {
-    if (model.phi(item, t) < kClusterPrune) log_weights[t] = kNegInf;
+  // softmax; their (answers × M) likelihood work is skipped. With an
+  // activity list the live set is read directly; the fallback scans ϕ —
+  // both produce the same prefix of finite entries, so the paths are
+  // bit-identical.
+  scratch.active_count = 0;
+  if (activity != nullptr) {
+    std::fill(log_weights.begin(), log_weights.end(), kNegInf);
+    const auto active = activity->ClustersOf(item);
+    const auto weights = activity->WeightsOf(item);
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      log_weights[active[k]] = SafeLog(weights[k]);
+      scratch.active_ids[scratch.active_count++] = active[k];
+    }
+  } else {
+    for (std::size_t t = 0; t < T; ++t) {
+      if (model.phi(item, t) < kClusterPrune) {
+        log_weights[t] = kNegInf;
+        continue;
+      }
+      log_weights[t] = SafeLog(model.phi(item, t));
+      scratch.active_ids[scratch.active_count++] = t;
+    }
   }
-  std::vector<double> member_terms(M);
+  auto member_terms = scratch.member_terms;
   for (std::size_t index : answers.AnswersOfItem(item)) {
     const Answer& a = answers.answer(index);
     const auto kappa_row = model.kappa.Row(a.worker);
-    for (std::size_t t = 0; t < T; ++t) {
-      if (!std::isfinite(log_weights[t])) continue;
+    for (std::size_t k = 0; k < scratch.active_count; ++k) {
+      const std::size_t t = scratch.active_ids[k];
       // ln Σ_m κ_um Π_c ψ̂_tmc  (log-sum-exp over communities).
       for (std::size_t m = 0; m < M; ++m) {
         if (kappa_row[m] <= 0.0) {
@@ -138,20 +178,29 @@ std::vector<double> ItemClusterLogWeights(const CpaModel& model,
       log_weights[t] += LogSumExp(member_terms);
     }
   }
-  return log_weights;
 }
 
-std::vector<LabelId> CollectCandidates(const PredictionTables& tables,
-                                       const AnswerMatrix& answers, ItemId item,
-                                       std::span<const double> cluster_log_weights) {
-  std::vector<LabelId> candidates;
+std::vector<double> ItemClusterLogWeights(const CpaModel& model,
+                                          const PredictionTables& tables,
+                                          const AnswerMatrix& answers, ItemId item) {
+  PredictionScratch scratch(model.num_clusters(), model.num_communities());
+  ItemClusterLogWeights(model, tables, answers, item, /*activity=*/nullptr, scratch);
+  return {scratch.log_weights.begin(), scratch.log_weights.end()};
+}
+
+void CollectCandidates(const PredictionTables& tables, const AnswerMatrix& answers,
+                       ItemId item, std::span<const double> cluster_log_weights,
+                       PredictionScratch& scratch) {
+  auto& candidates = scratch.candidates;
+  candidates.clear();
   for (std::size_t index : answers.AnswersOfItem(item)) {
     const Answer& a = answers.answer(index);
     candidates.insert(candidates.end(), a.labels.begin(), a.labels.end());
   }
   // Top labels of the three most likely clusters: the co-occurrence
   // completion channel (R3).
-  std::vector<std::size_t> order(cluster_log_weights.size());
+  auto& order = scratch.cluster_order;
+  order.resize(cluster_log_weights.size());
   std::iota(order.begin(), order.end(), 0u);
   const std::size_t top_clusters = std::min<std::size_t>(3, order.size());
   std::partial_sort(order.begin(), order.begin() + top_clusters, order.end(),
@@ -166,151 +215,209 @@ std::vector<LabelId> CollectCandidates(const PredictionTables& tables,
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
-  return candidates;
+}
+
+std::vector<LabelId> CollectCandidates(const PredictionTables& tables,
+                                       const AnswerMatrix& answers, ItemId item,
+                                       std::span<const double> cluster_log_weights) {
+  PredictionScratch scratch(cluster_log_weights.size(), 0);
+  CollectCandidates(tables, answers, item, cluster_log_weights, scratch);
+  return scratch.candidates;
 }
 
 LabelSet GreedyInstantiate(const PredictionTables& tables,
                            std::span<const double> cluster_log_weights,
-                           const std::vector<LabelId>& candidates) {
-  const ActiveClusters active = Normalize(cluster_log_weights);
-  if (active.ids.empty()) return LabelSet();
+                           std::span<const LabelId> candidates,
+                           PredictionScratch& scratch) {
+  NormalizeActive(cluster_log_weights, scratch);
+  if (scratch.active_count == 0) return LabelSet();
 
   // acc_j = log_weight_j + Σ_{c∈y} log φ̂_{t_j, c}.
-  std::vector<double> acc = active.log_weights;
+  auto acc = scratch.acc.first(scratch.active_count);
+  std::copy_n(scratch.active_log_weights.begin(), scratch.active_count, acc.begin());
   LabelSet selected;
-  std::vector<bool> used(candidates.size(), false);
-  double current = SetScore(tables, active, acc, 0);
+  scratch.used.assign(candidates.size(), 0);
+  double current = SetScore(tables, scratch, acc, 0);
 
+  auto trial = scratch.trial.first(scratch.active_count);
   for (;;) {
     double best_score = current;
     std::size_t best_index = candidates.size();
     const std::size_t next_size = selected.size() + 1;
     if (next_size >= tables.log_size_prior.cols()) break;
-    std::vector<double> trial(acc.size());
     for (std::size_t j = 0; j < candidates.size(); ++j) {
-      if (used[j]) continue;
-      for (std::size_t k = 0; k < active.ids.size(); ++k) {
-        trial[k] = acc[k] + tables.log_phi_mean(active.ids[k], candidates[j]);
+      if (scratch.used[j]) continue;
+      for (std::size_t k = 0; k < scratch.active_count; ++k) {
+        trial[k] =
+            acc[k] + tables.log_phi_mean(scratch.active_ids[k], candidates[j]);
       }
-      const double score = SetScore(tables, active, trial, next_size);
+      const double score = SetScore(tables, scratch, trial, next_size);
       if (score > best_score + 1e-12) {
         best_score = score;
         best_index = j;
       }
     }
     if (best_index == candidates.size()) break;
-    used[best_index] = true;
+    scratch.used[best_index] = 1;
     selected.Add(candidates[best_index]);
-    for (std::size_t k = 0; k < active.ids.size(); ++k) {
-      acc[k] += tables.log_phi_mean(active.ids[k], candidates[best_index]);
+    for (std::size_t k = 0; k < scratch.active_count; ++k) {
+      acc[k] += tables.log_phi_mean(scratch.active_ids[k], candidates[best_index]);
     }
     current = best_score;
   }
   return selected;
 }
 
+LabelSet GreedyInstantiate(const PredictionTables& tables,
+                           std::span<const double> cluster_log_weights,
+                           const std::vector<LabelId>& candidates) {
+  PredictionScratch scratch(cluster_log_weights.size(), 0);
+  return GreedyInstantiate(tables, cluster_log_weights, candidates, scratch);
+}
+
 LabelSet ExhaustiveInstantiate(const PredictionTables& tables,
                                std::span<const double> cluster_log_weights,
-                               const std::vector<LabelId>& candidates,
-                               std::size_t max_size) {
-  const ActiveClusters active = Normalize(cluster_log_weights);
-  if (active.ids.empty()) return LabelSet();
+                               std::span<const LabelId> candidates,
+                               std::size_t max_size, PredictionScratch& scratch) {
+  NormalizeActive(cluster_log_weights, scratch);
+  if (scratch.active_count == 0) return LabelSet();
   max_size = std::min(max_size, tables.log_size_prior.cols() - 1);
 
-  std::vector<double> acc = active.log_weights;
-  std::vector<LabelId> current;
-  std::vector<LabelId> best_set;
-  double best_score = SetScore(tables, active, acc, 0);
+  auto acc = scratch.acc.first(scratch.active_count);
+  std::copy_n(scratch.active_log_weights.begin(), scratch.active_count, acc.begin());
+  auto& current = scratch.subset;
+  auto& best_set = scratch.best_subset;
+  current.clear();
+  best_set.clear();
+  double best_score = SetScore(tables, scratch, acc, 0);
 
   // Depth-first enumeration of subsets in index order; `acc` carries the
   // per-cluster partial log-products.
   const std::function<void(std::size_t)> recurse = [&](std::size_t start) {
     if (current.size() >= max_size) return;
     for (std::size_t j = start; j < candidates.size(); ++j) {
-      for (std::size_t k = 0; k < active.ids.size(); ++k) {
-        acc[k] += tables.log_phi_mean(active.ids[k], candidates[j]);
+      for (std::size_t k = 0; k < scratch.active_count; ++k) {
+        acc[k] += tables.log_phi_mean(scratch.active_ids[k], candidates[j]);
       }
       current.push_back(candidates[j]);
-      const double score = SetScore(tables, active, acc, current.size());
+      const double score = SetScore(tables, scratch, acc, current.size());
       if (score > best_score + 1e-12) {
         best_score = score;
         best_set = current;
       }
       recurse(j + 1);
       current.pop_back();
-      for (std::size_t k = 0; k < active.ids.size(); ++k) {
-        acc[k] -= tables.log_phi_mean(active.ids[k], candidates[j]);
+      for (std::size_t k = 0; k < scratch.active_count; ++k) {
+        acc[k] -= tables.log_phi_mean(scratch.active_ids[k], candidates[j]);
       }
     }
   };
   recurse(0);
-  return LabelSet::FromUnsorted(std::move(best_set));
+  return LabelSet::FromUnsorted(std::vector<LabelId>(best_set));
 }
 
+LabelSet ExhaustiveInstantiate(const PredictionTables& tables,
+                               std::span<const double> cluster_log_weights,
+                               const std::vector<LabelId>& candidates,
+                               std::size_t max_size) {
+  PredictionScratch scratch(cluster_log_weights.size(), 0);
+  return ExhaustiveInstantiate(tables, cluster_log_weights, candidates, max_size,
+                               scratch);
+}
+
+namespace {
+
+/// Predicts one item into `prediction` using shard-owned scratch. The
+/// straight-line port of the pre-arena per-item body; every buffer write
+/// fully overwrites its prefix, so shard boundaries cannot leak state.
+void PredictOneItem(const CpaModel& model, const PredictionTables& tables,
+                    const AnswerMatrix& answers,
+                    const sweep::ClusterActivity& activity, std::size_t i,
+                    PredictionScratch& scratch, CpaPrediction& prediction) {
+  const ItemId item = static_cast<ItemId>(i);
+  if (answers.AnswersOfItem(item).empty()) return;  // stays empty
+  ItemClusterLogWeights(model, tables, answers, item, &activity, scratch);
+  const std::span<const double> log_weights = scratch.log_weights;
+
+  // Marginal scores from the mixed Bernoulli profile. Only the item's
+  // active clusters can carry softmax mass, so the T-wide scan reduces to
+  // the activity list (ascending ids — the same accumulation order).
+  std::copy(log_weights.begin(), log_weights.end(), scratch.weights.begin());
+  SoftmaxInPlace(scratch.weights);
+  auto score_row = prediction.scores.Row(i);
+  for (std::size_t k = 0; k < scratch.active_count; ++k) {
+    const std::size_t t = scratch.active_ids[k];
+    const double weight = scratch.weights[t];
+    if (weight <= 0.0) continue;
+    const auto profile_row = model.bernoulli_profile.Row(t);
+    for (std::size_t c = 0; c < model.num_labels(); ++c) {
+      score_row[c] += weight * profile_row[c];
+    }
+  }
+
+  if (model.options().prediction_mode == PredictionMode::kBernoulliProfile) {
+    prediction.labels[i] = LabelSet::FromIndicator(score_row, 0.5);
+    return;
+  }
+  if (model.options().exhaustive_prediction) {
+    // The paper's 2^C enumeration: over the full label universe when
+    // small, bounded by the size-prior support.
+    if (model.num_labels() <= 25) {
+      scratch.candidates.resize(model.num_labels());
+      std::iota(scratch.candidates.begin(), scratch.candidates.end(), 0u);
+    } else {
+      CollectCandidates(tables, answers, item, log_weights, scratch);
+    }
+    prediction.labels[i] =
+        ExhaustiveInstantiate(tables, log_weights, scratch.candidates,
+                              tables.log_size_prior.cols() - 1, scratch);
+    return;
+  }
+  CollectCandidates(tables, answers, item, log_weights, scratch);
+  prediction.labels[i] =
+      GreedyInstantiate(tables, log_weights, scratch.candidates, scratch);
+}
+
+}  // namespace
 }  // namespace internal
 
 Result<CpaPrediction> PredictLabels(const CpaModel& model, const AnswerMatrix& answers,
-                                    Executor* pool) {
+                                    const SweepScheduler& scheduler) {
   if (answers.num_items() != model.num_items() ||
       answers.num_workers() != model.num_workers()) {
     return Status::InvalidArgument("answer matrix does not match model dimensions");
   }
   const internal::PredictionTables tables = internal::BuildPredictionTables(model);
   const std::size_t num_items = model.num_items();
-  const std::size_t T = model.num_clusters();
+
+  // The per-item live-cluster lists at the prediction prune threshold —
+  // shared read-only by every shard.
+  sweep::ClusterActivity activity;
+  sweep::BuildClusterActivity(model.phi, scheduler, activity,
+                              internal::kClusterPrune);
 
   CpaPrediction prediction;
   prediction.labels.resize(num_items);
   prediction.scores.Reset(num_items, model.num_labels());
 
-  ParallelFor(
-      pool, num_items,
-      [&](std::size_t begin, std::size_t end) {
+  scheduler.ParallelMap(
+      num_items,
+      [&](ScratchArena& arena, std::size_t begin, std::size_t end) {
+        internal::PredictionScratch scratch(arena, model.num_clusters(),
+                                            model.num_communities());
         for (std::size_t i = begin; i < end; ++i) {
-          const ItemId item = static_cast<ItemId>(i);
-          if (answers.AnswersOfItem(item).empty()) continue;  // stays empty
-          std::vector<double> log_weights =
-              internal::ItemClusterLogWeights(model, tables, answers, item);
-
-          // Marginal scores from the mixed Bernoulli profile.
-          std::vector<double> weights = log_weights;
-          SoftmaxInPlace(weights);
-          auto score_row = prediction.scores.Row(i);
-          for (std::size_t t = 0; t < T; ++t) {
-            if (weights[t] <= 0.0) continue;
-            const auto profile_row = model.bernoulli_profile.Row(t);
-            for (std::size_t c = 0; c < model.num_labels(); ++c) {
-              score_row[c] += weights[t] * profile_row[c];
-            }
-          }
-
-          if (model.options().prediction_mode == PredictionMode::kBernoulliProfile) {
-            prediction.labels[i] = LabelSet::FromIndicator(score_row, 0.5);
-            continue;
-          }
-          if (model.options().exhaustive_prediction) {
-            // The paper's 2^C enumeration: over the full label universe
-            // when small, bounded by the size-prior support.
-            std::vector<LabelId> candidates;
-            if (model.num_labels() <= 25) {
-              candidates.resize(model.num_labels());
-              std::iota(candidates.begin(), candidates.end(), 0u);
-            } else {
-              candidates =
-                  internal::CollectCandidates(tables, answers, item, log_weights);
-            }
-            prediction.labels[i] = internal::ExhaustiveInstantiate(
-                tables, log_weights, candidates, tables.log_size_prior.cols() - 1);
-            continue;
-          }
-          const std::vector<LabelId> candidates =
-              internal::CollectCandidates(tables, answers, item, log_weights);
-          prediction.labels[i] =
-              internal::GreedyInstantiate(tables, log_weights, candidates);
+          internal::PredictOneItem(model, tables, answers, activity, i, scratch,
+                                   prediction);
         }
       },
       /*min_shard=*/4);
   return prediction;
+}
+
+Result<CpaPrediction> PredictLabels(const CpaModel& model, const AnswerMatrix& answers,
+                                    Executor* pool) {
+  const SweepScheduler scheduler(pool);
+  return PredictLabels(model, answers, scheduler);
 }
 
 }  // namespace cpa

@@ -22,6 +22,15 @@
 /// §5.4) is provided for the No L variant and as a test oracle for the
 /// greedy.
 ///
+/// Execution model (Eqs. 4–7 are the offline wall-clock tail, so this
+/// phase runs like a sweep): items are sharded through the
+/// `SweepScheduler` MAP phase, a per-item `ClusterActivity` built at the
+/// prediction prune threshold supplies each item's live clusters, and all
+/// per-item buffers (`ActiveClusters` ids/log-weights, score terms,
+/// accumulators) are checked out of the shard's lane `ScratchArena` once
+/// and reused across the shard's items. Results are bit-identical for any
+/// thread count and for arena- vs heap-backed scratch.
+///
 /// The paper's ψ^MAP/φ^MAP point estimates are degenerate for Dirichlet
 /// parameters below 1 (mode on the simplex boundary), so posterior means
 /// are used instead — the standard plug-in.
@@ -29,8 +38,11 @@
 #include <vector>
 
 #include "core/cpa_model.h"
+#include "core/sweep/sweep_kernels.h"
+#include "core/sweep/sweep_scheduler.h"
 #include "data/answer_matrix.h"
 #include "data/label_set.h"
+#include "util/arena.h"
 #include "util/matrix.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -52,7 +64,17 @@ struct CpaPrediction {
 Result<CpaPrediction> PredictLabels(const CpaModel& model, const AnswerMatrix& answers,
                                     Executor* pool = nullptr);
 
+/// Same, scheduled on a caller-owned `SweepScheduler` — the fit loops and
+/// the online learner pass their own scheduler so prediction reuses the
+/// already-warm lane arenas instead of building a fresh scheduler per call.
+Result<CpaPrediction> PredictLabels(const CpaModel& model, const AnswerMatrix& answers,
+                                    const SweepScheduler& scheduler);
+
 namespace internal {
+
+/// Clusters whose normalised weight falls below this are pruned from the
+/// per-item scoring (identity-ϕ variants leave exactly one active cluster).
+inline constexpr double kClusterPrune = 1e-10;
 
 /// Precomputed log posterior-mean parameters shared across items.
 struct PredictionTables {
@@ -62,16 +84,68 @@ struct PredictionTables {
   std::vector<std::vector<LabelId>> top_labels;  ///< per cluster, profile-sorted
 };
 
+/// \brief Per-shard prediction buffers, checked out once and reused across
+/// the shard's items.
+///
+/// The fixed-width spans (cluster- and community-shaped) live in a
+/// `ScratchArena` lane (or, via the heap constructor, in owned vectors —
+/// the pre-arena baseline used by the legacy wrappers, the microbenchmarks,
+/// and the arena-vs-heap bit-identity tests). The variable-width members
+/// are plain vectors whose capacity survives across items.
+struct PredictionScratch {
+  /// Heap-backed: owns its buffers (T clusters, M communities).
+  PredictionScratch(std::size_t num_clusters, std::size_t num_communities);
+
+  /// Arena-backed: buffers are checkouts of `arena` and live until the
+  /// arena frame closes.
+  PredictionScratch(ScratchArena& arena, std::size_t num_clusters,
+                    std::size_t num_communities);
+
+  std::span<double> log_weights;        ///< T: reweighted cluster log-posterior
+  std::span<double> weights;            ///< T: softmaxed copy for the scores
+  std::span<double> member_terms;       ///< M: per-community log-lik terms
+  std::span<std::size_t> active_ids;    ///< ≤T: surviving cluster ids
+  std::span<double> active_log_weights; ///< matching normalised log-weights
+  std::span<double> acc;                ///< ≤T: per-cluster partial products
+  std::span<double> trial;              ///< ≤T: greedy candidate trial row
+  std::span<double> terms;              ///< ≤T: SetScore mixture terms
+  std::size_t active_count = 0;         ///< live prefix of the active spans
+
+  std::vector<LabelId> candidates;
+  std::vector<std::size_t> cluster_order;
+  std::vector<LabelId> subset;       ///< exhaustive DFS stack
+  std::vector<LabelId> best_subset;  ///< exhaustive best-so-far
+  std::vector<char> used;            ///< greedy candidate marks
+
+ private:
+  std::vector<double> owned_doubles_;
+  std::vector<std::size_t> owned_ids_;
+};
+
 /// Builds the tables from a fitted model.
 PredictionTables BuildPredictionTables(const CpaModel& model);
 
 /// Posterior cluster log-weights of one item, answer-likelihood-reweighted
-/// (unnormalised).
+/// (unnormalised), written into `scratch.log_weights`. `activity`
+/// (nullable) supplies the item's clusters above `kClusterPrune`; without
+/// it the full ϕ row is scanned — both paths are bit-identical.
+void ItemClusterLogWeights(const CpaModel& model, const PredictionTables& tables,
+                           const AnswerMatrix& answers, ItemId item,
+                           const sweep::ClusterActivity* activity,
+                           PredictionScratch& scratch);
+
+/// Legacy allocation-per-call form (tests and external callers).
 std::vector<double> ItemClusterLogWeights(const CpaModel& model,
                                           const PredictionTables& tables,
                                           const AnswerMatrix& answers, ItemId item);
 
 /// Greedy MAP instantiation over `candidates` given cluster log-weights.
+LabelSet GreedyInstantiate(const PredictionTables& tables,
+                           std::span<const double> cluster_log_weights,
+                           std::span<const LabelId> candidates,
+                           PredictionScratch& scratch);
+
+/// Legacy allocation-per-call form.
 LabelSet GreedyInstantiate(const PredictionTables& tables,
                            std::span<const double> cluster_log_weights,
                            const std::vector<LabelId>& candidates);
@@ -80,10 +154,22 @@ LabelSet GreedyInstantiate(const PredictionTables& tables,
 /// `max_size`); the oracle for GreedyInstantiate and the No L search.
 LabelSet ExhaustiveInstantiate(const PredictionTables& tables,
                                std::span<const double> cluster_log_weights,
+                               std::span<const LabelId> candidates,
+                               std::size_t max_size, PredictionScratch& scratch);
+
+/// Legacy allocation-per-call form.
+LabelSet ExhaustiveInstantiate(const PredictionTables& tables,
+                               std::span<const double> cluster_log_weights,
                                const std::vector<LabelId>& candidates,
                                std::size_t max_size);
 
-/// Candidate labels for an item: answered labels + top cluster labels.
+/// Candidate labels for an item (answered labels + top cluster labels),
+/// deduplicated and sorted into `scratch.candidates`.
+void CollectCandidates(const PredictionTables& tables, const AnswerMatrix& answers,
+                       ItemId item, std::span<const double> cluster_log_weights,
+                       PredictionScratch& scratch);
+
+/// Legacy allocation-per-call form.
 std::vector<LabelId> CollectCandidates(const PredictionTables& tables,
                                        const AnswerMatrix& answers, ItemId item,
                                        std::span<const double> cluster_log_weights);

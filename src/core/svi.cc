@@ -95,6 +95,7 @@ Result<CpaOnline> CpaOnline::Create(std::size_t num_items, std::size_t num_worke
   online.model_ = std::move(model);
   online.svi_options_ = svi_options;
   online.pool_ = pool;
+  online.scheduler_ = std::make_unique<SweepScheduler>(pool);
   online.worker_seen_.assign(num_workers, false);
   online.item_seen_.assign(num_items, false);
   online.item_seeded_.assign(num_items, false);
@@ -123,7 +124,7 @@ Status CpaOnline::ObserveBatch(const AnswerMatrix& answers,
   }
   EnsureView(answers);
   CpaModel& model = model_;
-  const SweepScheduler scheduler(pool_);
+  const SweepScheduler& scheduler = *scheduler_;
   const std::size_t M = model.num_communities();
   const std::size_t T = model.num_clusters();
   const std::size_t C = model.num_labels();
@@ -426,7 +427,7 @@ void CpaOnline::EnsureActivity(const SweepScheduler& scheduler) {
 void CpaOnline::GlobalRefresh(const AnswerMatrix& answers) {
   EnsureView(answers);
   CpaModel& model = model_;
-  const SweepScheduler scheduler(pool_);
+  const SweepScheduler& scheduler = *scheduler_;
   const std::size_t T = model.num_clusters();
   const std::size_t C = model.num_labels();
   const CpaOptions& options = model.options();
@@ -489,7 +490,7 @@ void CpaOnline::GlobalRefresh(const AnswerMatrix& answers) {
 Result<CpaPrediction> CpaOnline::Predict(const AnswerMatrix& answers) {
   if (answers_seen_ == 0) {
     return PredictLabels(model_, AnswerMatrix(model_.num_items(), model_.num_workers()),
-                         pool_);
+                         *scheduler_);
   }
   for (const auto& seen : seen_by_item_) {
     for (std::uint32_t index : seen) {
@@ -507,7 +508,7 @@ Result<CpaPrediction> CpaOnline::Predict(const AnswerMatrix& answers) {
     seen_indices.insert(seen_indices.end(), seen.begin(), seen.end());
   }
   const AnswerMatrix seen_answers = answers.Subset(seen_indices);
-  return PredictLabels(model_, seen_answers, pool_);
+  return PredictLabels(model_, seen_answers, *scheduler_);
 }
 
 }  // namespace cpa

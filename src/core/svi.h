@@ -27,10 +27,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/cpa_model.h"
 #include "core/prediction.h"
 #include "core/sweep/answer_view.h"
 #include "core/sweep/sweep_kernels.h"
+#include "core/sweep/sweep_scheduler.h"
 #include "data/answer_matrix.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -116,6 +119,15 @@ class CpaOnline {
   CpaModel model_;
   SviOptions svi_options_;
   Executor* pool_ = nullptr;
+
+  /// Session-lifetime scheduler: its lane arenas stay warm across batches,
+  /// so steady-state SVI steps (and every snapshot predict) reuse the same
+  /// scratch slabs instead of re-allocating per call. Owned by pointer so
+  /// the learner stays movable. Retention equals this session's high-water
+  /// scratch (bounded by the λ-reduce budget in sweep_kernels.cc) and is
+  /// released with the learner — under the server, idle expiry bounds the
+  /// fleet-wide total.
+  std::unique_ptr<SweepScheduler> scheduler_;
 
   /// Persistent per-item active-cluster lists kept consistent with ϕ: the
   /// reinforcement rounds patch just the batch items' rows

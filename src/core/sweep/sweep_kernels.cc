@@ -29,7 +29,7 @@ constexpr std::size_t kLambdaScratchEntryBudget = 8'000'000;
 // ---------------------------------------------------------------------------
 
 void BuildClusterActivity(const Matrix& phi, const SweepScheduler& scheduler,
-                          ClusterActivity& out) {
+                          ClusterActivity& out, double threshold) {
   const std::size_t I = phi.rows();
   const std::size_t T = phi.cols();
   out.offsets.assign(I + 1, 0);
@@ -40,7 +40,7 @@ void BuildClusterActivity(const Matrix& phi, const SweepScheduler& scheduler,
           const auto row = phi.Row(i);
           std::uint32_t count = 0;
           for (std::size_t t = 0; t < T; ++t) {
-            if (row[t] >= kSkipMass) ++count;
+            if (row[t] >= threshold) ++count;
           }
           out.offsets[i + 1] = count;
         }
@@ -56,7 +56,7 @@ void BuildClusterActivity(const Matrix& phi, const SweepScheduler& scheduler,
           const auto row = phi.Row(i);
           std::uint32_t cursor = out.offsets[i];
           for (std::size_t t = 0; t < T; ++t) {
-            if (row[t] < kSkipMass) continue;
+            if (row[t] < threshold) continue;
             out.clusters[cursor] = static_cast<std::uint32_t>(t);
             out.weights[cursor] = row[t];
             ++cursor;
@@ -437,21 +437,25 @@ void UpdateSticks(Matrix& sticks, const Matrix& responsibilities,
   const std::size_t K = sticks.rows() + 1;
   if (K <= 1) return;
   CPA_CHECK_EQ(responsibilities.cols(), K);
-  // Column masses n_k = Σ_rows resp(·, k).
+  // Column masses n_k = Σ_rows resp(·, k). Partials are K-wide arena
+  // checkouts — spans, not vectors — so a sweep's repeated stick updates
+  // reuse the same slab.
   std::vector<double> mass(K, 0.0);
-  scheduler.ParallelReduce<std::vector<double>>(
+  scheduler.ParallelReduce<std::span<double>>(
       responsibilities.rows(), kRowGrain,
-      [K] { return std::vector<double>(K, 0.0); },
-      [&](std::vector<double>& partial, std::size_t begin, std::size_t end) {
+      [K](ScratchArena& arena) { return arena.AllocZeroed<double>(K); },
+      [&](std::span<double>& partial, std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
           const auto row = responsibilities.Row(r);
           for (std::size_t k = 0; k < K; ++k) partial[k] += row[k];
         }
       },
-      [](std::vector<double>& into, std::vector<double>& from) {
+      [](std::span<double>& into, std::span<double>& from) {
         for (std::size_t k = 0; k < into.size(); ++k) into[k] += from[k];
       },
-      mass);
+      [&](std::span<double>& root) {
+        for (std::size_t k = 0; k < K; ++k) mass[k] += root[k];
+      });
   // Suffix sums: tail_k = Σ_{l > k} n_l.
   double tail = 0.0;
   std::vector<double> tails(K, 0.0);
@@ -477,15 +481,18 @@ void UpdateLambda(CpaModel& model, const AnswerView& view,
   // against a memory budget and the reduce must not blow past it 16-fold.
   // A pure function of the bank shape (never of the thread count), so the
   // reduction tree stays thread-count invariant.
-  const std::size_t bank_entries =
-      std::max<std::size_t>(1, model.num_clusters() * M * C);
+  const std::size_t T = model.num_clusters();
+  const std::size_t bank_entries = std::max<std::size_t>(1, T * M * C);
   const std::size_t max_blocks = std::clamp<std::size_t>(
       kLambdaScratchEntryBudget / bank_entries, 1, SweepScheduler::kMaxReduceBlocks);
-  using Banks = std::vector<Matrix>;
-  scheduler.ParallelReduce<Banks>(
+  // Each partial is one flat T×M×C arena checkout (bank t at offset t·M·C)
+  // — the heaviest scratch of the whole engine, and the reason the reduce
+  // arena exists: steady-state sweeps reuse the warm slabs instead of
+  // re-allocating megabytes per call.
+  scheduler.ParallelReduce<std::span<double>>(
       view.num_answers(), kAnswerGrain,
-      [&] { return Banks(model.num_clusters(), Matrix(M, C, 0.0)); },
-      [&](Banks& banks, std::size_t begin, std::size_t end) {
+      [&](ScratchArena& arena) { return arena.AllocZeroed<double>(bank_entries); },
+      [&](std::span<double>& banks, std::size_t begin, std::size_t end) {
         for (std::size_t index = begin; index < end; ++index) {
           const ItemId item = view.item(index);
           const auto labels = view.labels(index);
@@ -493,36 +500,40 @@ void UpdateLambda(CpaModel& model, const AnswerView& view,
           const auto active = activity.ClustersOf(item);
           const auto phi_weights = activity.WeightsOf(item);
           for (std::size_t k = 0; k < active.size(); ++k) {
-            Matrix& bank = banks[active[k]];
+            double* bank = banks.data() + active[k] * M * C;
             for (std::size_t m = 0; m < M; ++m) {
               const double weight = phi_weights[k] * kappa_row[m];
               if (weight < kSkipMass) continue;
-              auto row = bank.Row(m);
+              double* row = bank + m * C;
               for (LabelId c : labels) row[c] += weight;
             }
           }
         }
       },
-      [](Banks& into, Banks& from) {
-        for (std::size_t t = 0; t < into.size(); ++t) {
-          auto into_data = into[t].Data();
-          const auto from_data = from[t].Data();
+      [](std::span<double>& into, std::span<double>& from) {
+        for (std::size_t e = 0; e < into.size(); ++e) into[e] += from[e];
+      },
+      [&](std::span<double>& root) {
+        for (std::size_t t = 0; t < T; ++t) {
+          auto into_data = model.lambda[t].Data();
+          const double* from_data = root.data() + t * M * C;
           for (std::size_t e = 0; e < into_data.size(); ++e) {
             into_data[e] += from_data[e];
           }
         }
       },
-      model.lambda, max_blocks);
+      max_blocks);
 }
 
 void UpdateZeta(CpaModel& model, const ClusterActivity& activity,
                 const SweepScheduler& scheduler) {
   const std::size_t C = model.num_labels();
+  const std::size_t entries = model.num_clusters() * C;
   model.zeta.Fill(model.options().zeta0);
-  scheduler.ParallelReduce<Matrix>(
+  scheduler.ParallelReduce<std::span<double>>(
       model.num_items(), kItemGrain,
-      [&] { return Matrix(model.num_clusters(), C, 0.0); },
-      [&](Matrix& partial, std::size_t begin, std::size_t end) {
+      [&](ScratchArena& arena) { return arena.AllocZeroed<double>(entries); },
+      [&](std::span<double>& partial, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           if (model.y_evidence[i].empty()) continue;
           const auto active = activity.ClustersOf(static_cast<ItemId>(i));
@@ -530,19 +541,20 @@ void UpdateZeta(CpaModel& model, const ClusterActivity& activity,
           const double multiplicity = model.y_evidence_weight[i];
           for (const auto& [c, weight] : model.y_evidence[i]) {
             for (std::size_t k = 0; k < active.size(); ++k) {
-              partial(active[k], c) += phi_weights[k] * weight * multiplicity;
+              partial[active[k] * C + c] += phi_weights[k] * weight * multiplicity;
             }
           }
         }
       },
-      [](Matrix& into, Matrix& from) {
-        auto into_data = into.Data();
-        const auto from_data = from.Data();
-        for (std::size_t e = 0; e < into_data.size(); ++e) {
-          into_data[e] += from_data[e];
-        }
+      [](std::span<double>& into, std::span<double>& from) {
+        for (std::size_t e = 0; e < into.size(); ++e) into[e] += from[e];
       },
-      model.zeta);
+      [&](std::span<double>& root) {
+        auto into_data = model.zeta.Data();
+        for (std::size_t e = 0; e < into_data.size(); ++e) {
+          into_data[e] += root[e];
+        }
+      });
 }
 
 void UpdateThetaChannel(CpaModel& model, const ClusterActivity& activity,
@@ -556,13 +568,16 @@ void UpdateThetaChannel(CpaModel& model, const ClusterActivity& activity,
   // run over items carrying evidence. With mass_t = Σ w_i ϕ_it of those
   // items, b_tc = b0 + mass_t − (a_tc − a0).
   struct Stats {
-    Matrix a;
-    std::vector<double> mass;
+    std::span<double> a;     ///< T × C, row-major
+    std::span<double> mass;  ///< T
   };
-  Stats total{Matrix(T, C, 0.0), std::vector<double>(T, 0.0)};
+  Matrix total_a(T, C, 0.0);
+  std::vector<double> total_mass(T, 0.0);
   scheduler.ParallelReduce<Stats>(
       model.num_items(), kItemGrain,
-      [&] { return Stats{Matrix(T, C, 0.0), std::vector<double>(T, 0.0)}; },
+      [&](ScratchArena& arena) {
+        return Stats{arena.AllocZeroed<double>(T * C), arena.AllocZeroed<double>(T)};
+      },
       [&](Stats& partial, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           if (model.y_evidence[i].empty()) continue;
@@ -574,26 +589,28 @@ void UpdateThetaChannel(CpaModel& model, const ClusterActivity& activity,
           }
           for (const auto& [c, weight] : model.y_evidence[i]) {
             for (std::size_t k = 0; k < active.size(); ++k) {
-              partial.a(active[k], c) += phi_weights[k] * weight * multiplicity;
+              partial.a[active[k] * C + c] += phi_weights[k] * weight * multiplicity;
             }
           }
         }
       },
       [](Stats& into, Stats& from) {
-        auto into_data = into.a.Data();
-        const auto from_data = from.a.Data();
-        for (std::size_t e = 0; e < into_data.size(); ++e) {
-          into_data[e] += from_data[e];
-        }
+        for (std::size_t e = 0; e < into.a.size(); ++e) into.a[e] += from.a[e];
         for (std::size_t t = 0; t < into.mass.size(); ++t) {
           into.mass[t] += from.mass[t];
         }
       },
-      total);
+      [&](Stats& root) {
+        auto into_data = total_a.Data();
+        for (std::size_t e = 0; e < into_data.size(); ++e) {
+          into_data[e] += root.a[e];
+        }
+        for (std::size_t t = 0; t < T; ++t) total_mass[t] += root.mass[t];
+      });
   for (std::size_t t = 0; t < T; ++t) {
     for (std::size_t c = 0; c < C; ++c) {
-      model.theta_a(t, c) = a0 + total.a(t, c);
-      model.theta_b(t, c) = b0 + total.mass[t] - total.a(t, c);
+      model.theta_a(t, c) = a0 + total_a(t, c);
+      model.theta_b(t, c) = b0 + total_mass[t] - total_a(t, c);
     }
   }
 }

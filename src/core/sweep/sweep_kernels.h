@@ -61,10 +61,11 @@ struct ClusterActivity {
   }
 };
 
-/// Rebuilds `out` from the current ϕ (threshold `kSkipMass`), sharded over
-/// the scheduler (counting pass + exclusive scan + fill pass).
+/// Rebuilds `out` from the current ϕ (threshold `kSkipMass` by default;
+/// prediction passes its own, lower prune threshold), sharded over the
+/// scheduler (counting pass + exclusive scan + fill pass).
 void BuildClusterActivity(const Matrix& phi, const SweepScheduler& scheduler,
-                          ClusterActivity& out);
+                          ClusterActivity& out, double threshold = kSkipMass);
 
 /// Recomputes only the activity rows of `items` from the current ϕ,
 /// leaving every other row untouched — the incremental companion of

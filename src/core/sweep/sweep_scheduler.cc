@@ -4,6 +4,29 @@
 
 namespace cpa {
 
+SweepScheduler::SweepScheduler(Executor* executor, ScratchArena::Mode arena_mode)
+    : pool_(executor) {
+  const std::size_t lanes = std::max<std::size_t>(1, num_threads());
+  lane_arenas_.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    lane_arenas_.push_back(std::make_unique<ScratchArena>(arena_mode));
+  }
+}
+
+ScratchArena::Stats SweepScheduler::arena_stats() const {
+  ScratchArena::Stats total;
+  for (const auto& arena : lane_arenas_) {
+    const ScratchArena::Stats& stats = arena->stats();
+    total.slab_allocations += stats.slab_allocations;
+    total.bytes_reserved += stats.bytes_reserved;
+    total.bytes_in_use += stats.bytes_in_use;
+    total.peak_bytes_in_use += stats.peak_bytes_in_use;
+    total.checkouts += stats.checkouts;
+    total.frames += stats.frames;
+  }
+  return total;
+}
+
 std::vector<SweepScheduler::Block> SweepScheduler::Partition(std::size_t total,
                                                              std::size_t grain,
                                                              std::size_t max_blocks) {
@@ -25,6 +48,31 @@ void SweepScheduler::ParallelFor(
     std::size_t min_shard) const {
   // The util helper already implements inline fallback + shard-per-thread.
   ::cpa::ParallelFor(pool_, total, body, min_shard);
+}
+
+void SweepScheduler::ParallelMap(
+    std::size_t total,
+    const std::function<void(ScratchArena&, std::size_t, std::size_t)>& body,
+    std::size_t min_shard) const {
+  if (total == 0) return;
+  if (pool_ == nullptr || pool_->num_threads() <= 1 || total < min_shard * 2) {
+    ScratchArena& arena = lane_arena(0);
+    const ScratchArena::Frame frame(arena);
+    body(arena, 0, total);
+    return;
+  }
+  // One shard per lane at most: the shard index doubles as the arena id,
+  // so no two concurrent shards ever share an arena.
+  const std::size_t shards = std::min(
+      num_lanes(), std::max<std::size_t>(1, total / std::max<std::size_t>(1, min_shard)));
+  const std::size_t chunk = (total + shards - 1) / shards;
+  const std::size_t count = (total + chunk - 1) / chunk;  // non-empty shards
+  SubmitAndWait(pool_, count, [&, chunk, total](std::size_t s) {
+    ScratchArena& arena = lane_arena(s);
+    const ScratchArena::Frame frame(arena);
+    const std::size_t begin = s * chunk;
+    body(arena, begin, std::min(total, begin + chunk));
+  });
 }
 
 void SweepScheduler::RunBlocks(const std::vector<Block>& blocks,

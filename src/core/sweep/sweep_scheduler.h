@@ -2,7 +2,8 @@
 #define CPA_CORE_SWEEP_SWEEP_SCHEDULER_H_
 
 /// \file sweep_scheduler.h
-/// \brief Deterministic sharding of sweep kernels over a `ThreadPool`.
+/// \brief Deterministic sharding of sweep kernels over a `ThreadPool`,
+/// with scheduler-owned scratch arenas.
 ///
 /// Algorithm 3 is MapReduce-shaped: the local (MAP) updates touch disjoint
 /// rows and parallelise trivially, while the global (REDUCE) accumulations
@@ -22,6 +23,15 @@
 /// through the same block structure, so sequential and parallel runs agree
 /// exactly.
 ///
+/// The memory plane: the scheduler owns one `ScratchArena` per lane
+/// (`max(1, num_threads)` lanes). REDUCE partials are checked out of lane
+/// 0's arena on the calling thread before the blocks run, and `ParallelMap`
+/// hands each MAP shard its own lane arena for per-item scratch — so a
+/// long fit (or a prediction pass over many items) allocates slabs once and
+/// bumps pointers thereafter. Arenas make the scheduler stateful: one
+/// scheduler instance serves one orchestration thread at a time (each
+/// fit/predict call owns its scheduler, so this is the existing usage).
+///
 /// The scheduler waits on per-call latches (`SubmitAndWait`), never on
 /// executor-wide idleness, so the executor may be shared — a session lane
 /// of the server's `ServerScheduler` works exactly like an owned
@@ -29,9 +39,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/thread_pool.h"
 
 namespace cpa {
@@ -45,12 +57,30 @@ class SweepScheduler {
   static constexpr std::size_t kMaxReduceBlocks = 16;
 
   /// Schedules onto `executor`; nullptr = run everything inline.
-  explicit SweepScheduler(Executor* executor = nullptr) : pool_(executor) {}
+  /// `arena_mode` selects the scratch policy of the lane arenas —
+  /// `kReuse` (default) for production, `kHeap` for the per-call-allocation
+  /// baseline of the arena-vs-heap benchmarks and bit-identity tests.
+  explicit SweepScheduler(Executor* executor = nullptr,
+                          ScratchArena::Mode arena_mode = ScratchArena::Mode::kReuse);
+
+  SweepScheduler(const SweepScheduler&) = delete;
+  SweepScheduler& operator=(const SweepScheduler&) = delete;
 
   Executor* pool() const { return pool_; }
   std::size_t num_threads() const {
     return pool_ == nullptr ? 1 : pool_->num_threads();
   }
+
+  /// Lanes (== arenas) this scheduler owns: `max(1, num_threads())`.
+  std::size_t num_lanes() const { return lane_arenas_.size(); }
+
+  /// The scratch arena of one lane. Lane 0 doubles as the calling-thread
+  /// arena for REDUCE partials. The arena is mutable scheduler state; see
+  /// the class comment for the single-orchestrator contract.
+  ScratchArena& lane_arena(std::size_t lane) const { return *lane_arenas_[lane]; }
+
+  /// Aggregate stats over every lane arena (for tests and benches).
+  ScratchArena::Stats arena_stats() const;
 
   /// \brief One contiguous shard of an index range.
   struct Block {
@@ -73,13 +103,29 @@ class SweepScheduler {
                    const std::function<void(std::size_t, std::size_t)>& body,
                    std::size_t min_shard = 1) const;
 
-  /// REDUCE phase: folds [0, total) into `out`.
+  /// MAP phase with per-shard scratch: like `ParallelFor`, but at most one
+  /// shard per lane, each handed its lane's `ScratchArena` inside a fresh
+  /// `Frame` (rewound when the shard completes, slabs retained). The body
+  /// must produce shard-boundary-independent results — arena memory is
+  /// buffer space, never carried state.
+  void ParallelMap(
+      std::size_t total,
+      const std::function<void(ScratchArena&, std::size_t, std::size_t)>& body,
+      std::size_t min_shard = 1) const;
+
+  /// REDUCE phase: folds [0, total) through per-block partials into the
+  /// caller's statistic.
   ///
-  /// `body(scratch, begin, end)` accumulates one block into a
-  /// zero-initialised `Scratch` from `make_scratch()`; partials are merged
-  /// pairwise in a fixed tree order with `merge(into, from)` and the root
-  /// is folded into `out` (which typically starts at the prior). Bit-
-  /// identical for any thread count, including the inline nullptr-pool run.
+  /// `make_scratch(arena)` checks one zeroed block accumulator out of the
+  /// scheduler's arena (all partials are allocated on the calling thread
+  /// before any block runs, so single-lane arenas need no locking);
+  /// `body(scratch, begin, end)` accumulates one block; partials are merged
+  /// pairwise in a fixed tree order with `merge(into, from)`; finally
+  /// `fold(root)` adds the merged root into the caller's statistic on the
+  /// calling thread. Bit-identical for any thread count, including the
+  /// inline nullptr-pool run. The whole call is wrapped in an arena
+  /// `Frame`, so steady-state calls reuse the same slabs.
+  ///
   /// `max_blocks` caps the number of partials (≤ kMaxReduceBlocks) —
   /// kernels with large scratch (λ banks) lower it so transient memory
   /// stays within a fixed multiple of the statistic itself. It must be a
@@ -88,26 +134,29 @@ class SweepScheduler {
   /// would change.
   template <typename Scratch>
   void ParallelReduce(std::size_t total, std::size_t grain,
-                      const std::function<Scratch()>& make_scratch,
+                      const std::function<Scratch(ScratchArena&)>& make_scratch,
                       const std::function<void(Scratch&, std::size_t, std::size_t)>& body,
                       const std::function<void(Scratch&, Scratch&)>& merge,
-                      Scratch& out, std::size_t max_blocks = kMaxReduceBlocks) const {
+                      const std::function<void(Scratch&)>& fold,
+                      std::size_t max_blocks = kMaxReduceBlocks) const {
     const std::vector<Block> blocks = Partition(total, grain, max_blocks);
     if (blocks.empty()) return;
+    ScratchArena& arena = lane_arena(0);
+    const ScratchArena::Frame frame(arena);
     if (blocks.size() == 1) {
-      // One block: accumulate straight into `out`. Multi-block runs fold
-      // the merged root with the same `merge(out, root)` call, so the two
-      // paths agree whenever block boundaries agree (they always do:
-      // Partition ignores the thread count).
-      Scratch root = make_scratch();
+      // One block: accumulate into a single scratch and fold it. Multi-
+      // block runs fold the merged root with the same `fold(root)` call, so
+      // the two paths agree whenever block boundaries agree (they always
+      // do: Partition ignores the thread count).
+      Scratch root = make_scratch(arena);
       body(root, blocks[0].begin, blocks[0].end);
-      merge(out, root);
+      fold(root);
       return;
     }
     std::vector<Scratch> partials;
     partials.reserve(blocks.size());
     for (std::size_t b = 0; b < blocks.size(); ++b) {
-      partials.push_back(make_scratch());
+      partials.push_back(make_scratch(arena));
     }
     RunBlocks(blocks, [&](std::size_t b) {
       body(partials[b], blocks[b].begin, blocks[b].end);
@@ -119,7 +168,7 @@ class SweepScheduler {
         merge(partials[b], partials[b + stride]);
       }
     }
-    merge(out, partials[0]);
+    fold(partials[0]);
   }
 
  private:
@@ -128,6 +177,11 @@ class SweepScheduler {
                  const std::function<void(std::size_t)>& run_block) const;
 
   Executor* pool_;
+
+  /// One arena per lane, `unique_ptr` so the scheduler stays movable-free
+  /// and arena addresses are stable. Mutable: arenas are scratch state,
+  /// not scheduling state (see class comment).
+  std::vector<std::unique_ptr<ScratchArena>> lane_arenas_;
 };
 
 }  // namespace cpa

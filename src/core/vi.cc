@@ -104,7 +104,9 @@ Result<CpaModel> FitCpa(const AnswerMatrix& answers, std::size_t num_labels,
         sweep::UpdateThetaChannel(model, activity, scheduler);
         model.RefreshExpectations();
         model.UpdateSizePrior(answers);
-        auto predicted = PredictLabels(model, answers, fit.pool);
+        // Scheduled on the fit's own scheduler: the self-training predict
+        // pass reuses the already-warm lane arenas.
+        auto predicted = PredictLabels(model, answers, scheduler);
         if (predicted.ok()) {
           self_training_labels = std::move(predicted).value().labels;
           sweep::UpdateLabelEvidence(model, view, fit.observed_truth,

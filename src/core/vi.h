@@ -34,6 +34,12 @@ struct FitStats {
   double final_change = 0.0;
   bool converged = false;
 
+  /// Wall-clock seconds of the prediction phase behind this solution's
+  /// labels (`PredictLabels` for offline solves, the snapshot predict for
+  /// the online learner); 0 when no prediction ran. Fig 7 reports it as
+  /// the `prediction_ms` column.
+  double prediction_seconds = 0.0;
+
   /// ELBO after each sweep (filled only when requested — the trace costs
   /// one extra data pass per sweep).
   std::vector<double> elbo_trace;

@@ -40,9 +40,16 @@ Status ConsensusEngine::Observe(const AnswerBatch& batch) {
   return Status::OK();
 }
 
-Result<ConsensusSnapshot> ConsensusEngine::Snapshot() {
+Result<SharedSnapshot> ConsensusEngine::Snapshot() {
   if (finalized_) {
     return final_snapshot_;
+  }
+  // Counters move exactly when engine state does (a successful non-empty
+  // Observe), so a published snapshot stays valid until then — hand the
+  // same immutable object back instead of rebuilding or copying it.
+  if (cached_ != nullptr && cached_batches_ == batches_seen_ &&
+      cached_answers_ == answers_seen_ && cached_stream_ == stream_) {
+    return cached_;
   }
   ConsensusSnapshot snapshot;
   if (stream_ != nullptr) {
@@ -52,18 +59,26 @@ Result<ConsensusSnapshot> ConsensusEngine::Snapshot() {
   snapshot.batches_seen = batches_seen_;
   snapshot.answers_seen = answers_seen_;
   snapshot.finalized = false;
-  return snapshot;
+  cached_ = std::make_shared<const ConsensusSnapshot>(std::move(snapshot));
+  cached_batches_ = batches_seen_;
+  cached_answers_ = answers_seen_;
+  cached_stream_ = stream_;
+  return cached_;
 }
 
-Result<ConsensusSnapshot> ConsensusEngine::Finalize() {
+Result<SharedSnapshot> ConsensusEngine::Finalize() {
   if (finalized_) {
     return final_snapshot_;
   }
-  CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot, Snapshot());
-  snapshot.finalized = true;
+  CPA_ASSIGN_OR_RETURN(SharedSnapshot snapshot, Snapshot());
+  // One body copy at end-of-life to stamp the finalized flag; every later
+  // Snapshot/Finalize returns this same object.
+  auto final_snapshot = std::make_shared<ConsensusSnapshot>(*snapshot);
+  final_snapshot->finalized = true;
   finalized_ = true;
-  final_snapshot_ = snapshot;
-  return snapshot;
+  final_snapshot_ = std::move(final_snapshot);
+  cached_ = nullptr;
+  return final_snapshot_;
 }
 
 Status ObserveAll(ConsensusEngine& engine, const AnswerMatrix& answers) {

@@ -22,6 +22,7 @@
 /// benches, examples and the eval harness switch methods by string name.
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -49,6 +50,11 @@ struct AnswerBatch {
 /// between batches: online methods predict from their current state,
 /// offline adapters refit only when new answers arrived since the last
 /// snapshot.
+///
+/// Sessions publish snapshots as immutable shared values (`SharedSnapshot`
+/// below): once `Snapshot()` hands one out it is never mutated, so any
+/// number of readers — poll caches, wire responses, metric scans — hold
+/// the same object without copying the predictions.
 struct ConsensusSnapshot {
   /// Registry name of the method that produced the snapshot.
   std::string method;
@@ -76,6 +82,11 @@ struct ConsensusSnapshot {
   bool finalized = false;
 };
 
+/// \brief The immutable published form of a snapshot. Copying the handle
+/// is a refcount bump; the snapshot body is never copied or mutated after
+/// publication.
+using SharedSnapshot = std::shared_ptr<const ConsensusSnapshot>;
+
 /// \brief Interface of a streaming consensus session.
 ///
 /// The base class owns the lifecycle invariants — one stream matrix per
@@ -96,13 +107,16 @@ class ConsensusEngine {
   /// out-of-range indices.
   Status Observe(const AnswerBatch& batch);
 
-  /// Current consensus. Before any answer arrived this returns an empty
-  /// snapshot rather than failing, so pollers need no special bootstrap.
-  Result<ConsensusSnapshot> Snapshot();
+  /// Current consensus as an immutable shared value. Before any answer
+  /// arrived this returns an empty snapshot rather than failing, so pollers
+  /// need no special bootstrap. Snapshots are cached at the base level:
+  /// repeated calls with no intervening (non-empty) `Observe` return the
+  /// same shared object — no rebuild, no copy.
+  Result<SharedSnapshot> Snapshot();
 
   /// Ends the session and returns the final consensus. Idempotent: repeated
-  /// calls return the same snapshot; `Observe` fails afterwards.
-  Result<ConsensusSnapshot> Finalize();
+  /// calls return the same shared snapshot; `Observe` fails afterwards.
+  Result<SharedSnapshot> Finalize();
 
   bool finalized() const { return finalized_; }
   std::size_t batches_seen() const { return batches_seen_; }
@@ -132,7 +146,16 @@ class ConsensusEngine {
   std::size_t batches_seen_ = 0;
   std::size_t answers_seen_ = 0;
   bool finalized_ = false;
-  ConsensusSnapshot final_snapshot_;
+
+  /// Base-level snapshot cache: valid while the session counters equal
+  /// `cached_answers_`/`cached_batches_` (counters only move on non-empty
+  /// Observe, and engine state only changes there too) and the stream
+  /// binding is unchanged (an empty first batch binds without counting).
+  SharedSnapshot cached_;
+  std::size_t cached_batches_ = 0;
+  std::size_t cached_answers_ = 0;
+  const AnswerMatrix* cached_stream_ = nullptr;
+  SharedSnapshot final_snapshot_;
 };
 
 /// Feeds every answer of `answers` to `engine` as one batch — the one-shot

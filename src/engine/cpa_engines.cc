@@ -4,6 +4,7 @@
 
 #include "engine/engine_registry.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace cpa {
 
@@ -64,8 +65,10 @@ Status CpaSviEngine::OnObserve(const AnswerMatrix& answers,
 }
 
 Result<ConsensusSnapshot> CpaSviEngine::OnSnapshot(const AnswerMatrix& stream) {
+  const Stopwatch prediction_watch;
   CPA_ASSIGN_OR_RETURN(CpaPrediction prediction, online_.Predict(stream));
   ConsensusSnapshot snapshot;
+  snapshot.fit_stats.prediction_seconds = prediction_watch.ElapsedSeconds();
   snapshot.predictions = std::move(prediction.labels);
   snapshot.label_scores = std::move(prediction.scores);
   snapshot.fit_stats.iterations = online_.batches_seen();
@@ -138,16 +141,18 @@ Result<AggregationResult> CpaAggregator::Aggregate(const AnswerMatrix& answers,
                                                    std::size_t num_labels) {
   CpaOfflineEngine engine(options_, variant_, num_labels, pool_);
   CPA_RETURN_NOT_OK(ObserveAll(engine, answers));
-  CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot, engine.Finalize());
-  if (CpaModel* model = engine.mutable_model()) {
-    model_ = std::move(*model);
-    stats_ = engine.fit_stats();
-    fitted_ = true;
-  }
+  CPA_ASSIGN_OR_RETURN(SharedSnapshot snapshot, engine.Finalize());
   AggregationResult result;
-  result.predictions = std::move(snapshot.predictions);
-  result.label_scores = std::move(snapshot.label_scores);
-  result.iterations = snapshot.fit_stats.iterations;
+  result.iterations = snapshot->fit_stats.iterations;
+  // The engine dies with this call: move the solution out rather than
+  // copying the predictions/scores from the immutable shared snapshot.
+  if (CpaSolution* solution = engine.mutable_solution()) {
+    stats_ = solution->stats;
+    model_ = std::move(solution->model);
+    fitted_ = true;
+    result.predictions = std::move(solution->predictions);
+    result.label_scores = std::move(solution->label_scores);
+  }
   return result;
 }
 

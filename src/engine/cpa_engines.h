@@ -35,6 +35,11 @@ class CpaOfflineEngine : public AccumulatingEngine {
   const CpaModel* model() const { return solved_ ? &solution_.model : nullptr; }
   CpaModel* mutable_model() { return solved_ ? &solution_.model : nullptr; }
 
+  /// The whole last solution (nullptr before the first refit). Lets the
+  /// one-shot `CpaAggregator` adapter move predictions/scores out of a
+  /// dying engine instead of copying them from the shared snapshot.
+  CpaSolution* mutable_solution() { return solved_ ? &solution_ : nullptr; }
+
   /// Inference diagnostics of the last refit.
   const FitStats& fit_stats() const { return solution_.stats; }
 

@@ -39,11 +39,12 @@ Result<ExperimentResult> RunExperiment(ConsensusEngine& engine, const Dataset& d
   CPA_RETURN_NOT_OK(RequireFreshSession(engine, dataset));
   Stopwatch stopwatch;
   CPA_RETURN_NOT_OK(ObserveAll(engine, dataset.answers));
-  CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot, engine.Finalize());
+  CPA_ASSIGN_OR_RETURN(SharedSnapshot snapshot, engine.Finalize());
   ExperimentResult experiment;
   experiment.seconds = stopwatch.ElapsedSeconds();
-  experiment.iterations = snapshot.fit_stats.iterations;
-  experiment.metrics = ComputeSetMetrics(snapshot.predictions, dataset.ground_truth);
+  experiment.iterations = snapshot->fit_stats.iterations;
+  experiment.prediction_seconds = snapshot->fit_stats.prediction_seconds;
+  experiment.metrics = ComputeSetMetrics(snapshot->predictions, dataset.ground_truth);
   return experiment;
 }
 
@@ -57,20 +58,22 @@ Result<StreamingExperimentResult> RunStreamingExperiment(ConsensusEngine& engine
   for (const std::vector<std::size_t>& batch : plan.batches) {
     CPA_RETURN_NOT_OK(engine.Observe({&dataset.answers, batch}));
     if (!score_each_batch) continue;
-    CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot, engine.Snapshot());
+    CPA_ASSIGN_OR_RETURN(SharedSnapshot snapshot, engine.Snapshot());
     StreamingStepResult step;
-    step.metrics = ComputeSetMetrics(snapshot.predictions, dataset.ground_truth);
+    step.metrics = ComputeSetMetrics(snapshot->predictions, dataset.ground_truth);
     step.seconds = stopwatch.ElapsedSeconds();
-    step.batches_seen = snapshot.batches_seen;
-    step.answers_seen = snapshot.answers_seen;
-    step.learning_rate = snapshot.learning_rate;
+    step.batches_seen = snapshot->batches_seen;
+    step.answers_seen = snapshot->answers_seen;
+    step.learning_rate = snapshot->learning_rate;
     result.steps.push_back(std::move(step));
   }
-  CPA_ASSIGN_OR_RETURN(ConsensusSnapshot final_snapshot, engine.Finalize());
+  CPA_ASSIGN_OR_RETURN(SharedSnapshot final_snapshot, engine.Finalize());
   result.final_result.seconds = stopwatch.ElapsedSeconds();
-  result.final_result.iterations = final_snapshot.fit_stats.iterations;
+  result.final_result.iterations = final_snapshot->fit_stats.iterations;
+  result.final_result.prediction_seconds =
+      final_snapshot->fit_stats.prediction_seconds;
   result.final_result.metrics =
-      ComputeSetMetrics(final_snapshot.predictions, dataset.ground_truth);
+      ComputeSetMetrics(final_snapshot->predictions, dataset.ground_truth);
   return result;
 }
 

@@ -32,6 +32,11 @@ struct ExperimentResult {
   SetMetrics metrics;
   double seconds = 0.0;
   std::size_t iterations = 0;
+
+  /// Wall-clock of the prediction phase inside `seconds` (offline CPA:
+  /// `PredictLabels` after the fit; CPA-SVI: the final snapshot predict;
+  /// 0 for methods that do not report it). Fig 7's `prediction_ms` column.
+  double prediction_seconds = 0.0;
 };
 
 /// Runs `aggregator` on `dataset` (answers only — never the truth) and

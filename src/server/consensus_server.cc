@@ -46,11 +46,19 @@ std::string ConsensusServer::Dispatch(const Request& request) {
           JsonValue(static_cast<double>(ack.value().batches_seen));
       fields["answers_seen"] =
           JsonValue(static_cast<double>(ack.value().answers_seen));
+      // The cheap consensus delta (docs/API.md): staleness of the published
+      // snapshot + how much the consensus moved at the last refresh.
+      const ConsensusDelta& delta = ack.value().delta;
+      fields["changed_items"] = JsonValue(static_cast<double>(delta.changed_items));
+      fields["snapshot_batches_seen"] =
+          JsonValue(static_cast<double>(delta.snapshot_batches_seen));
+      fields["snapshot_answers_seen"] =
+          JsonValue(static_cast<double>(delta.snapshot_answers_seen));
       return OkResponse(op, std::move(fields));
     }
     case Request::Op::kSnapshot:
     case Request::Op::kFinalize: {
-      Result<ConsensusSnapshot> snapshot =
+      Result<SharedSnapshot> snapshot =
           request.op == Request::Op::kFinalize
               ? sessions_.Finalize(request.session)
               : sessions_.Snapshot(request.session, request.refresh);
@@ -58,7 +66,7 @@ std::string ConsensusServer::Dispatch(const Request& request) {
         return server::ErrorResponse(op, request.session, snapshot.status());
       }
       JsonValue::Object fields =
-          server::SnapshotFields(snapshot.value(), request.include_predictions);
+          server::SnapshotFields(*snapshot.value(), request.include_predictions);
       fields["session"] = JsonValue(request.session);
       return OkResponse(op, std::move(fields));
     }

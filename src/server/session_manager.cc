@@ -1,5 +1,6 @@
 #include "server/session_manager.h"
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <utility>
@@ -10,8 +11,8 @@
 namespace cpa {
 
 /// \brief One live session. `mutex` serialises the engine calls (and the
-/// stream-matrix appends feeding them); `cache_mutex` guards the poll
-/// state so `Snapshot(refresh=false)` and `List` never wait on `mutex`.
+/// stream-matrix appends feeding them); the poll state is a handful of
+/// atomics — `Snapshot(refresh=false)` and `List` never wait on `mutex`.
 struct SessionManager::Session {
   std::mutex mutex;
   EngineConfig config;  ///< effective config (lane-bound, no owned pool)
@@ -25,13 +26,56 @@ struct SessionManager::Session {
   /// answers to a session that no longer exists.
   bool closed = false;
 
-  std::mutex cache_mutex;
-  ConsensusSnapshot cached;  ///< last refreshed/finalized snapshot
-  std::size_t batches_seen = 0;
-  std::size_t answers_seen = 0;
-  bool finalized = false;
+  /// The published snapshot: written under `mutex` on refresh/finalize,
+  /// read lock-free by polls. The pointee is immutable, so handing the
+  /// same shared body to any number of pollers is safe and copy-free.
+  std::atomic<SharedSnapshot> published;
+
+  /// Items whose prediction changed at the last publish (the ObserveAck
+  /// consensus delta); the published snapshot itself carries the counters.
+  std::atomic<std::size_t> delta_changed_items{0};
+
+  /// Exact session counters for List/acks (the published snapshot lags).
+  std::atomic<std::size_t> batches_seen{0};
+  std::atomic<std::size_t> answers_seen{0};
+  std::atomic<bool> finalized{false};
 
   std::atomic<double> last_touch{0.0};  ///< NowSeconds of the last operation
+
+  /// Publishes `snapshot` (under `mutex`) and refreshes the delta against
+  /// the previously published predictions.
+  void Publish(SharedSnapshot snapshot) {
+    const SharedSnapshot previous = published.load(std::memory_order_acquire);
+    std::size_t changed = 0;
+    if (previous != nullptr && previous.get() != snapshot.get()) {
+      const std::vector<LabelSet>& before = previous->predictions;
+      const std::vector<LabelSet>& after = snapshot->predictions;
+      const std::size_t common = std::min(before.size(), after.size());
+      for (std::size_t i = 0; i < common; ++i) {
+        if (!(before[i] == after[i])) ++changed;
+      }
+      // Items only one side covers count as changed unless empty.
+      for (std::size_t i = common; i < before.size(); ++i) {
+        if (!before[i].empty()) ++changed;
+      }
+      for (std::size_t i = common; i < after.size(); ++i) {
+        if (!after[i].empty()) ++changed;
+      }
+      delta_changed_items.store(changed, std::memory_order_relaxed);
+    }
+    published.store(std::move(snapshot), std::memory_order_release);
+  }
+
+  ConsensusDelta Delta() const {
+    ConsensusDelta delta;
+    const SharedSnapshot snapshot = published.load(std::memory_order_acquire);
+    delta.changed_items = delta_changed_items.load(std::memory_order_relaxed);
+    if (snapshot != nullptr) {
+      delta.snapshot_batches_seen = snapshot->batches_seen;
+      delta.snapshot_answers_seen = snapshot->answers_seen;
+    }
+    return delta;
+  }
 };
 
 SessionManager::SessionManager(const SessionManagerOptions& options)
@@ -85,8 +129,10 @@ Result<std::string> SessionManager::Open(const EngineConfig& config,
   CPA_ASSIGN_OR_RETURN(session->engine,
                        EngineRegistry::Global().Open(session->config));
   session->stream = AnswerMatrix(config.num_items, config.num_workers);
-  // Seed the poll cache so refresh=false works from the first request.
-  CPA_ASSIGN_OR_RETURN(session->cached, session->engine->Snapshot());
+  // Seed the published snapshot so refresh=false works from the first
+  // request (an empty consensus, shared — never copied — by every poll).
+  CPA_ASSIGN_OR_RETURN(SharedSnapshot seeded, session->engine->Snapshot());
+  session->Publish(std::move(seeded));
   session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -170,17 +216,15 @@ Result<ObserveAck> SessionManager::Observe(std::string_view session_id,
   ObserveAck ack;
   ack.batches_seen = session->engine->batches_seen();
   ack.answers_seen = session->engine->answers_seen();
-  {
-    std::lock_guard<std::mutex> cache_lock(session->cache_mutex);
-    session->batches_seen = ack.batches_seen;
-    session->answers_seen = ack.answers_seen;
-  }
+  ack.delta = session->Delta();
+  session->batches_seen.store(ack.batches_seen, std::memory_order_relaxed);
+  session->answers_seen.store(ack.answers_seen, std::memory_order_relaxed);
   session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
   return ack;
 }
 
-Result<ConsensusSnapshot> SessionManager::Snapshot(std::string_view session_id,
-                                                   bool refresh) {
+Result<SharedSnapshot> SessionManager::Snapshot(std::string_view session_id,
+                                                bool refresh) {
   std::shared_ptr<Session> session = Find(session_id);
   if (session == nullptr) {
     return Status::NotFound(
@@ -188,24 +232,22 @@ Result<ConsensusSnapshot> SessionManager::Snapshot(std::string_view session_id,
   }
   session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
   if (!refresh) {
-    std::lock_guard<std::mutex> cache_lock(session->cache_mutex);
-    return session->cached;
+    // Pure poll: one atomic snapshot load — never the engine mutex, never
+    // a prediction copy; every poller shares the same immutable body.
+    return session->published.load(std::memory_order_acquire);
   }
   std::lock_guard<std::mutex> lock(session->mutex);
   if (session->closed) {
     return Status::NotFound(
         StrFormat("unknown session '%s'", std::string(session_id).c_str()));
   }
-  CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot, session->engine->Snapshot());
-  {
-    std::lock_guard<std::mutex> cache_lock(session->cache_mutex);
-    session->cached = snapshot;
-  }
+  CPA_ASSIGN_OR_RETURN(SharedSnapshot snapshot, session->engine->Snapshot());
+  session->Publish(snapshot);
   session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
   return snapshot;
 }
 
-Result<ConsensusSnapshot> SessionManager::Finalize(std::string_view session_id) {
+Result<SharedSnapshot> SessionManager::Finalize(std::string_view session_id) {
   std::shared_ptr<Session> session = Find(session_id);
   if (session == nullptr) {
     return Status::NotFound(
@@ -217,12 +259,9 @@ Result<ConsensusSnapshot> SessionManager::Finalize(std::string_view session_id) 
         StrFormat("unknown session '%s'", std::string(session_id).c_str()));
   }
   session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
-  CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot, session->engine->Finalize());
-  {
-    std::lock_guard<std::mutex> cache_lock(session->cache_mutex);
-    session->cached = snapshot;
-    session->finalized = true;
-  }
+  CPA_ASSIGN_OR_RETURN(SharedSnapshot snapshot, session->engine->Finalize());
+  session->Publish(snapshot);
+  session->finalized.store(true, std::memory_order_relaxed);
   session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
   return snapshot;
 }
@@ -285,12 +324,9 @@ std::vector<SessionInfo> SessionManager::List() const {
     SessionInfo info;
     info.id = id;
     info.method = session->config.method;
-    {
-      std::lock_guard<std::mutex> cache_lock(session->cache_mutex);
-      info.batches_seen = session->batches_seen;
-      info.answers_seen = session->answers_seen;
-      info.finalized = session->finalized;
-    }
+    info.batches_seen = session->batches_seen.load(std::memory_order_relaxed);
+    info.answers_seen = session->answers_seen.load(std::memory_order_relaxed);
+    info.finalized = session->finalized.load(std::memory_order_relaxed);
     info.idle_seconds =
         std::max(0.0, now - session->last_touch.load(std::memory_order_relaxed));
     infos.push_back(std::move(info));

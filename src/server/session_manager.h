@@ -16,11 +16,13 @@
 /// - All methods may be called concurrently from any number of threads.
 /// - Per session, `Observe` / `Snapshot(refresh=true)` / `Finalize` are
 ///   serialised (they mutate or refit the engine).
-/// - `Snapshot(refresh=false)` is a poll: it returns the most recent
-///   refreshed (or finalized) snapshot from a cache guarded by its own
-///   lock, so pollers never block behind an in-flight `Observe` batch.
-/// - `List` reads the same cache — counters are exact, predictions are as
-///   of the last refresh.
+/// - `Snapshot(refresh=false)` is a poll: it hands out the most recently
+///   published `SharedSnapshot` from one atomic load — it never touches
+///   the session's engine mutex and never copies the predictions — so
+///   pollers can never block behind an in-flight `Observe` batch or
+///   refit.
+/// - `List` reads per-session atomic counters — exact counters,
+///   predictions as of the last refresh.
 ///
 /// Sessions never expire on their own; `ExpireIdle` sweeps sessions idle
 /// longer than a threshold (skipping any with an operation in flight) and
@@ -54,10 +56,27 @@ struct SessionManagerOptions {
   std::size_t max_sessions = 64;
 };
 
+/// \brief The cheap consensus delta riding on every `Observe` ack: how far
+/// the published snapshot lags the stream, and how much the consensus
+/// moved at the last refresh. Computed once per refresh (an O(items)
+/// prediction diff), read lock-free afterwards — a client can decide
+/// whether to pull a fresh snapshot without ever forcing one.
+struct ConsensusDelta {
+  /// Items whose predicted label set changed at the last published
+  /// refresh (vs the previously published snapshot).
+  std::size_t changed_items = 0;
+
+  /// Counters of the currently published snapshot (compare with the ack's
+  /// session counters to see how stale the published consensus is).
+  std::size_t snapshot_batches_seen = 0;
+  std::size_t snapshot_answers_seen = 0;
+};
+
 /// \brief Session counters after an accepted `Observe` batch.
 struct ObserveAck {
   std::size_t batches_seen = 0;
   std::size_t answers_seen = 0;
+  ConsensusDelta delta;
 };
 
 /// \brief One row of `SessionManager::List`.
@@ -95,15 +114,18 @@ class SessionManager {
   Result<ObserveAck> Observe(std::string_view session_id,
                              std::span<const Answer> answers);
 
-  /// The session's consensus. `refresh` (default) runs the engine's
-  /// snapshot (offline methods refit on everything seen); `refresh=false`
-  /// polls the cached snapshot of the last refresh/finalize without
-  /// touching the engine — it never blocks behind an in-flight batch.
-  Result<ConsensusSnapshot> Snapshot(std::string_view session_id, bool refresh = true);
+  /// The session's consensus as an immutable shared snapshot. `refresh`
+  /// (default) runs the engine's snapshot (offline methods refit on
+  /// everything seen) and publishes the result; `refresh=false` polls the
+  /// atomically published snapshot of the last refresh/finalize without
+  /// ever taking the session's engine mutex — it never blocks behind an
+  /// in-flight batch, and repeated polls return the *same* object (zero
+  /// prediction copies per poll).
+  Result<SharedSnapshot> Snapshot(std::string_view session_id, bool refresh = true);
 
   /// Finalizes the session (idempotent) and returns the final consensus.
   /// The session stays open for polling until `Close`.
-  Result<ConsensusSnapshot> Finalize(std::string_view session_id);
+  Result<SharedSnapshot> Finalize(std::string_view session_id);
 
   /// Removes the session. In-flight operations on it complete normally.
   Status Close(std::string_view session_id);

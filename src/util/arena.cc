@@ -1,0 +1,80 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace cpa {
+namespace {
+
+std::size_t AlignUp(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+void* ScratchArena::AllocBytes(std::size_t bytes) {
+  ++stats_.checkouts;
+  bytes = std::max<std::size_t>(bytes, 1);
+  const std::size_t padded = AlignUp(bytes, kAlign);
+  stats_.bytes_in_use += padded;
+  stats_.peak_bytes_in_use = std::max(stats_.peak_bytes_in_use, stats_.bytes_in_use);
+
+  if (mode_ == Mode::kHeap) {
+    // Baseline mode: the pre-arena behaviour, one heap allocation per
+    // checkout, freed again when the frame closes.
+    heap_blocks_.push_back(std::make_unique<std::byte[]>(padded));
+    ++stats_.slab_allocations;
+    stats_.bytes_reserved += padded;
+    return heap_blocks_.back().get();
+  }
+
+  // Bump within the current slab, advancing through retained slabs before
+  // growing. Slab starts are max_align_t-aligned (operator new[]), and
+  // every checkout size is padded to kAlign, so offsets stay aligned.
+  while (current_ < slabs_.size()) {
+    Slab& slab = slabs_[current_];
+    if (slab.used + padded <= slab.size) {
+      void* out = slab.data.get() + slab.used;
+      slab.used += padded;
+      return out;
+    }
+    if (++current_ < slabs_.size()) slabs_[current_].used = 0;
+  }
+  const std::size_t slab_bytes = std::max(padded, next_slab_bytes_);
+  next_slab_bytes_ = std::min(kMaxSlabBytes, next_slab_bytes_ * 2);
+  slabs_.push_back(Slab{std::make_unique<std::byte[]>(slab_bytes), slab_bytes, padded});
+  current_ = slabs_.size() - 1;
+  ++stats_.slab_allocations;
+  stats_.bytes_reserved += slab_bytes;
+  return slabs_.back().data.get();
+}
+
+void ScratchArena::Rewind(std::size_t slab_index, std::size_t slab_used,
+                          std::size_t heap_count, std::size_t bytes_in_use) {
+  ++stats_.frames;
+  stats_.bytes_in_use = bytes_in_use;
+  if (mode_ == Mode::kHeap) {
+    // Frame-scoped blocks are freed; in kHeap mode live reservation always
+    // equals the live checkout bytes.
+    heap_blocks_.resize(heap_count);
+    stats_.bytes_reserved = bytes_in_use;
+    return;
+  }
+  if (slabs_.empty()) return;
+  for (std::size_t s = slab_index + 1; s < slabs_.size(); ++s) slabs_[s].used = 0;
+  slabs_[slab_index].used = slab_used;
+  current_ = slab_index;
+}
+
+void ScratchArena::Reset() {
+  ++stats_.frames;
+  stats_.bytes_in_use = 0;
+  if (mode_ == Mode::kHeap) {
+    heap_blocks_.clear();
+    stats_.bytes_reserved = 0;
+    return;
+  }
+  for (Slab& slab : slabs_) slab.used = 0;
+  current_ = 0;
+}
+
+}  // namespace cpa

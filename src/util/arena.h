@@ -1,0 +1,139 @@
+#ifndef CPA_UTIL_ARENA_H_
+#define CPA_UTIL_ARENA_H_
+
+/// \file arena.h
+/// \brief Bump/slab scratch arena for the per-sweep transients of the
+/// inference hot path.
+///
+/// The sweep layer checks the same shapes of scratch out on every call —
+/// per-block partial accumulators in `SweepScheduler::ParallelReduce`
+/// (up to the λ banks, megabytes each) and per-item buffers in the
+/// prediction MAP phase. Heap-allocating them afresh per call makes the
+/// allocator the scaling bottleneck on long fits; a `ScratchArena` turns
+/// the pattern into one warm-up allocation followed by pointer bumps.
+///
+/// Checkout model:
+/// - `Alloc<T>` / `AllocZeroed<T>` hand out typed `std::span<T>` checkout
+///   handles carved from the current slab (trivially-destructible T only —
+///   nothing is ever destroyed, just rewound).
+/// - A `Frame` scopes a group of checkouts: constructing it records the
+///   bump state, destroying it rewinds to that state. Slabs are retained
+///   across frames, so a steady-state caller allocates nothing.
+/// - `Mode::kHeap` turns every checkout into a fresh heap allocation that
+///   the frame frees again — the faithful "what the code did before"
+///   baseline for the arena-vs-heap microbenchmarks and bit-identity tests.
+///
+/// Not thread-safe: one arena is owned by one lane (see
+/// `SweepScheduler::lane_arena`), and checkout happens either on the
+/// calling thread (REDUCE partials) or inside the single shard that owns
+/// the lane (MAP scratch).
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace cpa {
+
+/// \brief Reusable bump allocator with typed checkout handles and stats.
+class ScratchArena {
+ public:
+  enum class Mode {
+    kReuse,  ///< slabs are kept and rewound (the default, reuse-first)
+    kHeap,   ///< every checkout is a fresh allocation (baseline/bench mode)
+  };
+
+  /// \brief Monotone counters (never reset) plus current reservation.
+  struct Stats {
+    std::size_t slab_allocations = 0;  ///< cumulative backing allocations
+    std::size_t bytes_reserved = 0;    ///< backing bytes currently held
+    std::size_t bytes_in_use = 0;      ///< bytes checked out right now
+    std::size_t peak_bytes_in_use = 0; ///< high-water mark of bytes_in_use
+    std::size_t checkouts = 0;         ///< cumulative Alloc calls
+    std::size_t frames = 0;            ///< cumulative Frame releases
+  };
+
+  explicit ScratchArena(Mode mode = Mode::kReuse,
+                        std::size_t initial_slab_bytes = kDefaultSlabBytes)
+      : mode_(mode), next_slab_bytes_(initial_slab_bytes) {}
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// \brief RAII checkout scope: rewinds the arena to the construction
+  /// state on destruction (frees the frame's blocks in kHeap mode).
+  class Frame {
+   public:
+    explicit Frame(ScratchArena& arena)
+        : arena_(&arena),
+          slab_index_(arena.current_),
+          slab_used_(arena.slabs_.empty() ? 0 : arena.slabs_[arena.current_].used),
+          heap_count_(arena.heap_blocks_.size()),
+          bytes_in_use_(arena.stats_.bytes_in_use) {}
+    ~Frame() { arena_->Rewind(slab_index_, slab_used_, heap_count_, bytes_in_use_); }
+
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    ScratchArena* arena_;
+    std::size_t slab_index_;
+    std::size_t slab_used_;
+    std::size_t heap_count_;
+    std::size_t bytes_in_use_;
+  };
+
+  /// Checks out `count` uninitialised T (aligned; contents unspecified).
+  template <typename T>
+  std::span<T> Alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_copyable_v<T>,
+                  "arena checkouts are rewound, never destroyed");
+    static_assert(alignof(T) <= kAlign, "over-aligned type");
+    return {static_cast<T*>(AllocBytes(count * sizeof(T))), count};
+  }
+
+  /// Checks out `count` zero-filled T.
+  template <typename T>
+  std::span<T> AllocZeroed(std::size_t count) {
+    std::span<T> out = Alloc<T>(count);
+    std::memset(static_cast<void*>(out.data()), 0, count * sizeof(T));
+    return out;
+  }
+
+  /// Rewinds every checkout (keeps the slabs in kReuse mode).
+  void Reset();
+
+  Mode mode() const { return mode_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class Frame;
+
+  static constexpr std::size_t kDefaultSlabBytes = std::size_t{1} << 16;
+  static constexpr std::size_t kMaxSlabBytes = std::size_t{1} << 26;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  void* AllocBytes(std::size_t bytes);
+  void Rewind(std::size_t slab_index, std::size_t slab_used,
+              std::size_t heap_count, std::size_t bytes_in_use);
+
+  struct Slab {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Mode mode_;
+  std::size_t next_slab_bytes_;
+  std::vector<Slab> slabs_;
+  std::size_t current_ = 0;  ///< slab cursor (kReuse)
+  std::vector<std::unique_ptr<std::byte[]>> heap_blocks_;  ///< kHeap mode
+  Stats stats_;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_UTIL_ARENA_H_

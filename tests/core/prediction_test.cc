@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "data/dataset.h"
 
 #include "core/vi.h"
@@ -215,6 +217,113 @@ TEST(CollectCandidatesTest, ContainsAnsweredLabels) {
         EXPECT_NE(std::find(candidates.begin(), candidates.end(), c), candidates.end())
             << "label " << c << " missing from candidates of item " << i;
       }
+    }
+  }
+}
+
+TEST(PredictLabelsTest, ZeroAnswerItemStaysEmptyInBothModes) {
+  // An item with no observed answers must instantiate the empty set — in
+  // the Bernoulli default and in the multinomial greedy mode — and leave
+  // an all-zero score row.
+  for (PredictionMode mode :
+       {PredictionMode::kBernoulliProfile, PredictionMode::kMultinomialSizePrior}) {
+    const FittedWorld world = FitWorld(7, PopulationMix::AllReliable(), mode);
+    std::vector<std::size_t> keep;
+    for (std::size_t index = 0; index < world.dataset.answers.num_answers();
+         ++index) {
+      if (world.dataset.answers.answer(index).item != 3) keep.push_back(index);
+    }
+    const AnswerMatrix sparse = world.dataset.answers.Subset(keep);
+    const auto model = FitCpa(sparse, 10, world.model.options());
+    ASSERT_TRUE(model.ok());
+    const auto prediction = PredictLabels(model.value(), sparse);
+    ASSERT_TRUE(prediction.ok());
+    EXPECT_TRUE(prediction.value().labels[3].empty());
+    for (double score : prediction.value().scores.Row(3)) {
+      EXPECT_EQ(score, 0.0);
+    }
+  }
+}
+
+TEST(GreedyInstantiateTest, WeightsPrunedToSingleClusterStillInstantiate) {
+  // One dominant cluster: everything else falls below the prune threshold
+  // after normalisation, so the greedy must run on exactly one active
+  // cluster and still produce that cluster's labels.
+  const FittedWorld world = FitWorld(31, PopulationMix::AllReliable(),
+                                     PredictionMode::kMultinomialSizePrior, 60);
+  const auto tables = internal::BuildPredictionTables(world.model);
+  std::vector<double> log_weights(world.model.num_clusters(), -1e6);
+  log_weights[1] = 0.0;  // all the mass on cluster 1
+  std::vector<LabelId> candidates = tables.top_labels[1];
+  const LabelSet greedy = internal::GreedyInstantiate(tables, log_weights, candidates);
+  internal::PredictionScratch scratch(log_weights.size(), 0);
+  const LabelSet via_scratch = internal::GreedyInstantiate(
+      tables, log_weights, std::span<const LabelId>(candidates), scratch);
+  EXPECT_EQ(scratch.active_count, 1u);
+  EXPECT_EQ(scratch.active_ids[0], 1u);
+  EXPECT_EQ(greedy, via_scratch);
+  // The single-cluster oracle agrees.
+  EXPECT_EQ(greedy, internal::ExhaustiveInstantiate(
+                        tables, log_weights, candidates,
+                        tables.log_size_prior.cols() - 1));
+}
+
+TEST(GreedyInstantiateTest, CandidatePoolBeyondSizePriorSupportIsCapped) {
+  // More candidates than the size prior supports: SetScore returns -inf
+  // for any n >= log_size_prior.cols(), so the instantiated set must stop
+  // strictly below the support bound no matter how many candidates score
+  // well.
+  const FittedWorld world = FitWorld(37, PopulationMix::AllReliable(),
+                                     PredictionMode::kMultinomialSizePrior, 60);
+  const auto tables = internal::BuildPredictionTables(world.model);
+  ASSERT_GT(tables.log_size_prior.cols(), 1u);
+  const auto log_weights = internal::ItemClusterLogWeights(
+      world.model, tables, world.dataset.answers, 0);
+  std::vector<LabelId> all_labels(world.model.num_labels());
+  std::iota(all_labels.begin(), all_labels.end(), 0u);
+  ASSERT_GE(all_labels.size(), tables.log_size_prior.cols());
+  const LabelSet greedy =
+      internal::GreedyInstantiate(tables, log_weights, all_labels);
+  EXPECT_LT(greedy.size(), tables.log_size_prior.cols());
+  const LabelSet exhaustive = internal::ExhaustiveInstantiate(
+      tables, log_weights, all_labels, all_labels.size());
+  EXPECT_LT(exhaustive.size(), tables.log_size_prior.cols());
+}
+
+TEST(PredictLabelsTest, ParallelAndArenaPathsAreBitIdentical) {
+  // The memory-plane acceptance on the prediction side: sequential
+  // (inline, lane-0 arena), 4-thread (per-lane arenas), and the
+  // heap-scratch per-item pipeline all produce identical labels and
+  // bit-identical scores — in both prediction modes.
+  for (PredictionMode mode :
+       {PredictionMode::kBernoulliProfile, PredictionMode::kMultinomialSizePrior}) {
+    const FittedWorld world = FitWorld(41, PopulationMix::PaperSimulationDefault(),
+                                       mode);
+    const auto sequential = PredictLabels(world.model, world.dataset.answers);
+    ThreadPool pool(4);
+    const auto parallel = PredictLabels(world.model, world.dataset.answers, &pool);
+    ASSERT_TRUE(sequential.ok());
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(sequential.value().labels.size(), parallel.value().labels.size());
+    for (std::size_t i = 0; i < sequential.value().labels.size(); ++i) {
+      EXPECT_EQ(sequential.value().labels[i], parallel.value().labels[i]) << i;
+    }
+    EXPECT_DOUBLE_EQ(
+        sequential.value().scores.MaxAbsDiff(parallel.value().scores), 0.0);
+
+    if (mode != PredictionMode::kMultinomialSizePrior) continue;
+    // Heap-scratch per-item pipeline (the pre-arena behaviour, kept as the
+    // legacy wrappers) against the arena-backed PredictLabels output.
+    const auto tables = internal::BuildPredictionTables(world.model);
+    for (ItemId i = 0; i < world.dataset.num_items(); ++i) {
+      if (world.dataset.answers.AnswersOfItem(i).empty()) continue;
+      const auto log_weights = internal::ItemClusterLogWeights(
+          world.model, tables, world.dataset.answers, i);
+      const auto candidates = internal::CollectCandidates(
+          tables, world.dataset.answers, i, log_weights);
+      EXPECT_EQ(internal::GreedyInstantiate(tables, log_weights, candidates),
+                sequential.value().labels[i])
+          << "item " << i;
     }
   }
 }

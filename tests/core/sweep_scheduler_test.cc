@@ -77,26 +77,29 @@ TEST(SweepSchedulerTest, ParallelReduceEmptyRangeLeavesOutUntouched) {
   SweepScheduler scheduler(nullptr);
   double out = 42.0;
   scheduler.ParallelReduce<double>(
-      0, 8, [] { return 0.0; },
+      0, 8, [](ScratchArena&) { return 0.0; },
       [](double& partial, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) partial += 1.0;
       },
-      [](double& into, double& from) { into += from; }, out);
+      [](double& into, double& from) { into += from; },
+      [&](double& root) { out += root; });
   EXPECT_DOUBLE_EQ(out, 42.0);
 }
 
 /// A sum whose result depends on the merge structure in floating point:
 /// exact equality across thread counts holds only because the blocks and
 /// the merge tree are fixed.
-double ReduceSum(const std::vector<double>& values, ThreadPool* pool) {
-  SweepScheduler scheduler(pool);
+double ReduceSum(const std::vector<double>& values, ThreadPool* pool,
+                 ScratchArena::Mode mode = ScratchArena::Mode::kReuse) {
+  SweepScheduler scheduler(pool, mode);
   double out = 0.0;
   scheduler.ParallelReduce<double>(
-      values.size(), /*grain=*/64, [] { return 0.0; },
+      values.size(), /*grain=*/64, [](ScratchArena&) { return 0.0; },
       [&](double& partial, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) partial += values[i];
       },
-      [](double& into, double& from) { into += from; }, out);
+      [](double& into, double& from) { into += from; },
+      [&](double& root) { out += root; });
   return out;
 }
 
@@ -114,6 +117,10 @@ TEST(SweepSchedulerTest, ParallelReduceBitIdenticalForAnyThreadCount) {
   EXPECT_DOUBLE_EQ(ReduceSum(values, &four), inline_sum);
   // And across repeated runs on the same pool (no scheduling dependence).
   EXPECT_DOUBLE_EQ(ReduceSum(values, &four), ReduceSum(values, &four));
+  // The arena mode is buffer policy, never arithmetic: heap-mode scratch
+  // produces the same bits as reuse-mode scratch.
+  EXPECT_DOUBLE_EQ(ReduceSum(values, &four, ScratchArena::Mode::kHeap),
+                   inline_sum);
 }
 
 TEST(SweepSchedulerTest, ParallelReduceMergesInFixedTreeOrder) {
@@ -123,17 +130,112 @@ TEST(SweepSchedulerTest, ParallelReduceMergesInFixedTreeOrder) {
     SweepScheduler scheduler(pool);
     std::string out;
     scheduler.ParallelReduce<std::string>(
-        1600, /*grain=*/100, [] { return std::string(); },
+        1600, /*grain=*/100, [](ScratchArena&) { return std::string(); },
         [](std::string& partial, std::size_t begin, std::size_t end) {
           partial = StrFormat("[%zu,%zu)", begin, end);
         },
-        [](std::string& into, std::string& from) { into += from; }, out);
+        [](std::string& into, std::string& from) { into += from; },
+        [&](std::string& root) { out += root; });
     return out;
   };
   ThreadPool four(4);
   const std::string inline_order = reduce_labels(nullptr);
   EXPECT_FALSE(inline_order.empty());
   EXPECT_EQ(reduce_labels(&four), inline_order);
+}
+
+// The memory-plane acceptance: after the first call warms the slabs, a
+// steady-state reduce allocates nothing — checkouts keep counting, slab
+// allocations stop.
+TEST(ScratchArenaReuseTest, SteadyStateReduceAllocatesNoNewSlabs) {
+  SweepScheduler scheduler(nullptr);
+  const auto run_reduce = [&] {
+    double out = 0.0;
+    scheduler.ParallelReduce<std::span<double>>(
+        8192, /*grain=*/64,
+        [](ScratchArena& arena) { return arena.AllocZeroed<double>(512); },
+        [](std::span<double>& partial, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) partial[i % 512] += 1.0;
+        },
+        [](std::span<double>& into, std::span<double>& from) {
+          for (std::size_t e = 0; e < into.size(); ++e) into[e] += from[e];
+        },
+        [&](std::span<double>& root) {
+          for (double v : root) out += v;
+        });
+    return out;
+  };
+  const double first = run_reduce();
+  const ScratchArena::Stats warm = scheduler.arena_stats();
+  EXPECT_GT(warm.slab_allocations, 0u);
+  EXPECT_GT(warm.checkouts, 0u);
+  for (int call = 0; call < 5; ++call) {
+    EXPECT_DOUBLE_EQ(run_reduce(), first);
+  }
+  const ScratchArena::Stats steady = scheduler.arena_stats();
+  EXPECT_EQ(steady.slab_allocations, warm.slab_allocations)
+      << "steady-state reduces must reuse the warm slabs";
+  EXPECT_EQ(steady.bytes_reserved, warm.bytes_reserved);
+  EXPECT_GT(steady.checkouts, warm.checkouts);
+  EXPECT_EQ(steady.bytes_in_use, 0u) << "frames must rewind every checkout";
+}
+
+// kHeap mode is the pre-arena baseline: every checkout is a fresh
+// allocation, so the counter keeps climbing call over call.
+TEST(ScratchArenaReuseTest, HeapModeAllocatesPerCall) {
+  SweepScheduler scheduler(nullptr, ScratchArena::Mode::kHeap);
+  const auto run_reduce = [&] {
+    double out = 0.0;
+    scheduler.ParallelReduce<std::span<double>>(
+        4096, /*grain=*/64,
+        [](ScratchArena& arena) { return arena.AllocZeroed<double>(64); },
+        [](std::span<double>& partial, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) partial[i % 64] += 1.0;
+        },
+        [](std::span<double>& into, std::span<double>& from) {
+          for (std::size_t e = 0; e < into.size(); ++e) into[e] += from[e];
+        },
+        [&](std::span<double>& root) {
+          for (double v : root) out += v;
+        });
+    return out;
+  };
+  run_reduce();
+  const std::size_t after_first = scheduler.arena_stats().slab_allocations;
+  run_reduce();
+  EXPECT_GT(scheduler.arena_stats().slab_allocations, after_first);
+  EXPECT_EQ(scheduler.arena_stats().bytes_reserved, 0u)
+      << "heap mode frees every frame's blocks";
+}
+
+// Arena-vs-heap bit-identity at the kernel level: the full λ reduce run
+// through reuse-mode and heap-mode schedulers produces identical banks.
+TEST(ScratchArenaReuseTest, LambdaReduceIdenticalForArenaAndHeapScratch) {
+  FactoryOptions options;
+  options.scale = 0.05;
+  auto dataset = MakePaperDataset(PaperDatasetId::kMovie, options);
+  ASSERT_TRUE(dataset.ok());
+  const Dataset& d = dataset.value();
+  CpaOptions cpa_options = CpaOptions::Recommended(d.num_items(), d.num_labels);
+  cpa_options.max_iterations = 4;
+  auto fitted = FitCpa(d.answers, d.num_labels, cpa_options);
+  ASSERT_TRUE(fitted.ok());
+  const AnswerView view(d.answers);
+
+  const auto lambda_with = [&](ScratchArena::Mode mode) {
+    CpaModel model = fitted.value();
+    SweepScheduler scheduler(nullptr, mode);
+    sweep::ClusterActivity activity;
+    sweep::BuildClusterActivity(model.phi, scheduler, activity);
+    sweep::UpdateLambda(model, view, activity, scheduler);
+    return model.lambda;
+  };
+  const auto arena_lambda = lambda_with(ScratchArena::Mode::kReuse);
+  const auto heap_lambda = lambda_with(ScratchArena::Mode::kHeap);
+  ASSERT_EQ(arena_lambda.size(), heap_lambda.size());
+  for (std::size_t t = 0; t < arena_lambda.size(); ++t) {
+    EXPECT_DOUBLE_EQ(arena_lambda[t].MaxAbsDiff(heap_lambda[t]), 0.0) << t;
+  }
 }
 
 TEST(SweepDeterminismTest, FitCpaIdenticalForOneAndFourThreads) {

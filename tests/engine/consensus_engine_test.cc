@@ -112,7 +112,7 @@ TEST(ConsensusEngineTest, OfflineFinalizeEqualsDirectAggregate) {
         << method << ": " << direct_result.status().ToString();
 
     const std::vector<LabelSet>& engine_predictions =
-        final_snapshot.value().predictions;
+        final_snapshot.value()->predictions;
     const std::vector<LabelSet>& direct_predictions =
         direct_result.value().predictions;
     ASSERT_EQ(engine_predictions.size(), direct_predictions.size()) << method;
@@ -121,12 +121,12 @@ TEST(ConsensusEngineTest, OfflineFinalizeEqualsDirectAggregate) {
           << method << " item " << i;
     }
     if (!direct_result.value().label_scores.empty()) {
-      EXPECT_DOUBLE_EQ(final_snapshot.value().label_scores.MaxAbsDiff(
+      EXPECT_DOUBLE_EQ(final_snapshot.value()->label_scores.MaxAbsDiff(
                            direct_result.value().label_scores),
                        0.0)
           << method;
     }
-    EXPECT_EQ(final_snapshot.value().fit_stats.iterations,
+    EXPECT_EQ(final_snapshot.value()->fit_stats.iterations,
               direct_result.value().iterations)
         << method;
   }
@@ -144,8 +144,8 @@ TEST(ConsensusEngineTest, OfflineSnapshotMatchesPrefixAggregate) {
   ASSERT_TRUE(engine->Observe({&dataset.answers, plan.batches[1]}).ok());
   const auto snapshot = engine->Snapshot();
   ASSERT_TRUE(snapshot.ok());
-  EXPECT_FALSE(snapshot.value().finalized);
-  EXPECT_EQ(snapshot.value().batches_seen, 2u);
+  EXPECT_FALSE(snapshot.value()->finalized);
+  EXPECT_EQ(snapshot.value()->batches_seen, 2u);
 
   std::vector<std::size_t> prefix = plan.Prefix(2);
   std::sort(prefix.begin(), prefix.end());
@@ -153,9 +153,9 @@ TEST(ConsensusEngineTest, OfflineSnapshotMatchesPrefixAggregate) {
   const auto direct =
       mv.Aggregate(dataset.answers.Subset(prefix), dataset.num_labels);
   ASSERT_TRUE(direct.ok());
-  ASSERT_EQ(snapshot.value().predictions.size(), direct.value().predictions.size());
+  ASSERT_EQ(snapshot.value()->predictions.size(), direct.value().predictions.size());
   for (std::size_t i = 0; i < direct.value().predictions.size(); ++i) {
-    EXPECT_EQ(snapshot.value().predictions[i], direct.value().predictions[i]);
+    EXPECT_EQ(snapshot.value()->predictions[i], direct.value().predictions[i]);
   }
 }
 
@@ -181,17 +181,17 @@ TEST(ConsensusEngineTest, SviEngineMatchesCpaOnlineBatchForBatch) {
     const auto prediction = online.value().Predict(dataset.answers);
     ASSERT_TRUE(prediction.ok());
 
-    EXPECT_EQ(snapshot.value().batches_seen, online.value().batches_seen());
-    EXPECT_EQ(snapshot.value().answers_seen, online.value().answers_seen());
-    EXPECT_DOUBLE_EQ(snapshot.value().learning_rate,
+    EXPECT_EQ(snapshot.value()->batches_seen, online.value().batches_seen());
+    EXPECT_EQ(snapshot.value()->answers_seen, online.value().answers_seen());
+    EXPECT_DOUBLE_EQ(snapshot.value()->learning_rate,
                      online.value().last_learning_rate());
-    ASSERT_EQ(snapshot.value().predictions.size(), prediction.value().labels.size());
+    ASSERT_EQ(snapshot.value()->predictions.size(), prediction.value().labels.size());
     for (std::size_t i = 0; i < prediction.value().labels.size(); ++i) {
-      EXPECT_EQ(snapshot.value().predictions[i], prediction.value().labels[i])
+      EXPECT_EQ(snapshot.value()->predictions[i], prediction.value().labels[i])
           << "batch " << b << " item " << i;
     }
     EXPECT_DOUBLE_EQ(
-        snapshot.value().label_scores.MaxAbsDiff(prediction.value().scores), 0.0)
+        snapshot.value()->label_scores.MaxAbsDiff(prediction.value().scores), 0.0)
         << "batch " << b;
   }
 }
@@ -201,11 +201,11 @@ TEST(ConsensusEngineTest, SnapshotBeforeAnyObservationIsEmpty) {
   auto engine = MustOpen(FastConfig("MV", dataset));
   const auto snapshot = engine->Snapshot();
   ASSERT_TRUE(snapshot.ok());
-  EXPECT_EQ(snapshot.value().method, "MV");
-  EXPECT_TRUE(snapshot.value().predictions.empty());
-  EXPECT_EQ(snapshot.value().batches_seen, 0u);
-  EXPECT_EQ(snapshot.value().answers_seen, 0u);
-  EXPECT_FALSE(snapshot.value().finalized);
+  EXPECT_EQ(snapshot.value()->method, "MV");
+  EXPECT_TRUE(snapshot.value()->predictions.empty());
+  EXPECT_EQ(snapshot.value()->batches_seen, 0u);
+  EXPECT_EQ(snapshot.value()->answers_seen, 0u);
+  EXPECT_FALSE(snapshot.value()->finalized);
 }
 
 TEST(ConsensusEngineTest, LifecycleGuards) {
@@ -237,17 +237,53 @@ TEST(ConsensusEngineTest, LifecycleGuards) {
   // Finalize is idempotent and closes the session.
   const auto first = engine->Finalize();
   ASSERT_TRUE(first.ok());
-  EXPECT_TRUE(first.value().finalized);
+  EXPECT_TRUE(first.value()->finalized);
   EXPECT_TRUE(engine->finalized());
   const auto second = engine->Finalize();
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(first.value().predictions.size(), second.value().predictions.size());
+  EXPECT_EQ(first.value()->predictions.size(), second.value()->predictions.size());
   EXPECT_EQ(engine->Observe({&dataset.answers, batch}).code(),
             StatusCode::kFailedPrecondition);
   // Snapshot after Finalize returns the final state.
   const auto after = engine->Snapshot();
   ASSERT_TRUE(after.ok());
-  EXPECT_TRUE(after.value().finalized);
+  EXPECT_TRUE(after.value()->finalized);
+}
+
+// Snapshots are published as immutable shared values and cached at the
+// base level: no new data → the same object; new data → a new object;
+// finalize → one stable final object forever.
+TEST(ConsensusEngineTest, SnapshotsAreSharedAndCachedUntilNewData) {
+  const Dataset dataset = StreamDataset(43, 60);
+  auto engine = MustOpen(FastConfig("MV", dataset));
+
+  std::vector<std::size_t> batch(10);
+  std::iota(batch.begin(), batch.end(), std::size_t{0});
+  ASSERT_TRUE(engine->Observe({&dataset.answers, batch}).ok());
+
+  const auto first = engine->Snapshot();
+  const auto second = engine->Snapshot();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get())
+      << "no new data: the cached shared snapshot must be handed back";
+
+  std::vector<std::size_t> more = {10, 11, 12};
+  ASSERT_TRUE(engine->Observe({&dataset.answers, more}).ok());
+  const auto third = engine->Snapshot();
+  ASSERT_TRUE(third.ok());
+  EXPECT_NE(third.value().get(), first.value().get())
+      << "new data must invalidate the cache";
+  // The first snapshot is immutable: still the pre-batch counters.
+  EXPECT_EQ(first.value()->answers_seen, 10u);
+  EXPECT_EQ(third.value()->answers_seen, 13u);
+
+  const auto final_snapshot = engine->Finalize();
+  const auto after = engine->Snapshot();
+  ASSERT_TRUE(final_snapshot.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().get(), final_snapshot.value().get());
+  EXPECT_EQ(engine->Finalize().value().get(), final_snapshot.value().get());
 }
 
 TEST(ConsensusEngineTest, StreamingExperimentScoresEveryBatch) {

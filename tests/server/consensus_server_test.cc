@@ -57,6 +57,11 @@ TEST(ConsensusServerTest, TranscriptLifecycle) {
       true);
   EXPECT_EQ(NumberField(observed, "answers_seen"), 3.0);
   EXPECT_EQ(NumberField(observed, "batches_seen"), 1.0);
+  // The consensus delta rides on every observe ack: no refresh has run
+  // yet, so the published (seed) snapshot trails at zero.
+  EXPECT_EQ(NumberField(observed, "changed_items"), 0.0);
+  EXPECT_EQ(NumberField(observed, "snapshot_answers_seen"), 0.0);
+  EXPECT_EQ(NumberField(observed, "snapshot_batches_seen"), 0.0);
 
   const JsonValue snapshot =
       MustParse(server.HandleLine(R"({"op":"snapshot","session":"t1"})"), true);
@@ -74,11 +79,22 @@ TEST(ConsensusServerTest, TranscriptLifecycle) {
       true);
   EXPECT_EQ(poll.Find("predictions"), nullptr);
 
+  // After the refresh published a consensus, the next ack's delta reports
+  // it: 2 items gained predictions vs the empty seed snapshot.
+  const JsonValue observed_again = MustParse(
+      server.HandleLine(
+          R"({"op":"observe","session":"t1","answers":[)"
+          R"({"item":2,"worker":0,"labels":[2]}]})"),
+      true);
+  EXPECT_EQ(NumberField(observed_again, "changed_items"), 2.0);
+  EXPECT_EQ(NumberField(observed_again, "snapshot_answers_seen"), 3.0);
+  EXPECT_EQ(NumberField(observed_again, "snapshot_batches_seen"), 1.0);
+
   const JsonValue list = MustParse(server.HandleLine(R"({"op":"list"})"), true);
   ASSERT_EQ(list.Find("sessions")->array().size(), 1u);
   const JsonValue& row = list.Find("sessions")->array()[0];
   EXPECT_EQ(StringField(row, "session"), "t1");
-  EXPECT_EQ(NumberField(row, "answers_seen"), 3.0);
+  EXPECT_EQ(NumberField(row, "answers_seen"), 4.0);
 
   const JsonValue final_response =
       MustParse(server.HandleLine(R"({"op":"finalize","session":"t1"})"), true);

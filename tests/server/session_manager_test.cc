@@ -7,11 +7,51 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/engine_registry.h"
 #include "simulation/crowd_simulator.h"
 #include "simulation/truth_generator.h"
+#include "util/stopwatch.h"
 
 namespace cpa {
 namespace {
+
+/// Test-only engine whose Observe blocks (holding the session's engine
+/// mutex through the manager) until released — the probe for the
+/// lock-free poll path.
+class BlockingObserveEngine : public ConsensusEngine {
+ public:
+  BlockingObserveEngine() : ConsensusEngine("blocking-observe") {}
+
+  static std::atomic<bool> observing;
+  static std::atomic<bool> release;
+
+ protected:
+  Status OnObserve(const AnswerMatrix&, std::span<const std::size_t>) override {
+    observing.store(true);
+    while (!release.load()) std::this_thread::yield();
+    return Status::OK();
+  }
+  Result<ConsensusSnapshot> OnSnapshot(const AnswerMatrix&) override {
+    return ConsensusSnapshot{};
+  }
+};
+
+std::atomic<bool> BlockingObserveEngine::observing{false};
+std::atomic<bool> BlockingObserveEngine::release{false};
+
+void RegisterBlockingEngine() {
+  static const bool registered = [] {
+    return EngineRegistry::Global()
+        .Register("blocking-observe",
+                  [](const EngineConfig&)
+                      -> Result<std::unique_ptr<ConsensusEngine>> {
+                    return std::unique_ptr<ConsensusEngine>(
+                        std::make_unique<BlockingObserveEngine>());
+                  })
+        .ok();
+  }();
+  ASSERT_TRUE(registered);
+}
 
 Dataset SmallDataset(std::uint64_t seed, std::size_t items = 60) {
   Rng rng(seed);
@@ -68,10 +108,10 @@ TEST(SessionManagerTest, LifecycleHappyPath) {
 
   const auto snapshot = manager.Snapshot(id.value());
   ASSERT_TRUE(snapshot.ok());
-  EXPECT_EQ(snapshot.value().method, "MV");
-  EXPECT_EQ(snapshot.value().answers_seen, half);
-  EXPECT_FALSE(snapshot.value().finalized);
-  EXPECT_EQ(snapshot.value().predictions.size(), dataset.answers.num_items());
+  EXPECT_EQ(snapshot.value()->method, "MV");
+  EXPECT_EQ(snapshot.value()->answers_seen, half);
+  EXPECT_FALSE(snapshot.value()->finalized);
+  EXPECT_EQ(snapshot.value()->predictions.size(), dataset.answers.num_items());
 
   const auto rest = manager.Observe(id.value(), all.subspan(half));
   ASSERT_TRUE(rest.ok());
@@ -79,12 +119,12 @@ TEST(SessionManagerTest, LifecycleHappyPath) {
 
   const auto final_snapshot = manager.Finalize(id.value());
   ASSERT_TRUE(final_snapshot.ok());
-  EXPECT_TRUE(final_snapshot.value().finalized);
+  EXPECT_TRUE(final_snapshot.value()->finalized);
   // Finalize is idempotent through the manager too.
   const auto again = manager.Finalize(id.value());
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(again.value().predictions.size(),
-            final_snapshot.value().predictions.size());
+  EXPECT_EQ(again.value()->predictions.size(),
+            final_snapshot.value()->predictions.size());
 
   ASSERT_TRUE(manager.Close(id.value()).ok());
   EXPECT_EQ(manager.num_sessions(), 0u);
@@ -100,18 +140,18 @@ TEST(SessionManagerTest, PollReturnsCachedSnapshotWithoutRefit) {
   // The poll cache still holds the snapshot seeded at Open (no answers).
   const auto polled = manager.Snapshot(id.value(), /*refresh=*/false);
   ASSERT_TRUE(polled.ok());
-  EXPECT_TRUE(polled.value().predictions.empty());
-  EXPECT_EQ(polled.value().answers_seen, 0u);
+  EXPECT_TRUE(polled.value()->predictions.empty());
+  EXPECT_EQ(polled.value()->answers_seen, 0u);
 
   // A refresh runs the engine; the poll then sees the refreshed state.
   const auto refreshed = manager.Snapshot(id.value());
   ASSERT_TRUE(refreshed.ok());
-  EXPECT_EQ(refreshed.value().answers_seen, dataset.answers.num_answers());
+  EXPECT_EQ(refreshed.value()->answers_seen, dataset.answers.num_answers());
   const auto polled_after = manager.Snapshot(id.value(), /*refresh=*/false);
   ASSERT_TRUE(polled_after.ok());
-  EXPECT_EQ(polled_after.value().answers_seen, dataset.answers.num_answers());
-  EXPECT_EQ(polled_after.value().predictions.size(),
-            refreshed.value().predictions.size());
+  EXPECT_EQ(polled_after.value()->answers_seen, dataset.answers.num_answers());
+  EXPECT_EQ(polled_after.value()->predictions.size(),
+            refreshed.value()->predictions.size());
 }
 
 TEST(SessionManagerTest, SessionIds) {
@@ -173,8 +213,8 @@ TEST(SessionManagerTest, ObserveValidationLeavesSessionUntouched) {
   // The rejected batches left no trace: one batch, one answer.
   const auto snapshot = manager.Snapshot(id.value());
   ASSERT_TRUE(snapshot.ok());
-  EXPECT_EQ(snapshot.value().batches_seen, 1u);
-  EXPECT_EQ(snapshot.value().answers_seen, 1u);
+  EXPECT_EQ(snapshot.value()->batches_seen, 1u);
+  EXPECT_EQ(snapshot.value()->answers_seen, 1u);
 }
 
 TEST(SessionManagerTest, ObserveAfterFinalizeFails) {
@@ -192,7 +232,7 @@ TEST(SessionManagerTest, ObserveAfterFinalizeFails) {
   // Polling a finalized session still works.
   const auto polled = manager.Snapshot(id.value(), /*refresh=*/false);
   ASSERT_TRUE(polled.ok());
-  EXPECT_TRUE(polled.value().finalized);
+  EXPECT_TRUE(polled.value()->finalized);
 }
 
 TEST(SessionManagerTest, MaxSessionsEnforced) {
@@ -296,12 +336,115 @@ TEST(SessionManagerTest, HammerConcurrentSessions) {
   for (const std::string& id : ids) {
     const auto final_snapshot = manager.Finalize(id);
     ASSERT_TRUE(final_snapshot.ok()) << id;
-    EXPECT_TRUE(final_snapshot.value().finalized);
-    EXPECT_EQ(final_snapshot.value().answers_seen, all.size()) << id;
-    EXPECT_EQ(final_snapshot.value().batches_seen, kBatches) << id;
+    EXPECT_TRUE(final_snapshot.value()->finalized);
+    EXPECT_EQ(final_snapshot.value()->answers_seen, all.size()) << id;
+    EXPECT_EQ(final_snapshot.value()->batches_seen, kBatches) << id;
     ASSERT_TRUE(manager.Close(id).ok());
   }
   EXPECT_EQ(manager.num_sessions(), 0u);
+}
+
+// The memory-plane contract of the poll path: `Snapshot(refresh=false)`
+// never takes the per-session engine mutex. With an Observe batch parked
+// *inside* the engine (mutex held), polls must still return — and return
+// the same published snapshot object, copy-free.
+TEST(SessionManagerTest, PollNeverBlocksBehindInFlightObserve) {
+  RegisterBlockingEngine();
+  SessionManager manager;
+  EngineConfig config;
+  config.method = "blocking-observe";
+  config.num_items = 4;
+  config.num_workers = 4;
+  config.num_labels = 4;
+  const auto id = manager.Open(config);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  const auto seeded = manager.Snapshot(id.value(), /*refresh=*/false);
+  ASSERT_TRUE(seeded.ok());
+  ASSERT_NE(seeded.value(), nullptr);
+
+  BlockingObserveEngine::observing.store(false);
+  BlockingObserveEngine::release.store(false);
+  const Answer answer{0, 0, LabelSet{1}};
+  std::thread driver([&] {
+    const auto ack = manager.Observe(id.value(), {&answer, 1});
+    EXPECT_TRUE(ack.ok()) << ack.status().ToString();
+  });
+  while (!BlockingObserveEngine::observing.load()) std::this_thread::yield();
+
+  // The engine mutex is now held inside Observe. Polls must complete
+  // anyway, instantly, and hand back the identical shared body.
+  const Stopwatch poll_watch;
+  for (int poll = 0; poll < 100; ++poll) {
+    const auto polled = manager.Snapshot(id.value(), /*refresh=*/false);
+    ASSERT_TRUE(polled.ok());
+    EXPECT_EQ(polled.value().get(), seeded.value().get())
+        << "polls must share the published snapshot, not copy it";
+  }
+  EXPECT_LT(poll_watch.ElapsedSeconds(), 5.0);
+  EXPECT_TRUE(BlockingObserveEngine::observing.load());
+
+  BlockingObserveEngine::release.store(true);
+  driver.join();
+  ASSERT_TRUE(manager.Close(id.value()).ok());
+}
+
+// Zero-copy publication: repeated polls alias one object; a refresh
+// publishes a new one which subsequent polls then alias; finalize
+// republishes the final snapshot.
+TEST(SessionManagerTest, PollsShareThePublishedSnapshotObject) {
+  const Dataset dataset = SmallDataset(19);
+  SessionManager manager;
+  const auto id = manager.Open(ConfigFor("MV", dataset));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(manager.Observe(id.value(), dataset.answers.answers()).ok());
+
+  const auto poll_a = manager.Snapshot(id.value(), /*refresh=*/false);
+  const auto poll_b = manager.Snapshot(id.value(), /*refresh=*/false);
+  ASSERT_TRUE(poll_a.ok());
+  ASSERT_TRUE(poll_b.ok());
+  EXPECT_EQ(poll_a.value().get(), poll_b.value().get());
+
+  const auto refreshed = manager.Snapshot(id.value());
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_NE(refreshed.value().get(), poll_a.value().get());
+  const auto poll_c = manager.Snapshot(id.value(), /*refresh=*/false);
+  ASSERT_TRUE(poll_c.ok());
+  EXPECT_EQ(poll_c.value().get(), refreshed.value().get());
+
+  const auto final_snapshot = manager.Finalize(id.value());
+  ASSERT_TRUE(final_snapshot.ok());
+  const auto poll_d = manager.Snapshot(id.value(), /*refresh=*/false);
+  ASSERT_TRUE(poll_d.ok());
+  EXPECT_EQ(poll_d.value().get(), final_snapshot.value().get());
+  EXPECT_TRUE(poll_d.value()->finalized);
+}
+
+// The ObserveAck consensus delta: staleness counters track the published
+// snapshot, and changed_items reflects the last refresh's prediction diff.
+TEST(SessionManagerTest, ObserveAckCarriesConsensusDelta) {
+  const Dataset dataset = SmallDataset(21);
+  SessionManager manager;
+  const auto id = manager.Open(ConfigFor("MV", dataset));
+  ASSERT_TRUE(id.ok());
+
+  const auto all = dataset.answers.answers();
+  const std::size_t half = all.size() / 2;
+  const auto first = manager.Observe(id.value(), all.subspan(0, half));
+  ASSERT_TRUE(first.ok());
+  // Published snapshot is still the Open seed: no refresh has run.
+  EXPECT_EQ(first.value().delta.snapshot_batches_seen, 0u);
+  EXPECT_EQ(first.value().delta.snapshot_answers_seen, 0u);
+  EXPECT_EQ(first.value().delta.changed_items, 0u);
+
+  ASSERT_TRUE(manager.Snapshot(id.value()).ok());  // publish a refresh
+  const auto second = manager.Observe(id.value(), all.subspan(half));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().delta.snapshot_batches_seen, 1u);
+  EXPECT_EQ(second.value().delta.snapshot_answers_seen, half);
+  // The first refresh instantiated a consensus where the seed had none.
+  EXPECT_GT(second.value().delta.changed_items, 0u);
+  EXPECT_EQ(second.value().answers_seen, all.size());
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace cpa {
+namespace {
+
+TEST(ScratchArenaTest, CheckoutsAreDisjointAndZeroed) {
+  ScratchArena arena;
+  const auto a = arena.AllocZeroed<double>(100);
+  const auto b = arena.AllocZeroed<double>(100);
+  ASSERT_EQ(a.size(), 100u);
+  ASSERT_EQ(b.size(), 100u);
+  EXPECT_NE(a.data(), b.data());
+  for (double v : a) EXPECT_EQ(v, 0.0);
+  a[0] = 1.0;
+  a[99] = 2.0;
+  EXPECT_EQ(b[0], 0.0) << "checkouts must not alias";
+  EXPECT_EQ(arena.stats().checkouts, 2u);
+}
+
+TEST(ScratchArenaTest, FrameRewindsAndSlabsAreReused) {
+  ScratchArena arena;
+  const double* first_block = nullptr;
+  {
+    const ScratchArena::Frame frame(arena);
+    first_block = arena.AllocZeroed<double>(1000).data();
+  }
+  const std::size_t slabs_after_warmup = arena.stats().slab_allocations;
+  EXPECT_GT(slabs_after_warmup, 0u);
+  EXPECT_EQ(arena.stats().bytes_in_use, 0u);
+  for (int i = 0; i < 10; ++i) {
+    const ScratchArena::Frame frame(arena);
+    const auto block = arena.AllocZeroed<double>(1000);
+    EXPECT_EQ(block.data(), first_block) << "rewound memory must be reused";
+    for (double v : block) EXPECT_EQ(v, 0.0) << "AllocZeroed re-zeroes";
+    block[0] = 3.0;  // dirty it for the next round
+  }
+  EXPECT_EQ(arena.stats().slab_allocations, slabs_after_warmup);
+}
+
+TEST(ScratchArenaTest, NestedFramesRewindToTheirOwnMarks) {
+  ScratchArena arena;
+  const ScratchArena::Frame outer(arena);
+  const auto outer_block = arena.AllocZeroed<double>(16);
+  outer_block[7] = 42.0;
+  const std::size_t in_use_before_inner = arena.stats().bytes_in_use;
+  {
+    const ScratchArena::Frame inner(arena);
+    arena.AllocZeroed<double>(64);
+    EXPECT_GT(arena.stats().bytes_in_use, in_use_before_inner);
+  }
+  EXPECT_EQ(arena.stats().bytes_in_use, in_use_before_inner);
+  EXPECT_EQ(outer_block[7], 42.0) << "inner frames must not clobber outer data";
+}
+
+TEST(ScratchArenaTest, GrowsAcrossSlabsForLargeCheckouts) {
+  ScratchArena arena(ScratchArena::Mode::kReuse, /*initial_slab_bytes=*/256);
+  // Far larger than the first slab: must land in a dedicated grown slab.
+  const auto big = arena.AllocZeroed<double>(10'000);
+  ASSERT_EQ(big.size(), 10'000u);
+  big[9'999] = 1.0;
+  // Smaller checkouts still work after the growth.
+  const auto small = arena.AllocZeroed<std::uint32_t>(8);
+  EXPECT_EQ(small.size(), 8u);
+  EXPECT_GE(arena.stats().bytes_reserved, 10'000 * sizeof(double));
+}
+
+TEST(ScratchArenaTest, AlignmentIsPreserved) {
+  ScratchArena arena;
+  arena.Alloc<char>(3);  // odd-size checkout must not misalign the next one
+  const auto doubles = arena.Alloc<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(doubles.data()) % alignof(double), 0u);
+  arena.Alloc<char>(1);
+  const auto ids = arena.Alloc<std::size_t>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ids.data()) % alignof(std::size_t), 0u);
+}
+
+TEST(ScratchArenaTest, HeapModeFreesPerFrame) {
+  ScratchArena arena(ScratchArena::Mode::kHeap);
+  {
+    const ScratchArena::Frame frame(arena);
+    arena.AllocZeroed<double>(100);
+    arena.AllocZeroed<double>(100);
+    EXPECT_EQ(arena.stats().slab_allocations, 2u);
+    EXPECT_GT(arena.stats().bytes_reserved, 0u);
+  }
+  EXPECT_EQ(arena.stats().bytes_reserved, 0u);
+  {
+    const ScratchArena::Frame frame(arena);
+    arena.AllocZeroed<double>(100);
+  }
+  // Unlike kReuse, allocations keep accruing call over call.
+  EXPECT_EQ(arena.stats().slab_allocations, 3u);
+}
+
+TEST(ScratchArenaTest, ResetRewindsEverything) {
+  ScratchArena arena;
+  arena.AllocZeroed<double>(5000);
+  const std::size_t reserved = arena.stats().bytes_reserved;
+  arena.Reset();
+  EXPECT_EQ(arena.stats().bytes_in_use, 0u);
+  EXPECT_EQ(arena.stats().bytes_reserved, reserved) << "kReuse keeps the slabs";
+  const auto again = arena.AllocZeroed<double>(5000);
+  EXPECT_EQ(arena.stats().bytes_reserved, reserved);
+  for (double v : again.first(16)) EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace cpa
