@@ -1,19 +1,26 @@
 /// Fig 11 (repo extension, no paper counterpart): multi-session server
-/// throughput. N concurrent synthetic answer streams drive one
-/// `ConsensusServer` through the line-delimited JSON protocol — every
-/// client thread opens its own session, streams its batches, polls
-/// snapshots, finalizes and closes — while all sessions' sweep work shares
-/// one `ServerScheduler` pool. Reports sessions/s, answers/s, and
-/// p50/p95 snapshot latency into `BENCH_fig11_server_throughput.json`.
+/// throughput and tail latency over the real TCP transport. N concurrent
+/// client connections — each its own socket, session, and thread — drive
+/// one in-process `TcpTransport` through the length-prefixed frame
+/// protocol, once per transport encoding (config axis: connections ×
+/// transport): every client opens its session (JSON frame), streams its
+/// batches, pulls a refresh snapshot and a cached poll per batch (both
+/// with the full prediction payload — serialization of large prediction
+/// payloads is the CPU sink this bench exists to watch), finalizes and
+/// closes, while all sessions' sweep work shares one `ServerScheduler`
+/// pool. Reports answers/s plus p50/p95/p99 latency per op per transport
+/// into `BENCH_fig11_server_throughput.json`, and asserts the two
+/// transports produced identical final predictions for every session.
 ///
-///   $ fig11_server_throughput                   # 8 sessions, 2 shared threads
-///   $ fig11_server_throughput --sessions 16 --num-threads 4 --method MV
+///   $ fig11_server_throughput                  # 100 connections, both transports
+///   $ fig11_server_throughput --connections 200 --num-threads 4 --method MV
 ///
 /// `--method MV` (or any offline method) makes every refresh snapshot a
 /// refit on the data so far — the worst-case polling load; the default
 /// CPA-SVI pays one incremental step per batch.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -21,8 +28,11 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "server/binary_codec.h"
 #include "server/consensus_server.h"
 #include "server/protocol.h"
+#include "server/tcp_client.h"
+#include "server/tcp_transport.h"
 #include "simulation/perturbations.h"
 #include "util/json.h"
 #include "util/stopwatch.h"
@@ -32,42 +42,92 @@ using namespace cpa;
 
 namespace {
 
-/// Wall-clock milliseconds of one request/response exchange.
-double TimedRequest(ConsensusServer& server, const std::string& request,
-                    std::string& response) {
-  const Stopwatch stopwatch;
-  response = server.HandleLine(request);
-  return stopwatch.ElapsedMillis();
+using server::BinaryResponse;
+using server::Frame;
+using server::FrameKind;
+using server::TcpFrameClient;
+
+/// Asserts a JSON response frame parses and carries `"ok":true`.
+void CheckJsonOk(const Frame& frame, const char* what) {
+  CPA_CHECK(frame.kind == FrameKind::kJson) << what;
+  const auto parsed = JsonValue::Parse(frame.payload);
+  CPA_CHECK(parsed.ok()) << what << ": " << frame.payload;
+  const JsonValue* ok = parsed.value().Find("ok");
+  CPA_CHECK(ok != nullptr && ok->bool_value()) << what << ": " << frame.payload;
 }
 
-/// Asserts the response line parses and carries `"ok":true`.
-void CheckOk(const std::string& response, const char* what) {
-  const auto parsed = JsonValue::Parse(response);
-  CPA_CHECK(parsed.ok()) << what << ": " << response;
-  const JsonValue* ok = parsed.value().Find("ok");
-  CPA_CHECK(ok != nullptr && ok->bool_value()) << what << ": " << response;
+/// Decodes a binary response frame and asserts it is not an error reply.
+BinaryResponse CheckBinaryOk(const Frame& frame, const char* what) {
+  CPA_CHECK(frame.kind == FrameKind::kBinary) << what;
+  auto decoded = server::DecodeBinaryResponse(frame.payload);
+  CPA_CHECK(decoded.ok()) << what << ": " << decoded.status().ToString();
+  CPA_CHECK(decoded.value().ok) << what << ": "
+                                << decoded.value().error.ToString();
+  return std::move(decoded).value();
+}
+
+/// One roundtrip, timed. The reply frame lands in `reply`.
+double TimedRoundtrip(TcpFrameClient& client, FrameKind kind,
+                      std::string_view payload, Frame& reply) {
+  const Stopwatch stopwatch;
+  auto result = client.Roundtrip(kind, payload);
+  const double ms = stopwatch.ElapsedMillis();
+  CPA_CHECK(result.ok()) << result.status().ToString();
+  reply = std::move(result).value();
+  return ms;
 }
 
 struct ClientStats {
   std::size_t answers = 0;
-  std::vector<double> snapshot_ms;  ///< refresh snapshots (one per batch)
-  std::vector<double> poll_ms;      ///< cached polls (one per batch)
+  std::vector<double> observe_ms;
+  std::vector<double> snapshot_ms;  ///< refresh snapshots, with predictions
+  std::vector<double> poll_ms;      ///< cached polls, with predictions
+  std::vector<LabelSet> final_predictions;
 };
 
-/// One synthetic stream: open → (observe + snapshot + poll) per batch →
-/// finalize → close, all through the wire protocol.
-ClientStats RunClient(ConsensusServer& server, const std::string& session,
+/// Extracts the predictions array of a JSON snapshot/finalize response.
+std::vector<LabelSet> JsonPredictions(const Frame& frame) {
+  const auto parsed = JsonValue::Parse(frame.payload);
+  CPA_CHECK(parsed.ok());
+  const JsonValue* rows = parsed.value().Find("predictions");
+  CPA_CHECK(rows != nullptr);
+  std::vector<LabelSet> predictions;
+  predictions.reserve(rows->array().size());
+  for (const JsonValue& row : rows->array()) {
+    std::vector<LabelId> labels;
+    labels.reserve(row.array().size());
+    for (const JsonValue& label : row.array()) {
+      labels.push_back(static_cast<LabelId>(label.number_value()));
+    }
+    predictions.push_back(LabelSet::FromUnsorted(std::move(labels)));
+  }
+  return predictions;
+}
+
+/// One synthetic stream over one real TCP connection: open → (observe +
+/// snapshot + poll) per batch → finalize → close. `binary` routes the hot
+/// ops through the binary codec; control ops are JSON frames either way.
+ClientStats RunClient(TcpFrameClient client, const std::string& session,
                       const EngineConfig& config, const Dataset& dataset,
-                      const BatchPlan& plan) {
+                      const BatchPlan& plan, bool binary,
+                      const std::atomic<bool>& go) {
   ClientStats stats;
-  std::string response;
+  Frame reply;
 
   JsonValue::Object open;
   open["op"] = JsonValue(std::string("open"));
   open["session"] = JsonValue(session);
   open["config"] = config.ToJson();
-  response = server.HandleLine(JsonValue(std::move(open)).DumpCompact());
-  CheckOk(response, "open");
+  auto opened = client.Roundtrip(FrameKind::kJson,
+                                 JsonValue(std::move(open)).DumpCompact());
+  CPA_CHECK(opened.ok()) << opened.status().ToString();
+  CheckJsonOk(opened.value(), "open");
+
+  // Hold here until every client is connected — the bench measures the
+  // server under its full concurrent-connection load, not a ramp.
+  while (!go.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 
   std::vector<Answer> batch_answers;
   for (const auto& batch : plan.batches) {
@@ -76,36 +136,65 @@ ClientStats RunClient(ConsensusServer& server, const std::string& session,
     for (std::size_t index : batch) {
       batch_answers.push_back(dataset.answers.answer(index));
     }
-    response =
-        server.HandleLine(server::MakeObserveRequest(session, batch_answers));
-    CheckOk(response, "observe");
+    if (binary) {
+      stats.observe_ms.push_back(TimedRoundtrip(
+          client, FrameKind::kBinary,
+          server::EncodeObserveRequest(session, batch_answers), reply));
+      CheckBinaryOk(reply, "observe");
+      stats.snapshot_ms.push_back(TimedRoundtrip(
+          client, FrameKind::kBinary,
+          server::EncodeSnapshotRequest(session, /*refresh=*/true,
+                                        /*include_predictions=*/true),
+          reply));
+      CheckBinaryOk(reply, "snapshot");
+      stats.poll_ms.push_back(TimedRoundtrip(
+          client, FrameKind::kBinary,
+          server::EncodeSnapshotRequest(session, /*refresh=*/false,
+                                        /*include_predictions=*/true),
+          reply));
+      CheckBinaryOk(reply, "poll");
+    } else {
+      stats.observe_ms.push_back(
+          TimedRoundtrip(client, FrameKind::kJson,
+                         server::MakeObserveRequest(session, batch_answers),
+                         reply));
+      CheckJsonOk(reply, "observe");
+      stats.snapshot_ms.push_back(TimedRoundtrip(
+          client, FrameKind::kJson,
+          StrFormat("{\"op\":\"snapshot\",\"session\":\"%s\"}", session.c_str()),
+          reply));
+      CheckJsonOk(reply, "snapshot");
+      stats.poll_ms.push_back(TimedRoundtrip(
+          client, FrameKind::kJson,
+          StrFormat("{\"op\":\"snapshot\",\"session\":\"%s\","
+                    "\"refresh\":false}",
+                    session.c_str()),
+          reply));
+      CheckJsonOk(reply, "poll");
+    }
     stats.answers += batch.size();
-
-    // A refresh snapshot (the consensus-so-far a client acts on) ...
-    stats.snapshot_ms.push_back(TimedRequest(
-        server,
-        StrFormat("{\"op\":\"snapshot\",\"session\":\"%s\","
-                  "\"predictions\":false}",
-                  session.c_str()),
-        response));
-    CheckOk(response, "snapshot");
-    // ... and a cached poll (what a dashboard hammers between batches).
-    stats.poll_ms.push_back(TimedRequest(
-        server,
-        StrFormat("{\"op\":\"snapshot\",\"session\":\"%s\","
-                  "\"refresh\":false,\"predictions\":false}",
-                  session.c_str()),
-        response));
-    CheckOk(response, "poll");
   }
 
-  response = server.HandleLine(
-      StrFormat("{\"op\":\"finalize\",\"session\":\"%s\",\"predictions\":false}",
-                session.c_str()));
-  CheckOk(response, "finalize");
-  response = server.HandleLine(
+  if (binary) {
+    auto finalized = client.Roundtrip(
+        FrameKind::kBinary, server::EncodeFinalizeRequest(session, true));
+    CPA_CHECK(finalized.ok()) << finalized.status().ToString();
+    stats.final_predictions =
+        CheckBinaryOk(finalized.value(), "finalize").predictions;
+  } else {
+    auto finalized = client.Roundtrip(
+        FrameKind::kJson,
+        StrFormat("{\"op\":\"finalize\",\"session\":\"%s\"}", session.c_str()));
+    CPA_CHECK(finalized.ok()) << finalized.status().ToString();
+    CheckJsonOk(finalized.value(), "finalize");
+    stats.final_predictions = JsonPredictions(finalized.value());
+  }
+
+  auto closed = client.Roundtrip(
+      FrameKind::kJson,
       StrFormat("{\"op\":\"close\",\"session\":\"%s\"}", session.c_str()));
-  CheckOk(response, "close");
+  CPA_CHECK(closed.ok()) << closed.status().ToString();
+  CheckJsonOk(closed.value(), "close");
   return stats;
 }
 
@@ -119,100 +208,191 @@ double Percentile(std::vector<double> values, double p) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+/// Aggregated outcome of one transport's run.
+struct TransportResult {
+  double wall_s = 0.0;
+  std::size_t answers = 0;
+  std::size_t peak_connections = 0;
+  std::vector<double> observe_ms;
+  std::vector<double> snapshot_ms;
+  std::vector<double> poll_ms;
+  std::vector<std::vector<LabelSet>> final_predictions;  ///< per session
+};
+
+/// Spins up a fresh server + TCP listener and drives `connections`
+/// concurrent client threads through it in the given encoding.
+TransportResult RunTransport(bool binary, std::size_t connections,
+                             std::size_t num_threads,
+                             const EngineConfig& engine_config,
+                             const Dataset& dataset,
+                             const std::vector<BatchPlan>& plans) {
+  ConsensusServerOptions server_options;
+  server_options.sessions.num_threads = num_threads;
+  server_options.sessions.max_sessions = connections + 1;
+  ConsensusServer server(server_options);
+
+  TcpTransportOptions tcp_options;
+  tcp_options.max_connections = connections + 8;
+  TcpTransport transport(server, tcp_options);
+  CPA_CHECK_OK(transport.Start());
+
+  std::vector<ClientStats> stats(connections);
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  std::atomic<bool> go{false};
+  for (std::size_t s = 0; s < connections; ++s) {
+    clients.emplace_back([&, s] {
+      auto client = TcpFrameClient::Connect("127.0.0.1", transport.port());
+      CPA_CHECK(client.ok()) << client.status().ToString();
+      stats[s] = RunClient(std::move(client).value(),
+                           StrFormat("stream-%zu", s), engine_config, dataset,
+                           plans[s], binary, go);
+    });
+  }
+
+  // Release the herd only once every connection is established, so the
+  // measured window runs at full concurrency from its first request.
+  TransportResult result;
+  while (transport.num_connections() < connections) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  result.peak_connections = transport.num_connections();
+  const Stopwatch wall;
+  go.store(true, std::memory_order_release);
+  for (auto& client : clients) client.join();
+  result.wall_s = wall.ElapsedSeconds();
+
+  CPA_CHECK_EQ(server.sessions().num_sessions(), 0u);
+  for (ClientStats& client : stats) {
+    result.answers += client.answers;
+    result.observe_ms.insert(result.observe_ms.end(), client.observe_ms.begin(),
+                             client.observe_ms.end());
+    result.snapshot_ms.insert(result.snapshot_ms.end(),
+                              client.snapshot_ms.begin(),
+                              client.snapshot_ms.end());
+    result.poll_ms.insert(result.poll_ms.end(), client.poll_ms.begin(),
+                          client.poll_ms.end());
+    result.final_predictions.push_back(std::move(client.final_predictions));
+  }
+  transport.Shutdown();
+  return result;
+}
+
+void PrintOpRow(const char* op, const std::vector<double>& ms) {
+  std::printf("%-24s %10.3f %10.3f %10.3f\n", op, Percentile(ms, 0.5),
+              Percentile(ms, 0.95), Percentile(ms, 0.99));
+}
+
+/// Adds one transport's metrics under a `json_` / `binary_` prefix.
+void Report(bench::BenchReport& report, const char* prefix,
+            const TransportResult& result) {
+  const auto key = [&](const char* name) {
+    return StrFormat("%s_%s", prefix, name);
+  };
+  report.Add(key("wall"), result.wall_s, "s");
+  report.Add(key("answers_per_s"),
+             static_cast<double>(result.answers) / result.wall_s, "1/s");
+  report.Add(key("peak_connections"),
+             static_cast<double>(result.peak_connections), "count");
+  report.Add(key("observe_p50"), Percentile(result.observe_ms, 0.5), "ms");
+  report.Add(key("observe_p95"), Percentile(result.observe_ms, 0.95), "ms");
+  report.Add(key("observe_p99"), Percentile(result.observe_ms, 0.99), "ms");
+  report.Add(key("snapshot_p50"), Percentile(result.snapshot_ms, 0.5), "ms");
+  report.Add(key("snapshot_p95"), Percentile(result.snapshot_ms, 0.95), "ms");
+  report.Add(key("snapshot_p99"), Percentile(result.snapshot_ms, 0.99), "ms");
+  report.Add(key("poll_p50"), Percentile(result.poll_ms, 0.5), "ms");
+  report.Add(key("poll_p95"), Percentile(result.poll_ms, 0.95), "ms");
+  report.Add(key("poll_p99"), Percentile(result.poll_ms, 0.99), "ms");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseBenchConfig(argc, argv, 0.08);
   const auto flags = Flags::Parse(argc, argv);
   CPA_CHECK(flags.ok()) << flags.status().ToString();
-  // `--quick` shrinks the run to a CI smoke (the sanitize job drives the
-  // shared-snapshot lifetime and arena reuse through it on every PR).
+  // `--quick` shrinks the run to a CI smoke (the sanitizer jobs drive the
+  // whole socket/frame/codec path through it on every PR).
   const bool quick = flags.value().GetBool("quick", false);
-  std::size_t sessions =
-      static_cast<std::size_t>(flags.value().GetInt("sessions", 8));
+  std::size_t connections =
+      static_cast<std::size_t>(flags.value().GetInt("connections", 100));
   const std::size_t num_threads =
       static_cast<std::size_t>(flags.value().GetInt("num-threads", 2));
   std::size_t batches =
       static_cast<std::size_t>(flags.value().GetInt("batches", 5));
   const std::string method = flags.value().GetString("method", "CPA-SVI");
   if (quick) {
-    sessions = std::min<std::size_t>(sessions, 3);
+    connections = std::min<std::size_t>(connections, 4);
     batches = std::min<std::size_t>(batches, 2);
     config.scale = std::min(config.scale, 0.05);
     config.cpa_iterations = std::min<std::size_t>(config.cpa_iterations, 4);
   }
-  CPA_CHECK(sessions >= 1 && batches >= 1);
+  CPA_CHECK(connections >= 1 && batches >= 1);
 
   bench::PrintHeader(
-      "Fig 11 (extension) — multi-session server throughput",
-      StrFormat("%zu concurrent %s streams over the JSON wire protocol, "
-                "sweeps on one shared %zu-thread pool",
-                sessions, method.c_str(), num_threads),
+      "Fig 11 (extension) — TCP server throughput and tail latency",
+      StrFormat("%zu concurrent %s streams per transport (json, binary) over "
+                "framed TCP, sweeps on one shared %zu-thread pool",
+                connections, method.c_str(), num_threads),
       config);
 
   const Dataset dataset = bench::LoadPaperDataset(PaperDatasetId::kTopic, config);
   EngineConfig engine_config = EngineConfig::ForDataset(method, dataset);
   engine_config.cpa.max_iterations = config.cpa_iterations;
 
-  ConsensusServerOptions server_options;
-  server_options.sessions.num_threads = num_threads;
-  server_options.sessions.max_sessions = sessions + 1;
-  ConsensusServer server(server_options);
-
   // Every client streams the same answers in a session-specific arrival
   // order (distinct shuffles — the load, not the fit, is the subject).
+  // The two transports replay identical plans, so their final
+  // predictions must agree session for session.
   std::vector<BatchPlan> plans;
-  plans.reserve(sessions);
-  for (std::size_t s = 0; s < sessions; ++s) {
+  plans.reserve(connections);
+  for (std::size_t s = 0; s < connections; ++s) {
     Rng rng(config.seed + s);
     plans.push_back(MakeArrivalSchedule(dataset.answers, batches, rng));
   }
 
-  std::vector<ClientStats> stats(sessions);
-  std::vector<std::thread> clients;
-  clients.reserve(sessions);
-  const Stopwatch wall;
-  for (std::size_t s = 0; s < sessions; ++s) {
-    clients.emplace_back([&, s] {
-      stats[s] = RunClient(server, StrFormat("stream-%zu", s), engine_config,
-                           dataset, plans[s]);
-    });
-  }
-  for (auto& client : clients) client.join();
-  const double wall_s = wall.ElapsedSeconds();
-  CPA_CHECK_EQ(server.sessions().num_sessions(), 0u);
+  const TransportResult json_result = RunTransport(
+      /*binary=*/false, connections, num_threads, engine_config, dataset, plans);
+  const TransportResult binary_result = RunTransport(
+      /*binary=*/true, connections, num_threads, engine_config, dataset, plans);
 
-  std::size_t total_answers = 0;
-  std::vector<double> snapshot_ms;
-  std::vector<double> poll_ms;
-  for (const ClientStats& client : stats) {
-    total_answers += client.answers;
-    snapshot_ms.insert(snapshot_ms.end(), client.snapshot_ms.begin(),
-                       client.snapshot_ms.end());
-    poll_ms.insert(poll_ms.end(), client.poll_ms.begin(), client.poll_ms.end());
+  // Transport must not change consensus: same stream → same predictions.
+  CPA_CHECK_EQ(json_result.final_predictions.size(),
+               binary_result.final_predictions.size());
+  for (std::size_t s = 0; s < json_result.final_predictions.size(); ++s) {
+    CPA_CHECK(json_result.final_predictions[s] ==
+              binary_result.final_predictions[s])
+        << "session " << s << ": json and binary transports disagree";
   }
-  const double sessions_per_s = static_cast<double>(sessions) / wall_s;
-  const double answers_per_s = static_cast<double>(total_answers) / wall_s;
 
-  std::printf("\n%-28s %12s\n", "metric", "value");
-  std::printf("%-28s %12.2f\n", "wall time (s)", wall_s);
-  std::printf("%-28s %12.2f\n", "sessions/s", sessions_per_s);
-  std::printf("%-28s %12.0f\n", "answers/s", answers_per_s);
-  std::printf("%-28s %12.2f\n", "snapshot p50 (ms)", Percentile(snapshot_ms, 0.5));
-  std::printf("%-28s %12.2f\n", "snapshot p95 (ms)", Percentile(snapshot_ms, 0.95));
-  std::printf("%-28s %12.3f\n", "cached poll p50 (ms)", Percentile(poll_ms, 0.5));
+  const double json_rate =
+      static_cast<double>(json_result.answers) / json_result.wall_s;
+  const double binary_rate =
+      static_cast<double>(binary_result.answers) / binary_result.wall_s;
+
+  for (const auto& [name, result] :
+       {std::pair<const char*, const TransportResult&>{"json", json_result},
+        {"binary", binary_result}}) {
+    std::printf("\n-- transport=%s: %zu connections, %zu answers, %.2fs --\n",
+                name, connections, result.answers, result.wall_s);
+    std::printf("%-24s %10s %10s %10s\n", "op (ms)", "p50", "p95", "p99");
+    PrintOpRow("observe", result.observe_ms);
+    PrintOpRow("snapshot (refresh)", result.snapshot_ms);
+    PrintOpRow("poll (cached)", result.poll_ms);
+    std::printf("%-24s %10.0f\n", "answers/s",
+                static_cast<double>(result.answers) / result.wall_s);
+  }
+  std::printf("\nbinary vs json answers/s: %.2fx\n", binary_rate / json_rate);
 
   bench::BenchReport report("fig11_server_throughput", config);
-  report.Add("sessions", static_cast<double>(sessions), "count");
+  report.Add("connections", static_cast<double>(connections), "count");
   report.Add("shared_pool_threads", static_cast<double>(num_threads), "count");
   report.Add("batches_per_session", static_cast<double>(batches), "count");
-  report.Add("answers_total", static_cast<double>(total_answers), "count");
-  report.Add("wall", wall_s, "s");
-  report.Add("sessions_per_s", sessions_per_s, "1/s");
-  report.Add("answers_per_s", answers_per_s, "1/s");
-  report.Add("snapshot_p50", Percentile(snapshot_ms, 0.5), "ms");
-  report.Add("snapshot_p95", Percentile(snapshot_ms, 0.95), "ms");
-  report.Add("poll_p50", Percentile(poll_ms, 0.5), "ms");
+  report.Add("answers_per_transport", static_cast<double>(json_result.answers),
+             "count");
+  Report(report, "json", json_result);
+  Report(report, "binary", binary_result);
+  report.Add("binary_speedup_answers_per_s", binary_rate / json_rate, "x");
   CPA_CHECK_OK(report.Write());
   return 0;
 }

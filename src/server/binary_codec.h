@@ -1,0 +1,112 @@
+#ifndef CPA_SERVER_BINARY_CODEC_H_
+#define CPA_SERVER_BINARY_CODEC_H_
+
+/// \file binary_codec.h
+/// \brief Compact binary encoding of the hot wire messages.
+///
+/// JSON serialization of large prediction payloads is the server's known
+/// CPU sink at high poll rates (ROADMAP). This codec encodes the hot ops —
+/// `observe`, `snapshot`, `finalize` and their responses — as flat
+/// little-endian records inside `kBinary` frames (framing.h). The cold
+/// control ops (`open`, `list`, `methods`, `close`) stay JSON-framed: they
+/// run once per session, carry nested config/metadata, and keep the
+/// protocol debuggable. Encoding is negotiated per frame by the frame's
+/// kind byte — the server always answers in the encoding of the request.
+///
+/// All integers are little-endian. Strings are a u16 length + UTF-8 bytes
+/// (the error message uses u32). Wire layout (first body byte = type):
+///
+///   0x01 observe request    session, u32 count, {u32 item, u32 worker,
+///                           u16 n, u32 label×n}×count
+///   0x02 snapshot request   session, u8 flags (bit0 refresh,
+///                           bit1 include predictions)
+///   0x03 finalize request   session, u8 flags (bit1 include predictions)
+///   0x81 observe ack        session, u64 batches_seen, u64 answers_seen,
+///                           u64 changed_items, u64 snapshot_batches_seen,
+///                           u64 snapshot_answers_seen
+///   0x82 snapshot response  u8 op (2|3), session, method,
+///                           u64 batches_seen, u64 answers_seen,
+///                           u64 iterations, f64 learning_rate,
+///                           u8 finalized, u8 has_predictions,
+///                           [u32 items, {u16 n, u32 label×n}×items]
+///   0x7F error response     u8 status code, op, session, u32-len message
+///
+/// Every decoder is bounds-checked and returns InvalidArgument on
+/// truncated or malformed input — a bad payload costs one error reply,
+/// never a crash (tests/server/binary_codec_test.cc). The JSON and binary
+/// encodings of the same `Request`/`Response` are asserted equivalent in
+/// the same suite; docs/API.md carries the normative spec.
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "data/answer_matrix.h"
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace cpa::server {
+
+/// \name Request encoding (client side).
+/// @{
+
+/// Encodes an `observe` request body for `session`.
+std::string EncodeObserveRequest(std::string_view session,
+                                 std::span<const Answer> answers);
+
+/// Encodes a `snapshot` request body.
+std::string EncodeSnapshotRequest(std::string_view session, bool refresh,
+                                  bool include_predictions);
+
+/// Encodes a `finalize` request body.
+std::string EncodeFinalizeRequest(std::string_view session,
+                                  bool include_predictions);
+
+/// @}
+
+/// Decodes a binary request body (server side). Only the hot ops exist in
+/// binary; anything else fails with InvalidArgument.
+Result<Request> DecodeBinaryRequest(std::string_view body);
+
+/// Encodes a dispatched `Response` as a binary body. Error responses
+/// encode for any op; OK responses must be observe/snapshot/finalize
+/// (the only ops a binary request can produce).
+std::string EncodeBinaryResponse(const Response& response);
+
+/// Encodes an error reply directly — for failures before a request could
+/// be dispatched (frame or parse errors), where no `Response` exists.
+/// Empty `op` marks "could not parse a request".
+std::string EncodeBinaryError(std::string_view op, std::string_view session,
+                              const Status& status);
+
+/// \brief A decoded binary response (client side: bench, tests, smoke).
+struct BinaryResponse {
+  Request::Op op = Request::Op::kObserve;
+  bool ok = true;
+  std::string session;
+
+  /// Error replies (`ok == false`): the status plus the wire name of the
+  /// op that failed ("" when the server could not even parse one).
+  Status error;
+  std::string error_op;
+
+  /// Observe acks.
+  ObserveAck ack;
+
+  /// Snapshot/finalize responses.
+  std::string method;
+  std::size_t batches_seen = 0;
+  std::size_t answers_seen = 0;
+  std::size_t iterations = 0;
+  double learning_rate = 0.0;
+  bool finalized = false;
+  bool has_predictions = false;
+  std::vector<LabelSet> predictions;
+};
+
+/// Decodes a binary response body.
+Result<BinaryResponse> DecodeBinaryResponse(std::string_view body);
+
+}  // namespace cpa::server
+
+#endif  // CPA_SERVER_BINARY_CODEC_H_

@@ -5,56 +5,45 @@
 #include <utility>
 
 #include "engine/engine_registry.h"
+#include "server/binary_codec.h"
 
 namespace cpa {
 
-using server::OkResponse;
-using server::OpName;
+using server::Frame;
+using server::FrameKind;
 using server::Request;
+using server::Response;
 
 ConsensusServer::ConsensusServer(const ConsensusServerOptions& options)
     : options_(options), sessions_(options.sessions) {}
 
-std::string ConsensusServer::HandleLine(std::string_view line) {
-  Result<Request> request = server::ParseRequest(line);
-  if (!request.ok()) {
-    return server::ErrorResponse("", "", request.status());
-  }
+Response ConsensusServer::Handle(const Request& request) {
   if (options_.idle_timeout_seconds > 0.0) {
     sessions_.ExpireIdle(options_.idle_timeout_seconds);
   }
-  return Dispatch(request.value());
-}
-
-std::string ConsensusServer::Dispatch(const Request& request) {
-  const std::string_view op = OpName(request.op);
+  Response response;
+  response.op = request.op;
+  response.session = request.session;
+  response.include_predictions = request.include_predictions;
   switch (request.op) {
     case Request::Op::kOpen: {
       Result<std::string> id = sessions_.Open(request.config, request.session);
-      if (!id.ok()) return server::ErrorResponse(op, request.session, id.status());
-      JsonValue::Object fields;
-      fields["session"] = JsonValue(id.value());
-      fields["method"] = JsonValue(request.config.method);
-      return OkResponse(op, std::move(fields));
+      if (!id.ok()) {
+        response.status = id.status();
+        return response;
+      }
+      response.session = id.value();
+      response.method = request.config.method;
+      return response;
     }
     case Request::Op::kObserve: {
       Result<ObserveAck> ack = sessions_.Observe(request.session, request.answers);
-      if (!ack.ok()) return server::ErrorResponse(op, request.session, ack.status());
-      JsonValue::Object fields;
-      fields["session"] = JsonValue(request.session);
-      fields["batches_seen"] =
-          JsonValue(static_cast<double>(ack.value().batches_seen));
-      fields["answers_seen"] =
-          JsonValue(static_cast<double>(ack.value().answers_seen));
-      // The cheap consensus delta (docs/API.md): staleness of the published
-      // snapshot + how much the consensus moved at the last refresh.
-      const ConsensusDelta& delta = ack.value().delta;
-      fields["changed_items"] = JsonValue(static_cast<double>(delta.changed_items));
-      fields["snapshot_batches_seen"] =
-          JsonValue(static_cast<double>(delta.snapshot_batches_seen));
-      fields["snapshot_answers_seen"] =
-          JsonValue(static_cast<double>(delta.snapshot_answers_seen));
-      return OkResponse(op, std::move(fields));
+      if (!ack.ok()) {
+        response.status = ack.status();
+        return response;
+      }
+      response.ack = ack.value();
+      return response;
     }
     case Request::Op::kSnapshot:
     case Request::Op::kFinalize: {
@@ -63,40 +52,56 @@ std::string ConsensusServer::Dispatch(const Request& request) {
               ? sessions_.Finalize(request.session)
               : sessions_.Snapshot(request.session, request.refresh);
       if (!snapshot.ok()) {
-        return server::ErrorResponse(op, request.session, snapshot.status());
+        response.status = snapshot.status();
+        return response;
       }
-      JsonValue::Object fields =
-          server::SnapshotFields(*snapshot.value(), request.include_predictions);
-      fields["session"] = JsonValue(request.session);
-      return OkResponse(op, std::move(fields));
+      response.snapshot = std::move(snapshot).value();
+      return response;
     }
     case Request::Op::kClose: {
-      const Status status = sessions_.Close(request.session);
-      if (!status.ok()) return server::ErrorResponse(op, request.session, status);
-      JsonValue::Object fields;
-      fields["session"] = JsonValue(request.session);
-      return OkResponse(op, std::move(fields));
+      response.status = sessions_.Close(request.session);
+      return response;
     }
     case Request::Op::kList: {
-      JsonValue::Array rows;
-      for (const SessionInfo& info : sessions_.List()) {
-        rows.push_back(server::SessionInfoToJson(info));
-      }
-      JsonValue::Object fields;
-      fields["sessions"] = JsonValue(std::move(rows));
-      return OkResponse(op, std::move(fields));
+      response.sessions = sessions_.List();
+      return response;
     }
     case Request::Op::kMethods: {
-      JsonValue::Array names;
-      for (const std::string& name : EngineRegistry::Global().MethodNames()) {
-        names.push_back(JsonValue(name));
-      }
-      JsonValue::Object fields;
-      fields["methods"] = JsonValue(std::move(names));
-      return OkResponse(op, std::move(fields));
+      response.methods = EngineRegistry::Global().MethodNames();
+      return response;
     }
   }
-  return server::ErrorResponse("", "", Status::Internal("unhandled op"));
+  response.status = Status::Internal("unhandled op");
+  return response;
+}
+
+std::string ConsensusServer::HandleLine(std::string_view line) {
+  Result<Request> request = server::ParseRequest(line);
+  if (!request.ok()) {
+    return server::ErrorResponse("", "", request.status());
+  }
+  return server::EncodeJsonResponse(Handle(request.value()));
+}
+
+Frame ConsensusServer::HandleFrame(const Frame& frame) {
+  if (frame.kind == FrameKind::kJson) {
+    return Frame{FrameKind::kJson, HandleLine(frame.payload)};
+  }
+  if (!options_.accept_binary) {
+    return Frame{FrameKind::kBinary,
+                 server::EncodeBinaryError(
+                     "", "",
+                     Status::FailedPrecondition(
+                         "server runs with --transport json; binary frames "
+                         "are disabled"))};
+  }
+  Result<Request> request = server::DecodeBinaryRequest(frame.payload);
+  if (!request.ok()) {
+    return Frame{FrameKind::kBinary,
+                 server::EncodeBinaryError("", "", request.status())};
+  }
+  return Frame{FrameKind::kBinary,
+               server::EncodeBinaryResponse(Handle(request.value()))};
 }
 
 void ConsensusServer::Serve(std::istream& in, std::ostream& out) {

@@ -4,22 +4,35 @@
 /// \file consensus_server.h
 /// \brief The multi-session front-end: wire protocol ↔ `SessionManager`.
 ///
-/// A `ConsensusServer` turns one request line (protocol.h) into one
-/// response line. `HandleLine` is safe to call from any number of threads
-/// concurrently — the load generator drives one client thread per stream
-/// against a single server instance — and `Serve` wraps it in a blocking
-/// read-request/write-response loop over line-delimited streams (the
-/// `cpa_server` binary runs it over stdin/stdout).
+/// One dispatch core, three transports. `Handle` turns a parsed
+/// `server::Request` into a structured `server::Response`; everything else
+/// is encoding:
+///
+/// - `HandleLine` — line-JSON in, line-JSON out. The stdio transport
+///   (`cpa_server` without `--tcp`) and the in-process tests use it.
+/// - `HandleFrame` — one framed request in, one framed response out
+///   (framing.h). JSON frames go through the line path; binary frames
+///   through binary_codec.h. The TCP transport (tcp_transport.h) drains
+///   frames off sockets and calls this per frame. Replies always match
+///   the request frame's encoding, so JSON and binary clients can share
+///   one connection, one session, one server.
+///
+/// `HandleLine`/`HandleFrame` are safe to call from any number of threads
+/// concurrently — the TCP transport runs one thread per connection against
+/// a single server instance — and `Serve` wraps the line path in a
+/// blocking read/write loop over line-delimited streams.
 ///
 /// Idle-session expiry: when `idle_timeout_seconds > 0`, every handled
 /// request also sweeps sessions idle longer than the timeout, so an
-/// abandoned stream cannot pin its engine state forever.
+/// abandoned stream (or dropped connection) cannot pin its engine state
+/// forever.
 
 #include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <string_view>
 
+#include "server/framing.h"
 #include "server/protocol.h"
 #include "server/session_manager.h"
 
@@ -32,9 +45,15 @@ struct ConsensusServerOptions {
 
   /// Expire sessions idle longer than this many seconds (0 = never).
   double idle_timeout_seconds = 0.0;
+
+  /// Accept binary frames (`--transport binary`, the default). When
+  /// false the server is a JSON-only debugging endpoint: binary frames
+  /// get a FailedPrecondition error reply (in a binary frame, so the
+  /// client can still parse it) and no dispatch happens.
+  bool accept_binary = true;
 };
 
-/// \brief Serves many concurrent consensus sessions over the JSON protocol.
+/// \brief Serves many concurrent consensus sessions over the wire protocol.
 class ConsensusServer {
  public:
   explicit ConsensusServer(const ConsensusServerOptions& options = {});
@@ -42,10 +61,20 @@ class ConsensusServer {
   ConsensusServer(const ConsensusServer&) = delete;
   ConsensusServer& operator=(const ConsensusServer&) = delete;
 
+  /// Dispatches one parsed request — the transport-independent core.
+  /// Never fails: engine and session errors come back in
+  /// `Response::status`. Thread-safe.
+  server::Response Handle(const server::Request& request);
+
   /// Handles one request line and returns the response line (no trailing
   /// newline). Never fails: protocol and engine errors come back as
   /// `{"ok":false,...}` responses. Thread-safe.
   std::string HandleLine(std::string_view line);
+
+  /// Handles one framed request and returns the framed response payload
+  /// (the caller owns frame I/O). The reply's kind always equals the
+  /// request's kind. Thread-safe.
+  server::Frame HandleFrame(const server::Frame& frame);
 
   /// Reads request lines from `in` until EOF, writing one response line
   /// each to `out` (flushed per line — clients may pipeline). Blank lines
@@ -57,8 +86,6 @@ class ConsensusServer {
   const ConsensusServerOptions& options() const { return options_; }
 
  private:
-  std::string Dispatch(const server::Request& request);
-
   ConsensusServerOptions options_;
   SessionManager sessions_;
 };

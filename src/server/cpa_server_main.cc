@@ -1,12 +1,14 @@
 /// \file cpa_server_main.cc
-/// \brief The `cpa_server` binary: the multi-session consensus server over
-/// stdin/stdout.
+/// \brief The `cpa_server` binary: the multi-session consensus server.
 ///
 ///   $ cpa_server [--num-threads N] [--max-sessions S] [--idle-timeout SEC]
+///                [--tcp] [--port N] [--bind ADDR] [--transport json|binary]
+///                [--max-connections C] [--max-frame-bytes B]
 ///
-/// One JSON request per input line, one JSON response per output line
-/// (src/server/protocol.h; full format with transcripts in docs/API.md).
-/// Example exchange:
+/// Without `--tcp` the server speaks line-delimited JSON over
+/// stdin/stdout — one JSON request per input line, one JSON response per
+/// output line (src/server/protocol.h; full format with transcripts in
+/// docs/API.md). Example exchange:
 ///
 ///   > {"op":"open","config":{"method":"MV","num_items":2,"num_workers":2,
 ///      "num_labels":3}}
@@ -15,15 +17,42 @@
 ///      {"item":0,"worker":0,"labels":[1]}]}
 ///   < {"answers_seen":1,"batches_seen":1,"ok":true,"op":"observe",...}
 ///
-/// The process exits 0 at EOF. Diagnostics go to stderr; stdout carries
-/// only response lines.
+/// With `--tcp` it binds `--bind`:`--port` (default 127.0.0.1, ephemeral)
+/// and serves the same protocol in length-prefixed frames
+/// (src/server/framing.h): JSON frames for everything, binary frames
+/// (src/server/binary_codec.h) for the hot observe/snapshot/finalize path
+/// unless `--transport json` disables them. The bound port is announced
+/// on stderr as `cpa_server: listening on <addr>:<port>`; the process
+/// serves until SIGINT/SIGTERM, then drains connections and exits 0.
+///
+/// Diagnostics go to stderr; stdout carries only stdio-mode responses.
 
+#include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "server/consensus_server.h"
+#include "server/tcp_transport.h"
 #include "util/flags.h"
 #include "util/logging.h"
+
+namespace {
+
+/// Blocks until SIGINT or SIGTERM arrives. The signals are masked before
+/// the transport spawns its threads, so delivery is funneled to this
+/// sigwait and never interrupts a handler mid-request.
+void WaitForShutdownSignal() {
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  int received = 0;
+  sigwait(&signals, &received);
+  std::fprintf(stderr, "cpa_server: caught signal %d, draining\n", received);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto flags = cpa::Flags::Parse(argc, argv);
@@ -38,12 +67,63 @@ int main(int argc, char** argv) {
   CPA_CHECK_GE(options.sessions.num_threads, 1u);
   CPA_CHECK_GE(options.sessions.max_sessions, 1u);
 
+  const std::string transport = flags.value().GetString("transport", "binary");
+  CPA_CHECK(transport == "binary" || transport == "json")
+      << "--transport must be 'json' or 'binary', got '" << transport << "'";
+  options.accept_binary = transport == "binary";
+
+  const bool tcp = flags.value().GetBool("tcp", false);
   cpa::ConsensusServer server(options);
+
+  if (!tcp) {
+    std::fprintf(stderr,
+                 "cpa_server: serving on stdin/stdout (num_threads=%zu, "
+                 "max_sessions=%zu, idle_timeout=%.1fs)\n",
+                 options.sessions.num_threads, options.sessions.max_sessions,
+                 options.idle_timeout_seconds);
+    server.Serve(std::cin, std::cout);
+    return 0;
+  }
+
+  cpa::TcpTransportOptions tcp_options;
+  tcp_options.bind_address = flags.value().GetString("bind", "127.0.0.1");
+  tcp_options.port =
+      static_cast<std::uint16_t>(flags.value().GetInt("port", 0));
+  tcp_options.max_connections =
+      static_cast<std::size_t>(flags.value().GetInt("max-connections", 1024));
+  tcp_options.max_frame_bytes = static_cast<std::size_t>(flags.value().GetInt(
+      "max-frame-bytes",
+      static_cast<long long>(cpa::server::kDefaultMaxFrameBytes)));
+
+  // Mask the shutdown signals before any thread exists so every thread
+  // inherits the mask and sigwait below is the only consumer.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  CPA_CHECK_EQ(pthread_sigmask(SIG_BLOCK, &signals, nullptr), 0);
+
+  cpa::TcpTransport tcp_transport(server, tcp_options);
+  const cpa::Status started = tcp_transport.Start();
+  CPA_CHECK(started.ok()) << started.ToString();
   std::fprintf(stderr,
-               "cpa_server: serving on stdin/stdout (num_threads=%zu, "
-               "max_sessions=%zu, idle_timeout=%.1fs)\n",
+               "cpa_server: listening on %s:%u (transport=%s, "
+               "num_threads=%zu, max_sessions=%zu, max_connections=%zu, "
+               "idle_timeout=%.1fs)\n",
+               tcp_options.bind_address.c_str(),
+               static_cast<unsigned>(tcp_transport.port()), transport.c_str(),
                options.sessions.num_threads, options.sessions.max_sessions,
-               options.idle_timeout_seconds);
-  server.Serve(std::cin, std::cout);
+               tcp_options.max_connections, options.idle_timeout_seconds);
+
+  WaitForShutdownSignal();
+  tcp_transport.Shutdown();
+  const cpa::TcpTransportStats stats = tcp_transport.stats();
+  std::fprintf(stderr,
+               "cpa_server: served %llu frames in / %llu out over %llu "
+               "connections (%llu framing errors)\n",
+               static_cast<unsigned long long>(stats.frames_in),
+               static_cast<unsigned long long>(stats.frames_out),
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.framing_errors));
   return 0;
 }

@@ -1,0 +1,106 @@
+#include "server/framing.h"
+
+#include <algorithm>
+
+#include "util/endian.h"
+#include "util/string_utils.h"
+
+namespace cpa::server {
+
+void AppendFrame(std::string& out, FrameKind kind, std::string_view payload) {
+  AppendLittleEndian<std::uint32_t>(out,
+                                    static_cast<std::uint32_t>(payload.size()));
+  out.push_back(static_cast<char>(kind));
+  out.push_back('\0');
+  AppendLittleEndian<std::uint16_t>(out, 0);
+  out.append(payload);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  AppendFrame(out, frame.kind, frame.payload);
+  return out;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void FrameDecoder::Append(std::string_view bytes) {
+  // Compact lazily: drop the consumed prefix once it dominates the buffer,
+  // so steady-state decoding is append + in-place scans, not per-frame
+  // reallocation.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+std::optional<FrameDecoder::Item> FrameDecoder::Next() {
+  // Finish skipping the body of a previously rejected frame.
+  if (skip_remaining_ > 0) {
+    const std::size_t available = buffer_.size() - consumed_;
+    const std::size_t drop = std::min(skip_remaining_, available);
+    consumed_ += drop;
+    skip_remaining_ -= drop;
+    if (skip_remaining_ > 0) return std::nullopt;  // need more bytes
+  }
+
+  const std::string_view pending =
+      std::string_view(buffer_).substr(consumed_);
+  if (pending.size() < kFrameHeaderBytes) return std::nullopt;
+
+  const std::uint32_t length = ReadLittleEndian<std::uint32_t>(pending, 0);
+  const std::uint8_t kind_byte =
+      static_cast<std::uint8_t>(static_cast<unsigned char>(pending[4]));
+  const std::uint8_t reserved8 =
+      static_cast<std::uint8_t>(static_cast<unsigned char>(pending[5]));
+  const std::uint16_t reserved16 = ReadLittleEndian<std::uint16_t>(pending, 6);
+
+  const bool known_kind = kind_byte == static_cast<std::uint8_t>(FrameKind::kJson) ||
+                          kind_byte == static_cast<std::uint8_t>(FrameKind::kBinary);
+  // Error replies to a broken frame should still reach the client in an
+  // encoding it understands; fall back to JSON when the kind itself is
+  // the problem.
+  const FrameKind reply_kind =
+      known_kind ? static_cast<FrameKind>(kind_byte) : FrameKind::kJson;
+
+  Status error;
+  if (!known_kind) {
+    error = Status::InvalidArgument(
+        StrFormat("unknown frame kind %u (expected 1=json, 2=binary)",
+                  static_cast<unsigned>(kind_byte)));
+  } else if (reserved8 != 0 || reserved16 != 0) {
+    error = Status::InvalidArgument("frame reserved bytes must be zero");
+  } else if (length > max_frame_bytes_) {
+    error = Status::InvalidArgument(
+        StrFormat("frame of %u bytes exceeds the %zu-byte limit",
+                  static_cast<unsigned>(length), max_frame_bytes_));
+  }
+
+  if (!error.ok()) {
+    // Skip exactly the declared body so the next frame stays parseable.
+    consumed_ += kFrameHeaderBytes;
+    skip_remaining_ = length;
+    const std::size_t available = buffer_.size() - consumed_;
+    const std::size_t drop = std::min(skip_remaining_, available);
+    consumed_ += drop;
+    skip_remaining_ -= drop;
+    Item item;
+    item.error = std::move(error);
+    item.kind = reply_kind;
+    return item;
+  }
+
+  if (pending.size() < kFrameHeaderBytes + length) return std::nullopt;
+
+  Item item;
+  item.kind = static_cast<FrameKind>(kind_byte);
+  item.frame.kind = item.kind;
+  item.frame.payload.assign(pending.substr(kFrameHeaderBytes, length));
+  consumed_ += kFrameHeaderBytes + length;
+  return item;
+}
+
+}  // namespace cpa::server

@@ -154,6 +154,60 @@ Result<Request> ParseRequest(std::string_view line) {
       name.c_str()));
 }
 
+std::string EncodeJsonResponse(const Response& response) {
+  const std::string_view op = OpName(response.op);
+  if (!response.status.ok()) {
+    return ErrorResponse(op, response.session, response.status);
+  }
+  JsonValue::Object fields;
+  switch (response.op) {
+    case Request::Op::kOpen:
+      fields["session"] = JsonValue(response.session);
+      fields["method"] = JsonValue(response.method);
+      break;
+    case Request::Op::kObserve: {
+      fields["session"] = JsonValue(response.session);
+      fields["batches_seen"] = Num(response.ack.batches_seen);
+      fields["answers_seen"] = Num(response.ack.answers_seen);
+      // The cheap consensus delta (docs/API.md): staleness of the
+      // published snapshot + how much the consensus moved at the last
+      // refresh.
+      const ConsensusDelta& delta = response.ack.delta;
+      fields["changed_items"] = Num(delta.changed_items);
+      fields["snapshot_batches_seen"] = Num(delta.snapshot_batches_seen);
+      fields["snapshot_answers_seen"] = Num(delta.snapshot_answers_seen);
+      break;
+    }
+    case Request::Op::kSnapshot:
+    case Request::Op::kFinalize:
+      fields = SnapshotFields(*response.snapshot, response.include_predictions);
+      fields["session"] = JsonValue(response.session);
+      break;
+    case Request::Op::kClose:
+      fields["session"] = JsonValue(response.session);
+      break;
+    case Request::Op::kList: {
+      JsonValue::Array rows;
+      rows.reserve(response.sessions.size());
+      for (const SessionInfo& info : response.sessions) {
+        rows.push_back(SessionInfoToJson(info));
+      }
+      fields["sessions"] = JsonValue(std::move(rows));
+      break;
+    }
+    case Request::Op::kMethods: {
+      JsonValue::Array names;
+      names.reserve(response.methods.size());
+      for (const std::string& name : response.methods) {
+        names.push_back(JsonValue(name));
+      }
+      fields["methods"] = JsonValue(std::move(names));
+      break;
+    }
+  }
+  return OkResponse(op, std::move(fields));
+}
+
 std::string ErrorResponse(std::string_view op, std::string_view session,
                           const Status& status) {
   JsonValue::Object fields;

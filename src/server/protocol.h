@@ -57,12 +57,45 @@ struct Request {
   bool include_predictions = true;
 };
 
+/// \brief The structured outcome of dispatching one request — the shared
+/// core every transport encodes from. `ConsensusServer::Handle` produces
+/// one `Response` per `Request`; `EncodeJsonResponse` (here) and
+/// `EncodeBinaryResponse` (binary_codec.h) turn it into wire bytes, so
+/// the stdio path, the tests, and the TCP transport all dispatch through
+/// one code path and only differ in encoding.
+struct Response {
+  Request::Op op = Request::Op::kList;
+  std::string session;  ///< echoed when known ("" otherwise)
+
+  /// Non-OK turns the response into an error reply in any encoding.
+  Status status;
+
+  /// `open`: the method actually opened.
+  std::string method;
+
+  /// `observe`: counters + consensus delta after the accepted batch.
+  ObserveAck ack;
+
+  /// `snapshot` / `finalize`: the published snapshot (nullptr otherwise)
+  /// and whether the encoder should ship the predictions array.
+  SharedSnapshot snapshot;
+  bool include_predictions = true;
+
+  /// `list` / `methods`.
+  std::vector<SessionInfo> sessions;
+  std::vector<std::string> methods;
+};
+
 /// Stable wire name of an op ("open", "observe", ...).
 std::string_view OpName(Request::Op op);
 
 /// Parses one request line. Unknown ops, missing required fields, and
 /// malformed JSON all fail with InvalidArgument.
 Result<Request> ParseRequest(std::string_view line);
+
+/// Serializes a `Response` as one compact JSON line (the stdio wire
+/// format and the JSON frame encoding of the TCP transport).
+std::string EncodeJsonResponse(const Response& response);
 
 /// \name Response builders (each returns one line, no trailing newline).
 /// @{

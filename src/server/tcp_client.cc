@@ -1,0 +1,129 @@
+#include "server/tcp_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/string_utils.h"
+
+namespace cpa::server {
+namespace {
+
+bool SendAllBytes(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpFrameClient::TcpFrameClient(TcpFrameClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), decoder_(std::move(other.decoder_)) {}
+
+TcpFrameClient& TcpFrameClient::operator=(TcpFrameClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Result<TcpFrameClient> TcpFrameClient::Connect(const std::string& host,
+                                               std::uint16_t port,
+                                               std::size_t max_frame_bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(StrFormat("invalid host '%s'", host.c_str()));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) < 0) {
+    const Status status =
+        Status::IOError(StrFormat("connect %s:%u: %s", host.c_str(),
+                                  static_cast<unsigned>(port),
+                                  std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  TcpFrameClient client;
+  client.fd_ = fd;
+  client.decoder_ = FrameDecoder(max_frame_bytes);
+  return client;
+}
+
+Status TcpFrameClient::Send(FrameKind kind, std::string_view payload) {
+  std::string bytes;
+  bytes.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(bytes, kind, payload);
+  return SendRaw(bytes);
+}
+
+Status TcpFrameClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  if (!SendAllBytes(fd_, bytes)) {
+    return Status::IOError(StrFormat("send: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<Frame> TcpFrameClient::ReadFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  char buffer[64 * 1024];
+  for (;;) {
+    if (auto item = decoder_.Next()) {
+      if (!item->error.ok()) return item->error;
+      return std::move(item->frame);
+    }
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("recv: %s", std::strerror(errno)));
+    }
+    decoder_.Append(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+}
+
+Result<Frame> TcpFrameClient::Roundtrip(FrameKind kind, std::string_view payload) {
+  CPA_RETURN_NOT_OK(Send(kind, payload));
+  return ReadFrame();
+}
+
+void TcpFrameClient::FinishWrites() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void TcpFrameClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace cpa::server

@@ -1,0 +1,68 @@
+#ifndef CPA_SERVER_TCP_CLIENT_H_
+#define CPA_SERVER_TCP_CLIENT_H_
+
+/// \file tcp_client.h
+/// \brief A minimal blocking client for the framed TCP protocol.
+///
+/// The in-repo consumers of the socket transport — the fig11 load
+/// generator, the transport tests, and `examples/tcp_client` — all speak
+/// through this class. It is deliberately simple: blocking connect, an
+/// explicit `Send`/`ReadFrame` split so callers can pipeline many request
+/// frames before reading any response (the transport guarantees responses
+/// come back in request order per connection), and a `Roundtrip` helper
+/// for the one-at-a-time case. Not thread-safe; one client per thread.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/framing.h"
+#include "util/status.h"
+
+namespace cpa::server {
+
+/// \brief One TCP connection speaking length-prefixed frames.
+class TcpFrameClient {
+ public:
+  TcpFrameClient() = default;
+  ~TcpFrameClient() { Close(); }
+
+  TcpFrameClient(TcpFrameClient&& other) noexcept;
+  TcpFrameClient& operator=(TcpFrameClient&& other) noexcept;
+  TcpFrameClient(const TcpFrameClient&) = delete;
+  TcpFrameClient& operator=(const TcpFrameClient&) = delete;
+
+  /// Connects to `host:port` (dotted quad).
+  static Result<TcpFrameClient> Connect(
+      const std::string& host, std::uint16_t port,
+      std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Sends one framed request.
+  Status Send(FrameKind kind, std::string_view payload);
+
+  /// Sends raw pre-encoded bytes (tests: batched frames, broken frames).
+  Status SendRaw(std::string_view bytes);
+
+  /// Blocks until one complete response frame arrives. EOF from the
+  /// server fails with IOError; a recoverable framing error on the
+  /// response stream fails with that error.
+  Result<Frame> ReadFrame();
+
+  /// `Send` + `ReadFrame`.
+  Result<Frame> Roundtrip(FrameKind kind, std::string_view payload);
+
+  /// Half-closes the write side (the server sees EOF and, once its
+  /// replies are flushed, closes too) without dropping unread responses.
+  void FinishWrites();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_{kDefaultMaxFrameBytes};
+};
+
+}  // namespace cpa::server
+
+#endif  // CPA_SERVER_TCP_CLIENT_H_

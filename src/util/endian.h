@@ -1,0 +1,60 @@
+#ifndef CPA_UTIL_ENDIAN_H_
+#define CPA_UTIL_ENDIAN_H_
+
+/// \file endian.h
+/// \brief Little-endian scalar (de)serialization for wire formats.
+///
+/// The server's frame and binary-codec layers (src/server/) fix their wire
+/// byte order to little-endian — the native order of every deployment
+/// target we build for — and go through these helpers so the encoding is
+/// explicit, alignment-safe (bytewise, no type-punned loads) and portable
+/// to a big-endian host if one ever appears.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace cpa {
+
+/// Appends `value` to `out` as `N` little-endian bytes.
+template <typename T>
+inline void AppendLittleEndian(std::string& out, T value) {
+  static_assert(std::is_unsigned_v<T>, "encode unsigned representations");
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Reads an unsigned little-endian scalar from `bytes` at `offset`.
+/// Callers bounds-check before calling (`offset + sizeof(T) <= size`).
+template <typename T>
+inline T ReadLittleEndian(std::string_view bytes, std::size_t offset) {
+  static_assert(std::is_unsigned_v<T>, "decode unsigned representations");
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(static_cast<unsigned char>(bytes[offset + i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+/// Appends a double as its IEEE-754 bit pattern (little-endian).
+inline void AppendLittleEndianDouble(std::string& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendLittleEndian<std::uint64_t>(out, bits);
+}
+
+/// Reads a double back from its IEEE-754 bit pattern.
+inline double ReadLittleEndianDouble(std::string_view bytes, std::size_t offset) {
+  const std::uint64_t bits = ReadLittleEndian<std::uint64_t>(bytes, offset);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace cpa
+
+#endif  // CPA_UTIL_ENDIAN_H_

@@ -47,7 +47,15 @@ double Trigamma(double x) {
 
 double LogGamma(double x) {
   CPA_CHECK_GT(x, 0.0) << "LogGamma domain error";
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the process-global `signgam`, which is a data
+  // race when prediction/sweep shards evaluate it concurrently. The
+  // POSIX reentrant variant returns the sign through a local instead.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
   return std::lgamma(x);
+#endif
 }
 
 double LogBeta(double a, double b) {

@@ -1,0 +1,240 @@
+#include "server/binary_codec.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/protocol.h"
+#include "util/json.h"
+
+namespace cpa::server {
+namespace {
+
+/// The JSON equivalent of a binary request must parse to the same
+/// `Request` — the two encodings are views of one protocol.
+void ExpectSameRequest(const Request& binary, const Request& json) {
+  EXPECT_EQ(binary.op, json.op);
+  EXPECT_EQ(binary.session, json.session);
+  EXPECT_EQ(binary.refresh, json.refresh);
+  EXPECT_EQ(binary.include_predictions, json.include_predictions);
+  ASSERT_EQ(binary.answers.size(), json.answers.size());
+  for (std::size_t i = 0; i < binary.answers.size(); ++i) {
+    EXPECT_EQ(binary.answers[i].item, json.answers[i].item);
+    EXPECT_EQ(binary.answers[i].worker, json.answers[i].worker);
+    EXPECT_EQ(binary.answers[i].labels, json.answers[i].labels);
+  }
+}
+
+TEST(BinaryCodecTest, ObserveRequestRoundTripMatchesJson) {
+  const std::vector<Answer> answers = {{7, 3, LabelSet{1, 4}},
+                                       {0, 0, LabelSet{2}},
+                                       {12, 9, LabelSet{}}};
+  const std::string body = EncodeObserveRequest("sess-1", answers);
+
+  auto decoded = DecodeBinaryRequest(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  auto json = ParseRequest(MakeObserveRequest("sess-1", answers));
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  ExpectSameRequest(decoded.value(), json.value());
+}
+
+TEST(BinaryCodecTest, SnapshotRequestRoundTripMatchesJson) {
+  for (const bool refresh : {true, false}) {
+    for (const bool predictions : {true, false}) {
+      const std::string body = EncodeSnapshotRequest("s9", refresh, predictions);
+      auto decoded = DecodeBinaryRequest(body);
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+      const std::string json_line =
+          std::string(R"({"op":"snapshot","session":"s9","refresh":)") +
+          (refresh ? "true" : "false") + R"(,"predictions":)" +
+          (predictions ? "true" : "false") + "}";
+      auto json = ParseRequest(json_line);
+      ASSERT_TRUE(json.ok()) << json.status().ToString();
+      ExpectSameRequest(decoded.value(), json.value());
+    }
+  }
+}
+
+TEST(BinaryCodecTest, FinalizeRequestRoundTrip) {
+  auto decoded = DecodeBinaryRequest(EncodeFinalizeRequest("fin", false));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().op, Request::Op::kFinalize);
+  EXPECT_EQ(decoded.value().session, "fin");
+  EXPECT_FALSE(decoded.value().include_predictions);
+}
+
+TEST(BinaryCodecTest, ObserveAckRoundTrip) {
+  Response response;
+  response.op = Request::Op::kObserve;
+  response.session = "s2";
+  response.ack.batches_seen = 11;
+  response.ack.answers_seen = 4242;
+  response.ack.delta.changed_items = 17;
+  response.ack.delta.snapshot_batches_seen = 10;
+  response.ack.delta.snapshot_answers_seen = 4000;
+
+  auto decoded = DecodeBinaryResponse(EncodeBinaryResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const BinaryResponse& ack = decoded.value();
+  EXPECT_TRUE(ack.ok);
+  EXPECT_EQ(ack.op, Request::Op::kObserve);
+  EXPECT_EQ(ack.session, "s2");
+  EXPECT_EQ(ack.ack.batches_seen, 11u);
+  EXPECT_EQ(ack.ack.answers_seen, 4242u);
+  EXPECT_EQ(ack.ack.delta.changed_items, 17u);
+  EXPECT_EQ(ack.ack.delta.snapshot_batches_seen, 10u);
+  EXPECT_EQ(ack.ack.delta.snapshot_answers_seen, 4000u);
+}
+
+ConsensusSnapshot MakeSnapshot() {
+  ConsensusSnapshot snapshot;
+  snapshot.method = "CPA-SVI";
+  snapshot.predictions = {LabelSet{0, 2}, LabelSet{}, LabelSet{1}};
+  snapshot.fit_stats.iterations = 6;
+  snapshot.batches_seen = 3;
+  snapshot.answers_seen = 99;
+  snapshot.learning_rate = 0.125;
+  snapshot.finalized = true;
+  return snapshot;
+}
+
+TEST(BinaryCodecTest, SnapshotResponseRoundTripMatchesJsonFields) {
+  Response response;
+  response.op = Request::Op::kFinalize;
+  response.session = "s3";
+  response.snapshot = std::make_shared<const ConsensusSnapshot>(MakeSnapshot());
+  response.include_predictions = true;
+
+  auto decoded = DecodeBinaryResponse(EncodeBinaryResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const BinaryResponse& snap = decoded.value();
+  EXPECT_TRUE(snap.ok);
+  EXPECT_EQ(snap.op, Request::Op::kFinalize);
+  EXPECT_EQ(snap.session, "s3");
+  EXPECT_EQ(snap.method, "CPA-SVI");
+  EXPECT_EQ(snap.batches_seen, 3u);
+  EXPECT_EQ(snap.answers_seen, 99u);
+  EXPECT_EQ(snap.iterations, 6u);
+  EXPECT_DOUBLE_EQ(snap.learning_rate, 0.125);
+  EXPECT_TRUE(snap.finalized);
+  ASSERT_TRUE(snap.has_predictions);
+  ASSERT_EQ(snap.predictions.size(), 3u);
+  EXPECT_EQ(snap.predictions[0], (LabelSet{0, 2}));
+  EXPECT_TRUE(snap.predictions[1].empty());
+  EXPECT_EQ(snap.predictions[2], (LabelSet{1}));
+
+  // Field-for-field agreement with the JSON encoding of the same response.
+  auto json = JsonValue::Parse(EncodeJsonResponse(response));
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json.value().Find("method")->string_value(), snap.method);
+  EXPECT_EQ(json.value().Find("batches_seen")->number_value(),
+            static_cast<double>(snap.batches_seen));
+  EXPECT_EQ(json.value().Find("answers_seen")->number_value(),
+            static_cast<double>(snap.answers_seen));
+  EXPECT_EQ(json.value().Find("finalized")->bool_value(), snap.finalized);
+  const auto& rows = json.value().Find("predictions")->array();
+  ASSERT_EQ(rows.size(), snap.predictions.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_EQ(rows[i].array().size(), snap.predictions[i].size());
+    std::size_t j = 0;
+    for (LabelId label : snap.predictions[i]) {
+      EXPECT_EQ(rows[i].array()[j++].number_value(), static_cast<double>(label));
+    }
+  }
+}
+
+TEST(BinaryCodecTest, CounterOnlySnapshotOmitsPredictions) {
+  Response response;
+  response.op = Request::Op::kSnapshot;
+  response.session = "s4";
+  response.snapshot = std::make_shared<const ConsensusSnapshot>(MakeSnapshot());
+  response.include_predictions = false;
+
+  auto decoded = DecodeBinaryResponse(EncodeBinaryResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().has_predictions);
+  EXPECT_TRUE(decoded.value().predictions.empty());
+  EXPECT_EQ(decoded.value().answers_seen, 99u);
+}
+
+TEST(BinaryCodecTest, ErrorResponseRoundTrip) {
+  Response response;
+  response.op = Request::Op::kObserve;
+  response.session = "ghost";
+  response.status = Status::NotFound("no session 'ghost'");
+
+  auto decoded = DecodeBinaryResponse(EncodeBinaryResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().ok);
+  EXPECT_EQ(decoded.value().error.code(), StatusCode::kNotFound);
+  EXPECT_EQ(decoded.value().error.message(), "no session 'ghost'");
+  EXPECT_EQ(decoded.value().error_op, "observe");
+  EXPECT_EQ(decoded.value().session, "ghost");
+}
+
+TEST(BinaryCodecTest, PreDispatchErrorEncodesWithoutOp) {
+  const std::string body =
+      EncodeBinaryError("", "", Status::InvalidArgument("bad frame"));
+  auto decoded = DecodeBinaryResponse(body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().ok);
+  EXPECT_TRUE(decoded.value().error_op.empty());
+  EXPECT_EQ(decoded.value().error.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinaryCodecTest, TruncatedPayloadsFailCleanly) {
+  const std::vector<Answer> answers = {{1, 2, LabelSet{3}}};
+  const std::string observe = EncodeObserveRequest("s", answers);
+  // Every strict prefix must decode to an error, never crash or hang.
+  for (std::size_t cut = 0; cut < observe.size(); ++cut) {
+    auto decoded = DecodeBinaryRequest(observe.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  Response response;
+  response.op = Request::Op::kSnapshot;
+  response.session = "s";
+  response.snapshot = std::make_shared<const ConsensusSnapshot>(MakeSnapshot());
+  const std::string snapshot = EncodeBinaryResponse(response);
+  for (std::size_t cut = 0; cut < snapshot.size(); ++cut) {
+    EXPECT_FALSE(DecodeBinaryResponse(snapshot.substr(0, cut)).ok());
+  }
+}
+
+TEST(BinaryCodecTest, TrailingBytesAreRejected) {
+  std::string body = EncodeSnapshotRequest("s", true, true);
+  body.push_back('\x00');
+  EXPECT_FALSE(DecodeBinaryRequest(body).ok());
+}
+
+TEST(BinaryCodecTest, UnknownTypesAndGarbageAreRejected) {
+  EXPECT_FALSE(DecodeBinaryRequest("").ok());
+  EXPECT_FALSE(DecodeBinaryRequest("\x42").ok());
+  EXPECT_FALSE(DecodeBinaryResponse("\x42").ok());
+  std::string garbage(64, '\xee');
+  EXPECT_FALSE(DecodeBinaryRequest(garbage).ok());
+  EXPECT_FALSE(DecodeBinaryResponse(garbage).ok());
+}
+
+TEST(BinaryCodecTest, LyingAnswerCountIsRejectedBeforeAllocation) {
+  // Header claims 2^31 answers but the body holds none.
+  std::string body;
+  body.push_back('\x01');  // observe
+  body.push_back('\x01');  // session "s" (u16 length ...
+  body.push_back('\0');    //  ... then the byte)
+  body.push_back('s');
+  body += std::string("\x00\x00\x00\x80", 4);  // count = 2^31
+  auto decoded = DecodeBinaryRequest(body);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(BinaryCodecTest, EmptySessionIsRejected) {
+  EXPECT_FALSE(DecodeBinaryRequest(EncodeSnapshotRequest("", true, true)).ok());
+}
+
+}  // namespace
+}  // namespace cpa::server

@@ -1,0 +1,139 @@
+#include "server/framing.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cpa::server {
+namespace {
+
+Frame MustNext(FrameDecoder& decoder) {
+  auto item = decoder.Next();
+  EXPECT_TRUE(item.has_value());
+  EXPECT_TRUE(item->error.ok()) << item->error.ToString();
+  return item ? std::move(item->frame) : Frame{};
+}
+
+TEST(FramingTest, EncodeDecodeRoundTrip) {
+  const std::string encoded = EncodeFrame({FrameKind::kBinary, "payload"});
+  EXPECT_EQ(encoded.size(), kFrameHeaderBytes + 7);
+
+  FrameDecoder decoder;
+  decoder.Append(encoded);
+  const Frame frame = MustNext(decoder);
+  EXPECT_EQ(frame.kind, FrameKind::kBinary);
+  EXPECT_EQ(frame.payload, "payload");
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FramingTest, EmptyPayloadIsAValidFrame) {
+  FrameDecoder decoder;
+  decoder.Append(EncodeFrame({FrameKind::kJson, ""}));
+  const Frame frame = MustNext(decoder);
+  EXPECT_EQ(frame.kind, FrameKind::kJson);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FramingTest, PayloadMayContainArbitraryBytes) {
+  std::string payload = "a\0b\nc\xff";
+  payload.resize(6);  // keep the embedded NUL
+  FrameDecoder decoder;
+  decoder.Append(EncodeFrame({FrameKind::kBinary, payload}));
+  EXPECT_EQ(MustNext(decoder).payload, payload);
+}
+
+TEST(FramingTest, SplitDeliveryByteByByte) {
+  const std::string encoded = EncodeFrame({FrameKind::kJson, "{\"op\":\"list\"}"});
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < encoded.size(); ++i) {
+    decoder.Append(std::string_view(&encoded[i], 1));
+    EXPECT_FALSE(decoder.Next().has_value()) << "byte " << i;
+  }
+  decoder.Append(std::string_view(&encoded[encoded.size() - 1], 1));
+  EXPECT_EQ(MustNext(decoder).payload, "{\"op\":\"list\"}");
+}
+
+TEST(FramingTest, ManyFramesInOneAppendDrainInOrder) {
+  std::string batch;
+  for (int i = 0; i < 5; ++i) {
+    AppendFrame(batch, FrameKind::kJson, "req" + std::to_string(i));
+  }
+  FrameDecoder decoder;
+  decoder.Append(batch);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(MustNext(decoder).payload, "req" + std::to_string(i));
+  }
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+TEST(FramingTest, OversizedFrameIsSkippedAndConnectionStateSurvives) {
+  FrameDecoder decoder(/*max_frame_bytes=*/16);
+  std::string batch;
+  AppendFrame(batch, FrameKind::kBinary, std::string(100, 'x'));  // too big
+  AppendFrame(batch, FrameKind::kJson, "after");
+  decoder.Append(batch);
+
+  auto oversized = decoder.Next();
+  ASSERT_TRUE(oversized.has_value());
+  EXPECT_FALSE(oversized->error.ok());
+  EXPECT_EQ(oversized->error.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(oversized->kind, FrameKind::kBinary);  // reply in the sender's kind
+
+  // The decoder skipped exactly the declared body: the next frame parses.
+  EXPECT_EQ(MustNext(decoder).payload, "after");
+}
+
+TEST(FramingTest, OversizedFrameSkipsAcrossSplitAppends) {
+  FrameDecoder decoder(/*max_frame_bytes=*/8);
+  const std::string big = EncodeFrame({FrameKind::kJson, std::string(64, 'y')});
+  // Header plus a sliver of body: the error surfaces immediately …
+  decoder.Append(big.substr(0, kFrameHeaderBytes + 3));
+  auto item = decoder.Next();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_FALSE(item->error.ok());
+  // … and the rest of the body is swallowed as it arrives.
+  decoder.Append(big.substr(kFrameHeaderBytes + 3));
+  EXPECT_FALSE(decoder.Next().has_value());
+  decoder.Append(EncodeFrame({FrameKind::kJson, "next"}));
+  EXPECT_EQ(MustNext(decoder).payload, "next");
+}
+
+TEST(FramingTest, UnknownKindIsRecoverable) {
+  std::string bad = EncodeFrame({FrameKind::kJson, "body"});
+  bad[4] = '\x09';  // no such kind
+  FrameDecoder decoder;
+  decoder.Append(bad);
+  decoder.Append(EncodeFrame({FrameKind::kJson, "good"}));
+
+  auto item = decoder.Next();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_FALSE(item->error.ok());
+  EXPECT_EQ(item->kind, FrameKind::kJson);  // error reply falls back to JSON
+  EXPECT_EQ(MustNext(decoder).payload, "good");
+}
+
+TEST(FramingTest, NonzeroReservedBytesAreRejected) {
+  std::string bad = EncodeFrame({FrameKind::kJson, "body"});
+  bad[5] = '\x01';
+  FrameDecoder decoder;
+  decoder.Append(bad);
+  auto item = decoder.Next();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_FALSE(item->error.ok());
+  decoder.Append(EncodeFrame({FrameKind::kJson, "good"}));
+  EXPECT_EQ(MustNext(decoder).payload, "good");
+}
+
+TEST(FramingTest, BufferCompactionKeepsLongStreamsBounded) {
+  FrameDecoder decoder;
+  const std::string frame = EncodeFrame({FrameKind::kJson, std::string(100, 'z')});
+  for (int i = 0; i < 1000; ++i) {
+    decoder.Append(frame);
+    MustNext(decoder);
+  }
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace cpa::server
