@@ -14,15 +14,29 @@
 ///
 ///   $ fig11_server_throughput                  # 100 connections, both transports
 ///   $ fig11_server_throughput --connections 200 --num-threads 4 --method MV
+///   $ fig11_server_throughput --workers 4      # plus a 4-worker router run
 ///
 /// `--method MV` (or any offline method) makes every refresh snapshot a
 /// refit on the data so far — the worst-case polling load; the default
 /// CPA-SVI pays one incremental step per batch.
+///
+/// With `--workers N` (default 2, `--workers 0` disables) the bench also
+/// measures the sharded deployment: N real `fork()`ed worker processes,
+/// each a full server + TCP listener, behind an in-process `Router` and a
+/// front listener — the `cpa_server --router` topology, clients untouched.
+/// Workers are forked before any thread exists in the run (TSan-clean),
+/// hand their port back over a pipe, and exit on control-pipe EOF. Those
+/// runs report under `w<N>_<transport>_*` keys; the single-process runs
+/// keep their `<transport>_*` keys, so the axis is workers × transport.
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +45,7 @@
 #include "server/binary_codec.h"
 #include "server/consensus_server.h"
 #include "server/protocol.h"
+#include "server/router.h"
 #include "server/tcp_client.h"
 #include "server/tcp_transport.h"
 #include "simulation/perturbations.h"
@@ -219,21 +234,124 @@ struct TransportResult {
   std::vector<std::vector<LabelSet>> final_predictions;  ///< per session
 };
 
-/// Spins up a fresh server + TCP listener and drives `connections`
-/// concurrent client threads through it in the given encoding.
+/// One forked fleet worker as seen by the parent.
+struct WorkerProcess {
+  pid_t pid = -1;
+  int control_fd = -1;  ///< write end; closing it tells the worker to exit
+  std::uint32_t port = 0;
+};
+
+/// Child-process body of one fleet worker: a full server + TCP listener,
+/// port reported over `port_fd`, serving until `control_fd` hits EOF —
+/// exactly what a `cpa_server --tcp` process does, minus flag parsing.
+void WorkerMain(int port_fd, int control_fd, std::size_t num_threads,
+                std::size_t max_sessions, std::size_t max_connections) {
+  ConsensusServerOptions options;
+  options.sessions.num_threads = num_threads;
+  options.sessions.max_sessions = max_sessions;
+  ConsensusServer server(options);
+  TcpTransportOptions tcp_options;
+  tcp_options.max_connections = max_connections;
+  TcpTransport transport(server, tcp_options);
+  CPA_CHECK_OK(transport.Start());
+  const std::uint32_t port = transport.port();
+  CPA_CHECK_EQ(::write(port_fd, &port, sizeof(port)),
+               static_cast<ssize_t>(sizeof(port)));
+  ::close(port_fd);
+  char byte = 0;
+  while (::read(control_fd, &byte, 1) > 0) {
+  }
+  ::close(control_fd);
+  transport.Shutdown();
+}
+
+/// Forks `count` workers. MUST run before the parent spawns any thread
+/// (fork duplicates only the calling thread; a forked lock holder would
+/// deadlock the child, and TSan rejects multi-threaded forks outright).
+std::vector<WorkerProcess> SpawnWorkers(std::size_t count,
+                                        std::size_t num_threads,
+                                        std::size_t max_sessions,
+                                        std::size_t max_connections) {
+  std::vector<WorkerProcess> fleet;
+  fleet.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    int port_pipe[2];
+    int control_pipe[2];
+    CPA_CHECK_EQ(::pipe(port_pipe), 0);
+    CPA_CHECK_EQ(::pipe(control_pipe), 0);
+    const pid_t pid = ::fork();
+    CPA_CHECK_GE(pid, 0);
+    if (pid == 0) {
+      ::close(port_pipe[0]);
+      ::close(control_pipe[1]);
+      // Drop inherited write ends of the siblings' control pipes, or
+      // their EOFs never arrive.
+      for (const WorkerProcess& sibling : fleet) ::close(sibling.control_fd);
+      WorkerMain(port_pipe[1], control_pipe[0], num_threads, max_sessions,
+                 max_connections);
+      ::_exit(0);
+    }
+    ::close(port_pipe[1]);
+    ::close(control_pipe[0]);
+    WorkerProcess worker;
+    worker.pid = pid;
+    worker.control_fd = control_pipe[1];
+    CPA_CHECK_EQ(::read(port_pipe[0], &worker.port, sizeof(worker.port)),
+                 static_cast<ssize_t>(sizeof(worker.port)));
+    ::close(port_pipe[0]);
+    fleet.push_back(worker);
+  }
+  return fleet;
+}
+
+/// Control-pipe EOF → worker drains and exits; reap every pid.
+void JoinWorkers(std::vector<WorkerProcess>& fleet) {
+  for (WorkerProcess& worker : fleet) ::close(worker.control_fd);
+  for (WorkerProcess& worker : fleet) {
+    int status = 0;
+    CPA_CHECK_EQ(::waitpid(worker.pid, &status, 0), worker.pid);
+    CPA_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "worker " << worker.pid << " died uncleanly";
+  }
+  fleet.clear();
+}
+
+/// Spins up a front listener — over an in-process server (`workers == 0`)
+/// or a router across `workers` forked worker processes — and drives
+/// `connections` concurrent client threads through it in the given
+/// encoding.
 TransportResult RunTransport(bool binary, std::size_t connections,
-                             std::size_t num_threads,
+                             std::size_t num_threads, std::size_t workers,
                              const EngineConfig& engine_config,
                              const Dataset& dataset,
                              const std::vector<BatchPlan>& plans) {
-  ConsensusServerOptions server_options;
-  server_options.sessions.num_threads = num_threads;
-  server_options.sessions.max_sessions = connections + 1;
-  ConsensusServer server(server_options);
+  // Fork the fleet before the router/transport/client threads exist.
+  std::vector<WorkerProcess> fleet;
+  std::unique_ptr<ConsensusServer> server;
+  std::unique_ptr<Router> router;
+  FrameHandler* handler = nullptr;
+  if (workers > 0) {
+    fleet = SpawnWorkers(workers, num_threads, connections + 1,
+                         connections + 8);
+    RouterOptions router_options;
+    for (const WorkerProcess& worker : fleet) {
+      router_options.workers.push_back(
+          StrFormat("127.0.0.1:%u", worker.port));
+    }
+    router = std::make_unique<Router>(router_options);
+    CPA_CHECK_OK(router->Start());
+    handler = router.get();
+  } else {
+    ConsensusServerOptions server_options;
+    server_options.sessions.num_threads = num_threads;
+    server_options.sessions.max_sessions = connections + 1;
+    server = std::make_unique<ConsensusServer>(server_options);
+    handler = server.get();
+  }
 
   TcpTransportOptions tcp_options;
   tcp_options.max_connections = connections + 8;
-  TcpTransport transport(server, tcp_options);
+  TcpTransport transport(*handler, tcp_options);
   CPA_CHECK_OK(transport.Start());
 
   std::vector<ClientStats> stats(connections);
@@ -262,7 +380,9 @@ TransportResult RunTransport(bool binary, std::size_t connections,
   for (auto& client : clients) client.join();
   result.wall_s = wall.ElapsedSeconds();
 
-  CPA_CHECK_EQ(server.sessions().num_sessions(), 0u);
+  if (server != nullptr) {
+    CPA_CHECK_EQ(server->sessions().num_sessions(), 0u);
+  }
   for (ClientStats& client : stats) {
     result.answers += client.answers;
     result.observe_ms.insert(result.observe_ms.end(), client.observe_ms.begin(),
@@ -275,6 +395,14 @@ TransportResult RunTransport(bool binary, std::size_t connections,
     result.final_predictions.push_back(std::move(client.final_predictions));
   }
   transport.Shutdown();
+  if (router != nullptr) {
+    CPA_CHECK_EQ(router->frames_forwarded(), result.observe_ms.size() +
+                                                 result.snapshot_ms.size() +
+                                                 result.poll_ms.size() +
+                                                 3 * connections);
+    router->Shutdown();
+  }
+  JoinWorkers(fleet);
   return result;
 }
 
@@ -283,11 +411,12 @@ void PrintOpRow(const char* op, const std::vector<double>& ms) {
               Percentile(ms, 0.95), Percentile(ms, 0.99));
 }
 
-/// Adds one transport's metrics under a `json_` / `binary_` prefix.
-void Report(bench::BenchReport& report, const char* prefix,
+/// Adds one run's metrics under a `json_` / `binary_` (single-process) or
+/// `w<N>_json_` / `w<N>_binary_` (router fleet) prefix.
+void Report(bench::BenchReport& report, const std::string& prefix,
             const TransportResult& result) {
   const auto key = [&](const char* name) {
-    return StrFormat("%s_%s", prefix, name);
+    return StrFormat("%s_%s", prefix.c_str(), name);
   };
   report.Add(key("wall"), result.wall_s, "s");
   report.Add(key("answers_per_s"),
@@ -320,6 +449,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.value().GetInt("num-threads", 2));
   std::size_t batches =
       static_cast<std::size_t>(flags.value().GetInt("batches", 5));
+  const std::size_t workers =
+      static_cast<std::size_t>(flags.value().GetInt("workers", 2));
   const std::string method = flags.value().GetString("method", "CPA-SVI");
   if (quick) {
     connections = std::min<std::size_t>(connections, 4);
@@ -332,8 +463,13 @@ int main(int argc, char** argv) {
   bench::PrintHeader(
       "Fig 11 (extension) — TCP server throughput and tail latency",
       StrFormat("%zu concurrent %s streams per transport (json, binary) over "
-                "framed TCP, sweeps on one shared %zu-thread pool",
-                connections, method.c_str(), num_threads),
+                "framed TCP, sweeps on one shared %zu-thread pool%s",
+                connections, method.c_str(), num_threads,
+                workers > 0
+                    ? StrFormat(", plus a router over %zu forked workers",
+                                workers)
+                          .c_str()
+                    : ""),
       config);
 
   const Dataset dataset = bench::LoadPaperDataset(PaperDatasetId::kTopic, config);
@@ -351,48 +487,73 @@ int main(int argc, char** argv) {
     plans.push_back(MakeArrivalSchedule(dataset.answers, batches, rng));
   }
 
-  const TransportResult json_result = RunTransport(
-      /*binary=*/false, connections, num_threads, engine_config, dataset, plans);
-  const TransportResult binary_result = RunTransport(
-      /*binary=*/true, connections, num_threads, engine_config, dataset, plans);
-
-  // Transport must not change consensus: same stream → same predictions.
-  CPA_CHECK_EQ(json_result.final_predictions.size(),
-               binary_result.final_predictions.size());
-  for (std::size_t s = 0; s < json_result.final_predictions.size(); ++s) {
-    CPA_CHECK(json_result.final_predictions[s] ==
-              binary_result.final_predictions[s])
-        << "session " << s << ": json and binary transports disagree";
+  // The workers × transport axis. Worker count 0 is the single-process
+  // server; the fleet runs fork real worker processes behind a router.
+  struct Run {
+    std::string label;   ///< report key prefix
+    std::size_t workers;
+    bool binary;
+    TransportResult result;
+  };
+  std::vector<Run> runs;
+  runs.push_back({"json", 0, false, {}});
+  runs.push_back({"binary", 0, true, {}});
+  if (workers > 0) {
+    runs.push_back({StrFormat("w%zu_json", workers), workers, false, {}});
+    runs.push_back({StrFormat("w%zu_binary", workers), workers, true, {}});
+  }
+  for (Run& run : runs) {
+    run.result = RunTransport(run.binary, connections, num_threads,
+                              run.workers, engine_config, dataset, plans);
   }
 
-  const double json_rate =
-      static_cast<double>(json_result.answers) / json_result.wall_s;
-  const double binary_rate =
-      static_cast<double>(binary_result.answers) / binary_result.wall_s;
+  // Neither the transport encoding nor the deployment shape may change
+  // the consensus: same stream → same predictions, all four runs.
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    CPA_CHECK_EQ(runs[0].result.final_predictions.size(),
+                 runs[r].result.final_predictions.size());
+    for (std::size_t s = 0; s < runs[0].result.final_predictions.size(); ++s) {
+      CPA_CHECK(runs[0].result.final_predictions[s] ==
+                runs[r].result.final_predictions[s])
+          << "session " << s << ": runs json and " << runs[r].label
+          << " disagree";
+    }
+  }
 
-  for (const auto& [name, result] :
-       {std::pair<const char*, const TransportResult&>{"json", json_result},
-        {"binary", binary_result}}) {
-    std::printf("\n-- transport=%s: %zu connections, %zu answers, %.2fs --\n",
-                name, connections, result.answers, result.wall_s);
+  const auto rate = [](const TransportResult& result) {
+    return static_cast<double>(result.answers) / result.wall_s;
+  };
+  for (const Run& run : runs) {
+    std::printf("\n-- %s: %zu connections, %zu answers, %.2fs --\n",
+                run.label.c_str(), connections, run.result.answers,
+                run.result.wall_s);
     std::printf("%-24s %10s %10s %10s\n", "op (ms)", "p50", "p95", "p99");
-    PrintOpRow("observe", result.observe_ms);
-    PrintOpRow("snapshot (refresh)", result.snapshot_ms);
-    PrintOpRow("poll (cached)", result.poll_ms);
-    std::printf("%-24s %10.0f\n", "answers/s",
-                static_cast<double>(result.answers) / result.wall_s);
+    PrintOpRow("observe", run.result.observe_ms);
+    PrintOpRow("snapshot (refresh)", run.result.snapshot_ms);
+    PrintOpRow("poll (cached)", run.result.poll_ms);
+    std::printf("%-24s %10.0f\n", "answers/s", rate(run.result));
   }
-  std::printf("\nbinary vs json answers/s: %.2fx\n", binary_rate / json_rate);
+  std::printf("\nbinary vs json answers/s: %.2fx\n",
+              rate(runs[1].result) / rate(runs[0].result));
+  if (workers > 0) {
+    std::printf("router (%zu workers) vs single binary answers/s: %.2fx\n",
+                workers, rate(runs[3].result) / rate(runs[1].result));
+  }
 
   bench::BenchReport report("fig11_server_throughput", config);
   report.Add("connections", static_cast<double>(connections), "count");
   report.Add("shared_pool_threads", static_cast<double>(num_threads), "count");
   report.Add("batches_per_session", static_cast<double>(batches), "count");
-  report.Add("answers_per_transport", static_cast<double>(json_result.answers),
-             "count");
-  Report(report, "json", json_result);
-  Report(report, "binary", binary_result);
-  report.Add("binary_speedup_answers_per_s", binary_rate / json_rate, "x");
+  report.Add("router_workers", static_cast<double>(workers), "count");
+  report.Add("answers_per_transport",
+             static_cast<double>(runs[0].result.answers), "count");
+  for (const Run& run : runs) Report(report, run.label, run.result);
+  report.Add("binary_speedup_answers_per_s",
+             rate(runs[1].result) / rate(runs[0].result), "x");
+  if (workers > 0) {
+    report.Add("router_binary_speedup_answers_per_s",
+               rate(runs[3].result) / rate(runs[1].result), "x");
+  }
   CPA_CHECK_OK(report.Write());
   return 0;
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "engine/checkpoint.h"
 #include "util/logging.h"
 #include "util/special_functions.h"
 #include "util/string_utils.h"
@@ -277,6 +279,114 @@ std::size_t CpaModel::EffectiveCommunities(double min_weight) const {
 
 std::size_t CpaModel::EffectiveClusters(double min_weight) const {
   return CountEffective(ClusterSizes(), min_weight);
+}
+
+void CpaModel::SaveState(CheckpointWriter& writer) const {
+  writer.WriteU64(num_items_);
+  writer.WriteU64(num_workers_);
+  writer.WriteU64(num_labels_);
+  writer.WriteU64(M_);
+  writer.WriteU64(T_);
+  writer.WriteDouble(theta_prior_mean_);
+  writer.WriteMatrix(kappa);
+  writer.WriteMatrix(phi);
+  writer.WriteMatrix(rho);
+  writer.WriteMatrix(upsilon);
+  writer.WriteU64(lambda.size());
+  for (const Matrix& bank : lambda) writer.WriteMatrix(bank);
+  writer.WriteMatrix(zeta);
+  writer.WriteMatrix(theta_a);
+  writer.WriteMatrix(theta_b);
+  writer.WriteU64(y_evidence.size());
+  for (const auto& evidence : y_evidence) {
+    writer.WriteU32(static_cast<std::uint32_t>(evidence.size()));
+    for (const auto& [label, weight] : evidence) {
+      writer.WriteU32(label);
+      writer.WriteDouble(weight);
+    }
+  }
+  writer.WriteDoubles(y_evidence_weight);
+  writer.WriteMatrix(size_prior);
+}
+
+Status CpaModel::RestoreState(CheckpointReader& reader) {
+  CPA_ASSIGN_OR_RETURN(const std::size_t items, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(const std::size_t workers, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(const std::size_t labels, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(const std::size_t m, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(const std::size_t t, reader.ReadSize());
+  if (items != num_items_ || workers != num_workers_ ||
+      labels != num_labels_ || m != M_ || t != T_) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint model dims (I=%zu U=%zu C=%zu M=%zu T=%zu) do not match "
+        "this model (I=%zu U=%zu C=%zu M=%zu T=%zu)",
+        items, workers, labels, m, t, num_items_, num_workers_, num_labels_,
+        M_, T_));
+  }
+  CPA_ASSIGN_OR_RETURN(theta_prior_mean_, reader.ReadDouble());
+
+  const auto read_matrix = [&reader](Matrix& out, std::size_t rows,
+                                     std::size_t cols,
+                                     const char* what) -> Status {
+    CPA_ASSIGN_OR_RETURN(Matrix matrix, reader.ReadMatrix());
+    if (matrix.rows() != rows || matrix.cols() != cols) {
+      return Status::InvalidArgument(
+          StrFormat("checkpoint %s is %zux%zu, expected %zux%zu", what,
+                    matrix.rows(), matrix.cols(), rows, cols));
+    }
+    out = std::move(matrix);
+    return Status::OK();
+  };
+
+  CPA_RETURN_NOT_OK(read_matrix(kappa, num_workers_, M_, "kappa"));
+  CPA_RETURN_NOT_OK(read_matrix(phi, num_items_, T_, "phi"));
+  CPA_RETURN_NOT_OK(read_matrix(rho, M_ > 0 ? M_ - 1 : 0, 2, "rho"));
+  CPA_RETURN_NOT_OK(read_matrix(upsilon, T_ > 0 ? T_ - 1 : 0, 2, "upsilon"));
+  CPA_ASSIGN_OR_RETURN(const std::size_t banks, reader.ReadSize());
+  if (banks != T_) {
+    return Status::InvalidArgument("checkpoint lambda bank count != T");
+  }
+  lambda.resize(T_);
+  for (std::size_t k = 0; k < T_; ++k) {
+    CPA_RETURN_NOT_OK(read_matrix(lambda[k], M_, num_labels_, "lambda"));
+  }
+  CPA_RETURN_NOT_OK(read_matrix(zeta, T_, num_labels_, "zeta"));
+  CPA_RETURN_NOT_OK(read_matrix(theta_a, T_, num_labels_, "theta_a"));
+  CPA_RETURN_NOT_OK(read_matrix(theta_b, T_, num_labels_, "theta_b"));
+  CPA_ASSIGN_OR_RETURN(const std::size_t evidence_items, reader.ReadSize());
+  if (evidence_items != num_items_) {
+    return Status::InvalidArgument("checkpoint y_evidence length != I");
+  }
+  y_evidence.assign(num_items_, {});
+  for (auto& evidence : y_evidence) {
+    CPA_ASSIGN_OR_RETURN(const std::uint32_t nnz, reader.ReadU32());
+    // Each entry is a u32 label + f64 weight = 12 bytes.
+    if (nnz > reader.remaining() / 12) {
+      return Status::InvalidArgument("checkpoint y_evidence nnz too large");
+    }
+    evidence.reserve(nnz);
+    for (std::uint32_t k = 0; k < nnz; ++k) {
+      CPA_ASSIGN_OR_RETURN(const std::uint32_t label, reader.ReadU32());
+      CPA_ASSIGN_OR_RETURN(const double weight, reader.ReadDouble());
+      if (label >= num_labels_) {
+        return Status::InvalidArgument("checkpoint y_evidence label too big");
+      }
+      evidence.emplace_back(label, weight);
+    }
+  }
+  CPA_ASSIGN_OR_RETURN(y_evidence_weight, reader.ReadDoubles());
+  if (y_evidence_weight.size() != num_items_) {
+    return Status::InvalidArgument("checkpoint y_evidence_weight length != I");
+  }
+  // size_prior's column count varies with the largest observed answer set,
+  // so only the row count is pinned.
+  CPA_ASSIGN_OR_RETURN(Matrix restored_size_prior, reader.ReadMatrix());
+  if (restored_size_prior.rows() != T_ && !restored_size_prior.empty()) {
+    return Status::InvalidArgument("checkpoint size_prior rows != T");
+  }
+  size_prior = std::move(restored_size_prior);
+  RefreshExpectations();
+  return Status::OK();
 }
 
 }  // namespace cpa

@@ -36,6 +36,9 @@
 
 namespace cpa {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /// \brief Variational parameters, expectations and posterior accessors.
 class CpaModel {
  public:
@@ -139,7 +142,19 @@ class CpaModel {
   double theta_prior_off() const {
     return (1.0 - theta_prior_mean_) * options_.theta_prior_strength;
   }
+  double theta_prior_mean() const { return theta_prior_mean_; }
   void SetThetaPriorMean(double mean);
+  /// @}
+
+  /// \name Checkpointing (engine/checkpoint.h).
+  ///
+  /// `SaveState` writes every variational parameter plus the calibrated θ
+  /// prior; `RestoreState` overwrites them on a model `Create`d with the
+  /// same dimensions and refreshes the cached expectations, so a restored
+  /// model is indistinguishable from the saved one.
+  /// @{
+  void SaveState(CheckpointWriter& writer) const;
+  Status RestoreState(CheckpointReader& reader);
   /// @}
 
   /// \name Posterior accessors (public API).

@@ -6,6 +6,7 @@
 
 #include "core/sweep/sweep_kernels.h"
 #include "core/sweep/sweep_scheduler.h"
+#include "engine/checkpoint.h"
 #include "util/logging.h"
 #include "util/special_functions.h"
 #include "util/string_utils.h"
@@ -87,7 +88,8 @@ Status SviOptions::Validate() const {
 
 Result<CpaOnline> CpaOnline::Create(std::size_t num_items, std::size_t num_workers,
                                     std::size_t num_labels, const CpaOptions& options,
-                                    const SviOptions& svi_options, Executor* pool) {
+                                    const SviOptions& svi_options, Executor* pool,
+                                    ScratchArena::Mode arena_mode) {
   CPA_RETURN_NOT_OK(svi_options.Validate());
   CPA_ASSIGN_OR_RETURN(CpaModel model,
                        CpaModel::Create(num_items, num_workers, num_labels, options));
@@ -95,7 +97,7 @@ Result<CpaOnline> CpaOnline::Create(std::size_t num_items, std::size_t num_worke
   online.model_ = std::move(model);
   online.svi_options_ = svi_options;
   online.pool_ = pool;
-  online.scheduler_ = std::make_unique<SweepScheduler>(pool);
+  online.scheduler_ = std::make_unique<SweepScheduler>(pool, arena_mode);
   online.worker_seen_.assign(num_workers, false);
   online.item_seen_.assign(num_items, false);
   online.item_seeded_.assign(num_items, false);
@@ -509,6 +511,106 @@ Result<CpaPrediction> CpaOnline::Predict(const AnswerMatrix& answers) {
   }
   const AnswerMatrix seen_answers = answers.Subset(seen_indices);
   return PredictLabels(model_, seen_answers, *scheduler_);
+}
+
+void CpaOnline::SaveState(CheckpointWriter& writer) const {
+  model_.SaveState(writer);
+  writer.WriteU64(batch_count_);
+  writer.WriteDouble(last_rate_);
+  writer.WriteU64(answers_seen_);
+  writer.WriteU64(workers_seen_);
+  writer.WriteU64(items_seen_);
+  writer.WriteBools(worker_seen_);
+  writer.WriteBools(item_seen_);
+  writer.WriteBools(item_seeded_);
+  writer.WriteU64(seen_by_item_.size());
+  for (const auto& seen : seen_by_item_) writer.WriteU32s(seen);
+  writer.WriteU64(seen_by_worker_.size());
+  for (const auto& seen : seen_by_worker_) writer.WriteU32s(seen);
+  writer.WriteU64(consensus_cluster_.size());
+  for (const auto& [key, cluster] : consensus_cluster_) {
+    writer.WriteString(key);
+    writer.WriteU64(cluster);
+  }
+  writer.WriteU64(cluster_consensus_.size());
+  for (const LabelSet& consensus : cluster_consensus_) {
+    writer.WriteLabelSet(consensus);
+  }
+  writer.WriteU64(next_cluster_);
+  writer.WriteMatrix(size_counts_);
+}
+
+Status CpaOnline::RestoreState(CheckpointReader& reader) {
+  if (batch_count_ != 0 || answers_seen_ != 0) {
+    return Status::FailedPrecondition(
+        "CpaOnline::RestoreState requires a freshly created learner");
+  }
+  CPA_RETURN_NOT_OK(model_.RestoreState(reader));
+  CPA_ASSIGN_OR_RETURN(batch_count_, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(last_rate_, reader.ReadDouble());
+  CPA_ASSIGN_OR_RETURN(answers_seen_, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(workers_seen_, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(items_seen_, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(worker_seen_, reader.ReadBools());
+  CPA_ASSIGN_OR_RETURN(item_seen_, reader.ReadBools());
+  CPA_ASSIGN_OR_RETURN(item_seeded_, reader.ReadBools());
+  if (worker_seen_.size() != model_.num_workers() ||
+      item_seen_.size() != model_.num_items() ||
+      item_seeded_.size() != model_.num_items()) {
+    return Status::InvalidArgument(
+        "checkpoint seen-flag lengths do not match model dims");
+  }
+  CPA_ASSIGN_OR_RETURN(const std::size_t items, reader.ReadSize());
+  if (items != model_.num_items()) {
+    return Status::InvalidArgument("checkpoint seen_by_item length != I");
+  }
+  seen_by_item_.assign(items, {});
+  for (auto& seen : seen_by_item_) {
+    CPA_ASSIGN_OR_RETURN(seen, reader.ReadU32s());
+  }
+  CPA_ASSIGN_OR_RETURN(const std::size_t workers, reader.ReadSize());
+  if (workers != model_.num_workers()) {
+    return Status::InvalidArgument("checkpoint seen_by_worker length != U");
+  }
+  seen_by_worker_.assign(workers, {});
+  for (auto& seen : seen_by_worker_) {
+    CPA_ASSIGN_OR_RETURN(seen, reader.ReadU32s());
+  }
+  CPA_ASSIGN_OR_RETURN(const std::size_t seeds, reader.ReadSize());
+  // Each map entry is at least a 4-byte key length + 8-byte cluster index.
+  if (seeds > reader.remaining() / 12) {
+    return Status::InvalidArgument("checkpoint cluster-seed count too large");
+  }
+  consensus_cluster_.clear();
+  for (std::size_t k = 0; k < seeds; ++k) {
+    CPA_ASSIGN_OR_RETURN(std::string key, reader.ReadString());
+    CPA_ASSIGN_OR_RETURN(const std::size_t cluster, reader.ReadSize());
+    if (cluster >= model_.num_clusters()) {
+      return Status::InvalidArgument("checkpoint cluster seed out of range");
+    }
+    consensus_cluster_.emplace(std::move(key), cluster);
+  }
+  CPA_ASSIGN_OR_RETURN(const std::size_t consensus_count, reader.ReadSize());
+  if (consensus_count > reader.remaining() / sizeof(std::uint32_t)) {
+    return Status::InvalidArgument("checkpoint consensus count too large");
+  }
+  cluster_consensus_.assign(consensus_count, {});
+  for (LabelSet& consensus : cluster_consensus_) {
+    CPA_ASSIGN_OR_RETURN(consensus, reader.ReadLabelSet());
+  }
+  CPA_ASSIGN_OR_RETURN(next_cluster_, reader.ReadSize());
+  if (next_cluster_ > model_.num_clusters()) {
+    return Status::InvalidArgument("checkpoint next_cluster out of range");
+  }
+  CPA_ASSIGN_OR_RETURN(size_counts_, reader.ReadMatrix());
+  if (size_counts_.rows() != model_.num_clusters()) {
+    return Status::InvalidArgument("checkpoint size_counts rows != T");
+  }
+  // Derived caches: rebuilt lazily from the restored state + stream.
+  activity_valid_ = false;
+  view_ = AnswerView();
+  viewed_stream_ = nullptr;
+  return Status::OK();
 }
 
 }  // namespace cpa

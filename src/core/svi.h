@@ -69,10 +69,11 @@ class CpaOnline {
  public:
   /// Creates the learner over fixed dimensions (items/workers may be upper
   /// bounds; unseen entities simply keep their initial state).
-  static Result<CpaOnline> Create(std::size_t num_items, std::size_t num_workers,
-                                  std::size_t num_labels, const CpaOptions& options,
-                                  const SviOptions& svi_options,
-                                  Executor* pool = nullptr);
+  static Result<CpaOnline> Create(
+      std::size_t num_items, std::size_t num_workers, std::size_t num_labels,
+      const CpaOptions& options, const SviOptions& svi_options,
+      Executor* pool = nullptr,
+      ScratchArena::Mode arena_mode = ScratchArena::Mode::kReuse);
 
   /// Consumes one batch: `batch` holds flat indices into
   /// `answers.answers()`. Only those answers are read — the learner never
@@ -99,6 +100,20 @@ class CpaOnline {
 
   /// ω_b of the most recent batch (0 before the first batch).
   double last_learning_rate() const { return last_rate_; }
+
+  /// \name Checkpointing (engine/checkpoint.h).
+  ///
+  /// Serializes the model plus every piece of learner state that feeds
+  /// future batches (step counters, seen-sets, cluster seeding, size
+  /// counts). Derived caches — the flat `AnswerView` and the per-item
+  /// activity lists — are rebuilt lazily after restore, which is exact:
+  /// both are pure functions of the restored state and the stream.
+  /// `RestoreState` requires a freshly `Create`d learner of the same
+  /// dimensions; continuing afterwards is bit-identical to never stopping.
+  /// @{
+  void SaveState(CheckpointWriter& writer) const;
+  Status RestoreState(CheckpointReader& reader);
+  /// @}
 
  private:
   CpaOnline() = default;

@@ -1,0 +1,278 @@
+#include "engine/checkpoint.h"
+
+#include <limits>
+#include <utility>
+
+#include "engine/consensus_engine.h"
+#include "util/endian.h"
+
+namespace cpa {
+namespace {
+
+Status Truncated(std::string_view what) {
+  return Status::InvalidArgument("checkpoint truncated reading " +
+                                 std::string(what));
+}
+
+}  // namespace
+
+void CheckpointWriter::WriteU8(std::uint8_t value) {
+  AppendLittleEndian<std::uint8_t>(bytes_, value);
+}
+
+void CheckpointWriter::WriteU16(std::uint16_t value) {
+  AppendLittleEndian<std::uint16_t>(bytes_, value);
+}
+
+void CheckpointWriter::WriteU32(std::uint32_t value) {
+  AppendLittleEndian<std::uint32_t>(bytes_, value);
+}
+
+void CheckpointWriter::WriteU64(std::uint64_t value) {
+  AppendLittleEndian<std::uint64_t>(bytes_, value);
+}
+
+void CheckpointWriter::WriteBool(bool value) { WriteU8(value ? 1 : 0); }
+
+void CheckpointWriter::WriteDouble(double value) {
+  AppendLittleEndianDouble(bytes_, value);
+}
+
+void CheckpointWriter::WriteString(std::string_view value) {
+  CPA_CHECK_LE(value.size(), std::numeric_limits<std::uint32_t>::max());
+  WriteU32(static_cast<std::uint32_t>(value.size()));
+  bytes_.append(value);
+}
+
+void CheckpointWriter::WriteDoubles(std::span<const double> values) {
+  WriteU64(values.size());
+  for (const double value : values) WriteDouble(value);
+}
+
+void CheckpointWriter::WriteSizes(std::span<const std::size_t> values) {
+  WriteU64(values.size());
+  for (const std::size_t value : values) WriteU64(value);
+}
+
+void CheckpointWriter::WriteU32s(std::span<const std::uint32_t> values) {
+  WriteU64(values.size());
+  for (const std::uint32_t value : values) WriteU32(value);
+}
+
+void CheckpointWriter::WriteBools(const std::vector<bool>& values) {
+  WriteU64(values.size());
+  for (const bool value : values) WriteU8(value ? 1 : 0);
+}
+
+void CheckpointWriter::WriteMatrix(const Matrix& matrix) {
+  WriteU64(matrix.rows());
+  WriteU64(matrix.cols());
+  for (const double value : matrix.Data()) WriteDouble(value);
+}
+
+void CheckpointWriter::WriteLabelSet(const LabelSet& labels) {
+  CPA_CHECK_LE(labels.size(), std::numeric_limits<std::uint32_t>::max());
+  WriteU32(static_cast<std::uint32_t>(labels.size()));
+  for (const LabelId label : labels) WriteU32(label);
+}
+
+template <typename T>
+Result<T> CheckpointReader::ReadScalar() {
+  if (remaining() < sizeof(T)) return Truncated("scalar");
+  const T value = ReadLittleEndian<T>(bytes_, pos_);
+  pos_ += sizeof(T);
+  return value;
+}
+
+Result<std::uint8_t> CheckpointReader::ReadU8() {
+  return ReadScalar<std::uint8_t>();
+}
+
+Result<std::uint16_t> CheckpointReader::ReadU16() {
+  return ReadScalar<std::uint16_t>();
+}
+
+Result<std::uint32_t> CheckpointReader::ReadU32() {
+  return ReadScalar<std::uint32_t>();
+}
+
+Result<std::uint64_t> CheckpointReader::ReadU64() {
+  return ReadScalar<std::uint64_t>();
+}
+
+Result<bool> CheckpointReader::ReadBool() {
+  CPA_ASSIGN_OR_RETURN(const std::uint8_t raw, ReadU8());
+  if (raw > 1) {
+    return Status::InvalidArgument("checkpoint bool is not 0/1");
+  }
+  return raw == 1;
+}
+
+Result<double> CheckpointReader::ReadDouble() {
+  if (remaining() < sizeof(double)) return Truncated("double");
+  const double value = ReadLittleEndianDouble(bytes_, pos_);
+  pos_ += sizeof(double);
+  return value;
+}
+
+Result<std::size_t> CheckpointReader::ReadSize() {
+  CPA_ASSIGN_OR_RETURN(const std::uint64_t raw, ReadU64());
+  if (raw > std::numeric_limits<std::size_t>::max()) {
+    return Status::InvalidArgument("checkpoint size_t overflows host");
+  }
+  return static_cast<std::size_t>(raw);
+}
+
+Result<std::string> CheckpointReader::ReadString() {
+  CPA_ASSIGN_OR_RETURN(const std::uint32_t length, ReadU32());
+  if (length > remaining()) return Truncated("string bytes");
+  std::string value(bytes_.substr(pos_, length));
+  pos_ += length;
+  return value;
+}
+
+Result<std::vector<double>> CheckpointReader::ReadDoubles() {
+  CPA_ASSIGN_OR_RETURN(const std::uint64_t count, ReadU64());
+  if (count > remaining() / sizeof(double)) {
+    return Status::InvalidArgument("checkpoint double count exceeds payload");
+  }
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CPA_ASSIGN_OR_RETURN(const double value, ReadDouble());
+    values.push_back(value);
+  }
+  return values;
+}
+
+Result<std::vector<std::size_t>> CheckpointReader::ReadSizes() {
+  CPA_ASSIGN_OR_RETURN(const std::uint64_t count, ReadU64());
+  if (count > remaining() / sizeof(std::uint64_t)) {
+    return Status::InvalidArgument("checkpoint size count exceeds payload");
+  }
+  std::vector<std::size_t> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CPA_ASSIGN_OR_RETURN(const std::size_t value, ReadSize());
+    values.push_back(value);
+  }
+  return values;
+}
+
+Result<std::vector<std::uint32_t>> CheckpointReader::ReadU32s() {
+  CPA_ASSIGN_OR_RETURN(const std::uint64_t count, ReadU64());
+  if (count > remaining() / sizeof(std::uint32_t)) {
+    return Status::InvalidArgument("checkpoint u32 count exceeds payload");
+  }
+  std::vector<std::uint32_t> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CPA_ASSIGN_OR_RETURN(const std::uint32_t value, ReadU32());
+    values.push_back(value);
+  }
+  return values;
+}
+
+Result<std::vector<bool>> CheckpointReader::ReadBools() {
+  CPA_ASSIGN_OR_RETURN(const std::uint64_t count, ReadU64());
+  if (count > remaining()) {
+    return Status::InvalidArgument("checkpoint bool count exceeds payload");
+  }
+  std::vector<bool> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CPA_ASSIGN_OR_RETURN(const bool value, ReadBool());
+    values.push_back(value);
+  }
+  return values;
+}
+
+Result<Matrix> CheckpointReader::ReadMatrix() {
+  CPA_ASSIGN_OR_RETURN(const std::uint64_t rows, ReadU64());
+  CPA_ASSIGN_OR_RETURN(const std::uint64_t cols, ReadU64());
+  // Overflow-safe bound: rows and cols are each checked against the bytes
+  // that could back a single row/column before the product is formed.
+  if (rows > remaining() / sizeof(double)) {
+    return Status::InvalidArgument("checkpoint matrix rows exceed payload");
+  }
+  if (cols > 0 && rows > 0 &&
+      cols > remaining() / sizeof(double) / static_cast<std::size_t>(rows)) {
+    return Status::InvalidArgument("checkpoint matrix size exceeds payload");
+  }
+  Matrix matrix(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  for (double& value : matrix.Data()) {
+    CPA_ASSIGN_OR_RETURN(value, ReadDouble());
+  }
+  return matrix;
+}
+
+Result<LabelSet> CheckpointReader::ReadLabelSet() {
+  CPA_ASSIGN_OR_RETURN(const std::uint32_t count, ReadU32());
+  if (count > remaining() / sizeof(std::uint32_t)) {
+    return Status::InvalidArgument("checkpoint label count exceeds payload");
+  }
+  std::vector<LabelId> labels;
+  labels.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CPA_ASSIGN_OR_RETURN(const std::uint32_t label, ReadU32());
+    labels.push_back(label);
+  }
+  return LabelSet::FromUnsorted(std::move(labels));
+}
+
+Status CheckpointReader::ExpectEnd() const {
+  if (remaining() != 0) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(remaining()) + " trailing bytes");
+  }
+  return Status::OK();
+}
+
+void WriteConsensusSnapshot(CheckpointWriter& writer,
+                            const ConsensusSnapshot& snapshot) {
+  writer.WriteString(snapshot.method);
+  writer.WriteU64(snapshot.predictions.size());
+  for (const LabelSet& labels : snapshot.predictions) {
+    writer.WriteLabelSet(labels);
+  }
+  writer.WriteMatrix(snapshot.label_scores);
+  writer.WriteU64(snapshot.fit_stats.iterations);
+  writer.WriteDouble(snapshot.fit_stats.final_change);
+  writer.WriteBool(snapshot.fit_stats.converged);
+  writer.WriteDouble(snapshot.fit_stats.prediction_seconds);
+  writer.WriteDoubles(snapshot.fit_stats.elbo_trace);
+  writer.WriteU64(snapshot.batches_seen);
+  writer.WriteU64(snapshot.answers_seen);
+  writer.WriteDouble(snapshot.learning_rate);
+  writer.WriteBool(snapshot.finalized);
+}
+
+Result<ConsensusSnapshot> ReadConsensusSnapshot(CheckpointReader& reader) {
+  ConsensusSnapshot snapshot;
+  CPA_ASSIGN_OR_RETURN(snapshot.method, reader.ReadString());
+  CPA_ASSIGN_OR_RETURN(const std::uint64_t predictions, reader.ReadU64());
+  // Each label set is at least a 4-byte count on the wire.
+  if (predictions > reader.remaining() / sizeof(std::uint32_t)) {
+    return Status::InvalidArgument(
+        "checkpoint prediction count exceeds payload");
+  }
+  snapshot.predictions.reserve(static_cast<std::size_t>(predictions));
+  for (std::uint64_t i = 0; i < predictions; ++i) {
+    CPA_ASSIGN_OR_RETURN(LabelSet labels, reader.ReadLabelSet());
+    snapshot.predictions.push_back(std::move(labels));
+  }
+  CPA_ASSIGN_OR_RETURN(snapshot.label_scores, reader.ReadMatrix());
+  CPA_ASSIGN_OR_RETURN(snapshot.fit_stats.iterations, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(snapshot.fit_stats.final_change, reader.ReadDouble());
+  CPA_ASSIGN_OR_RETURN(snapshot.fit_stats.converged, reader.ReadBool());
+  CPA_ASSIGN_OR_RETURN(snapshot.fit_stats.prediction_seconds,
+                       reader.ReadDouble());
+  CPA_ASSIGN_OR_RETURN(snapshot.fit_stats.elbo_trace, reader.ReadDoubles());
+  CPA_ASSIGN_OR_RETURN(snapshot.batches_seen, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(snapshot.answers_seen, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(snapshot.learning_rate, reader.ReadDouble());
+  CPA_ASSIGN_OR_RETURN(snapshot.finalized, reader.ReadBool());
+  return snapshot;
+}
+
+}  // namespace cpa

@@ -1,0 +1,146 @@
+#ifndef CPA_ENGINE_CHECKPOINT_H_
+#define CPA_ENGINE_CHECKPOINT_H_
+
+/// \file checkpoint.h
+/// \brief Versioned binary serialization of engine state.
+///
+/// The scale-out plane (docs/ARCHITECTURE.md) moves whole sessions between
+/// worker processes: a session is checkpointed on worker A, shipped over the
+/// wire as an opaque blob, and restored on worker B, after which the
+/// continued run must be bit-identical to an uninterrupted one. This file
+/// provides the primitives those blobs are built from:
+///
+///  - `CheckpointWriter`: append-only little-endian encoder (the
+///    `util/endian.h` idiom the frame codec already uses) with composite
+///    helpers for the shapes engine state is made of — doubles banks,
+///    matrices, label sets, strings.
+///  - `CheckpointReader`: the strict mirror. Every read is bounds-checked,
+///    every count is validated against the bytes that could possibly back
+///    it before any allocation (the `binary_codec` lying-count discipline),
+///    and `ExpectEnd` rejects trailing garbage. A truncated or corrupted
+///    blob yields a `Status`, never UB and never an over-allocation.
+///
+/// Blob layout is owned by the writers: `ConsensusEngine::SaveState`
+/// (engine framing + per-engine sections, see consensus_engine.h) and
+/// `SessionManager::Checkpoint` (session framing, see
+/// server/session_manager.h). Both start with a magic + version so foreign
+/// or future blobs fail fast with a clear error.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/label_set.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace cpa {
+
+// From engine/consensus_engine.h; only the snapshot helpers below need it,
+// and keeping this header dependency-light lets core/ (cpa_model, svi)
+// implement their checkpoint sections without pulling in the engine layer.
+struct ConsensusSnapshot;
+
+/// \brief Append-only little-endian encoder for checkpoint blobs.
+class CheckpointWriter {
+ public:
+  void WriteU8(std::uint8_t value);
+  void WriteU16(std::uint16_t value);
+  void WriteU32(std::uint32_t value);
+  void WriteU64(std::uint64_t value);
+  void WriteBool(bool value);
+  void WriteDouble(double value);
+
+  /// u64 count followed by the raw size_t values as u64.
+  void WriteSize(std::size_t value) { WriteU64(value); }
+
+  /// u32 byte length + bytes.
+  void WriteString(std::string_view value);
+
+  /// u64 count + IEEE-754 doubles.
+  void WriteDoubles(std::span<const double> values);
+
+  /// u64 count + u64 values.
+  void WriteSizes(std::span<const std::size_t> values);
+
+  /// u64 count + u32 values.
+  void WriteU32s(std::span<const std::uint32_t> values);
+
+  /// u64 count + one u8 (0/1) per flag.
+  void WriteBools(const std::vector<bool>& values);
+
+  /// u64 rows + u64 cols + row-major doubles.
+  void WriteMatrix(const Matrix& matrix);
+
+  /// u32 count + u32 label ids (sorted, as stored).
+  void WriteLabelSet(const LabelSet& labels);
+
+  /// The encoded bytes so far.
+  const std::string& bytes() const { return bytes_; }
+
+  /// Moves the encoded bytes out.
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// \brief Strict bounds-checked decoder over a checkpoint blob.
+///
+/// Reads return `Result`; the first failure poisons nothing (the reader
+/// simply refuses to advance past the end), but callers are expected to
+/// propagate the error immediately. Counts are validated against
+/// `remaining()` before any container is sized, so a lying count cannot
+/// trigger a huge allocation.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<std::uint8_t> ReadU8();
+  Result<std::uint16_t> ReadU16();
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<bool> ReadBool();
+  Result<double> ReadDouble();
+  Result<std::size_t> ReadSize();
+  Result<std::string> ReadString();
+  Result<std::vector<double>> ReadDoubles();
+  Result<std::vector<std::size_t>> ReadSizes();
+  Result<std::vector<std::uint32_t>> ReadU32s();
+  Result<std::vector<bool>> ReadBools();
+  Result<Matrix> ReadMatrix();
+  Result<LabelSet> ReadLabelSet();
+
+  /// OK iff every byte has been consumed.
+  Status ExpectEnd() const;
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  template <typename T>
+  Result<T> ReadScalar();
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// \name Snapshot (de)serialization
+///
+/// A published `ConsensusSnapshot` is part of both the engine blob (the
+/// base-level cache and final snapshot) and the session blob (the published
+/// snapshot pollers see). Serializing it — rather than recomputing on
+/// restore — is what keeps restore bit-identical: recomputing would run
+/// `Predict`, which for CPA-SVI mutates the model (GlobalRefresh).
+/// @{
+void WriteConsensusSnapshot(CheckpointWriter& writer,
+                            const ConsensusSnapshot& snapshot);
+Result<ConsensusSnapshot> ReadConsensusSnapshot(CheckpointReader& reader);
+/// @}
+
+}  // namespace cpa
+
+#endif  // CPA_ENGINE_CHECKPOINT_H_

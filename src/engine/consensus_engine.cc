@@ -1,11 +1,21 @@
 #include "engine/consensus_engine.h"
 
 #include <numeric>
+#include <utility>
 #include <vector>
 
+#include "engine/checkpoint.h"
 #include "util/string_utils.h"
 
 namespace cpa {
+
+namespace {
+
+/// "CPAK" little-endian: engine checkpoint blobs start with this magic.
+constexpr std::uint32_t kEngineCheckpointMagic = 0x4B415043u;
+constexpr std::uint16_t kEngineCheckpointVersion = 1;
+
+}  // namespace
 
 Status ConsensusEngine::Observe(const AnswerBatch& batch) {
   if (finalized_) {
@@ -79,6 +89,105 @@ Result<SharedSnapshot> ConsensusEngine::Finalize() {
   final_snapshot_ = std::move(final_snapshot);
   cached_ = nullptr;
   return final_snapshot_;
+}
+
+Status ConsensusEngine::OnSaveState(CheckpointWriter& writer) const {
+  (void)writer;
+  return Status::Unimplemented(
+      StrFormat("%s does not support checkpointing", name_.c_str()));
+}
+
+Status ConsensusEngine::OnRestoreState(CheckpointReader& reader) {
+  (void)reader;
+  return Status::Unimplemented(
+      StrFormat("%s does not support checkpointing", name_.c_str()));
+}
+
+Result<std::string> ConsensusEngine::SaveState() const {
+  CheckpointWriter writer;
+  writer.WriteU32(kEngineCheckpointMagic);
+  writer.WriteU16(kEngineCheckpointVersion);
+  writer.WriteString(name_);
+  writer.WriteBool(stream_ != nullptr);
+  writer.WriteU64(batches_seen_);
+  writer.WriteU64(answers_seen_);
+  writer.WriteBool(finalized_);
+  // Only a currently-valid base cache is worth carrying: a stale one would
+  // be discarded on the next Snapshot anyway.
+  const bool cache_valid = cached_ != nullptr &&
+                           cached_batches_ == batches_seen_ &&
+                           cached_answers_ == answers_seen_ &&
+                           cached_stream_ == stream_;
+  writer.WriteBool(cache_valid);
+  if (cache_valid) WriteConsensusSnapshot(writer, *cached_);
+  writer.WriteBool(final_snapshot_ != nullptr);
+  if (final_snapshot_ != nullptr) {
+    WriteConsensusSnapshot(writer, *final_snapshot_);
+  }
+  CPA_RETURN_NOT_OK(OnSaveState(writer));
+  return writer.Take();
+}
+
+Status ConsensusEngine::RestoreState(std::string_view state,
+                                     const AnswerMatrix* stream) {
+  if (batches_seen_ != 0 || answers_seen_ != 0 || stream_ != nullptr ||
+      finalized_) {
+    return Status::FailedPrecondition(
+        "RestoreState requires a freshly opened engine");
+  }
+  CheckpointReader reader(state);
+  CPA_ASSIGN_OR_RETURN(const std::uint32_t magic, reader.ReadU32());
+  if (magic != kEngineCheckpointMagic) {
+    return Status::InvalidArgument("not an engine checkpoint (bad magic)");
+  }
+  CPA_ASSIGN_OR_RETURN(const std::uint16_t version, reader.ReadU16());
+  if (version != kEngineCheckpointVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported engine checkpoint version %u",
+                  static_cast<unsigned>(version)));
+  }
+  CPA_ASSIGN_OR_RETURN(const std::string saved_name, reader.ReadString());
+  if (saved_name != name_) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint is for method '%s', this engine is '%s'",
+                  saved_name.c_str(), name_.c_str()));
+  }
+  CPA_ASSIGN_OR_RETURN(const bool bound, reader.ReadBool());
+  if (bound && stream == nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint had a bound stream; RestoreState needs the rebuilt "
+        "stream matrix");
+  }
+  CPA_ASSIGN_OR_RETURN(const std::size_t batches, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(const std::size_t answers, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(const bool was_finalized, reader.ReadBool());
+  CPA_ASSIGN_OR_RETURN(const bool has_cached, reader.ReadBool());
+  SharedSnapshot cached;
+  if (has_cached) {
+    CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot,
+                         ReadConsensusSnapshot(reader));
+    cached = std::make_shared<const ConsensusSnapshot>(std::move(snapshot));
+  }
+  CPA_ASSIGN_OR_RETURN(const bool has_final, reader.ReadBool());
+  SharedSnapshot final_snapshot;
+  if (has_final) {
+    CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot,
+                         ReadConsensusSnapshot(reader));
+    final_snapshot =
+        std::make_shared<const ConsensusSnapshot>(std::move(snapshot));
+  }
+  CPA_RETURN_NOT_OK(OnRestoreState(reader));
+  CPA_RETURN_NOT_OK(reader.ExpectEnd());
+  stream_ = bound ? stream : nullptr;
+  batches_seen_ = batches;
+  answers_seen_ = answers;
+  finalized_ = was_finalized;
+  cached_ = std::move(cached);
+  cached_batches_ = batches;
+  cached_answers_ = answers;
+  cached_stream_ = stream_;
+  final_snapshot_ = std::move(final_snapshot);
+  return Status::OK();
 }
 
 Status ObserveAll(ConsensusEngine& engine, const AnswerMatrix& answers) {

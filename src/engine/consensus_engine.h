@@ -36,6 +36,9 @@
 
 namespace cpa {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /// \brief One batch of stream answers: flat indices into
 /// `answers->answers()`. The matrix is the *stream*: it may hold answers
 /// that have not arrived yet — engines only ever read the indices they have
@@ -122,6 +125,21 @@ class ConsensusEngine {
   std::size_t batches_seen() const { return batches_seen_; }
   std::size_t answers_seen() const { return answers_seen_; }
 
+  /// Serializes the full engine state into an opaque versioned blob
+  /// (engine/checkpoint.h). Restoring the blob into a freshly opened engine
+  /// of the same method and continuing the stream is bit-identical to never
+  /// having stopped. Engines that don't implement the hooks return
+  /// `kUnimplemented`.
+  Result<std::string> SaveState() const;
+
+  /// Restores a `SaveState` blob into this engine. The engine must be
+  /// freshly opened (nothing observed, not finalized); `stream` is the
+  /// session's rebuilt answer stream and must be non-null iff the saved
+  /// engine had bound one. The engine does not replay `Observe` — sufficient
+  /// statistics come from the blob — so `stream` must already hold the
+  /// answers the saved engine had seen, at the same indices.
+  Status RestoreState(std::string_view state, const AnswerMatrix* stream);
+
  protected:
   explicit ConsensusEngine(std::string name) : name_(std::move(name)) {}
 
@@ -139,6 +157,17 @@ class ConsensusEngine {
 
   /// The stream matrix bound by the first batch (nullptr before).
   const AnswerMatrix* stream() const { return stream_; }
+
+  /// \name Checkpoint hooks
+  ///
+  /// `SaveState`/`RestoreState` frame the blob (magic, version, method
+  /// name, base counters, cached/final snapshots) and delegate the
+  /// method-specific sufficient statistics to these hooks. The default
+  /// implementations refuse, so methods opt in explicitly.
+  /// @{
+  virtual Status OnSaveState(CheckpointWriter& writer) const;
+  virtual Status OnRestoreState(CheckpointReader& reader);
+  /// @}
 
  private:
   std::string name_;

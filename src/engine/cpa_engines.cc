@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "engine/checkpoint.h"
 #include "engine/engine_registry.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -74,6 +75,15 @@ Result<ConsensusSnapshot> CpaSviEngine::OnSnapshot(const AnswerMatrix& stream) {
   snapshot.fit_stats.iterations = online_.batches_seen();
   snapshot.learning_rate = online_.last_learning_rate();
   return snapshot;
+}
+
+Status CpaSviEngine::OnSaveState(CheckpointWriter& writer) const {
+  online_.SaveState(writer);
+  return Status::OK();
+}
+
+Status CpaSviEngine::OnRestoreState(CheckpointReader& reader) {
+  return online_.RestoreState(reader);
 }
 
 // ---------------------------------------------------------------------------

@@ -72,6 +72,10 @@ class CpaSviEngine : public ConsensusEngine {
                    std::span<const std::size_t> indices) override;
   Result<ConsensusSnapshot> OnSnapshot(const AnswerMatrix& stream) override;
 
+  /// Checkpointing: delegates to `CpaOnline::SaveState`/`RestoreState`.
+  Status OnSaveState(CheckpointWriter& writer) const override;
+  Status OnRestoreState(CheckpointReader& reader) override;
+
  private:
   CpaSviEngine(CpaOnline online, std::unique_ptr<ThreadPool> owned_pool);
 

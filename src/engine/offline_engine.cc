@@ -1,6 +1,9 @@
 #include "engine/offline_engine.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "engine/checkpoint.h"
 
 namespace cpa {
 
@@ -38,6 +41,33 @@ Result<ConsensusSnapshot> AccumulatingEngine::OnSnapshot(const AnswerMatrix& str
     dirty_ = false;
   }
   return cached_;
+}
+
+Status AccumulatingEngine::OnSaveState(CheckpointWriter& writer) const {
+  writer.WriteU64(num_labels_);
+  writer.WriteSizes(seen_);
+  writer.WriteBool(fitted_);
+  writer.WriteBool(dirty_);
+  // The refit cache only has meaning once a fit ran.
+  if (fitted_) WriteConsensusSnapshot(writer, cached_);
+  return Status::OK();
+}
+
+Status AccumulatingEngine::OnRestoreState(CheckpointReader& reader) {
+  CPA_ASSIGN_OR_RETURN(const std::size_t labels, reader.ReadSize());
+  if (labels != num_labels_) {
+    return Status::InvalidArgument(
+        "checkpoint num_labels does not match this engine");
+  }
+  CPA_ASSIGN_OR_RETURN(seen_, reader.ReadSizes());
+  CPA_ASSIGN_OR_RETURN(fitted_, reader.ReadBool());
+  CPA_ASSIGN_OR_RETURN(dirty_, reader.ReadBool());
+  if (fitted_) {
+    CPA_ASSIGN_OR_RETURN(cached_, ReadConsensusSnapshot(reader));
+  } else {
+    cached_ = ConsensusSnapshot();
+  }
+  return Status::OK();
 }
 
 OfflineEngine::OfflineEngine(std::string name, std::unique_ptr<Aggregator> aggregator,

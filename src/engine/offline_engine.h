@@ -37,6 +37,12 @@ class AccumulatingEngine : public ConsensusEngine {
   /// stream's answer order and dimensions.
   virtual Result<ConsensusSnapshot> Refit(const AnswerMatrix& accumulated) = 0;
 
+  /// Checkpointing: the accumulated index set plus the refit cache. Any
+  /// method-specific solver state is deliberately not serialized — refits
+  /// are deterministic, so the next dirty snapshot rebuilds it exactly.
+  Status OnSaveState(CheckpointWriter& writer) const override;
+  Status OnRestoreState(CheckpointReader& reader) override;
+
   std::size_t num_labels() const { return num_labels_; }
 
  private:

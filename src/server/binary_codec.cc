@@ -11,11 +11,15 @@ namespace {
 
 /// Wire message types (first body byte).
 enum : std::uint8_t {
-  kMsgObserveRequest = 0x01,
-  kMsgSnapshotRequest = 0x02,
-  kMsgFinalizeRequest = 0x03,
+  kMsgObserveRequest = kBinaryMsgObserveRequest,
+  kMsgSnapshotRequest = kBinaryMsgSnapshotRequest,
+  kMsgFinalizeRequest = kBinaryMsgFinalizeRequest,
+  kMsgCheckpointRequest = kBinaryMsgCheckpointRequest,
+  kMsgRestoreRequest = kBinaryMsgRestoreRequest,
   kMsgObserveAck = 0x81,
   kMsgSnapshotResponse = 0x82,
+  kMsgCheckpointResponse = 0x84,
+  kMsgRestoreAck = 0x85,
   kMsgError = 0x7F,
 };
 
@@ -159,6 +163,24 @@ std::string EncodeFinalizeRequest(std::string_view session,
   return EncodeSnapshotLikeRequest(kMsgFinalizeRequest, session, flags);
 }
 
+std::string EncodeCheckpointRequest(std::string_view session) {
+  std::string out;
+  out.push_back(static_cast<char>(kMsgCheckpointRequest));
+  AppendString16(out, session);
+  return out;
+}
+
+std::string EncodeRestoreRequest(std::string_view session,
+                                 std::string_view state) {
+  std::string out;
+  out.push_back(static_cast<char>(kMsgRestoreRequest));
+  AppendString16(out, session);
+  AppendLittleEndian<std::uint32_t>(out,
+                                    static_cast<std::uint32_t>(state.size()));
+  out.append(state);
+  return out;
+}
+
 Result<Request> DecodeBinaryRequest(std::string_view body) {
   Reader reader(body);
   CPA_ASSIGN_OR_RETURN(std::uint8_t type, reader.Read<std::uint8_t>());
@@ -195,13 +217,27 @@ Result<Request> DecodeBinaryRequest(std::string_view body) {
       request.include_predictions = (flags & kFlagIncludePredictions) != 0;
       break;
     }
+    case kMsgCheckpointRequest: {
+      request.op = Request::Op::kCheckpoint;
+      CPA_ASSIGN_OR_RETURN(request.session, reader.ReadString16());
+      break;
+    }
+    case kMsgRestoreRequest: {
+      request.op = Request::Op::kRestore;
+      CPA_ASSIGN_OR_RETURN(request.session, reader.ReadString16());
+      CPA_ASSIGN_OR_RETURN(request.state, reader.ReadString32());
+      break;
+    }
     default:
       return Status::InvalidArgument(StrFormat(
           "unknown binary request type 0x%02x (binary carries observe/"
-          "snapshot/finalize; use JSON frames for control ops)",
+          "snapshot/finalize/checkpoint/restore; use JSON frames for "
+          "control ops)",
           static_cast<unsigned>(type)));
   }
-  if (request.session.empty()) {
+  // Restore may omit the session (the id saved in the blob wins); every
+  // other binary op addresses an existing session and must name it.
+  if (request.session.empty() && request.op != Request::Op::kRestore) {
     return Status::InvalidArgument(
         StrFormat("op '%s' requires a non-empty session",
                   std::string(OpName(request.op)).c_str()));
@@ -237,6 +273,21 @@ std::string EncodeBinaryResponse(const Response& response) {
     AppendLittleEndian<std::uint64_t>(out, response.ack.delta.changed_items);
     AppendLittleEndian<std::uint64_t>(out, response.ack.delta.snapshot_batches_seen);
     AppendLittleEndian<std::uint64_t>(out, response.ack.delta.snapshot_answers_seen);
+    return out;
+  }
+  if (response.op == Request::Op::kCheckpoint) {
+    out.push_back(static_cast<char>(kMsgCheckpointResponse));
+    AppendString16(out, response.session);
+    AppendLittleEndian<std::uint32_t>(
+        out, static_cast<std::uint32_t>(response.state.size()));
+    out.append(response.state);
+    return out;
+  }
+  if (response.op == Request::Op::kRestore) {
+    out.push_back(static_cast<char>(kMsgRestoreAck));
+    AppendString16(out, response.session);
+    AppendLittleEndian<std::uint64_t>(out, response.ack.batches_seen);
+    AppendLittleEndian<std::uint64_t>(out, response.ack.answers_seen);
     return out;
   }
   // snapshot / finalize — the only other ops a binary request can reach.
@@ -321,6 +372,19 @@ Result<BinaryResponse> DecodeBinaryResponse(std::string_view body) {
           response.predictions.push_back(std::move(labels));
         }
       }
+      break;
+    }
+    case kMsgCheckpointResponse: {
+      response.op = Request::Op::kCheckpoint;
+      CPA_ASSIGN_OR_RETURN(response.session, reader.ReadString16());
+      CPA_ASSIGN_OR_RETURN(response.state, reader.ReadString32());
+      break;
+    }
+    case kMsgRestoreAck: {
+      response.op = Request::Op::kRestore;
+      CPA_ASSIGN_OR_RETURN(response.session, reader.ReadString16());
+      CPA_ASSIGN_OR_RETURN(response.ack.batches_seen, reader.Read<std::uint64_t>());
+      CPA_ASSIGN_OR_RETURN(response.ack.answers_seen, reader.Read<std::uint64_t>());
       break;
     }
     default:

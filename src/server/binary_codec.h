@@ -21,6 +21,9 @@
 ///   0x02 snapshot request   session, u8 flags (bit0 refresh,
 ///                           bit1 include predictions)
 ///   0x03 finalize request   session, u8 flags (bit1 include predictions)
+///   0x04 checkpoint request session
+///   0x05 restore request    session (may be empty: restore under the id
+///                           saved in the blob), u32-len state blob
 ///   0x81 observe ack        session, u64 batches_seen, u64 answers_seen,
 ///                           u64 changed_items, u64 snapshot_batches_seen,
 ///                           u64 snapshot_answers_seen
@@ -29,6 +32,8 @@
 ///                           u64 iterations, f64 learning_rate,
 ///                           u8 finalized, u8 has_predictions,
 ///                           [u32 items, {u16 n, u32 label×n}×items]
+///   0x84 checkpoint resp    session, u32-len state blob
+///   0x85 restore ack        session, u64 batches_seen, u64 answers_seen
 ///   0x7F error response     u8 status code, op, session, u32-len message
 ///
 /// Every decoder is bounds-checked and returns InvalidArgument on
@@ -37,6 +42,7 @@
 /// encodings of the same `Request`/`Response` are asserted equivalent in
 /// the same suite; docs/API.md carries the normative spec.
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
@@ -46,6 +52,15 @@
 #include "util/status.h"
 
 namespace cpa::server {
+
+/// Binary request layout shared with the router (router.cc peeks the type
+/// byte and the session that follows it without a full decode): every
+/// request body starts `u8 type, u16 session length, session bytes`.
+inline constexpr std::uint8_t kBinaryMsgObserveRequest = 0x01;
+inline constexpr std::uint8_t kBinaryMsgSnapshotRequest = 0x02;
+inline constexpr std::uint8_t kBinaryMsgFinalizeRequest = 0x03;
+inline constexpr std::uint8_t kBinaryMsgCheckpointRequest = 0x04;
+inline constexpr std::uint8_t kBinaryMsgRestoreRequest = 0x05;
 
 /// \name Request encoding (client side).
 /// @{
@@ -61,6 +76,14 @@ std::string EncodeSnapshotRequest(std::string_view session, bool refresh,
 /// Encodes a `finalize` request body.
 std::string EncodeFinalizeRequest(std::string_view session,
                                   bool include_predictions);
+
+/// Encodes a `checkpoint` request body.
+std::string EncodeCheckpointRequest(std::string_view session);
+
+/// Encodes a `restore` request body. `session` may be empty (restore under
+/// the id recorded in the blob); `state` is the raw checkpoint blob.
+std::string EncodeRestoreRequest(std::string_view session,
+                                 std::string_view state);
 
 /// @}
 
@@ -102,6 +125,10 @@ struct BinaryResponse {
   bool finalized = false;
   bool has_predictions = false;
   std::vector<LabelSet> predictions;
+
+  /// Checkpoint responses: the raw state blob. Restore acks reuse `ack`
+  /// (batches/answers of the restored session).
+  std::string state;
 };
 
 /// Decodes a binary response body.

@@ -70,6 +70,27 @@ Response ConsensusServer::Handle(const Request& request) {
       response.methods = EngineRegistry::Global().MethodNames();
       return response;
     }
+    case Request::Op::kCheckpoint: {
+      Result<std::string> state = sessions_.Checkpoint(request.session);
+      if (!state.ok()) {
+        response.status = state.status();
+        return response;
+      }
+      response.state = std::move(state).value();
+      return response;
+    }
+    case Request::Op::kRestore: {
+      Result<RestoreAck> ack =
+          sessions_.Restore(request.state, request.session);
+      if (!ack.ok()) {
+        response.status = ack.status();
+        return response;
+      }
+      response.session = ack.value().session_id;
+      response.ack.batches_seen = ack.value().batches_seen;
+      response.ack.answers_seen = ack.value().answers_seen;
+      return response;
+    }
   }
   response.status = Status::Internal("unhandled op");
   return response;

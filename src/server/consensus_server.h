@@ -32,6 +32,7 @@
 #include <string>
 #include <string_view>
 
+#include "server/frame_handler.h"
 #include "server/framing.h"
 #include "server/protocol.h"
 #include "server/session_manager.h"
@@ -54,7 +55,7 @@ struct ConsensusServerOptions {
 };
 
 /// \brief Serves many concurrent consensus sessions over the wire protocol.
-class ConsensusServer {
+class ConsensusServer : public FrameHandler {
  public:
   explicit ConsensusServer(const ConsensusServerOptions& options = {});
 
@@ -74,7 +75,7 @@ class ConsensusServer {
   /// Handles one framed request and returns the framed response payload
   /// (the caller owns frame I/O). The reply's kind always equals the
   /// request's kind. Thread-safe.
-  server::Frame HandleFrame(const server::Frame& frame);
+  server::Frame HandleFrame(const server::Frame& frame) override;
 
   /// Reads request lines from `in` until EOF, writing one response line
   /// each to `out` (flushed per line — clients may pipeline). Blank lines

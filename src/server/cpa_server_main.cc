@@ -2,10 +2,12 @@
 /// \brief The `cpa_server` binary: the multi-session consensus server.
 ///
 ///   $ cpa_server [--num-threads N] [--max-sessions S] [--idle-timeout SEC]
-///                [--tcp] [--port N] [--bind ADDR] [--transport json|binary]
+///                [--tcp] [--port N] [--bind ADDR] [--unix PATH]
+///                [--transport json|binary]
 ///                [--max-connections C] [--max-frame-bytes B]
+///                [--router --workers ADDR,ADDR,...]
 ///
-/// Without `--tcp` the server speaks line-delimited JSON over
+/// Without `--tcp`/`--unix` the server speaks line-delimited JSON over
 /// stdin/stdout — one JSON request per input line, one JSON response per
 /// output line (src/server/protocol.h; full format with transcripts in
 /// docs/API.md). Example exchange:
@@ -20,22 +22,38 @@
 /// With `--tcp` it binds `--bind`:`--port` (default 127.0.0.1, ephemeral)
 /// and serves the same protocol in length-prefixed frames
 /// (src/server/framing.h): JSON frames for everything, binary frames
-/// (src/server/binary_codec.h) for the hot observe/snapshot/finalize path
-/// unless `--transport json` disables them. The bound port is announced
-/// on stderr as `cpa_server: listening on <addr>:<port>`; the process
-/// serves until SIGINT/SIGTERM, then drains connections and exits 0.
+/// (src/server/binary_codec.h) for the hot observe/snapshot/finalize/
+/// checkpoint/restore path unless `--transport json` disables them. With
+/// `--unix PATH` it listens on a UNIX-domain socket instead (same framed
+/// protocol, no TCP stack). The bound endpoint is announced on stderr as
+/// `cpa_server: listening on <addr>`; the process serves until
+/// SIGINT/SIGTERM, then drains connections and exits 0. When
+/// `--idle-timeout` is set in socket mode, a background sweeper thread
+/// expires idle sessions on a timer — abandoned sessions are reaped even
+/// when no requests arrive (src/server/idle_sweeper.h).
+///
+/// With `--router` the process serves no sessions itself: it
+/// consistent-hashes each session id onto the `--workers` fleet (plain
+/// `cpa_server --tcp` processes, addresses `host:port` or `unix:PATH`)
+/// and forwards frames verbatim (src/server/router.h). Clients speak to
+/// the router exactly as they would to a single worker.
 ///
 /// Diagnostics go to stderr; stdout carries only stdio-mode responses.
 
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "server/consensus_server.h"
+#include "server/idle_sweeper.h"
+#include "server/router.h"
 #include "server/tcp_transport.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/string_utils.h"
 
 namespace {
 
@@ -72,10 +90,13 @@ int main(int argc, char** argv) {
       << "--transport must be 'json' or 'binary', got '" << transport << "'";
   options.accept_binary = transport == "binary";
 
-  const bool tcp = flags.value().GetBool("tcp", false);
-  cpa::ConsensusServer server(options);
+  const bool router_mode = flags.value().GetBool("router", false);
+  const std::string unix_path = flags.value().GetString("unix", "");
+  const bool socket_mode =
+      flags.value().GetBool("tcp", false) || router_mode || !unix_path.empty();
 
-  if (!tcp) {
+  if (!socket_mode) {
+    cpa::ConsensusServer server(options);
     std::fprintf(stderr,
                  "cpa_server: serving on stdin/stdout (num_threads=%zu, "
                  "max_sessions=%zu, idle_timeout=%.1fs)\n",
@@ -89,6 +110,7 @@ int main(int argc, char** argv) {
   tcp_options.bind_address = flags.value().GetString("bind", "127.0.0.1");
   tcp_options.port =
       static_cast<std::uint16_t>(flags.value().GetInt("port", 0));
+  tcp_options.unix_path = unix_path;
   tcp_options.max_connections =
       static_cast<std::size_t>(flags.value().GetInt("max-connections", 1024));
   tcp_options.max_frame_bytes = static_cast<std::size_t>(flags.value().GetInt(
@@ -103,27 +125,90 @@ int main(int argc, char** argv) {
   sigaddset(&signals, SIGTERM);
   CPA_CHECK_EQ(pthread_sigmask(SIG_BLOCK, &signals, nullptr), 0);
 
-  cpa::TcpTransport tcp_transport(server, tcp_options);
+  // The frame handler behind the listener: a session-owning server, or a
+  // router forwarding to the worker fleet.
+  std::unique_ptr<cpa::ConsensusServer> server;
+  std::unique_ptr<cpa::Router> router;
+  std::unique_ptr<cpa::IdleSweeper> sweeper;
+  cpa::FrameHandler* handler = nullptr;
+  if (router_mode) {
+    cpa::RouterOptions router_options;
+    const std::string workers = flags.value().GetString("workers", "");
+    for (const std::string& address : cpa::Split(workers, ',')) {
+      if (!address.empty()) router_options.workers.push_back(address);
+    }
+    CPA_CHECK(!router_options.workers.empty())
+        << "--router requires --workers host:port[,host:port...]";
+    router_options.max_frame_bytes = tcp_options.max_frame_bytes;
+    router = std::make_unique<cpa::Router>(router_options);
+    const cpa::Status started = router->Start();
+    CPA_CHECK(started.ok()) << started.ToString();
+    handler = router.get();
+  } else {
+    server = std::make_unique<cpa::ConsensusServer>(options);
+    handler = server.get();
+    if (options.idle_timeout_seconds > 0.0) {
+      sweeper = std::make_unique<cpa::IdleSweeper>(
+          server->sessions(), options.idle_timeout_seconds);
+      sweeper->Start();
+    }
+  }
+
+  cpa::TcpTransport tcp_transport(*handler, tcp_options);
   const cpa::Status started = tcp_transport.Start();
   CPA_CHECK(started.ok()) << started.ToString();
-  std::fprintf(stderr,
-               "cpa_server: listening on %s:%u (transport=%s, "
-               "num_threads=%zu, max_sessions=%zu, max_connections=%zu, "
-               "idle_timeout=%.1fs)\n",
-               tcp_options.bind_address.c_str(),
-               static_cast<unsigned>(tcp_transport.port()), transport.c_str(),
-               options.sessions.num_threads, options.sessions.max_sessions,
-               tcp_options.max_connections, options.idle_timeout_seconds);
+  const std::string endpoint =
+      unix_path.empty()
+          ? cpa::StrFormat("%s:%u", tcp_options.bind_address.c_str(),
+                           static_cast<unsigned>(tcp_transport.port()))
+          : unix_path;
+  if (router_mode) {
+    std::fprintf(stderr,
+                 "cpa_server: routing on %s (transport=%s, workers=%zu, "
+                 "max_connections=%zu)\n",
+                 endpoint.c_str(), transport.c_str(), router->num_workers(),
+                 tcp_options.max_connections);
+  } else {
+    std::fprintf(stderr,
+                 "cpa_server: listening on %s (transport=%s, "
+                 "num_threads=%zu, max_sessions=%zu, max_connections=%zu, "
+                 "idle_timeout=%.1fs)\n",
+                 endpoint.c_str(), transport.c_str(),
+                 options.sessions.num_threads, options.sessions.max_sessions,
+                 tcp_options.max_connections, options.idle_timeout_seconds);
+  }
 
   WaitForShutdownSignal();
   tcp_transport.Shutdown();
-  const cpa::TcpTransportStats stats = tcp_transport.stats();
+  if (sweeper != nullptr) sweeper->Stop();
+  cpa::TcpTransportStats stats = tcp_transport.stats();
+  if (router != nullptr) {
+    stats.frames_forwarded = router->frames_forwarded();
+    stats.backend_reconnects = router->backend_reconnects();
+    router->Shutdown();
+  }
   std::fprintf(stderr,
                "cpa_server: served %llu frames in / %llu out over %llu "
-               "connections (%llu framing errors)\n",
+               "connections (%llu framing errors, %llu forwarded, "
+               "%llu backend reconnects, %llu sessions expired)\n",
                static_cast<unsigned long long>(stats.frames_in),
                static_cast<unsigned long long>(stats.frames_out),
                static_cast<unsigned long long>(stats.connections_accepted),
-               static_cast<unsigned long long>(stats.framing_errors));
+               static_cast<unsigned long long>(stats.framing_errors),
+               static_cast<unsigned long long>(stats.frames_forwarded),
+               static_cast<unsigned long long>(stats.backend_reconnects),
+               static_cast<unsigned long long>(
+                   sweeper != nullptr ? sweeper->expired() : 0));
+  if (router != nullptr) {
+    for (const cpa::RouterWorkerStats& row : router->worker_stats()) {
+      std::fprintf(stderr,
+                   "cpa_server: worker %s: %llu forwarded, %llu reconnects, "
+                   "%llu errors\n",
+                   row.address.c_str(),
+                   static_cast<unsigned long long>(row.frames_forwarded),
+                   static_cast<unsigned long long>(row.reconnects),
+                   static_cast<unsigned long long>(row.errors));
+    }
+  }
   return 0;
 }

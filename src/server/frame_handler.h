@@ -1,0 +1,36 @@
+#ifndef CPA_SERVER_FRAME_HANDLER_H_
+#define CPA_SERVER_FRAME_HANDLER_H_
+
+/// \file frame_handler.h
+/// \brief The one-frame-in, one-frame-out dispatch interface.
+///
+/// `TcpTransport` owns sockets and framing; what happens to a decoded
+/// frame is behind this interface. Two implementations exist:
+///
+/// - `ConsensusServer` — dispatches the frame against its own sessions
+///   (a worker process, or the classic single-process server).
+/// - `Router` — forwards the frame to one of N backend workers chosen by
+///   consistent-hashing the session id (router.h).
+///
+/// The contract mirrors `ConsensusServer::HandleFrame`: never throw,
+/// never block forever, always return a reply frame whose kind matches
+/// the request's kind (errors included), and be safe to call from many
+/// connection threads at once.
+
+#include "server/framing.h"
+
+namespace cpa {
+
+/// \brief Anything that can answer one framed request with one framed reply.
+class FrameHandler {
+ public:
+  virtual ~FrameHandler() = default;
+
+  /// Handles one framed request and returns the framed reply. The reply's
+  /// kind must equal the request's kind. Thread-safe.
+  virtual server::Frame HandleFrame(const server::Frame& frame) = 0;
+};
+
+}  // namespace cpa
+
+#endif  // CPA_SERVER_FRAME_HANDLER_H_

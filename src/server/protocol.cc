@@ -83,6 +83,8 @@ std::string_view OpName(Request::Op op) {
     case Request::Op::kClose: return "close";
     case Request::Op::kList: return "list";
     case Request::Op::kMethods: return "methods";
+    case Request::Op::kCheckpoint: return "checkpoint";
+    case Request::Op::kRestore: return "restore";
   }
   return "unknown";
 }
@@ -148,9 +150,31 @@ Result<Request> ParseRequest(std::string_view line) {
     request.op = Request::Op::kMethods;
     return request;
   }
+  if (name == "checkpoint") {
+    request.op = Request::Op::kCheckpoint;
+    CPA_ASSIGN_OR_RETURN(request.session, ReadSession(json, request.op));
+    return request;
+  }
+  if (name == "restore") {
+    request.op = Request::Op::kRestore;
+    const JsonValue* state = json.Find("state");
+    if (state == nullptr || state->kind() != JsonValue::Kind::kString) {
+      return Status::InvalidArgument(
+          "op 'restore' requires a base64 string field 'state'");
+    }
+    CPA_ASSIGN_OR_RETURN(request.state,
+                         Base64Decode(state->string_value()));
+    if (const JsonValue* session = json.Find("session")) {
+      if (session->kind() != JsonValue::Kind::kString) {
+        return Status::InvalidArgument("'session' must be a string");
+      }
+      request.session = session->string_value();
+    }
+    return request;
+  }
   return Status::InvalidArgument(StrFormat(
       "unknown op '%s' (expected open/observe/snapshot/finalize/close/"
-      "list/methods)",
+      "list/methods/checkpoint/restore)",
       name.c_str()));
 }
 
@@ -204,6 +228,15 @@ std::string EncodeJsonResponse(const Response& response) {
       fields["methods"] = JsonValue(std::move(names));
       break;
     }
+    case Request::Op::kCheckpoint:
+      fields["session"] = JsonValue(response.session);
+      fields["state"] = JsonValue(Base64Encode(response.state));
+      break;
+    case Request::Op::kRestore:
+      fields["session"] = JsonValue(response.session);
+      fields["batches_seen"] = Num(response.ack.batches_seen);
+      fields["answers_seen"] = Num(response.ack.answers_seen);
+      break;
   }
   return OkResponse(op, std::move(fields));
 }

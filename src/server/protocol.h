@@ -16,9 +16,14 @@
 /// - `observe`   {"op","session","answers":[{item,worker,labels}...]}
 /// - `snapshot`  {"op","session","refresh"?,"predictions"?}    → consensus
 /// - `finalize`  {"op","session","predictions"?}               → final
-/// - `close`     {"op","session"}
-/// - `list`      {"op"}                                        → sessions
-/// - `methods`   {"op"}                                        → registry
+/// - `close`      {"op","session"}
+/// - `list`       {"op"}                                       → sessions
+/// - `methods`    {"op"}                                       → registry
+/// - `checkpoint` {"op","session"}                             → state blob
+/// - `restore`    {"op","state","session"?}                    → session id
+///
+/// Checkpoint blobs are opaque binary (engine/checkpoint.h); the JSON
+/// encoding carries them base64'd in `"state"`, the binary encoding raw.
 ///
 /// docs/API.md documents the full format with example transcripts.
 
@@ -38,7 +43,17 @@ namespace cpa::server {
 
 /// \brief A parsed request line.
 struct Request {
-  enum class Op { kOpen, kObserve, kSnapshot, kFinalize, kClose, kList, kMethods };
+  enum class Op {
+    kOpen,
+    kObserve,
+    kSnapshot,
+    kFinalize,
+    kClose,
+    kList,
+    kMethods,
+    kCheckpoint,
+    kRestore,
+  };
 
   Op op = Op::kList;
   std::string session;  ///< "" when absent (required by most ops)
@@ -55,6 +70,10 @@ struct Request {
   /// `snapshot` / `finalize`: include the predictions array (default) or
   /// just counters (cheap polls over large item universes).
   bool include_predictions = true;
+
+  /// `restore` only: the opaque checkpoint blob (raw bytes; base64 on the
+  /// JSON wire, raw in binary frames).
+  std::string state;
 };
 
 /// \brief The structured outcome of dispatching one request — the shared
@@ -84,6 +103,10 @@ struct Response {
   /// `list` / `methods`.
   std::vector<SessionInfo> sessions;
   std::vector<std::string> methods;
+
+  /// `checkpoint`: the session's opaque state blob (raw bytes). `restore`
+  /// replies reuse `ack` for the restored counters.
+  std::string state;
 };
 
 /// Stable wire name of an op ("open", "observe", ...).

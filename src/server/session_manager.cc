@@ -5,10 +5,21 @@
 #include <set>
 #include <utility>
 
+#include "engine/checkpoint.h"
 #include "engine/engine_registry.h"
+#include "util/json.h"
 #include "util/string_utils.h"
 
 namespace cpa {
+
+namespace {
+
+/// "CPAS" little-endian: session checkpoint blobs start with this magic
+/// (the engine blob nested inside carries its own "CPAK" magic).
+constexpr std::uint32_t kSessionCheckpointMagic = 0x53415043u;
+constexpr std::uint16_t kSessionCheckpointVersion = 1;
+
+}  // namespace
 
 /// \brief One live session. `mutex` serialises the engine calls (and the
 /// stream-matrix appends feeding them); the poll state is a handful of
@@ -264,6 +275,153 @@ Result<SharedSnapshot> SessionManager::Finalize(std::string_view session_id) {
   session->finalized.store(true, std::memory_order_relaxed);
   session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
   return snapshot;
+}
+
+Result<std::string> SessionManager::Checkpoint(std::string_view session_id) {
+  std::shared_ptr<Session> session = Find(session_id);
+  if (session == nullptr) {
+    return Status::NotFound(
+        StrFormat("unknown session '%s'", std::string(session_id).c_str()));
+  }
+  std::lock_guard<std::mutex> lock(session->mutex);
+  if (session->closed) {
+    return Status::NotFound(
+        StrFormat("unknown session '%s'", std::string(session_id).c_str()));
+  }
+  session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
+  // Serialize the engine first: an engine without state hooks fails here
+  // and the checkpoint reports it before any bytes are produced.
+  CPA_ASSIGN_OR_RETURN(const std::string engine_state,
+                       session->engine->SaveState());
+  CheckpointWriter writer;
+  writer.WriteU32(kSessionCheckpointMagic);
+  writer.WriteU16(kSessionCheckpointVersion);
+  writer.WriteString(session_id);
+  writer.WriteString(session->config.ToJson().DumpCompact());
+  writer.WriteU64(session->stream.num_items());
+  writer.WriteU64(session->stream.num_workers());
+  writer.WriteU64(session->stream.num_answers());
+  for (const Answer& answer : session->stream.answers()) {
+    writer.WriteU32(answer.item);
+    writer.WriteU32(answer.worker);
+    writer.WriteLabelSet(answer.labels);
+  }
+  const SharedSnapshot published =
+      session->published.load(std::memory_order_acquire);
+  writer.WriteBool(published != nullptr);
+  if (published != nullptr) WriteConsensusSnapshot(writer, *published);
+  writer.WriteU64(
+      session->delta_changed_items.load(std::memory_order_relaxed));
+  writer.WriteString(engine_state);
+  return writer.Take();
+}
+
+Result<RestoreAck> SessionManager::Restore(std::string_view state,
+                                           std::string session_id) {
+  CheckpointReader reader(state);
+  CPA_ASSIGN_OR_RETURN(const std::uint32_t magic, reader.ReadU32());
+  if (magic != kSessionCheckpointMagic) {
+    return Status::InvalidArgument("not a session checkpoint (bad magic)");
+  }
+  CPA_ASSIGN_OR_RETURN(const std::uint16_t version, reader.ReadU16());
+  if (version != kSessionCheckpointVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported session checkpoint version %u",
+                  static_cast<unsigned>(version)));
+  }
+  CPA_ASSIGN_OR_RETURN(const std::string saved_id, reader.ReadString());
+  CPA_ASSIGN_OR_RETURN(const std::string config_json, reader.ReadString());
+  CPA_ASSIGN_OR_RETURN(const JsonValue config_value,
+                       JsonValue::Parse(config_json));
+  CPA_ASSIGN_OR_RETURN(const EngineConfig config,
+                       EngineConfig::FromJson(config_value));
+  CPA_ASSIGN_OR_RETURN(const std::size_t num_items, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(const std::size_t num_workers, reader.ReadSize());
+  if (num_items != config.num_items || num_workers != config.num_workers) {
+    return Status::InvalidArgument(
+        "checkpoint stream dims do not match its config");
+  }
+  CPA_ASSIGN_OR_RETURN(const std::size_t num_answers, reader.ReadSize());
+  // Each serialized answer is at least item + worker + label count bytes.
+  if (num_answers > reader.remaining() / 12) {
+    return Status::InvalidArgument("checkpoint answer count exceeds payload");
+  }
+  if (session_id.empty()) session_id = saved_id;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.size() >= options_.max_sessions) {
+      return Status::FailedPrecondition(
+          StrFormat("session limit reached (%zu open, max_sessions=%zu)",
+                    sessions_.size(), options_.max_sessions));
+    }
+    if (!session_id.empty() && sessions_.count(session_id) > 0) {
+      return Status::InvalidArgument(
+          StrFormat("session id '%s' is already open", session_id.c_str()));
+    }
+  }
+
+  auto session = std::make_shared<Session>();
+  session->config = config;
+  session->config.num_threads = 1;
+  session->config.pool = nullptr;
+  if (scheduler_ != nullptr) {
+    session->lane = scheduler_->CreateLane();
+    session->config.pool = session->lane.get();
+  }
+  CPA_ASSIGN_OR_RETURN(session->engine,
+                       EngineRegistry::Global().Open(session->config));
+  session->stream = AnswerMatrix(config.num_items, config.num_workers);
+  for (std::size_t k = 0; k < num_answers; ++k) {
+    CPA_ASSIGN_OR_RETURN(const std::uint32_t item, reader.ReadU32());
+    CPA_ASSIGN_OR_RETURN(const std::uint32_t worker, reader.ReadU32());
+    CPA_ASSIGN_OR_RETURN(const LabelSet labels, reader.ReadLabelSet());
+    CPA_RETURN_NOT_OK(session->stream.Add(item, worker, labels));
+  }
+  CPA_ASSIGN_OR_RETURN(const bool has_published, reader.ReadBool());
+  SharedSnapshot published;
+  if (has_published) {
+    CPA_ASSIGN_OR_RETURN(ConsensusSnapshot snapshot,
+                         ReadConsensusSnapshot(reader));
+    published = std::make_shared<const ConsensusSnapshot>(std::move(snapshot));
+  }
+  CPA_ASSIGN_OR_RETURN(const std::size_t delta_changed, reader.ReadSize());
+  CPA_ASSIGN_OR_RETURN(const std::string engine_state, reader.ReadString());
+  CPA_RETURN_NOT_OK(reader.ExpectEnd());
+  CPA_RETURN_NOT_OK(
+      session->engine->RestoreState(engine_state, &session->stream));
+  // Re-publish the checkpointed snapshot verbatim. Seeding through
+  // `engine->Snapshot()` (as Open does) would run a prediction the
+  // uninterrupted session never ran — for CPA-SVI that mutates the model
+  // (GlobalRefresh) and would break restore-then-continue bit-identity.
+  if (published != nullptr) session->Publish(std::move(published));
+  session->delta_changed_items.store(delta_changed, std::memory_order_relaxed);
+  RestoreAck ack;
+  ack.batches_seen = session->engine->batches_seen();
+  ack.answers_seen = session->engine->answers_seen();
+  session->batches_seen.store(ack.batches_seen, std::memory_order_relaxed);
+  session->answers_seen.store(ack.answers_seen, std::memory_order_relaxed);
+  session->finalized.store(session->engine->finalized(),
+                           std::memory_order_relaxed);
+  session->last_touch.store(NowSeconds(), std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.size() >= options_.max_sessions) {
+    return Status::FailedPrecondition(
+        StrFormat("session limit reached (%zu open, max_sessions=%zu)",
+                  sessions_.size(), options_.max_sessions));
+  }
+  if (session_id.empty()) {
+    do {
+      session_id = StrFormat("s%zu", next_id_++);
+    } while (sessions_.count(session_id) > 0);
+  } else if (sessions_.count(session_id) > 0) {
+    return Status::InvalidArgument(
+        StrFormat("session id '%s' is already open", session_id.c_str()));
+  }
+  ack.session_id = session_id;
+  sessions_.emplace(std::move(session_id), std::move(session));
+  return ack;
 }
 
 Status SessionManager::Close(std::string_view session_id) {

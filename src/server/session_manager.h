@@ -79,6 +79,13 @@ struct ObserveAck {
   ConsensusDelta delta;
 };
 
+/// \brief Counters of a session rebuilt by `SessionManager::Restore`.
+struct RestoreAck {
+  std::string session_id;
+  std::size_t batches_seen = 0;
+  std::size_t answers_seen = 0;
+};
+
 /// \brief One row of `SessionManager::List`.
 struct SessionInfo {
   std::string id;
@@ -126,6 +133,20 @@ class SessionManager {
   /// Finalizes the session (idempotent) and returns the final consensus.
   /// The session stays open for polling until `Close`.
   Result<SharedSnapshot> Finalize(std::string_view session_id);
+
+  /// Serializes the whole session — config, stream matrix, published
+  /// snapshot, engine state — into an opaque versioned blob (the unit the
+  /// `checkpoint` wire op ships). The session stays open and unchanged.
+  /// Fails for engines that don't implement state hooks.
+  Result<std::string> Checkpoint(std::string_view session_id);
+
+  /// Rebuilds a session from a `Checkpoint` blob. The new session opens
+  /// under `session_id` when non-empty (must be unused), else under the id
+  /// recorded in the blob. Continuing the restored session is bit-identical
+  /// to continuing the original: the engine restores its sufficient
+  /// statistics from the blob and the published snapshot is re-published
+  /// verbatim (never recomputed — a recompute could perturb online state).
+  Result<RestoreAck> Restore(std::string_view state, std::string session_id = "");
 
   /// Removes the session. In-flight operations on it complete normally.
   Status Close(std::string_view session_id);

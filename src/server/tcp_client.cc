@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -69,6 +70,33 @@ Result<TcpFrameClient> TcpFrameClient::Connect(const std::string& host,
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
+  TcpFrameClient client;
+  client.fd_ = fd;
+  client.decoder_ = FrameDecoder(max_frame_bytes);
+  return client;
+}
+
+Result<TcpFrameClient> TcpFrameClient::ConnectUnix(
+    const std::string& path, std::size_t max_frame_bytes) {
+  sockaddr_un address{};
+  if (path.size() >= sizeof(address.sun_path)) {
+    return Status::InvalidArgument(
+        StrFormat("unix socket path too long (%zu bytes, max %zu)",
+                  path.size(), sizeof(address.sun_path) - 1));
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) < 0) {
+    const Status status = Status::IOError(
+        StrFormat("connect %s: %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
   TcpFrameClient client;
   client.fd_ = fd;
   client.decoder_ = FrameDecoder(max_frame_bytes);

@@ -37,6 +37,12 @@ class TcpFrameClient {
       const std::string& host, std::uint16_t port,
       std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
 
+  /// Connects to a UNIX-domain socket (`cpa_server --unix PATH`). Same
+  /// framed protocol, no TCP stack.
+  static Result<TcpFrameClient> ConnectUnix(
+      const std::string& path,
+      std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
   /// Sends one framed request.
   Status Send(FrameKind kind, std::string_view payload);
 

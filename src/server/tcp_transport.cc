@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -49,14 +50,53 @@ struct TcpTransport::Connection {
   std::atomic<bool> done{false};
 };
 
-TcpTransport::TcpTransport(ConsensusServer& server,
+TcpTransport::TcpTransport(FrameHandler& handler,
                            const TcpTransportOptions& options)
-    : server_(server), options_(options) {}
+    : handler_(handler), options_(options) {}
 
 TcpTransport::~TcpTransport() { Shutdown(); }
 
 Status TcpTransport::Start() {
   CPA_CHECK(listen_fd_ < 0) << "TcpTransport::Start called twice";
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un address{};
+    if (options_.unix_path.size() >= sizeof(address.sun_path)) {
+      return Status::InvalidArgument(
+          StrFormat("unix socket path too long (%zu bytes, max %zu)",
+                    options_.unix_path.size(), sizeof(address.sun_path) - 1));
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
+    }
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, options_.unix_path.c_str(),
+                options_.unix_path.size() + 1);
+    // A socket file left behind by a dead server would make bind fail
+    // with EADDRINUSE forever; unlink it first. A *live* server's file
+    // is replaced too — matching SO_REUSEADDR semantics on the TCP path.
+    ::unlink(options_.unix_path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+               sizeof(address)) < 0) {
+      const Status status =
+          Status::IOError(StrFormat("bind %s: %s", options_.unix_path.c_str(),
+                                    std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    if (::listen(fd, options_.listen_backlog) < 0) {
+      const Status status =
+          Status::IOError(StrFormat("listen: %s", std::strerror(errno)));
+      ::close(fd);
+      ::unlink(options_.unix_path.c_str());
+      return status;
+    }
+    listen_fd_ = fd;
+    running_.store(true, std::memory_order_release);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return Status::OK();
+  }
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -165,7 +205,7 @@ void TcpTransport::ServeConnection(Connection* connection) {
       server::Frame reply;
       if (item->error.ok()) {
         frames_in_.fetch_add(1, std::memory_order_relaxed);
-        reply = server_.HandleFrame(item->frame);
+        reply = handler_.HandleFrame(item->frame);
       } else {
         framing_errors_.fetch_add(1, std::memory_order_relaxed);
         reply.kind = item->kind;
@@ -214,6 +254,7 @@ void TcpTransport::Shutdown() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+    if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
   }
 
   // Unblock every reader. Handlers finish dispatching what they already

@@ -2,7 +2,8 @@
 #define CPA_SERVER_TCP_TRANSPORT_H_
 
 /// \file tcp_transport.h
-/// \brief The socket transport: a TCP listener over `ConsensusServer`.
+/// \brief The socket transport: a TCP (or UNIX-domain) listener over a
+/// `FrameHandler` — a `ConsensusServer` worker or a `Router` front-end.
 ///
 /// Thread-per-connection, deliberately (ROADMAP: "thread-per-connection
 /// first, then an event loop if accept-rate demands it"): one accept-loop
@@ -34,7 +35,7 @@
 #include <string>
 #include <thread>
 
-#include "server/consensus_server.h"
+#include "server/frame_handler.h"
 #include "server/framing.h"
 #include "util/status.h"
 
@@ -48,6 +49,14 @@ struct TcpTransportOptions {
   /// Port to bind; 0 picks a free ephemeral port (read it back via
   /// `port()` — the tests and the fig11 bench run that way).
   std::uint16_t port = 0;
+
+  /// When non-empty, listen on a UNIX-domain stream socket at this
+  /// filesystem path instead of TCP (`cpa_server --unix PATH`). The wire
+  /// protocol is identical; `bind_address`/`port` are ignored. A stale
+  /// socket file left by a dead process is unlinked before binding, and
+  /// the path is unlinked again on Shutdown. Paths must fit in
+  /// sockaddr_un (< 108 bytes).
+  std::string unix_path;
 
   /// Hard cap on live connections; accepts beyond it are closed
   /// immediately after a best-effort JSON error frame.
@@ -69,13 +78,19 @@ struct TcpTransportStats {
   std::uint64_t framing_errors = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+
+  /// Router-mode counters (router.h). A plain transport leaves them 0;
+  /// `cpa_server --router` merges the router's totals in before printing
+  /// its shutdown stats line.
+  std::uint64_t frames_forwarded = 0;
+  std::uint64_t backend_reconnects = 0;
 };
 
 /// \brief Accepts TCP connections and speaks the framed wire protocol.
 class TcpTransport {
  public:
-  /// `server` must outlive the transport.
-  TcpTransport(ConsensusServer& server, const TcpTransportOptions& options = {});
+  /// `handler` must outlive the transport.
+  TcpTransport(FrameHandler& handler, const TcpTransportOptions& options = {});
 
   /// Drains and joins (Shutdown).
   ~TcpTransport();
@@ -84,10 +99,11 @@ class TcpTransport {
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   /// Binds, listens and starts the accept loop. Fails (IOError) when the
-  /// address/port cannot be bound. Call at most once.
+  /// address/port/path cannot be bound. Call at most once.
   Status Start();
 
-  /// The port actually bound (resolves port 0 requests). 0 before Start.
+  /// The port actually bound (resolves port 0 requests). 0 before Start
+  /// and in UNIX-socket mode.
   std::uint16_t port() const { return port_; }
 
   /// Stops accepting, drains in-flight requests, closes every connection
@@ -111,7 +127,7 @@ class TcpTransport {
   /// Joins and erases finished connection handlers (accept-loop chore).
   void ReapFinished();
 
-  ConsensusServer& server_;
+  FrameHandler& handler_;
   TcpTransportOptions options_;
 
   int listen_fd_ = -1;

@@ -92,4 +92,94 @@ std::string StrFormat(const char* format, ...) {
   return out;
 }
 
+namespace {
+
+constexpr char kBase64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Maps a base64 character to its 6-bit value, or -1 if not in the alphabet.
+int Base64Value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string Base64Encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const unsigned a = static_cast<unsigned char>(bytes[i]);
+    const unsigned b = static_cast<unsigned char>(bytes[i + 1]);
+    const unsigned c = static_cast<unsigned char>(bytes[i + 2]);
+    out.push_back(kBase64Alphabet[a >> 2]);
+    out.push_back(kBase64Alphabet[((a & 0x3) << 4) | (b >> 4)]);
+    out.push_back(kBase64Alphabet[((b & 0xF) << 2) | (c >> 6)]);
+    out.push_back(kBase64Alphabet[c & 0x3F]);
+  }
+  const std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    const unsigned a = static_cast<unsigned char>(bytes[i]);
+    out.push_back(kBase64Alphabet[a >> 2]);
+    out.push_back(kBase64Alphabet[(a & 0x3) << 4]);
+    out += "==";
+  } else if (rest == 2) {
+    const unsigned a = static_cast<unsigned char>(bytes[i]);
+    const unsigned b = static_cast<unsigned char>(bytes[i + 1]);
+    out.push_back(kBase64Alphabet[a >> 2]);
+    out.push_back(kBase64Alphabet[((a & 0x3) << 4) | (b >> 4)]);
+    out.push_back(kBase64Alphabet[(b & 0xF) << 2]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<std::string> Base64Decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    return Status::InvalidArgument("base64 length is not a multiple of 4");
+  }
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    const bool last = i + 4 == text.size();
+    int pad = 0;
+    int v[4] = {0, 0, 0, 0};
+    for (int k = 0; k < 4; ++k) {
+      const char c = text[i + static_cast<std::size_t>(k)];
+      if (c == '=') {
+        // '=' is only legal as the final one or two characters.
+        if (!last || k < 2) {
+          return Status::InvalidArgument("base64 padding inside payload");
+        }
+        ++pad;
+        continue;
+      }
+      if (pad > 0) {
+        return Status::InvalidArgument("base64 character after padding");
+      }
+      v[k] = Base64Value(c);
+      if (v[k] < 0) {
+        return Status::InvalidArgument("invalid base64 character");
+      }
+    }
+    // A quantum with one padding char must end on a 4-bit boundary, two on
+    // a 2-bit boundary — reject encodings with dangling nonzero bits.
+    if (pad == 1 && (v[2] & 0x3) != 0) {
+      return Status::InvalidArgument("base64 has dangling bits");
+    }
+    if (pad == 2 && (v[1] & 0xF) != 0) {
+      return Status::InvalidArgument("base64 has dangling bits");
+    }
+    out.push_back(static_cast<char>((v[0] << 2) | (v[1] >> 4)));
+    if (pad < 2) out.push_back(static_cast<char>(((v[1] & 0xF) << 4) | (v[2] >> 2)));
+    if (pad < 1) out.push_back(static_cast<char>(((v[2] & 0x3) << 6) | v[3]));
+  }
+  return out;
+}
+
 }  // namespace cpa

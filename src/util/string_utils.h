@@ -33,6 +33,14 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
 
+/// Standard base64 (RFC 4648, `+/` alphabet, `=` padding). Used to carry
+/// binary checkpoint blobs inside JSON wire responses.
+std::string Base64Encode(std::string_view bytes);
+
+/// Strict decoder: rejects non-alphabet characters, bad padding and
+/// trailing garbage (whitespace included).
+Result<std::string> Base64Decode(std::string_view text);
+
 }  // namespace cpa
 
 #endif  // CPA_UTIL_STRING_UTILS_H_

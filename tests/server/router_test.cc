@@ -1,0 +1,377 @@
+#include "server/router.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/binary_codec.h"
+#include "server/consensus_server.h"
+#include "server/protocol.h"
+#include "server/tcp_client.h"
+#include "server/tcp_transport.h"
+#include "util/json.h"
+#include "util/string_utils.h"
+
+namespace cpa {
+namespace {
+
+using server::BinaryResponse;
+using server::Frame;
+using server::FrameKind;
+using server::TcpFrameClient;
+
+/// One in-process worker: a ConsensusServer behind a real TCP listener on
+/// an ephemeral port — exactly what `cpa_server --tcp` runs.
+struct TestWorker {
+  TestWorker() {
+    consensus = std::make_unique<ConsensusServer>();
+    transport = std::make_unique<TcpTransport>(*consensus);
+    const Status started = transport->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  std::string address() const {
+    return StrFormat("127.0.0.1:%u", static_cast<unsigned>(transport->port()));
+  }
+
+  TcpFrameClient Connect() {
+    auto client = TcpFrameClient::Connect("127.0.0.1", transport->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  std::unique_ptr<ConsensusServer> consensus;
+  std::unique_ptr<TcpTransport> transport;
+};
+
+/// A router over `n` fresh workers.
+struct TestFleet {
+  explicit TestFleet(std::size_t n) {
+    RouterOptions options;
+    for (std::size_t i = 0; i < n; ++i) {
+      workers.push_back(std::make_unique<TestWorker>());
+      options.workers.push_back(workers.back()->address());
+    }
+    router = std::make_unique<Router>(options);
+    const Status started = router->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  /// A session id the ring assigns to worker `index`.
+  std::string SessionOnWorker(std::size_t index) const {
+    for (std::size_t n = 0;; ++n) {
+      std::string candidate = StrFormat("w%zu-%zu", index, n);
+      if (router->WorkerIndexFor(candidate) == index) return candidate;
+    }
+  }
+
+  std::vector<std::unique_ptr<TestWorker>> workers;
+  std::unique_ptr<Router> router;
+};
+
+std::string OpenRequestLine(const std::string& session) {
+  return StrFormat(
+      R"({"op":"open","session":"%s","config":{"method":"MV",)"
+      R"("num_items":4,"num_workers":16,"num_labels":4}})",
+      session.c_str());
+}
+
+JsonValue MustParseJson(const Frame& frame, bool expect_ok) {
+  EXPECT_EQ(frame.kind, FrameKind::kJson);
+  auto parsed = JsonValue::Parse(frame.payload);
+  EXPECT_TRUE(parsed.ok()) << frame.payload;
+  const JsonValue* ok = parsed.value().Find("ok");
+  EXPECT_NE(ok, nullptr) << frame.payload;
+  if (ok != nullptr) {
+    EXPECT_EQ(ok->bool_value(), expect_ok) << frame.payload;
+  }
+  return parsed.value();
+}
+
+BinaryResponse MustParseBinary(const Frame& frame) {
+  EXPECT_EQ(frame.kind, FrameKind::kBinary);
+  auto decoded = server::DecodeBinaryResponse(frame.payload);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return decoded.ok() ? decoded.value() : BinaryResponse{};
+}
+
+const std::vector<Answer> kFirstBatch = {{0, 0, LabelSet{1}},
+                                         {0, 1, LabelSet{1, 2}},
+                                         {1, 2, LabelSet{3}},
+                                         {2, 3, LabelSet{0}}};
+const std::vector<Answer> kSecondBatch = {{3, 4, LabelSet{2}},
+                                          {1, 5, LabelSet{3}},
+                                          {0, 6, LabelSet{1}},
+                                          {2, 7, LabelSet{0}}};
+
+TEST(RouterTest, RingIsDeterministicAndCoversEveryWorker) {
+  RouterOptions options;
+  options.workers = {"10.0.0.1:7001", "10.0.0.2:7001", "10.0.0.3:7001"};
+  Router router(options);
+  ASSERT_TRUE(router.Start().ok());
+
+  Router again(options);
+  ASSERT_TRUE(again.Start().ok());
+
+  std::vector<std::size_t> hits(3, 0);
+  for (std::size_t n = 0; n < 600; ++n) {
+    const std::string session = StrFormat("session-%zu", n);
+    const std::size_t index = router.WorkerIndexFor(session);
+    ASSERT_LT(index, 3u);
+    // Identical ring on every router instance: a second front door sends
+    // the same session to the same worker.
+    EXPECT_EQ(index, again.WorkerIndexFor(session));
+    ++hits[index];
+  }
+  // 64 virtual nodes keep the spread sane: every worker owns a real share
+  // of sessions and none owns (nearly) all of them. The arc lengths are
+  // random, so this is a coarse no-starvation bound, not a fairness test.
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_GT(hits[i], 600u / 20) << "worker " << i;
+    EXPECT_LT(hits[i], 600u * 9 / 10) << "worker " << i;
+  }
+}
+
+TEST(RouterTest, RejectsMalformedWorkerAddresses) {
+  for (const std::string& bad :
+       {std::string("nocolon"), std::string(":7001"), std::string("host:"),
+        std::string("host:99999"), std::string("host:7x"),
+        std::string("unix:")}) {
+    RouterOptions options;
+    options.workers = {bad};
+    Router router(options);
+    EXPECT_EQ(router.Start().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  Router empty({});
+  EXPECT_EQ(empty.Start().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RouterTest, RoutesSessionsToTheirRingWorker) {
+  TestFleet fleet(2);
+  const std::string on_a = fleet.SessionOnWorker(0);
+  const std::string on_b = fleet.SessionOnWorker(1);
+
+  for (const std::string& session : {on_a, on_b}) {
+    MustParseJson(
+        fleet.router->HandleFrame({FrameKind::kJson, OpenRequestLine(session)}),
+        true);
+    MustParseJson(
+        fleet.router->HandleFrame(
+            {FrameKind::kJson, server::MakeObserveRequest(session, kFirstBatch)}),
+        true);
+  }
+  // Each session's engine lives on exactly the worker the ring names.
+  EXPECT_EQ(fleet.workers[0]->consensus->sessions().num_sessions(), 1u);
+  EXPECT_EQ(fleet.workers[1]->consensus->sessions().num_sessions(), 1u);
+  EXPECT_TRUE(fleet.workers[0]->consensus->sessions().Snapshot(on_a).ok());
+  EXPECT_TRUE(fleet.workers[1]->consensus->sessions().Snapshot(on_b).ok());
+
+  MustParseJson(
+      fleet.router->HandleFrame(
+          {FrameKind::kJson,
+           StrFormat(R"({"op":"finalize","session":"%s"})", on_a.c_str())}),
+      true);
+  EXPECT_EQ(fleet.router->frames_forwarded(), 5u);
+  EXPECT_EQ(fleet.router->backend_reconnects(), 0u);
+}
+
+TEST(RouterTest, InjectsRouterIdsForSessionlessOpens) {
+  TestFleet fleet(2);
+  const JsonValue opened = MustParseJson(
+      fleet.router->HandleFrame(
+          {FrameKind::kJson,
+           R"({"op":"open","config":{"method":"MV","num_items":4,)"
+           R"("num_workers":16,"num_labels":4}})"}),
+      true);
+  const std::string session = opened.Find("session")->string_value();
+  EXPECT_EQ(session.rfind("r", 0), 0u) << session;
+
+  // The injected id round-trips: follow-up ops route to the owning worker.
+  const JsonValue ack = MustParseJson(
+      fleet.router->HandleFrame(
+          {FrameKind::kJson, server::MakeObserveRequest(session, kFirstBatch)}),
+      true);
+  EXPECT_EQ(ack.Find("answers_seen")->number_value(), 4.0);
+  const std::size_t owner = fleet.router->WorkerIndexFor(session);
+  EXPECT_TRUE(
+      fleet.workers[owner]->consensus->sessions().Snapshot(session).ok());
+}
+
+TEST(RouterTest, BinaryFramesRouteBySessionPrefix) {
+  TestFleet fleet(2);
+  const std::string on_b = fleet.SessionOnWorker(1);
+  MustParseJson(
+      fleet.router->HandleFrame({FrameKind::kJson, OpenRequestLine(on_b)}),
+      true);
+
+  const BinaryResponse ack = MustParseBinary(fleet.router->HandleFrame(
+      {FrameKind::kBinary, server::EncodeObserveRequest(on_b, kFirstBatch)}));
+  EXPECT_TRUE(ack.ok);
+  EXPECT_EQ(ack.ack.answers_seen, 4u);
+  const BinaryResponse final_snapshot = MustParseBinary(fleet.router->HandleFrame(
+      {FrameKind::kBinary, server::EncodeFinalizeRequest(on_b, true)}));
+  EXPECT_TRUE(final_snapshot.finalized);
+  EXPECT_EQ(fleet.workers[1]->consensus->sessions().num_sessions(), 1u);
+  EXPECT_EQ(fleet.workers[0]->consensus->sessions().num_sessions(), 0u);
+
+  // Truncated binary frames die at the router with a binary error reply.
+  const BinaryResponse error =
+      MustParseBinary(fleet.router->HandleFrame({FrameKind::kBinary, "\x01"}));
+  EXPECT_FALSE(error.ok);
+}
+
+TEST(RouterTest, ListFansOutAndMethodsHitsOneWorker) {
+  TestFleet fleet(2);
+  const std::string on_a = fleet.SessionOnWorker(0);
+  const std::string on_b = fleet.SessionOnWorker(1);
+  MustParseJson(
+      fleet.router->HandleFrame({FrameKind::kJson, OpenRequestLine(on_a)}),
+      true);
+  MustParseJson(
+      fleet.router->HandleFrame({FrameKind::kJson, OpenRequestLine(on_b)}),
+      true);
+
+  const JsonValue list = MustParseJson(
+      fleet.router->HandleFrame({FrameKind::kJson, R"({"op":"list"})"}), true);
+  const auto& rows = list.Find("sessions")->array();
+  ASSERT_EQ(rows.size(), 2u);  // merged across both workers
+  std::vector<std::string> ids;
+  for (const JsonValue& row : rows) {
+    ids.push_back(row.Find("session")->string_value());
+  }
+  EXPECT_NE(std::find(ids.begin(), ids.end(), on_a), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), on_b), ids.end());
+
+  const JsonValue methods = MustParseJson(
+      fleet.router->HandleFrame({FrameKind::kJson, R"({"op":"methods"})"}),
+      true);
+  EXPECT_GE(methods.Find("methods")->array().size(), 7u);
+}
+
+TEST(RouterTest, DeadWorkerGetsCleanErrorAndSurvivorsKeepServing) {
+  TestFleet fleet(2);
+  const std::string on_a = fleet.SessionOnWorker(0);
+  const std::string on_b = fleet.SessionOnWorker(1);
+  for (const std::string& session : {on_a, on_b}) {
+    MustParseJson(
+        fleet.router->HandleFrame({FrameKind::kJson, OpenRequestLine(session)}),
+        true);
+  }
+
+  // Kill worker 1. Its pooled connection is now stale AND the listener is
+  // gone, so the forward fails, the redial fails, and the client gets a
+  // per-request error reply — never a hang.
+  fleet.workers[1]->transport->Shutdown();
+  const JsonValue error = MustParseJson(
+      fleet.router->HandleFrame(
+          {FrameKind::kJson, server::MakeObserveRequest(on_b, kFirstBatch)}),
+      false);
+  EXPECT_EQ(error.Find("code")->string_value(), "IOError");
+  EXPECT_NE(error.Find("error")->string_value().find("unavailable"),
+            std::string::npos);
+  // Binary requests for the dead worker get a binary error reply.
+  const BinaryResponse binary_error = MustParseBinary(fleet.router->HandleFrame(
+      {FrameKind::kBinary, server::EncodeObserveRequest(on_b, kFirstBatch)}));
+  EXPECT_FALSE(binary_error.ok);
+  EXPECT_EQ(binary_error.error.code(), StatusCode::kIOError);
+  // The stale pooled connection triggered exactly one redial attempt; the
+  // second request found an empty pool and failed at dial (no redial).
+  EXPECT_GE(fleet.router->backend_reconnects(), 1u);
+
+  // Sessions on the surviving worker are untouched.
+  const JsonValue ack = MustParseJson(
+      fleet.router->HandleFrame(
+          {FrameKind::kJson, server::MakeObserveRequest(on_a, kFirstBatch)}),
+      true);
+  EXPECT_EQ(ack.Find("answers_seen")->number_value(), 4.0);
+
+  // list degrades to the reachable fleet instead of failing outright.
+  const JsonValue list = MustParseJson(
+      fleet.router->HandleFrame({FrameKind::kJson, R"({"op":"list"})"}), true);
+  ASSERT_EQ(list.Find("sessions")->array().size(), 1u);
+  EXPECT_EQ(list.Find("sessions")->array()[0].Find("session")->string_value(),
+            on_a);
+
+  const auto stats = fleet.router->worker_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_GE(stats[1].errors, 2u);
+  EXPECT_EQ(stats[0].errors, 0u);
+}
+
+TEST(RouterTest, ShutdownRefusesNewFrames) {
+  TestFleet fleet(1);
+  fleet.router->Shutdown();
+  const JsonValue error = MustParseJson(
+      fleet.router->HandleFrame({FrameKind::kJson, R"({"op":"list"})"}), false);
+  EXPECT_EQ(error.Find("code")->string_value(), "FailedPrecondition");
+}
+
+// The scale-out story end to end: a session lives on worker A, the
+// operator checkpoints it over the wire, restores it on worker B, and the
+// stream continues there — with a final consensus byte-identical to a
+// never-migrated run.
+TEST(RouterTest, MigratedSessionFinishesByteIdenticalToUninterruptedRun) {
+  TestWorker worker_a;
+  TestWorker worker_b;
+  ConsensusServer uninterrupted;
+
+  const std::string open =
+      R"({"op":"open","session":"mig","config":{"method":"CPA-SVI",)"
+      R"("num_items":6,"num_workers":16,"num_labels":4}})";
+  const std::string snapshot = R"({"op":"snapshot","session":"mig"})";
+  const std::string finalize = R"({"op":"finalize","session":"mig"})";
+
+  // Reference: one worker sees the whole stream, never interrupted.
+  ASSERT_TRUE(JsonValue::Parse(uninterrupted.HandleLine(open))
+                  .value()
+                  .Find("ok")
+                  ->bool_value());
+  uninterrupted.HandleLine(server::MakeObserveRequest("mig", kFirstBatch));
+  uninterrupted.HandleLine(snapshot);
+  uninterrupted.HandleLine(server::MakeObserveRequest("mig", kSecondBatch));
+  const std::string reference = uninterrupted.HandleLine(finalize);
+
+  // Migrated: the same stream starts on worker A, is checkpointed over
+  // the wire mid-run, restored on worker B, and finishes there.
+  TcpFrameClient to_a = worker_a.Connect();
+  MustParseJson(to_a.Roundtrip(FrameKind::kJson, open).value(), true);
+  MustParseJson(
+      to_a.Roundtrip(FrameKind::kJson,
+                     server::MakeObserveRequest("mig", kFirstBatch))
+          .value(),
+      true);
+  MustParseJson(to_a.Roundtrip(FrameKind::kJson, snapshot).value(), true);
+  const BinaryResponse checkpoint = MustParseBinary(
+      to_a.Roundtrip(FrameKind::kBinary, server::EncodeCheckpointRequest("mig"))
+          .value());
+  ASSERT_TRUE(checkpoint.ok) << checkpoint.error.ToString();
+  ASSERT_GT(checkpoint.state.size(), 0u);
+  to_a.Close();
+
+  TcpFrameClient to_b = worker_b.Connect();
+  const BinaryResponse restored = MustParseBinary(
+      to_b.Roundtrip(FrameKind::kBinary,
+                     server::EncodeRestoreRequest("", checkpoint.state))
+          .value());
+  ASSERT_TRUE(restored.ok) << restored.error.ToString();
+  EXPECT_EQ(restored.session, "mig");  // id travels inside the blob
+  EXPECT_EQ(restored.ack.answers_seen, kFirstBatch.size());
+  MustParseJson(
+      to_b.Roundtrip(FrameKind::kJson,
+                     server::MakeObserveRequest("mig", kSecondBatch))
+          .value(),
+      true);
+  const std::string migrated =
+      to_b.Roundtrip(FrameKind::kJson, finalize).value().payload;
+  to_b.Close();
+
+  // The acceptance bar of the checkpoint plane: the migrated final reply
+  // — predictions, scores metadata, counters — is byte-identical.
+  EXPECT_EQ(migrated, reference);
+}
+
+}  // namespace
+}  // namespace cpa

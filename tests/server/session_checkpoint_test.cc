@@ -1,0 +1,277 @@
+/// \file session_checkpoint_test.cc
+/// \brief Session-level checkpoint/restore: SessionManager round-trips and
+/// the `checkpoint`/`restore` wire ops in both encodings.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/binary_codec.h"
+#include "server/consensus_server.h"
+#include "server/protocol.h"
+#include "server/session_manager.h"
+#include "util/json.h"
+#include "util/string_utils.h"
+
+namespace cpa {
+namespace {
+
+using server::BinaryResponse;
+using server::Frame;
+using server::FrameKind;
+
+EngineConfig SviConfig() {
+  EngineConfig config;
+  config.method = "CPA-SVI";
+  config.num_items = 6;
+  config.num_workers = 16;
+  config.num_labels = 4;
+  config.cpa.max_communities = 3;
+  config.cpa.max_clusters = 8;
+  return config;
+}
+
+const std::vector<Answer> kFirstBatch = {{0, 0, LabelSet{1}},
+                                         {0, 1, LabelSet{1, 2}},
+                                         {1, 2, LabelSet{3}},
+                                         {2, 3, LabelSet{0}}};
+const std::vector<Answer> kSecondBatch = {{3, 4, LabelSet{2}},
+                                          {1, 5, LabelSet{3}},
+                                          {4, 6, LabelSet{0, 1}},
+                                          {5, 7, LabelSet{2}}};
+
+void ExpectSamePredictions(const SharedSnapshot& a, const SharedSnapshot& b) {
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->predictions.size(), b->predictions.size());
+  for (std::size_t i = 0; i < a->predictions.size(); ++i) {
+    EXPECT_EQ(a->predictions[i], b->predictions[i]) << "item " << i;
+  }
+  EXPECT_EQ(a->label_scores.MaxAbsDiff(b->label_scores), 0.0);
+  EXPECT_EQ(a->batches_seen, b->batches_seen);
+  EXPECT_EQ(a->answers_seen, b->answers_seen);
+  EXPECT_EQ(a->learning_rate, b->learning_rate);
+}
+
+// Checkpoint on one manager, restore on another (the worker-migration
+// shape), continue both: identical sessions, bit for bit.
+TEST(SessionCheckpointTest, MigrationAcrossManagersIsBitIdentical) {
+  SessionManager manager_a;
+  SessionManager manager_b;
+
+  ASSERT_TRUE(manager_a.Open(SviConfig(), "mig").ok());
+  ASSERT_TRUE(manager_a.Observe("mig", kFirstBatch).ok());
+  ASSERT_TRUE(manager_a.Snapshot("mig").ok());
+
+  const auto state = manager_a.Checkpoint("mig");
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  // Checkpoint does not disturb the source session.
+  ASSERT_TRUE(manager_a.Observe("mig", kSecondBatch).ok());
+
+  const auto ack = manager_b.Restore(state.value());
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack.value().session_id, "mig");
+  EXPECT_EQ(ack.value().batches_seen, 1u);
+  EXPECT_EQ(ack.value().answers_seen, kFirstBatch.size());
+
+  // The published (poll-path) snapshot travels with the blob.
+  const auto polled = manager_b.Snapshot("mig", /*refresh=*/false);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled.value()->answers_seen, kFirstBatch.size());
+
+  ASSERT_TRUE(manager_b.Observe("mig", kSecondBatch).ok());
+  const auto final_a = manager_a.Finalize("mig");
+  const auto final_b = manager_b.Finalize("mig");
+  ASSERT_TRUE(final_a.ok());
+  ASSERT_TRUE(final_b.ok());
+  ExpectSamePredictions(final_a.value(), final_b.value());
+}
+
+TEST(SessionCheckpointTest, RestoreUnderExplicitIdAndDuplicateRejection) {
+  SessionManager manager;
+  ASSERT_TRUE(manager.Open(SviConfig(), "orig").ok());
+  ASSERT_TRUE(manager.Observe("orig", kFirstBatch).ok());
+  const auto state = manager.Checkpoint("orig");
+  ASSERT_TRUE(state.ok());
+
+  // Restoring under the saved id collides with the live session.
+  EXPECT_EQ(manager.Restore(state.value()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // An explicit target id forks the session instead.
+  const auto forked = manager.Restore(state.value(), "fork");
+  ASSERT_TRUE(forked.ok()) << forked.status().ToString();
+  EXPECT_EQ(forked.value().session_id, "fork");
+  EXPECT_EQ(manager.num_sessions(), 2u);
+
+  ASSERT_TRUE(manager.Observe("fork", kSecondBatch).ok());
+  ASSERT_TRUE(manager.Observe("orig", kSecondBatch).ok());
+  const auto final_orig = manager.Finalize("orig");
+  const auto final_fork = manager.Finalize("fork");
+  ASSERT_TRUE(final_orig.ok());
+  ASSERT_TRUE(final_fork.ok());
+  ExpectSamePredictions(final_orig.value(), final_fork.value());
+}
+
+TEST(SessionCheckpointTest, CorruptSessionBlobsAreRejected) {
+  SessionManager manager;
+  ASSERT_TRUE(manager.Open(SviConfig(), "c").ok());
+  ASSERT_TRUE(manager.Observe("c", kFirstBatch).ok());
+  const auto state = manager.Checkpoint("c");
+  ASSERT_TRUE(state.ok());
+  const std::string& blob = state.value();
+
+  SessionManager target;
+  EXPECT_FALSE(target.Restore("").ok());
+  {
+    std::string bad = blob;
+    bad[0] ^= 0x11;  // magic
+    EXPECT_FALSE(target.Restore(bad).ok());
+  }
+  {
+    std::string bad = blob;
+    bad[4] = '\x66';  // version
+    EXPECT_FALSE(target.Restore(bad).ok());
+  }
+  EXPECT_FALSE(target.Restore(blob + "tail").ok());
+  // Every strict prefix fails cleanly and leaves no half-restored session.
+  for (std::size_t length = 0; length < blob.size(); length += 7) {
+    EXPECT_FALSE(
+        target.Restore(std::string_view(blob).substr(0, length)).ok())
+        << "prefix of " << length << " bytes";
+  }
+  EXPECT_EQ(target.num_sessions(), 0u);
+  // The intact blob restores fine afterwards (control).
+  EXPECT_TRUE(target.Restore(blob).ok());
+}
+
+TEST(SessionCheckpointTest, JsonWireOpsCarryStateAsBase64) {
+  ConsensusServer worker_a;
+  ConsensusServer worker_b;
+
+  auto open = JsonValue::Parse(worker_a.HandleLine(
+      R"({"op":"open","session":"j1","config":{"method":"CPA-SVI",)"
+      R"("num_items":6,"num_workers":16,"num_labels":4}})"));
+  ASSERT_TRUE(open.ok());
+  ASSERT_TRUE(open.value().Find("ok")->bool_value());
+  ASSERT_TRUE(
+      JsonValue::Parse(
+          worker_a.HandleLine(server::MakeObserveRequest("j1", kFirstBatch)))
+          .value()
+          .Find("ok")
+          ->bool_value());
+
+  const auto checkpoint = JsonValue::Parse(
+      worker_a.HandleLine(R"({"op":"checkpoint","session":"j1"})"));
+  ASSERT_TRUE(checkpoint.ok());
+  ASSERT_TRUE(checkpoint.value().Find("ok")->bool_value())
+      << worker_a.HandleLine(R"({"op":"checkpoint","session":"j1"})");
+  const std::string state_b64 =
+      checkpoint.value().Find("state")->string_value();
+  // The wire field is genuine base64 of the binary blob.
+  const auto decoded = Base64Decode(state_b64);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_GT(decoded.value().size(), 0u);
+
+  const auto restore = JsonValue::Parse(worker_b.HandleLine(
+      StrFormat(R"({"op":"restore","state":"%s"})", state_b64.c_str())));
+  ASSERT_TRUE(restore.ok());
+  ASSERT_TRUE(restore.value().Find("ok")->bool_value());
+  EXPECT_EQ(restore.value().Find("session")->string_value(), "j1");
+  EXPECT_EQ(restore.value().Find("answers_seen")->number_value(), 4.0);
+
+  // Continue on both workers: identical finals over the wire.
+  ASSERT_TRUE(
+      JsonValue::Parse(
+          worker_a.HandleLine(server::MakeObserveRequest("j1", kSecondBatch)))
+          .value()
+          .Find("ok")
+          ->bool_value());
+  ASSERT_TRUE(
+      JsonValue::Parse(
+          worker_b.HandleLine(server::MakeObserveRequest("j1", kSecondBatch)))
+          .value()
+          .Find("ok")
+          ->bool_value());
+  const std::string final_a =
+      worker_a.HandleLine(R"({"op":"finalize","session":"j1"})");
+  const std::string final_b =
+      worker_b.HandleLine(R"({"op":"finalize","session":"j1"})");
+  EXPECT_EQ(final_a, final_b);
+
+  // Bad base64 is rejected at parse time.
+  const auto bad = JsonValue::Parse(
+      worker_b.HandleLine(R"({"op":"restore","state":"!!!not-base64"})"));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad.value().Find("ok")->bool_value());
+}
+
+TEST(SessionCheckpointTest, BinaryWireOpsCarryStateRaw) {
+  ConsensusServer worker_a;
+  ConsensusServer worker_b;
+
+  ASSERT_TRUE(worker_a.sessions().Open(SviConfig(), "b1").ok());
+  ASSERT_TRUE(worker_a.sessions().Observe("b1", kFirstBatch).ok());
+
+  // checkpoint over binary frames.
+  const Frame checkpoint_reply = worker_a.HandleFrame(
+      {FrameKind::kBinary, server::EncodeCheckpointRequest("b1")});
+  ASSERT_EQ(checkpoint_reply.kind, FrameKind::kBinary);
+  const auto decoded = server::DecodeBinaryResponse(checkpoint_reply.payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(decoded.value().ok) << decoded.value().error.ToString();
+  EXPECT_EQ(decoded.value().session, "b1");
+  const std::string& state = decoded.value().state;
+  EXPECT_GT(state.size(), 0u);
+
+  // restore over binary frames, under a new id.
+  const Frame restore_reply = worker_b.HandleFrame(
+      {FrameKind::kBinary, server::EncodeRestoreRequest("moved", state)});
+  ASSERT_EQ(restore_reply.kind, FrameKind::kBinary);
+  const auto ack = server::DecodeBinaryResponse(restore_reply.payload);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  ASSERT_TRUE(ack.value().ok) << ack.value().error.ToString();
+  EXPECT_EQ(ack.value().session, "moved");
+  EXPECT_EQ(ack.value().ack.batches_seen, 1u);
+  EXPECT_EQ(ack.value().ack.answers_seen, 4u);
+
+  // restore with empty session falls back to the id in the blob.
+  ConsensusServer worker_c;
+  const Frame blob_id_reply = worker_c.HandleFrame(
+      {FrameKind::kBinary, server::EncodeRestoreRequest("", state)});
+  const auto blob_id_ack = server::DecodeBinaryResponse(blob_id_reply.payload);
+  ASSERT_TRUE(blob_id_ack.ok());
+  ASSERT_TRUE(blob_id_ack.value().ok) << blob_id_ack.value().error.ToString();
+  EXPECT_EQ(blob_id_ack.value().session, "b1");
+
+  // Continue original and migrated sessions: identical finals.
+  ASSERT_TRUE(worker_a.sessions().Observe("b1", kSecondBatch).ok());
+  ASSERT_TRUE(worker_b.sessions().Observe("moved", kSecondBatch).ok());
+  const auto final_a = worker_a.sessions().Finalize("b1");
+  const auto final_b = worker_b.sessions().Finalize("moved");
+  ASSERT_TRUE(final_a.ok());
+  ASSERT_TRUE(final_b.ok());
+  ExpectSamePredictions(final_a.value(), final_b.value());
+
+  // Truncated binary restore request: clean error reply.
+  std::string truncated = server::EncodeRestoreRequest("x", state);
+  truncated.resize(truncated.size() / 2);
+  const Frame error_reply =
+      worker_b.HandleFrame({FrameKind::kBinary, truncated});
+  const auto error = server::DecodeBinaryResponse(error_reply.payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_FALSE(error.value().ok);
+}
+
+TEST(SessionCheckpointTest, CheckpointUnknownSessionFails) {
+  ConsensusServer server;
+  const auto reply = JsonValue::Parse(
+      server.HandleLine(R"({"op":"checkpoint","session":"ghost"})"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply.value().Find("ok")->bool_value());
+  EXPECT_EQ(reply.value().Find("code")->string_value(), "NotFound");
+}
+
+}  // namespace
+}  // namespace cpa

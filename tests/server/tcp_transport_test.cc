@@ -1,5 +1,7 @@
 #include "server/tcp_transport.h"
 
+#include <unistd.h>
+
 #include <string>
 #include <thread>
 #include <vector>
@@ -7,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "server/binary_codec.h"
+#include "server/consensus_server.h"
 #include "server/protocol.h"
 #include "server/tcp_client.h"
 #include "util/json.h"
@@ -358,6 +361,53 @@ TEST(TcpTransportTest, GracefulShutdownDrainsOpenConnections) {
   // Shutdown is idempotent, and sessions outlive their connections.
   server.transport->Shutdown();
   EXPECT_EQ(server.consensus->sessions().num_sessions(), 1u);
+}
+
+TEST(TcpTransportTest, UnixSocketServesSameProtocol) {
+  ConsensusServerOptions options;
+  ConsensusServer consensus(options);
+  TcpTransportOptions tcp_options;
+  tcp_options.unix_path =
+      StrFormat("/tmp/cpa_unix_test_%d.sock", static_cast<int>(::getpid()));
+  TcpTransport transport(consensus, tcp_options);
+  const Status started = transport.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+  EXPECT_EQ(transport.port(), 0);  // no TCP port in unix mode
+
+  auto connected = TcpFrameClient::ConnectUnix(tcp_options.unix_path);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  TcpFrameClient client = std::move(connected).value();
+
+  // The full mixed-encoding lifecycle, identical to the TCP path.
+  MustParseJson(
+      MustRoundtrip(client, FrameKind::kJson, OpenRequestLine("unix1")).value(),
+      true);
+  const BinaryResponse ack = MustParseBinary(
+      MustRoundtrip(client, FrameKind::kBinary,
+                    server::EncodeObserveRequest("unix1", kAnswers))
+          .value());
+  EXPECT_EQ(ack.ack.answers_seen, 4u);
+  const BinaryResponse final_snapshot = MustParseBinary(
+      MustRoundtrip(client, FrameKind::kBinary,
+                    server::EncodeFinalizeRequest("unix1", true))
+          .value());
+  EXPECT_TRUE(final_snapshot.finalized);
+  EXPECT_EQ(final_snapshot.predictions.size(), 4u);
+
+  client.Close();
+  transport.Shutdown();
+  // Shutdown unlinks the socket file.
+  EXPECT_NE(::access(tcp_options.unix_path.c_str(), F_OK), 0);
+}
+
+TEST(TcpTransportTest, UnixSocketRejectsOverlongPath) {
+  ConsensusServerOptions options;
+  ConsensusServer consensus(options);
+  TcpTransportOptions tcp_options;
+  tcp_options.unix_path = "/tmp/" + std::string(200, 'x') + ".sock";
+  TcpTransport transport(consensus, tcp_options);
+  const Status started = transport.Start();
+  EXPECT_EQ(started.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(TcpTransportTest, ConnectionLimitRejectsExtraClients) {

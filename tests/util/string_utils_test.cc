@@ -80,5 +80,44 @@ TEST(StrFormatTest, FormatsLikePrintf) {
   EXPECT_EQ(StrFormat("empty"), "empty");
 }
 
+TEST(Base64Test, KnownVectors) {
+  // RFC 4648 §10 test vectors.
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+  EXPECT_EQ(Base64Decode("Zm9vYmE=").value(), "fooba");
+}
+
+TEST(Base64Test, RoundTripsArbitraryBytes) {
+  // Every byte value, embedded NULs included — checkpoint blobs are
+  // binary, not text.
+  std::string bytes;
+  for (int b = 0; b < 256; ++b) bytes.push_back(static_cast<char>(b));
+  for (std::size_t length = 0; length <= bytes.size(); ++length) {
+    const std::string_view slice(bytes.data(), length);
+    const auto decoded = Base64Decode(Base64Encode(slice));
+    ASSERT_TRUE(decoded.ok()) << "length " << length;
+    EXPECT_EQ(decoded.value(), slice) << "length " << length;
+  }
+}
+
+TEST(Base64Test, StrictDecodeRejectsMalformedText) {
+  EXPECT_FALSE(Base64Decode("Zg").ok());        // length not a multiple of 4
+  EXPECT_FALSE(Base64Decode("Zm9v!bad").ok());  // character outside alphabet
+  EXPECT_FALSE(Base64Decode("Zm9v\n").ok());    // no whitespace tolerance
+  EXPECT_FALSE(Base64Decode("Zg==Zm8=").ok());  // padding inside the payload
+  EXPECT_FALSE(Base64Decode("Z===").ok());      // three padding chars
+  EXPECT_FALSE(Base64Decode("Zg=v").ok());      // data after padding
+  // Canonical-form enforcement: nonzero bits under the padding decode to
+  // nothing and must be rejected, not silently dropped ("Zh==" and
+  // "Zg==" would otherwise alias the same byte).
+  EXPECT_FALSE(Base64Decode("Zh==").ok());
+  EXPECT_FALSE(Base64Decode("Zm9=").ok());
+}
+
 }  // namespace
 }  // namespace cpa

@@ -2,6 +2,7 @@
 """End-to-end smoke test for a running `cpa_server --tcp`.
 
 Usage: tcp_smoke.py [--host HOST] --port PORT
+       tcp_smoke.py --router --server-bin build/src/cpa_server
 
 Speaks the server's real wire protocol from scratch — the 8-byte frame
 header and the binary codec are reimplemented here in Python, so this
@@ -18,14 +19,24 @@ and asserts both transports report the same counters and byte-identical
 final predictions. Also pokes the server's error paths (unknown op,
 malformed binary body) and checks the connection survives them.
 
+With `--router` the script spawns its own fleet — two `cpa_server --tcp`
+workers plus a `cpa_server --router` front — and additionally
+reimplements the router's FNV-1a consistent-hash ring to pick session
+ids it knows land on specific workers, runs the same two sessions
+through the router, then SIGKILLs one worker and asserts its sessions
+get clean error replies while the other worker's sessions keep serving.
+
 Exit code 0 on success; raises with a diagnostic otherwise.
 """
 
 import argparse
 import json
+import signal
 import socket
 import struct
+import subprocess
 import sys
+import time
 
 FRAME_HEADER = struct.Struct("<IBBH")  # length, kind, reserved8, reserved16
 KIND_JSON = 1
@@ -228,17 +239,168 @@ def poke_error_paths(sock, reader):
     kind, payload = reader.next_frame()
     assert kind == KIND_BINARY
     error = decode_binary_response(payload)
-    assert not error["ok"] and "unknown binary request" in error["error"], error
+    # A worker rejects the unknown type byte; a router rejects the frame
+    # even earlier, when the bogus session-length prefix overruns the body.
+    assert not error["ok"] and ("unknown binary request" in error["error"]
+                                or "truncated" in error["error"]), error
     # Connection still serves requests after both rejections.
     sock.sendall(json_frame({"op": "list"}))
     expect_json_ok(*reader.next_frame(), op="list")
 
 
+# --- the router fleet mode -------------------------------------------------
+
+def ring_hash(data):
+    """FNV-1a 64 + Murmur3 finalizer — must match RingHash in
+    src/server/router.cc bit for bit."""
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 33
+    return value
+
+
+def ring_worker(session, workers, virtual_nodes=64):
+    """Independent reimplementation of the router's consistent-hash ring."""
+    ring = sorted((ring_hash(f"{addr}#{v}".encode()), index)
+                  for index, addr in enumerate(workers)
+                  for v in range(virtual_nodes))
+    key = ring_hash(session.encode())
+    for point, index in ring:
+        if point >= key:
+            return index
+    return ring[0][1]
+
+
+def session_on(worker_index, workers, tag):
+    """A session id the ring assigns to `worker_index`."""
+    for n in range(10_000):
+        candidate = f"{tag}-{worker_index}-{n}"
+        if ring_worker(candidate, workers) == worker_index:
+            return candidate
+    raise AssertionError(f"no session id found for worker {worker_index}")
+
+
+def spawn_server(server_bin, extra_args, announce):
+    """Starts a cpa_server process and parses its announced endpoint."""
+    proc = subprocess.Popen([server_bin] + extra_args,
+                            stderr=subprocess.PIPE, text=True)
+    deadline = time.monotonic() + 30
+    for line in proc.stderr:
+        if announce in line:
+            endpoint = line.split(announce, 1)[1].split()[0]
+            return proc, int(endpoint.rsplit(":", 1)[1])
+        if time.monotonic() > deadline:
+            break
+    proc.kill()
+    raise AssertionError(f"server never announced '{announce}'")
+
+
+def run_router_mode(server_bin, host):
+    """Spawns 2 workers + a router, drives sessions, kills a worker."""
+    procs = []
+    try:
+        workers = []
+        for _ in range(2):
+            proc, port = spawn_server(server_bin, ["--tcp", "--bind", host],
+                                      "listening on ")
+            procs.append(proc)
+            workers.append(f"{host}:{port}")
+        router_proc, router_port = spawn_server(
+            server_bin,
+            ["--router", "--workers", ",".join(workers), "--bind", host],
+            "routing on ")
+        procs.append(router_proc)
+
+        with socket.create_connection((host, router_port), timeout=30) as sock:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            reader = FrameReader(sock)
+
+            # The same two lifecycles as single-server mode, but with ids
+            # the Python ring places on *different* workers — exercising
+            # cross-worker forwarding on one client connection.
+            json_final = run_json_session(sock, reader,
+                                          session_on(0, workers, "smoke-json"))
+            binary_final = run_binary_session(
+                sock, reader, session_on(1, workers, "smoke-binary"))
+            assert json_final["predictions"] == binary_final["predictions"], \
+                "workers disagree on the same stream"
+            poke_error_paths(sock, reader)
+
+            # Session-less opens get router-assigned ids (so they hash
+            # back to the worker that owns them).
+            sock.sendall(json_frame({"op": "open", "config": OPEN_CONFIG}))
+            opened = expect_json_ok(*reader.next_frame(), op="open")
+            assert opened["session"].startswith("r"), opened
+            sock.sendall(json_frame({"op": "close",
+                                     "session": opened["session"]}))
+            expect_json_ok(*reader.next_frame(), op="close")
+
+            # One live session per worker, then SIGKILL worker 1.
+            survivor = session_on(0, workers, "survivor")
+            casualty = session_on(1, workers, "casualty")
+            for session in (survivor, casualty):
+                sock.sendall(json_frame({"op": "open", "session": session,
+                                         "config": OPEN_CONFIG}))
+                expect_json_ok(*reader.next_frame(), op="open")
+            procs[1].send_signal(signal.SIGKILL)
+            procs[1].wait()
+
+            # The dead worker's session fails with a clean router error …
+            sock.sendall(json_frame({"op": "snapshot", "session": casualty}))
+            kind, payload = reader.next_frame()
+            error = json.loads(payload)
+            assert error["ok"] is False and error["code"] == "IOError", error
+            assert "unavailable" in error["error"], error
+
+            # … the survivor's session still serves, on the same client
+            # connection, and `list` degrades to the reachable fleet.
+            batch = [{"item": i, "worker": w, "labels": labels}
+                     for i, w, labels in ANSWERS[:4]]
+            sock.sendall(json_frame({"op": "observe", "session": survivor,
+                                     "answers": batch}))
+            ack = expect_json_ok(*reader.next_frame(), op="observe")
+            assert ack["answers_seen"] == 4, ack
+            sock.sendall(json_frame({"op": "list"}))
+            listed = expect_json_ok(*reader.next_frame(), op="list")
+            ids = sorted(row["session"] for row in listed["sessions"])
+            assert ids == [survivor], ids
+
+        print(f"tcp_smoke: OK — router fleet of {len(workers)} workers "
+              f"agreed on {len(json_final['predictions'])} predictions, "
+              f"survived a SIGKILLed worker")
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--port", type=int,
+                        help="port of an already-running cpa_server --tcp")
+    parser.add_argument("--router", action="store_true",
+                        help="spawn a 2-worker fleet + router and smoke it")
+    parser.add_argument("--server-bin", default="build/src/cpa_server",
+                        help="cpa_server binary for --router mode")
     args = parser.parse_args()
+
+    if args.router:
+        return run_router_mode(args.server_bin, args.host)
+    if args.port is None:
+        parser.error("--port is required unless --router is given")
 
     with socket.create_connection((args.host, args.port), timeout=30) as sock:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
