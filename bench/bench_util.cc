@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "core/sweep/simd.h"
 #include "util/logging.h"
 
 namespace cpa::bench {
@@ -79,6 +80,12 @@ std::string BenchReport::ToJson() const {
   config["seed"] = JsonValue(static_cast<double>(config_.seed));
   config["cpa_iterations"] = JsonValue(static_cast<double>(config_.cpa_iterations));
   config["runs"] = JsonValue(static_cast<double>(config_.runs));
+  // Which kernel table produced these numbers — scalar/AVX2 results are
+  // bit-identical but not time-identical, so reports must be comparable
+  // only within a level (see BENCHMARKS.md).
+  config["simd"] =
+      JsonValue(std::string(simd::LevelName(simd::ActiveLevel())));
+  config["simd_forced"] = JsonValue(simd::ActiveLevelForced());
 
   JsonValue::Object report;
   report["bench"] = JsonValue(name_);

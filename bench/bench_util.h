@@ -60,7 +60,9 @@ using ::cpa::JsonValue;
 /// `BENCH_<name>.json`.
 ///
 /// The report is a JSON object with keys `"bench"` (the name), `"config"`
-/// (scale / seed / cpa_iterations / runs) and `"results"` (an array of
+/// (scale / seed / cpa_iterations / runs / simd / simd_forced — the last
+/// two record the kernel level the numbers were measured at, see
+/// core/sweep/simd.h) and `"results"` (an array of
 /// `{"name", "value", "unit"}` rows in insertion order). `kRequiredKeys`
 /// names the top-level keys downstream tooling may rely on.
 class BenchReport {

@@ -9,9 +9,12 @@
 #include "bench/self_timed_benchmark.h"
 #endif
 
+#include <algorithm>
+
 #include "core/cpa.h"
 #include "core/prediction.h"
 #include "core/sweep/answer_view.h"
+#include "core/sweep/simd.h"
 #include "core/sweep/sweep_kernels.h"
 #include "core/sweep/sweep_scheduler.h"
 #include "core/vi.h"
@@ -53,6 +56,119 @@ void BM_SoftmaxInPlace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SoftmaxInPlace)->Arg(64)->Arg(1024);
+
+// ---------------------------------------------------------------------------
+// Scalar-vs-AVX2 kernel pairs (core/sweep/simd.h). Each pair calls the two
+// dispatch tables directly, so the comparison isolates the vectorization win
+// from dispatch overhead. On machines without AVX2, KernelsFor(kAvx2)
+// resolves to the scalar table and the pair reads as ~1×.
+// ---------------------------------------------------------------------------
+
+void AccumulateBody(benchmark::State& state, const simd::Kernels& kernels) {
+  Rng rng(3);
+  std::vector<double> from(state.range(0));
+  std::vector<double> into(state.range(0), 0.0);
+  for (double& v : from) v = rng.NextDouble();
+  for (auto _ : state) {
+    kernels.accumulate(into.data(), from.data(), from.size());
+    benchmark::DoNotOptimize(into.data());
+  }
+}
+void BM_AccumulateScalar(benchmark::State& state) {
+  AccumulateBody(state, simd::KernelsFor(simd::Level::kScalar));
+}
+void BM_AccumulateAvx2(benchmark::State& state) {
+  AccumulateBody(state, simd::KernelsFor(simd::Level::kAvx2));
+}
+// 4096 ≈ one λ partial bank (M×C) at movie scale; 65536 ≈ the flattened
+// T×M×C merge the reduce tree performs per pair of blocks.
+BENCHMARK(BM_AccumulateScalar)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_AccumulateAvx2)->Arg(4096)->Arg(65536);
+
+void AxpyBody(benchmark::State& state, const simd::Kernels& kernels) {
+  Rng rng(4);
+  std::vector<double> in(state.range(0));
+  std::vector<double> out(state.range(0), 0.0);
+  for (double& v : in) v = rng.NextDouble();
+  for (auto _ : state) {
+    kernels.axpy(0.37, in.data(), out.data(), in.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+void BM_AxpyScalar(benchmark::State& state) {
+  AxpyBody(state, simd::KernelsFor(simd::Level::kScalar));
+}
+void BM_AxpyAvx2(benchmark::State& state) {
+  AxpyBody(state, simd::KernelsFor(simd::Level::kAvx2));
+}
+BENCHMARK(BM_AxpyScalar)->Arg(4096);
+BENCHMARK(BM_AxpyAvx2)->Arg(4096);
+
+void DotBody(benchmark::State& state, const simd::Kernels& kernels) {
+  Rng rng(5);
+  std::vector<double> a(state.range(0));
+  std::vector<double> b(state.range(0));
+  for (double& v : a) v = rng.NextDouble();
+  for (double& v : b) v = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels.dot(a.data(), b.data(), a.size()));
+  }
+}
+void BM_DotScalar(benchmark::State& state) {
+  DotBody(state, simd::KernelsFor(simd::Level::kScalar));
+}
+void BM_DotAvx2(benchmark::State& state) {
+  DotBody(state, simd::KernelsFor(simd::Level::kAvx2));
+}
+BENCHMARK(BM_DotScalar)->Arg(4096);
+BENCHMARK(BM_DotAvx2)->Arg(4096);
+
+// Softmax mutates in place, so each iteration restores the row with a
+// std::copy from a pristine source — cheap and identical for both levels,
+// unlike an RNG refill which would dominate the timing.
+void SoftmaxBody(benchmark::State& state, const simd::Kernels& kernels) {
+  Rng rng(6);
+  std::vector<double> source(state.range(0));
+  for (double& v : source) v = -10.0 * rng.NextDouble();
+  std::vector<double> values(source.size());
+  for (auto _ : state) {
+    std::copy(source.begin(), source.end(), values.begin());
+    benchmark::DoNotOptimize(kernels.softmax(values.data(), values.size()));
+  }
+}
+void BM_SoftmaxScalar(benchmark::State& state) {
+  SoftmaxBody(state, simd::KernelsFor(simd::Level::kScalar));
+}
+void BM_SoftmaxAvx2(benchmark::State& state) {
+  SoftmaxBody(state, simd::KernelsFor(simd::Level::kAvx2));
+}
+BENCHMARK(BM_SoftmaxScalar)->Arg(64)->Arg(1024);
+BENCHMARK(BM_SoftmaxAvx2)->Arg(64)->Arg(1024);
+
+// A concentrated row: one dominant log-weight, the rest ~40 nats below it,
+// so nearly every 4-block fails the 27.6-nat floor. This is the shape the
+// movemask block-skip in the AVX2 floored softmax is built for (prediction
+// rows after a few sweeps look like this).
+void SoftmaxFlooredBody(benchmark::State& state, const simd::Kernels& kernels) {
+  Rng rng(7);
+  std::vector<double> source(state.range(0));
+  for (double& v : source) v = -40.0 - 5.0 * rng.NextDouble();
+  source[0] = 0.0;
+  std::vector<double> values(source.size());
+  for (auto _ : state) {
+    std::copy(source.begin(), source.end(), values.begin());
+    benchmark::DoNotOptimize(
+        kernels.softmax_floored(values.data(), values.size(), 27.6));
+  }
+}
+void BM_SoftmaxFlooredScalar(benchmark::State& state) {
+  SoftmaxFlooredBody(state, simd::KernelsFor(simd::Level::kScalar));
+}
+void BM_SoftmaxFlooredAvx2(benchmark::State& state) {
+  SoftmaxFlooredBody(state, simd::KernelsFor(simd::Level::kAvx2));
+}
+BENCHMARK(BM_SoftmaxFlooredScalar)->Arg(64)->Arg(1024);
+BENCHMARK(BM_SoftmaxFlooredAvx2)->Arg(64)->Arg(1024);
 
 /// Shared fixture: a small fitted model over a simulated movie dataset,
 /// plus the flat view and activity lists the sweep kernels consume.

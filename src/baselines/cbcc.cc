@@ -171,6 +171,8 @@ Result<AggregationResult> Cbcc::Aggregate(const AnswerMatrix& answers,
         for (std::size_t m = 0; m < M; ++m) {
           row[m] += Digamma(omega[m]) - digamma_omega_sum;
         }
+        // The shared dispatched softmax (core/sweep/simd.h) — baselines get
+        // the scalar/AVX2 selection for free, no per-caller copy.
         SoftmaxInPlace(row);
         for (std::size_t m = 0; m < M; ++m) rho(u, m) = row[m];
       }

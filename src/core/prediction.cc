@@ -343,6 +343,8 @@ void PredictOneItem(const CpaModel& model, const PredictionTables& tables,
   // active clusters can carry softmax mass, so the T-wide scan reduces to
   // the activity list (ascending ids — the same accumulation order).
   std::copy(log_weights.begin(), log_weights.end(), scratch.weights.begin());
+  // The shared dispatched softmax (core/sweep/simd.h), same entry point the
+  // sweep kernels use — no per-caller copy of the loop.
   SoftmaxInPlace(scratch.weights);
   auto score_row = prediction.scores.Row(i);
   for (std::size_t k = 0; k < scratch.active_count; ++k) {

@@ -1,0 +1,145 @@
+#ifndef CPA_CORE_SWEEP_SIMD_H_
+#define CPA_CORE_SWEEP_SIMD_H_
+
+/// \file simd.h
+/// \brief Runtime-dispatched SIMD kernels for the hot contiguous-span loops.
+///
+/// The sweep layer's REDUCE merges (λ/ζ/θ banks), the evidence AXPYs over
+/// `elog_theta_delta_t`, and the truncated softmax of the Eq. 2/3
+/// responsibility rows all sweep contiguous double spans — the flat layouts
+/// from the memory-plane PR were built so these loops could vectorize. This
+/// header is the dispatch seam: one `Kernels` table of function pointers per
+/// ISA level, resolved once at startup from cpuid (`__builtin_cpu_supports`)
+/// and the `CPA_SIMD` environment variable, consumed through thin inline
+/// span wrappers.
+///
+/// ## The bit-identity contract
+///
+/// Fits must stay bit-identical across {1..N threads} × {arena, heap} ×
+/// {scalar, AVX2}, so every kernel obeys one rule: **the sequence of IEEE
+/// operations per output value is identical at every level.**
+///
+/// - Element-wise kernels (`accumulate`, `axpy`) are trivially identical —
+///   lane i only ever touches element i.
+/// - Summing reductions (`sum`, `dot`, the softmax/log-sum-exp sums) use a
+///   fixed *lane-ordered* shape at every level: four independent
+///   accumulators fed in steps of four, the tail folded into lanes 0..r-1,
+///   then one fixed horizontal combine `(l0+l1)+(l2+l3)`. The scalar
+///   fallback implements exactly this shape with plain doubles; the AVX2
+///   variant performs the same per-lane additions with vector instructions.
+/// - `max_value` is exempt from lane ordering: max is a pure selection, so
+///   any association yields identical bits (both forms skip NaN inputs the
+///   same way), and the AVX2 variant exploits that with extra accumulator
+///   chains to beat the vmaxpd latency.
+/// - `exp` stays per-lane scalar `std::exp` in both variants (a vectorized
+///   polynomial would diverge from libm in the last ulp), and no variant may
+///   use FMA (it rounds once where mul+add rounds twice).
+///
+/// A kernel that cannot keep this contract ships scalar-only. The contract
+/// is enforced by `tests/core/simd_kernels_test.cc`: exact scalar↔AVX2
+/// equality on randomized spans (all alignments and remainder tails) plus a
+/// full-fit bit-identity run.
+///
+/// ## Adding an ISA variant
+///
+/// 1. Implement the kernel set in `sweep_kernels_avx2.cc` (same TU as the
+///    scalar reference, `__attribute__((target(...)))` per function — the
+///    file itself compiles at the baseline ISA so the dispatch can fall
+///    back on machines without the extension).
+/// 2. Add a `Level` enumerator, extend `KernelsFor`/`DetectLevel` and the
+///    `CPA_SIMD` spelling in `ParseLevelSpec`.
+/// 3. Extend the equality suite to pin the new variant against scalar.
+///
+/// `CPA_SIMD=off` (or `scalar`) forces the scalar table; `CPA_SIMD=avx2`
+/// requests AVX2 and falls back to scalar (with a stderr note) when the CPU
+/// lacks it; unset/`auto` picks the best supported level. `SimdReportLine()`
+/// is the one-line provenance string the server banner and every
+/// `BenchReport` config block carry.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace cpa::simd {
+
+/// ISA levels the dispatch can select. Order is capability order.
+enum class Level {
+  kScalar = 0,  ///< lane-ordered portable C++ (the reference semantics)
+  kAvx2 = 1,    ///< 4-wide AVX2, same per-lane operation sequence
+};
+
+/// \brief One ISA level's kernel set. All pointers are always non-null.
+///
+/// Raw pointers + sizes rather than spans: the table is the ABI between the
+/// dispatch and the per-ISA TU, and the wrappers below keep call sites
+/// span-typed. Every entry accepts n == 0.
+struct Kernels {
+  /// into[i] += from[i] — the λ/ζ/θ REDUCE merge/fold and stick-mass rows.
+  void (*accumulate)(double* into, const double* from, std::size_t n);
+  /// out[i] += scale * in[i] — the `elog_theta_delta_t` evidence AXPY.
+  void (*axpy)(double scale, const double* in, double* out, std::size_t n);
+  /// Lane-ordered Σ v[i].
+  double (*sum)(const double* v, std::size_t n);
+  /// Lane-ordered Σ a[i]·b[i] (no FMA).
+  double (*dot)(const double* a, const double* b, std::size_t n);
+  /// Lane-ordered running max (std::max semantics); -inf for n == 0.
+  double (*max_value)(const double* v, std::size_t n);
+  /// Numerically stable ln Σ exp(v[i]); -inf for n == 0.
+  double (*log_sum_exp)(const double* v, std::size_t n);
+  /// Dense softmax in place; returns the log-normaliser (uniform fill on
+  /// degenerate all--inf input, matching the historical scalar semantics).
+  double (*softmax)(double* v, std::size_t n);
+  /// Truncated softmax in place: entries more than `floor_nats` below the
+  /// row max become exactly 0. Returns the log-normaliser.
+  double (*softmax_floored)(double* v, std::size_t n, double floor_nats);
+};
+
+/// The kernel table for `level`. Requesting a level the build or CPU cannot
+/// run returns the scalar table, so the result is always safe to call.
+const Kernels& KernelsFor(Level level);
+
+/// True when the binary carries AVX2 variants and the CPU reports AVX2.
+bool Avx2Available();
+
+/// The level the process is running at (env override applied, lazily
+/// resolved on first use and then stable).
+Level ActiveLevel();
+
+/// True when `CPA_SIMD` pinned the level (off/scalar/avx2/auto — `auto`
+/// does not count as forced).
+bool ActiveLevelForced();
+
+/// The active kernel table — what every wrapper below calls through.
+const Kernels& Active();
+
+/// "scalar" / "avx2".
+std::string_view LevelName(Level level);
+
+/// Parses a `CPA_SIMD` spelling ("off", "scalar", "avx2", "auto", "on").
+/// Returns false for unknown spellings. `*forced` reports whether the
+/// spelling pins a level (everything except "auto"/"on"/"").
+bool ParseLevelSpec(std::string_view spec, Level* level, bool* forced);
+
+/// Pins the active level for the rest of the process (test hook for the
+/// scalar-vs-AVX2 full-fit identity suite; levels the CPU cannot run clamp
+/// to scalar). Not thread-safe against in-flight kernels — call between
+/// fits only.
+void SetLevelForTesting(Level level);
+
+/// One-line provenance string, e.g. "simd: avx2 (auto)" or
+/// "simd: scalar (forced via CPA_SIMD)".
+std::string SimdReportLine();
+
+// ---------------------------------------------------------------------------
+// Span wrappers over the active table (the call-site API)
+// ---------------------------------------------------------------------------
+
+/// into[i] += from[i] over equal-sized spans.
+inline void Accumulate(std::span<double> into, std::span<const double> from) {
+  Active().accumulate(into.data(), from.data(), into.size());
+}
+
+}  // namespace cpa::simd
+
+#endif  // CPA_CORE_SWEEP_SIMD_H_

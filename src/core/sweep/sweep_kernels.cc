@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "core/sweep/simd.h"
 #include "util/logging.h"
 #include "util/special_functions.h"
 
@@ -200,9 +201,7 @@ void AddEvidenceTerm(const CpaModel& model, ItemId i, std::span<double> scores,
   if (model.y_evidence[i].empty()) return;
   const std::size_t T = model.num_clusters();
   const double evidence_scale = model.y_evidence_weight[i] * extra_scale;
-  for (std::size_t t = 0; t < T; ++t) {
-    scores[t] += evidence_scale * model.elog_theta_base[t];
-  }
+  Axpy(evidence_scale, model.elog_theta_base, scores.first(T));
   for (const auto& [c, weight] : model.y_evidence[i]) {
     Axpy(evidence_scale * weight, model.elog_theta_delta_t.Row(c), scores);
   }
@@ -446,16 +445,13 @@ void UpdateSticks(Matrix& sticks, const Matrix& responsibilities,
       [K](ScratchArena& arena) { return arena.AllocZeroed<double>(K); },
       [&](std::span<double>& partial, std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
-          const auto row = responsibilities.Row(r);
-          for (std::size_t k = 0; k < K; ++k) partial[k] += row[k];
+          simd::Accumulate(partial, responsibilities.Row(r));
         }
       },
       [](std::span<double>& into, std::span<double>& from) {
-        for (std::size_t k = 0; k < into.size(); ++k) into[k] += from[k];
+        simd::Accumulate(into, from);
       },
-      [&](std::span<double>& root) {
-        for (std::size_t k = 0; k < K; ++k) mass[k] += root[k];
-      });
+      [&](std::span<double>& root) { simd::Accumulate(mass, root); });
   // Suffix sums: tail_k = Σ_{l > k} n_l.
   double tail = 0.0;
   std::vector<double> tails(K, 0.0);
@@ -511,15 +507,12 @@ void UpdateLambda(CpaModel& model, const AnswerView& view,
         }
       },
       [](std::span<double>& into, std::span<double>& from) {
-        for (std::size_t e = 0; e < into.size(); ++e) into[e] += from[e];
+        simd::Accumulate(into, from);
       },
       [&](std::span<double>& root) {
         for (std::size_t t = 0; t < T; ++t) {
-          auto into_data = model.lambda[t].Data();
-          const double* from_data = root.data() + t * M * C;
-          for (std::size_t e = 0; e < into_data.size(); ++e) {
-            into_data[e] += from_data[e];
-          }
+          simd::Accumulate(model.lambda[t].Data(),
+                           root.subspan(t * M * C, M * C));
         }
       },
       max_blocks);
@@ -547,14 +540,9 @@ void UpdateZeta(CpaModel& model, const ClusterActivity& activity,
         }
       },
       [](std::span<double>& into, std::span<double>& from) {
-        for (std::size_t e = 0; e < into.size(); ++e) into[e] += from[e];
+        simd::Accumulate(into, from);
       },
-      [&](std::span<double>& root) {
-        auto into_data = model.zeta.Data();
-        for (std::size_t e = 0; e < into_data.size(); ++e) {
-          into_data[e] += root[e];
-        }
-      });
+      [&](std::span<double>& root) { simd::Accumulate(model.zeta.Data(), root); });
 }
 
 void UpdateThetaChannel(CpaModel& model, const ClusterActivity& activity,
@@ -595,17 +583,12 @@ void UpdateThetaChannel(CpaModel& model, const ClusterActivity& activity,
         }
       },
       [](Stats& into, Stats& from) {
-        for (std::size_t e = 0; e < into.a.size(); ++e) into.a[e] += from.a[e];
-        for (std::size_t t = 0; t < into.mass.size(); ++t) {
-          into.mass[t] += from.mass[t];
-        }
+        simd::Accumulate(into.a, from.a);
+        simd::Accumulate(into.mass, from.mass);
       },
       [&](Stats& root) {
-        auto into_data = total_a.Data();
-        for (std::size_t e = 0; e < into_data.size(); ++e) {
-          into_data[e] += root.a[e];
-        }
-        for (std::size_t t = 0; t < T; ++t) total_mass[t] += root.mass[t];
+        simd::Accumulate(total_a.Data(), root.a);
+        simd::Accumulate(total_mass, root.mass);
       });
   for (std::size_t t = 0; t < T; ++t) {
     for (std::size_t c = 0; c < C; ++c) {

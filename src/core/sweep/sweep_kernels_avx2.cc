@@ -1,0 +1,511 @@
+/// \file sweep_kernels_avx2.cc
+/// \brief The dispatched kernel TU: lane-ordered scalar reference kernels,
+/// their AVX2 twins, and the runtime dispatch (see simd.h for the
+/// bit-identity contract).
+///
+/// Both variants of every kernel live in this one TU so the pairing is
+/// reviewable side by side. The file compiles at the baseline ISA; only the
+/// functions marked `CPA_TARGET_AVX2` may execute AVX2 instructions, and
+/// the dispatch never selects them unless cpuid reports the extension — so
+/// the same binary runs on pre-AVX2 machines. No function here may use FMA
+/// (AVX2 alone does not enable it, and the target attribute spells only
+/// "avx2"), keeping mul+add double-rounding identical across variants.
+///
+/// The moved entry points: `cpa::Sum`/`Dot`/`Axpy` (declared in
+/// util/matrix.h) and `cpa::LogSumExp`/`SoftmaxInPlace` (declared in
+/// util/special_functions.h) are defined here rather than in their util
+/// TUs, so every caller — sweep kernels, prediction, SVI, the CBCC/BCC
+/// baselines — routes through the one dispatch table instead of growing
+/// per-caller copies of the loops.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "core/sweep/simd.h"
+#include "util/logging.h"
+#include "util/matrix.h"
+#include "util/special_functions.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CPA_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#define CPA_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define CPA_SIMD_HAVE_AVX2 0
+#define CPA_TARGET_AVX2
+#endif
+
+namespace cpa::simd {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Degenerate softmax input (all -inf, or a stray +inf/NaN maximum): fall
+/// back to the uniform distribution so downstream responsibilities stay
+/// well formed. Shared by every level — identical by construction.
+double UniformFallback(double* v, std::size_t n, double log_norm) {
+  if (n > 0) {
+    const double uniform = 1.0 / static_cast<double>(n);
+    std::fill(v, v + n, uniform);
+  }
+  return log_norm;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (lane-ordered; see simd.h)
+// ---------------------------------------------------------------------------
+
+void AccumulateScalar(double* into, const double* from, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) into[i] += from[i];
+}
+
+void AxpyScalar(double scale, const double* in, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] += scale * in[i];
+}
+
+double SumScalar(const double* v, std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += v[i + 0];
+    lane[1] += v[i + 1];
+    lane[2] += v[i + 2];
+    lane[3] += v[i + 3];
+  }
+  for (std::size_t l = 0; i < n; ++i, ++l) lane[l] += v[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double DotScalar(const double* a, const double* b, std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += a[i + 0] * b[i + 0];
+    lane[1] += a[i + 1] * b[i + 1];
+    lane[2] += a[i + 2] * b[i + 2];
+    lane[3] += a[i + 3] * b[i + 3];
+  }
+  for (std::size_t l = 0; i < n; ++i, ++l) lane[l] += a[i] * b[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double MaxValueScalar(const double* v, std::size_t n) {
+  double lane[4] = {kNegInf, kNegInf, kNegInf, kNegInf};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] = std::max(lane[0], v[i + 0]);
+    lane[1] = std::max(lane[1], v[i + 1]);
+    lane[2] = std::max(lane[2], v[i + 2]);
+    lane[3] = std::max(lane[3], v[i + 3]);
+  }
+  for (std::size_t l = 0; i < n; ++i, ++l) lane[l] = std::max(lane[l], v[i]);
+  return std::max(std::max(lane[0], lane[1]), std::max(lane[2], lane[3]));
+}
+
+/// Lane-ordered Σ exp(v[i] - shift). `exp` is per-lane `std::exp` at every
+/// level, so the only vectorizable work is the shift — kept anyway for the
+/// shared shape.
+double SumExpScalar(const double* v, std::size_t n, double shift) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += std::exp(v[i + 0] - shift);
+    lane[1] += std::exp(v[i + 1] - shift);
+    lane[2] += std::exp(v[i + 2] - shift);
+    lane[3] += std::exp(v[i + 3] - shift);
+  }
+  for (std::size_t l = 0; i < n; ++i, ++l) lane[l] += std::exp(v[i] - shift);
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double LogSumExpScalar(const double* v, std::size_t n) {
+  if (n == 0) return kNegInf;
+  const double max = MaxValueScalar(v, n);
+  if (!std::isfinite(max)) return max;  // all -inf (or a stray +inf/NaN)
+  return max + std::log(SumExpScalar(v, n, max));
+}
+
+double SoftmaxScalar(double* v, std::size_t n) {
+  if (n == 0) return 0.0;
+  const double log_norm = LogSumExpScalar(v, n);
+  if (!std::isfinite(log_norm)) return UniformFallback(v, n, log_norm);
+  for (std::size_t i = 0; i < n; ++i) v[i] = std::exp(v[i] - log_norm);
+  return log_norm;
+}
+
+double SoftmaxFlooredScalar(double* v, std::size_t n, double floor_nats) {
+  if (n == 0) return 0.0;
+  const double max = MaxValueScalar(v, n);
+  if (!std::isfinite(max)) return UniformFallback(v, n, max);
+  // Lane-ordered sum of the surviving exps; floored entries become exactly
+  // 0. The comparison stays in `(v - max) > -floor_nats` form — rewriting
+  // it as `v > max - floor_nats` would round differently at the boundary.
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (std::size_t l = 0; l < 4; ++l) {
+      const double t = v[i + l] - max;
+      if (t > -floor_nats) {
+        const double e = std::exp(t);
+        v[i + l] = e;
+        lane[l] += e;
+      } else {
+        v[i + l] = 0.0;
+      }
+    }
+  }
+  for (std::size_t l = 0; i < n; ++i, ++l) {
+    const double t = v[i] - max;
+    if (t > -floor_nats) {
+      const double e = std::exp(t);
+      v[i] = e;
+      lane[l] += e;
+    } else {
+      v[i] = 0.0;
+    }
+  }
+  const double sum = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (std::size_t j = 0; j < n; ++j) v[j] /= sum;  // sum >= exp(0) = 1
+  return max + std::log(sum);
+}
+
+constexpr Kernels kScalarKernels = {
+    AccumulateScalar, AxpyScalar,    SumScalar,     DotScalar,
+    MaxValueScalar,   LogSumExpScalar, SoftmaxScalar, SoftmaxFlooredScalar,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2 variants (same per-lane operation sequence; see simd.h)
+// ---------------------------------------------------------------------------
+
+#if CPA_SIMD_HAVE_AVX2
+
+CPA_TARGET_AVX2 void AccumulateAvx2(double* into, const double* from,
+                                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm256_storeu_pd(into + i, _mm256_add_pd(_mm256_loadu_pd(into + i),
+                                             _mm256_loadu_pd(from + i)));
+    _mm256_storeu_pd(into + i + 4, _mm256_add_pd(_mm256_loadu_pd(into + i + 4),
+                                                 _mm256_loadu_pd(from + i + 4)));
+    _mm256_storeu_pd(into + i + 8, _mm256_add_pd(_mm256_loadu_pd(into + i + 8),
+                                                 _mm256_loadu_pd(from + i + 8)));
+    _mm256_storeu_pd(into + i + 12,
+                     _mm256_add_pd(_mm256_loadu_pd(into + i + 12),
+                                   _mm256_loadu_pd(from + i + 12)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(into + i, _mm256_add_pd(_mm256_loadu_pd(into + i),
+                                             _mm256_loadu_pd(from + i)));
+  }
+  for (; i < n; ++i) into[i] += from[i];
+}
+
+CPA_TARGET_AVX2 void AxpyAvx2(double scale, const double* in, double* out,
+                              std::size_t n) {
+  const __m256d s = _mm256_set1_pd(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(
+        out + i, _mm256_add_pd(_mm256_loadu_pd(out + i),
+                               _mm256_mul_pd(s, _mm256_loadu_pd(in + i))));
+    _mm256_storeu_pd(
+        out + i + 4,
+        _mm256_add_pd(_mm256_loadu_pd(out + i + 4),
+                      _mm256_mul_pd(s, _mm256_loadu_pd(in + i + 4))));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i, _mm256_add_pd(_mm256_loadu_pd(out + i),
+                               _mm256_mul_pd(s, _mm256_loadu_pd(in + i))));
+  }
+  for (; i < n; ++i) out[i] += scale * in[i];
+}
+
+CPA_TARGET_AVX2 double SumAvx2(const double* v, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) acc = _mm256_add_pd(acc, _mm256_loadu_pd(v + i));
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (std::size_t l = 0; i < n; ++i, ++l) lane[l] += v[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+CPA_TARGET_AVX2 double DotAvx2(const double* a, const double* b,
+                               std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (std::size_t l = 0; i < n; ++i, ++l) lane[l] += a[i] * b[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+CPA_TARGET_AVX2 double MaxValueAvx2(const double* v, std::size_t n) {
+  // Unlike the sums, max needs no fixed lane order: it is a pure selection,
+  // so any association yields the same bits, and both forms skip NaN inputs
+  // the same way — `std::max(acc, x)` keeps acc when x is NaN, and
+  // `vmaxpd(x, acc)` returns its second operand (acc) when either input is
+  // NaN or the two are equal (so ±0 ties also keep acc). That freedom buys
+  // four independent accumulator chains; a single chain would serialize on
+  // the ~4-cycle vmaxpd latency and lose to the autovectorized scalar code.
+  __m256d acc0 = _mm256_set1_pd(kNegInf);
+  __m256d acc1 = acc0;
+  __m256d acc2 = acc0;
+  __m256d acc3 = acc0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_max_pd(_mm256_loadu_pd(v + i), acc0);
+    acc1 = _mm256_max_pd(_mm256_loadu_pd(v + i + 4), acc1);
+    acc2 = _mm256_max_pd(_mm256_loadu_pd(v + i + 8), acc2);
+    acc3 = _mm256_max_pd(_mm256_loadu_pd(v + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_max_pd(_mm256_loadu_pd(v + i), acc0);
+  }
+  acc0 = _mm256_max_pd(_mm256_max_pd(acc1, acc2), _mm256_max_pd(acc3, acc0));
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc0);
+  for (std::size_t l = 0; i < n; ++i, ++l) lane[l] = std::max(lane[l], v[i]);
+  return std::max(std::max(lane[0], lane[1]), std::max(lane[2], lane[3]));
+}
+
+// exp dominates and stays per-lane scalar at every level, so the AVX2
+// variant reuses the scalar body verbatim — a vector subtract would have to
+// round-trip through the stack to feed `std::exp` and measures *slower*
+// than the straight loop. The AVX2 win for LogSumExp/softmax comes from the
+// max pass above.
+CPA_TARGET_AVX2 double SumExpAvx2(const double* v, std::size_t n,
+                                  double shift) {
+  return SumExpScalar(v, n, shift);
+}
+
+CPA_TARGET_AVX2 double LogSumExpAvx2(const double* v, std::size_t n) {
+  if (n == 0) return kNegInf;
+  const double max = MaxValueAvx2(v, n);
+  if (!std::isfinite(max)) return max;
+  return max + std::log(SumExpAvx2(v, n, max));
+}
+
+CPA_TARGET_AVX2 double SoftmaxAvx2(double* v, std::size_t n) {
+  if (n == 0) return 0.0;
+  const double log_norm = LogSumExpAvx2(v, n);
+  if (!std::isfinite(log_norm)) return UniformFallback(v, n, log_norm);
+  // Per-lane scalar exp, as in the scalar reference (see SumExpAvx2).
+  for (std::size_t i = 0; i < n; ++i) v[i] = std::exp(v[i] - log_norm);
+  return log_norm;
+}
+
+CPA_TARGET_AVX2 double SoftmaxFlooredAvx2(double* v, std::size_t n,
+                                          double floor_nats) {
+  if (n == 0) return 0.0;
+  const double max = MaxValueAvx2(v, n);
+  if (!std::isfinite(max)) return UniformFallback(v, n, max);
+  // Responsibility rows concentrate on a handful of clusters, so most
+  // 4-blocks fail the floor entirely: one compare + movemask zeroes them
+  // without touching `exp`. Surviving lanes take the scalar `std::exp`
+  // path in lane order, exactly like the scalar reference.
+  const __m256d maxv = _mm256_set1_pd(max);
+  const __m256d cut = _mm256_set1_pd(-floor_nats);
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  alignas(32) double t[4];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(v + i), maxv);
+    const int alive = _mm256_movemask_pd(_mm256_cmp_pd(d, cut, _CMP_GT_OQ));
+    if (alive == 0) {
+      _mm256_storeu_pd(v + i, _mm256_setzero_pd());
+      continue;
+    }
+    _mm256_store_pd(t, d);
+    for (std::size_t l = 0; l < 4; ++l) {
+      if (alive & (1 << l)) {
+        const double e = std::exp(t[l]);
+        v[i + l] = e;
+        lane[l] += e;
+      } else {
+        v[i + l] = 0.0;
+      }
+    }
+  }
+  for (std::size_t l = 0; i < n; ++i, ++l) {
+    const double d = v[i] - max;
+    if (d > -floor_nats) {
+      const double e = std::exp(d);
+      v[i] = e;
+      lane[l] += e;
+    } else {
+      v[i] = 0.0;
+    }
+  }
+  const double sum = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  const __m256d sv = _mm256_set1_pd(sum);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(v + j, _mm256_div_pd(_mm256_loadu_pd(v + j), sv));
+  }
+  for (; j < n; ++j) v[j] /= sum;
+  return max + std::log(sum);
+}
+
+constexpr Kernels kAvx2Kernels = {
+    AccumulateAvx2, AxpyAvx2,      SumAvx2,     DotAvx2,
+    MaxValueAvx2,   LogSumExpAvx2, SoftmaxAvx2, SoftmaxFlooredAvx2,
+};
+
+#endif  // CPA_SIMD_HAVE_AVX2
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+struct DispatchState {
+  Level level = Level::kScalar;
+  bool forced = false;
+};
+
+Level DetectLevel() {
+  return Avx2Available() ? Level::kAvx2 : Level::kScalar;
+}
+
+DispatchState StateFromEnv() {
+  DispatchState state;
+  const char* env = std::getenv("CPA_SIMD");
+  if (env == nullptr || *env == '\0') {
+    state.level = DetectLevel();
+    return state;
+  }
+  Level requested = Level::kScalar;
+  bool forced = false;
+  if (!ParseLevelSpec(env, &requested, &forced)) {
+    CPA_LOG(kWarning) << "CPA_SIMD=" << env
+                      << " not recognised (off|scalar|avx2|auto); using auto";
+    state.level = DetectLevel();
+    return state;
+  }
+  state.forced = forced;
+  if (!forced) {
+    state.level = DetectLevel();
+  } else if (requested == Level::kAvx2 && !Avx2Available()) {
+    CPA_LOG(kWarning) << "CPA_SIMD=avx2 requested but AVX2 is unavailable; "
+                         "running scalar kernels";
+    state.level = Level::kScalar;
+  } else {
+    state.level = requested;
+  }
+  return state;
+}
+
+DispatchState& MutableState() {
+  static DispatchState state = StateFromEnv();
+  return state;
+}
+
+}  // namespace
+
+const Kernels& KernelsFor(Level level) {
+#if CPA_SIMD_HAVE_AVX2
+  if (level == Level::kAvx2 && Avx2Available()) return kAvx2Kernels;
+#else
+  (void)level;
+#endif
+  return kScalarKernels;
+}
+
+bool Avx2Available() {
+#if CPA_SIMD_HAVE_AVX2
+  static const bool available = __builtin_cpu_supports("avx2") != 0;
+  return available;
+#else
+  return false;
+#endif
+}
+
+Level ActiveLevel() { return MutableState().level; }
+
+bool ActiveLevelForced() { return MutableState().forced; }
+
+const Kernels& Active() { return KernelsFor(MutableState().level); }
+
+std::string_view LevelName(Level level) {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+bool ParseLevelSpec(std::string_view spec, Level* level, bool* forced) {
+  if (spec == "off" || spec == "scalar" || spec == "0") {
+    *level = Level::kScalar;
+    *forced = true;
+    return true;
+  }
+  if (spec == "avx2") {
+    *level = Level::kAvx2;
+    *forced = true;
+    return true;
+  }
+  if (spec == "auto" || spec == "on" || spec == "1" || spec.empty()) {
+    *level = DetectLevel();
+    *forced = false;
+    return true;
+  }
+  return false;
+}
+
+void SetLevelForTesting(Level level) {
+  DispatchState& state = MutableState();
+  state.level = (level == Level::kAvx2 && !Avx2Available()) ? Level::kScalar
+                                                            : level;
+  state.forced = true;
+}
+
+std::string SimdReportLine() {
+  std::string line = "simd: ";
+  line += LevelName(ActiveLevel());
+  line += ActiveLevelForced() ? " (forced via CPA_SIMD)" : " (auto)";
+  return line;
+}
+
+}  // namespace cpa::simd
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points (declared in util/matrix.h and
+// util/special_functions.h; defined here so every caller shares the one
+// kernel table — see the file comment)
+// ---------------------------------------------------------------------------
+
+namespace cpa {
+
+double Sum(std::span<const double> v) {
+  return simd::Active().sum(v.data(), v.size());
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  CPA_CHECK_EQ(a.size(), b.size());
+  return simd::Active().dot(a.data(), b.data(), a.size());
+}
+
+void Axpy(double scale, std::span<const double> in, std::span<double> out) {
+  CPA_CHECK_EQ(in.size(), out.size());
+  simd::Active().axpy(scale, in.data(), out.data(), out.size());
+}
+
+double LogSumExp(std::span<const double> values) {
+  return simd::Active().log_sum_exp(values.data(), values.size());
+}
+
+double SoftmaxInPlace(std::span<double> log_weights) {
+  return simd::Active().softmax(log_weights.data(), log_weights.size());
+}
+
+double SoftmaxInPlace(std::span<double> log_weights, double floor_nats) {
+  return simd::Active().softmax_floored(log_weights.data(), log_weights.size(),
+                                        floor_nats);
+}
+
+}  // namespace cpa

@@ -43,47 +43,8 @@ std::vector<SweepScheduler::Block> SweepScheduler::Partition(std::size_t total,
   return blocks;
 }
 
-void SweepScheduler::ParallelFor(
-    std::size_t total, const std::function<void(std::size_t, std::size_t)>& body,
-    std::size_t min_shard) const {
-  // The util helper already implements inline fallback + shard-per-thread.
-  ::cpa::ParallelFor(pool_, total, body, min_shard);
-}
-
-void SweepScheduler::ParallelMap(
-    std::size_t total,
-    const std::function<void(ScratchArena&, std::size_t, std::size_t)>& body,
-    std::size_t min_shard) const {
-  if (total == 0) return;
-  if (pool_ == nullptr || pool_->num_threads() <= 1 || total < min_shard * 2) {
-    ScratchArena& arena = lane_arena(0);
-    const ScratchArena::Frame frame(arena);
-    body(arena, 0, total);
-    return;
-  }
-  // One shard per lane at most: the shard index doubles as the arena id,
-  // so no two concurrent shards ever share an arena.
-  const std::size_t shards = std::min(
-      num_lanes(), std::max<std::size_t>(1, total / std::max<std::size_t>(1, min_shard)));
-  const std::size_t chunk = (total + shards - 1) / shards;
-  const std::size_t count = (total + chunk - 1) / chunk;  // non-empty shards
-  SubmitAndWait(pool_, count, [&, chunk, total](std::size_t s) {
-    ScratchArena& arena = lane_arena(s);
-    const ScratchArena::Frame frame(arena);
-    const std::size_t begin = s * chunk;
-    body(arena, begin, std::min(total, begin + chunk));
-  });
-}
-
-void SweepScheduler::RunBlocks(const std::vector<Block>& blocks,
-                               const std::function<void(std::size_t)>& run_block) const {
-  if (pool_ == nullptr || pool_->num_threads() <= 1 || blocks.size() <= 1) {
-    for (std::size_t b = 0; b < blocks.size(); ++b) run_block(b);
-    return;
-  }
-  // Per-call latch, not executor-wide Wait: the executor may be a shared
-  // server lane carrying other sessions' blocks concurrently.
-  SubmitAndWait(pool_, blocks.size(), run_block);
-}
+// ParallelFor/ParallelMap/ParallelReduce/RunBlocks are header-only
+// templates on their callable types (sweep_scheduler.h): the kernel bodies
+// inline into the shard loops instead of running behind std::function.
 
 }  // namespace cpa

@@ -36,9 +36,16 @@
 /// executor-wide idleness, so the executor may be shared — a session lane
 /// of the server's `ServerScheduler` works exactly like an owned
 /// `ThreadPool` here.
+///
+/// Every entry point is a template on its callable types, not a
+/// `std::function` consumer: the Eq. 2/Eq. 3 bodies, the REDUCE
+/// make_scratch/merge/fold closures, and the prediction MAP body all inline
+/// into the per-shard/per-block loop. The only type erasure left is the
+/// one the `Executor` interface imposes — a single `std::function` per
+/// submitted shard, never per element.
 
+#include <algorithm>
 #include <cstddef>
-#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -99,19 +106,55 @@ class SweepScheduler {
   /// shards. Safe only for bodies whose writes are disjoint across shards
   /// (per-row updates). Shard boundaries may depend on the thread count —
   /// determinism comes from disjointness, not from the partition.
-  void ParallelFor(std::size_t total,
-                   const std::function<void(std::size_t, std::size_t)>& body,
-                   std::size_t min_shard = 1) const;
+  /// Mirrors the sharding of the `::cpa::ParallelFor` helper exactly.
+  template <typename Body>
+  void ParallelFor(std::size_t total, Body&& body,
+                   std::size_t min_shard = 1) const {
+    if (total == 0) return;
+    const std::size_t grain = std::max<std::size_t>(1, min_shard);
+    if (pool_ == nullptr || pool_->num_threads() <= 1 || total < grain * 2) {
+      body(0, total);
+      return;
+    }
+    const std::size_t shards = std::min(
+        pool_->num_threads(), std::max<std::size_t>(1, total / grain));
+    const std::size_t chunk = (total + shards - 1) / shards;
+    const std::size_t count = (total + chunk - 1) / chunk;  // non-empty shards
+    SubmitAndWait(pool_, count, [&body, chunk, total](std::size_t s) {
+      const std::size_t begin = s * chunk;
+      body(begin, std::min(total, begin + chunk));
+    });
+  }
 
   /// MAP phase with per-shard scratch: like `ParallelFor`, but at most one
   /// shard per lane, each handed its lane's `ScratchArena` inside a fresh
   /// `Frame` (rewound when the shard completes, slabs retained). The body
   /// must produce shard-boundary-independent results — arena memory is
   /// buffer space, never carried state.
-  void ParallelMap(
-      std::size_t total,
-      const std::function<void(ScratchArena&, std::size_t, std::size_t)>& body,
-      std::size_t min_shard = 1) const;
+  template <typename Body>
+  void ParallelMap(std::size_t total, Body&& body,
+                   std::size_t min_shard = 1) const {
+    if (total == 0) return;
+    if (pool_ == nullptr || pool_->num_threads() <= 1 || total < min_shard * 2) {
+      ScratchArena& arena = lane_arena(0);
+      const ScratchArena::Frame frame(arena);
+      body(arena, 0, total);
+      return;
+    }
+    // One shard per lane at most: the shard index doubles as the arena id,
+    // so no two concurrent shards ever share an arena.
+    const std::size_t shards = std::min(
+        num_lanes(),
+        std::max<std::size_t>(1, total / std::max<std::size_t>(1, min_shard)));
+    const std::size_t chunk = (total + shards - 1) / shards;
+    const std::size_t count = (total + chunk - 1) / chunk;  // non-empty shards
+    SubmitAndWait(pool_, count, [this, &body, chunk, total](std::size_t s) {
+      ScratchArena& arena = lane_arena(s);
+      const ScratchArena::Frame frame(arena);
+      const std::size_t begin = s * chunk;
+      body(arena, begin, std::min(total, begin + chunk));
+    });
+  }
 
   /// REDUCE phase: folds [0, total) through per-block partials into the
   /// caller's statistic.
@@ -132,12 +175,11 @@ class SweepScheduler {
   /// pure function of the problem shape, never of the thread count, or
   /// the reduction tree (and with it bit-exactness across thread counts)
   /// would change.
-  template <typename Scratch>
+  template <typename Scratch, typename MakeScratch, typename Body,
+            typename Merge, typename Fold>
   void ParallelReduce(std::size_t total, std::size_t grain,
-                      const std::function<Scratch(ScratchArena&)>& make_scratch,
-                      const std::function<void(Scratch&, std::size_t, std::size_t)>& body,
-                      const std::function<void(Scratch&, Scratch&)>& merge,
-                      const std::function<void(Scratch&)>& fold,
+                      MakeScratch&& make_scratch, Body&& body, Merge&& merge,
+                      Fold&& fold,
                       std::size_t max_blocks = kMaxReduceBlocks) const {
     const std::vector<Block> blocks = Partition(total, grain, max_blocks);
     if (blocks.empty()) return;
@@ -173,8 +215,16 @@ class SweepScheduler {
 
  private:
   /// Executes `run_block(b)` for every block, on the executor when present.
-  void RunBlocks(const std::vector<Block>& blocks,
-                 const std::function<void(std::size_t)>& run_block) const;
+  template <typename RunBlock>
+  void RunBlocks(const std::vector<Block>& blocks, RunBlock&& run_block) const {
+    if (pool_ == nullptr || pool_->num_threads() <= 1 || blocks.size() <= 1) {
+      for (std::size_t b = 0; b < blocks.size(); ++b) run_block(b);
+      return;
+    }
+    // Per-call latch, not executor-wide Wait: the executor may be a shared
+    // server lane carrying other sessions' blocks concurrently.
+    SubmitAndWait(pool_, blocks.size(), run_block);
+  }
 
   Executor* pool_;
 

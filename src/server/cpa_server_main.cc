@@ -6,6 +6,7 @@
 ///                [--transport json|binary]
 ///                [--max-connections C] [--max-frame-bytes B]
 ///                [--router --workers ADDR,ADDR,...]
+///   $ cpa_server --methods   # list registered methods + simd level, exit
 ///
 /// Without `--tcp`/`--unix` the server speaks line-delimited JSON over
 /// stdin/stdout — one JSON request per input line, one JSON response per
@@ -47,6 +48,8 @@
 #include <string>
 #include <vector>
 
+#include "core/sweep/simd.h"
+#include "engine/engine_registry.h"
 #include "server/consensus_server.h"
 #include "server/idle_sweeper.h"
 #include "server/router.h"
@@ -76,6 +79,17 @@ int main(int argc, char** argv) {
   const auto flags = cpa::Flags::Parse(argc, argv);
   CPA_CHECK(flags.ok()) << flags.status().ToString();
 
+  if (flags.value().GetBool("methods", false)) {
+    // Capability probe for deploy scripts: the registered methods plus the
+    // kernel level this binary will run (docs/ARCHITECTURE.md §3c).
+    for (const std::string& name :
+         cpa::EngineRegistry::Global().MethodNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    std::printf("%s\n", cpa::simd::SimdReportLine().c_str());
+    return 0;
+  }
+
   cpa::ConsensusServerOptions options;
   options.sessions.num_threads =
       static_cast<std::size_t>(flags.value().GetInt("num-threads", 1));
@@ -99,9 +113,10 @@ int main(int argc, char** argv) {
     cpa::ConsensusServer server(options);
     std::fprintf(stderr,
                  "cpa_server: serving on stdin/stdout (num_threads=%zu, "
-                 "max_sessions=%zu, idle_timeout=%.1fs)\n",
+                 "max_sessions=%zu, idle_timeout=%.1fs, %s)\n",
                  options.sessions.num_threads, options.sessions.max_sessions,
-                 options.idle_timeout_seconds);
+                 options.idle_timeout_seconds,
+                 cpa::simd::SimdReportLine().c_str());
     server.Serve(std::cin, std::cout);
     return 0;
   }
@@ -165,17 +180,19 @@ int main(int argc, char** argv) {
   if (router_mode) {
     std::fprintf(stderr,
                  "cpa_server: routing on %s (transport=%s, workers=%zu, "
-                 "max_connections=%zu)\n",
+                 "max_connections=%zu, %s)\n",
                  endpoint.c_str(), transport.c_str(), router->num_workers(),
-                 tcp_options.max_connections);
+                 tcp_options.max_connections,
+                 cpa::simd::SimdReportLine().c_str());
   } else {
     std::fprintf(stderr,
                  "cpa_server: listening on %s (transport=%s, "
                  "num_threads=%zu, max_sessions=%zu, max_connections=%zu, "
-                 "idle_timeout=%.1fs)\n",
+                 "idle_timeout=%.1fs, %s)\n",
                  endpoint.c_str(), transport.c_str(),
                  options.sessions.num_threads, options.sessions.max_sessions,
-                 tcp_options.max_connections, options.idle_timeout_seconds);
+                 tcp_options.max_connections, options.idle_timeout_seconds,
+                 cpa::simd::SimdReportLine().c_str());
   }
 
   WaitForShutdownSignal();

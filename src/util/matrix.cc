@@ -47,11 +47,9 @@ std::size_t Matrix::ArgMaxRow(std::size_t r) const {
       std::max_element(row.begin(), row.end()) - row.begin());
 }
 
-double Sum(std::span<const double> v) {
-  double total = 0.0;
-  for (double x : v) total += x;
-  return total;
-}
+// Sum, Dot and Axpy are defined in core/sweep/sweep_kernels_avx2.cc — the
+// dispatched-kernel TU — so the span primitives run the runtime-selected
+// scalar/AVX2 variant everywhere.
 
 double NormalizeInPlace(std::span<double> v) {
   const double total = Sum(v);
@@ -66,24 +64,12 @@ double NormalizeInPlace(std::span<double> v) {
   return total;
 }
 
-double Dot(std::span<const double> a, std::span<const double> b) {
-  CPA_CHECK_EQ(a.size(), b.size());
-  double total = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
-  return total;
-}
-
 double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
   const double dot = Dot(a, b);
   const double na = std::sqrt(Dot(a, a));
   const double nb = std::sqrt(Dot(b, b));
   if (na <= 0.0 || nb <= 0.0) return 0.0;
   return dot / (na * nb);
-}
-
-void Axpy(double scale, std::span<const double> in, std::span<double> out) {
-  CPA_CHECK_EQ(in.size(), out.size());
-  for (std::size_t i = 0; i < in.size(); ++i) out[i] += scale * in[i];
 }
 
 double MaxAbsDiff(std::span<const double> a, std::span<const double> b) {

@@ -89,6 +89,11 @@ class Matrix {
 };
 
 /// \name Vector kernels (operate on spans so they compose with Matrix rows).
+///
+/// `Sum`, `Dot` and `Axpy` are defined in the dispatched-kernel TU
+/// (core/sweep/sweep_kernels_avx2.cc) and run the runtime-selected scalar
+/// or AVX2 variant; both are lane-ordered so results are bit-identical
+/// (see core/sweep/simd.h).
 /// @{
 
 /// Sum of entries.

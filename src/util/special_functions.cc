@@ -73,50 +73,9 @@ double LogMultivariateBeta(std::span<const double> alpha) {
   return log_gammas - LogGamma(sum);
 }
 
-double LogSumExp(std::span<const double> values) {
-  if (values.empty()) return -std::numeric_limits<double>::infinity();
-  const double max = *std::max_element(values.begin(), values.end());
-  if (!std::isfinite(max)) return max;  // all -inf (or a stray +inf/NaN)
-  double sum = 0.0;
-  for (double v : values) sum += std::exp(v - max);
-  return max + std::log(sum);
-}
-
-double SoftmaxInPlace(std::span<double> log_weights) {
-  if (log_weights.empty()) return 0.0;
-  const double log_norm = LogSumExp(log_weights);
-  if (!std::isfinite(log_norm)) {
-    // Degenerate input (all -inf): fall back to the uniform distribution so
-    // downstream responsibilities stay well formed.
-    const double uniform = 1.0 / static_cast<double>(log_weights.size());
-    std::fill(log_weights.begin(), log_weights.end(), uniform);
-    return log_norm;
-  }
-  for (double& v : log_weights) v = std::exp(v - log_norm);
-  return log_norm;
-}
-
-double SoftmaxInPlace(std::span<double> log_weights, double floor_nats) {
-  if (log_weights.empty()) return 0.0;
-  double max = -std::numeric_limits<double>::infinity();
-  for (double v : log_weights) max = std::max(max, v);
-  if (!std::isfinite(max)) {
-    const double uniform = 1.0 / static_cast<double>(log_weights.size());
-    std::fill(log_weights.begin(), log_weights.end(), uniform);
-    return max;
-  }
-  double sum = 0.0;
-  for (double& v : log_weights) {
-    if (v - max > -floor_nats) {
-      v = std::exp(v - max);
-      sum += v;
-    } else {
-      v = 0.0;
-    }
-  }
-  for (double& v : log_weights) v /= sum;  // sum >= exp(0) = 1
-  return max + std::log(sum);
-}
+// LogSumExp and both SoftmaxInPlace overloads are defined in
+// core/sweep/sweep_kernels_avx2.cc — the dispatched-kernel TU — so every
+// caller shares the runtime-selected scalar/AVX2 implementation.
 
 double DirichletEntropy(std::span<const double> alpha) {
   CPA_CHECK(!alpha.empty());

@@ -35,10 +35,15 @@ double LogBeta(double a, double b);
 double LogMultivariateBeta(std::span<const double> alpha);
 
 /// \brief Numerically stable ln Σ exp(v_i). Returns −inf for empty input.
+///
+/// Defined in the dispatched-kernel TU (core/sweep/sweep_kernels_avx2.cc):
+/// the reduction runs the runtime-selected scalar or AVX2 variant, both
+/// lane-ordered so results are identical (see core/sweep/simd.h).
 double LogSumExp(std::span<const double> values);
 
 /// \brief In-place transform of log-weights into a normalised probability
 /// vector via softmax; returns the log-normaliser. No-op on empty input.
+/// Dispatched like `LogSumExp` (see core/sweep/simd.h).
 double SoftmaxInPlace(std::span<double> log_weights);
 
 /// \brief Softmax with an underflow floor: entries more than `floor_nats`

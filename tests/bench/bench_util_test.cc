@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/sweep/simd.h"
 #include "gtest/gtest.h"
 
 namespace cpa::bench {
@@ -101,6 +102,12 @@ TEST(BenchReportTest, ToJsonIsValidJsonWithRequiredKeys) {
   EXPECT_DOUBLE_EQ(config->Find("seed")->number_value(), 42.0);
   EXPECT_DOUBLE_EQ(config->Find("cpa_iterations")->number_value(), 7.0);
   EXPECT_DOUBLE_EQ(config->Find("runs")->number_value(), 3.0);
+  // The kernel level is recorded so scalar and AVX2 runs are never
+  // mistaken for comparable timings.
+  ASSERT_NE(config->Find("simd"), nullptr);
+  EXPECT_EQ(config->Find("simd")->string_value(),
+            simd::LevelName(simd::ActiveLevel()));
+  ASSERT_NE(config->Find("simd_forced"), nullptr);
 
   const JsonValue* results = doc.Find("results");
   ASSERT_NE(results, nullptr);
