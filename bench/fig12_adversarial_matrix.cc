@@ -1,0 +1,417 @@
+/// Fig 12 (repo extension, no paper counterpart): the adversarial scenario
+/// matrix. Every scenario of `StandardScenarioMatrix`
+/// (simulation/adversary.h) — spammer floods, colluding cliques, sleeper
+/// drift, heavy-tail difficulty, bursty arrival, plus a clean baseline and
+/// a degenerate spam-majority stress — is replayed through every method of
+/// `EngineRegistry::Global()` as a batched stream. Per cell the bench
+/// records final accuracy, the batch at which predictions stopped moving,
+/// and per-batch Observe/Snapshot latency percentiles; per batch it also
+/// asserts the robustness invariants (finite scores, monotone counters) so
+/// a regression fails the run rather than skewing the numbers.
+///
+/// A second axis replays the nastiest scenario (lowest CPA F1 among the
+/// non-degenerate cells) through a live TCP `cpa_server`: N concurrent
+/// binary-protocol connections each stream the full adversarial plan and
+/// the report carries the tail latency of the wire under hostile input,
+/// comparable against BENCH_fig11_server_throughput.json.
+///
+///   $ fig12_adversarial_matrix                   # full matrix + replay
+///   $ fig12_adversarial_matrix --quick           # CI smoke
+///   $ fig12_adversarial_matrix --replay-only     # wire axis only (TSan job)
+///   $ fig12_adversarial_matrix --connections 16  # heavier replay load
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/engine_registry.h"
+#include "eval/metrics.h"
+#include "server/binary_codec.h"
+#include "server/consensus_server.h"
+#include "server/tcp_client.h"
+#include "server/tcp_transport.h"
+#include "simulation/adversary.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+#include "util/string_utils.h"
+
+using namespace cpa;
+
+namespace {
+
+using server::BinaryResponse;
+using server::Frame;
+using server::FrameKind;
+using server::TcpFrameClient;
+
+/// One (scenario, method) cell of the matrix.
+struct CellResult {
+  std::string scenario;
+  std::string method;
+  SetMetrics metrics;
+  std::size_t convergence_batch = 0;  ///< last batch that moved predictions
+  std::size_t answers = 0;
+  double wall_s = 0.0;
+  std::vector<double> observe_ms;
+  std::vector<double> snapshot_ms;
+};
+
+/// The robustness invariants: every score finite, counters monotone.
+void CheckSnapshotInvariants(const ConsensusSnapshot& snapshot,
+                             const char* where, std::size_t min_batches,
+                             std::size_t min_answers) {
+  for (std::size_t r = 0; r < snapshot.label_scores.rows(); ++r) {
+    for (double score : snapshot.label_scores.Row(r)) {
+      CPA_CHECK(std::isfinite(score))
+          << where << ": non-finite score in row " << r;
+    }
+  }
+  CPA_CHECK(std::isfinite(snapshot.learning_rate)) << where;
+  CPA_CHECK_GE(snapshot.batches_seen, min_batches) << where;
+  CPA_CHECK_GE(snapshot.answers_seen, min_answers) << where;
+}
+
+/// Streams one scenario through one engine, timing each op.
+CellResult RunCell(const AdversarialScenario& scenario,
+                   const AdversarialStream& stream, const std::string& method,
+                   std::size_t cpa_iterations) {
+  CellResult cell;
+  cell.scenario = scenario.name;
+  cell.method = method;
+
+  EngineConfig config = EngineConfig::ForDataset(method, stream.dataset);
+  config.cpa.max_iterations = cpa_iterations;
+  auto opened = EngineRegistry::Global().Open(config);
+  CPA_CHECK(opened.ok()) << method << ": " << opened.status().ToString();
+  ConsensusEngine& engine = *opened.value();
+
+  const Stopwatch wall;
+  std::size_t batches_seen = 0;
+  std::size_t answers_seen = 0;
+  std::vector<LabelSet> previous_predictions;
+  for (const auto& batch : stream.plan.batches) {
+    Stopwatch stopwatch;
+    const Status observed = engine.Observe({&stream.dataset.answers, batch});
+    cell.observe_ms.push_back(stopwatch.ElapsedMillis());
+    CPA_CHECK(observed.ok())
+        << scenario.name << "@" << method << ": " << observed.ToString();
+    ++batches_seen;
+    answers_seen += batch.size();
+
+    stopwatch = Stopwatch();
+    auto snapshot = engine.Snapshot();
+    cell.snapshot_ms.push_back(stopwatch.ElapsedMillis());
+    CPA_CHECK(snapshot.ok())
+        << scenario.name << "@" << method << ": "
+        << snapshot.status().ToString();
+    CheckSnapshotInvariants(*snapshot.value(), scenario.name.c_str(),
+                            batches_seen, answers_seen);
+    if (snapshot.value()->predictions != previous_predictions) {
+      cell.convergence_batch = batches_seen;
+      previous_predictions = snapshot.value()->predictions;
+    }
+  }
+  auto final_snapshot = engine.Finalize();
+  CPA_CHECK(final_snapshot.ok()) << final_snapshot.status().ToString();
+  CheckSnapshotInvariants(*final_snapshot.value(), "finalize", batches_seen,
+                          answers_seen);
+  cell.wall_s = wall.ElapsedSeconds();
+  cell.answers = answers_seen;
+  cell.metrics = ComputeSetMetrics(final_snapshot.value()->predictions,
+                                   stream.dataset.ground_truth);
+  return cell;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+void CheckJsonOk(const Frame& frame, const char* what) {
+  CPA_CHECK(frame.kind == FrameKind::kJson) << what;
+  const auto parsed = JsonValue::Parse(frame.payload);
+  CPA_CHECK(parsed.ok()) << what << ": " << frame.payload;
+  const JsonValue* ok = parsed.value().Find("ok");
+  CPA_CHECK(ok != nullptr && ok->bool_value()) << what << ": " << frame.payload;
+}
+
+BinaryResponse CheckBinaryOk(const Frame& frame, const char* what) {
+  CPA_CHECK(frame.kind == FrameKind::kBinary) << what;
+  auto decoded = server::DecodeBinaryResponse(frame.payload);
+  CPA_CHECK(decoded.ok()) << what << ": " << decoded.status().ToString();
+  CPA_CHECK(decoded.value().ok)
+      << what << ": " << decoded.value().error.ToString();
+  return std::move(decoded).value();
+}
+
+double TimedRoundtrip(TcpFrameClient& client, FrameKind kind,
+                      std::string_view payload, Frame& reply) {
+  const Stopwatch stopwatch;
+  auto result = client.Roundtrip(kind, payload);
+  const double ms = stopwatch.ElapsedMillis();
+  CPA_CHECK(result.ok()) << result.status().ToString();
+  reply = std::move(result).value();
+  return ms;
+}
+
+/// Latency samples of the wire-replay axis.
+struct ReplayResult {
+  double wall_s = 0.0;
+  std::size_t answers = 0;
+  std::vector<double> observe_ms;
+  std::vector<double> snapshot_ms;
+};
+
+/// Replays the scenario stream through a live TCP server: `connections`
+/// concurrent binary-protocol sessions, each streaming the full plan.
+ReplayResult ReplayOverTcp(const AdversarialStream& stream,
+                           const std::string& method,
+                           std::size_t cpa_iterations,
+                           std::size_t connections) {
+  EngineConfig engine_config =
+      EngineConfig::ForDataset(method, stream.dataset);
+  engine_config.cpa.max_iterations = cpa_iterations;
+
+  ConsensusServerOptions server_options;
+  server_options.sessions.max_sessions = connections + 1;
+  ConsensusServer server(server_options);
+  TcpTransportOptions tcp_options;
+  tcp_options.max_connections = connections + 8;
+  TcpTransport transport(server, tcp_options);
+  CPA_CHECK_OK(transport.Start());
+
+  std::vector<ReplayResult> stats(connections);
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  std::atomic<bool> go{false};
+  for (std::size_t s = 0; s < connections; ++s) {
+    clients.emplace_back([&, s] {
+      auto connect = TcpFrameClient::Connect("127.0.0.1", transport.port());
+      CPA_CHECK(connect.ok()) << connect.status().ToString();
+      TcpFrameClient client = std::move(connect).value();
+      const std::string session = StrFormat("adversarial-%zu", s);
+      Frame reply;
+
+      JsonValue::Object open;
+      open["op"] = JsonValue(std::string("open"));
+      open["session"] = JsonValue(session);
+      open["config"] = engine_config.ToJson();
+      auto opened = client.Roundtrip(FrameKind::kJson,
+                                     JsonValue(std::move(open)).DumpCompact());
+      CPA_CHECK(opened.ok()) << opened.status().ToString();
+      CheckJsonOk(opened.value(), "open");
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+
+      std::vector<Answer> batch_answers;
+      for (const auto& batch : stream.plan.batches) {
+        batch_answers.clear();
+        batch_answers.reserve(batch.size());
+        for (std::size_t index : batch) {
+          batch_answers.push_back(stream.dataset.answers.answer(index));
+        }
+        stats[s].observe_ms.push_back(TimedRoundtrip(
+            client, FrameKind::kBinary,
+            server::EncodeObserveRequest(session, batch_answers), reply));
+        CheckBinaryOk(reply, "observe");
+        stats[s].snapshot_ms.push_back(TimedRoundtrip(
+            client, FrameKind::kBinary,
+            server::EncodeSnapshotRequest(session, /*refresh=*/true,
+                                          /*include_predictions=*/true),
+            reply));
+        CheckBinaryOk(reply, "snapshot");
+        stats[s].answers += batch.size();
+      }
+      auto finalized = client.Roundtrip(
+          FrameKind::kBinary, server::EncodeFinalizeRequest(session, false));
+      CPA_CHECK(finalized.ok()) << finalized.status().ToString();
+      CheckBinaryOk(finalized.value(), "finalize");
+      auto closed = client.Roundtrip(
+          FrameKind::kJson,
+          StrFormat("{\"op\":\"close\",\"session\":\"%s\"}", session.c_str()));
+      CPA_CHECK(closed.ok()) << closed.status().ToString();
+      CheckJsonOk(closed.value(), "close");
+    });
+  }
+
+  ReplayResult result;
+  while (transport.num_connections() < connections) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const Stopwatch wall;
+  go.store(true, std::memory_order_release);
+  for (auto& client : clients) client.join();
+  result.wall_s = wall.ElapsedSeconds();
+  for (ReplayResult& client : stats) {
+    result.answers += client.answers;
+    result.observe_ms.insert(result.observe_ms.end(),
+                             client.observe_ms.begin(),
+                             client.observe_ms.end());
+    result.snapshot_ms.insert(result.snapshot_ms.end(),
+                              client.snapshot_ms.begin(),
+                              client.snapshot_ms.end());
+  }
+  CPA_CHECK_EQ(server.sessions().num_sessions(), 0u);
+  transport.Shutdown();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv, 1.0);
+  const auto flags = Flags::Parse(argc, argv);
+  CPA_CHECK(flags.ok()) << flags.status().ToString();
+  const bool quick = flags.value().GetBool("quick", false);
+  const bool replay_only = flags.value().GetBool("replay-only", false);
+  std::size_t connections =
+      static_cast<std::size_t>(flags.value().GetInt("connections", 8));
+  if (quick) {
+    config.scale = std::min(config.scale, 0.15);
+    config.cpa_iterations = std::min<std::size_t>(config.cpa_iterations, 6);
+    connections = std::min<std::size_t>(connections, 2);
+  }
+
+  bench::PrintHeader(
+      "Fig 12 — adversarial scenario matrix",
+      "Every StandardScenarioMatrix scenario through every registry method, "
+      "with per-batch invariant checks; then the worst scenario replayed "
+      "over a live TCP server.",
+      config);
+
+  const auto scenarios = StandardScenarioMatrix(config.seed, config.scale);
+  const auto methods = EngineRegistry::Global().MethodNames();
+  bench::BenchReport report("fig12_adversarial_matrix", config);
+
+  // The replay axis defaults to the flood scenario and, after a matrix
+  // run, upgrades to whichever non-degenerate scenario hurt CPA most.
+  std::size_t replay_scenario = 1;  // spammer-flood
+  CPA_CHECK_LT(replay_scenario, scenarios.size());
+
+  if (!replay_only) {
+    // Generate every stream once (parallel answer pass is pointless here —
+    // the scenarios are independent workloads, not one big one).
+    std::vector<AdversarialStream> streams;
+    streams.reserve(scenarios.size());
+    for (const auto& scenario : scenarios) {
+      auto stream = GenerateAdversarialStream(scenario.config);
+      CPA_CHECK(stream.ok())
+          << scenario.name << ": " << stream.status().ToString();
+      streams.push_back(std::move(stream).value());
+    }
+
+    // The matrix: cells are independent (one fresh engine each), so a
+    // small runner pool walks an atomic cursor over scenario × method.
+    struct Cell {
+      std::size_t scenario;
+      std::size_t method;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        cells.push_back(Cell{s, m});
+      }
+    }
+    std::vector<CellResult> results(cells.size());
+    std::atomic<std::size_t> cursor{0};
+    const std::size_t runners = std::max<std::size_t>(
+        1, std::min<std::size_t>(4, std::thread::hardware_concurrency()));
+    std::vector<std::thread> pool;
+    pool.reserve(runners);
+    for (std::size_t r = 0; r < runners; ++r) {
+      pool.emplace_back([&] {
+        for (std::size_t index = cursor.fetch_add(1); index < cells.size();
+             index = cursor.fetch_add(1)) {
+          const Cell& cell = cells[index];
+          results[index] =
+              RunCell(scenarios[cell.scenario], streams[cell.scenario],
+                      methods[cell.method], config.cpa_iterations);
+        }
+      });
+    }
+    for (auto& runner : pool) runner.join();
+
+    std::printf("\n%-22s %-8s %8s %8s %8s %6s %12s %12s\n", "scenario",
+                "method", "F1", "prec", "recall", "conv", "observe_p95",
+                "snapshot_p95");
+    std::printf("%s\n", std::string(92, '-').c_str());
+    double worst_cpa_f1 = 2.0;
+    for (std::size_t index = 0; index < results.size(); ++index) {
+      const CellResult& cell = results[index];
+      const auto key = [&](const char* name) {
+        return StrFormat("%s@%s_%s", cell.scenario.c_str(),
+                         cell.method.c_str(), name);
+      };
+      report.Add(key("f1"), cell.metrics.F1(), "ratio");
+      report.Add(key("precision"), cell.metrics.precision, "ratio");
+      report.Add(key("recall"), cell.metrics.recall, "ratio");
+      report.Add(key("convergence_batch"),
+                 static_cast<double>(cell.convergence_batch), "batch");
+      report.Add(key("observe_p50"), Percentile(cell.observe_ms, 0.5), "ms");
+      report.Add(key("observe_p95"), Percentile(cell.observe_ms, 0.95), "ms");
+      report.Add(key("snapshot_p95"), Percentile(cell.snapshot_ms, 0.95),
+                 "ms");
+      std::printf("%-22s %-8s %8.3f %8.3f %8.3f %6zu %12.3f %12.3f\n",
+                  cell.scenario.c_str(), cell.method.c_str(),
+                  cell.metrics.F1(), cell.metrics.precision,
+                  cell.metrics.recall, cell.convergence_batch,
+                  Percentile(cell.observe_ms, 0.95),
+                  Percentile(cell.snapshot_ms, 0.95));
+      if (cell.method == "CPA" &&
+          !scenarios[cells[index].scenario].degenerate &&
+          cell.metrics.F1() < worst_cpa_f1) {
+        worst_cpa_f1 = cell.metrics.F1();
+        replay_scenario = cells[index].scenario;
+      }
+    }
+    report.Add("scenarios", static_cast<double>(scenarios.size()), "count");
+    report.Add("methods", static_cast<double>(methods.size()), "count");
+  }
+
+  // Wire axis: the nastiest stream against a live server.
+  const AdversarialScenario& nasty = scenarios[replay_scenario];
+  auto nasty_stream = GenerateAdversarialStream(nasty.config);
+  CPA_CHECK(nasty_stream.ok()) << nasty_stream.status().ToString();
+  std::printf("\nreplaying '%s' over TCP (%zu connections, CPA-SVI)...\n",
+              nasty.name.c_str(), connections);
+  const ReplayResult replay = ReplayOverTcp(
+      nasty_stream.value(), "CPA-SVI", config.cpa_iterations, connections);
+  report.Add("replay_wall", replay.wall_s, "s");
+  report.Add("replay_answers_per_s",
+             static_cast<double>(replay.answers) / replay.wall_s, "1/s");
+  report.Add("replay_observe_p50", Percentile(replay.observe_ms, 0.5), "ms");
+  report.Add("replay_observe_p95", Percentile(replay.observe_ms, 0.95), "ms");
+  report.Add("replay_observe_p99", Percentile(replay.observe_ms, 0.99), "ms");
+  report.Add("replay_snapshot_p50", Percentile(replay.snapshot_ms, 0.5),
+             "ms");
+  report.Add("replay_snapshot_p95", Percentile(replay.snapshot_ms, 0.95),
+             "ms");
+  report.Add("replay_snapshot_p99", Percentile(replay.snapshot_ms, 0.99),
+             "ms");
+  std::printf("replay: %.0f answers/s, observe p95 %.3f ms, snapshot p95 "
+              "%.3f ms\n",
+              static_cast<double>(replay.answers) / replay.wall_s,
+              Percentile(replay.observe_ms, 0.95),
+              Percentile(replay.snapshot_ms, 0.95));
+
+  CPA_CHECK_OK(report.Write());
+  std::printf(
+      "\nExpected shape: CPA variants should dominate MV/EM on every "
+      "non-degenerate adversarial scenario (model-based worker quality "
+      "absorbs spam and collusion); spam-majority is past every method's "
+      "breakdown point and is reported for the record only.\n");
+  return 0;
+}

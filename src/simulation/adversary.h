@@ -1,0 +1,182 @@
+#ifndef CPA_SIMULATION_ADVERSARY_H_
+#define CPA_SIMULATION_ADVERSARY_H_
+
+/// \file adversary.h
+/// \brief The adversarial workload generator: large seeded answer streams
+/// with controllable hostile worker strategies.
+///
+/// The paper's robustness experiments are thin slices — Fig 4 sweeps one
+/// spammer ratio, Fig 6 one arrival schedule. This generator turns them
+/// into a scenario *matrix*: a stream is a ground truth (truth_generator.h)
+/// plus a worker population in which every worker follows one of six
+/// strategies —
+///
+///   - **honest**: an archetype profile (worker_profile.h) answering
+///     through the paper's candidate-set simulator (crowd_simulator.h);
+///   - **uniform-spammer** / **random-spammer**: the shared `SpammerSpec`
+///     behaviour of the Fig 4 injection operator;
+///   - **sticky-spammer**: one fixed multi-label set pasted on every item;
+///   - **colluder**: copies a per-(clique, item) ringleader answer, with a
+///     small mutation rate so cliques are near- but not perfectly identical;
+///   - **sleeper**: honest until an activation point of the stream, then
+///     drifting into spam over a configurable ramp —
+///
+/// with two orthogonal stream axes: heavy-tail per-item difficulty (a
+/// Lomax draw subtracted from honest skills) and a bursty arrival schedule
+/// (answers clump into a few time windows instead of arriving uniformly).
+///
+/// Everything is derived from `AdversaryConfig::seed` through per-entity
+/// sub-RNGs, so generation is **bit-reproducible across 1..N generator
+/// threads**: pass an `Executor` to parallelise the per-item answer pass —
+/// each item derives its own RNG from (seed, item), so the thread count
+/// and shard boundaries never touch the stream (the same contract as
+/// `SweepScheduler`, tested in tests/simulation/adversary_test.cc).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/dataset.h"
+#include "simulation/crowd_simulator.h"
+#include "simulation/perturbations.h"
+#include "simulation/worker_profile.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace cpa {
+
+/// \brief What one worker of an adversarial stream does. The first entry
+/// is the only cooperative one.
+enum class WorkerStrategy {
+  kHonest,
+  kUniformSpammer,
+  kStickySpammer,
+  kRandomSpammer,
+  kColluder,
+  kSleeper,
+};
+
+/// Stable display name ("honest", "sticky-spammer", ...).
+std::string_view WorkerStrategyName(WorkerStrategy strategy);
+
+/// \brief Strategy proportions of the worker population.
+struct StrategyMix {
+  double honest = 1.0;
+  double uniform_spammer = 0.0;
+  double sticky_spammer = 0.0;
+  double random_spammer = 0.0;
+  double colluder = 0.0;
+  double sleeper = 0.0;
+
+  /// Proportions must be non-negative and sum to 1 (±1e-6).
+  Status Validate() const;
+};
+
+/// \brief When answers arrive relative to the stream clock in [0, 1).
+enum class ArrivalPattern {
+  kUniform,  ///< i.i.d. uniform timestamps (Fig 6's protocol)
+  kBursty,   ///< Gaussian bursts around a few centres + uniform background
+};
+
+/// \brief Everything that defines one adversarial scenario.
+struct AdversaryConfig {
+  std::uint64_t seed = 20180417;
+
+  /// Stream dimensions.
+  std::size_t num_items = 300;
+  std::size_t num_workers = 80;
+  std::size_t num_labels = 12;
+  std::size_t num_clusters = 5;  ///< latent truth clusters (truth_generator.h)
+  double answers_per_item = 7.0;
+
+  /// Worker strategies and, for the honest/sleeper pool, the archetype mix
+  /// their skill profiles are drawn from (spammer archetype shares here
+  /// would double-count — strategies own the adversarial fractions).
+  StrategyMix strategies;
+  PopulationMix honest_mix;  ///< default set by the constructor below
+
+  /// Colluders: `num_cliques` independent rings; each answer copies the
+  /// clique's per-item ringleader set verbatim with probability
+  /// `collusion_fidelity`, else mutates it by one label.
+  std::size_t num_cliques = 2;
+  double collusion_fidelity = 0.9;
+
+  /// Sleepers: honest while the stream clock is below `sleeper_activation`,
+  /// then the per-answer spam probability ramps linearly from 0 to 1 over
+  /// `sleeper_ramp` of the stream.
+  double sleeper_activation = 0.5;
+  double sleeper_ramp = 0.25;
+
+  /// Heavy-tail item difficulty: per item a Lomax(shape) draw scaled by
+  /// `difficulty_scale`, capped at `difficulty_cap`, subtracted from honest
+  /// sensitivities (and half of it from specificities). Shape 0 disables.
+  double difficulty_tail_shape = 0.0;
+  double difficulty_scale = 0.08;
+  double difficulty_cap = 0.4;
+
+  /// Arrival schedule: timestamps are bucketed into `num_batches` equal
+  /// time windows (empty windows are dropped, so bursty schedules can
+  /// yield fewer, spikier batches).
+  ArrivalPattern arrival = ArrivalPattern::kUniform;
+  std::size_t num_batches = 10;
+  std::size_t num_bursts = 3;
+  double burst_concentration = 8.0;  ///< higher = narrower bursts
+
+  /// Candidate sets, attention budgets, spam set sizes (crowd_simulator.h).
+  SimulationConfig simulation;
+
+  AdversaryConfig();
+
+  Status Validate() const;
+};
+
+/// \brief One generated stream: the dataset (answers + ground truth), the
+/// arrival-ordered batch plan, and the per-worker/per-item adversarial
+/// metadata the robustness tests assert against.
+struct AdversarialStream {
+  Dataset dataset;
+  BatchPlan plan;
+
+  /// Strategy per worker id.
+  std::vector<WorkerStrategy> strategies;
+
+  /// Clique index per worker; `kNoClique` for non-colluders.
+  static constexpr std::size_t kNoClique = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> clique_of;
+
+  /// Lomax difficulty per item (0 when the tail is disabled).
+  std::vector<double> item_difficulty;
+
+  /// Fraction of answers contributed by non-honest workers.
+  double AdversarialShare() const;
+};
+
+/// \brief Generates the stream for `config`. With a non-null `executor`
+/// the per-item answer pass runs in parallel; the result is bit-identical
+/// for any executor (including none).
+Result<AdversarialStream> GenerateAdversarialStream(
+    const AdversaryConfig& config, Executor* executor = nullptr);
+
+/// \brief One named cell of the standard scenario matrix.
+struct AdversarialScenario {
+  std::string name;
+  std::string description;
+  AdversaryConfig config;
+
+  /// Degenerate scenarios (adversaries are the majority of the stream) are
+  /// exempt from the "CPA beats MV" robustness invariant.
+  bool degenerate = false;
+};
+
+/// \brief The standard scenario matrix shared by the fig12 bench and the
+/// robustness suite: one scenario per adversary family plus a clean
+/// baseline and a degenerate spam-majority stress. `scale` multiplies the
+/// item/worker counts (floored at test-viable minimums).
+std::vector<AdversarialScenario> StandardScenarioMatrix(
+    std::uint64_t seed = 20180417, double scale = 1.0);
+
+}  // namespace cpa
+
+#endif  // CPA_SIMULATION_ADVERSARY_H_

@@ -55,25 +55,18 @@ Result<Dataset> InjectSpammers(const Dataset& dataset,
   std::size_t produced = 0;
   for (std::size_t s = 0; s < num_spammers && produced < spam_answers; ++s) {
     const WorkerId spammer = static_cast<WorkerId>(old_workers + s);
-    const bool uniform = rng.NextBernoulli(options.uniform_share);
-    const LabelId fixed_label =
-        static_cast<LabelId>(rng.NextBounded(dataset.num_labels));
+    // The shared spammer behaviour definition (worker_profile.h): the same
+    // spec drives the adversarial stream generator, so "spammer" means one
+    // thing across the robustness harnesses.
+    const SpammerSpec spec =
+        SampleSpammerSpec(options.uniform_share, dataset.num_labels, rng);
     const std::size_t quota =
         std::min(options.answers_per_spammer, spam_answers - produced);
     // Each spammer touches `quota` distinct random items.
     const std::size_t capped = std::min(quota, num_items);
     for (std::size_t index : rng.SampleWithoutReplacement(num_items, capped)) {
       const ItemId item = static_cast<ItemId>(index);
-      LabelSet answer;
-      if (uniform) {
-        answer.Add(fixed_label);
-      } else {
-        const std::size_t size =
-            1 + static_cast<std::size_t>(rng.NextPoisson(1.0));
-        for (std::size_t draw = 0; draw < size; ++draw) {
-          answer.Add(static_cast<LabelId>(rng.NextBounded(dataset.num_labels)));
-        }
-      }
+      LabelSet answer = SpamAnswer(spec, dataset.num_labels, rng);
       CPA_CHECK_OK(injected.answers.Add(item, spammer, std::move(answer)));
       ++produced;
     }

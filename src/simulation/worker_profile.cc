@@ -108,6 +108,31 @@ double WorkerProfile::MeanSpecificity() const {
   return total / static_cast<double>(specificity.size());
 }
 
+SpammerSpec SampleSpammerSpec(double uniform_share, std::size_t num_labels,
+                              Rng& rng) {
+  SpammerSpec spec;
+  spec.uniform = rng.NextBernoulli(uniform_share);
+  // Drawn for random spammers too: the RNG stream is the same whichever
+  // way the coin fell (the Fig 4 byte-identity contract relies on this).
+  spec.fixed_label =
+      num_labels > 0 ? static_cast<LabelId>(rng.NextBounded(num_labels)) : 0;
+  return spec;
+}
+
+LabelSet SpamAnswer(const SpammerSpec& spec, std::size_t num_labels, Rng& rng) {
+  LabelSet answer;
+  if (spec.uniform || num_labels == 0) {
+    answer.Add(spec.fixed_label);
+    return answer;
+  }
+  const std::size_t size =
+      1 + static_cast<std::size_t>(rng.NextPoisson(spec.spam_set_mean - 1.0));
+  for (std::size_t draw = 0; draw < size; ++draw) {
+    answer.Add(static_cast<LabelId>(rng.NextBounded(num_labels)));
+  }
+  return answer;
+}
+
 WorkerType SampleWorkerType(const PopulationMix& mix, Rng& rng) {
   const double weights[] = {mix.reliable, mix.normal, mix.sloppy, mix.uniform_spammer,
                             mix.random_spammer};

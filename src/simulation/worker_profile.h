@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "data/label_set.h"
 #include "data/types.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -93,6 +94,37 @@ struct WorkerProfile {
   double MeanSensitivity() const;
   double MeanSpecificity() const;
 };
+
+/// \brief Behavioural profile of one spam account: *what it answers*, as
+/// opposed to the skill parameters above. This is the single definition of
+/// spammer behaviour shared by the Fig 4 injection operator
+/// (`InjectSpammers`, simulation/perturbations.h) and the adversarial
+/// stream generator (simulation/adversary.h), so every harness means the
+/// same thing by "uniform spammer" and "random spammer".
+struct SpammerSpec {
+  /// Uniform spammers repeat `fixed_label` on every item; random spammers
+  /// draw a fresh label set per answer.
+  bool uniform = true;
+
+  /// The label a uniform spammer always submits.
+  LabelId fixed_label = 0;
+
+  /// Mean answer-set size of a random spammer; sizes are
+  /// 1 + Poisson(mean − 1).
+  double spam_set_mean = 2.0;
+};
+
+/// Samples a spec: a Bernoulli(`uniform_share`) coin picks the kind, then
+/// the fixed label is drawn from the universe. The label is drawn for
+/// random spammers too, so the RNG stream does not depend on how the coin
+/// fell.
+SpammerSpec SampleSpammerSpec(double uniform_share, std::size_t num_labels,
+                              Rng& rng);
+
+/// One spam answer under `spec` over a `num_labels` universe. Uniform
+/// specs consume no randomness; random specs draw the set size and then
+/// one label per draw (duplicates collapse, so sets can come out smaller).
+LabelSet SpamAnswer(const SpammerSpec& spec, std::size_t num_labels, Rng& rng);
 
 /// \brief Configuration for generating a worker population.
 struct PopulationConfig {

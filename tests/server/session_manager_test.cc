@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/engine_registry.h"
+#include "simulation/adversary.h"
 #include "simulation/crowd_simulator.h"
 #include "simulation/truth_generator.h"
 #include "util/stopwatch.h"
@@ -445,6 +446,121 @@ TEST(SessionManagerTest, ObserveAckCarriesConsensusDelta) {
   // The first refresh instantiated a consensus where the seed had none.
   EXPECT_GT(second.value().delta.changed_items, 0u);
   EXPECT_EQ(second.value().answers_seen, all.size());
+}
+
+// ExpireIdle racing a parked Observe: a session with an operation in
+// flight is never expired, its poll cache stays readable throughout, and
+// a snapshot handed out before the eventual expiry stays valid after it
+// (shared ownership — the sweep must not free a published snapshot).
+TEST(SessionManagerTest, ExpireIdleNeverReapsSessionMidObserve) {
+  RegisterBlockingEngine();
+  SessionManager manager;
+  EngineConfig config;
+  config.method = "blocking-observe";
+  config.num_items = 4;
+  config.num_workers = 4;
+  config.num_labels = 4;
+  const auto id = manager.Open(config);
+  ASSERT_TRUE(id.ok());
+  const auto held = manager.Snapshot(id.value(), /*refresh=*/false);
+  ASSERT_TRUE(held.ok());
+  ASSERT_NE(held.value(), nullptr);
+
+  BlockingObserveEngine::observing.store(false);
+  BlockingObserveEngine::release.store(false);
+  const Answer answer{0, 0, LabelSet{1}};
+  std::thread driver([&] {
+    const auto ack = manager.Observe(id.value(), {&answer, 1});
+    EXPECT_TRUE(ack.ok()) << ack.status().ToString();
+  });
+  while (!BlockingObserveEngine::observing.load()) std::this_thread::yield();
+
+  // Observe is parked inside the engine. An aggressive sweep (0 s idle
+  // budget) must not touch the session, and polls must keep answering.
+  for (int sweep = 0; sweep < 10; ++sweep) {
+    EXPECT_EQ(manager.ExpireIdle(0.0), 0u);
+    const auto polled = manager.Snapshot(id.value(), /*refresh=*/false);
+    ASSERT_TRUE(polled.ok());
+    EXPECT_EQ(polled.value().get(), held.value().get());
+  }
+
+  BlockingObserveEngine::release.store(true);
+  driver.join();
+
+  // Idle now: the same sweep reaps it, and the session is gone —
+  EXPECT_EQ(manager.ExpireIdle(0.0), 1u);
+  EXPECT_EQ(manager.Snapshot(id.value(), /*refresh=*/false).status().code(),
+            StatusCode::kNotFound);
+  // — but the snapshot handed out earlier is still safely readable.
+  EXPECT_EQ(held.value()->batches_seen, 0u);
+  EXPECT_EQ(held.value()->answers_seen, 0u);
+}
+
+// The same race, un-choreographed: a driver streams adversarial batches
+// through a real engine while a reaper thread sweeps with a zero idle
+// budget. Expiry between the driver's ops is legitimate (it reopens);
+// what must never happen is a crash, a UAF on a held snapshot, or an
+// expiry while the driver's Observe is in flight (the sanitizer jobs are
+// the real assertion here).
+TEST(SessionManagerTest, ExpireIdleHammerAgainstAdversarialStream) {
+  AdversaryConfig adversary;
+  adversary.seed = 20180417;
+  adversary.num_items = 40;
+  adversary.num_workers = 16;
+  adversary.num_labels = 8;
+  adversary.answers_per_item = 4.0;
+  adversary.num_batches = 4;
+  adversary.strategies.honest = 0.6;
+  adversary.strategies.uniform_spammer = 0.2;
+  adversary.strategies.sleeper = 0.2;
+  adversary.simulation.candidate_set_size = 8;
+  auto generated = GenerateAdversarialStream(adversary);
+  ASSERT_TRUE(generated.ok());
+  const AdversarialStream& stream = generated.value();
+  EngineConfig config =
+      EngineConfig::ForDataset("CPA-SVI", stream.dataset);
+  config.cpa.max_communities = 4;
+  config.cpa.max_clusters = 24;
+  config.cpa.max_iterations = 4;
+
+  SessionManager manager;
+  std::atomic<bool> stop{false};
+  std::thread reaper([&] {
+    while (!stop.load()) {
+      manager.ExpireIdle(0.0);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<Answer> batch_answers;
+  for (int round = 0; round < 40; ++round) {
+    const auto id = manager.Open(config, "hammer");
+    if (!id.ok()) continue;  // reaped between rounds with the id mid-open
+    const auto& batch = stream.plan.batches[round % stream.plan.batches.size()];
+    batch_answers.clear();
+    for (std::size_t index : batch) {
+      batch_answers.push_back(stream.dataset.answers.answer(index));
+    }
+    const auto ack = manager.Observe("hammer", batch_answers);
+    if (!ack.ok()) {
+      EXPECT_EQ(ack.status().code(), StatusCode::kNotFound);
+      continue;  // expired between open and observe — allowed
+    }
+    const auto refreshed = manager.Snapshot("hammer");
+    if (refreshed.ok()) {
+      // Hold and read the snapshot after the session may have died.
+      const SharedSnapshot held = refreshed.value();
+      manager.ExpireIdle(0.0);
+      EXPECT_GE(held->answers_seen, batch.size());
+      for (const LabelSet& prediction : held->predictions) {
+        EXPECT_LE(prediction.size(), adversary.num_labels);
+      }
+    } else {
+      EXPECT_EQ(refreshed.status().code(), StatusCode::kNotFound);
+    }
+  }
+  stop.store(true);
+  reaper.join();
 }
 
 }  // namespace

@@ -1,0 +1,309 @@
+#include "simulation/adversary.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace cpa {
+namespace {
+
+AdversaryConfig SmallConfig(std::uint64_t seed = 99) {
+  AdversaryConfig config;
+  config.seed = seed;
+  config.num_items = 80;
+  config.num_workers = 30;
+  config.num_labels = 10;
+  config.answers_per_item = 5.0;
+  config.num_batches = 6;
+  return config;
+}
+
+AdversarialStream MustGenerate(const AdversaryConfig& config,
+                               Executor* executor = nullptr) {
+  auto stream = GenerateAdversarialStream(config, executor);
+  EXPECT_TRUE(stream.ok()) << stream.status().ToString();
+  return std::move(stream).value();
+}
+
+/// Structural equality over everything a consumer can observe: the answer
+/// stream (order included), the batch plan, and the adversarial metadata.
+void ExpectStreamsIdentical(const AdversarialStream& a,
+                            const AdversarialStream& b) {
+  const auto answers_a = a.dataset.answers.answers();
+  const auto answers_b = b.dataset.answers.answers();
+  ASSERT_EQ(answers_a.size(), answers_b.size());
+  for (std::size_t i = 0; i < answers_a.size(); ++i) {
+    EXPECT_EQ(answers_a[i].item, answers_b[i].item) << "answer " << i;
+    EXPECT_EQ(answers_a[i].worker, answers_b[i].worker) << "answer " << i;
+    ASSERT_EQ(answers_a[i].labels, answers_b[i].labels) << "answer " << i;
+  }
+  ASSERT_EQ(a.dataset.ground_truth.size(), b.dataset.ground_truth.size());
+  for (std::size_t i = 0; i < a.dataset.ground_truth.size(); ++i) {
+    ASSERT_EQ(a.dataset.ground_truth[i], b.dataset.ground_truth[i]);
+  }
+  ASSERT_EQ(a.plan.batches, b.plan.batches);
+  ASSERT_EQ(a.strategies, b.strategies);
+  ASSERT_EQ(a.clique_of, b.clique_of);
+  ASSERT_EQ(a.item_difficulty, b.item_difficulty);
+}
+
+TEST(AdversaryDeterminismTest, ThreadCountInvariant) {
+  AdversaryConfig config = SmallConfig();
+  config.strategies.honest = 0.4;
+  config.strategies.uniform_spammer = 0.1;
+  config.strategies.sticky_spammer = 0.1;
+  config.strategies.random_spammer = 0.1;
+  config.strategies.colluder = 0.2;
+  config.strategies.sleeper = 0.1;
+  config.difficulty_tail_shape = 1.5;
+
+  const AdversarialStream serial = MustGenerate(config, nullptr);
+  ThreadPool pool2(2);
+  ThreadPool pool3(3);
+  const AdversarialStream two = MustGenerate(config, &pool2);
+  const AdversarialStream three = MustGenerate(config, &pool3);
+  ExpectStreamsIdentical(serial, two);
+  ExpectStreamsIdentical(serial, three);
+}
+
+TEST(AdversaryDeterminismTest, SameSeedSameStream) {
+  const AdversarialStream a = MustGenerate(SmallConfig(7));
+  const AdversarialStream b = MustGenerate(SmallConfig(7));
+  ExpectStreamsIdentical(a, b);
+}
+
+TEST(AdversaryDeterminismTest, DifferentSeedsDiffer) {
+  const AdversarialStream a = MustGenerate(SmallConfig(7));
+  const AdversarialStream b = MustGenerate(SmallConfig(8));
+  const auto answers_a = a.dataset.answers.answers();
+  const auto answers_b = b.dataset.answers.answers();
+  bool differ = answers_a.size() != answers_b.size();
+  for (std::size_t i = 0; !differ && i < answers_a.size(); ++i) {
+    differ = answers_a[i].item != answers_b[i].item ||
+             answers_a[i].worker != answers_b[i].worker ||
+             !(answers_a[i].labels == answers_b[i].labels);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(AdversaryStreamTest, PlanCoversEveryAnswerExactlyOnce) {
+  const AdversarialStream stream = MustGenerate(SmallConfig());
+  std::vector<std::size_t> seen;
+  for (const auto& batch : stream.plan.batches) {
+    EXPECT_FALSE(batch.empty());
+    seen.insert(seen.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(seen.size(), stream.dataset.answers.num_answers());
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(AdversaryStreamTest, HonestOnlyStreamHasZeroAdversarialShare) {
+  const AdversarialStream stream = MustGenerate(SmallConfig());
+  EXPECT_EQ(stream.AdversarialShare(), 0.0);
+  for (WorkerStrategy s : stream.strategies) {
+    EXPECT_EQ(s, WorkerStrategy::kHonest);
+  }
+  for (std::size_t clique : stream.clique_of) {
+    EXPECT_EQ(clique, AdversarialStream::kNoClique);
+  }
+}
+
+TEST(AdversaryStrategyTest, UniformSpammerRepeatsOneLabel) {
+  AdversaryConfig config = SmallConfig();
+  config.strategies.honest = 0.0;
+  config.strategies.uniform_spammer = 1.0;
+  const AdversarialStream stream = MustGenerate(config);
+  EXPECT_EQ(stream.AdversarialShare(), 1.0);
+  std::vector<std::optional<LabelSet>> first(config.num_workers);
+  for (const Answer& a : stream.dataset.answers.answers()) {
+    EXPECT_EQ(a.labels.size(), 1u);
+    if (!first[a.worker].has_value()) {
+      first[a.worker] = a.labels;
+    } else {
+      EXPECT_EQ(a.labels, *first[a.worker]);
+    }
+  }
+}
+
+TEST(AdversaryStrategyTest, StickySpammerPastesOneSet) {
+  AdversaryConfig config = SmallConfig();
+  config.strategies.honest = 0.0;
+  config.strategies.sticky_spammer = 1.0;
+  const AdversarialStream stream = MustGenerate(config);
+  std::vector<std::optional<LabelSet>> first(config.num_workers);
+  std::set<std::vector<LabelId>> distinct_sets;
+  for (const Answer& a : stream.dataset.answers.answers()) {
+    EXPECT_GE(a.labels.size(), 2u);
+    distinct_sets.insert(
+        std::vector<LabelId>(a.labels.begin(), a.labels.end()));
+    if (!first[a.worker].has_value()) {
+      first[a.worker] = a.labels;
+    } else {
+      EXPECT_EQ(a.labels, *first[a.worker]);
+    }
+  }
+  // Different sticky spammers paste different sets.
+  EXPECT_GT(distinct_sets.size(), 1u);
+}
+
+TEST(AdversaryStrategyTest, PerfectFidelityColludersAgreeWithinClique) {
+  AdversaryConfig config = SmallConfig();
+  config.strategies.honest = 0.0;
+  config.strategies.colluder = 1.0;
+  config.num_cliques = 2;
+  config.collusion_fidelity = 1.0;
+  const AdversarialStream stream = MustGenerate(config);
+  for (std::size_t clique : stream.clique_of) {
+    EXPECT_LT(clique, config.num_cliques);
+  }
+  // Per (item, clique) every member's answer must be the ringleader's.
+  std::vector<std::vector<std::optional<LabelSet>>> consensus(
+      config.num_items,
+      std::vector<std::optional<LabelSet>>(config.num_cliques));
+  for (const Answer& a : stream.dataset.answers.answers()) {
+    auto& slot = consensus[a.item][stream.clique_of[a.worker]];
+    if (!slot.has_value()) {
+      slot = a.labels;
+    } else {
+      EXPECT_EQ(a.labels, *slot) << "item " << a.item;
+    }
+  }
+}
+
+TEST(AdversaryStrategyTest, SleeperDriftDegradesLateStream) {
+  AdversaryConfig dormant = SmallConfig();
+  dormant.strategies.honest = 0.0;
+  dormant.strategies.sleeper = 1.0;
+  dormant.sleeper_activation = 1.0;  // never activates: honest throughout
+  dormant.sleeper_ramp = 0.25;
+  AdversaryConfig active = dormant;
+  active.sleeper_activation = 0.0;  // spamming from the very start
+  active.sleeper_ramp = 0.05;
+
+  const auto truth_overlap = [](const AdversarialStream& stream) {
+    std::size_t overlapping = 0;
+    for (const Answer& a : stream.dataset.answers.answers()) {
+      if (a.labels.IntersectionSize(stream.dataset.ground_truth[a.item]) > 0) {
+        ++overlapping;
+      }
+    }
+    return static_cast<double>(overlapping) /
+           static_cast<double>(stream.dataset.answers.num_answers());
+  };
+  const double dormant_overlap = truth_overlap(MustGenerate(dormant));
+  const double active_overlap = truth_overlap(MustGenerate(active));
+  EXPECT_GT(dormant_overlap, active_overlap + 0.1);
+}
+
+TEST(AdversaryStreamTest, HeavyTailDifficultyIsBoundedAndPresent) {
+  AdversaryConfig config = SmallConfig();
+  config.difficulty_tail_shape = 1.2;
+  config.difficulty_scale = 0.08;
+  config.difficulty_cap = 0.4;
+  const AdversarialStream stream = MustGenerate(config);
+  double max_difficulty = 0.0;
+  for (double d : stream.item_difficulty) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, config.difficulty_cap);
+    max_difficulty = std::max(max_difficulty, d);
+  }
+  EXPECT_GT(max_difficulty, 0.0);
+
+  AdversaryConfig flat = SmallConfig();
+  const AdversarialStream flat_stream = MustGenerate(flat);
+  for (double d : flat_stream.item_difficulty) EXPECT_EQ(d, 0.0);
+}
+
+TEST(AdversaryStreamTest, BurstyArrivalSpikesBatchSizes) {
+  // 9 windows and 3 bursts put each burst centre mid-window ((k+0.5)/3
+  // falls inside, not on, a k/9 boundary), so a burst lands in one batch.
+  AdversaryConfig uniform = SmallConfig();
+  uniform.num_batches = 9;
+  AdversaryConfig bursty = uniform;
+  bursty.arrival = ArrivalPattern::kBursty;
+  bursty.num_bursts = 3;
+  bursty.burst_concentration = 12.0;
+
+  const auto max_batch = [](const AdversarialStream& stream) {
+    std::size_t largest = 0;
+    for (const auto& batch : stream.plan.batches) {
+      largest = std::max(largest, batch.size());
+    }
+    return largest;
+  };
+  const AdversarialStream uniform_stream = MustGenerate(uniform);
+  const AdversarialStream bursty_stream = MustGenerate(bursty);
+  // Bursts concentrate the same total into fewer, larger windows.
+  EXPECT_GT(max_batch(bursty_stream), 2 * max_batch(uniform_stream));
+}
+
+TEST(AdversaryConfigTest, ValidationRejectsBadConfigs) {
+  {
+    AdversaryConfig config = SmallConfig();
+    config.num_items = 0;
+    EXPECT_FALSE(GenerateAdversarialStream(config).ok());
+  }
+  {
+    AdversaryConfig config = SmallConfig();
+    config.strategies.honest = 0.5;  // sums to 0.5
+    EXPECT_FALSE(GenerateAdversarialStream(config).ok());
+  }
+  {
+    AdversaryConfig config = SmallConfig();
+    config.strategies.honest = 0.6;
+    config.strategies.colluder = 0.4;
+    config.num_cliques = 0;
+    EXPECT_FALSE(GenerateAdversarialStream(config).ok());
+  }
+  {
+    AdversaryConfig config = SmallConfig();
+    config.honest_mix.reliable = 0.5;
+    config.honest_mix.normal = 0.0;
+    config.honest_mix.sloppy = 0.0;
+    config.honest_mix.uniform_spammer = 0.5;  // spammers belong in strategies
+    config.honest_mix.random_spammer = 0.0;
+    EXPECT_FALSE(GenerateAdversarialStream(config).ok());
+  }
+  {
+    AdversaryConfig config = SmallConfig();
+    config.arrival = ArrivalPattern::kBursty;
+    config.num_bursts = 0;
+    EXPECT_FALSE(GenerateAdversarialStream(config).ok());
+  }
+}
+
+TEST(ScenarioMatrixTest, StandardMatrixIsValidAndGenerates) {
+  const auto matrix = StandardScenarioMatrix(/*seed=*/42, /*scale=*/0.15);
+  ASSERT_GE(matrix.size(), 5u);
+  std::set<std::string> names;
+  bool has_degenerate = false;
+  for (const auto& scenario : matrix) {
+    EXPECT_TRUE(names.insert(scenario.name).second)
+        << "duplicate scenario " << scenario.name;
+    EXPECT_FALSE(scenario.description.empty());
+    const Status valid = scenario.config.Validate();
+    EXPECT_TRUE(valid.ok()) << scenario.name << ": " << valid.ToString();
+    const auto stream = GenerateAdversarialStream(scenario.config);
+    ASSERT_TRUE(stream.ok()) << scenario.name;
+    EXPECT_GT(stream.value().dataset.answers.num_answers(), 0u);
+    EXPECT_TRUE(stream.value().dataset.Validate().ok()) << scenario.name;
+    has_degenerate = has_degenerate || scenario.degenerate;
+  }
+  EXPECT_TRUE(has_degenerate);
+}
+
+TEST(ScenarioMatrixTest, ScaleControlsStreamSize) {
+  const auto small = StandardScenarioMatrix(42, 0.15);
+  const auto large = StandardScenarioMatrix(42, 1.0);
+  ASSERT_EQ(small.size(), large.size());
+  EXPECT_LT(small[0].config.num_items, large[0].config.num_items);
+  EXPECT_LT(small[0].config.num_workers, large[0].config.num_workers);
+}
+
+}  // namespace
+}  // namespace cpa

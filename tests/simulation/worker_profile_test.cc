@@ -166,6 +166,62 @@ TEST(GeneratePopulationTest, RejectsInvalidConfig) {
   EXPECT_FALSE(GeneratePopulation(bad_mix, rng).ok());
 }
 
+TEST(SpammerSpecTest, UniformShareControlsKind) {
+  Rng rng(23);
+  std::size_t uniform_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (SampleSpammerSpec(1.0, 8, rng).uniform) ++uniform_count;
+  }
+  EXPECT_EQ(uniform_count, 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(SampleSpammerSpec(0.0, 8, rng).uniform);
+  }
+}
+
+TEST(SpammerSpecTest, RngStreamIndependentOfCoin) {
+  // The fixed label is drawn either way, so downstream draws are identical
+  // whichever kind the coin picked (the Fig 4 byte-identity contract).
+  Rng rng_uniform(31);
+  Rng rng_random(31);
+  (void)SampleSpammerSpec(1.0, 8, rng_uniform);
+  (void)SampleSpammerSpec(0.0, 8, rng_random);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(rng_uniform.NextBounded(1000), rng_random.NextBounded(1000));
+  }
+}
+
+TEST(SpamAnswerTest, UniformSpecRepeatsFixedLabelWithoutRandomness) {
+  SpammerSpec spec;
+  spec.uniform = true;
+  spec.fixed_label = 5;
+  Rng rng(37);
+  Rng untouched(37);
+  for (int i = 0; i < 8; ++i) {
+    const LabelSet answer = SpamAnswer(spec, 8, rng);
+    ASSERT_EQ(answer.size(), 1u);
+    EXPECT_EQ(answer.labels()[0], 5);
+  }
+  EXPECT_EQ(rng.NextBounded(1000), untouched.NextBounded(1000));
+}
+
+TEST(SpamAnswerTest, RandomSpecDrawsBoundedNonEmptySets) {
+  SpammerSpec spec;
+  spec.uniform = false;
+  spec.spam_set_mean = 2.0;
+  Rng rng(41);
+  double total_size = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const LabelSet answer = SpamAnswer(spec, 8, rng);
+    ASSERT_GE(answer.size(), 1u);
+    ASSERT_LE(answer.size(), 8u);
+    for (LabelId c : answer) EXPECT_LT(c, 8);
+    total_size += static_cast<double>(answer.size());
+  }
+  // Mean size ~2 minus duplicate collapse.
+  EXPECT_GT(total_size / 500.0, 1.4);
+  EXPECT_LT(total_size / 500.0, 2.3);
+}
+
 TEST(LabelExpertiseGroupTest, RoundRobinPartition) {
   EXPECT_EQ(LabelExpertiseGroup(0, 3), 0u);
   EXPECT_EQ(LabelExpertiseGroup(4, 3), 1u);
