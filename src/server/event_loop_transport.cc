@@ -1,0 +1,791 @@
+#include "server/event_loop_transport.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iterator>
+#include <optional>
+#include <utility>
+
+#include "server/binary_codec.h"
+#include "server/protocol.h"
+#include "util/endian.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace cpa {
+namespace {
+
+/// Which lane a decoded request belongs to (header comment in
+/// event_loop_transport.h). Classification must be cheap — it runs on a
+/// reactor thread — and only ever errs toward *stricter* serialization:
+/// a frame we cannot confidently classify goes to the connection's
+/// legacy FIFO lane, which is always correct, only slower.
+struct LaneClass {
+  bool read_only = false;  ///< provably cannot mutate any state
+  std::string session;     ///< peeked session id ("" = unknown)
+};
+
+/// Best-effort scan for a top-level `"key":"value"` string in a compact
+/// or whitespace-padded JSON object. Returns nullopt on anything
+/// surprising (escapes, non-string value, absent key). Valid JSON cannot
+/// smuggle an unescaped `"key"` inside a string value, so the first
+/// match with a following colon is the real one for well-formed input;
+/// malformed input fails the full parse at dispatch anyway.
+std::optional<std::string> PeekJsonString(std::string_view payload,
+                                          std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 2);
+  needle.push_back('"');
+  needle.append(key);
+  needle.push_back('"');
+  std::size_t pos = payload.find(needle);
+  while (pos != std::string_view::npos) {
+    std::size_t i = pos + needle.size();
+    while (i < payload.size() &&
+           std::isspace(static_cast<unsigned char>(payload[i]))) {
+      ++i;
+    }
+    if (i < payload.size() && payload[i] == ':') {
+      ++i;
+      while (i < payload.size() &&
+             std::isspace(static_cast<unsigned char>(payload[i]))) {
+        ++i;
+      }
+      if (i >= payload.size() || payload[i] != '"') return std::nullopt;
+      ++i;
+      std::string value;
+      while (i < payload.size()) {
+        const char c = payload[i];
+        if (c == '\\') return std::nullopt;  // escapes: give up, stay safe
+        if (c == '"') return value;
+        value.push_back(c);
+        ++i;
+      }
+      return std::nullopt;
+    }
+    pos = payload.find(needle, pos + 1);
+  }
+  return std::nullopt;
+}
+
+/// Best-effort: true iff `"key": <literal>` appears anywhere.
+bool PeekJsonLiteral(std::string_view payload, std::string_view key,
+                     std::string_view literal) {
+  std::string needle;
+  needle.reserve(key.size() + 2);
+  needle.push_back('"');
+  needle.append(key);
+  needle.push_back('"');
+  std::size_t pos = payload.find(needle);
+  while (pos != std::string_view::npos) {
+    std::size_t i = pos + needle.size();
+    while (i < payload.size() &&
+           std::isspace(static_cast<unsigned char>(payload[i]))) {
+      ++i;
+    }
+    if (i < payload.size() && payload[i] == ':') {
+      ++i;
+      while (i < payload.size() &&
+             std::isspace(static_cast<unsigned char>(payload[i]))) {
+        ++i;
+      }
+      if (payload.substr(i, literal.size()) == literal) return true;
+    }
+    pos = payload.find(needle, pos + 1);
+  }
+  return false;
+}
+
+LaneClass Classify(const server::Frame& request) {
+  LaneClass out;
+  if (request.kind == server::FrameKind::kBinary) {
+    // Same fixed-offset peek the router uses: u8 type, u16 session
+    // length, session bytes (binary_codec.h).
+    const std::string_view body = request.payload;
+    if (body.size() < 3) return out;
+    const auto type = static_cast<std::uint8_t>(body[0]);
+    const std::uint16_t len = ReadLittleEndian<std::uint16_t>(body, 1);
+    if (body.size() < 3u + len) return out;
+    out.session.assign(body.substr(3, len));
+    if (type == server::kBinaryMsgSnapshotRequest &&
+        body.size() >= 3u + len + 1u) {
+      const auto flags = static_cast<std::uint8_t>(body[3 + len]);
+      out.read_only = (flags & 0x01) == 0;  // bit0 = refresh
+    }
+    return out;
+  }
+  const std::optional<std::string> op = PeekJsonString(request.payload, "op");
+  if (op) {
+    if (*op == "snapshot") {
+      // An absent "refresh" key DEFAULTS TO TRUE (protocol.cc), so the
+      // fast lane requires the explicit `"refresh": false`.
+      out.read_only = PeekJsonLiteral(request.payload, "refresh", "false");
+    } else if (*op == "list" || *op == "methods") {
+      out.read_only = true;
+    }
+  }
+  out.session = PeekJsonString(request.payload, "session").value_or("");
+  return out;
+}
+
+std::string EncodeErrorPayload(server::FrameKind kind, const Status& error) {
+  return kind == server::FrameKind::kBinary
+             ? server::EncodeBinaryError("", "", error)
+             : server::ErrorResponse("", "", error);
+}
+
+}  // namespace
+
+/// One live connection, shared between its owning reactor (map entry)
+/// and any dispatch tasks in flight (captured shared_ptr).
+///
+/// fd lifetime: opened by the accept path, closed *only* by the owning
+/// reactor thread (SweepClosable) or Shutdown, and only once
+/// `ClosableLocked` holds — no task in flight, nothing queued — so
+/// dispatch threads can always `send`/`epoll_ctl` an un-`closed` fd
+/// without it being recycled under them.
+struct EventLoopTransport::Conn {
+  explicit Conn(std::size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+
+  int fd = -1;
+  Reactor* reactor = nullptr;
+  server::FrameDecoder decoder;  ///< owning reactor thread only
+
+  std::mutex mutex;  ///< guards everything below
+  std::string write_buffer;
+  std::size_t write_offset = 0;  ///< flushed prefix of `write_buffer`
+  std::size_t in_flight = 0;     ///< accepted requests without queued reply
+  std::uint32_t armed = EPOLLIN;  ///< interest mask currently in the epoll
+  bool reads_paused = false;
+  bool read_eof = false;
+  bool dead = false;    ///< fatal write error: discard all output
+  bool closed = false;  ///< fd closed; no further syscalls on it
+
+  /// Legacy FIFO lane: unsequenced frames (and sequenced frames whose
+  /// session could not be peeked), executed and answered in order.
+  std::deque<Pending> legacy;
+  bool legacy_running = false;
+
+  /// Per-session serial lanes for sequenced mutating frames. A lane
+  /// exists exactly while a runner is scheduled for it.
+  struct Lane {
+    std::deque<Pending> queue;
+  };
+  std::unordered_map<std::string, Lane> lanes;
+
+  std::size_t write_pending() const {
+    return write_buffer.size() - write_offset;
+  }
+};
+
+/// One epoll reactor: its own epoll instance, an eventfd for cross-thread
+/// wakeups (close sweeps), and the connections it owns.
+struct EventLoopTransport::Reactor {
+  int epfd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::mutex mutex;  ///< guards `conns` (accept path inserts cross-thread)
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+};
+
+EventLoopTransport::EventLoopTransport(FrameHandler& handler,
+                                       const TransportOptions& options)
+    : handler_(handler), options_(options) {}
+
+EventLoopTransport::~EventLoopTransport() { Shutdown(); }
+
+Status EventLoopTransport::Start() {
+  CPA_CHECK(!started_) << "EventLoopTransport::Start called twice";
+  started_ = true;
+
+  server_internal::ListenSocket listener;
+  const Status status = server_internal::BindAndListen(options_, &listener);
+  if (!status.ok()) return status;
+  listen_fd_ = listener.fd;
+  port_ = listener.port;
+  // The accept loop runs until EAGAIN; the listener must not block.
+  ::fcntl(listen_fd_, F_SETFL,
+          ::fcntl(listen_fd_, F_GETFL, 0) | O_NONBLOCK);
+
+  std::size_t dispatch = options_.dispatch_threads;
+  if (dispatch == 0) {
+    // Out-of-order completion needs slack beyond the core count: a
+    // dispatch thread parked in a slow refresh must not be the only one.
+    dispatch = std::max<std::size_t>(
+        4, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  }
+  dispatch_pool_ = std::make_unique<ThreadPool>(dispatch);
+
+  const std::size_t io = std::max<std::size_t>(1, options_.io_threads);
+  reactors_.reserve(io);
+  for (std::size_t i = 0; i < io; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    reactor->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    reactor->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (reactor->epfd < 0 || reactor->wake_fd < 0) {
+      const Status error = Status::IOError(
+          StrFormat("epoll/eventfd setup: %s", std::strerror(errno)));
+      if (reactor->epfd >= 0) ::close(reactor->epfd);
+      if (reactor->wake_fd >= 0) ::close(reactor->wake_fd);
+      for (auto& r : reactors_) {
+        ::close(r->wake_fd);
+        ::close(r->epfd);
+      }
+      reactors_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+      dispatch_pool_.reset();
+      return error;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = reactor->wake_fd;
+    ::epoll_ctl(reactor->epfd, EPOLL_CTL_ADD, reactor->wake_fd, &ev);
+    reactors_.push_back(std::move(reactor));
+  }
+  {
+    // The listener lives on reactor 0; accepted fds round-robin across
+    // the pool.
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(reactors_[0]->epfd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+
+  running_.store(true, std::memory_order_release);
+  for (auto& reactor : reactors_) {
+    Reactor* raw = reactor.get();
+    raw->thread = std::thread([this, raw] { ReactorLoop(raw); });
+  }
+  return Status::OK();
+}
+
+void EventLoopTransport::ReactorLoop(Reactor* reactor) {
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(reactor->epfd, events,
+                               static_cast<int>(std::size(events)), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool sweep = false;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == reactor->wake_fd) {
+        std::uint64_t token;
+        while (::read(reactor->wake_fd, &token, sizeof(token)) > 0) {
+        }
+        sweep = true;
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard<std::mutex> lock(reactor->mutex);
+        const auto it = reactor->conns.find(fd);
+        if (it != reactor->conns.end()) conn = it->second;
+      }
+      if (!conn) continue;  // closed earlier in this same event batch
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        HandleReadable(reactor, conn);
+      }
+      if (events[i].events & EPOLLOUT) HandleWritable(reactor, conn);
+    }
+    if (sweep) SweepClosable(reactor);
+  }
+}
+
+void EventLoopTransport::AcceptReady() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (drained) or listener shut down
+    }
+    if (num_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      std::string reply;
+      server::AppendFrame(
+          reply, server::FrameKind::kJson,
+          server::ErrorResponse(
+              "", "",
+              Status::FailedPrecondition(
+                  StrFormat("connection limit (%zu) reached",
+                            options_.max_connections))));
+      // Best effort on a non-blocking fd; a full buffer loses the
+      // courtesy error, not correctness.
+      ::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    server_internal::ConfigureAcceptedSocket(fd, options_);
+
+    auto conn = std::make_shared<Conn>(options_.max_frame_bytes);
+    conn->fd = fd;
+    Reactor* target =
+        reactors_[next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+                  reactors_.size()]
+            .get();
+    conn->reactor = target;
+    {
+      std::lock_guard<std::mutex> lock(target->mutex);
+      target->conns.emplace(fd, conn);
+    }
+    num_connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;  // matches Conn::armed's initial value
+    ev.data.fd = fd;
+    if (::epoll_ctl(target->epfd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      {
+        std::lock_guard<std::mutex> lock(target->mutex);
+        target->conns.erase(fd);
+      }
+      num_connections_.fetch_sub(1, std::memory_order_relaxed);
+      ::close(fd);
+    }
+  }
+}
+
+void EventLoopTransport::HandleReadable(Reactor* reactor,
+                                        const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed || conn->read_eof) return;
+  }
+  char buffer[64 * 1024];
+  bool eof = false;
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      recv_calls_.fetch_add(1, std::memory_order_relaxed);
+      bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+      // Always drain the decoder completely: epoll re-notifies for bytes
+      // in the *socket*, never for frames stranded in our buffer.
+      conn->decoder.Append(
+          std::string_view(buffer, static_cast<std::size_t>(n)));
+      while (auto item = conn->decoder.Next()) {
+        EnqueueItem(conn, std::move(*item));
+      }
+      bool paused;
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        UpdateInterestLocked(conn.get());
+        paused = conn->reads_paused;
+      }
+      if (paused) return;  // EPOLLIN disarmed; completions re-arm it
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    eof = true;  // reset & friends: treat as EOF, writes will flag `dead`
+    break;
+  }
+  if (eof) {
+    bool closable;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->read_eof = true;
+      UpdateInterestLocked(conn.get());
+      closable = ClosableLocked(*conn);
+    }
+    if (closable) SweepClosable(reactor);
+  }
+}
+
+void EventLoopTransport::HandleWritable(Reactor* reactor,
+                                        const std::shared_ptr<Conn>& conn) {
+  bool closable;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed) return;
+    FlushLocked(conn.get());
+    UpdateInterestLocked(conn.get());
+    closable = ClosableLocked(*conn);
+  }
+  if (closable) SweepClosable(reactor);
+}
+
+void EventLoopTransport::SweepClosable(Reactor* reactor) {
+  std::vector<std::shared_ptr<Conn>> to_close;
+  {
+    std::lock_guard<std::mutex> lock(reactor->mutex);
+    for (auto it = reactor->conns.begin(); it != reactor->conns.end();) {
+      const std::shared_ptr<Conn>& conn = it->second;
+      std::lock_guard<std::mutex> conn_lock(conn->mutex);
+      if (ClosableLocked(*conn)) {
+        conn->closed = true;
+        to_close.push_back(conn);
+        it = reactor->conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& conn : to_close) {
+    ::close(conn->fd);  // also removes it from the epoll set
+    num_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void EventLoopTransport::WakeReactor(Reactor* reactor) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(reactor->wake_fd, &one, sizeof(one));
+}
+
+bool EventLoopTransport::ClosableLocked(const Conn& conn) {
+  return !conn.closed && conn.read_eof && conn.in_flight == 0 &&
+         conn.legacy.empty() && conn.lanes.empty() &&
+         (conn.dead || conn.write_pending() == 0);
+}
+
+void EventLoopTransport::EnqueueItem(const std::shared_ptr<Conn>& conn,
+                                     server::FrameDecoder::Item item) {
+  if (!item.error.ok()) {
+    framing_errors_.fetch_add(1, std::memory_order_relaxed);
+    Pending pending;
+    pending.premade = true;
+    pending.reply.kind = item.kind;
+    pending.reply.sequenced = item.sequenced;
+    pending.reply.sequence = item.sequence;
+    pending.reply.payload = EncodeErrorPayload(item.kind, item.error);
+    if (item.sequenced) {
+      // Out-of-order world: answer immediately, tagged. (The caller's
+      // post-batch UpdateInterestLocked arms EPOLLOUT for any leftover.)
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      QueueReplyLocked(conn.get(), pending.reply);
+      FlushLocked(conn.get());
+      return;
+    }
+    // Legacy world: the error reply must hold its FIFO position.
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->in_flight++;
+    conn->legacy.push_back(std::move(pending));
+    if (!conn->legacy_running) {
+      conn->legacy_running = true;
+      BeginTask();
+      dispatch_pool_->Submit([this, conn] { RunLegacyLane(conn); });
+    }
+    return;
+  }
+
+  frames_in_.fetch_add(1, std::memory_order_relaxed);
+  Pending pending;
+  pending.request = std::move(item.frame);
+  const LaneClass lane = Classify(pending.request);
+
+  std::lock_guard<std::mutex> lock(conn->mutex);
+  conn->in_flight++;
+  if (!pending.request.sequenced ||
+      (!lane.read_only && lane.session.empty())) {
+    conn->legacy.push_back(std::move(pending));
+    if (!conn->legacy_running) {
+      conn->legacy_running = true;
+      BeginTask();
+      dispatch_pool_->Submit([this, conn] { RunLegacyLane(conn); });
+    }
+  } else if (lane.read_only) {
+    BeginTask();
+    dispatch_pool_->Submit(
+        [this, conn, moved = std::move(pending)]() mutable {
+          RunDirect(conn, std::move(moved));
+        });
+  } else {
+    const auto [it, inserted] = conn->lanes.try_emplace(lane.session);
+    it->second.queue.push_back(std::move(pending));
+    if (inserted) {
+      BeginTask();
+      dispatch_pool_->Submit([this, conn, key = lane.session] {
+        RunSessionLane(conn, key);
+      });
+    }
+  }
+}
+
+server::Frame EventLoopTransport::Execute(Pending& pending) {
+  if (pending.premade) return std::move(pending.reply);
+  server::Frame reply = handler_.HandleFrame(pending.request);
+  reply.sequenced = pending.request.sequenced;
+  reply.sequence = pending.request.sequence;
+  return reply;
+}
+
+void EventLoopTransport::RunLegacyLane(const std::shared_ptr<Conn>& conn) {
+  Pending pending;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    CPA_CHECK(!conn->legacy.empty());
+    pending = std::move(conn->legacy.front());
+    conn->legacy.pop_front();
+  }
+  const server::Frame reply = Execute(pending);
+  bool closable;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    QueueReplyLocked(conn.get(), reply);
+    conn->in_flight--;
+    if (conn->legacy.empty()) {
+      conn->legacy_running = false;
+    } else {
+      // One request per task, then requeue: the FIFO pool round-robins
+      // across every lane and connection.
+      BeginTask();
+      dispatch_pool_->Submit([this, conn] { RunLegacyLane(conn); });
+    }
+    FlushLocked(conn.get());
+    UpdateInterestLocked(conn.get());
+    closable = ClosableLocked(*conn);
+  }
+  if (closable) WakeReactor(conn->reactor);
+  EndTask();
+}
+
+void EventLoopTransport::RunSessionLane(const std::shared_ptr<Conn>& conn,
+                                        const std::string& key) {
+  Pending pending;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    const auto it = conn->lanes.find(key);
+    CPA_CHECK(it != conn->lanes.end() && !it->second.queue.empty());
+    pending = std::move(it->second.queue.front());
+    it->second.queue.pop_front();
+  }
+  const server::Frame reply = Execute(pending);
+  bool closable;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    QueueReplyLocked(conn.get(), reply);
+    conn->in_flight--;
+    const auto it = conn->lanes.find(key);
+    if (it->second.queue.empty()) {
+      conn->lanes.erase(it);
+    } else {
+      BeginTask();
+      dispatch_pool_->Submit(
+          [this, conn, key] { RunSessionLane(conn, key); });
+    }
+    FlushLocked(conn.get());
+    UpdateInterestLocked(conn.get());
+    closable = ClosableLocked(*conn);
+  }
+  if (closable) WakeReactor(conn->reactor);
+  EndTask();
+}
+
+void EventLoopTransport::RunDirect(const std::shared_ptr<Conn>& conn,
+                                   Pending pending) {
+  const server::Frame reply = Execute(pending);
+  bool closable;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    QueueReplyLocked(conn.get(), reply);
+    conn->in_flight--;
+    FlushLocked(conn.get());
+    UpdateInterestLocked(conn.get());
+    closable = ClosableLocked(*conn);
+  }
+  if (closable) WakeReactor(conn->reactor);
+  EndTask();
+}
+
+void EventLoopTransport::QueueReplyLocked(Conn* conn,
+                                          const server::Frame& reply) {
+  if (conn->dead || conn->closed) return;
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  if (conn->write_offset > 0 &&
+      conn->write_offset >= conn->write_buffer.size() / 2) {
+    conn->write_buffer.erase(0, conn->write_offset);
+    conn->write_offset = 0;
+  }
+  server::AppendFrame(conn->write_buffer, reply);
+}
+
+void EventLoopTransport::FlushLocked(Conn* conn) {
+  if (conn->closed || conn->dead) {
+    conn->write_buffer.clear();
+    conn->write_offset = 0;
+    return;
+  }
+  while (conn->write_pending() > 0) {
+    const std::size_t pending = conn->write_pending();
+    const ssize_t n =
+        ::send(conn->fd, conn->write_buffer.data() + conn->write_offset,
+               pending, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Socket full: leave the rest for the reactor's EPOLLOUT.
+        wouldblock_events_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      conn->dead = true;
+      conn->write_buffer.clear();
+      conn->write_offset = 0;
+      return;
+    }
+    send_calls_.fetch_add(1, std::memory_order_relaxed);
+    bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                         std::memory_order_relaxed);
+    if (static_cast<std::size_t>(n) < pending) {
+      partial_writes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    conn->write_offset += static_cast<std::size_t>(n);
+  }
+  conn->write_buffer.clear();
+  conn->write_offset = 0;
+}
+
+void EventLoopTransport::UpdateInterestLocked(Conn* conn) {
+  conn->reads_paused =
+      conn->in_flight >= options_.max_pipeline ||
+      conn->write_pending() >= options_.write_high_watermark;
+  std::uint32_t desired = 0;
+  if (!conn->read_eof && !conn->reads_paused) desired |= EPOLLIN;
+  if (!conn->dead && conn->write_pending() > 0) desired |= EPOLLOUT;
+  if (conn->closed || desired == conn->armed) return;
+  epoll_event ev{};
+  ev.events = desired;
+  ev.data.fd = conn->fd;
+  // epoll_ctl is thread-safe, and the fd cannot be recycled while
+  // `closed` is false (close requires ClosableLocked, which this
+  // in-flight caller falsifies).
+  ::epoll_ctl(conn->reactor->epfd, EPOLL_CTL_MOD, conn->fd, &ev);
+  conn->armed = desired;
+}
+
+void EventLoopTransport::BeginTask() {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  ++pending_tasks_;
+}
+
+void EventLoopTransport::EndTask() {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  if (--pending_tasks_ == 0) pending_cv_.notify_all();
+}
+
+void EventLoopTransport::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+
+  // 1. Stop accepting; half-close every connection so reactors see EOF
+  //    and stop producing work.
+  running_.store(false, std::memory_order_release);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  for (auto& reactor : reactors_) {
+    std::lock_guard<std::mutex> lock(reactor->mutex);
+    for (auto& [fd, conn] : reactor->conns) ::shutdown(fd, SHUT_RD);
+    WakeReactor(reactor.get());
+  }
+
+  // 2. First drain pass while reactors still run, so completions get
+  //    their EPOLLOUT service and most responses reach the wire.
+  {
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    pending_cv_.wait(lock, [this] { return pending_tasks_ == 0; });
+  }
+
+  // 3. Bounded wait for write buffers to empty (a client that stopped
+  //    reading can hold bytes forever; don't let it hold shutdown).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool flushed = true;
+    for (auto& reactor : reactors_) {
+      std::lock_guard<std::mutex> lock(reactor->mutex);
+      for (auto& [fd, conn] : reactor->conns) {
+        std::lock_guard<std::mutex> conn_lock(conn->mutex);
+        if (!conn->dead && conn->write_pending() > 0) {
+          flushed = false;
+          break;
+        }
+      }
+      if (!flushed) break;
+    }
+    for (auto& reactor : reactors_) WakeReactor(reactor.get());
+    if (flushed) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // 4. Stop and join the reactors. After this no thread but a dispatch
+  //    task can submit work.
+  stop_.store(true, std::memory_order_release);
+  for (auto& reactor : reactors_) WakeReactor(reactor.get());
+  for (auto& reactor : reactors_) {
+    if (reactor->thread.joinable()) reactor->thread.join();
+  }
+
+  // 5. Final drain: lane resubmit chains keep `pending_tasks_` nonzero
+  //    until they finish, so waiting for zero here proves no task is
+  //    running *or queued* — only then is destroying the pool safe
+  //    (ThreadPool::Submit CHECK-fails once its destructor has begun).
+  {
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    pending_cv_.wait(lock, [this] { return pending_tasks_ == 0; });
+  }
+  dispatch_pool_.reset();
+
+  // 6. Release every descriptor.
+  for (auto& reactor : reactors_) {
+    for (auto& [fd, conn] : reactor->conns) {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->closed = true;
+      ::close(fd);
+      num_connections_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    reactor->conns.clear();
+    ::close(reactor->wake_fd);
+    ::close(reactor->epfd);
+  }
+  reactors_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  }
+}
+
+TransportStats EventLoopTransport::stats() const {
+  TransportStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  stats.frames_in = frames_in_.load(std::memory_order_relaxed);
+  stats.frames_out = frames_out_.load(std::memory_order_relaxed);
+  stats.framing_errors = framing_errors_.load(std::memory_order_relaxed);
+  stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  stats.recv_calls = recv_calls_.load(std::memory_order_relaxed);
+  stats.send_calls = send_calls_.load(std::memory_order_relaxed);
+  stats.partial_writes = partial_writes_.load(std::memory_order_relaxed);
+  stats.wouldblock_events =
+      wouldblock_events_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace cpa

@@ -1,0 +1,210 @@
+#ifndef CPA_SERVER_EVENT_LOOP_TRANSPORT_H_
+#define CPA_SERVER_EVENT_LOOP_TRANSPORT_H_
+
+/// \file event_loop_transport.h
+/// \brief The epoll transport: a fixed pool of reactor threads moving
+/// bytes, a dispatch pool running `FrameHandler::HandleFrame`, and
+/// pipelined out-of-order responses over sequenced frames.
+///
+/// Thread-per-connection (tcp_transport.h) caps concurrent sessions at
+/// thread count and convoys each connection's frames behind its slowest
+/// request. This transport decouples both: `--io-threads N` reactor
+/// threads multiplex *all* connections through level-triggered epoll on
+/// non-blocking sockets, and requests execute on a separate dispatch
+/// pool so engine work never runs on a reactor thread (dispatch threads
+/// in turn push sweeps through the session's `ServerScheduler` lane,
+/// exactly as the stdio and thread transports do — the scheduler stays
+/// the only place engine work runs).
+///
+///     reactor 0 ── epoll ── listener + conns        dispatch pool
+///     reactor 1 ── epoll ── conns            ──►    HandleFrame ──► ServerScheduler
+///         ⋮          (recv / decode /               (lanes below)    lanes
+///     reactor N-1    flush; no engine work)
+///
+/// ## Ordering & sequence contract (see framing.h, docs/API.md)
+///
+/// Per connection, decoded frames land in one of three lanes:
+///
+///   1. **Legacy lane** — unsequenced frames (flags == 0). Strict FIFO:
+///      executed in arrival order, responses written in arrival order,
+///      framing-error replies holding their queue position. A
+///      pre-sequencing client cannot tell this transport from the
+///      thread-per-connection one.
+///   2. **Session lanes** — sequenced frames that may mutate state, keyed
+///      by a cheap peek of the session id (binary: fixed offsets, like
+///      the router; JSON: a conservative scan — when in doubt the frame
+///      falls back to the legacy lane, which is always safe, only
+///      slower). One session's mutations execute serially in arrival
+///      order — per-session state is identical to serial execution — but
+///      different sessions' lanes run concurrently.
+///   3. **Fast lane** — sequenced frames that provably cannot mutate
+///      (cached snapshot polls with refresh clear, list, methods).
+///      Dispatched immediately, any number in flight: a cached poll
+///      overtakes a slow refresh ahead of it in the pipe.
+///
+/// Responses are written in *completion* order, each echoing its
+/// request's sequence id; clients match by id, not position. Mixing
+/// sequenced and unsequenced frames on one connection is legal but their
+/// relative response order is unspecified.
+///
+/// ## Backpressure
+///
+/// Writes are buffered per connection and flushed opportunistically; a
+/// short or EAGAIN send arms `EPOLLOUT` and the reactor finishes the
+/// flush as the socket drains (counted in `partial_writes` /
+/// `wouldblock_events`). A connection exceeding `max_pipeline` requests
+/// in flight or `write_high_watermark` buffered reply bytes has
+/// `EPOLLIN` disarmed — it is paused, not dropped — and resumes as
+/// responses drain.
+///
+/// Shutdown is a drain, as on the thread transport: stop accepting,
+/// half-close every socket, wait for every dispatched request to finish
+/// and its response to flush (bounded), then join the reactors.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/frame_handler.h"
+#include "server/framing.h"
+#include "server/transport.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace cpa {
+
+/// \brief Epoll reactor pool speaking the framed wire protocol with
+/// pipelined out-of-order completion (`cpa_server --event-loop`).
+class EventLoopTransport : public Transport {
+ public:
+  /// `handler` must outlive the transport.
+  EventLoopTransport(FrameHandler& handler,
+                     const TransportOptions& options = {});
+
+  /// Drains and joins (Shutdown).
+  ~EventLoopTransport() override;
+
+  EventLoopTransport(const EventLoopTransport&) = delete;
+  EventLoopTransport& operator=(const EventLoopTransport&) = delete;
+
+  Status Start() override;
+
+  std::uint16_t port() const override { return port_; }
+
+  void Shutdown() override;
+
+  std::size_t num_connections() const override {
+    return num_connections_.load(std::memory_order_relaxed);
+  }
+
+  TransportStats stats() const override;
+
+  /// Dispatch threads actually running (0 before Start) — surfaced in
+  /// the `cpa_server` banner and the fig11 report config.
+  std::size_t dispatch_threads() const {
+    return dispatch_pool_ ? dispatch_pool_->num_threads() : 0;
+  }
+
+ private:
+  struct Conn;
+  struct Reactor;
+
+  /// One decoded request waiting in a lane: either a frame to dispatch
+  /// or a pre-encoded framing-error reply holding its FIFO slot.
+  struct Pending {
+    server::Frame request;
+    bool premade = false;
+    server::Frame reply;  ///< valid iff `premade`
+  };
+
+  void ReactorLoop(Reactor* reactor);
+  void AcceptReady();
+  void HandleReadable(Reactor* reactor, const std::shared_ptr<Conn>& conn);
+  void HandleWritable(Reactor* reactor, const std::shared_ptr<Conn>& conn);
+  void SweepClosable(Reactor* reactor);
+  static void WakeReactor(Reactor* reactor);
+
+  /// Routes one decoded frame (or framing error) into its lane.
+  /// Reactor thread only.
+  void EnqueueItem(const std::shared_ptr<Conn>& conn,
+                   server::FrameDecoder::Item item);
+
+  /// Lane runners (dispatch pool). Each executes ONE pending request,
+  /// queues its reply, then resubmits itself while its queue is
+  /// non-empty — the FIFO pool round-robins across lanes and
+  /// connections, so one hot lane cannot starve the rest.
+  void RunLegacyLane(const std::shared_ptr<Conn>& conn);
+  void RunSessionLane(const std::shared_ptr<Conn>& conn,
+                      const std::string& key);
+  void RunDirect(const std::shared_ptr<Conn>& conn, Pending pending);
+
+  /// Executes one pending request (handler call — never on a reactor).
+  server::Frame Execute(Pending& pending);
+
+  /// Appends one encoded reply to the connection's write buffer.
+  void QueueReplyLocked(Conn* conn, const server::Frame& reply);
+
+  /// Opportunistic non-blocking flush of the write buffer.
+  void FlushLocked(Conn* conn);
+
+  /// Recomputes read-pause state and the epoll interest mask, issuing
+  /// an epoll_ctl MOD when it changed. Callable from any thread while
+  /// the fd is open (the fd is closed only by the owning reactor).
+  void UpdateInterestLocked(Conn* conn);
+
+  /// True when the connection is fully drained and can be closed.
+  static bool ClosableLocked(const Conn& conn);
+
+  /// pending-task accounting: Begin before every dispatch-pool Submit,
+  /// End as the task's last action. Shutdown waits for zero *before*
+  /// destroying the pool, so a lane resubmit can never race
+  /// `ThreadPool::~ThreadPool`.
+  void BeginTask();
+  void EndTask();
+
+  FrameHandler& handler_;
+  TransportOptions options_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::mutex shutdown_mutex_;  ///< serializes Shutdown (dtor + explicit)
+  bool shut_down_ = false;
+
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::atomic<std::size_t> next_reactor_{0};
+  std::unique_ptr<ThreadPool> dispatch_pool_;
+
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::size_t pending_tasks_ = 0;
+
+  std::atomic<std::size_t> num_connections_{0};
+
+  /// Stats counters (relaxed increments; `stats()` snapshots them).
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+  std::atomic<std::uint64_t> framing_errors_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> recv_calls_{0};
+  std::atomic<std::uint64_t> send_calls_{0};
+  std::atomic<std::uint64_t> partial_writes_{0};
+  std::atomic<std::uint64_t> wouldblock_events_{0};
+};
+
+}  // namespace cpa
+
+#endif  // CPA_SERVER_EVENT_LOOP_TRANSPORT_H_

@@ -6,20 +6,40 @@
 #include "util/string_utils.h"
 
 namespace cpa::server {
+namespace {
 
-void AppendFrame(std::string& out, FrameKind kind, std::string_view payload) {
+void AppendHeaderAndBody(std::string& out, FrameKind kind,
+                         std::string_view payload, std::uint8_t flags,
+                         std::uint16_t sequence) {
   AppendLittleEndian<std::uint32_t>(out,
                                     static_cast<std::uint32_t>(payload.size()));
   out.push_back(static_cast<char>(kind));
-  out.push_back('\0');
-  AppendLittleEndian<std::uint16_t>(out, 0);
+  out.push_back(static_cast<char>(flags));
+  AppendLittleEndian<std::uint16_t>(out, sequence);
   out.append(payload);
+}
+
+}  // namespace
+
+void AppendFrame(std::string& out, FrameKind kind, std::string_view payload) {
+  AppendHeaderAndBody(out, kind, payload, /*flags=*/0, /*sequence=*/0);
+}
+
+void AppendFrame(std::string& out, const Frame& frame) {
+  AppendHeaderAndBody(out, frame.kind, frame.payload,
+                      frame.sequenced ? kFrameFlagSequenced : std::uint8_t{0},
+                      frame.sequenced ? frame.sequence : std::uint16_t{0});
+}
+
+void AppendSequencedFrame(std::string& out, FrameKind kind,
+                          std::string_view payload, std::uint16_t sequence) {
+  AppendHeaderAndBody(out, kind, payload, kFrameFlagSequenced, sequence);
 }
 
 std::string EncodeFrame(const Frame& frame) {
   std::string out;
   out.reserve(kFrameHeaderBytes + frame.payload.size());
-  AppendFrame(out, frame.kind, frame.payload);
+  AppendFrame(out, frame);
   return out;
 }
 
@@ -54,9 +74,10 @@ std::optional<FrameDecoder::Item> FrameDecoder::Next() {
   const std::uint32_t length = ReadLittleEndian<std::uint32_t>(pending, 0);
   const std::uint8_t kind_byte =
       static_cast<std::uint8_t>(static_cast<unsigned char>(pending[4]));
-  const std::uint8_t reserved8 =
+  const std::uint8_t flags =
       static_cast<std::uint8_t>(static_cast<unsigned char>(pending[5]));
-  const std::uint16_t reserved16 = ReadLittleEndian<std::uint16_t>(pending, 6);
+  const std::uint16_t sequence = ReadLittleEndian<std::uint16_t>(pending, 6);
+  const bool sequenced = (flags & kFrameFlagSequenced) != 0;
 
   const bool known_kind = kind_byte == static_cast<std::uint8_t>(FrameKind::kJson) ||
                           kind_byte == static_cast<std::uint8_t>(FrameKind::kBinary);
@@ -71,7 +92,12 @@ std::optional<FrameDecoder::Item> FrameDecoder::Next() {
     error = Status::InvalidArgument(
         StrFormat("unknown frame kind %u (expected 1=json, 2=binary)",
                   static_cast<unsigned>(kind_byte)));
-  } else if (reserved8 != 0 || reserved16 != 0) {
+  } else if ((flags & ~kFrameFlagSequenced) != 0) {
+    error = Status::InvalidArgument(
+        StrFormat("unknown frame flags 0x%02x", static_cast<unsigned>(flags)));
+  } else if (!sequenced && sequence != 0) {
+    // Pre-sequencing peers sent four zero bytes here; keep rejecting the
+    // garbage they would have been rejected for, with the same message.
     error = Status::InvalidArgument("frame reserved bytes must be zero");
   } else if (length > max_frame_bytes_) {
     error = Status::InvalidArgument(
@@ -90,6 +116,10 @@ std::optional<FrameDecoder::Item> FrameDecoder::Next() {
     Item item;
     item.error = std::move(error);
     item.kind = reply_kind;
+    // Echo the declared tag even on failure (when the flags byte itself
+    // parsed) so a pipelining client can match the error to its request.
+    item.sequenced = sequenced && (flags & ~kFrameFlagSequenced) == 0;
+    item.sequence = item.sequenced ? sequence : std::uint16_t{0};
     return item;
   }
 
@@ -97,7 +127,11 @@ std::optional<FrameDecoder::Item> FrameDecoder::Next() {
 
   Item item;
   item.kind = static_cast<FrameKind>(kind_byte);
+  item.sequenced = sequenced;
+  item.sequence = sequenced ? sequence : std::uint16_t{0};
   item.frame.kind = item.kind;
+  item.frame.sequenced = item.sequenced;
+  item.frame.sequence = item.sequence;
   item.frame.payload.assign(pending.substr(kFrameHeaderBytes, length));
   consumed_ += kFrameHeaderBytes + length;
   return item;

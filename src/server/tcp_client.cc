@@ -110,6 +110,26 @@ Status TcpFrameClient::Send(FrameKind kind, std::string_view payload) {
   return SendRaw(bytes);
 }
 
+Status TcpFrameClient::SendSequenced(FrameKind kind, std::string_view payload,
+                                     std::uint16_t sequence) {
+  std::string bytes;
+  bytes.reserve(kFrameHeaderBytes + payload.size());
+  AppendSequencedFrame(bytes, kind, payload, sequence);
+  return SendRaw(bytes);
+}
+
+Result<bool> TcpFrameClient::NegotiateSequencing() {
+  // Any sequenced request works as a probe; `methods` is stateless and
+  // cheap. A pre-sequencing server's decoder rejects the nonzero
+  // "reserved" bytes with a recoverable, *untagged* error reply — which
+  // is precisely the "no" answer.
+  CPA_RETURN_NOT_OK(
+      SendSequenced(FrameKind::kJson, R"({"op":"methods"})", 1));
+  Result<Frame> reply = ReadFrame();
+  if (!reply.ok()) return reply.status();
+  return reply.value().sequenced && reply.value().sequence == 1;
+}
+
 Status TcpFrameClient::SendRaw(std::string_view bytes) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   if (!SendAllBytes(fd_, bytes)) {

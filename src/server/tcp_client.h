@@ -8,9 +8,18 @@
 /// generator, the transport tests, and `examples/tcp_client` — all speak
 /// through this class. It is deliberately simple: blocking connect, an
 /// explicit `Send`/`ReadFrame` split so callers can pipeline many request
-/// frames before reading any response (the transport guarantees responses
-/// come back in request order per connection), and a `Roundtrip` helper
-/// for the one-at-a-time case. Not thread-safe; one client per thread.
+/// frames before reading any response, and a `Roundtrip` helper for the
+/// one-at-a-time case. Not thread-safe; one client per thread.
+///
+/// Two pipelining disciplines (framing.h):
+///   - *Ordered*: plain `Send`; responses come back in request order on
+///     every transport.
+///   - *Sequenced*: `SendSequenced` tags each request with a caller-chosen
+///     sequence id; responses echo the id (`Frame::sequenced`/`sequence`
+///     on `ReadFrame`) and may arrive in any order on the event-loop
+///     transport — match by id, not position. Probe support first with
+///     `NegotiateSequencing` (pre-sequencing servers reject tagged
+///     frames; the probe downgrades gracefully).
 
 #include <cstdint>
 #include <string>
@@ -45,6 +54,21 @@ class TcpFrameClient {
 
   /// Sends one framed request.
   Status Send(FrameKind kind, std::string_view payload);
+
+  /// Sends one sequenced framed request tagged `sequence`. The matching
+  /// response echoes the tag; in-flight ids must be unique, and the
+  /// caller owns id assignment/reuse (u16 — wrap when you like, just not
+  /// while the previous use is still in flight).
+  Status SendSequenced(FrameKind kind, std::string_view payload,
+                       std::uint16_t sequence);
+
+  /// Probes whether the server echoes sequence tags: one sequenced
+  /// `{"op":"methods"}` roundtrip. True when the reply carries the tag
+  /// back; false when the server predates sequencing (it answers with an
+  /// untagged error frame — the connection stays usable in ordered
+  /// mode). IOError only on transport failure. Call before pipelining
+  /// out of order; must not be called with responses outstanding.
+  Result<bool> NegotiateSequencing();
 
   /// Sends raw pre-encoded bytes (tests: batched frames, broken frames).
   Status SendRaw(std::string_view bytes);

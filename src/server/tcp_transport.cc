@@ -1,10 +1,7 @@
 #include "server/tcp_transport.h"
 
-#include <arpa/inet.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -21,7 +18,10 @@ namespace {
 
 /// Writes all of `bytes` to `fd`, riding out EINTR and partial writes.
 /// MSG_NOSIGNAL: a peer that hung up costs an EPIPE, not a SIGPIPE.
-bool SendAll(int fd, std::string_view bytes) {
+/// Counts one send_call per send(2) and one partial_write per short send.
+bool SendAll(int fd, std::string_view bytes,
+             std::atomic<std::uint64_t>& send_calls,
+             std::atomic<std::uint64_t>& partial_writes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n =
@@ -29,6 +29,10 @@ bool SendAll(int fd, std::string_view bytes) {
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
+    }
+    send_calls.fetch_add(1, std::memory_order_relaxed);
+    if (static_cast<std::size_t>(n) < bytes.size() - sent) {
+      partial_writes.fetch_add(1, std::memory_order_relaxed);
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -59,87 +63,11 @@ TcpTransport::~TcpTransport() { Shutdown(); }
 Status TcpTransport::Start() {
   CPA_CHECK(listen_fd_ < 0) << "TcpTransport::Start called twice";
 
-  if (!options_.unix_path.empty()) {
-    sockaddr_un address{};
-    if (options_.unix_path.size() >= sizeof(address.sun_path)) {
-      return Status::InvalidArgument(
-          StrFormat("unix socket path too long (%zu bytes, max %zu)",
-                    options_.unix_path.size(), sizeof(address.sun_path) - 1));
-    }
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-      return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
-    }
-    address.sun_family = AF_UNIX;
-    std::memcpy(address.sun_path, options_.unix_path.c_str(),
-                options_.unix_path.size() + 1);
-    // A socket file left behind by a dead server would make bind fail
-    // with EADDRINUSE forever; unlink it first. A *live* server's file
-    // is replaced too — matching SO_REUSEADDR semantics on the TCP path.
-    ::unlink(options_.unix_path.c_str());
-    if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
-               sizeof(address)) < 0) {
-      const Status status =
-          Status::IOError(StrFormat("bind %s: %s", options_.unix_path.c_str(),
-                                    std::strerror(errno)));
-      ::close(fd);
-      return status;
-    }
-    if (::listen(fd, options_.listen_backlog) < 0) {
-      const Status status =
-          Status::IOError(StrFormat("listen: %s", std::strerror(errno)));
-      ::close(fd);
-      ::unlink(options_.unix_path.c_str());
-      return status;
-    }
-    listen_fd_ = fd;
-    running_.store(true, std::memory_order_release);
-    accept_thread_ = std::thread([this] { AcceptLoop(); });
-    return Status::OK();
-  }
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &address.sin_addr) !=
-      1) {
-    ::close(fd);
-    return Status::InvalidArgument(
-        StrFormat("invalid bind address '%s'", options_.bind_address.c_str()));
-  }
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) <
-      0) {
-    const Status status = Status::IOError(
-        StrFormat("bind %s:%u: %s", options_.bind_address.c_str(),
-                  static_cast<unsigned>(options_.port), std::strerror(errno)));
-    ::close(fd);
-    return status;
-  }
-  if (::listen(fd, options_.listen_backlog) < 0) {
-    const Status status =
-        Status::IOError(StrFormat("listen: %s", std::strerror(errno)));
-    ::close(fd);
-    return status;
-  }
-
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
-    const Status status =
-        Status::IOError(StrFormat("getsockname: %s", std::strerror(errno)));
-    ::close(fd);
-    return status;
-  }
-  port_ = ntohs(bound.sin_port);
-
-  listen_fd_ = fd;
+  server_internal::ListenSocket listener;
+  const Status status = server_internal::BindAndListen(options_, &listener);
+  if (!status.ok()) return status;
+  listen_fd_ = listener.fd;
+  port_ = listener.port;
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
@@ -163,12 +91,11 @@ void TcpTransport::AcceptLoop() {
               "", "",
               Status::FailedPrecondition(StrFormat(
                   "connection limit (%zu) reached", options_.max_connections))));
-      SendAll(fd, reply);
+      SendAll(fd, reply, send_calls_, partial_writes_);
       ::close(fd);
       continue;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    server_internal::ConfigureAcceptedSocket(fd, options_);
 
     auto connection = std::make_unique<Connection>();
     connection->fd = fd;
@@ -195,6 +122,7 @@ void TcpTransport::ServeConnection(Connection* connection) {
       if (errno == EINTR) continue;
       break;  // reset / local shutdown
     }
+    recv_calls_.fetch_add(1, std::memory_order_relaxed);
     bytes_in_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
     decoder.Append(std::string_view(buffer, static_cast<std::size_t>(n)));
 
@@ -214,11 +142,15 @@ void TcpTransport::ServeConnection(Connection* connection) {
                 ? server::EncodeBinaryError("", "", item->error)
                 : server::ErrorResponse("", "", item->error);
       }
+      // The response echoes the request's sequence tag; in-order
+      // completion is one valid completion order for sequenced frames.
+      reply.sequenced = item->sequenced;
+      reply.sequence = item->sequence;
       frames_out_.fetch_add(1, std::memory_order_relaxed);
-      server::AppendFrame(replies, reply.kind, reply.payload);
+      server::AppendFrame(replies, reply);
     }
     if (!replies.empty()) {
-      if (SendAll(connection->fd, replies)) {
+      if (SendAll(connection->fd, replies, send_calls_, partial_writes_)) {
         bytes_out_.fetch_add(replies.size(), std::memory_order_relaxed);
       } else {
         open = false;
@@ -285,6 +217,10 @@ TcpTransportStats TcpTransport::stats() const {
   stats.framing_errors = framing_errors_.load(std::memory_order_relaxed);
   stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  stats.recv_calls = recv_calls_.load(std::memory_order_relaxed);
+  stats.send_calls = send_calls_.load(std::memory_order_relaxed);
+  stats.partial_writes = partial_writes_.load(std::memory_order_relaxed);
+  // A blocking send never sees EAGAIN; wouldblock_events stays 0 here.
   return stats;
 }
 

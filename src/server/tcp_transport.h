@@ -2,18 +2,23 @@
 #define CPA_SERVER_TCP_TRANSPORT_H_
 
 /// \file tcp_transport.h
-/// \brief The socket transport: a TCP (or UNIX-domain) listener over a
-/// `FrameHandler` — a `ConsensusServer` worker or a `Router` front-end.
+/// \brief The thread-per-connection socket transport: a TCP (or
+/// UNIX-domain) listener over a `FrameHandler` — a `ConsensusServer`
+/// worker or a `Router` front-end.
 ///
 /// Thread-per-connection, deliberately (ROADMAP: "thread-per-connection
-/// first, then an event loop if accept-rate demands it"): one accept-loop
-/// thread plus one reader thread per live connection. Each reader drains
-/// every complete frame out of each `recv` (framing.h — this is where
-/// request batching happens), dispatches them in arrival order through
+/// first, then an event loop if accept-rate demands it" — the event loop
+/// is event_loop_transport.h): one accept-loop thread plus one reader
+/// thread per live connection. Each reader drains every complete frame
+/// out of each `recv` (framing.h — this is where request batching
+/// happens), dispatches them in arrival order through
 /// `ConsensusServer::HandleFrame`, and writes all the replies back in one
 /// `send`. Ordering guarantee per connection: responses come back in
 /// request order, so clients may pipeline arbitrarily many frames before
-/// reading.
+/// reading. Sequenced frames (framing.h flags bit 0) are accepted and
+/// their sequence id echoed on the response — in-order completion is one
+/// valid completion order, so a pipelining client works against this
+/// transport too; it just never observes reordering here.
 ///
 /// Graceful shutdown (`Shutdown`, also run by the destructor): stop
 /// accepting, `shutdown(2)` every live socket so blocked reads return,
@@ -37,86 +42,39 @@
 
 #include "server/frame_handler.h"
 #include "server/framing.h"
+#include "server/transport.h"
 #include "util/status.h"
 
 namespace cpa {
 
-/// \brief Listener configuration.
-struct TcpTransportOptions {
-  /// Dotted-quad address to bind ("0.0.0.0" to serve beyond loopback).
-  std::string bind_address = "127.0.0.1";
-
-  /// Port to bind; 0 picks a free ephemeral port (read it back via
-  /// `port()` — the tests and the fig11 bench run that way).
-  std::uint16_t port = 0;
-
-  /// When non-empty, listen on a UNIX-domain stream socket at this
-  /// filesystem path instead of TCP (`cpa_server --unix PATH`). The wire
-  /// protocol is identical; `bind_address`/`port` are ignored. A stale
-  /// socket file left by a dead process is unlinked before binding, and
-  /// the path is unlinked again on Shutdown. Paths must fit in
-  /// sockaddr_un (< 108 bytes).
-  std::string unix_path;
-
-  /// Hard cap on live connections; accepts beyond it are closed
-  /// immediately after a best-effort JSON error frame.
-  std::size_t max_connections = 1024;
-
-  /// Frames larger than this are rejected (error reply, body skipped).
-  std::size_t max_frame_bytes = server::kDefaultMaxFrameBytes;
-
-  /// listen(2) backlog.
-  int listen_backlog = 128;
-};
-
-/// \brief Monotonic transport counters (read at any time; TSan-clean).
-struct TcpTransportStats {
-  std::uint64_t connections_accepted = 0;
-  std::uint64_t connections_rejected = 0;  ///< over `max_connections`
-  std::uint64_t frames_in = 0;
-  std::uint64_t frames_out = 0;
-  std::uint64_t framing_errors = 0;
-  std::uint64_t bytes_in = 0;
-  std::uint64_t bytes_out = 0;
-
-  /// Router-mode counters (router.h). A plain transport leaves them 0;
-  /// `cpa_server --router` merges the router's totals in before printing
-  /// its shutdown stats line.
-  std::uint64_t frames_forwarded = 0;
-  std::uint64_t backend_reconnects = 0;
-};
+/// Both transports share one options/stats shape (transport.h); these
+/// aliases keep the PR-6-era spellings working.
+using TcpTransportOptions = TransportOptions;
+using TcpTransportStats = TransportStats;
 
 /// \brief Accepts TCP connections and speaks the framed wire protocol.
-class TcpTransport {
+class TcpTransport : public Transport {
  public:
   /// `handler` must outlive the transport.
   TcpTransport(FrameHandler& handler, const TcpTransportOptions& options = {});
 
   /// Drains and joins (Shutdown).
-  ~TcpTransport();
+  ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
-  /// Binds, listens and starts the accept loop. Fails (IOError) when the
-  /// address/port/path cannot be bound. Call at most once.
-  Status Start();
+  Status Start() override;
 
-  /// The port actually bound (resolves port 0 requests). 0 before Start
-  /// and in UNIX-socket mode.
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const override { return port_; }
 
-  /// Stops accepting, drains in-flight requests, closes every connection
-  /// and joins all threads. Idempotent; safe to call from any thread
-  /// except a connection handler.
-  void Shutdown();
+  void Shutdown() override;
 
-  /// Live connections right now.
-  std::size_t num_connections() const {
+  std::size_t num_connections() const override {
     return num_connections_.load(std::memory_order_relaxed);
   }
 
-  TcpTransportStats stats() const;
+  TcpTransportStats stats() const override;
 
  private:
   struct Connection;
@@ -147,6 +105,9 @@ class TcpTransport {
   std::atomic<std::uint64_t> framing_errors_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> recv_calls_{0};
+  std::atomic<std::uint64_t> send_calls_{0};
+  std::atomic<std::uint64_t> partial_writes_{0};
 };
 
 }  // namespace cpa

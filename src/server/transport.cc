@@ -1,0 +1,111 @@
+#include "server/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_utils.h"
+
+namespace cpa::server_internal {
+
+Status BindAndListen(const TransportOptions& options, ListenSocket* out) {
+  if (!options.unix_path.empty()) {
+    sockaddr_un address{};
+    if (options.unix_path.size() >= sizeof(address.sun_path)) {
+      return Status::InvalidArgument(
+          StrFormat("unix socket path too long (%zu bytes, max %zu)",
+                    options.unix_path.size(), sizeof(address.sun_path) - 1));
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
+    }
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, options.unix_path.c_str(),
+                options.unix_path.size() + 1);
+    // A socket file left behind by a dead server would make bind fail
+    // with EADDRINUSE forever; unlink it first. A *live* server's file
+    // is replaced too — matching SO_REUSEADDR semantics on the TCP path.
+    ::unlink(options.unix_path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+               sizeof(address)) < 0) {
+      const Status status =
+          Status::IOError(StrFormat("bind %s: %s", options.unix_path.c_str(),
+                                    std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    if (::listen(fd, options.listen_backlog) < 0) {
+      const Status status =
+          Status::IOError(StrFormat("listen: %s", std::strerror(errno)));
+      ::close(fd);
+      ::unlink(options.unix_path.c_str());
+      return status;
+    }
+    out->fd = fd;
+    out->port = 0;
+    return Status::OK();
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &address.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("invalid bind address '%s'", options.bind_address.c_str()));
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) <
+      0) {
+    const Status status = Status::IOError(
+        StrFormat("bind %s:%u: %s", options.bind_address.c_str(),
+                  static_cast<unsigned>(options.port), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, options.listen_backlog) < 0) {
+    const Status status =
+        Status::IOError(StrFormat("listen: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    const Status status =
+        Status::IOError(StrFormat("getsockname: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  out->fd = fd;
+  out->port = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void ConfigureAcceptedSocket(int fd, const TransportOptions& options) {
+  if (options.unix_path.empty()) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  if (options.so_sndbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options.so_sndbuf,
+                 sizeof(options.so_sndbuf));
+  }
+}
+
+}  // namespace cpa::server_internal

@@ -1,0 +1,149 @@
+#ifndef CPA_SERVER_TRANSPORT_H_
+#define CPA_SERVER_TRANSPORT_H_
+
+/// \file transport.h
+/// \brief What every socket transport shares: options, stats, the
+/// `Transport` interface, and the listen-socket setup helper.
+///
+/// Two implementations speak the identical framed wire protocol
+/// (framing.h) over a `FrameHandler`:
+///
+///   - `TcpTransport` (tcp_transport.h) — thread-per-connection, strict
+///     per-connection request→response order.
+///   - `EventLoopTransport` (event_loop_transport.h) — a fixed pool of
+///     epoll reactor threads plus a dispatch pool; sequenced frames may
+///     complete out of order.
+///
+/// `cpa_server` constructs one of them behind this interface
+/// (`--event-loop` selects the reactor); the router and every client
+/// work unchanged in front of either.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "server/framing.h"
+#include "util/status.h"
+
+namespace cpa {
+
+/// \brief Listener configuration shared by both transports.
+struct TransportOptions {
+  /// Dotted-quad address to bind ("0.0.0.0" to serve beyond loopback).
+  std::string bind_address = "127.0.0.1";
+
+  /// Port to bind; 0 picks a free ephemeral port (read it back via
+  /// `port()` — the tests and the fig11 bench run that way).
+  std::uint16_t port = 0;
+
+  /// When non-empty, listen on a UNIX-domain stream socket at this
+  /// filesystem path instead of TCP (`cpa_server --unix PATH`). The wire
+  /// protocol is identical; `bind_address`/`port` are ignored. A stale
+  /// socket file left by a dead process is unlinked before binding, and
+  /// the path is unlinked again on Shutdown. Paths must fit in
+  /// sockaddr_un (< 108 bytes).
+  std::string unix_path;
+
+  /// Hard cap on live connections; accepts beyond it are closed
+  /// immediately after a best-effort JSON error frame.
+  std::size_t max_connections = 1024;
+
+  /// Frames larger than this are rejected (error reply, body skipped).
+  std::size_t max_frame_bytes = server::kDefaultMaxFrameBytes;
+
+  /// listen(2) backlog.
+  int listen_backlog = 128;
+
+  /// When > 0, sets SO_SNDBUF to this on every accepted socket. Tests
+  /// use a tiny value to force partial writes; leave 0 in production.
+  int so_sndbuf = 0;
+
+  // --- Event-loop transport only (ignored by TcpTransport) ---
+
+  /// Reactor (epoll) threads (`cpa_server --io-threads`). Reactors only
+  /// move bytes; they never run engine work.
+  std::size_t io_threads = 2;
+
+  /// Dispatch threads running `FrameHandler::HandleFrame`
+  /// (`--dispatch-threads`); 0 sizes automatically from the hardware.
+  std::size_t dispatch_threads = 0;
+
+  /// Per-connection cap on requests in flight (decoded, response not yet
+  /// queued). Reads pause (EPOLLIN disarmed) at the cap and resume as
+  /// responses drain — backpressure, not disconnect.
+  std::size_t max_pipeline = 256;
+
+  /// Per-connection pending-write-bytes cap with the same pause/resume
+  /// behavior: a client that stops reading stops being read.
+  std::size_t write_high_watermark = 4u << 20;
+};
+
+/// \brief Monotonic transport counters (read at any time; TSan-clean).
+struct TransportStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  ///< over `max_connections`
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t framing_errors = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+
+  /// Syscall visibility: frames_in / recv_calls is the realized batching
+  /// factor; partial_writes and wouldblock_events count the kernel
+  /// pushing back (short send / EAGAIN). fig11 surfaces all three.
+  std::uint64_t recv_calls = 0;
+  std::uint64_t send_calls = 0;
+  std::uint64_t partial_writes = 0;
+  std::uint64_t wouldblock_events = 0;
+
+  /// Router-mode counters (router.h). A plain transport leaves them 0;
+  /// `cpa_server --router` merges the router's totals in before printing
+  /// its shutdown stats line.
+  std::uint64_t frames_forwarded = 0;
+  std::uint64_t backend_reconnects = 0;
+};
+
+/// \brief The interface `cpa_server` drives a listener through.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Binds, listens and starts serving. Fails (IOError) when the
+  /// address/port/path cannot be bound. Call at most once.
+  virtual Status Start() = 0;
+
+  /// Stops accepting, drains in-flight requests, closes every connection
+  /// and joins all threads. Idempotent; safe to call from any thread
+  /// except a connection handler.
+  virtual void Shutdown() = 0;
+
+  /// The port actually bound (resolves port 0 requests). 0 before Start
+  /// and in UNIX-socket mode.
+  virtual std::uint16_t port() const = 0;
+
+  /// Live connections right now.
+  virtual std::size_t num_connections() const = 0;
+
+  virtual TransportStats stats() const = 0;
+};
+
+namespace server_internal {
+
+/// A bound, listening socket (TCP or UNIX per `options.unix_path`).
+struct ListenSocket {
+  int fd = -1;
+  std::uint16_t port = 0;  ///< resolved port (0 for UNIX sockets)
+};
+
+/// Creates, binds and listens per `options`. On failure the fd is closed
+/// (and a UNIX path unlinked) before the error returns.
+Status BindAndListen(const TransportOptions& options, ListenSocket* out);
+
+/// Applies per-connection socket options (TCP_NODELAY on TCP sockets,
+/// SO_SNDBUF when `options.so_sndbuf` > 0).
+void ConfigureAcceptedSocket(int fd, const TransportOptions& options);
+
+}  // namespace server_internal
+}  // namespace cpa
+
+#endif  // CPA_SERVER_TRANSPORT_H_

@@ -1,0 +1,647 @@
+#include "server/event_loop_transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/binary_codec.h"
+#include "server/consensus_server.h"
+#include "server/protocol.h"
+#include "server/router.h"
+#include "server/tcp_client.h"
+#include "server/tcp_transport.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/string_utils.h"
+
+namespace cpa {
+namespace {
+
+using server::BinaryResponse;
+using server::Frame;
+using server::FrameKind;
+using server::TcpFrameClient;
+
+/// An epoll transport over a fresh server, bound to an ephemeral port.
+struct EventLoopServer {
+  explicit EventLoopServer(TransportOptions options = {},
+                           std::size_t num_threads = 1) {
+    ConsensusServerOptions server_options;
+    server_options.sessions.num_threads = num_threads;
+    consensus = std::make_unique<ConsensusServer>(server_options);
+    transport = std::make_unique<EventLoopTransport>(*consensus, options);
+    const Status started = transport->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  TcpFrameClient Connect() {
+    auto client = TcpFrameClient::Connect("127.0.0.1", transport->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  std::unique_ptr<ConsensusServer> consensus;
+  std::unique_ptr<EventLoopTransport> transport;
+};
+
+std::string OpenRequestLine(const std::string& session,
+                            std::size_t num_items = 4) {
+  return StrFormat(
+      R"({"op":"open","session":"%s","config":{"method":"MV",)"
+      R"("num_items":%zu,"num_workers":16,"num_labels":4}})",
+      session.c_str(), num_items);
+}
+
+JsonValue MustParseJson(const Frame& frame, bool expect_ok) {
+  EXPECT_EQ(frame.kind, FrameKind::kJson);
+  auto parsed = JsonValue::Parse(frame.payload);
+  EXPECT_TRUE(parsed.ok()) << frame.payload;
+  const JsonValue* ok = parsed.value().Find("ok");
+  EXPECT_NE(ok, nullptr) << frame.payload;
+  if (ok != nullptr) {
+    EXPECT_EQ(ok->bool_value(), expect_ok) << frame.payload;
+  }
+  return parsed.value();
+}
+
+BinaryResponse MustParseBinary(const Frame& frame) {
+  EXPECT_EQ(frame.kind, FrameKind::kBinary);
+  auto decoded = server::DecodeBinaryResponse(frame.payload);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return decoded.ok() ? decoded.value() : BinaryResponse{};
+}
+
+Result<Frame> MustRoundtrip(TcpFrameClient& client, FrameKind kind,
+                            std::string_view payload) {
+  auto reply = client.Roundtrip(kind, payload);
+  EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+  return reply;
+}
+
+const std::vector<Answer> kAnswers = {{0, 0, LabelSet{1}},
+                                      {0, 1, LabelSet{1, 2}},
+                                      {1, 2, LabelSet{3}},
+                                      {2, 3, LabelSet{0}}};
+
+TEST(EventLoopTransportTest, JsonAndBinaryLifecycleOverRealSocket) {
+  EventLoopServer server;
+  TcpFrameClient client = server.Connect();
+
+  MustParseJson(
+      MustRoundtrip(client, FrameKind::kJson, OpenRequestLine("ep1")).value(),
+      true);
+  const JsonValue ack = MustParseJson(
+      MustRoundtrip(client, FrameKind::kJson,
+                    server::MakeObserveRequest("ep1", kAnswers))
+          .value(),
+      true);
+  EXPECT_EQ(ack.Find("answers_seen")->number_value(), 4.0);
+
+  const BinaryResponse snapshot = MustParseBinary(
+      MustRoundtrip(client, FrameKind::kBinary,
+                    server::EncodeSnapshotRequest("ep1", /*refresh=*/true,
+                                                  /*include_predictions=*/true))
+          .value());
+  EXPECT_TRUE(snapshot.ok);
+  EXPECT_EQ(snapshot.predictions.size(), 4u);
+
+  const BinaryResponse finalized = MustParseBinary(
+      MustRoundtrip(client, FrameKind::kBinary,
+                    server::EncodeFinalizeRequest("ep1", true))
+          .value());
+  EXPECT_TRUE(finalized.finalized);
+  MustParseJson(MustRoundtrip(client, FrameKind::kJson,
+                              R"({"op":"close","session":"ep1"})")
+                    .value(),
+                true);
+  EXPECT_EQ(server.consensus->sessions().num_sessions(), 0u);
+  client.Close();
+
+  server.transport->Shutdown();
+  const TransportStats stats = server.transport->stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.framing_errors, 0u);
+  EXPECT_EQ(stats.frames_in, stats.frames_out);
+  EXPECT_GT(stats.recv_calls, 0u);
+  EXPECT_GT(stats.send_calls, 0u);
+}
+
+TEST(EventLoopTransportTest, BothTransportsNegotiateSequencing) {
+  // Sequence-tag echo is a property of *both* transports — on the
+  // ordered one, in-order completion is a valid completion order — so
+  // the negotiation probe succeeds against either.
+  {
+    EventLoopServer server;
+    TcpFrameClient client = server.Connect();
+    auto negotiated = client.NegotiateSequencing();
+    ASSERT_TRUE(negotiated.ok()) << negotiated.status().ToString();
+    EXPECT_TRUE(negotiated.value());
+    // Legacy traffic on the same connection stays untagged.
+    const Frame reply =
+        MustRoundtrip(client, FrameKind::kJson, R"({"op":"methods"})").value();
+    EXPECT_FALSE(reply.sequenced);
+    EXPECT_EQ(reply.sequence, 0);
+  }
+  {
+    ConsensusServer consensus;
+    TcpTransport transport(consensus);
+    ASSERT_TRUE(transport.Start().ok());
+    auto connected = TcpFrameClient::Connect("127.0.0.1", transport.port());
+    ASSERT_TRUE(connected.ok());
+    TcpFrameClient client = std::move(connected).value();
+    auto negotiated = client.NegotiateSequencing();
+    ASSERT_TRUE(negotiated.ok()) << negotiated.status().ToString();
+    EXPECT_TRUE(negotiated.value());
+    client.Close();
+    transport.Shutdown();
+  }
+}
+
+TEST(EventLoopTransportTest, SequencedFramingErrorRepliesWithTag) {
+  TransportOptions options;
+  options.max_frame_bytes = 256;
+  EventLoopServer server(options);
+  TcpFrameClient client = server.Connect();
+
+  std::string burst;
+  server::AppendSequencedFrame(burst, FrameKind::kJson,
+                               std::string(4096, ' '), 7);
+  ASSERT_TRUE(client.SendRaw(burst).ok());
+  auto reply = client.ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply.value().sequenced);
+  EXPECT_EQ(reply.value().sequence, 7);
+  MustParseJson(reply.value(), false);
+
+  // The connection survives the rejection.
+  MustParseJson(
+      MustRoundtrip(client, FrameKind::kJson, OpenRequestLine("alive")).value(),
+      true);
+}
+
+/// One fuzz request: its encoded sequenced frame plus what the reply
+/// must contain.
+struct FuzzExpectation {
+  std::size_t session = 0;
+  bool is_observe = false;
+  std::size_t batches_seen = 0;  ///< observes: per-session serial counter
+  bool binary = false;
+};
+
+TEST(EventLoopTransportTest, OutOfOrderPipeliningFuzzMatchesSerialExecution) {
+  // The ordering contract under fire: several sessions' observes and
+  // polls, shuffled into one pipelined burst on one connection, must
+  // (a) answer every request under its own sequence id, (b) keep each
+  // session's observes serial (ack counters in arrival order), and
+  // (c) leave per-session state identical to serial execution.
+  constexpr std::size_t kSessions = 3;
+  constexpr std::size_t kBatches = 6;
+  constexpr std::size_t kRounds = 2;
+
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    Rng rng(20180417 + round);
+    // Distinct (item, worker) per (session, batch) so observes never
+    // collide; the per-session stream is the same for both runs.
+    const auto batch_answers = [](std::size_t session, std::size_t batch) {
+      return std::vector<Answer>{
+          {static_cast<ItemId>(batch), static_cast<WorkerId>(2 * session),
+           LabelSet{static_cast<LabelId>(session % 4)}},
+          {static_cast<ItemId>(batch), static_cast<WorkerId>(2 * session + 1),
+           LabelSet{static_cast<LabelId>((session + batch) % 4)}}};
+    };
+    const auto session_name = [&](std::size_t session) {
+      return StrFormat("fuzz-%zu-%zu", round, session);
+    };
+
+    // Serial reference: the same streams, one blocking roundtrip at a
+    // time, on a fresh server.
+    std::vector<std::vector<LabelSet>> reference(kSessions);
+    {
+      EventLoopServer server;
+      TcpFrameClient client = server.Connect();
+      for (std::size_t s = 0; s < kSessions; ++s) {
+        MustParseJson(MustRoundtrip(client, FrameKind::kJson,
+                                    OpenRequestLine(session_name(s), 8))
+                          .value(),
+                      true);
+        for (std::size_t b = 0; b < kBatches; ++b) {
+          MustParseBinary(
+              MustRoundtrip(client, FrameKind::kBinary,
+                            server::EncodeObserveRequest(session_name(s),
+                                                         batch_answers(s, b)))
+                  .value());
+        }
+        reference[s] =
+            MustParseBinary(
+                MustRoundtrip(
+                    client, FrameKind::kBinary,
+                    server::EncodeFinalizeRequest(session_name(s), true))
+                    .value())
+                .predictions;
+      }
+    }
+
+    // Fuzzed run: same streams, one shuffled sequenced burst.
+    EventLoopServer server({}, /*num_threads=*/2);
+    TcpFrameClient client = server.Connect();
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      MustParseJson(MustRoundtrip(client, FrameKind::kJson,
+                                  OpenRequestLine(session_name(s), 8))
+                        .value(),
+                    true);
+    }
+
+    std::string burst;
+    std::map<std::uint16_t, FuzzExpectation> expected;
+    std::uint16_t next_seq = 1;
+    std::vector<std::size_t> sent(kSessions, 0);
+    const auto append_poll = [&](std::size_t s) {
+      FuzzExpectation expectation;
+      expectation.session = s;
+      expectation.binary = rng.NextBernoulli(0.5);
+      if (expectation.binary) {
+        server::AppendSequencedFrame(
+            burst, FrameKind::kBinary,
+            server::EncodeSnapshotRequest(session_name(s), /*refresh=*/false,
+                                          /*include_predictions=*/false),
+            next_seq);
+      } else {
+        server::AppendSequencedFrame(
+            burst, FrameKind::kJson,
+            StrFormat("{\"op\":\"snapshot\",\"session\":\"%s\","
+                      "\"refresh\":false,\"predictions\":false}",
+                      session_name(s).c_str()),
+            next_seq);
+      }
+      expected[next_seq++] = expectation;
+    };
+    while (true) {
+      // Pick a random session that still has observes to send; keep each
+      // session's own observes in stream order.
+      std::vector<std::size_t> open_sessions;
+      for (std::size_t s = 0; s < kSessions; ++s) {
+        if (sent[s] < kBatches) open_sessions.push_back(s);
+      }
+      if (open_sessions.empty()) break;
+      const std::size_t s = open_sessions[static_cast<std::size_t>(
+          rng.NextBounded(open_sessions.size()))];
+      FuzzExpectation expectation;
+      expectation.session = s;
+      expectation.is_observe = true;
+      expectation.batches_seen = ++sent[s];
+      expectation.binary = rng.NextBernoulli(0.5);
+      if (expectation.binary) {
+        server::AppendSequencedFrame(
+            burst, FrameKind::kBinary,
+            server::EncodeObserveRequest(session_name(s),
+                                         batch_answers(s, sent[s] - 1)),
+            next_seq);
+      } else {
+        server::AppendSequencedFrame(
+            burst, FrameKind::kJson,
+            server::MakeObserveRequest(session_name(s),
+                                       batch_answers(s, sent[s] - 1)),
+            next_seq);
+      }
+      expected[next_seq++] = expectation;
+      if (rng.NextBernoulli(0.5)) {
+        append_poll(static_cast<std::size_t>(rng.NextBounded(kSessions)));
+      }
+    }
+    ASSERT_TRUE(client.SendRaw(burst).ok());
+
+    // Every reply must match its request by sequence id — arrival order
+    // is free — and observe acks must show the serial per-session count.
+    std::size_t remaining = expected.size();
+    while (remaining-- > 0) {
+      auto read = client.ReadFrame();
+      ASSERT_TRUE(read.ok()) << read.status().ToString();
+      const Frame& reply = read.value();
+      ASSERT_TRUE(reply.sequenced);
+      const auto it = expected.find(reply.sequence);
+      ASSERT_NE(it, expected.end())
+          << "unknown or duplicate sequence id " << reply.sequence;
+      const FuzzExpectation& expectation = it->second;
+      if (expectation.binary) {
+        const BinaryResponse response = MustParseBinary(reply);
+        EXPECT_TRUE(response.ok);
+        if (expectation.is_observe) {
+          EXPECT_EQ(response.ack.batches_seen, expectation.batches_seen)
+              << "session " << expectation.session;
+        }
+      } else {
+        const JsonValue response = MustParseJson(reply, true);
+        if (expectation.is_observe) {
+          EXPECT_EQ(response.Find("batches_seen")->number_value(),
+                    static_cast<double>(expectation.batches_seen))
+              << "session " << expectation.session;
+        }
+      }
+      expected.erase(it);
+    }
+    EXPECT_TRUE(expected.empty());
+
+    // (c): the shuffled pipelined run converged to the serial state.
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      const BinaryResponse finalized = MustParseBinary(
+          MustRoundtrip(client, FrameKind::kBinary,
+                        server::EncodeFinalizeRequest(session_name(s), true))
+              .value());
+      ASSERT_EQ(finalized.predictions.size(), reference[s].size())
+          << "session " << s;
+      for (std::size_t i = 0; i < reference[s].size(); ++i) {
+        EXPECT_TRUE(finalized.predictions[i] == reference[s][i])
+            << "session " << s << " item " << i;
+      }
+    }
+  }
+}
+
+TEST(EventLoopTransportTest, PartialWriteBackpressureDrainsViaEpollout) {
+  // A tiny send buffer + fat prediction payloads: the reactor must hit
+  // EAGAIN, arm EPOLLOUT, and finish each reply across several sends.
+  TransportOptions options;
+  options.so_sndbuf = 4096;
+  EventLoopServer server(options);
+  TcpFrameClient client = server.Connect();
+
+  MustParseJson(MustRoundtrip(client, FrameKind::kJson,
+                              OpenRequestLine("fat", /*num_items=*/4000))
+                    .value(),
+                true);
+  MustParseBinary(
+      MustRoundtrip(client, FrameKind::kBinary,
+                    server::EncodeObserveRequest("fat", kAnswers))
+          .value());
+  // Refresh once so cached polls carry all 4000 prediction rows.
+  MustParseBinary(
+      MustRoundtrip(client, FrameKind::kBinary,
+                    server::EncodeSnapshotRequest("fat", /*refresh=*/true,
+                                                  /*include_predictions=*/true))
+          .value());
+
+  constexpr std::size_t kPolls = 8;
+  std::string burst;
+  for (std::size_t k = 0; k < kPolls; ++k) {
+    server::AppendSequencedFrame(
+        burst, FrameKind::kBinary,
+        server::EncodeSnapshotRequest("fat", /*refresh=*/false,
+                                      /*include_predictions=*/true),
+        static_cast<std::uint16_t>(k + 1));
+  }
+  ASSERT_TRUE(client.SendRaw(burst).ok());
+  std::vector<bool> seen(kPolls + 1, false);
+  for (std::size_t k = 0; k < kPolls; ++k) {
+    auto read = client.ReadFrame();
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    ASSERT_TRUE(read.value().sequenced);
+    const std::uint16_t seq = read.value().sequence;
+    ASSERT_TRUE(seq >= 1 && seq <= kPolls && !seen[seq]);
+    seen[seq] = true;
+    const BinaryResponse poll = MustParseBinary(read.value());
+    EXPECT_TRUE(poll.ok);
+    EXPECT_EQ(poll.predictions.size(), 4000u);
+  }
+  client.Close();
+  server.transport->Shutdown();
+  const TransportStats stats = server.transport->stats();
+  EXPECT_GT(stats.partial_writes + stats.wouldblock_events, 0u)
+      << "4000-row payloads through a 4 KiB send buffer never blocked";
+}
+
+TEST(EventLoopTransportTest, MidPipelineDropKeepsSessionAndServerAlive) {
+  EventLoopServer server;
+  {
+    TcpFrameClient client = server.Connect();
+    MustParseJson(
+        MustRoundtrip(client, FrameKind::kJson, OpenRequestLine("drop"))
+            .value(),
+        true);
+    // A full pipelined burst, then vanish without reading a byte.
+    std::string burst;
+    std::uint16_t seq = 1;
+    server::AppendSequencedFrame(
+        burst, FrameKind::kBinary,
+        server::EncodeObserveRequest("drop", kAnswers), seq++);
+    for (int k = 0; k < 8; ++k) {
+      server::AppendSequencedFrame(
+          burst, FrameKind::kBinary,
+          server::EncodeSnapshotRequest("drop", /*refresh=*/k == 0,
+                                        /*include_predictions=*/true),
+          seq++);
+    }
+    ASSERT_TRUE(client.SendRaw(burst).ok());
+    client.Close();
+  }
+
+  // The reactor reaps the dead connection once its in-flight requests
+  // finish; the session — and the transport — survive.
+  for (int i = 0; i < 500 && server.transport->num_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.transport->num_connections(), 0u);
+  EXPECT_EQ(server.consensus->sessions().num_sessions(), 1u);
+
+  // A new connection picks the session up where the burst left it.
+  TcpFrameClient client = server.Connect();
+  const BinaryResponse finalized = MustParseBinary(
+      MustRoundtrip(client, FrameKind::kBinary,
+                    server::EncodeFinalizeRequest("drop", true))
+          .value());
+  EXPECT_TRUE(finalized.finalized);
+  EXPECT_EQ(finalized.answers_seen, kAnswers.size());
+  MustParseJson(MustRoundtrip(client, FrameKind::kJson,
+                              R"({"op":"close","session":"drop"})")
+                    .value(),
+                true);
+}
+
+TEST(EventLoopTransportTest, MaxPipelineFloodCompletesEveryRequest) {
+  // Far more in-flight requests than `max_pipeline`: reads pause and
+  // resume, and every request still gets exactly one tagged reply.
+  TransportOptions options;
+  options.max_pipeline = 4;
+  EventLoopServer server(options);
+  TcpFrameClient client = server.Connect();
+  MustParseJson(
+      MustRoundtrip(client, FrameKind::kJson, OpenRequestLine("flood")).value(),
+      true);
+  MustParseBinary(
+      MustRoundtrip(client, FrameKind::kBinary,
+                    server::EncodeObserveRequest("flood", kAnswers))
+          .value());
+
+  constexpr std::size_t kRequests = 64;
+  std::string burst;
+  for (std::size_t k = 0; k < kRequests; ++k) {
+    server::AppendSequencedFrame(
+        burst, FrameKind::kBinary,
+        server::EncodeSnapshotRequest("flood", /*refresh=*/false,
+                                      /*include_predictions=*/false),
+        static_cast<std::uint16_t>(k + 1));
+  }
+  ASSERT_TRUE(client.SendRaw(burst).ok());
+  std::vector<bool> seen(kRequests + 1, false);
+  for (std::size_t k = 0; k < kRequests; ++k) {
+    auto read = client.ReadFrame();
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    ASSERT_TRUE(read.value().sequenced);
+    const std::uint16_t seq = read.value().sequence;
+    ASSERT_TRUE(seq >= 1 && seq <= kRequests && !seen[seq]);
+    seen[seq] = true;
+    EXPECT_TRUE(MustParseBinary(read.value()).ok);
+  }
+}
+
+TEST(EventLoopTransportTest, RouterInFrontOfEventLoopForwardsBothModes) {
+  // The `cpa_server --router --event-loop` topology: an epoll front over
+  // a thread-transport worker. Sequence tags are a transport concern, so
+  // the router needs no changes — the front echoes them.
+  ConsensusServer worker_server;
+  TcpTransport worker(worker_server);
+  ASSERT_TRUE(worker.Start().ok());
+  RouterOptions router_options;
+  router_options.workers.push_back(
+      StrFormat("127.0.0.1:%u", static_cast<unsigned>(worker.port())));
+  Router router(router_options);
+  ASSERT_TRUE(router.Start().ok());
+  EventLoopTransport front(router);
+  ASSERT_TRUE(front.Start().ok());
+
+  auto connected = TcpFrameClient::Connect("127.0.0.1", front.port());
+  ASSERT_TRUE(connected.ok());
+  TcpFrameClient client = std::move(connected).value();
+  auto negotiated = client.NegotiateSequencing();
+  ASSERT_TRUE(negotiated.ok()) << negotiated.status().ToString();
+  EXPECT_TRUE(negotiated.value());
+
+  MustParseJson(
+      MustRoundtrip(client, FrameKind::kJson, OpenRequestLine("routed"))
+          .value(),
+      true);
+  // A sequenced observe + poll pipeline through the router …
+  std::string burst;
+  server::AppendSequencedFrame(
+      burst, FrameKind::kBinary,
+      server::EncodeObserveRequest("routed", kAnswers), 1);
+  server::AppendSequencedFrame(
+      burst, FrameKind::kBinary,
+      server::EncodeSnapshotRequest("routed", /*refresh=*/true,
+                                    /*include_predictions=*/true),
+      2);
+  ASSERT_TRUE(client.SendRaw(burst).ok());
+  std::vector<bool> seen(3, false);
+  for (int k = 0; k < 2; ++k) {
+    auto read = client.ReadFrame();
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    ASSERT_TRUE(read.value().sequenced);
+    const std::uint16_t seq = read.value().sequence;
+    ASSERT_TRUE(seq >= 1 && seq <= 2 && !seen[seq]);
+    seen[seq] = true;
+    EXPECT_TRUE(MustParseBinary(read.value()).ok);
+  }
+  // … and a legacy finalize on the same connection.
+  const BinaryResponse finalized = MustParseBinary(
+      MustRoundtrip(client, FrameKind::kBinary,
+                    server::EncodeFinalizeRequest("routed", true))
+          .value());
+  EXPECT_TRUE(finalized.finalized);
+  EXPECT_EQ(finalized.predictions.size(), 4u);
+
+  client.Close();
+  front.Shutdown();
+  router.Shutdown();
+  worker.Shutdown();
+}
+
+TEST(EventLoopTransportTest, GracefulShutdownDrainsOpenConnections) {
+  EventLoopServer server;
+  TcpFrameClient client = server.Connect();
+  MustParseJson(
+      MustRoundtrip(client, FrameKind::kJson, OpenRequestLine("drain")).value(),
+      true);
+  EXPECT_EQ(server.transport->num_connections(), 1u);
+
+  server.transport->Shutdown();
+  EXPECT_EQ(server.transport->num_connections(), 0u);
+  auto reply = client.Roundtrip(FrameKind::kJson, R"({"op":"list"})");
+  EXPECT_FALSE(reply.ok());
+
+  // Shutdown is idempotent, and sessions outlive their connections.
+  server.transport->Shutdown();
+  EXPECT_EQ(server.consensus->sessions().num_sessions(), 1u);
+}
+
+TEST(EventLoopTransportTest, ManyConcurrentConnectionsOnFewReactors) {
+  // More connections than reactors or dispatch threads: the TSan
+  // centerpiece for the epoll path.
+  TransportOptions options;
+  options.io_threads = 2;
+  options.dispatch_threads = 3;
+  EventLoopServer server(options, /*num_threads=*/2);
+  constexpr std::size_t kClients = 8;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, c] {
+      const std::string session = StrFormat("conc-%zu", c);
+      TcpFrameClient client = server.Connect();
+      MustParseJson(
+          MustRoundtrip(client, FrameKind::kJson, OpenRequestLine(session))
+              .value(),
+          true);
+      // Pipelined observes + polls, then a blocking finalize.
+      std::string burst;
+      std::uint16_t seq = 1;
+      for (std::size_t b = 0; b < 3; ++b) {
+        const std::vector<Answer> answers = {
+            {static_cast<ItemId>(b), static_cast<WorkerId>(2 * c),
+             LabelSet{static_cast<LabelId>(c % 4)}},
+            {static_cast<ItemId>(b), static_cast<WorkerId>(2 * c + 1),
+             LabelSet{static_cast<LabelId>((c + 1) % 4)}}};
+        server::AppendSequencedFrame(
+            burst, FrameKind::kBinary,
+            server::EncodeObserveRequest(session, answers), seq++);
+        server::AppendSequencedFrame(
+            burst, FrameKind::kBinary,
+            server::EncodeSnapshotRequest(session, /*refresh=*/false,
+                                          /*include_predictions=*/false),
+            seq++);
+      }
+      ASSERT_TRUE(client.SendRaw(burst).ok());
+      std::vector<bool> seen(seq, false);
+      for (std::uint16_t k = 1; k < seq; ++k) {
+        auto read = client.ReadFrame();
+        ASSERT_TRUE(read.ok()) << read.status().ToString();
+        ASSERT_TRUE(read.value().sequenced);
+        ASSERT_TRUE(read.value().sequence >= 1 && read.value().sequence < seq);
+        ASSERT_FALSE(seen[read.value().sequence]);
+        seen[read.value().sequence] = true;
+      }
+      MustParseJson(
+          MustRoundtrip(
+              client, FrameKind::kJson,
+              StrFormat(R"({"op":"close","session":"%s"})", session.c_str()))
+              .value(),
+          true);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(server.consensus->sessions().num_sessions(), 0u);
+  server.transport->Shutdown();
+  const TransportStats stats = server.transport->stats();
+  EXPECT_EQ(stats.connections_accepted, kClients);
+  EXPECT_EQ(stats.framing_errors, 0u);
+  EXPECT_EQ(stats.frames_in, stats.frames_out);
+}
+
+}  // namespace
+}  // namespace cpa

@@ -113,16 +113,91 @@ TEST(FramingTest, UnknownKindIsRecoverable) {
   EXPECT_EQ(MustNext(decoder).payload, "good");
 }
 
-TEST(FramingTest, NonzeroReservedBytesAreRejected) {
+TEST(FramingTest, NonzeroSequenceWithoutFlagIsRejected) {
+  // The pre-sequencing "reserved bytes must be zero" contract, byte for
+  // byte: an unsequenced header (flags == 0) with sequence bytes set is
+  // still a recoverable framing error — old clients see no change.
   std::string bad = EncodeFrame({FrameKind::kJson, "body"});
-  bad[5] = '\x01';
+  bad[6] = '\x2A';
   FrameDecoder decoder;
   decoder.Append(bad);
   auto item = decoder.Next();
   ASSERT_TRUE(item.has_value());
   EXPECT_FALSE(item->error.ok());
+  EXPECT_NE(item->error.ToString().find("reserved bytes"), std::string::npos)
+      << item->error.ToString();
+  EXPECT_FALSE(item->sequenced);
   decoder.Append(EncodeFrame({FrameKind::kJson, "good"}));
   EXPECT_EQ(MustNext(decoder).payload, "good");
+}
+
+TEST(FramingTest, UnknownFlagBitsAreRejected) {
+  std::string bad = EncodeFrame({FrameKind::kJson, "body"});
+  bad[5] = '\x02';  // only bit 0 (sequenced) is defined
+  FrameDecoder decoder;
+  decoder.Append(bad);
+  auto item = decoder.Next();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_FALSE(item->error.ok());
+  EXPECT_NE(item->error.ToString().find("unknown frame flags"),
+            std::string::npos)
+      << item->error.ToString();
+  decoder.Append(EncodeFrame({FrameKind::kJson, "good"}));
+  EXPECT_EQ(MustNext(decoder).payload, "good");
+}
+
+TEST(FramingTest, LegacyEncodingKeepsReservedBytesZero) {
+  // Unsequenced frames must stay byte-identical to the pre-sequencing
+  // wire format: flags and sequence bytes all zero.
+  const std::string encoded = EncodeFrame({FrameKind::kJson, "x"});
+  EXPECT_EQ(encoded[5], '\0');
+  EXPECT_EQ(encoded[6], '\0');
+  EXPECT_EQ(encoded[7], '\0');
+}
+
+TEST(FramingTest, SequencedFrameRoundTrips) {
+  std::string encoded;
+  AppendSequencedFrame(encoded, FrameKind::kBinary, "payload", 0xBEEF);
+  FrameDecoder decoder;
+  decoder.Append(encoded);
+  auto item = decoder.Next();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_TRUE(item->error.ok()) << item->error.ToString();
+  EXPECT_TRUE(item->sequenced);
+  EXPECT_EQ(item->sequence, 0xBEEF);
+  EXPECT_TRUE(item->frame.sequenced);
+  EXPECT_EQ(item->frame.sequence, 0xBEEF);
+  EXPECT_EQ(item->frame.payload, "payload");
+
+  // Re-encoding the decoded frame reproduces the original bytes.
+  std::string reencoded;
+  AppendFrame(reencoded, item->frame);
+  EXPECT_EQ(reencoded, encoded);
+}
+
+TEST(FramingTest, SequenceZeroWithFlagSetIsValid) {
+  // flags distinguishes "sequenced with id 0" from a legacy frame.
+  std::string encoded;
+  AppendSequencedFrame(encoded, FrameKind::kJson, "{}", 0);
+  FrameDecoder decoder;
+  decoder.Append(encoded);
+  const Frame frame = MustNext(decoder);
+  EXPECT_TRUE(frame.sequenced);
+  EXPECT_EQ(frame.sequence, 0);
+}
+
+TEST(FramingTest, FramingErrorEchoesSequenceTag) {
+  // A recoverable error on a sequenced frame keeps its tag, so the
+  // transport can address the error reply to the right request.
+  FrameDecoder decoder(/*max_frame_bytes=*/8);
+  std::string big;
+  AppendSequencedFrame(big, FrameKind::kJson, std::string(64, 'y'), 77);
+  decoder.Append(big);
+  auto item = decoder.Next();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_FALSE(item->error.ok());
+  EXPECT_TRUE(item->sequenced);
+  EXPECT_EQ(item->sequence, 77);
 }
 
 TEST(FramingTest, BufferCompactionKeepsLongStreamsBounded) {
